@@ -1,0 +1,76 @@
+//! Criterion benches for the design-choice ablations: the segment cache
+//! (E5), overflow hysteresis (E6), and promotion strategies (E8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oneshot_bench::workloads;
+use oneshot_core::{Config, PromotionStrategy};
+use oneshot_vm::{Vm, VmConfig};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segment-cache");
+    g.sample_size(10);
+    for (name, cache_limit) in [("enabled", 64usize), ("disabled", 0)] {
+        g.bench_function(name, |b| {
+            let cfg = Config { cache_limit, ..Config::default() };
+            let mut vm = Vm::with_config(VmConfig { stack: cfg, ..VmConfig::default() });
+            vm.eval_str(&workloads::ctak("call/1cc")).unwrap();
+            b.iter(|| vm.eval_str("(ctak 12 6 0)").unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_hysteresis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hysteresis");
+    g.sample_size(10);
+    for (name, slots) in [("none", 0usize), ("128-slots", 128)] {
+        g.bench_function(name, |b| {
+            let cfg = Config {
+                segment_slots: 1024,
+                copy_bound: 256,
+                hysteresis_slots: slots,
+                ..Config::default()
+            };
+            let mut vm = Vm::with_config(VmConfig { stack: cfg, ..VmConfig::default() });
+            vm.eval_str(workloads::BOUNCER).unwrap();
+            vm.eval_str("(define (pad n) (if (zero? n) 0 (+ 1 (pad (- n 1)))))").unwrap();
+            b.iter(|| {
+                vm.eval_str(
+                    "(define (go n) (if (zero? n) (hover 8 5000) (+ 1 (go (- n 1))))) (go 330)",
+                )
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_promotion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("promotion");
+    g.sample_size(10);
+    for (name, strategy) in
+        [("eager-walk", PromotionStrategy::EagerWalk), ("shared-flag", PromotionStrategy::SharedFlag)]
+    {
+        g.bench_function(name, |b| {
+            let cfg = Config {
+                promotion: strategy,
+                segment_slots: 64 * 1024,
+                copy_bound: 16 * 1024,
+                ..Config::default()
+            };
+            let mut vm = Vm::with_config(VmConfig { stack: cfg, ..VmConfig::default() });
+            vm.eval_str(
+                "(define (chain n)
+                   (if (zero? n)
+                       (call/cc (lambda (k) 0))
+                       (+ 1 (call/1cc (lambda (k) (chain (- n 1)))))))",
+            )
+            .unwrap();
+            b.iter(|| vm.eval_str("(chain 400)").unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_hysteresis, bench_promotion);
+criterion_main!(benches);

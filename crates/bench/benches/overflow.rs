@@ -1,0 +1,32 @@
+//! Criterion bench for E3: deep recursion with stack overflow handled as
+//! an implicit call/1cc vs an implicit call/cc.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oneshot_bench::workloads;
+use oneshot_core::{Config, OverflowPolicy};
+use oneshot_vm::{Vm, VmConfig};
+
+fn bench_overflow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overflow");
+    g.sample_size(10);
+    for (name, policy) in
+        [("one-shot", OverflowPolicy::OneShot), ("multi-shot", OverflowPolicy::MultiShot)]
+    {
+        g.bench_function(name, |b| {
+            let cfg = Config {
+                overflow_policy: policy,
+                segment_slots: 16 * 1024,
+                copy_bound: 4096,
+                cache_limit: 64,
+                ..Config::default()
+            };
+            let mut vm = Vm::with_config(VmConfig { stack: cfg, ..VmConfig::default() });
+            vm.eval_str(workloads::DEEP).unwrap();
+            b.iter(|| vm.eval_str("(deep-rounds 1 100000)").unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_overflow);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for E2: the §4 tak experiment — a capture and invoke
+//! on every call, call/cc vs call/1cc (vs plain tak as the no-capture
+//! baseline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oneshot_bench::workloads;
+use oneshot_vm::Vm;
+
+fn bench_tak(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctak");
+    g.sample_size(10);
+    for op in ["call/cc", "call/1cc"] {
+        g.bench_function(op, |b| {
+            let mut vm = Vm::new();
+            vm.eval_str(&workloads::ctak(op)).unwrap();
+            b.iter(|| vm.eval_str("(ctak 12 6 0)").unwrap());
+        });
+    }
+    g.bench_function("plain-tak", |b| {
+        let mut vm = Vm::new();
+        vm.eval_str(workloads::TAK).unwrap();
+        b.iter(|| vm.eval_str("(tak 12 6 0)").unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tak);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for E1 (Figure 5): one representative point per thread
+//! system at a rapid and a slow context-switch frequency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oneshot_bench::experiments::figure5_point;
+use oneshot_threads::Strategy;
+
+fn bench_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threads");
+    g.sample_size(10);
+    for strategy in Strategy::ALL {
+        for freq in [2u64, 64] {
+            g.bench_function(format!("{}-switch-{freq}", strategy.label()), |b| {
+                b.iter(|| figure5_point(strategy, 10, freq, 12));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_threads);
+criterion_main!(benches);

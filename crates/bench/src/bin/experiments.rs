@@ -1,0 +1,305 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments <cmd> [--paper]
+//!   figure5        Figure 5: CPS vs call/cc vs call/1cc thread systems
+//!   tak            §4: tak with a capture+invoke per call
+//!   overflow       §4: deep recursion, overflow as call/1cc vs call/cc
+//!   frames         §5: closures per frame, direct vs CPS
+//!   cache          §3.2 ablation: segment cache on/off
+//!   hysteresis     §3.2 ablation: overflow hysteresis on/off
+//!   fragmentation  §3.4: fresh-segment vs seal-with-pad residency
+//!   promotion      §3.3: eager-walk vs shared-flag promotion
+//!   all            everything above
+//! ```
+//!
+//! `--paper` uses the paper's full parameters (fib 20, up to 1000 threads,
+//! frequencies to 512); the default is a scaled-down sweep with the same
+//! shape that finishes in a few minutes.
+
+use oneshot_bench::experiments::{
+    cache_experiment, figure5, fragmentation_experiment, frame_overhead,
+    hysteresis_experiment, overflow_experiment, promotion_experiment, tak_experiment,
+};
+use oneshot_bench::measure::render_table;
+use oneshot_threads::Strategy;
+
+struct Scale {
+    fib_n: u32,
+    threads: Vec<usize>,
+    freqs: Vec<u64>,
+    tak: (i64, i64, i64),
+    deep_rounds: u64,
+    deep_depth: u64,
+}
+
+impl Scale {
+    fn quick() -> Self {
+        Scale {
+            fib_n: 15,
+            threads: vec![10, 100],
+            freqs: vec![1, 2, 4, 8, 16, 32, 64, 128],
+            tak: (16, 8, 0),
+            deep_rounds: 5,
+            deep_depth: 200_000,
+        }
+    }
+
+    fn paper() -> Self {
+        Scale {
+            fib_n: 20,
+            threads: vec![10, 100, 1000],
+            freqs: vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512],
+            tak: (18, 12, 6),
+            deep_rounds: 5,
+            deep_depth: 1_000_000,
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let scale = if paper { Scale::paper() } else { Scale::quick() };
+    let cmd = args.iter().find(|a| !a.starts_with("--")).map_or("all", String::as_str);
+
+    match cmd {
+        "figure5" => run_figure5(&scale),
+        "tak" => run_tak(&scale),
+        "overflow" => run_overflow(&scale),
+        "frames" => run_frames(),
+        "cache" => run_cache(&scale),
+        "hysteresis" => run_hysteresis(),
+        "fragmentation" => run_fragmentation(),
+        "promotion" => run_promotion(),
+        "all" => {
+            run_tak(&scale);
+            run_overflow(&scale);
+            run_frames();
+            run_cache(&scale);
+            run_hysteresis();
+            run_fragmentation();
+            run_promotion();
+            run_figure5(&scale);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_figure5(scale: &Scale) {
+    println!(
+        "\n== E1 / Figure 5: thread systems (fib {} per thread; times in ms) ==",
+        scale.fib_n
+    );
+    for &threads in &scale.threads {
+        println!("\n-- {threads} threads --");
+        let points = figure5(&[threads], &scale.freqs, scale.fib_n);
+        let mut rows = Vec::new();
+        for &freq in &scale.freqs {
+            let get = |s: Strategy| {
+                points
+                    .iter()
+                    .find(|p| p.freq == freq && p.strategy == s)
+                    .map_or(f64::NAN, |p| p.ms)
+            };
+            let cps = get(Strategy::Cps);
+            let cc = get(Strategy::CallCc);
+            let one = get(Strategy::Call1Cc);
+            let fastest = if cps < cc.min(one) {
+                "cps"
+            } else if one <= cc {
+                "call/1cc"
+            } else {
+                "call/cc"
+            };
+            rows.push(vec![
+                freq.to_string(),
+                format!("{cps:.1}"),
+                format!("{cc:.1}"),
+                format!("{one:.1}"),
+                fastest.to_string(),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(&["calls/switch", "cps", "call/cc", "call/1cc", "fastest"], &rows)
+        );
+    }
+    println!("Expected shape: call/1cc <= call/cc everywhere; CPS wins only at the");
+    println!("most rapid switch rates (paper: more often than every 4-8 calls).");
+}
+
+fn run_tak(scale: &Scale) {
+    let (x, y, z) = scale.tak;
+    println!("\n== E2 / §4: (ctak {x} {y} {z}) — capture+invoke per call ==");
+    let rows = tak_experiment(x, y, z);
+    let base = rows[0].m.ms();
+    let base_words = rows[0].m.words_allocated();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.op.to_string(),
+                format!("{:.1}", r.m.ms()),
+                format!("{:.0}%", 100.0 * r.m.ms() / base),
+                r.m.words_allocated().to_string(),
+                format!("{:.0}%", 100.0 * r.m.words_allocated() as f64 / base_words as f64),
+                r.m.delta.stack.segment_slots_allocated.to_string(),
+                r.m.delta.stack.slots_copied.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["operator", "ms", "rel-time", "words-alloc", "rel-alloc", "stack-words", "slots-copied"],
+            &table
+        )
+    );
+    println!("Paper: call/1cc 13% faster, 23% less allocation.");
+}
+
+fn run_overflow(scale: &Scale) {
+    println!(
+        "\n== E3 / §4: deep recursion ({} rounds x depth {}), overflow policy ==",
+        scale.deep_rounds, scale.deep_depth
+    );
+    let rows = overflow_experiment(scale.deep_rounds, scale.deep_depth);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.policy),
+                format!("{:.1}", r.m.ms()),
+                r.m.delta.stack.slots_copied.to_string(),
+                r.m.delta.stack.segments_allocated.to_string(),
+                r.m.delta.stack.cache_hits.to_string(),
+                r.m.words_allocated().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["overflow-as", "ms", "slots-copied", "segments", "cache-hits", "words-alloc"],
+            &table
+        )
+    );
+    println!("Paper: one-shot overflow handling ~300% faster on this extreme case,");
+    println!("allocating almost nothing after the first round (cache hits).");
+}
+
+fn run_frames() {
+    println!("\n== E4 / §5: closure-creation overhead per frame, direct vs CPS ==");
+    let rows = frame_overhead();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:?}", r.pipeline),
+                r.calls.to_string(),
+                r.closures.to_string(),
+                format!("{:.3}", r.closures_per_call()),
+                format!("{:.1}", r.instructions as f64 / r.calls.max(1) as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["program", "pipeline", "calls", "closures", "closures/call", "ops/call"],
+            &table
+        )
+    );
+    println!("Paper (vs Appel-Shao): the stack compiler's closure overhead is ~0");
+    println!("(boyer allocates no closures at all); CPS pays >=1 per non-tail call.");
+}
+
+fn run_cache(scale: &Scale) {
+    let (x, y, z) = scale.tak;
+    println!("\n== E5 / §3.2 ablation: segment cache, (ctak {x} {y} {z}) with call/1cc ==");
+    let rows = cache_experiment(x, y, z);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                if r.cache_limit == 0 {
+                    "disabled".into()
+                } else {
+                    format!("{} segments", r.cache_limit)
+                },
+                format!("{:.1}", r.m.ms()),
+                r.m.delta.stack.segments_allocated.to_string(),
+                r.m.delta.stack.cache_hits.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["cache", "ms", "segments-allocated", "cache-hits"], &table));
+    println!("Paper: without the cache, call/1cc programs were \"unacceptably slow\".");
+}
+
+fn run_hysteresis() {
+    println!("\n== E6 / §3.2 ablation: overflow hysteresis (boundary-hovering recursion) ==");
+    let rows = hysteresis_experiment(20_000);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} slots", r.hysteresis),
+                format!("{:.1}", r.m.ms()),
+                r.m.delta.stack.overflows.to_string(),
+                r.m.delta.stack.slots_copied.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["hysteresis", "ms", "overflows", "slots-copied"], &table));
+    println!("Paper: copying up a few frames on overflow prevents bouncing.");
+}
+
+fn run_fragmentation() {
+    println!("\n== E7 / §3.4: resident stack memory for 100 call/1cc threads ==");
+    let rows = fragmentation_experiment(100);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            // A slot models a 4-byte word, matching the paper's 16 KB /
+            // 4096-word default segments.
+            vec![
+                format!("{:?}", r.policy),
+                r.konts.to_string(),
+                r.resident_slots.to_string(),
+                format!("{:.2} MB", r.resident_slots as f64 * 4.0 / 1e6),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["policy", "threads", "resident-slots", "~bytes"], &table));
+    println!("Paper: 100 threads x 16KB default stacks = 1.6MB mostly wasted;");
+    println!("sealing at a displacement above the occupied portion bounds it.");
+}
+
+fn run_promotion() {
+    println!("\n== E8 / §3.3: promotion of one-shot chains by one call/cc ==");
+    let mut table = Vec::new();
+    for chain in [10usize, 100, 1000] {
+        for r in promotion_experiment(chain) {
+            table.push(vec![
+                chain.to_string(),
+                format!("{:?}", r.strategy),
+                r.promotions.to_string(),
+                r.promotion_steps.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["chain-length", "strategy", "promotions", "walk-steps"], &table)
+    );
+    println!("Paper: the eager walk is linear in the chain (amortized: each one-shot");
+    println!("promotes once); the proposed shared flag promotes a whole chain in O(1).");
+}

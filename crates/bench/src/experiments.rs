@@ -1,0 +1,529 @@
+//! The experiment implementations: one function per table/figure of the
+//! paper (see DESIGN.md's per-experiment index E1–E8).
+
+use std::time::Instant;
+
+use oneshot_core::{Config, OneShotPolicy, OverflowPolicy, PromotionStrategy};
+use oneshot_threads::{Strategy, ThreadSystem};
+use oneshot_vm::{Pipeline, Vm, VmConfig};
+
+use crate::measure::{run_measured, Measurement};
+use crate::workloads;
+
+fn vm_with(stack: Config) -> Vm {
+    Vm::with_config(VmConfig { stack, ..VmConfig::default() })
+}
+
+// ----------------------------------------------------------------------
+// E1 — Figure 5: the thread-system comparison
+// ----------------------------------------------------------------------
+
+/// One point of Figure 5.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Point {
+    /// Number of active threads.
+    pub threads: usize,
+    /// Context-switch frequency (procedure calls per switch).
+    pub freq: u64,
+    /// Which thread system.
+    pub strategy: Strategy,
+    /// Wall-clock milliseconds.
+    pub ms: f64,
+    /// Stack slots copied during the run (0 for call/1cc and CPS).
+    pub slots_copied: u64,
+    /// Closures allocated during the run (large for CPS).
+    pub closures: u64,
+}
+
+/// Runs one Figure 5 configuration: `threads` threads each computing
+/// `fib(fib_n)` with a context switch every `freq` calls.
+///
+/// # Panics
+///
+/// Panics if the scheduler or workload fails — a build defect.
+pub fn figure5_point(strategy: Strategy, threads: usize, freq: u64, fib_n: u32) -> Fig5Point {
+    let mut ts = ThreadSystem::new(strategy);
+    match strategy {
+        Strategy::Cps => {
+            ts.eval(workloads::FIB_CPS).expect("workload loads");
+            for _ in 0..threads {
+                ts.spawn(&format!("(lambda (k) (fib-cps {fib_n} k))")).expect("spawn");
+            }
+        }
+        _ => {
+            ts.eval(workloads::FIB).expect("workload loads");
+            for _ in 0..threads {
+                ts.spawn(&format!("(lambda () (fib {fib_n}))")).expect("spawn");
+            }
+        }
+    }
+    let before = ts.stats();
+    let start = Instant::now();
+    ts.run(freq).expect("threads run");
+    let wall = start.elapsed();
+    let d = ts.stats().delta_since(&before);
+    Fig5Point {
+        threads,
+        freq,
+        strategy,
+        ms: wall.as_secs_f64() * 1e3,
+        slots_copied: d.stack.slots_copied,
+        closures: d.heap.closures_allocated,
+    }
+}
+
+/// The full Figure 5 sweep.
+pub fn figure5(threads: &[usize], freqs: &[u64], fib_n: u32) -> Vec<Fig5Point> {
+    let mut out = Vec::new();
+    for &t in threads {
+        for &f in freqs {
+            for s in Strategy::ALL {
+                out.push(figure5_point(s, t, f, fib_n));
+            }
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// E2 — §4 tak: call/cc vs call/1cc capture-per-call
+// ----------------------------------------------------------------------
+
+/// One row of the tak comparison.
+#[derive(Debug, Clone)]
+pub struct TakRow {
+    /// Configuration label.
+    pub op: &'static str,
+    /// Measurement for `(ctak x y z)`.
+    pub m: Measurement,
+}
+
+/// The §4 tak experiment: ctak under both capture operators, plus
+/// `call/1cc` under the §3.4 seal-with-pad policy (which packs many
+/// one-shot continuations into each segment, as the paper's
+/// implementation does, recovering its allocation advantage).
+///
+/// # Panics
+///
+/// Panics if the workload fails.
+pub fn tak_experiment(x: i64, y: i64, z: i64) -> Vec<TakRow> {
+    let configs: [(&'static str, &'static str, Config); 3] = [
+        ("call/cc", "call/cc", Config::default()),
+        ("call/1cc", "call/1cc", Config::default()),
+        (
+            "call/1cc+seal",
+            "call/1cc",
+            Config { oneshot_policy: OneShotPolicy::SealWithPad(128), ..Config::default() },
+        ),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, capture, cfg)| {
+            let mut vm = vm_with(cfg);
+            vm.eval_str(&workloads::ctak(capture)).expect("ctak loads");
+            let m = run_measured(&mut vm, &format!("(ctak {x} {y} {z})")).expect("ctak runs");
+            TakRow { op: label, m }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// E3 — §4 overflow: deep recursion under both overflow policies
+// ----------------------------------------------------------------------
+
+/// One row of the overflow comparison.
+#[derive(Debug, Clone)]
+pub struct OverflowRow {
+    /// Overflow policy.
+    pub policy: OverflowPolicy,
+    /// Measurement of the deep-recursion rounds.
+    pub m: Measurement,
+}
+
+/// The §4 overflow experiment: `rounds` repetitions of a `depth`-deep
+/// recursion with trivial bodies, with stack overflow handled as an
+/// implicit `call/1cc` vs an implicit `call/cc`.
+///
+/// # Panics
+///
+/// Panics if the workload fails.
+pub fn overflow_experiment(rounds: u64, depth: u64) -> Vec<OverflowRow> {
+    // A cache deep enough for one full descent, so steady-state rounds
+    // allocate nothing (the paper: "always finds fresh stack segments in
+    // the stack cache").
+    let segment_slots = 16 * 1024;
+    let cache_limit = (depth as usize * 6 / segment_slots) + 8;
+    [OverflowPolicy::OneShot, OverflowPolicy::MultiShot]
+        .into_iter()
+        .map(|policy| {
+            let mut vm = vm_with(Config {
+                overflow_policy: policy,
+                segment_slots,
+                copy_bound: 4096,
+                cache_limit,
+                ..Config::default()
+            });
+            vm.eval_str(workloads::DEEP).expect("deep loads");
+            let m = run_measured(&mut vm, &format!("(deep-rounds {rounds} {depth})"))
+                .expect("deep runs");
+            OverflowRow { policy, m }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// E4 — §5 frame overhead: direct vs CPS on the benchmark set
+// ----------------------------------------------------------------------
+
+/// One row of the frame-overhead analysis.
+#[derive(Debug, Clone)]
+pub struct FrameRow {
+    /// Program name.
+    pub name: &'static str,
+    /// Pipeline measured.
+    pub pipeline: Pipeline,
+    /// Procedure calls (≈ frames created).
+    pub calls: u64,
+    /// Closures allocated.
+    pub closures: u64,
+    /// Bytecode instructions executed.
+    pub instructions: u64,
+}
+
+impl FrameRow {
+    /// Closure allocations per call — the Appel–Shao closure-creation
+    /// overhead measure.
+    pub fn closures_per_call(&self) -> f64 {
+        self.closures as f64 / self.calls.max(1) as f64
+    }
+}
+
+/// The §5 analysis: for each benchmark, count closures per frame under the
+/// direct (stack) compiler and the CPS (heap) compiler.
+///
+/// # Panics
+///
+/// Panics if a workload fails.
+pub fn frame_overhead() -> Vec<FrameRow> {
+    let programs: [(&'static str, String, &str); 4] = [
+        ("tak", workloads::TAK.to_string(), "(tak 18 12 6)"),
+        ("fib", workloads::FIB.to_string(), "(fib 18)"),
+        ("deep", workloads::DEEP.to_string(), "(deep-rounds 1 20000)"),
+        ("boyer", workloads::BOYER.to_string(), "(boyer-run 1)"),
+    ];
+    let mut out = Vec::new();
+    for (name, setup, run) in &programs {
+        for pipeline in [Pipeline::Direct, Pipeline::Cps] {
+            let mut vm = Vm::with_config(VmConfig { pipeline, ..VmConfig::default() });
+            vm.eval_str(setup).expect("workload loads");
+            let before = vm.stats();
+            vm.eval_str(run).expect("workload runs");
+            let d = vm.stats().delta_since(&before);
+            out.push(FrameRow {
+                name,
+                pipeline,
+                calls: d.calls,
+                closures: d.heap.closures_allocated,
+                instructions: d.instructions,
+            });
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// E5 — §3.2 segment cache ablation
+// ----------------------------------------------------------------------
+
+/// One row of the cache ablation.
+#[derive(Debug, Clone)]
+pub struct CacheRow {
+    /// Cache capacity (0 disables).
+    pub cache_limit: usize,
+    /// Measurement of a call/1cc-intensive loop.
+    pub m: Measurement,
+}
+
+/// §3.2: without the segment cache, call/1cc-intensive programs were
+/// "unacceptably slow" — every capture allocates a fresh segment.
+///
+/// # Panics
+///
+/// Panics if the workload fails.
+pub fn cache_experiment(x: i64, y: i64, z: i64) -> Vec<CacheRow> {
+    [64usize, 0]
+        .into_iter()
+        .map(|cache_limit| {
+            let mut vm = vm_with(Config { cache_limit, ..Config::default() });
+            vm.eval_str(&workloads::ctak("call/1cc")).expect("ctak loads");
+            let m = run_measured(&mut vm, &format!("(ctak {x} {y} {z})")).expect("ctak runs");
+            CacheRow { cache_limit, m }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// E6 — §3.2 overflow hysteresis ablation
+// ----------------------------------------------------------------------
+
+/// One row of the hysteresis ablation.
+#[derive(Debug, Clone)]
+pub struct HysteresisRow {
+    /// Hysteresis setting (slots copied up on overflow).
+    pub hysteresis: usize,
+    /// Measurement of the boundary-hovering recursion.
+    pub m: Measurement,
+}
+
+/// §3.2: naive one-shot overflow "bounces" when a recursion hovers across
+/// a segment boundary; copying a few frames up amortizes it.
+///
+/// # Panics
+///
+/// Panics if the workload fails.
+pub fn hysteresis_experiment(rounds: u64) -> Vec<HysteresisRow> {
+    // Depth chosen so each round crosses the segment boundary by a hair.
+    [0usize, 128]
+        .into_iter()
+        .map(|hysteresis| {
+            let cfg = Config {
+                segment_slots: 1024,
+                copy_bound: 256,
+                hysteresis_slots: hysteresis,
+                ..Config::default()
+            };
+            let mut vm = vm_with(cfg);
+            vm.eval_str(workloads::BOUNCER).expect("bouncer loads");
+            // Fill most of the first segment, then hover: each `down`
+            // crosses into a new segment and returns.
+            let m = run_measured(
+                &mut vm,
+                &format!(
+                    "(define (pad n) (if (zero? n) (hover 8 {rounds}) (+ 1 (pad (- n 1)))))
+                     (pad 330)"
+                ),
+            )
+            .expect("bouncer runs");
+            HysteresisRow { hysteresis, m }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// E7 — §3.4 fragmentation
+// ----------------------------------------------------------------------
+
+/// One row of the fragmentation comparison.
+#[derive(Debug, Clone)]
+pub struct FragmentationRow {
+    /// One-shot capture policy.
+    pub policy: OneShotPolicy,
+    /// Number of suspended continuations ("threads").
+    pub konts: usize,
+    /// Resident stack slots after all captures.
+    pub resident_slots: usize,
+}
+
+/// §3.4: 100 shallow threads suspended via call/1cc each pin a whole
+/// segment (1.6 MB at the paper's 16 KB default) under the fresh-segment
+/// policy; sealing with a pad bounds the waste. Residency is probed by a
+/// final thread that runs while all the others sit suspended in the run
+/// queue.
+///
+/// # Panics
+///
+/// Panics if the workload fails.
+pub fn fragmentation_experiment(konts: usize) -> Vec<FragmentationRow> {
+    [OneShotPolicy::FreshSegment, OneShotPolicy::SealWithPad(64)]
+        .into_iter()
+        .map(|policy| {
+            let cfg = Config { oneshot_policy: policy, cache_limit: 0, ..Config::default() };
+            let mut ts = ThreadSystem::with_config(
+                Strategy::Call1Cc,
+                VmConfig { stack: cfg, ..VmConfig::default() },
+            );
+            ts.eval("(define probe 0)").expect("setup");
+            for _ in 0..konts {
+                ts.spawn("(lambda () (thread-yield!))").expect("spawn");
+            }
+            // The probe runs after every other thread has yielded once.
+            ts.spawn(
+                "(lambda ()
+                   (set! probe (assq-ref (vm-stats) 'resident-slots)))",
+            )
+            .expect("spawn probe");
+            ts.run(0).expect("run");
+            let resident = match ts.eval("probe").expect("probe read") {
+                oneshot_vm::Value::Fixnum(n) => n as usize,
+                other => panic!("probe was {other:?}"),
+            };
+            FragmentationRow { policy, konts, resident_slots: resident }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// E8 — §3.3 promotion strategies
+// ----------------------------------------------------------------------
+
+/// One row of the promotion comparison.
+#[derive(Debug, Clone)]
+pub struct PromotionRow {
+    /// Strategy measured.
+    pub strategy: PromotionStrategy,
+    /// Length of the one-shot chain promoted by one call/cc.
+    pub chain: usize,
+    /// Chain links walked (0 under the shared flag).
+    pub promotion_steps: u64,
+    /// One-shots promoted.
+    pub promotions: u64,
+}
+
+/// §3.3: promoting a chain of n one-shots costs n steps eagerly, O(1) with
+/// the shared flag (the paper's proposed variant).
+///
+/// # Panics
+///
+/// Panics if the workload fails.
+pub fn promotion_experiment(chain: usize) -> Vec<PromotionRow> {
+    [PromotionStrategy::EagerWalk, PromotionStrategy::SharedFlag]
+        .into_iter()
+        .map(|strategy| {
+            let cfg = Config {
+                promotion: strategy,
+                segment_slots: 64 * 1024,
+                copy_bound: 16 * 1024,
+                ..Config::default()
+            };
+            let mut vm = vm_with(cfg);
+            let before = vm.stats();
+            vm.eval_str(&format!(
+                "(define (chain n)
+                   (if (zero? n)
+                       (call/cc (lambda (k) 0))
+                       (+ 1 (call/1cc (lambda (k) (chain (- n 1)))))))
+                 (chain {chain})"
+            ))
+            .expect("chain runs");
+            let d = vm.stats().delta_since(&before);
+            PromotionRow {
+                strategy,
+                chain,
+                promotion_steps: d.stack.promotion_steps,
+                promotions: d.stack.promotions,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_point_runs_each_strategy() {
+        for s in Strategy::ALL {
+            let p = figure5_point(s, 3, 8, 8);
+            assert!(p.ms > 0.0, "{s:?}");
+            match s {
+                Strategy::Call1Cc => assert_eq!(p.slots_copied, 0),
+                Strategy::CallCc => assert!(p.slots_copied > 0),
+                Strategy::Cps => {
+                    assert_eq!(p.slots_copied, 0);
+                    assert!(p.closures > 100);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tak_experiment_shows_one_shot_advantage() {
+        let rows = tak_experiment(14, 7, 0);
+        let cc = &rows[0];
+        let one = &rows[1];
+        assert_eq!(cc.op, "call/cc");
+        assert!(cc.m.delta.stack.slots_copied > 0);
+        assert_eq!(one.m.delta.stack.slots_copied, 0);
+        assert!(one.m.words_allocated() < cc.m.words_allocated());
+    }
+
+    #[test]
+    fn overflow_experiment_shows_copying_difference() {
+        let rows = overflow_experiment(3, 20_000);
+        let one = &rows[0];
+        let multi = &rows[1];
+        assert!(matches!(one.policy, OverflowPolicy::OneShot));
+        assert!(multi.m.delta.stack.slots_copied > 3 * one.m.delta.stack.slots_copied);
+    }
+
+    #[test]
+    fn frame_overhead_contrasts_pipelines() {
+        // Only the small programs for test speed.
+        for pipeline in [Pipeline::Direct, Pipeline::Cps] {
+            let mut vm = Vm::with_config(VmConfig { pipeline, ..VmConfig::default() });
+            vm.eval_str(workloads::FIB).unwrap();
+            let before = vm.stats();
+            vm.eval_str("(fib 12)").unwrap();
+            let d = vm.stats().delta_since(&before);
+            match pipeline {
+                Pipeline::Direct => assert_eq!(d.heap.closures_allocated, 0),
+                // The call counter includes continuation invocations, so
+                // the per-call ratio lands well under 1; it must still be
+                // far from the direct pipeline's zero.
+                Pipeline::Cps => assert!(
+                    d.heap.closures_allocated as f64 > 0.2 * d.calls as f64,
+                    "{} closures / {} calls",
+                    d.heap.closures_allocated,
+                    d.calls
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_ablation_shows_allocation_difference() {
+        let rows = cache_experiment(12, 6, 0);
+        let with = &rows[0];
+        let without = &rows[1];
+        assert!(
+            without.m.delta.stack.segments_allocated
+                > 100 * with.m.delta.stack.segments_allocated.max(1)
+        );
+    }
+
+    #[test]
+    fn hysteresis_reduces_overflows() {
+        let rows = hysteresis_experiment(300);
+        let naive = &rows[0];
+        let with = &rows[1];
+        assert!(
+            naive.m.delta.stack.overflows > 2 * with.m.delta.stack.overflows.max(1),
+            "naive {} vs hysteresis {}",
+            naive.m.delta.stack.overflows,
+            with.m.delta.stack.overflows
+        );
+    }
+
+    #[test]
+    fn fragmentation_shows_policy_difference() {
+        let rows = fragmentation_experiment(50);
+        let fresh = &rows[0];
+        let padded = &rows[1];
+        assert!(
+            fresh.resident_slots > 5 * padded.resident_slots,
+            "fresh {} vs padded {}",
+            fresh.resident_slots,
+            padded.resident_slots
+        );
+    }
+
+    #[test]
+    fn promotion_strategies_differ_in_steps() {
+        let rows = promotion_experiment(200);
+        let eager = &rows[0];
+        let shared = &rows[1];
+        assert!(eager.promotion_steps >= 200);
+        assert_eq!(shared.promotion_steps, 0);
+        assert!(shared.promotions >= 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Benchmark harness for the oneshot reproduction.
+//!
+//! One module per concern:
+//!
+//! * [`workloads`] — the benchmark programs (tak/ctak, fib, boyer, deep
+//!   recursion);
+//! * [`measure`] — wall-clock + counter-delta measurement;
+//! * [`experiments`] — one function per table/figure of the paper
+//!   (E1–E8 in DESIGN.md).
+//!
+//! The `experiments` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p oneshot-bench --bin experiments -- all
+//! cargo run --release -p oneshot-bench --bin experiments -- figure5 --paper
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod workloads;

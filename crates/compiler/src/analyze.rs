@@ -1,0 +1,163 @@
+//! Static analyses over the core AST: assignment analysis (which variables
+//! are `set!` targets and must be boxed into cells) and free-variable
+//! analysis (which variables a lambda captures).
+
+use std::collections::{BTreeSet, HashSet};
+
+use crate::ast::{Expr, Lambda, VarId};
+
+/// All lexical variables that are targets of `set!` anywhere in `forms`.
+///
+/// These are boxed (assignment conversion): their binding sites allocate a
+/// cell, references read through it, assignments write through it. This
+/// keeps the flat-closure representation sound in the presence of shared
+/// mutable captures.
+pub fn mutated_vars(forms: &[Expr]) -> HashSet<VarId> {
+    let mut out = HashSet::new();
+    for f in forms {
+        collect_mutated(f, &mut out);
+    }
+    out
+}
+
+fn collect_mutated(e: &Expr, out: &mut HashSet<VarId>) {
+    match e {
+        Expr::Quote(_) | Expr::Unspecified | Expr::Ref(_) | Expr::GlobalRef(_) => {}
+        Expr::Set(v, rhs) => {
+            out.insert(*v);
+            collect_mutated(rhs, out);
+        }
+        Expr::GlobalSet(_, rhs) | Expr::GlobalDef(_, rhs) => collect_mutated(rhs, out),
+        Expr::If(c, t, f) => {
+            collect_mutated(c, out);
+            collect_mutated(t, out);
+            collect_mutated(f, out);
+        }
+        Expr::Lambda(l) => collect_mutated(&l.body, out),
+        Expr::Let(bindings, body) => {
+            for (_, init) in bindings {
+                collect_mutated(init, out);
+            }
+            collect_mutated(body, out);
+        }
+        Expr::Seq(es) => {
+            for x in es {
+                collect_mutated(x, out);
+            }
+        }
+        Expr::App(f, args) => {
+            collect_mutated(f, out);
+            for a in args {
+                collect_mutated(a, out);
+            }
+        }
+    }
+}
+
+/// The free lexical variables of a lambda, in deterministic order.
+pub fn free_vars(l: &Lambda) -> Vec<VarId> {
+    let mut bound: HashSet<VarId> = l.params.iter().copied().collect();
+    bound.extend(l.rest);
+    let mut free = BTreeSet::new();
+    collect_free(&l.body, &mut bound, &mut free);
+    free.into_iter().collect()
+}
+
+fn collect_free(e: &Expr, bound: &mut HashSet<VarId>, free: &mut BTreeSet<VarId>) {
+    match e {
+        Expr::Quote(_) | Expr::Unspecified | Expr::GlobalRef(_) => {}
+        Expr::Ref(v) => {
+            if !bound.contains(v) {
+                free.insert(*v);
+            }
+        }
+        Expr::Set(v, rhs) => {
+            if !bound.contains(v) {
+                free.insert(*v);
+            }
+            collect_free(rhs, bound, free);
+        }
+        Expr::GlobalSet(_, rhs) | Expr::GlobalDef(_, rhs) => collect_free(rhs, bound, free),
+        Expr::If(c, t, f) => {
+            collect_free(c, bound, free);
+            collect_free(t, bound, free);
+            collect_free(f, bound, free);
+        }
+        Expr::Lambda(l) => {
+            // Variables free in a nested lambda and not bound here are free
+            // here too.
+            for v in free_vars(l) {
+                if !bound.contains(&v) {
+                    free.insert(v);
+                }
+            }
+        }
+        Expr::Let(bindings, body) => {
+            for (_, init) in bindings {
+                collect_free(init, bound, free);
+            }
+            let newly: Vec<VarId> =
+                bindings.iter().map(|(v, _)| *v).filter(|v| bound.insert(*v)).collect();
+            collect_free(body, bound, free);
+            for v in newly {
+                bound.remove(&v);
+            }
+        }
+        Expr::Seq(es) => {
+            for x in es {
+                collect_free(x, bound, free);
+            }
+        }
+        Expr::App(f, args) => {
+            collect_free(f, bound, free);
+            for a in args {
+                collect_free(a, bound, free);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::expand_program;
+    use oneshot_sexp::read_all;
+
+    fn expand(src: &str) -> Vec<Expr> {
+        expand_program(&read_all(src).unwrap()).unwrap().forms
+    }
+
+    #[test]
+    fn set_targets_are_mutated() {
+        let forms = expand("(lambda (x y) (set! x 1) y)");
+        let m = mutated_vars(&forms);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn free_vars_cross_lambda_boundaries() {
+        let forms = expand("(lambda (x) (lambda (y) (x y)))");
+        let Expr::Lambda(outer) = &forms[0] else { panic!() };
+        assert!(free_vars(outer).is_empty());
+        let Expr::Lambda(inner) = &outer.body else { panic!() };
+        assert_eq!(free_vars(inner), vec![outer.params[0]]);
+    }
+
+    #[test]
+    fn let_bindings_are_not_free_in_body() {
+        let forms = expand("(lambda (x) (let ((y x)) (lambda () y)))");
+        let Expr::Lambda(outer) = &forms[0] else { panic!() };
+        assert!(free_vars(outer).is_empty());
+        let Expr::Let(bindings, body) = &outer.body else { panic!() };
+        let Expr::Lambda(inner) = &**body else { panic!() };
+        assert_eq!(free_vars(inner), vec![bindings[0].0]);
+    }
+
+    #[test]
+    fn set_of_free_var_is_free() {
+        let forms = expand("(lambda (x) (lambda () (set! x 1)))");
+        let Expr::Lambda(outer) = &forms[0] else { panic!() };
+        let Expr::Lambda(inner) = &outer.body else { panic!() };
+        assert_eq!(free_vars(inner), vec![outer.params[0]]);
+    }
+}

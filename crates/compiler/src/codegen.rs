@@ -1,0 +1,723 @@
+//! Code generation: core AST → bytecode.
+//!
+//! An accumulator machine with the frame discipline of §3.1: locals and
+//! temporaries occupy slots above the frame base; outgoing calls build
+//! their frames at the current temporary watermark, which becomes the
+//! call's compile-time displacement. The generator tracks the per-function
+//! maximum frame extent, which the `Entry` prologue reserves via the
+//! segmented stack's overflow check.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use oneshot_sexp::Datum;
+
+use crate::analyze::{free_vars, mutated_vars};
+use crate::ast::{Expr, Lambda, VarId};
+use crate::cps::cps_convert;
+use crate::expand::{expand_program, CompileError};
+use crate::ops::{CodeObject, CompiledProgram, FreeSrc, Op};
+use crate::Pipeline;
+
+type Result<T> = std::result::Result<T, CompileError>;
+
+/// Compiles a whole program (reader data) through the chosen pipeline.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for malformed forms or frames exceeding the
+/// bytecode's 16-bit slot indices.
+pub fn compile_program(forms: &[Datum], pipeline: Pipeline) -> Result<CompiledProgram> {
+    let mut program = expand_program(forms)?;
+    if pipeline == Pipeline::Cps {
+        program = cps_convert(program);
+    }
+    let mutated = mutated_vars(&program.forms);
+    let mut g = Gen {
+        codes: Vec::new(),
+        globals: Vec::new(),
+        global_ids: HashMap::new(),
+        mutated,
+        no_inline: collect_no_inline(&program.forms, &program.defined_globals),
+    };
+    // The toplevel thunk.
+    let mut ctx = FnCtx::new("toplevel".into(), 0, false);
+    let n = program.forms.len();
+    for (i, form) in program.forms.iter().enumerate() {
+        if i + 1 == n {
+            g.gen(&mut ctx, form, true)?;
+        } else {
+            g.gen(&mut ctx, form, false)?;
+        }
+    }
+    if n == 0 {
+        ctx.emit(Op::Unspec);
+        ctx.emit(Op::Return);
+    }
+    let entry = g.finish_fn(ctx, Vec::new());
+    Ok(CompiledProgram { codes: g.codes, entry, globals: g.globals })
+}
+
+/// Primitive names eligible for inline code generation.
+fn inlinable(name: &str) -> bool {
+    matches!(
+        name,
+        "+" | "-"
+            | "*"
+            | "<"
+            | "<="
+            | ">"
+            | ">="
+            | "="
+            | "cons"
+            | "car"
+            | "cdr"
+            | "null?"
+            | "pair?"
+            | "not"
+            | "zero?"
+            | "eq?"
+            | "eqv?"
+            | "vector-ref"
+            | "vector-set!"
+    )
+}
+
+/// Names that must not be inlined because the program defines or assigns
+/// them.
+fn collect_no_inline(forms: &[Expr], defined: &[Rc<str>]) -> HashSet<Rc<str>> {
+    fn walk(e: &Expr, out: &mut HashSet<Rc<str>>) {
+        match e {
+            Expr::GlobalSet(n, rhs) | Expr::GlobalDef(n, rhs) => {
+                out.insert(n.clone());
+                walk(rhs, out);
+            }
+            Expr::Set(_, rhs) => walk(rhs, out),
+            Expr::If(a, b, c) => {
+                walk(a, out);
+                walk(b, out);
+                walk(c, out);
+            }
+            Expr::Lambda(l) => walk(&l.body, out),
+            Expr::Let(bs, body) => {
+                for (_, init) in bs {
+                    walk(init, out);
+                }
+                walk(body, out);
+            }
+            Expr::Seq(es) => es.iter().for_each(|x| walk(x, out)),
+            Expr::App(f, args) => {
+                walk(f, out);
+                args.iter().for_each(|a| walk(a, out));
+            }
+            Expr::Quote(_) | Expr::Unspecified | Expr::Ref(_) | Expr::GlobalRef(_) => {}
+        }
+    }
+    let mut out: HashSet<Rc<str>> = defined.iter().cloned().collect();
+    for f in forms {
+        walk(f, &mut out);
+    }
+    out
+}
+
+/// Where a variable lives, relative to the function being compiled.
+#[derive(Debug, Clone, Copy)]
+enum Loc {
+    Local(u16),
+    Free(u16),
+}
+
+/// Per-function compilation context.
+struct FnCtx {
+    name: String,
+    required: u16,
+    rest: bool,
+    ops: Vec<Op>,
+    consts: Vec<Datum>,
+    env: HashMap<VarId, Loc>,
+    free: Vec<VarId>,
+    top: u16,
+    max: u16,
+}
+
+impl FnCtx {
+    fn new(name: String, required: u16, rest: bool) -> Self {
+        let top = 1 + required + u16::from(rest);
+        let mut ctx = FnCtx {
+            name,
+            required,
+            rest,
+            ops: Vec::new(),
+            consts: Vec::new(),
+            env: HashMap::new(),
+            free: Vec::new(),
+            top,
+            max: top,
+        };
+        ctx.emit(Op::Entry { required, rest });
+        ctx
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    fn alloc(&mut self) -> Result<u16> {
+        let slot = self.top;
+        self.top = self
+            .top
+            .checked_add(1)
+            .ok_or_else(|| CompileError::new("frame exceeds 65535 slots"))?;
+        self.max = self.max.max(self.top);
+        Ok(slot)
+    }
+
+    fn release_to(&mut self, saved: u16) {
+        debug_assert!(saved <= self.top);
+        self.top = saved;
+    }
+
+    fn constant(&mut self, d: &Datum) -> Op {
+        if let Datum::Fixnum(n) = d {
+            if let Ok(small) = i32::try_from(*n) {
+                return Op::FixInt(small);
+            }
+        }
+        // Reuse identical constants.
+        if let Some(i) = self.consts.iter().position(|c| c == d) {
+            return Op::Const(i as u32);
+        }
+        self.consts.push(d.clone());
+        Op::Const((self.consts.len() - 1) as u32)
+    }
+
+    /// Emits a placeholder jump, returning its index for patching.
+    fn emit_jump(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Patches the jump at `at` to target the next instruction.
+    fn patch_to_here(&mut self, at: usize) {
+        let off = i32::try_from(self.ops.len() - at - 1).expect("jump offset overflow");
+        match &mut self.ops[at] {
+            Op::Jump(o) | Op::BranchFalse(o) => *o = off,
+            other => panic!("patching non-jump {other:?}"),
+        }
+    }
+}
+
+struct Gen {
+    codes: Vec<CodeObject>,
+    globals: Vec<String>,
+    global_ids: HashMap<Rc<str>, u32>,
+    mutated: HashSet<VarId>,
+    no_inline: HashSet<Rc<str>>,
+}
+
+impl Gen {
+    fn global_id(&mut self, name: &Rc<str>) -> u32 {
+        if let Some(&i) = self.global_ids.get(name) {
+            return i;
+        }
+        let i = self.globals.len() as u32;
+        self.globals.push(name.to_string());
+        self.global_ids.insert(name.clone(), i);
+        i
+    }
+
+    fn finish_fn(&mut self, ctx: FnCtx, free_spec: Vec<FreeSrc>) -> u32 {
+        let idx = self.codes.len() as u32;
+        self.codes.push(CodeObject {
+            name: ctx.name,
+            required: ctx.required,
+            rest: ctx.rest,
+            frame_slots: ctx.max,
+            ops: ctx.ops,
+            consts: ctx.consts,
+            free_spec,
+        });
+        idx
+    }
+
+    /// Resolves a variable, panicking on expander bugs (unresolved ids).
+    fn loc(&self, ctx: &FnCtx, v: VarId) -> Loc {
+        *ctx.env.get(&v).unwrap_or_else(|| panic!("unresolved variable {v:?}"))
+    }
+
+    fn is_mutated(&self, v: VarId) -> bool {
+        self.mutated.contains(&v)
+    }
+
+    /// Generates code leaving the value of `e` in the accumulator. With
+    /// `tail` set, control does not fall through: the expression returns or
+    /// tail-calls.
+    fn gen(&mut self, ctx: &mut FnCtx, e: &Expr, tail: bool) -> Result<()> {
+        match e {
+            Expr::Quote(d) => {
+                let op = ctx.constant(d);
+                ctx.emit(op);
+                self.ret(ctx, tail);
+            }
+            Expr::Unspecified => {
+                ctx.emit(Op::Unspec);
+                self.ret(ctx, tail);
+            }
+            Expr::Ref(v) => {
+                let op = match (self.loc(ctx, *v), self.is_mutated(*v)) {
+                    (Loc::Local(i), false) => Op::LocalRef(i),
+                    (Loc::Local(i), true) => Op::CellRefLocal(i),
+                    (Loc::Free(i), false) => Op::FreeRef(i),
+                    (Loc::Free(i), true) => Op::CellRefFree(i),
+                };
+                ctx.emit(op);
+                self.ret(ctx, tail);
+            }
+            Expr::GlobalRef(name) => {
+                let id = self.global_id(name);
+                ctx.emit(Op::GlobalRef(id));
+                self.ret(ctx, tail);
+            }
+            Expr::Set(v, rhs) => {
+                self.gen(ctx, rhs, false)?;
+                let op = match self.loc(ctx, *v) {
+                    Loc::Local(i) => Op::CellSetLocal(i),
+                    Loc::Free(i) => Op::CellSetFree(i),
+                };
+                ctx.emit(op);
+                ctx.emit(Op::Unspec);
+                self.ret(ctx, tail);
+            }
+            Expr::GlobalSet(name, rhs) => {
+                self.gen(ctx, rhs, false)?;
+                let id = self.global_id(name);
+                ctx.emit(Op::GlobalSet(id));
+                ctx.emit(Op::Unspec);
+                self.ret(ctx, tail);
+            }
+            Expr::GlobalDef(name, rhs) => {
+                self.gen(ctx, rhs, false)?;
+                let id = self.global_id(name);
+                ctx.emit(Op::GlobalDef(id));
+                ctx.emit(Op::Unspec);
+                self.ret(ctx, tail);
+            }
+            Expr::If(c, t, f) => {
+                self.gen(ctx, c, false)?;
+                let br = ctx.emit_jump(Op::BranchFalse(0));
+                self.gen(ctx, t, tail)?;
+                if tail {
+                    ctx.patch_to_here(br);
+                    self.gen(ctx, f, true)?;
+                } else {
+                    let j = ctx.emit_jump(Op::Jump(0));
+                    ctx.patch_to_here(br);
+                    self.gen(ctx, f, false)?;
+                    ctx.patch_to_here(j);
+                }
+            }
+            Expr::Lambda(l) => {
+                self.gen_closure(ctx, l)?;
+                self.ret(ctx, tail);
+            }
+            Expr::Let(bindings, body) => {
+                let saved = ctx.top;
+                let mut slots = Vec::with_capacity(bindings.len());
+                for (_, init) in bindings {
+                    self.gen(ctx, init, false)?;
+                    let slot = ctx.alloc()?;
+                    ctx.emit(Op::LocalSet(slot));
+                    slots.push(slot);
+                }
+                for ((v, _), slot) in bindings.iter().zip(&slots) {
+                    ctx.env.insert(*v, Loc::Local(*slot));
+                    if self.is_mutated(*v) {
+                        ctx.emit(Op::MakeCell(*slot));
+                    }
+                }
+                self.gen(ctx, body, tail)?;
+                ctx.release_to(saved);
+            }
+            Expr::Seq(es) => {
+                let Some((last, init)) = es.split_last() else {
+                    ctx.emit(Op::Unspec);
+                    self.ret(ctx, tail);
+                    return Ok(());
+                };
+                for x in init {
+                    self.gen(ctx, x, false)?;
+                }
+                self.gen(ctx, last, tail)?;
+            }
+            Expr::App(f, args) => self.gen_app(ctx, f, args, tail)?,
+        }
+        Ok(())
+    }
+
+    /// Emits `Return` in tail position.
+    fn ret(&mut self, ctx: &mut FnCtx, tail: bool) {
+        if tail {
+            ctx.emit(Op::Return);
+        }
+    }
+
+    fn gen_closure(&mut self, ctx: &mut FnCtx, l: &Rc<Lambda>) -> Result<()> {
+        let free = free_vars(l);
+        let required = u16::try_from(l.params.len())
+            .map_err(|_| CompileError::new("too many parameters"))?;
+        let mut inner = FnCtx::new(
+            l.name.clone().unwrap_or_else(|| "lambda".into()),
+            required,
+            l.rest.is_some(),
+        );
+        for (i, p) in l.params.iter().enumerate() {
+            inner.env.insert(*p, Loc::Local(1 + i as u16));
+        }
+        if let Some(r) = l.rest {
+            inner.env.insert(r, Loc::Local(1 + required));
+        }
+        // Box mutated parameters.
+        for i in 0..(required + u16::from(l.rest.is_some())) {
+            let v = if (i as usize) < l.params.len() { l.params[i as usize] } else { l.rest.expect("rest") };
+            if self.is_mutated(v) {
+                inner.emit(Op::MakeCell(1 + i));
+            }
+        }
+        for (i, v) in free.iter().enumerate() {
+            inner.env.insert(*v, Loc::Free(i as u16));
+        }
+        inner.free = free.clone();
+        self.gen(&mut inner, &l.body, true)?;
+        // The creator captures each free variable from its own context.
+        let spec: Vec<FreeSrc> = free
+            .iter()
+            .map(|v| match self.loc(ctx, *v) {
+                Loc::Local(i) => FreeSrc::Local(i),
+                Loc::Free(i) => FreeSrc::Free(i),
+            })
+            .collect();
+        let idx = self.finish_fn(inner, spec);
+        ctx.emit(Op::Closure(idx));
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn gen_app(&mut self, ctx: &mut FnCtx, f: &Expr, args: &[Expr], tail: bool) -> Result<()> {
+        // Direct lambda application (e.g. CPS join points): compile as Let.
+        if let Expr::Lambda(l) = f {
+            if l.rest.is_none() && l.params.len() == args.len() {
+                let bindings: Vec<(VarId, Expr)> =
+                    l.params.iter().copied().zip(args.iter().cloned()).collect();
+                return self.gen(ctx, &Expr::Let(bindings, Box::new(l.body.clone())), tail);
+            }
+        }
+        // Inline primitives.
+        if let Expr::GlobalRef(name) = f {
+            if inlinable(name) && !self.no_inline.contains(name) && self.gen_inline(ctx, name, args, tail)? {
+                return Ok(());
+            }
+        }
+        // General call: build the frame at the temporary watermark.
+        let saved = ctx.top;
+        let disp = ctx.top;
+        // Reserve the return-address slot.
+        let _ret_slot = ctx.alloc()?;
+        for a in args {
+            self.gen(ctx, a, false)?;
+            let slot = ctx.alloc()?;
+            ctx.emit(Op::LocalSet(slot));
+        }
+        self.gen(ctx, f, false)?;
+        let argc = u16::try_from(args.len()).map_err(|_| CompileError::new("too many arguments"))?;
+        if tail {
+            ctx.emit(Op::TailCall { disp, argc });
+        } else {
+            ctx.emit(Op::Call { disp, argc });
+        }
+        ctx.release_to(saved);
+        Ok(())
+    }
+
+    /// Tries to emit an inline primitive; returns false to fall back to a
+    /// general call (e.g. arity mismatch).
+    fn gen_inline(&mut self, ctx: &mut FnCtx, name: &str, args: &[Expr], tail: bool) -> Result<bool> {
+        // Unary accumulator ops.
+        let unary = |n: &str| -> Option<Op> {
+            Some(match n {
+                "car" => Op::Car,
+                "cdr" => Op::Cdr,
+                "null?" => Op::NullP,
+                "pair?" => Op::PairP,
+                "not" => Op::Not,
+                "zero?" => Op::ZeroP,
+                _ => return None,
+            })
+        };
+        if args.len() == 1 {
+            if let Some(op) = unary(name) {
+                self.gen(ctx, &args[0], false)?;
+                ctx.emit(op);
+                self.ret(ctx, tail);
+                return Ok(true);
+            }
+            // (- x) => 0 - x; (+ x) / (* x) go through the general call
+            // for the type check.
+            if name == "-" {
+                let saved = ctx.top;
+                ctx.emit(Op::FixInt(0));
+                let t = ctx.alloc()?;
+                ctx.emit(Op::LocalSet(t));
+                self.gen(ctx, &args[0], false)?;
+                ctx.emit(Op::Sub(t));
+                ctx.release_to(saved);
+                self.ret(ctx, tail);
+                return Ok(true);
+            }
+        }
+        if args.is_empty() {
+            match name {
+                "+" => {
+                    ctx.emit(Op::FixInt(0));
+                    self.ret(ctx, tail);
+                    return Ok(true);
+                }
+                "*" => {
+                    ctx.emit(Op::FixInt(1));
+                    self.ret(ctx, tail);
+                    return Ok(true);
+                }
+                _ => return Ok(false),
+            }
+        }
+        let binary = |n: &str| -> Option<fn(u16) -> Op> {
+            Some(match n {
+                "+" => Op::Add,
+                "-" => Op::Sub,
+                "*" => Op::Mul,
+                "<" => Op::Lt,
+                "<=" => Op::Le,
+                ">" => Op::Gt,
+                ">=" => Op::Ge,
+                "=" => Op::NumEq,
+                "cons" => Op::Cons,
+                "eq?" | "eqv?" => Op::Eq,
+                "vector-ref" => Op::VecRef,
+                _ => return None,
+            })
+        };
+        if let Some(mk) = binary(name) {
+            // Variadic folds for + and *; exactly-two for the rest.
+            let foldable = matches!(name, "+" | "*");
+            if args.len() == 2 || (foldable && args.len() > 2) {
+                // (+ e 1) / (- e 1) fast paths.
+                if args.len() == 2 && matches!(args[1], Expr::Quote(Datum::Fixnum(1))) {
+                    if name == "+" {
+                        self.gen(ctx, &args[0], false)?;
+                        ctx.emit(Op::Add1);
+                        self.ret(ctx, tail);
+                        return Ok(true);
+                    }
+                    if name == "-" {
+                        self.gen(ctx, &args[0], false)?;
+                        ctx.emit(Op::Sub1);
+                        self.ret(ctx, tail);
+                        return Ok(true);
+                    }
+                }
+                let saved = ctx.top;
+                self.gen(ctx, &args[0], false)?;
+                let t = ctx.alloc()?;
+                ctx.emit(Op::LocalSet(t));
+                for (i, a) in args[1..].iter().enumerate() {
+                    self.gen(ctx, a, false)?;
+                    ctx.emit(mk(t));
+                    if i + 2 < args.len() {
+                        ctx.emit(Op::LocalSet(t));
+                    }
+                }
+                ctx.release_to(saved);
+                self.ret(ctx, tail);
+                return Ok(true);
+            }
+            return Ok(false);
+        }
+        if name == "vector-set!" && args.len() == 3 {
+            let saved = ctx.top;
+            self.gen(ctx, &args[0], false)?;
+            let tv = ctx.alloc()?;
+            ctx.emit(Op::LocalSet(tv));
+            self.gen(ctx, &args[1], false)?;
+            let ti = ctx.alloc()?;
+            ctx.emit(Op::LocalSet(ti));
+            self.gen(ctx, &args[2], false)?;
+            ctx.emit(Op::VecSet { v: tv, i: ti });
+            ctx.release_to(saved);
+            self.ret(ctx, tail);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oneshot_sexp::read_all;
+
+    fn compile(src: &str) -> CompiledProgram {
+        compile_program(&read_all(src).unwrap(), Pipeline::Direct).unwrap()
+    }
+
+    fn entry_ops(p: &CompiledProgram) -> &[Op] {
+        &p.codes[p.entry as usize].ops
+    }
+
+    #[test]
+    fn constants_compile_to_const_ops() {
+        let p = compile("42");
+        assert!(entry_ops(&p).contains(&Op::FixInt(42)));
+        let p = compile("\"hello\"");
+        assert!(entry_ops(&p).iter().any(|o| matches!(o, Op::Const(_))));
+    }
+
+    #[test]
+    fn identical_constants_are_pooled() {
+        let p = compile("(f '(a b) '(a b))");
+        let code = &p.codes[p.entry as usize];
+        assert_eq!(code.consts.len(), 1);
+    }
+
+    #[test]
+    fn inline_add_and_compare() {
+        let p = compile("(lambda (a b) (< (+ a b) 10))");
+        let lam = &p.codes[0];
+        assert!(lam.ops.iter().any(|o| matches!(o, Op::Add(_))));
+        assert!(lam.ops.iter().any(|o| matches!(o, Op::Lt(_))));
+        assert!(!lam.ops.iter().any(|o| matches!(o, Op::Call { .. })));
+    }
+
+    #[test]
+    fn add1_fast_path() {
+        let p = compile("(lambda (a) (+ a 1))");
+        assert!(p.codes[0].ops.contains(&Op::Add1));
+        let p = compile("(lambda (a) (- a 1))");
+        assert!(p.codes[0].ops.contains(&Op::Sub1));
+    }
+
+    #[test]
+    fn redefined_primitives_are_not_inlined() {
+        let p = compile("(define (+ a b) 99) (+ 1 2)");
+        let top = &p.codes[p.entry as usize];
+        assert!(
+            top.ops.iter().any(|o| matches!(o, Op::Call { .. } | Op::TailCall { .. })),
+            "redefined + must go through a call: {top}"
+        );
+    }
+
+    #[test]
+    fn tail_calls_use_tailcall() {
+        let p = compile("(define (loop n) (loop n))");
+        let lam = &p.codes[0];
+        assert!(lam.ops.iter().any(|o| matches!(o, Op::TailCall { .. })));
+        assert!(!lam.ops.iter().any(|o| matches!(o, Op::Call { .. })));
+    }
+
+    #[test]
+    fn non_tail_calls_use_call_with_displacement() {
+        let p = compile("(define (f g) (+ (g) 1))");
+        let lam = &p.codes[0];
+        let call = lam.ops.iter().find(|o| matches!(o, Op::Call { .. })).expect("a call");
+        let Op::Call { disp, argc } = call else { unreachable!() };
+        assert_eq!(*argc, 0);
+        assert!(*disp >= 2, "frame built above the parameter slots");
+    }
+
+    #[test]
+    fn frame_slots_cover_call_frames() {
+        let p = compile("(define (f g) (g (g 1 2) (g 3 4)))");
+        let lam = &p.codes[0];
+        // ret + params (1+1) then call frames.
+        assert!(lam.frame_slots >= 2 + 3, "{}", lam.frame_slots);
+    }
+
+    #[test]
+    fn closures_capture_free_variables() {
+        let p = compile("(define (adder n) (lambda (x) (+ x n)))");
+        let inner = p.codes.iter().find(|c| c.name == "lambda").expect("inner lambda");
+        assert_eq!(inner.free_spec, vec![FreeSrc::Local(1)], "captures n from adder's frame");
+        assert!(inner.ops.iter().any(|o| matches!(o, Op::FreeRef(0))));
+    }
+
+    #[test]
+    fn nested_capture_goes_through_creator() {
+        let p = compile("(define (f x) (lambda () (lambda () x)))");
+        let innermost = p
+            .codes
+            .iter()
+            .filter(|c| c.name == "lambda")
+            .find(|c| c.free_spec == vec![FreeSrc::Free(0)]);
+        assert!(innermost.is_some(), "inner lambda captures from creator's closure");
+    }
+
+    #[test]
+    fn mutated_variables_are_boxed() {
+        let p = compile("(define (counter) (let ((n 0)) (lambda () (set! n (+ n 1)) n)))");
+        let counter = p.codes.iter().find(|c| c.name == "counter").expect("counter");
+        assert!(counter.ops.iter().any(|o| matches!(o, Op::MakeCell(_))));
+        let inner = p.codes.iter().find(|c| c.name == "lambda").expect("inner");
+        assert!(inner.ops.iter().any(|o| matches!(o, Op::CellSetFree(_))));
+        assert!(inner.ops.iter().any(|o| matches!(o, Op::CellRefFree(_))));
+    }
+
+    #[test]
+    fn mutated_parameters_are_boxed_at_entry() {
+        let p = compile("(define (f x) (set! x 1) x)");
+        let f = &p.codes[0];
+        assert_eq!(f.ops[1], Op::MakeCell(1));
+        assert!(f.ops.iter().any(|o| matches!(o, Op::CellSetLocal(1))));
+    }
+
+    #[test]
+    fn globals_are_linked_by_name() {
+        let p = compile("(define x 1) (define (f) x)");
+        assert!(p.globals.contains(&"x".to_string()));
+        assert!(p.globals.contains(&"f".to_string()));
+    }
+
+    #[test]
+    fn if_branches_in_tail_position_both_return() {
+        let p = compile("(define (f c) (if c 1 2))");
+        let f = &p.codes[0];
+        let returns = f.ops.iter().filter(|o| matches!(o, Op::Return)).count();
+        assert_eq!(returns, 2, "{f}");
+    }
+
+    #[test]
+    fn let_allocates_consecutive_slots() {
+        let p = compile("(define (f) (let ((a 1) (b 2)) (+ a b)))");
+        let f = &p.codes[0];
+        assert!(f.ops.iter().any(|o| matches!(o, Op::LocalSet(1))));
+        assert!(f.ops.iter().any(|o| matches!(o, Op::LocalSet(2))));
+    }
+
+    #[test]
+    fn variadic_entry() {
+        let p = compile("(define (f a . rest) rest)");
+        let f = &p.codes[0];
+        assert_eq!(f.ops[0], Op::Entry { required: 1, rest: true });
+        assert!(f.ops.contains(&Op::LocalRef(2)));
+    }
+
+    #[test]
+    fn cps_pipeline_compiles() {
+        let forms = read_all("(define (f x) (+ x 1)) (f 1)").unwrap();
+        let p = compile_program(&forms, Pipeline::Cps).unwrap();
+        assert!(!p.codes.is_empty());
+    }
+
+    #[test]
+    fn empty_program_returns_unspecified() {
+        let p = compile("");
+        assert!(entry_ops(&p).contains(&Op::Unspec));
+    }
+}

@@ -1,0 +1,983 @@
+//! The expander: reader data → core AST.
+//!
+//! Handles the core forms (`quote`, `if`, `set!`, `lambda`, `begin`,
+//! `define`) and lowers the derived forms of R4RS: `let` (plain and named),
+//! `let*`, `letrec`, `cond` (including `=>`), `case`, `and`, `or`, `when`,
+//! `unless`, `do`, and `quasiquote`/`unquote`/`unquote-splicing` with
+//! nesting. Internal defines at the head of a body are lowered to `letrec`
+//! semantics. Variables are alpha-renamed to unique [`VarId`]s against a
+//! lexical environment, so keywords can be shadowed (`(let ((if list)) (if
+//! 1 2 3))` builds a list).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use oneshot_sexp::Datum;
+
+use crate::ast::{Expr, Lambda, Program, VarId};
+
+/// A compile-time error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// Description, including the offending form where helpful.
+    pub message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        CompileError { message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+type Result<T> = std::result::Result<T, CompileError>;
+
+/// Placeholder symbol for "no value" positions created during expansion
+/// (`(define x)`, empty `do` results). Contains a control character no
+/// reader token can produce, so user code can never name it.
+const UNSPEC_SENTINEL: &str = "\u{1}unspecified";
+
+/// Lexical environment: name → variable.
+#[derive(Debug, Clone, Default)]
+struct Env {
+    frames: Vec<HashMap<String, VarId>>,
+}
+
+impl Env {
+    fn lookup(&self, name: &str) -> Option<VarId> {
+        self.frames.iter().rev().find_map(|f| f.get(name).copied())
+    }
+
+    fn push(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    fn bind(&mut self, name: &str, id: VarId) {
+        self.frames
+            .last_mut()
+            .expect("bind outside any scope")
+            .insert(name.to_string(), id);
+    }
+}
+
+/// The expander state.
+struct Expander {
+    env: Env,
+    next_var: u32,
+    defined_globals: Vec<Rc<str>>,
+}
+
+/// Expands a whole program (a sequence of toplevel forms).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed special forms, misplaced
+/// `define`, or bad binding syntax.
+pub fn expand_program(forms: &[Datum]) -> Result<Program> {
+    let mut x = Expander { env: Env::default(), next_var: 0, defined_globals: Vec::new() };
+    x.env.push();
+    let mut out = Vec::new();
+    for form in forms {
+        out.push(x.toplevel(form)?);
+    }
+    Ok(Program { forms: out, var_count: x.next_var, defined_globals: x.defined_globals })
+}
+
+fn err(msg: impl Into<String>) -> CompileError {
+    CompileError::new(msg)
+}
+
+fn sym(d: &Datum) -> Option<&str> {
+    d.as_symbol()
+}
+
+impl Expander {
+    fn fresh(&mut self) -> VarId {
+        let id = VarId(self.next_var);
+        self.next_var += 1;
+        id
+    }
+
+    /// Is `name` a keyword here (not shadowed by a lexical binding)?
+    fn keyword(&self, name: &str) -> bool {
+        self.env.lookup(name).is_none()
+            && matches!(
+                name,
+                "quote"
+                    | "quasiquote"
+                    | "unquote"
+                    | "unquote-splicing"
+                    | "if"
+                    | "set!"
+                    | "lambda"
+                    | "begin"
+                    | "define"
+                    | "let"
+                    | "let*"
+                    | "letrec"
+                    | "letrec*"
+                    | "cond"
+                    | "case"
+                    | "and"
+                    | "or"
+                    | "when"
+                    | "unless"
+                    | "do"
+                    | "else"
+            )
+    }
+
+    fn toplevel(&mut self, d: &Datum) -> Result<Expr> {
+        if let Some(items) = d.proper_list() {
+            if let Some(head) = items.first().and_then(|h| h.as_symbol()) {
+                if head == "define" && self.keyword("define") {
+                    return self.toplevel_define(&items);
+                }
+                if head == "begin" && self.keyword("begin") {
+                    // Toplevel begin splices.
+                    let forms: Vec<Expr> = items[1..]
+                        .iter()
+                        .map(|f| self.toplevel(f))
+                        .collect::<Result<_>>()?;
+                    return Ok(if forms.is_empty() {
+                        Expr::unspecified()
+                    } else {
+                        Expr::Seq(forms)
+                    });
+                }
+            }
+        }
+        self.expr(d)
+    }
+
+    fn toplevel_define(&mut self, items: &[&Datum]) -> Result<Expr> {
+        let (name, value) = self.parse_define(items)?;
+        let name_rc: Rc<str> = Rc::from(name.as_str());
+        self.defined_globals.push(name_rc.clone());
+        let value = self.expr(&value)?;
+        let value = name_lambda(value, &name);
+        Ok(Expr::GlobalDef(name_rc, Box::new(value)))
+    }
+
+    /// Parses `(define name value)` or `(define (name . args) body...)`,
+    /// returning the name and a value expression (possibly a synthesized
+    /// lambda datum).
+    fn parse_define(&mut self, items: &[&Datum]) -> Result<(String, Datum)> {
+        match items {
+            [_, Datum::Symbol(name)] => Ok((name.clone(), Datum::Symbol(UNSPEC_SENTINEL.into()))),
+            [_, Datum::Symbol(name), value] => Ok((name.clone(), (*value).clone())),
+            [_, header, body @ ..] if matches!(header, Datum::Pair(_)) => {
+                let name = match header.car() {
+                    Some(Datum::Symbol(name)) => name.clone(),
+                    _ => return Err(err(format!("bad define header: {header}"))),
+                };
+                // (define (f . formals) body...) => (define f (lambda formals body...))
+                let formals = header.cdr().expect("pair").clone();
+                let mut lam = vec![Datum::symbol("lambda"), formals];
+                lam.extend(body.iter().map(|d| (*d).clone()));
+                Ok((name, Datum::list(lam)))
+            }
+            _ => Err(err("malformed define")),
+        }
+    }
+
+    fn expr(&mut self, d: &Datum) -> Result<Expr> {
+        match d {
+            Datum::Bool(_) | Datum::Fixnum(_) | Datum::Flonum(_) | Datum::Char(_)
+            | Datum::Str(_) | Datum::Vector(_) => Ok(Expr::Quote(d.clone())),
+            Datum::Nil => Err(err("empty application ()")),
+            Datum::Symbol(name) => {
+                if name == UNSPEC_SENTINEL {
+                    return Ok(Expr::unspecified());
+                }
+                match self.env.lookup(name) {
+                    Some(v) => Ok(Expr::Ref(v)),
+                    None => Ok(Expr::GlobalRef(Rc::from(name.as_str()))),
+                }
+            }
+            Datum::Pair(_) => self.form(d),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn form(&mut self, d: &Datum) -> Result<Expr> {
+        let Some(items) = d.proper_list() else {
+            return Err(err(format!("improper list in expression position: {d}")));
+        };
+        if items.is_empty() {
+            return Err(err("empty application ()"));
+        }
+        if let Some(head) = sym(items[0]) {
+            if self.keyword(head) {
+                return match head {
+                    "quote" => match items.as_slice() {
+                        [_, x] => Ok(Expr::Quote((*x).clone())),
+                        _ => Err(err("quote takes one operand")),
+                    },
+                    "if" => match items.as_slice() {
+                        [_, c, t] => Ok(Expr::If(
+                            Box::new(self.expr(c)?),
+                            Box::new(self.expr(t)?),
+                            Box::new(Expr::unspecified()),
+                        )),
+                        [_, c, t, e] => Ok(Expr::If(
+                            Box::new(self.expr(c)?),
+                            Box::new(self.expr(t)?),
+                            Box::new(self.expr(e)?),
+                        )),
+                        _ => Err(err("malformed if")),
+                    },
+                    "set!" => match items.as_slice() {
+                        [_, Datum::Symbol(name), value] => {
+                            let value = Box::new(self.expr(value)?);
+                            match self.env.lookup(name) {
+                                Some(v) => Ok(Expr::Set(v, value)),
+                                None => Ok(Expr::GlobalSet(Rc::from(name.as_str()), value)),
+                            }
+                        }
+                        _ => Err(err("malformed set!")),
+                    },
+                    "lambda" => {
+                        if items.len() < 3 {
+                            return Err(err("malformed lambda"));
+                        }
+                        self.lambda(items[1], &items[2..], None)
+                    }
+                    "begin" => {
+                        if items.len() == 1 {
+                            Ok(Expr::unspecified())
+                        } else {
+                            self.body(&items[1..])
+                        }
+                    }
+                    "define" => Err(err("define is not allowed in expression position")),
+                    "let" => self.let_form(&items),
+                    "let*" => self.let_star(&items),
+                    "letrec" | "letrec*" => self.letrec(&items),
+                    "cond" => self.cond(&items),
+                    "case" => self.case(&items),
+                    "and" => Ok(self.and(&items[1..])?),
+                    "or" => self.or(&items[1..]),
+                    "when" => {
+                        if items.len() < 3 {
+                            return Err(err("malformed when"));
+                        }
+                        let c = self.expr(items[1])?;
+                        let body = self.body(&items[2..])?;
+                        Ok(Expr::If(Box::new(c), Box::new(body), Box::new(Expr::unspecified())))
+                    }
+                    "unless" => {
+                        if items.len() < 3 {
+                            return Err(err("malformed unless"));
+                        }
+                        let c = self.expr(items[1])?;
+                        let body = self.body(&items[2..])?;
+                        Ok(Expr::If(Box::new(c), Box::new(Expr::unspecified()), Box::new(body)))
+                    }
+                    "do" => self.do_form(&items),
+                    "quasiquote" => match items.as_slice() {
+                        [_, x] => {
+                            let lowered = quasi(x, 1)?;
+                            self.expr(&lowered)
+                        }
+                        _ => Err(err("quasiquote takes one operand")),
+                    },
+                    "unquote" | "unquote-splicing" => {
+                        Err(err(format!("{head} outside quasiquote")))
+                    }
+                    "else" => Err(err("else outside cond/case")),
+                    _ => unreachable!("keyword list covers match"),
+                };
+            }
+        }
+        // Application.
+        let f = self.expr(items[0])?;
+        let args: Vec<Expr> = items[1..].iter().map(|a| self.expr(a)).collect::<Result<_>>()?;
+        // Direct lambda application becomes Let (no closure allocation).
+        if let Expr::Lambda(lam) = &f {
+            if lam.rest.is_none() && lam.params.len() == args.len() {
+                let bindings = lam.params.iter().copied().zip(args).collect();
+                return Ok(Expr::Let(bindings, Box::new(lam.body.clone())));
+            }
+        }
+        Ok(Expr::App(Box::new(f), args))
+    }
+
+    /// Expands a lambda: `formals` is a symbol, a proper list, or an
+    /// improper list; `body` is one or more forms.
+    fn lambda(&mut self, formals: &Datum, body: &[&Datum], name: Option<&str>) -> Result<Expr> {
+        self.env.push();
+        let mut params = Vec::new();
+        let mut rest = None;
+        match formals {
+            Datum::Symbol(n) => {
+                let id = self.fresh();
+                self.env.bind(n, id);
+                rest = Some(id);
+            }
+            _ => {
+                let mut it = formals.iter();
+                for p in it.by_ref() {
+                    let Some(n) = p.as_symbol() else {
+                        self.env.pop();
+                        return Err(err(format!("bad parameter: {p}")));
+                    };
+                    let id = self.fresh();
+                    self.env.bind(n, id);
+                    params.push(id);
+                }
+                match it.tail() {
+                    Datum::Nil => {}
+                    Datum::Symbol(n) => {
+                        let id = self.fresh();
+                        self.env.bind(n, id);
+                        rest = Some(id);
+                    }
+                    other => {
+                        self.env.pop();
+                        return Err(err(format!("bad rest parameter: {other}")));
+                    }
+                }
+            }
+        }
+        let body = self.body(body);
+        self.env.pop();
+        Ok(Expr::Lambda(Rc::new(Lambda {
+            params,
+            rest,
+            body: body?,
+            name: name.map(String::from),
+        })))
+    }
+
+    /// Expands a body: internal defines at the head become `letrec`
+    /// bindings; the rest is a sequence.
+    fn body(&mut self, forms: &[&Datum]) -> Result<Expr> {
+        if forms.is_empty() {
+            return Err(err("empty body"));
+        }
+        // Collect leading internal defines.
+        let mut defines: Vec<(String, Datum)> = Vec::new();
+        let mut rest = forms;
+        while let Some(form) = rest.first() {
+            let is_define = form
+                .proper_list()
+                .and_then(|l| l.first().and_then(|h| h.as_symbol()).map(String::from))
+                .is_some_and(|h| h == "define" && self.keyword("define"));
+            if !is_define {
+                break;
+            }
+            let items = form.proper_list().expect("checked");
+            defines.push(self.parse_define(&items)?);
+            rest = &rest[1..];
+        }
+        if rest.is_empty() {
+            return Err(err("body consists only of definitions"));
+        }
+        if defines.is_empty() {
+            let seq: Vec<Expr> = rest.iter().map(|f| self.expr(f)).collect::<Result<_>>()?;
+            return Ok(if seq.len() == 1 { seq.into_iter().next().expect("one") } else { Expr::Seq(seq) });
+        }
+        // Internal defines: letrec* semantics via Let of unspecified + set!.
+        self.env.push();
+        let ids: Vec<VarId> = defines
+            .iter()
+            .map(|(name, _)| {
+                let id = self.fresh();
+                self.env.bind(name, id);
+                id
+            })
+            .collect();
+        let result = (|| {
+            let mut seq = Vec::new();
+            for ((name, value), id) in defines.iter().zip(&ids) {
+                let v = self.expr(value)?;
+                let v = name_lambda(v, name);
+                seq.push(Expr::Set(*id, Box::new(v)));
+            }
+            for f in rest {
+                seq.push(self.expr(f)?);
+            }
+            let bindings = ids.iter().map(|id| (*id, Expr::unspecified())).collect();
+            Ok(Expr::Let(bindings, Box::new(Expr::Seq(seq))))
+        })();
+        self.env.pop();
+        result
+    }
+
+    fn binding_specs<'d>(&mut self, spec: &'d Datum) -> Result<Vec<(&'d str, &'d Datum)>> {
+        let Some(pairs) = spec.proper_list() else {
+            return Err(err(format!("bad binding list: {spec}")));
+        };
+        pairs
+            .into_iter()
+            .map(|b| match b.proper_list().as_deref() {
+                Some([Datum::Symbol(n), init]) => Ok((n.as_str(), *init)),
+                _ => Err(err(format!("bad binding: {b}"))),
+            })
+            .collect()
+    }
+
+    fn let_form(&mut self, items: &[&Datum]) -> Result<Expr> {
+        // Named let?
+        if items.len() >= 3 {
+            if let Some(loop_name) = items[1].as_symbol() {
+                return self.named_let(loop_name, items[2], &items[3..]);
+            }
+        }
+        if items.len() < 3 {
+            return Err(err("malformed let"));
+        }
+        let specs = self.binding_specs(items[1])?;
+        let inits: Vec<Expr> = specs.iter().map(|(_, init)| self.expr(init)).collect::<Result<_>>()?;
+        self.env.push();
+        let bindings: Vec<(VarId, Expr)> = specs
+            .iter()
+            .zip(inits)
+            .map(|((name, _), init)| {
+                let id = self.fresh();
+                self.env.bind(name, id);
+                (id, init)
+            })
+            .collect();
+        let body = self.body(&items[2..]);
+        self.env.pop();
+        Ok(Expr::Let(bindings, Box::new(body?)))
+    }
+
+    fn named_let(&mut self, name: &str, spec: &Datum, body: &[&Datum]) -> Result<Expr> {
+        if body.is_empty() {
+            return Err(err("malformed named let"));
+        }
+        let specs = self.binding_specs(spec)?;
+        let inits: Vec<Expr> = specs.iter().map(|(_, init)| self.expr(init)).collect::<Result<_>>()?;
+        // (letrec ((name (lambda (params) body))) (name inits...))
+        self.env.push();
+        let loop_id = self.fresh();
+        self.env.bind(name, loop_id);
+        let lam = (|| {
+            self.env.push();
+            let params: Vec<VarId> = specs
+                .iter()
+                .map(|(n, _)| {
+                    let id = self.fresh();
+                    self.env.bind(n, id);
+                    id
+                })
+                .collect();
+            let b = self.body(body);
+            self.env.pop();
+            Ok(Expr::Lambda(Rc::new(Lambda {
+                params,
+                rest: None,
+                body: b?,
+                name: Some(name.to_string()),
+            })))
+        })();
+        self.env.pop();
+        let lam = lam?;
+        let call = Expr::App(Box::new(Expr::Ref(loop_id)), inits);
+        Ok(Expr::Let(
+            vec![(loop_id, Expr::unspecified())],
+            Box::new(Expr::Seq(vec![Expr::Set(loop_id, Box::new(lam)), call])),
+        ))
+    }
+
+    fn let_star(&mut self, items: &[&Datum]) -> Result<Expr> {
+        if items.len() < 3 {
+            return Err(err("malformed let*"));
+        }
+        let specs = self.binding_specs(items[1])?;
+        let mut pushed = 0;
+        let result = (|| {
+            let mut bindings = Vec::new();
+            for (name, init) in &specs {
+                let init = self.expr(init)?;
+                self.env.push();
+                pushed += 1;
+                let id = self.fresh();
+                self.env.bind(name, id);
+                bindings.push((id, init));
+            }
+            let body = self.body(&items[2..])?;
+            // Nested lets, innermost first.
+            Ok(bindings
+                .into_iter()
+                .rev()
+                .fold(body, |acc, b| Expr::Let(vec![b], Box::new(acc))))
+        })();
+        for _ in 0..pushed {
+            self.env.pop();
+        }
+        result
+    }
+
+    fn letrec(&mut self, items: &[&Datum]) -> Result<Expr> {
+        if items.len() < 3 {
+            return Err(err("malformed letrec"));
+        }
+        let specs = self.binding_specs(items[1])?;
+        self.env.push();
+        let result = (|| {
+            let ids: Vec<VarId> = specs
+                .iter()
+                .map(|(name, _)| {
+                    let id = self.fresh();
+                    self.env.bind(name, id);
+                    id
+                })
+                .collect();
+            let mut seq = Vec::new();
+            for ((name, init), id) in specs.iter().zip(&ids) {
+                let v = self.expr(init)?;
+                seq.push(Expr::Set(*id, Box::new(name_lambda(v, name))));
+            }
+            seq.push(self.body(&items[2..])?);
+            let bindings = ids.iter().map(|id| (*id, Expr::unspecified())).collect();
+            Ok(Expr::Let(bindings, Box::new(Expr::Seq(seq))))
+        })();
+        self.env.pop();
+        result
+    }
+
+    fn cond(&mut self, items: &[&Datum]) -> Result<Expr> {
+        let mut out = Expr::unspecified();
+        for clause in items[1..].iter().rev() {
+            let Some(parts) = clause.proper_list() else {
+                return Err(err(format!("bad cond clause: {clause}")));
+            };
+            if parts.is_empty() {
+                return Err(err("empty cond clause"));
+            }
+            let is_else = parts[0].as_symbol() == Some("else") && self.keyword("else");
+            if is_else {
+                out = self.body(&parts[1..])?;
+                continue;
+            }
+            let test = self.expr(parts[0])?;
+            out = match parts.get(1).and_then(|p| p.as_symbol()) {
+                // (test => receiver)
+                Some("=>") if parts.len() == 3 => {
+                    let recv = self.expr(parts[2])?;
+                    let tmp = self.fresh();
+                    Expr::Let(
+                        vec![(tmp, test)],
+                        Box::new(Expr::If(
+                            Box::new(Expr::Ref(tmp)),
+                            Box::new(Expr::App(Box::new(recv), vec![Expr::Ref(tmp)])),
+                            Box::new(out),
+                        )),
+                    )
+                }
+                _ if parts.len() == 1 => {
+                    // (test) — the value of the test itself.
+                    let tmp = self.fresh();
+                    Expr::Let(
+                        vec![(tmp, test)],
+                        Box::new(Expr::If(
+                            Box::new(Expr::Ref(tmp)),
+                            Box::new(Expr::Ref(tmp)),
+                            Box::new(out),
+                        )),
+                    )
+                }
+                _ => Expr::If(
+                    Box::new(test),
+                    Box::new(self.body(&parts[1..])?),
+                    Box::new(out),
+                ),
+            };
+        }
+        Ok(out)
+    }
+
+    fn case(&mut self, items: &[&Datum]) -> Result<Expr> {
+        if items.len() < 2 {
+            return Err(err("malformed case"));
+        }
+        let key = self.expr(items[1])?;
+        let tmp = self.fresh();
+        let mut out = Expr::unspecified();
+        for clause in items[2..].iter().rev() {
+            let Some(parts) = clause.proper_list() else {
+                return Err(err(format!("bad case clause: {clause}")));
+            };
+            if parts.len() < 2 {
+                return Err(err(format!("bad case clause: {clause}")));
+            }
+            if parts[0].as_symbol() == Some("else") && self.keyword("else") {
+                out = self.body(&parts[1..])?;
+                continue;
+            }
+            let Some(data) = parts[0].proper_list() else {
+                return Err(err(format!("bad case datum list: {}", parts[0])));
+            };
+            // (memv key '(d ...)) via chained eqv? on the temp.
+            let mut test = Expr::bool(false);
+            for d in data.into_iter().rev() {
+                let cmp = Expr::App(
+                    Box::new(Expr::GlobalRef(Rc::from("eqv?"))),
+                    vec![Expr::Ref(tmp), Expr::Quote(d.clone())],
+                );
+                test = Expr::If(Box::new(cmp), Box::new(Expr::bool(true)), Box::new(test));
+            }
+            out = Expr::If(Box::new(test), Box::new(self.body(&parts[1..])?), Box::new(out));
+        }
+        Ok(Expr::Let(vec![(tmp, key)], Box::new(out)))
+    }
+
+    fn and(&mut self, args: &[&Datum]) -> Result<Expr> {
+        match args {
+            [] => Ok(Expr::bool(true)),
+            [x] => self.expr(x),
+            [x, rest @ ..] => {
+                let head = self.expr(x)?;
+                let tail = self.and(rest)?;
+                Ok(Expr::If(Box::new(head), Box::new(tail), Box::new(Expr::bool(false))))
+            }
+        }
+    }
+
+    fn or(&mut self, args: &[&Datum]) -> Result<Expr> {
+        match args {
+            [] => Ok(Expr::bool(false)),
+            [x] => self.expr(x),
+            [x, rest @ ..] => {
+                let head = self.expr(x)?;
+                let tail = self.or(rest)?;
+                let tmp = self.fresh();
+                Ok(Expr::Let(
+                    vec![(tmp, head)],
+                    Box::new(Expr::If(
+                        Box::new(Expr::Ref(tmp)),
+                        Box::new(Expr::Ref(tmp)),
+                        Box::new(tail),
+                    )),
+                ))
+            }
+        }
+    }
+
+    /// `(do ((var init step)...) (test result...) body...)`
+    fn do_form(&mut self, items: &[&Datum]) -> Result<Expr> {
+        if items.len() < 3 {
+            return Err(err("malformed do"));
+        }
+        let Some(specs) = items[1].proper_list() else {
+            return Err(err("bad do bindings"));
+        };
+        let mut names = Vec::new();
+        let mut inits = Vec::new();
+        let mut steps = Vec::new();
+        for spec in specs {
+            match spec.proper_list().as_deref() {
+                Some([Datum::Symbol(n), init]) => {
+                    names.push(n.clone());
+                    inits.push((*init).clone());
+                    steps.push(Datum::Symbol(n.clone()));
+                }
+                Some([Datum::Symbol(n), init, step]) => {
+                    names.push(n.clone());
+                    inits.push((*init).clone());
+                    steps.push((*step).clone());
+                }
+                _ => return Err(err(format!("bad do binding: {spec}"))),
+            }
+        }
+        let Some(exit) = items[2].proper_list() else {
+            return Err(err("bad do exit clause"));
+        };
+        if exit.is_empty() {
+            return Err(err("bad do exit clause"));
+        }
+        // Desugar to a named let:
+        // (let loop ((v init)...)
+        //   (if test (begin result...) (begin body... (loop step...))))
+        let loop_sym = Datum::symbol("%do-loop");
+        let bindings: Vec<Datum> = names
+            .iter()
+            .zip(&inits)
+            .map(|(n, i)| Datum::list([Datum::symbol(n.clone()), i.clone()]))
+            .collect();
+        let mut recur = vec![loop_sym.clone()];
+        recur.extend(steps);
+        let mut iter_body: Vec<Datum> =
+            items[3..].iter().map(|d| (*d).clone()).collect();
+        iter_body.push(Datum::list(recur));
+        let result: Datum = if exit.len() == 1 {
+            Datum::symbol(UNSPEC_SENTINEL)
+        } else {
+            let mut b = vec![Datum::symbol("begin")];
+            b.extend(exit[1..].iter().map(|d| (*d).clone()));
+            Datum::list(b)
+        };
+        let mut begin_iter = vec![Datum::symbol("begin")];
+        begin_iter.extend(iter_body);
+        let if_form = Datum::list([
+            Datum::symbol("if"),
+            exit[0].clone(),
+            result,
+            Datum::list(begin_iter),
+        ]);
+        let form = Datum::list([
+            Datum::symbol("let"),
+            loop_sym,
+            Datum::list(bindings),
+            if_form,
+        ]);
+        self.expr(&form)
+    }
+}
+
+/// Attaches `name` to an anonymous lambda for diagnostics.
+fn name_lambda(e: Expr, name: &str) -> Expr {
+    match e {
+        Expr::Lambda(lam) if lam.name.is_none() => {
+            let mut l = (*lam).clone();
+            l.name = Some(name.to_string());
+            Expr::Lambda(Rc::new(l))
+        }
+        other => other,
+    }
+}
+
+/// Lowers quasiquotation at nesting `depth` into cons/append calls.
+fn quasi(d: &Datum, depth: u32) -> Result<Datum> {
+    match d {
+        Datum::Pair(p) => {
+            // (unquote x)
+            if let Some("unquote") = p.0.as_symbol() {
+                if let Some(items) = d.proper_list() {
+                    if items.len() == 2 {
+                        return if depth == 1 {
+                            Ok(items[1].clone())
+                        } else {
+                            Ok(Datum::list([
+                                Datum::symbol("list"),
+                                Datum::list([Datum::symbol("quote"), Datum::symbol("unquote")]),
+                                quasi(items[1], depth - 1)?,
+                            ]))
+                        };
+                    }
+                }
+                return Err(err("malformed unquote"));
+            }
+            if let Some("quasiquote") = p.0.as_symbol() {
+                if let Some(items) = d.proper_list() {
+                    if items.len() == 2 {
+                        return Ok(Datum::list([
+                            Datum::symbol("list"),
+                            Datum::list([Datum::symbol("quote"), Datum::symbol("quasiquote")]),
+                            quasi(items[1], depth + 1)?,
+                        ]));
+                    }
+                }
+                return Err(err("malformed nested quasiquote"));
+            }
+            // ((unquote-splicing x) . rest)
+            if let Datum::Pair(head) = &p.0 {
+                if let Some("unquote-splicing") = head.0.as_symbol() {
+                    if let Some(items) = p.0.proper_list() {
+                        if items.len() == 2 && depth == 1 {
+                            return Ok(Datum::list([
+                                Datum::symbol("append"),
+                                items[1].clone(),
+                                quasi(&p.1, depth)?,
+                            ]));
+                        }
+                    }
+                }
+            }
+            Ok(Datum::list([
+                Datum::symbol("cons"),
+                quasi(&p.0, depth)?,
+                quasi(&p.1, depth)?,
+            ]))
+        }
+        Datum::Vector(items) => {
+            let as_list = Datum::list(items.clone());
+            Ok(Datum::list([Datum::symbol("list->vector"), quasi(&as_list, depth)?]))
+        }
+        atom => Ok(Datum::list([Datum::symbol("quote"), atom.clone()])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oneshot_sexp::read_all;
+
+    fn expand1(src: &str) -> Expr {
+        let forms = read_all(src).unwrap();
+        let p = expand_program(&forms).unwrap();
+        assert_eq!(p.forms.len(), 1, "expected one form from {src}");
+        p.forms.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn constants_self_evaluate() {
+        assert!(matches!(expand1("42"), Expr::Quote(Datum::Fixnum(42))));
+        assert!(matches!(expand1("\"s\""), Expr::Quote(Datum::Str(_))));
+        assert!(matches!(expand1("#(1)"), Expr::Quote(Datum::Vector(_))));
+    }
+
+    #[test]
+    fn variables_resolve_lexically() {
+        let e = expand1("(lambda (x) x)");
+        let Expr::Lambda(lam) = e else { panic!() };
+        assert_eq!(lam.params.len(), 1);
+        assert_eq!(lam.body, Expr::Ref(lam.params[0]));
+    }
+
+    #[test]
+    fn unbound_variables_are_global() {
+        assert!(matches!(expand1("x"), Expr::GlobalRef(n) if &*n == "x"));
+    }
+
+    #[test]
+    fn shadowing_keywords_works() {
+        // `if` bound as a variable is an ordinary variable.
+        let e = expand1("(lambda (if) (if 1 2 3))");
+        let Expr::Lambda(lam) = e else { panic!() };
+        assert!(matches!(lam.body, Expr::App(..)), "shadowed if is a call");
+    }
+
+    #[test]
+    fn one_armed_if_gets_unspecified() {
+        let Expr::If(_, _, e) = expand1("(if #t 1)") else { panic!() };
+        assert_eq!(*e, Expr::unspecified());
+    }
+
+    #[test]
+    fn let_becomes_let_node() {
+        let Expr::Let(bindings, body) = expand1("(let ((x 1) (y 2)) y)") else { panic!() };
+        assert_eq!(bindings.len(), 2);
+        assert_eq!(*body, Expr::Ref(bindings[1].0));
+    }
+
+    #[test]
+    fn direct_lambda_application_becomes_let() {
+        assert!(matches!(expand1("((lambda (x) x) 1)"), Expr::Let(..)));
+    }
+
+    #[test]
+    fn named_let_builds_loop() {
+        let e = expand1("(let loop ((i 0)) (if (< i 3) (loop (+ i 1)) i))");
+        assert!(matches!(e, Expr::Let(..)));
+    }
+
+    #[test]
+    fn let_star_nests() {
+        let Expr::Let(b1, body) = expand1("(let* ((x 1) (y x)) y)") else { panic!() };
+        assert_eq!(b1.len(), 1);
+        let Expr::Let(b2, _) = &*body else { panic!("inner let") };
+        // y's init references x.
+        assert_eq!(b2[0].1, Expr::Ref(b1[0].0));
+    }
+
+    #[test]
+    fn variadic_lambda() {
+        let Expr::Lambda(lam) = expand1("(lambda (a . rest) rest)") else { panic!() };
+        assert_eq!(lam.params.len(), 1);
+        assert!(lam.rest.is_some());
+        let Expr::Lambda(lam2) = expand1("(lambda all all)") else { panic!() };
+        assert!(lam2.params.is_empty() && lam2.rest.is_some());
+    }
+
+    #[test]
+    fn cond_with_arrow_and_else() {
+        let e = expand1("(cond ((assv 1 l) => cdr) (else 0))");
+        assert!(matches!(e, Expr::If(..) | Expr::Let(..)));
+    }
+
+    #[test]
+    fn and_or_lower_to_ifs() {
+        assert_eq!(expand1("(and)"), Expr::bool(true));
+        assert_eq!(expand1("(or)"), Expr::bool(false));
+        assert!(matches!(expand1("(and 1 2)"), Expr::If(..)));
+        assert!(matches!(expand1("(or 1 2)"), Expr::Let(..)));
+    }
+
+    #[test]
+    fn internal_defines_become_letrec() {
+        let Expr::Lambda(lam) = expand1("(lambda (x) (define y 1) (+ x y))") else { panic!() };
+        assert!(matches!(lam.body, Expr::Let(..)));
+    }
+
+    #[test]
+    fn define_procedure_shorthand() {
+        let forms = read_all("(define (f x) x)").unwrap();
+        let p = expand_program(&forms).unwrap();
+        let Expr::GlobalDef(name, v) = &p.forms[0] else { panic!() };
+        assert_eq!(&**name, "f");
+        assert!(matches!(&**v, Expr::Lambda(lam) if lam.name.as_deref() == Some("f")));
+        assert_eq!(&*p.defined_globals[0], "f");
+    }
+
+    #[test]
+    fn quasiquote_lowers_to_constructors() {
+        // `(a ,b ,@c) => (cons 'a (cons b (append c '())))
+        let e = expand1("(let ((b 1) (c '())) `(a ,b ,@c))");
+        assert!(matches!(e, Expr::Let(..)));
+        // Nested quasiquote keeps inner unquote quoted.
+        let forms = read_all("``(,a)").unwrap();
+        assert!(expand_program(&forms).is_ok());
+    }
+
+    #[test]
+    fn do_loops_expand() {
+        let e = expand1("(do ((i 0 (+ i 1)) (acc 1)) ((= i 3) acc) acc)");
+        assert!(matches!(e, Expr::Let(..)));
+    }
+
+    #[test]
+    fn case_expands_to_eqv_chain() {
+        let e = expand1("(case 2 ((1 2) 'small) (else 'big))");
+        assert!(matches!(e, Expr::Let(..)));
+    }
+
+    #[test]
+    fn errors_on_malformed_forms() {
+        for src in [
+            "(if)",
+            "(set! 1 2)",
+            "(lambda)",
+            "()",
+            "(let ((x)) x)",
+            "(quote a b)",
+            "(unquote x)",
+            "(define x 1 2)",
+            "(lambda (x) (define y 1))",
+        ] {
+            let forms = read_all(src).unwrap();
+            assert!(expand_program(&forms).is_err(), "{src} should fail");
+        }
+    }
+
+    #[test]
+    fn toplevel_begin_splices_defines() {
+        let forms = read_all("(begin (define a 1) (define b 2)) a").unwrap();
+        let p = expand_program(&forms).unwrap();
+        assert_eq!(p.defined_globals.len(), 2);
+    }
+
+    #[test]
+    fn alpha_renaming_distinguishes_shadowed_vars() {
+        let Expr::Let(b1, body) = expand1("(let ((x 1)) (let ((x 2)) x))") else { panic!() };
+        let Expr::Let(b2, inner) = &*body else { panic!() };
+        assert_ne!(b1[0].0, b2[0].0);
+        assert_eq!(**inner, Expr::Ref(b2[0].0));
+    }
+}

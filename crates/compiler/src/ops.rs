@@ -1,0 +1,210 @@
+//! The bytecode instruction set and compiled-program containers.
+//!
+//! The machine is an accumulator machine over the segmented stack: one
+//! value register (`acc`), a frame pointer, and frame slots addressed
+//! relative to it. Calls follow §3.1 of the paper: the caller stores the
+//! return address at a compile-time displacement `disp` above its own
+//! frame base, arguments above that, then advances the frame pointer by
+//! `disp`; the return point subtracts the same displacement. The
+//! displacement is carried inside the return address (the moral equivalent
+//! of the paper's frame-size word in the code stream), which is what lets
+//! the runtime walk, split, and relocate frames.
+
+use std::fmt;
+
+use oneshot_sexp::Datum;
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `acc := consts[i]`.
+    Const(u32),
+    /// `acc := fixnum(n)` (small-constant fast path).
+    FixInt(i32),
+    /// `acc := unspecified`.
+    Unspec,
+    /// `acc := slot[fp + i]`.
+    LocalRef(u16),
+    /// `slot[fp + i] := acc`.
+    LocalSet(u16),
+    /// `acc := closure.free[i]`.
+    FreeRef(u16),
+    /// `acc := cell(slot[fp + i]).value` (boxed local read).
+    CellRefLocal(u16),
+    /// `acc := cell(closure.free[i]).value` (boxed capture read).
+    CellRefFree(u16),
+    /// `cell(slot[fp + i]).value := acc`.
+    CellSetLocal(u16),
+    /// `cell(closure.free[i]).value := acc`.
+    CellSetFree(u16),
+    /// `slot[fp + i] := new cell(slot[fp + i])` (box a binding).
+    MakeCell(u16),
+    /// `acc := globals[i]`; error if undefined.
+    GlobalRef(u32),
+    /// `globals[i] := acc`; error if undefined.
+    GlobalSet(u32),
+    /// `globals[i] := acc`, defining it.
+    GlobalDef(u32),
+    /// `acc := new closure(codes[i])`, capturing per the target's
+    /// free-variable spec.
+    Closure(u32),
+    /// Unconditional relative jump.
+    Jump(i32),
+    /// Jump if `acc` is `#f`.
+    BranchFalse(i32),
+    /// Function prologue: arity check (collecting a rest list if variadic),
+    /// stack-overflow check for this code object's maximum frame extent,
+    /// GC safe point, and engine-timer tick.
+    Entry {
+        /// Required parameter count.
+        required: u16,
+        /// Whether extra arguments are collected into a rest list.
+        rest: bool,
+    },
+    /// Call: `slot[fp+disp] := return address; fp += disp; apply(acc, argc)`.
+    Call {
+        /// Frame displacement (the new frame's base relative to ours).
+        disp: u16,
+        /// Argument count (arguments sit at `disp+1 ..= disp+argc`).
+        argc: u16,
+    },
+    /// Tail call: move arguments at `disp+1..` down to `1..`, keep the
+    /// current frame's return address, `apply(acc, argc)`.
+    TailCall {
+        /// Where the argument block was built.
+        disp: u16,
+        /// Argument count.
+        argc: u16,
+    },
+    /// Return `acc` through the return address at `slot[fp]`.
+    Return,
+    // --- inlined primitives (operand slot × accumulator) ---
+    /// `acc := slot[fp+i] + acc`.
+    Add(u16),
+    /// `acc := slot[fp+i] - acc`.
+    Sub(u16),
+    /// `acc := slot[fp+i] * acc`.
+    Mul(u16),
+    /// `acc := slot[fp+i] < acc`.
+    Lt(u16),
+    /// `acc := slot[fp+i] <= acc`.
+    Le(u16),
+    /// `acc := slot[fp+i] > acc`.
+    Gt(u16),
+    /// `acc := slot[fp+i] >= acc`.
+    Ge(u16),
+    /// `acc := slot[fp+i] = acc` (numeric).
+    NumEq(u16),
+    /// `acc := cons(slot[fp+i], acc)`.
+    Cons(u16),
+    /// `acc := (eq? slot[fp+i] acc)` (also `eqv?` — values are immediates
+    /// or references).
+    Eq(u16),
+    /// `acc := car(acc)`.
+    Car,
+    /// `acc := cdr(acc)`.
+    Cdr,
+    /// `acc := (null? acc)`.
+    NullP,
+    /// `acc := (pair? acc)`.
+    PairP,
+    /// `acc := (not acc)`.
+    Not,
+    /// `acc := (zero? acc)`.
+    ZeroP,
+    /// `acc := acc + 1`.
+    Add1,
+    /// `acc := acc - 1`.
+    Sub1,
+    /// `acc := vector-ref(slot[fp+i], acc)`.
+    VecRef(u16),
+    /// `vector-set!(slot[fp+v], slot[fp+i], acc); acc := unspecified`.
+    VecSet {
+        /// Slot holding the vector.
+        v: u16,
+        /// Slot holding the index.
+        i: u16,
+    },
+}
+
+/// Where a created closure's captured value comes from, relative to the
+/// *creating* context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreeSrc {
+    /// A slot in the creator's frame.
+    Local(u16),
+    /// A capture of the creator's own closure.
+    Free(u16),
+}
+
+/// A compiled procedure body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeObject {
+    /// Diagnostic name.
+    pub name: String,
+    /// Required parameter count.
+    pub required: u16,
+    /// Whether extra arguments form a rest list.
+    pub rest: bool,
+    /// Maximum frame extent in slots (arguments, locals, temporaries, and
+    /// outgoing call frames) — the overflow check at [`Op::Entry`] reserves
+    /// this much.
+    pub frame_slots: u16,
+    /// Instructions; index 0 is always [`Op::Entry`].
+    pub ops: Vec<Op>,
+    /// Constant pool (lowered to runtime values at load time).
+    pub consts: Vec<Datum>,
+    /// Capture spec: how the creator builds this code's closure.
+    pub free_spec: Vec<FreeSrc>,
+}
+
+impl fmt::Display for CodeObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "code {:?} required={} rest={} frame={} free={}",
+            self.name,
+            self.required,
+            self.rest,
+            self.frame_slots,
+            self.free_spec.len()
+        )?;
+        for (i, op) in self.ops.iter().enumerate() {
+            writeln!(f, "  {i:4}: {op:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A compiled program: code objects plus the global names they reference.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// All code objects; nested lambdas refer to others by index.
+    pub codes: Vec<CodeObject>,
+    /// Index of the toplevel thunk (zero-argument entry point).
+    pub entry: u32,
+    /// Global-variable names; `Op::GlobalRef(i)` etc. index this table and
+    /// are relinked against the VM's global table at load time.
+    pub globals: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_ops() {
+        let c = CodeObject {
+            name: "t".into(),
+            required: 0,
+            rest: false,
+            frame_slots: 4,
+            ops: vec![Op::Entry { required: 0, rest: false }, Op::FixInt(1), Op::Return],
+            consts: vec![],
+            free_spec: vec![],
+        };
+        let text = c.to_string();
+        assert!(text.contains("FixInt(1)"));
+        assert!(text.contains("frame=4"));
+    }
+}

@@ -1,0 +1,130 @@
+//! A minimal slotted arena with index reuse.
+//!
+//! Both stack segments and continuation objects live in arenas owned by the
+//! [`SegStack`](crate::SegStack); identifiers are plain indices. Freed slots
+//! are kept on a free list and reused, which keeps identifiers small and
+//! allocation cheap — the same role the heap allocator plays for stack
+//! records in the paper's Chez Scheme implementation.
+
+/// A slotted arena mapping `u32` indices to values of type `T`.
+#[derive(Debug, Clone)]
+pub(crate) struct Arena<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena { slots: Vec::new(), free: Vec::new(), live: 0 }
+    }
+}
+
+impl<T> Arena<T> {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a value, returning its index.
+    pub(crate) fn insert(&mut self, value: T) -> u32 {
+        self.live += 1;
+        match self.free.pop() {
+            Some(idx) => {
+                debug_assert!(self.slots[idx as usize].is_none());
+                self.slots[idx as usize] = Some(value);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("arena index overflow");
+                self.slots.push(Some(value));
+                idx
+            }
+        }
+    }
+
+    /// Removes and returns the value at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not occupied.
+    pub(crate) fn remove(&mut self, idx: u32) -> T {
+        let v = self.slots[idx as usize].take().expect("arena slot already free");
+        self.free.push(idx);
+        self.live -= 1;
+        v
+    }
+
+    pub(crate) fn get(&self, idx: u32) -> &T {
+        self.slots[idx as usize].as_ref().expect("arena slot is free")
+    }
+
+    pub(crate) fn get_mut(&mut self, idx: u32) -> &mut T {
+        self.slots[idx as usize].as_mut().expect("arena slot is free")
+    }
+
+    pub(crate) fn contains(&self, idx: u32) -> bool {
+        (idx as usize) < self.slots.len() && self.slots[idx as usize].is_some()
+    }
+
+    /// Number of live entries.
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Iterates over `(index, value)` pairs of live entries.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
+    }
+
+    /// Indices of all live entries (snapshot).
+    pub(crate) fn indices(&self) -> Vec<u32> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_reuses_indices() {
+        let mut a = Arena::new();
+        let i = a.insert("a");
+        let j = a.insert("b");
+        assert_eq!(*a.get(i), "a");
+        assert_eq!(*a.get(j), "b");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.remove(i), "a");
+        assert_eq!(a.len(), 1);
+        assert!(!a.contains(i));
+        let k = a.insert("c");
+        assert_eq!(k, i, "freed index is reused");
+        assert_eq!(*a.get(k), "c");
+    }
+
+    #[test]
+    fn iter_visits_only_live() {
+        let mut a = Arena::new();
+        let i = a.insert(1);
+        let _j = a.insert(2);
+        a.remove(i);
+        let seen: Vec<i32> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(seen, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already free")]
+    fn double_remove_panics() {
+        let mut a = Arena::new();
+        let i = a.insert(0u8);
+        a.remove(i);
+        a.remove(i);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for continuation operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid [`Config`](crate::Config).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: &'static str,
+}
+
+impl ConfigError {
+    pub(crate) fn new(message: &'static str) -> Self {
+        ConfigError { message }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid segmented stack configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A runtime control error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// A one-shot continuation was invoked a second time. The paper marks a
+    /// shot continuation by setting both of its size fields to -1; we carry
+    /// the shot state explicitly and report the error to the embedder.
+    AlreadyShot,
+    /// A continuation identifier did not refer to a live continuation
+    /// (e.g. it was collected by a GC sweep the embedder requested).
+    DeadContinuation,
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::AlreadyShot => {
+                write!(f, "attempt to invoke shot one-shot continuation")
+            }
+            ControlError::DeadContinuation => {
+                write!(f, "attempt to use a collected continuation")
+            }
+        }
+    }
+}
+
+impl Error for ControlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_without_period() {
+        let s = ControlError::AlreadyShot.to_string();
+        assert!(s.starts_with("attempt"));
+        assert!(!s.ends_with('.'));
+        let c = ConfigError::new("x").to_string();
+        assert!(c.contains("x"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Continuation objects.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::stack::SegmentId;
+
+/// Identifies a continuation object owned by a [`SegStack`](crate::SegStack).
+///
+/// Identifiers are stable until the continuation is collected by
+/// [`SegStack::sweep`](crate::SegStack::sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KontId(pub(crate) u32);
+
+impl KontId {
+    /// The raw index, useful for embedding into tagged value representations.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs an identifier from [`KontId::index`].
+    pub fn from_index(index: u32) -> Self {
+        KontId(index)
+    }
+}
+
+/// The flavour and state of a continuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KontKind {
+    /// A traditional multi-shot continuation: may be invoked any number of
+    /// times; reinstatement copies the saved frames.
+    MultiShot,
+    /// A one-shot continuation that has not yet been invoked. Carries the
+    /// shared promotion flag used by
+    /// [`PromotionStrategy::SharedFlag`](crate::PromotionStrategy::SharedFlag);
+    /// under `EagerWalk` promotion rewrites the kind to `MultiShot` instead.
+    OneShot {
+        /// Set when every one-shot continuation in this chain has been
+        /// promoted to multi-shot status by a `call/cc` capture.
+        promoted: Rc<Cell<bool>>,
+    },
+    /// A one-shot continuation that has been invoked; invoking it again is
+    /// an error. (The paper represents this state by setting both size
+    /// fields to -1.)
+    Shot,
+}
+
+/// A continuation object: a sealed stack record (Figure 2 of the paper).
+///
+/// A continuation owns the slice `[base, base + size)` of its segment, of
+/// which `[base, base + cur)` is occupied by frames. For multi-shot
+/// continuations `size == cur` always; for live one-shot continuations the
+/// two differ (the segment's unoccupied tail is encapsulated too) — the
+/// paper uses exactly this inequality to distinguish the two varieties, and
+/// [`Kont::is_one_shot_by_sizes`] exposes the same test.
+#[derive(Debug, Clone)]
+pub struct Kont<S> {
+    /// The segment holding the saved frames.
+    pub(crate) seg: SegmentId,
+    /// Absolute slot index of the base of the saved region.
+    pub(crate) base: usize,
+    /// Total slots owned (from `base`).
+    pub(crate) size: usize,
+    /// Occupied slots (the "current size" field of Figure 2); the saved
+    /// frame pointer is `base + cur`.
+    pub(crate) cur: usize,
+    /// The return address of the most recent frame — the slot value through
+    /// which control resumes when the continuation is invoked.
+    pub(crate) ret: S,
+    /// The next (older) continuation in the chain, if any.
+    pub(crate) link: Option<KontId>,
+    /// Flavour and state.
+    pub(crate) kind: KontKind,
+    /// GC mark bit, managed by the embedder via
+    /// [`SegStack::mark_kont`](crate::SegStack::mark_kont).
+    pub(crate) mark: bool,
+}
+
+impl<S> Kont<S> {
+    /// The next (older) continuation in the chain, or `None` at the root.
+    pub fn link(&self) -> Option<KontId> {
+        self.link
+    }
+
+    /// The saved return address of the most recent frame — what control
+    /// resumes through when the continuation is invoked. Stack walkers
+    /// (debuggers, exception handlers; §3.1 of the paper) start here.
+    pub fn ret(&self) -> &S {
+        &self.ret
+    }
+
+    /// The flavour and state of this continuation.
+    pub fn kind(&self) -> &KontKind {
+        &self.kind
+    }
+
+    /// Occupied slots — the number of slots a multi-shot reinstatement of
+    /// this continuation would copy.
+    pub fn occupied(&self) -> usize {
+        self.cur
+    }
+
+    /// Total slots owned, including the unoccupied tail encapsulated by a
+    /// one-shot capture. Drives the fragmentation measurements of §3.4.
+    pub fn owned(&self) -> usize {
+        self.size
+    }
+
+    /// Whether this continuation has been shot (invoked as a one-shot).
+    pub fn is_shot(&self) -> bool {
+        matches!(self.kind, KontKind::Shot)
+    }
+
+    /// Whether this continuation currently behaves as a live one-shot:
+    /// it is of one-shot kind and its shared promotion flag is unset.
+    pub fn is_live_one_shot(&self) -> bool {
+        match &self.kind {
+            KontKind::OneShot { promoted } => !promoted.get(),
+            _ => false,
+        }
+    }
+
+    /// The paper's size-field test: a continuation is one-shot exactly when
+    /// its total size and current size differ. Kept for fidelity and used by
+    /// debug assertions; the authoritative state is [`Kont::kind`].
+    pub fn is_one_shot_by_sizes(&self) -> bool {
+        self.size != self.cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(kind: KontKind, size: usize, cur: usize) -> Kont<u32> {
+        Kont { seg: SegmentId(0), base: 0, size, cur, ret: 0, link: None, kind, mark: false }
+    }
+
+    #[test]
+    fn size_field_test_matches_kind_for_fresh_konts() {
+        let multi = mk(KontKind::MultiShot, 10, 10);
+        assert!(!multi.is_one_shot_by_sizes());
+        let one = mk(KontKind::OneShot { promoted: Rc::new(Cell::new(false)) }, 64, 10);
+        assert!(one.is_one_shot_by_sizes());
+        assert!(one.is_live_one_shot());
+    }
+
+    #[test]
+    fn shared_flag_promotion_is_visible() {
+        let flag = Rc::new(Cell::new(false));
+        let k = mk(KontKind::OneShot { promoted: flag.clone() }, 64, 10);
+        assert!(k.is_live_one_shot());
+        flag.set(true);
+        assert!(!k.is_live_one_shot());
+    }
+
+    #[test]
+    fn kont_id_round_trips_through_index() {
+        let id = KontId(7);
+        assert_eq!(KontId::from_index(id.index()), id);
+    }
+}

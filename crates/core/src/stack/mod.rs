@@ -1,0 +1,947 @@
+//! The segmented stack and its continuation operations.
+//!
+//! See the crate-level documentation for the model. Absolute *slot indices*
+//! index into the current segment; the *frame pointer* `fp` is such an
+//! index, pointing at the base of the active frame (which holds the frame's
+//! return address, per §3.1 of the paper). There is deliberately no stack
+//! pointer: the embedder adjusts `fp` by compile-time displacements before
+//! and after calls, exactly as the paper's compiler does.
+//!
+//! # The paper's figures, in ASCII
+//!
+//! Figure 1 — the segmented stack model. A logical stack is a list of
+//! segments linked through records; each frame holds its return address at
+//! the base:
+//!
+//! ```text
+//!        current record                segment
+//!   ┌──────────────────────┐      ┌──────────────┐◄─ end
+//!   │ segment  ────────────┼───┐  │   (free)     │
+//!   │ base, size           │   │  ├──────────────┤
+//!   │ link ──► older kont  │   │  │ local m      │
+//!   └──────────────────────┘   │  │ ...          │
+//!                              │  │ argument n   │
+//!                 fp ──────────┼─►│ return addr  │◄─ frame base
+//!                              │  ├──────────────┤
+//!                              │  │ caller frames│
+//!                              └─►│ [marker]     │◄─ record base
+//!                                 └──────────────┘
+//! ```
+//!
+//! Figure 2 — capture. `call/cc` ([`SegStack::capture_multi`]) seals the
+//! occupied portion `[base, fp)` into a continuation and keeps the
+//! remainder as the current record; `call/1cc`
+//! ([`SegStack::capture_one`]) encapsulates the *whole* segment
+//! (`size != current_size`) and takes a fresh segment from the cache:
+//!
+//! ```text
+//!   call/cc:  [ sealed kont │ new current record ]   (same segment)
+//!   call/1cc: [ whole segment → kont ]  +  fresh segment from cache
+//! ```
+//!
+//! Figure 3 — multi-shot reinstatement copies the saved slots back into
+//! the current segment ([`SegStack::reinstate`], multi path), splitting
+//! first when the saved portion exceeds the copy bound.
+//!
+//! Figure 4 — one-shot reinstatement swaps segments in O(1): the current
+//! segment is discarded into the cache, the continuation's record becomes
+//! current, and the continuation is marked *shot* (the paper sets both
+//! size fields to −1).
+//!
+//! # Frame walking
+//!
+//! Operations that must find frame boundaries (splitting at the copy bound,
+//! overflow hysteresis) take a *walker*: a function mapping a return-address
+//! slot to the displacement between the frame holding it and its caller's
+//! frame. The paper stores this displacement in the code stream immediately
+//! before each return point; a bytecode embedder typically keeps it in a
+//! side table keyed by return PC. The walker returns `None` for the
+//! underflow marker (or any non-return-address slot), which terminates a
+//! walk.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::arena::Arena;
+use crate::config::{Config, OneShotPolicy, OverflowPolicy, PromotionStrategy};
+use crate::error::ControlError;
+use crate::kont::{Kont, KontId, KontKind};
+use crate::stats::Stats;
+
+/// Identifies a physical stack segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub(crate) u32);
+
+#[derive(Debug)]
+struct Segment<S> {
+    slots: Box<[S]>,
+    /// Number of continuations referencing this segment, plus one if it is
+    /// the current segment. A segment with `rc == 0` is dead (or cached).
+    rc: u32,
+    /// Whether the segment has the default capacity and is therefore
+    /// eligible for the segment cache.
+    default_size: bool,
+}
+
+/// The result of reinstating a continuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Reinstated<S> {
+    /// The return address through which control resumes: the embedder
+    /// should deliver the continuation's value and jump here. The frame
+    /// pointer has already been repositioned.
+    pub ret: S,
+    /// Whether the O(1) one-shot path was taken (no copying).
+    pub one_shot: bool,
+}
+
+/// The result of returning through the base of the current segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Underflow<S> {
+    /// The link continuation was reinstated; resume through this result.
+    Resumed(Reinstated<S>),
+    /// The continuation chain is exhausted: the program is complete.
+    Exhausted,
+}
+
+/// The action taken by [`SegStack::ensure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overflow {
+    /// The frame fits; nothing happened.
+    Fits,
+    /// The stack overflowed and was handled per [`OverflowPolicy`]; the
+    /// frame pointer has moved to the relocated frame in a new segment.
+    Handled,
+}
+
+/// A segmented control stack (Figures 1–4 of the paper).
+///
+/// `S` is the slot type stored in frames — typically a tagged value type
+/// that can also represent return addresses and the underflow marker.
+#[derive(Debug)]
+pub struct SegStack<S> {
+    segs: Arena<Segment<S>>,
+    konts: Arena<Kont<S>>,
+    /// Free list of default-size segments (§3.2's stack segment cache).
+    cache: Vec<SegmentId>,
+    cfg: Config,
+    marker: S,
+    /// Minimum headroom guaranteed above `fp` after any reinstatement; the
+    /// embedder raises this to its maximum static frame size.
+    reserve: usize,
+    // --- the current stack record (Figure 1) ---
+    cur_seg: SegmentId,
+    cur_base: usize,
+    cur_end: usize,
+    cur_link: Option<KontId>,
+    fp: usize,
+    stats: Stats,
+}
+
+impl<S: Clone> SegStack<S> {
+    /// Creates a stack with one large initial segment, an empty cache, and
+    /// the given underflow `marker`, which is installed in the base slot of
+    /// every stack record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`Config::validate`]; use `validate` first for
+    /// a recoverable error.
+    pub fn new(cfg: Config, marker: S) -> Self {
+        cfg.validate().expect("invalid segmented stack configuration");
+        let reserve = cfg.min_headroom;
+        let mut st = SegStack {
+            segs: Arena::new(),
+            konts: Arena::new(),
+            cache: Vec::new(),
+            cfg,
+            marker,
+            reserve,
+            cur_seg: SegmentId(0),
+            cur_base: 0,
+            cur_end: 0,
+            cur_link: None,
+            fp: 0,
+            stats: Stats::default(),
+        };
+        let seg = st.alloc_segment(st.cfg.segment_slots);
+        st.cur_seg = seg;
+        st.cur_end = st.cfg.segment_slots;
+        st.set(0, st.marker.clone());
+        st
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The configuration this stack was created with.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The current frame pointer (an absolute slot index).
+    #[inline]
+    pub fn fp(&self) -> usize {
+        self.fp
+    }
+
+    /// Repositions the frame pointer. The embedder is responsible for
+    /// keeping it within the current record.
+    #[inline]
+    pub fn set_fp(&mut self, fp: usize) {
+        debug_assert!(fp >= self.cur_base && fp < self.cur_end);
+        self.fp = fp;
+    }
+
+    /// Base slot index of the current stack record.
+    pub fn base(&self) -> usize {
+        self.cur_base
+    }
+
+    /// One past the last slot available to the current record.
+    pub fn end(&self) -> usize {
+        self.cur_end
+    }
+
+    /// Slots available above the frame pointer.
+    pub fn headroom(&self) -> usize {
+        self.cur_end - self.fp
+    }
+
+    /// The continuation the current record returns into, if any.
+    pub fn current_link(&self) -> Option<KontId> {
+        self.cur_link
+    }
+
+    /// Reads the slot at absolute index `i` in the current segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the current segment.
+    #[inline]
+    pub fn get(&self, i: usize) -> &S {
+        &self.segs.get(self.cur_seg.0).slots[i]
+    }
+
+    /// Writes the slot at absolute index `i` in the current segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the current segment.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: S) {
+        self.segs.get_mut(self.cur_seg.0).slots[i] = v;
+    }
+
+    /// A slice of the current segment, `[lo, hi)` — used by embedder GCs to
+    /// trace the live portion of the running stack.
+    pub fn slice(&self, lo: usize, hi: usize) -> &[S] {
+        &self.segs.get(self.cur_seg.0).slots[lo..hi]
+    }
+
+    /// Pushes a frame: writes `ret` at `fp + disp` and advances the frame
+    /// pointer there, mirroring the paper's pre-call adjustment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new frame base lies outside the current record; call
+    /// [`SegStack::ensure`] first.
+    #[inline]
+    pub fn push_frame(&mut self, disp: usize, ret: S) {
+        let nfp = self.fp + disp;
+        assert!(nfp < self.cur_end, "frame pushed past segment end; missing ensure()");
+        self.set(nfp, ret);
+        self.fp = nfp;
+    }
+
+    /// Pops a frame: moves the frame pointer down by `disp`, mirroring the
+    /// paper's post-return adjustment.
+    #[inline]
+    pub fn pop_frame(&mut self, disp: usize) {
+        debug_assert!(self.fp >= self.cur_base + disp);
+        self.fp -= disp;
+    }
+
+    /// Looks up a continuation object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a collected continuation.
+    pub fn kont(&self, id: KontId) -> &Kont<S> {
+        self.konts.get(id.0)
+    }
+
+    /// Whether `id` refers to a live (uncollected) continuation object.
+    pub fn kont_alive(&self, id: KontId) -> bool {
+        self.konts.contains(id.0)
+    }
+
+    /// The occupied saved slots of a continuation — what a multi-shot
+    /// reinstatement would copy. Empty for shot continuations.
+    pub fn kont_slice(&self, id: KontId) -> &[S] {
+        let k = self.konts.get(id.0);
+        match k.kind {
+            KontKind::Shot => &[],
+            _ => &self.segs.get(k.seg.0).slots[k.base..k.base + k.cur],
+        }
+    }
+
+    /// Number of live continuation objects.
+    pub fn kont_count(&self) -> usize {
+        self.konts.len()
+    }
+
+    /// Number of live segments (including cached ones).
+    pub fn segment_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Number of segments currently in the cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Total slot capacity of all live segments — the resident stack memory
+    /// measure used by the fragmentation experiment (E7). Includes cached
+    /// segments.
+    pub fn resident_slots(&self) -> usize {
+        self.segs.iter().map(|(_, s)| s.slots.len()).sum()
+    }
+
+    /// Raises the post-reinstatement headroom guarantee to at least
+    /// `slots`. Embedders call this with their maximum static frame size so
+    /// that resumed code can never write past a segment end between two
+    /// overflow checks.
+    pub fn raise_reserve(&mut self, slots: usize) {
+        self.reserve = self.reserve.max(slots);
+    }
+
+    // ------------------------------------------------------------------
+    // Capture (Figure 2)
+    // ------------------------------------------------------------------
+
+    /// Captures the current continuation as a multi-shot continuation
+    /// (`call/cc`): seals the occupied portion of the current segment and
+    /// shortens the current record. No slots are copied. One-shot
+    /// continuations in the chain are promoted per the configured
+    /// [`PromotionStrategy`] (§3.3).
+    ///
+    /// Returns `None` when the continuation chain is empty and the stack is
+    /// empty — the continuation is then "return from the program".
+    pub fn capture_multi(&mut self) -> Option<KontId> {
+        self.promote_chain();
+        let occupied = self.fp - self.cur_base;
+        if occupied == 0 {
+            // Proper tail recursion (§3.2): the link is the continuation.
+            self.stats.captures_empty += 1;
+            return self.cur_link;
+        }
+        self.stats.captures_multi += 1;
+        let ret = self.get(self.fp).clone();
+        let k = Kont {
+            seg: self.cur_seg,
+            base: self.cur_base,
+            size: occupied,
+            cur: occupied,
+            ret,
+            link: self.cur_link,
+            kind: KontKind::MultiShot,
+            mark: false,
+        };
+        self.segs.get_mut(self.cur_seg.0).rc += 1;
+        let id = KontId(self.konts.insert(k));
+        // The remainder of the segment becomes the current record.
+        self.cur_base = self.fp;
+        self.cur_link = Some(id);
+        let fp = self.fp;
+        let m = self.marker.clone();
+        self.set(fp, m);
+        Some(id)
+    }
+
+    /// Captures the current continuation as a one-shot continuation
+    /// (`call/1cc`): encapsulates the segment in the continuation without
+    /// copying and installs a new current segment per the configured
+    /// [`OneShotPolicy`]. `need` is the number of slots the embedder will
+    /// write above the new frame pointer before the next overflow check.
+    ///
+    /// Returns `None` under the same conditions as
+    /// [`SegStack::capture_multi`]. When the stack is empty the link is
+    /// reused and no segment changes occur (tail rule).
+    pub fn capture_one(&mut self, need: usize) -> Option<KontId> {
+        let occupied = self.fp - self.cur_base;
+        if occupied == 0 {
+            self.stats.captures_empty += 1;
+            return self.cur_link;
+        }
+        self.stats.captures_one += 1;
+        let ret = self.get(self.fp).clone();
+        let flag = self.inherit_flag();
+
+        match self.cfg.oneshot_policy {
+            OneShotPolicy::SealWithPad(pad) => {
+                let pad = pad.max(self.reserve);
+                let seal_end = self.fp + pad;
+                let room_after = self.cur_end.saturating_sub(seal_end);
+                if room_after > need.max(self.reserve) {
+                    // Seal at a fixed displacement above the occupied
+                    // portion; the remainder stays current (§3.4).
+                    let k = Kont {
+                        seg: self.cur_seg,
+                        base: self.cur_base,
+                        size: seal_end - self.cur_base,
+                        cur: occupied,
+                        ret,
+                        link: self.cur_link,
+                        kind: KontKind::OneShot { promoted: flag },
+                        mark: false,
+                    };
+                    self.segs.get_mut(self.cur_seg.0).rc += 1;
+                    let id = KontId(self.konts.insert(k));
+                    self.cur_base = seal_end;
+                    self.cur_link = Some(id);
+                    self.fp = seal_end;
+                    let m = self.marker.clone();
+                    self.set(seal_end, m);
+                    return Some(id);
+                }
+                // Not enough room: fall through to a fresh segment, sealing
+                // the whole segment as in the basic scheme.
+            }
+            OneShotPolicy::FreshSegment => {}
+        }
+
+        // Basic scheme (§3.2): the continuation takes the entire segment.
+        let k = Kont {
+            seg: self.cur_seg,
+            base: self.cur_base,
+            size: self.cur_end - self.cur_base,
+            cur: occupied,
+            ret,
+            link: self.cur_link,
+            kind: KontKind::OneShot { promoted: flag },
+            mark: false,
+        };
+        // The continuation takes over the current record's reference.
+        let id = KontId(self.konts.insert(k));
+        let new_seg = self.obtain_segment(need.max(self.reserve) + 1);
+        self.install_record(new_seg, Some(id));
+        Some(id)
+    }
+
+    /// The shared promotion flag for a new one-shot continuation: inherited
+    /// from the link when it is an unpromoted one-shot (so a whole chain
+    /// shares one flag), fresh otherwise. Under [`PromotionStrategy::
+    /// EagerWalk`] the flag is never set, but maintaining it is cheap and
+    /// keeps the two strategies structurally identical.
+    fn inherit_flag(&self) -> Rc<Cell<bool>> {
+        if let Some(l) = self.cur_link {
+            if let KontKind::OneShot { promoted } = &self.konts.get(l.0).kind {
+                if !promoted.get() {
+                    return promoted.clone();
+                }
+            }
+        }
+        Rc::new(Cell::new(false))
+    }
+
+    /// Promotes every live one-shot continuation reachable through the
+    /// current link chain, stopping at the first continuation that is not a
+    /// live one-shot (§3.3: the operation that created a multi-shot
+    /// continuation already promoted everything below it).
+    fn promote_chain(&mut self) {
+        match self.cfg.promotion {
+            PromotionStrategy::SharedFlag => {
+                if let Some(l) = self.cur_link {
+                    if let KontKind::OneShot { promoted } = &self.konts.get(l.0).kind {
+                        if !promoted.get() {
+                            promoted.set(true);
+                            self.stats.promotions += 1;
+                        }
+                    }
+                }
+            }
+            PromotionStrategy::EagerWalk => {
+                let mut cursor = self.cur_link;
+                while let Some(id) = cursor {
+                    let k = self.konts.get_mut(id.0);
+                    match &k.kind {
+                        KontKind::OneShot { promoted } if !promoted.get() => {
+                            // Promotion sets the size of a one-shot
+                            // continuation equal to its current size,
+                            // restoring the multi-shot invariant. The
+                            // segment tail it owned beyond the occupied
+                            // portion is abandoned (fragmentation, §3.4).
+                            k.size = k.cur;
+                            k.kind = KontKind::MultiShot;
+                            self.stats.promotions += 1;
+                            self.stats.promotion_steps += 1;
+                            cursor = k.link;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reinstatement (Figures 3 and 4)
+    // ------------------------------------------------------------------
+
+    /// Reinstates continuation `id`, repositioning the frame pointer at its
+    /// saved frame. The embedder should deliver the continuation's value
+    /// and jump through the returned return address.
+    ///
+    /// One-shot continuations are reinstated in O(1) by discarding the
+    /// current segment into the cache (Figure 4); multi-shot continuations
+    /// are copied into the current segment, splitting first if the saved
+    /// portion exceeds the copy bound (Figure 3).
+    ///
+    /// `walker` maps a return-address slot to its frame displacement (see
+    /// module docs); it is consulted only when splitting.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::AlreadyShot`] if `id` was a one-shot continuation
+    /// that has already been invoked; [`ControlError::DeadContinuation`] if
+    /// `id` was collected.
+    pub fn reinstate<W>(&mut self, id: KontId, walker: &W) -> Result<Reinstated<S>, ControlError>
+    where
+        W: Fn(&S) -> Option<usize>,
+    {
+        if !self.konts.contains(id.0) {
+            return Err(ControlError::DeadContinuation);
+        }
+        enum Path {
+            Shot,
+            One,
+            Multi,
+        }
+        let path = match &self.konts.get(id.0).kind {
+            KontKind::Shot => Path::Shot,
+            KontKind::OneShot { promoted } if !promoted.get() => Path::One,
+            _ => Path::Multi,
+        };
+        match path {
+            Path::Shot => Err(ControlError::AlreadyShot),
+            Path::One => Ok(self.reinstate_one(id)),
+            Path::Multi => Ok(self.reinstate_multi(id, walker)),
+        }
+    }
+
+    /// Figure 4: O(1) one-shot reinstatement. The current segment is
+    /// discarded (into the cache if unshared), the continuation's record
+    /// becomes current, and the continuation is marked shot.
+    fn reinstate_one(&mut self, id: KontId) -> Reinstated<S> {
+        self.stats.reinstates_one += 1;
+        self.stats.shots += 1;
+        let k = self.konts.get_mut(id.0);
+        let (seg, base, size, cur, link) = (k.seg, k.base, k.size, k.cur, k.link);
+        let ret = std::mem::replace(&mut k.ret, self.marker.clone());
+        // Mark shot (the paper sets both size fields to -1).
+        k.kind = KontKind::Shot;
+        k.size = 0;
+        k.cur = 0;
+        // The current record's reference moves off the old segment...
+        let old = self.cur_seg;
+        self.release_segment(old);
+        // ...and takes over the continuation's reference to its segment.
+        self.cur_seg = seg;
+        self.cur_base = base;
+        self.cur_end = base + size;
+        self.cur_link = link;
+        self.fp = base + cur;
+        Reinstated { ret, one_shot: true }
+    }
+
+    /// Figure 3: multi-shot reinstatement by copying, with lazy splitting
+    /// at frame boundaries when the saved portion exceeds the copy bound.
+    fn reinstate_multi<W>(&mut self, mut id: KontId, walker: &W) -> Reinstated<S>
+    where
+        W: Fn(&S) -> Option<usize>,
+    {
+        self.stats.reinstates_multi += 1;
+        if self.konts.get(id.0).cur > self.cfg.copy_bound {
+            id = self.split(id, walker);
+        }
+        let (src_seg, src_base, n, link) = {
+            let k = self.konts.get(id.0);
+            (k.seg, k.base, k.cur, k.link)
+        };
+        let ret = self.konts.get(id.0).ret.clone();
+
+        // Make room at the base of the current record; if the record is too
+        // short, move to a fresh (possibly oversized) segment. The source
+        // segment is kept alive by the continuation's own reference.
+        if self.cur_end - self.cur_base < n + self.reserve + 1 {
+            let old = self.cur_seg;
+            self.release_segment(old);
+            let seg = self.obtain_segment(n + self.reserve + 1);
+            self.install_record(seg, link);
+        } else {
+            self.cur_link = link;
+        }
+
+        // Copy the saved frames to the base of the current record.
+        self.stats.slots_copied += n as u64;
+        self.copy_slots(src_seg, src_base, self.cur_seg, self.cur_base, n);
+        // Patch the underflow marker into the copy: the bottom frame of the
+        // record must return into the link. (For an unsplit continuation
+        // the source base slot already holds the marker; for a split one it
+        // holds a real return address owned by the bottom part.)
+        let b = self.cur_base;
+        let m = self.marker.clone();
+        self.set(b, m);
+        self.fp = self.cur_base + n;
+        Reinstated { ret, one_shot: false }
+    }
+
+    /// Splits continuation `id` at a frame boundary so that its occupied
+    /// portion does not exceed the copy bound, mutating it in place into
+    /// the top part linked to a freshly created bottom part (§3.2). Returns
+    /// `id` (now the top part). The split persists, so repeated invocations
+    /// of the same large continuation split at most once per boundary.
+    fn split<W>(&mut self, id: KontId, walker: &W) -> KontId
+    where
+        W: Fn(&S) -> Option<usize>,
+    {
+        let (seg, base, cur, ret) = {
+            let k = self.konts.get(id.0);
+            (k.seg, k.base, k.cur, k.ret.clone())
+        };
+        let top = base + cur;
+        // Walk down from the top frame until the portion above the cursor
+        // would exceed the bound; split off as much as possible (§3.2).
+        let mut x = top;
+        let mut r = ret;
+        while let Some(d) = walker(&r) {
+            if d == 0 || d > x - base {
+                break;
+            }
+            let nx = x - d;
+            if top - nx > self.cfg.copy_bound {
+                break;
+            }
+            x = nx;
+            if x == base {
+                break;
+            }
+            r = self.segs.get(seg.0).slots[x].clone();
+        }
+        if x == top || x == base {
+            // A single frame exceeds the bound (or nothing to split):
+            // give up and copy whole. The paper notes splitting off a
+            // single frame is always sufficient under its compiler's frame
+            // size limits; we degrade gracefully instead.
+            return id;
+        }
+        self.stats.splits += 1;
+        let link = self.konts.get(id.0).link;
+        let boundary_ret = self.segs.get(seg.0).slots[x].clone();
+        let bottom = Kont {
+            seg,
+            base,
+            size: x - base,
+            cur: x - base,
+            ret: boundary_ret,
+            link,
+            kind: KontKind::MultiShot,
+            mark: false,
+        };
+        self.segs.get_mut(seg.0).rc += 1;
+        let bottom_id = KontId(self.konts.insert(bottom));
+        let k = self.konts.get_mut(id.0);
+        k.base = x;
+        k.size = top - x;
+        k.cur = top - x;
+        k.link = Some(bottom_id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Underflow and overflow (§3.2)
+    // ------------------------------------------------------------------
+
+    /// Handles a return through the base of the current record (the slot
+    /// holding the underflow marker): reinstates the link continuation
+    /// implicitly, or reports that the continuation chain is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ControlError::AlreadyShot`] when the link is a one-shot
+    /// continuation that has already been invoked through another path.
+    pub fn underflow<W>(&mut self, walker: &W) -> Result<Underflow<S>, ControlError>
+    where
+        W: Fn(&S) -> Option<usize>,
+    {
+        debug_assert_eq!(self.fp, self.cur_base, "underflow away from record base");
+        self.stats.underflows += 1;
+        match self.cur_link {
+            None => Ok(Underflow::Exhausted),
+            Some(link) => Ok(Underflow::Resumed(self.reinstate(link, walker)?)),
+        }
+    }
+
+    /// Ensures the active frame can grow to `need` slots above the frame
+    /// pointer, handling stack overflow per the configured
+    /// [`OverflowPolicy`] if not (§3.2). `live` is the number of slots at
+    /// and above `fp` that are currently live (at least 1, for the return
+    /// address at the frame base) and must be relocated with the frame.
+    ///
+    /// On overflow, the old segment is encapsulated in an implicit
+    /// continuation and the top frames — bounded by the hysteresis
+    /// setting — are copied into a fresh segment.
+    pub fn ensure<W>(&mut self, need: usize, live: usize, walker: &W) -> Overflow
+    where
+        W: Fn(&S) -> Option<usize>,
+    {
+        debug_assert!(live >= 1 && live <= need);
+        if self.fp + need <= self.cur_end {
+            return Overflow::Fits;
+        }
+        self.overflow(need, live, walker);
+        Overflow::Handled
+    }
+
+    fn overflow<W>(&mut self, need: usize, live: usize, walker: &W)
+    where
+        W: Fn(&S) -> Option<usize>,
+    {
+        self.stats.overflows += 1;
+        // Choose the relocation boundary: at least the active frame moves;
+        // hysteresis moves up to `hysteresis_slots` more (§3.2).
+        let mut x = self.fp;
+        if self.cfg.hysteresis_slots > 0 {
+            let mut r = self.get(self.fp).clone();
+            while x > self.cur_base {
+                let Some(d) = walker(&r) else { break };
+                if d == 0 || d > x - self.cur_base {
+                    break;
+                }
+                let nx = x - d;
+                if self.fp + live - nx > self.cfg.hysteresis_slots {
+                    break;
+                }
+                x = nx;
+                if x == self.cur_base {
+                    break;
+                }
+                r = self.get(x).clone();
+            }
+        }
+        let relocated = self.fp + live - x;
+        let old_seg = self.cur_seg;
+        let occupied = x - self.cur_base;
+
+        let link = if occupied == 0 {
+            // The whole record relocates; no continuation is created (the
+            // empty-capture rule) and the old segment loses the current
+            // record's reference.
+            let l = self.cur_link;
+            // Defer the release until after the copy below.
+            l
+        } else {
+            let ret = self.get(x).clone();
+            let kind = match self.cfg.overflow_policy {
+                OverflowPolicy::OneShot => KontKind::OneShot { promoted: self.inherit_flag() },
+                OverflowPolicy::MultiShot => KontKind::MultiShot,
+            };
+            if matches!(self.cfg.overflow_policy, OverflowPolicy::MultiShot) {
+                // An implicit call/cc must promote the chain below (§3.3).
+                self.promote_chain();
+            }
+            let size = match kind {
+                KontKind::MultiShot => occupied,
+                _ => self.cur_end - self.cur_base,
+            };
+            let k = Kont {
+                seg: self.cur_seg,
+                base: self.cur_base,
+                size,
+                cur: occupied,
+                ret,
+                link: self.cur_link,
+                kind,
+                mark: false,
+            };
+            self.segs.get_mut(self.cur_seg.0).rc += 1;
+            Some(KontId(self.konts.insert(k)))
+        };
+
+        let new_seg = self.obtain_segment(relocated + need - live + self.reserve);
+        // Copy the relocated frames to the base of the new segment.
+        self.stats.slots_copied += relocated as u64;
+        self.copy_slots(old_seg, x, new_seg, 0, relocated);
+        let new_fp = self.fp - x;
+        self.cur_seg = new_seg;
+        self.cur_base = 0;
+        self.cur_end = self.segs.get(new_seg.0).slots.len();
+        self.cur_link = link;
+        self.fp = new_fp;
+        // The bottom relocated frame returns into the implicit continuation
+        // (or straight into the old link when the record was empty, in
+        // which case slot 0 already held the marker and this is a no-op).
+        let m = self.marker.clone();
+        self.set(0, m);
+        // The current record's reference leaves the old segment. When a
+        // continuation was created it holds its own reference, so the
+        // segment survives; when the record was empty the segment may drop
+        // to the cache here.
+        self.release_segment(old_seg);
+    }
+
+    /// Abandons the current record and installs a fresh empty record with
+    /// no link — the state in which returning from the bottom frame ends
+    /// the program. Used by embedders to implement invocation of the empty
+    /// ("halt") continuation. Captured continuations are unaffected.
+    pub fn clear_to_empty(&mut self) {
+        let old = self.cur_seg;
+        self.release_segment(old);
+        let seg = self.obtain_segment(self.cfg.segment_slots);
+        self.install_record(seg, None);
+    }
+
+    // ------------------------------------------------------------------
+    // Segment management (§3.2's cache)
+    // ------------------------------------------------------------------
+
+    fn alloc_segment(&mut self, min_slots: usize) -> SegmentId
+    where
+        S: Clone,
+    {
+        let cap = min_slots.max(self.cfg.segment_slots);
+        self.stats.segments_allocated += 1;
+        self.stats.segment_slots_allocated += cap as u64;
+        let slots = vec![self.marker.clone(); cap].into_boxed_slice();
+        let default_size = cap == self.cfg.segment_slots;
+        SegmentId(self.segs.insert(Segment { slots, rc: 1, default_size }))
+    }
+
+    /// Obtains a segment with at least `min_slots` capacity: from the cache
+    /// when possible (§3.2), else freshly allocated.
+    fn obtain_segment(&mut self, min_slots: usize) -> SegmentId {
+        if min_slots <= self.cfg.segment_slots {
+            if let Some(seg) = self.cache.pop() {
+                self.stats.cache_hits += 1;
+                self.segs.get_mut(seg.0).rc = 1;
+                return seg;
+            }
+        }
+        self.alloc_segment(min_slots)
+    }
+
+    /// Drops one reference to `seg`; caches or frees it when unreferenced.
+    fn release_segment(&mut self, seg: SegmentId) {
+        let s = self.segs.get_mut(seg.0);
+        debug_assert!(s.rc > 0);
+        s.rc -= 1;
+        if s.rc == 0 {
+            if s.default_size && self.cache.len() < self.cfg.cache_limit {
+                self.stats.cache_returns += 1;
+                self.cache.push(seg);
+            } else {
+                self.segs.remove(seg.0);
+            }
+        }
+    }
+
+    /// Installs a fresh record covering all of `seg`, linked to `link`.
+    fn install_record(&mut self, seg: SegmentId, link: Option<KontId>) {
+        self.cur_seg = seg;
+        self.cur_base = 0;
+        self.cur_end = self.segs.get(seg.0).slots.len();
+        self.cur_link = link;
+        self.fp = 0;
+        let m = self.marker.clone();
+        self.set(0, m);
+    }
+
+    /// Copies `n` slots between (possibly identical) segments.
+    fn copy_slots(&mut self, src: SegmentId, src_at: usize, dst: SegmentId, dst_at: usize, n: usize) {
+        if src == dst {
+            let seg = self.segs.get_mut(src.0);
+            debug_assert!(src_at + n <= dst_at || dst_at + n <= src_at);
+            for i in 0..n {
+                seg.slots[dst_at + i] = seg.slots[src_at + i].clone();
+            }
+        } else {
+            // Clone out then in; n is bounded by the copy bound or the
+            // hysteresis setting, so the temporary is small.
+            let tmp: Vec<S> = self.segs.get(src.0).slots[src_at..src_at + n].to_vec();
+            let d = self.segs.get_mut(dst.0);
+            d.slots[dst_at..dst_at + n].clone_from_slice(&tmp);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection interface
+    // ------------------------------------------------------------------
+
+    /// Begins a collection: clears all continuation marks. The embedder
+    /// then marks roots with [`SegStack::mark_kont`] (tracing slot values
+    /// itself via [`SegStack::kont_slice`]) and finishes with
+    /// [`SegStack::sweep`].
+    pub fn begin_gc(&mut self) {
+        for id in self.konts.indices() {
+            self.konts.get_mut(id).mark = false;
+        }
+    }
+
+    /// Marks continuation `id`; returns `true` when newly marked (the
+    /// embedder should then trace its slice and its link).
+    pub fn mark_kont(&mut self, id: KontId) -> bool {
+        let k = self.konts.get_mut(id.0);
+        if k.mark {
+            false
+        } else {
+            k.mark = true;
+            true
+        }
+    }
+
+    /// The link of continuation `id` (for embedder tracing).
+    pub fn kont_link(&self, id: KontId) -> Option<KontId> {
+        self.konts.get(id.0).link
+    }
+
+    /// Completes a collection: frees unmarked continuations and any
+    /// segments that become unreferenced. The current link chain is always
+    /// preserved regardless of marks. When `flush_cache` is set, cached
+    /// segments are freed too (the paper notes the storage manager may
+    /// discard them).
+    pub fn sweep(&mut self, flush_cache: bool) {
+        // The current chain is implicitly live.
+        let mut cursor = self.cur_link;
+        while let Some(id) = cursor {
+            let k = self.konts.get_mut(id.0);
+            if k.mark {
+                break;
+            }
+            k.mark = true;
+            cursor = k.link;
+        }
+        for id in self.konts.indices() {
+            if !self.konts.get(id).mark {
+                let k = self.konts.remove(id);
+                if !matches!(k.kind, KontKind::Shot) {
+                    self.release_segment(k.seg);
+                }
+            }
+        }
+        if flush_cache {
+            while let Some(seg) = self.cache.pop() {
+                self.segs.remove(seg.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

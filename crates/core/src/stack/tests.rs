@@ -1,0 +1,635 @@
+//! Unit tests for the segmented stack, using a miniature frame discipline
+//! that mirrors the VM's call protocol: every frame holds its return
+//! address at the base, frames have a fixed maximum size, and an overflow
+//! check runs at each simulated function entry.
+
+use super::*;
+use crate::error::ControlError;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Slot {
+    Val(i64),
+    Ret { pc: usize, disp: usize },
+    Marker,
+}
+
+type St = SegStack<Slot>;
+
+const MAXF: usize = 8;
+
+fn walker(s: &Slot) -> Option<usize> {
+    match s {
+        Slot::Ret { disp, .. } => Some(*disp),
+        _ => None,
+    }
+}
+
+fn small_cfg() -> Config {
+    Config {
+        segment_slots: 64,
+        copy_bound: 24,
+        hysteresis_slots: 0,
+        min_headroom: MAXF,
+        cache_limit: 8,
+        ..Config::default()
+    }
+}
+
+fn new_st(cfg: Config) -> St {
+    SegStack::new(cfg, Slot::Marker)
+}
+
+/// Simulates a function entry: overflow check with only the return address
+/// live above `fp`.
+fn enter(st: &mut St) {
+    st.ensure(MAXF, 1, &walker);
+}
+
+/// Simulates a call with frame displacement `d`, tagging the return address
+/// with `pc` so tests can observe where control resumes.
+fn call(st: &mut St, d: usize, pc: usize) {
+    assert!(d <= MAXF);
+    st.push_frame(d, Slot::Ret { pc, disp: d });
+    enter(st);
+}
+
+/// Simulates a return; panics on underflow (use `st.underflow` for that).
+fn ret(st: &mut St) -> usize {
+    let r = st.get(st.fp()).clone();
+    match r {
+        Slot::Ret { pc, disp } => {
+            st.pop_frame(disp);
+            pc
+        }
+        other => panic!("expected return address at fp, found {other:?}"),
+    }
+}
+
+
+/// Delivers a reinstatement result the way a return point would: pops the
+/// frame by the displacement encoded in the return address and reports its
+/// pc tag.
+fn resume(st: &mut St, r: &Reinstated<Slot>) -> usize {
+    match &r.ret {
+        Slot::Ret { pc, disp } => {
+            st.pop_frame(*disp);
+            *pc
+        }
+        other => panic!("expected return address, found {other:?}"),
+    }
+}
+
+fn at_marker(st: &St) -> bool {
+    *st.get(st.fp()) == Slot::Marker
+}
+
+#[test]
+fn frames_push_and_pop() {
+    let mut st = new_st(small_cfg());
+    assert!(at_marker(&st));
+    call(&mut st, 4, 1);
+    st.set(st.fp() + 1, Slot::Val(10));
+    call(&mut st, 3, 2);
+    assert_eq!(ret(&mut st), 2);
+    assert_eq!(*st.get(st.fp() + 1), Slot::Val(10));
+    assert_eq!(ret(&mut st), 1);
+    assert!(at_marker(&st));
+}
+
+#[test]
+fn capture_multi_at_empty_top_level_returns_none() {
+    let mut st = new_st(small_cfg());
+    assert_eq!(st.capture_multi(), None);
+    assert_eq!(st.stats().captures_empty, 1);
+}
+
+#[test]
+fn capture_multi_seals_without_copying() {
+    let mut st = new_st(small_cfg());
+    call(&mut st, 4, 7);
+    let copied_before = st.stats().slots_copied;
+    let k = st.capture_multi().expect("non-empty");
+    assert_eq!(st.stats().slots_copied, copied_before, "capture copies nothing");
+    assert_eq!(st.base(), st.fp(), "record shortened to the frame pointer");
+    assert!(at_marker(&st), "sealed frame's return address replaced by handler");
+    let kont = st.kont(k);
+    assert_eq!(kont.occupied(), kont.owned(), "multi-shot invariant");
+    assert!(!kont.is_one_shot_by_sizes());
+    assert_eq!(kont.occupied(), 4);
+}
+
+#[test]
+fn multi_shot_reinstates_repeatedly() {
+    let mut st = new_st(small_cfg());
+    call(&mut st, 4, 7);
+    st.set(st.fp() + 1, Slot::Val(42));
+    // fp now points at the frame whose ret has pc=7; capture here. The
+    // value 42 lives *below* the seal boundary? No: fp+1 is above fp, so it
+    // is dead at capture time. Store a value in the caller frame instead.
+    call(&mut st, 3, 8);
+    let k = st.capture_multi().expect("non-empty");
+    for _ in 0..3 {
+        // Wander off: push junk frames, then come back.
+        call(&mut st, 5, 99);
+        call(&mut st, 5, 98);
+        let r = st.reinstate(k, &walker).unwrap();
+        assert!(!r.one_shot);
+        assert_eq!(r.ret, Slot::Ret { pc: 8, disp: 3 });
+        // Deliver: pop the frame as the return point would.
+        st.pop_frame(3);
+        assert_eq!(*st.get(st.fp() + 1), Slot::Val(42), "caller locals preserved");
+        // Climb back up so the next iteration starts from a clean spot.
+        call(&mut st, 3, 8);
+        let k2 = st.capture_multi().unwrap();
+        assert!(
+            st.kont(k2).occupied() >= 3,
+            "the re-pushed frame (and any reinstated residue) is sealed"
+        );
+    }
+    assert!(st.stats().reinstates_multi >= 3);
+}
+
+#[test]
+fn one_shot_capture_takes_whole_segment_and_fresh_current() {
+    let mut st = new_st(small_cfg());
+    call(&mut st, 4, 7);
+    let segs_before = st.segment_count();
+    let k = st.capture_one(2).expect("non-empty");
+    assert!(st.kont(k).is_one_shot_by_sizes(), "sizes differ for one-shots");
+    assert!(st.kont(k).is_live_one_shot());
+    assert_eq!(st.fp(), 0, "fresh segment starts at its base");
+    assert!(at_marker(&st));
+    assert_eq!(st.segment_count(), segs_before + 1);
+}
+
+#[test]
+fn one_shot_reinstates_in_constant_time_and_only_once() {
+    let mut st = new_st(small_cfg());
+    call(&mut st, 4, 7);
+    call(&mut st, 3, 8);
+    st.set(st.fp() + 1, Slot::Val(5));
+    call(&mut st, 2, 9);
+    let k = st.capture_one(2).expect("non-empty");
+    let copied_before = st.stats().slots_copied;
+    let r = st.reinstate(k, &walker).unwrap();
+    assert!(r.one_shot);
+    assert_eq!(r.ret, Slot::Ret { pc: 9, disp: 2 });
+    assert_eq!(st.stats().slots_copied, copied_before, "one-shot reinstatement copies nothing");
+    st.pop_frame(2);
+    assert_eq!(*st.get(st.fp() + 1), Slot::Val(5));
+    // Second shot is an error.
+    assert_eq!(st.reinstate(k, &walker), Err(ControlError::AlreadyShot));
+    assert!(st.kont(k).is_shot());
+    assert_eq!(st.stats().shots, 1);
+}
+
+#[test]
+fn returning_from_capture_context_underflows_into_link() {
+    let mut st = new_st(small_cfg());
+    call(&mut st, 4, 7);
+    let _k = st.capture_one(2).expect("non-empty");
+    // The fresh record is empty; simulate the passed procedure returning
+    // normally: control underflows into the captured continuation.
+    assert!(at_marker(&st));
+    match st.underflow(&walker).unwrap() {
+        Underflow::Resumed(r) => {
+            assert!(r.one_shot);
+            assert_eq!(r.ret, Slot::Ret { pc: 7, disp: 4 });
+        }
+        Underflow::Exhausted => panic!("link existed"),
+    }
+    st.pop_frame(4);
+    // Return once more: the chain is exhausted.
+    assert!(at_marker(&st));
+    match st.underflow(&walker).unwrap() {
+        Underflow::Exhausted => {}
+        other => panic!("expected exhaustion, got {other:?}"),
+    }
+}
+
+#[test]
+fn tail_position_capture_reuses_link() {
+    let mut st = new_st(small_cfg());
+    call(&mut st, 4, 7);
+    let k1 = st.capture_multi().expect("non-empty");
+    // fp is now at the record base: a capture here is in tail position.
+    let k2 = st.capture_multi().expect("link exists");
+    assert_eq!(k1, k2, "empty capture returns the link, allocating nothing");
+    let k3 = st.capture_one(2).expect("link exists");
+    assert_eq!(k1, k3);
+    assert_eq!(st.stats().captures_empty, 2);
+}
+
+#[test]
+fn eager_walk_promotion_converts_chain_up_to_first_multi() {
+    let mut st = new_st(small_cfg());
+    call(&mut st, 4, 1);
+    let m0 = st.capture_multi().unwrap();
+    call(&mut st, 4, 2);
+    let o1 = st.capture_one(2).unwrap();
+    call(&mut st, 4, 3);
+    let o2 = st.capture_one(2).unwrap();
+    call(&mut st, 4, 4);
+    assert!(st.kont(o1).is_live_one_shot());
+    assert!(st.kont(o2).is_live_one_shot());
+    let _m = st.capture_multi().unwrap();
+    assert!(matches!(st.kont(o1).kind(), KontKind::MultiShot), "promoted");
+    assert!(matches!(st.kont(o2).kind(), KontKind::MultiShot), "promoted");
+    assert!(matches!(st.kont(m0).kind(), KontKind::MultiShot));
+    assert_eq!(st.stats().promotions, 2);
+    // Promotion restored the multi-shot size invariant.
+    assert!(!st.kont(o1).is_one_shot_by_sizes());
+    // A promoted one-shot may now be invoked repeatedly.
+    let r1 = st.reinstate(o2, &walker).unwrap();
+    assert!(!r1.one_shot, "promoted continuations take the copying path");
+    st.pop_frame(4);
+    call(&mut st, 4, 9);
+    let r2 = st.reinstate(o2, &walker).unwrap();
+    assert_eq!(r1.ret, r2.ret);
+}
+
+#[test]
+fn promotion_stops_at_multi_shot_boundary() {
+    let mut st = new_st(small_cfg());
+    call(&mut st, 4, 1);
+    let o_low = st.capture_one(2).unwrap();
+    call(&mut st, 4, 2);
+    let _m = st.capture_multi().unwrap(); // promotes o_low
+    assert_eq!(st.stats().promotion_steps, 1);
+    call(&mut st, 4, 3);
+    let _m2 = st.capture_multi().unwrap();
+    // The second capture stops at the multi-shot immediately below; no
+    // further steps are taken even though o_low sits deeper in the chain.
+    assert_eq!(st.stats().promotion_steps, 1);
+    assert!(matches!(st.kont(o_low).kind(), KontKind::MultiShot));
+}
+
+#[test]
+fn shared_flag_promotion_is_constant_time_and_promotes_whole_chain() {
+    let cfg = Config { promotion: PromotionStrategy::SharedFlag, ..small_cfg() };
+    let mut st = new_st(cfg);
+    call(&mut st, 4, 1);
+    let o1 = st.capture_one(2).unwrap();
+    call(&mut st, 4, 2);
+    let o2 = st.capture_one(2).unwrap();
+    call(&mut st, 4, 3);
+    let _m = st.capture_multi().unwrap();
+    assert_eq!(st.stats().promotion_steps, 0, "no chain walk under SharedFlag");
+    assert_eq!(st.stats().promotions, 1, "one flag set promotes the chain");
+    assert!(!st.kont(o1).is_live_one_shot());
+    assert!(!st.kont(o2).is_live_one_shot());
+    // Promoted one-shots reinstate via the copying path.
+    let r = st.reinstate(o2, &walker).unwrap();
+    assert!(!r.one_shot);
+}
+
+#[test]
+fn overflow_one_shot_relocates_active_frame_and_returns_without_copying() {
+    let mut st = new_st(small_cfg());
+    let mut pcs = Vec::new();
+    // Push enough frames to overflow the 64-slot segment a few times.
+    for i in 0..40 {
+        call(&mut st, 6, i);
+        pcs.push(i);
+    }
+    assert!(st.stats().overflows >= 2, "expected overflows, got {:?}", st.stats());
+    let copied_at_peak = st.stats().slots_copied;
+    // Unwind all the way down; underflows reinstate the implicit one-shot
+    // continuations in O(1).
+    let mut expected = pcs.clone();
+    while let Some(expect) = expected.pop() {
+        let pc = if at_marker(&st) {
+            match st.underflow(&walker).unwrap() {
+                Underflow::Resumed(r) => {
+                    assert!(r.one_shot, "overflow continuations are one-shot");
+                    assert_eq!(st.stats().slots_copied, copied_at_peak);
+                    resume(&mut st, &r)
+                }
+                Underflow::Exhausted => panic!("frames remain"),
+            }
+        } else {
+            ret(&mut st)
+        };
+        assert_eq!(pc, expect);
+    }
+    assert!(at_marker(&st));
+    assert!(matches!(st.underflow(&walker).unwrap(), Underflow::Exhausted));
+    assert_eq!(st.stats().slots_copied, copied_at_peak, "no copying on underflow");
+}
+
+#[test]
+fn overflow_multi_shot_policy_copies_on_underflow() {
+    let cfg = Config { overflow_policy: OverflowPolicy::MultiShot, ..small_cfg() };
+    let mut st = new_st(cfg);
+    for i in 0..40 {
+        call(&mut st, 6, i);
+    }
+    assert!(st.stats().overflows >= 2);
+    let copied_at_peak = st.stats().slots_copied;
+    for expect in (0..40).rev() {
+        let pc = if at_marker(&st) {
+            match st.underflow(&walker).unwrap() {
+                Underflow::Resumed(r) => {
+                    assert!(!r.one_shot);
+                    resume(&mut st, &r)
+                }
+                Underflow::Exhausted => panic!("frames remain"),
+            }
+        } else {
+            ret(&mut st)
+        };
+        assert_eq!(pc, expect);
+    }
+    assert!(
+        st.stats().slots_copied > copied_at_peak,
+        "multi-shot overflow policy pays copying on the way down"
+    );
+}
+
+#[test]
+fn hysteresis_relocates_extra_frames() {
+    let cfg = Config { hysteresis_slots: 20, ..small_cfg() };
+    let mut st = new_st(cfg);
+    for i in 0..20 {
+        call(&mut st, 6, i);
+    }
+    assert!(st.stats().overflows >= 1);
+    // With hysteresis, each overflow relocates multiple frames: copied
+    // slots exceed overflows * live(1).
+    let s = st.stats();
+    assert!(
+        s.slots_copied > s.overflows,
+        "hysteresis should copy more than the bare return address"
+    );
+    // And the stack still unwinds correctly.
+    for expect in (0..20).rev() {
+        let pc = if at_marker(&st) {
+            match st.underflow(&walker).unwrap() {
+                Underflow::Resumed(r) => resume(&mut st, &r),
+                Underflow::Exhausted => panic!("frames remain"),
+            }
+        } else {
+            ret(&mut st)
+        };
+        assert_eq!(pc, expect);
+    }
+}
+
+#[test]
+fn copy_bound_splits_large_continuations_lazily() {
+    let cfg = Config { segment_slots: 512, copy_bound: 24, ..small_cfg() };
+    let mut st = new_st(cfg);
+    for i in 0..30 {
+        call(&mut st, 6, i); // 180 occupied slots, no overflow
+    }
+    assert_eq!(st.stats().overflows, 0);
+    let k = st.capture_multi().unwrap();
+    assert!(st.kont(k).occupied() > 24 * 2);
+    let konts_before = st.kont_count();
+    let r = st.reinstate(k, &walker).unwrap();
+    assert_eq!(r.ret, Slot::Ret { pc: 29, disp: 6 });
+    assert!(st.stats().splits >= 1, "large continuation was split");
+    assert!(st.kont_count() > konts_before, "split created bottom parts");
+    // Each reinstatement copies at most the bound.
+    assert!(st.stats().slots_copied <= 24 * (st.stats().reinstates_multi + 1));
+    // Unwind through the split chain: every frame comes back in order.
+    st.pop_frame(6);
+    for expect in (0..29).rev() {
+        let pc = if at_marker(&st) {
+            match st.underflow(&walker).unwrap() {
+                Underflow::Resumed(r) => resume(&mut st, &r),
+                Underflow::Exhausted => panic!("frames remain"),
+            }
+        } else {
+            ret(&mut st)
+        };
+        assert_eq!(pc, expect);
+    }
+    // Invoke the (now split) continuation again: still works.
+    let r2 = st.reinstate(k, &walker).unwrap();
+    assert_eq!(r2.ret, Slot::Ret { pc: 29, disp: 6 });
+}
+
+#[test]
+fn segment_cache_recycles_one_shot_segments() {
+    let mut st = new_st(small_cfg());
+    call(&mut st, 4, 1);
+    let mut k = st.capture_one(2).expect("non-empty");
+    let allocated_after_warmup = st.stats().segments_allocated;
+    for i in 0..100 {
+        // Typical one-shot pattern (§3.2): capture, then immediately invoke
+        // a previously saved one-shot.
+        call(&mut st, 4, 100 + i);
+        let next = st.capture_one(2).expect("non-empty");
+        let r = st.reinstate(k, &walker).unwrap();
+        assert!(r.one_shot);
+        st.pop_frame(4);
+        k = next;
+    }
+    let s = st.stats();
+    assert!(
+        s.segments_allocated <= allocated_after_warmup + 1,
+        "steady-state capture/invoke cycles are served by the cache: {s:?}"
+    );
+    assert!(s.cache_hits >= 99);
+}
+
+#[test]
+fn disabling_cache_allocates_every_time() {
+    let cfg = Config { cache_limit: 0, ..small_cfg() };
+    let mut st = new_st(cfg);
+    call(&mut st, 4, 1);
+    let mut k = st.capture_one(2).expect("non-empty");
+    let before = st.stats().segments_allocated;
+    for i in 0..50 {
+        call(&mut st, 4, 100 + i);
+        let next = st.capture_one(2).expect("non-empty");
+        st.reinstate(k, &walker).unwrap();
+        st.pop_frame(4);
+        k = next;
+    }
+    let s = st.stats();
+    assert_eq!(s.cache_hits, 0);
+    assert!(
+        s.segments_allocated >= before + 50,
+        "every cycle allocates a fresh segment without the cache"
+    );
+}
+
+#[test]
+fn seal_with_pad_bounds_fragmentation() {
+    // 100 "threads", each a shallow one-shot continuation, as in §3.4.
+    let fresh = {
+        let mut st = new_st(Config { cache_limit: 0, ..small_cfg() });
+        for i in 0..100 {
+            call(&mut st, 4, i);
+            st.capture_one(2).unwrap();
+        }
+        st.resident_slots()
+    };
+    let padded = {
+        let cfg = Config {
+            segment_slots: 4096,
+            oneshot_policy: OneShotPolicy::SealWithPad(16),
+            cache_limit: 0,
+            min_headroom: MAXF,
+            ..Config::default()
+        };
+        let mut st = new_st(cfg);
+        for i in 0..100 {
+            call(&mut st, 4, i);
+            st.capture_one(2).unwrap();
+        }
+        st.resident_slots()
+    };
+    assert!(padded < 3 * 4096, "sealing with pad packs many continuations per segment");
+    // `fresh` used 64-slot segments and still allocated one per capture.
+    assert!(fresh >= 100 * 64 / 2);
+}
+
+#[test]
+fn seal_with_pad_continuations_still_work() {
+    let cfg = Config {
+        segment_slots: 256,
+        copy_bound: 24,
+        min_headroom: MAXF,
+        oneshot_policy: OneShotPolicy::SealWithPad(MAXF),
+        ..Config::default()
+    };
+    let mut st = new_st(cfg);
+    call(&mut st, 4, 1);
+    st.set(st.fp() + 1, Slot::Val(11));
+    call(&mut st, 3, 2);
+    let k = st.capture_one(2).expect("non-empty");
+    assert!(st.kont(k).is_one_shot_by_sizes());
+    assert!(st.kont(k).owned() < 256, "only a padded prefix is encapsulated");
+    call(&mut st, 4, 50);
+    let r = st.reinstate(k, &walker).unwrap();
+    assert!(r.one_shot);
+    assert_eq!(r.ret, Slot::Ret { pc: 2, disp: 3 });
+    st.pop_frame(3);
+    assert_eq!(*st.get(st.fp() + 1), Slot::Val(11));
+}
+
+#[test]
+fn gc_sweep_frees_unmarked_konts_but_keeps_current_chain() {
+    let mut st = new_st(small_cfg());
+    call(&mut st, 4, 1);
+    let dead = st.capture_multi().unwrap();
+    call(&mut st, 4, 2);
+    let live = st.capture_multi().unwrap();
+    call(&mut st, 4, 3);
+    let chained = st.capture_multi().unwrap(); // part of the current chain
+    assert_eq!(st.kont_count(), 3);
+    st.begin_gc();
+    // Mark only `live` (as if only it were referenced from the heap); the
+    // current chain keeps `chained` and — through links — everything below.
+    assert!(st.mark_kont(live));
+    assert!(!st.mark_kont(live), "already marked");
+    // Trace its link like an embedder would.
+    let mut cursor = st.kont_link(live);
+    while let Some(id) = cursor {
+        if !st.mark_kont(id) {
+            break;
+        }
+        cursor = st.kont_link(id);
+    }
+    st.sweep(false);
+    assert!(st.kont_alive(live));
+    assert!(st.kont_alive(chained), "current chain survives unmarked");
+    assert!(st.kont_alive(dead), "reachable through live's link");
+    // Now drop everything reachable only from the heap.
+    st.begin_gc();
+    st.sweep(false);
+    assert!(st.kont_alive(chained) && st.kont_alive(live) && st.kont_alive(dead));
+    // chained links live links dead: all on the current chain. Cut the
+    // chain by clearing the stack, then sweep again.
+    st.clear_to_empty();
+    st.begin_gc();
+    st.sweep(true);
+    assert_eq!(st.kont_count(), 0);
+    assert_eq!(st.cache_len(), 0, "flush_cache drops cached segments");
+}
+
+#[test]
+fn clear_to_empty_exhausts_immediately() {
+    let mut st = new_st(small_cfg());
+    call(&mut st, 4, 1);
+    let _k = st.capture_multi().unwrap();
+    call(&mut st, 4, 2);
+    st.clear_to_empty();
+    assert!(at_marker(&st));
+    assert!(matches!(st.underflow(&walker).unwrap(), Underflow::Exhausted));
+}
+
+#[test]
+fn shot_konts_report_empty_slices_and_survive_marking() {
+    let mut st = new_st(small_cfg());
+    call(&mut st, 4, 1);
+    let k = st.capture_one(2).unwrap();
+    assert!(!st.kont_slice(k).is_empty());
+    st.reinstate(k, &walker).unwrap();
+    assert!(st.kont_slice(k).is_empty(), "shot continuations hold no slots");
+    st.begin_gc();
+    st.mark_kont(k);
+    st.sweep(false);
+    assert!(st.kont_alive(k));
+    assert_eq!(st.reinstate(k, &walker), Err(ControlError::AlreadyShot));
+}
+
+#[test]
+fn dead_continuation_is_reported() {
+    let mut st = new_st(small_cfg());
+    call(&mut st, 4, 1);
+    let k = st.capture_multi().unwrap();
+    st.clear_to_empty();
+    st.begin_gc();
+    st.sweep(false);
+    assert!(!st.kont_alive(k));
+    assert_eq!(st.reinstate(k, &walker), Err(ControlError::DeadContinuation));
+}
+
+#[test]
+fn deep_recursion_survives_many_overflow_cycles() {
+    // The E3 scenario in miniature: recur deeply, unwind, repeat; after the
+    // first round the cache supplies every segment.
+    let mut st = new_st(Config { cache_limit: 32, ..small_cfg() });
+    for round in 0..5 {
+        for i in 0..200 {
+            call(&mut st, 5, i);
+        }
+        for expect in (0..200).rev() {
+            let pc = if at_marker(&st) {
+                match st.underflow(&walker).unwrap() {
+                    Underflow::Resumed(r) => resume(&mut st, &r),
+                    Underflow::Exhausted => panic!("frames remain"),
+                }
+            } else {
+                ret(&mut st)
+            };
+            assert_eq!(pc, expect);
+        }
+        assert!(at_marker(&st));
+        if round > 0 {
+            // Steady state reached: the cache absorbs all segment churn.
+            let s = st.stats();
+            assert!(s.cache_hits > 0);
+        }
+    }
+    let s = st.stats();
+    assert!(
+        s.segments_allocated < 30,
+        "cache bounds total allocation across rounds: {s:?}"
+    );
+}
+
+#[test]
+fn stats_deltas_capture_benchmark_regions() {
+    let mut st = new_st(small_cfg());
+    let before = *st.stats();
+    call(&mut st, 4, 1);
+    let _ = st.capture_one(2);
+    let delta = st.stats().delta_since(&before);
+    assert_eq!(delta.captures_one, 1);
+    assert_eq!(delta.captures_multi, 0);
+}

@@ -1,0 +1,94 @@
+//! Operation counters.
+//!
+//! The paper's evaluation reports allocation volumes and copying costs; the
+//! VM layer adds instruction counts on top. All counters here are
+//! monotonically increasing and hardware-independent, so the experiment
+//! harness can report deterministic numbers alongside wall-clock times.
+
+/// Counters maintained by a [`SegStack`](crate::SegStack).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Stats {
+    /// Segments allocated from the system (cache misses included the first
+    /// time a segment is created).
+    pub segments_allocated: u64,
+    /// Slot capacity of all segments ever allocated — the paper's
+    /// "allocates less memory" measurements for stacks.
+    pub segment_slots_allocated: u64,
+    /// Fresh-segment requests satisfied by the segment cache (§3.2).
+    pub cache_hits: u64,
+    /// Segments returned to the cache.
+    pub cache_returns: u64,
+    /// Multi-shot captures performed (`call/cc`).
+    pub captures_multi: u64,
+    /// One-shot captures performed (`call/1cc`).
+    pub captures_one: u64,
+    /// Empty-stack captures that reused the link instead of allocating a
+    /// continuation (the proper-tail-recursion rule of §3.2).
+    pub captures_empty: u64,
+    /// Multi-shot reinstatements (copying).
+    pub reinstates_multi: u64,
+    /// One-shot reinstatements (O(1) segment swap).
+    pub reinstates_one: u64,
+    /// Slots copied by multi-shot reinstatement, overflow hysteresis, and
+    /// splitting combined — the copying overhead the one-shot mechanism
+    /// eliminates.
+    pub slots_copied: u64,
+    /// Continuation splits performed to honour the copy bound.
+    pub splits: u64,
+    /// One-shot continuations promoted to multi-shot status (§3.3).
+    pub promotions: u64,
+    /// Continuation-chain links walked during promotion (measures the
+    /// eager-walk cost; stays 0 under `SharedFlag`).
+    pub promotion_steps: u64,
+    /// Stack overflows handled.
+    pub overflows: u64,
+    /// Stack underflows handled (returns through a segment base).
+    pub underflows: u64,
+    /// One-shot continuations marked shot.
+    pub shots: u64,
+}
+
+impl Stats {
+    /// Difference `self - earlier`, counter by counter.
+    ///
+    /// Useful for measuring a single benchmark region:
+    /// take a snapshot before, subtract after.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &Stats) -> Stats {
+        Stats {
+            segments_allocated: self.segments_allocated - earlier.segments_allocated,
+            segment_slots_allocated: self.segment_slots_allocated
+                - earlier.segment_slots_allocated,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_returns: self.cache_returns - earlier.cache_returns,
+            captures_multi: self.captures_multi - earlier.captures_multi,
+            captures_one: self.captures_one - earlier.captures_one,
+            captures_empty: self.captures_empty - earlier.captures_empty,
+            reinstates_multi: self.reinstates_multi - earlier.reinstates_multi,
+            reinstates_one: self.reinstates_one - earlier.reinstates_one,
+            slots_copied: self.slots_copied - earlier.slots_copied,
+            splits: self.splits - earlier.splits,
+            promotions: self.promotions - earlier.promotions,
+            promotion_steps: self.promotion_steps - earlier.promotion_steps,
+            overflows: self.overflows - earlier.overflows,
+            underflows: self.underflows - earlier.underflows,
+            shots: self.shots - earlier.shots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counter_wise() {
+        let a = Stats { segments_allocated: 3, slots_copied: 100, ..Stats::default() };
+        let b = Stats { segments_allocated: 5, slots_copied: 150, ..Stats::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.segments_allocated, 2);
+        assert_eq!(d.slots_copied, 50);
+        assert_eq!(d.overflows, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Reader data → runtime values.
+
+use oneshot_sexp::Datum;
+
+use crate::heap::{Heap, Obj};
+use crate::symbols::Symbols;
+use crate::value::Value;
+
+/// Converts a reader [`Datum`] into a heap [`Value`] (used for `quote`d
+/// constants and program input).
+///
+/// Iterates along cdr spines so arbitrarily long list literals convert
+/// without native-stack recursion; recursion depth is bounded by nesting.
+pub fn datum_to_value(heap: &mut Heap, syms: &mut Symbols, d: &Datum) -> Value {
+    match d {
+        Datum::Bool(b) => Value::Bool(*b),
+        Datum::Fixnum(n) => Value::Fixnum(*n),
+        Datum::Flonum(x) => Value::Flonum(*x),
+        Datum::Char(c) => Value::Char(*c),
+        Datum::Str(s) => Value::Obj(heap.alloc(Obj::Str(s.chars().collect()))),
+        Datum::Symbol(s) => Value::Sym(syms.intern(s)),
+        Datum::Nil => Value::Nil,
+        Datum::Pair(_) => {
+            let mut cars = Vec::new();
+            let mut cur = d;
+            while let Datum::Pair(p) = cur {
+                cars.push(datum_to_value(heap, syms, &p.0));
+                cur = &p.1;
+            }
+            let mut out = datum_to_value(heap, syms, cur);
+            for car in cars.into_iter().rev() {
+                out = Value::Obj(heap.alloc(Obj::Pair(car, out)));
+            }
+            out
+        }
+        Datum::Vector(items) => {
+            let vals: Vec<Value> =
+                items.iter().map(|x| datum_to_value(heap, syms, x)).collect();
+            Value::Obj(heap.alloc(Obj::Vector(vals)))
+        }
+    }
+}
+
+/// Converts a runtime value back into reader data (used by `eval`).
+///
+/// Iterates along cdr spines (lists of any length convert); the depth
+/// bound applies to *nesting* only and catches cyclic structures.
+///
+/// # Errors
+///
+/// Returns a message for values with no external representation
+/// (procedures, continuations, cells) and for structures nested deeper
+/// than an `eval`-reasonable bound (which also catches cycles).
+pub fn value_to_datum(
+    heap: &Heap,
+    syms: &crate::symbols::Symbols,
+    v: Value,
+) -> Result<Datum, String> {
+    fn go(
+        heap: &Heap,
+        syms: &crate::symbols::Symbols,
+        v: Value,
+        depth: usize,
+    ) -> Result<Datum, String> {
+        if depth > 512 {
+            return Err("eval: datum nested too deeply (cyclic?)".to_string());
+        }
+        match v {
+            Value::Bool(b) => Ok(Datum::Bool(b)),
+            Value::Fixnum(n) => Ok(Datum::Fixnum(n)),
+            Value::Flonum(x) => Ok(Datum::Flonum(x)),
+            Value::Char(c) => Ok(Datum::Char(c)),
+            Value::Nil => Ok(Datum::Nil),
+            Value::Sym(s) => Ok(Datum::Symbol(syms.name(s).to_string())),
+            Value::Obj(r) => match heap.get(r) {
+                Obj::Pair(..) => {
+                    // Walk the cdr spine iteratively; cycles along the
+                    // spine are caught by a step limit.
+                    let mut cars = Vec::new();
+                    let mut cur = v;
+                    let mut steps = 0u32;
+                    while let Value::Obj(r2) = cur {
+                        let Obj::Pair(a, d) = heap.get(r2) else { break };
+                        steps += 1;
+                        if steps > 10_000_000 {
+                            return Err("eval: datum too long (cyclic?)".to_string());
+                        }
+                        cars.push(go(heap, syms, *a, depth + 1)?);
+                        cur = *d;
+                    }
+                    let mut out = go(heap, syms, cur, depth + 1)?;
+                    for car in cars.into_iter().rev() {
+                        out = Datum::cons(car, out);
+                    }
+                    Ok(out)
+                }
+                Obj::Vector(items) => Ok(Datum::Vector(
+                    items
+                        .iter()
+                        .map(|x| go(heap, syms, *x, depth + 1))
+                        .collect::<Result<_, _>>()?,
+                )),
+                Obj::Str(s) => Ok(Datum::Str(s.iter().collect())),
+                _ => Err("eval: value has no external representation".to_string()),
+            },
+            _ => Err("eval: value has no external representation".to_string()),
+        }
+    }
+    go(heap, syms, v, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::write_value;
+    use oneshot_sexp::read_str;
+
+    #[test]
+    fn conversion_round_trips_through_printer() {
+        let mut h = Heap::new();
+        let mut s = Symbols::new();
+        for src in ["(1 2 3)", "(a . b)", "#(1 #t \"hi\")", "()", "(1 (2 (3)))"] {
+            let d = read_str(src).unwrap();
+            let v = datum_to_value(&mut h, &mut s, &d);
+            assert_eq!(write_value(&h, &s, v), *src);
+        }
+    }
+
+    #[test]
+    fn value_datum_round_trip() {
+        let mut h = Heap::new();
+        let mut s = Symbols::new();
+        for src in ["(1 2 3)", "(a . b)", "#(1 #t \"hi\")", "()"] {
+            let d = read_str(src).unwrap();
+            let v = datum_to_value(&mut h, &mut s, &d);
+            let back = value_to_datum(&h, &s, v).unwrap();
+            assert_eq!(back, d, "{src}");
+        }
+    }
+
+    #[test]
+    fn value_to_datum_rejects_procedures_and_cycles() {
+        let mut h = Heap::new();
+        let s = Symbols::new();
+        let f = h.alloc(Obj::Closure { code: 0, free: Box::new([]) });
+        assert!(value_to_datum(&h, &s, Value::Obj(f)).is_err());
+        let a = h.alloc(Obj::Pair(Value::Nil, Value::Nil));
+        if let Obj::Pair(_, d) = h.get_mut(a) {
+            *d = Value::Obj(a);
+        }
+        assert!(value_to_datum(&h, &s, Value::Obj(a)).is_err());
+    }
+
+    #[test]
+    fn symbols_are_interned_once() {
+        let mut h = Heap::new();
+        let mut s = Symbols::new();
+        let d = read_str("(x x)").unwrap();
+        let v = datum_to_value(&mut h, &mut s, &d);
+        let Value::Obj(r) = v else { panic!() };
+        let Obj::Pair(a, d2) = heap_get(&h, r) else { panic!() };
+        let Value::Obj(r2) = d2 else { panic!() };
+        let Obj::Pair(b, _) = heap_get(&h, *r2) else { panic!() };
+        assert_eq!(a, b, "same symbol id");
+    }
+
+    fn heap_get(h: &Heap, r: crate::value::ObjRef) -> &Obj {
+        h.get(r)
+    }
+}

@@ -1,0 +1,372 @@
+//! The mark–sweep heap.
+
+use oneshot_core::KontId;
+
+use crate::value::{ObjRef, Value};
+
+/// A heap-allocated object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Obj {
+    /// A mutable pair.
+    Pair(Value, Value),
+    /// A mutable vector.
+    Vector(Vec<Value>),
+    /// A mutable string (characters for O(1) `string-set!`).
+    Str(Vec<char>),
+    /// A closure: a code-object index owned by the embedding VM plus the
+    /// captured free-variable values (flat closure representation).
+    Closure {
+        /// Index into the VM's code table.
+        code: u32,
+        /// Captured free-variable values.
+        free: Box<[Value]>,
+    },
+    /// A first-class continuation: the control part lives in the segmented
+    /// stack (`oneshot-core`); `winders` snapshots the `dynamic-wind` chain
+    /// at capture time.
+    Kont {
+        /// The sealed stack record, or `None` for the empty ("halt")
+        /// continuation captured at an empty top level.
+        kont: Option<KontId>,
+        /// The winder list captured with it.
+        winders: Value,
+    },
+    /// A boxed (assignment-converted) variable cell.
+    Cell(Value),
+}
+
+impl Obj {
+    /// Approximate size in words, for allocation accounting.
+    fn words(&self) -> u64 {
+        match self {
+            Obj::Pair(..) => 2,
+            Obj::Vector(v) => 1 + v.len() as u64,
+            Obj::Str(s) => 1 + (s.len() as u64).div_ceil(8),
+            Obj::Closure { free, .. } => 2 + free.len() as u64,
+            Obj::Kont { .. } => 3,
+            Obj::Cell(_) => 1,
+        }
+    }
+}
+
+/// Heap statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct HeapStats {
+    /// Words allocated since creation (monotone).
+    pub words_allocated: u64,
+    /// Objects allocated since creation (monotone).
+    pub objects_allocated: u64,
+    /// Collections performed.
+    pub collections: u64,
+    /// Objects freed by the last sweep.
+    pub last_freed: u64,
+    /// Closures allocated since creation (monotone) — drives the §5
+    /// closure-creation-overhead comparison with CPS compilation.
+    pub closures_allocated: u64,
+}
+
+impl HeapStats {
+    /// Counter-wise difference `self - earlier` (gauges keep their current
+    /// values).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &HeapStats) -> HeapStats {
+        HeapStats {
+            words_allocated: self.words_allocated - earlier.words_allocated,
+            objects_allocated: self.objects_allocated - earlier.objects_allocated,
+            collections: self.collections - earlier.collections,
+            last_freed: self.last_freed,
+            closures_allocated: self.closures_allocated - earlier.closures_allocated,
+        }
+    }
+}
+
+/// A mark–sweep heap of [`Obj`]s.
+#[derive(Debug, Default)]
+pub struct Heap {
+    slots: Vec<Option<Obj>>,
+    marks: Vec<bool>,
+    free: Vec<u32>,
+    gray: Vec<ObjRef>,
+    live: usize,
+    stats: HeapStats,
+    alloc_since_gc: usize,
+    gc_threshold: usize,
+}
+
+impl Heap {
+    /// Creates an empty heap with the default collection threshold.
+    pub fn new() -> Self {
+        Heap { gc_threshold: 1 << 16, ..Heap::default() }
+    }
+
+    /// Statistics (allocation volume, collections).
+    pub fn stats(&self) -> &HeapStats {
+        &self.stats
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the heap holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Words allocated since creation (monotone) — the allocation-volume
+    /// measure used throughout the paper's evaluation.
+    pub fn words_allocated(&self) -> u64 {
+        self.stats.words_allocated
+    }
+
+    /// Sets the number of allocations after which
+    /// [`Heap::wants_collection`] reports true.
+    pub fn set_gc_threshold(&mut self, objects: usize) {
+        self.gc_threshold = objects.max(16);
+    }
+
+    /// Allocates `o`, returning its reference. Never collects — the
+    /// embedder drives collection (it owns the roots).
+    pub fn alloc(&mut self, o: Obj) -> ObjRef {
+        self.stats.words_allocated += o.words();
+        self.stats.objects_allocated += 1;
+        if matches!(o, Obj::Closure { .. }) {
+            self.stats.closures_allocated += 1;
+        }
+        self.alloc_since_gc += 1;
+        self.live += 1;
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(o);
+                self.marks[i as usize] = false;
+                ObjRef(i)
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("heap index overflow");
+                self.slots.push(Some(o));
+                self.marks.push(false);
+                ObjRef(i)
+            }
+        }
+    }
+
+    /// Whether enough allocation has happened that the embedder should run
+    /// a collection at the next safe point.
+    pub fn wants_collection(&self) -> bool {
+        self.alloc_since_gc >= self.gc_threshold
+    }
+
+    /// Reads an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` refers to a collected object (an embedder bug: a root
+    /// was not reported during marking).
+    #[inline]
+    pub fn get(&self, r: ObjRef) -> &Obj {
+        self.slots[r.0 as usize].as_ref().expect("access to collected heap object")
+    }
+
+    /// Mutates an object (e.g. `set-car!`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` refers to a collected object.
+    #[inline]
+    pub fn get_mut(&mut self, r: ObjRef) -> &mut Obj {
+        self.slots[r.0 as usize].as_mut().expect("access to collected heap object")
+    }
+
+    // ------------------------------------------------------------------
+    // Collection (embedder-driven tri-color)
+    // ------------------------------------------------------------------
+
+    /// Begins a collection: clears all marks and the gray worklist.
+    pub fn begin_gc(&mut self) {
+        for m in &mut self.marks {
+            *m = false;
+        }
+        self.gray.clear();
+    }
+
+    /// Marks a value's object (if any) and queues it for scanning.
+    #[inline]
+    pub fn mark_value(&mut self, v: Value) {
+        if let Value::Obj(r) = v {
+            if !self.marks[r.0 as usize] {
+                self.marks[r.0 as usize] = true;
+                self.gray.push(r);
+            }
+        }
+    }
+
+    /// Pops the next object awaiting a scan of its children.
+    pub fn pop_gray(&mut self) -> Option<ObjRef> {
+        self.gray.pop()
+    }
+
+    /// Calls `f` on each value directly referenced by `r`. The embedder is
+    /// responsible for continuation objects' stack slices (they live in the
+    /// segmented stack, not the heap).
+    pub fn with_children(&mut self, r: ObjRef, mut f: impl FnMut(&mut Heap, Value)) {
+        // Take the object out to sidestep aliasing; cheap for everything
+        // but big vectors, which we handle by index.
+        match self.slots[r.0 as usize].as_ref().expect("scan of collected object") {
+            Obj::Pair(a, d) => {
+                let (a, d) = (*a, *d);
+                f(self, a);
+                f(self, d);
+            }
+            Obj::Vector(v) => {
+                let n = v.len();
+                for i in 0..n {
+                    let x = match self.slots[r.0 as usize].as_ref() {
+                        Some(Obj::Vector(v)) => v[i],
+                        _ => unreachable!(),
+                    };
+                    f(self, x);
+                }
+            }
+            Obj::Str(_) => {}
+            Obj::Closure { free, .. } => {
+                let free: Vec<Value> = free.to_vec();
+                for x in free {
+                    f(self, x);
+                }
+            }
+            Obj::Kont { winders, .. } => {
+                let w = *winders;
+                f(self, w);
+            }
+            Obj::Cell(v) => {
+                let v = *v;
+                f(self, v);
+            }
+        }
+    }
+
+    /// Frees all unmarked objects. Resets the allocation clock.
+    pub fn sweep(&mut self) {
+        let mut freed = 0;
+        for i in 0..self.slots.len() {
+            if self.slots[i].is_some() && !self.marks[i] {
+                self.slots[i] = None;
+                self.free.push(i as u32);
+                self.live -= 1;
+                freed += 1;
+            }
+        }
+        self.stats.collections += 1;
+        self.stats.last_freed = freed;
+        self.alloc_since_gc = 0;
+    }
+
+    /// Iterates over live continuation heap objects — used by embedders to
+    /// seed stack-continuation marking.
+    pub fn konts(&self) -> impl Iterator<Item = (ObjRef, KontId)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Some(Obj::Kont { kont: Some(k), .. }) => Some((ObjRef(i as u32), *k)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_mutate() {
+        let mut h = Heap::new();
+        let r = h.alloc(Obj::Pair(Value::Fixnum(1), Value::Nil));
+        assert_eq!(*h.get(r), Obj::Pair(Value::Fixnum(1), Value::Nil));
+        if let Obj::Pair(a, _) = h.get_mut(r) {
+            *a = Value::Fixnum(2);
+        }
+        assert_eq!(*h.get(r), Obj::Pair(Value::Fixnum(2), Value::Nil));
+    }
+
+    #[test]
+    fn mark_sweep_frees_garbage_keeps_reachable() {
+        let mut h = Heap::new();
+        let dead = h.alloc(Obj::Pair(Value::Fixnum(1), Value::Nil));
+        let inner = h.alloc(Obj::Pair(Value::Fixnum(2), Value::Nil));
+        let root = h.alloc(Obj::Pair(Value::Obj(inner), Value::Nil));
+        h.begin_gc();
+        h.mark_value(Value::Obj(root));
+        while let Some(r) = h.pop_gray() {
+            h.with_children(r, |h, v| h.mark_value(v));
+        }
+        h.sweep();
+        assert_eq!(h.len(), 2);
+        assert_eq!(*h.get(inner), Obj::Pair(Value::Fixnum(2), Value::Nil));
+        // The dead slot is recycled.
+        let again = h.alloc(Obj::Cell(Value::Nil));
+        assert_eq!(again, dead);
+    }
+
+    #[test]
+    fn cycles_are_collected_and_survive_marking() {
+        let mut h = Heap::new();
+        let a = h.alloc(Obj::Pair(Value::Nil, Value::Nil));
+        let b = h.alloc(Obj::Pair(Value::Obj(a), Value::Nil));
+        if let Obj::Pair(_, d) = h.get_mut(a) {
+            *d = Value::Obj(b);
+        }
+        // Marking a cycle terminates.
+        h.begin_gc();
+        h.mark_value(Value::Obj(a));
+        while let Some(r) = h.pop_gray() {
+            h.with_children(r, |h, v| h.mark_value(v));
+        }
+        h.sweep();
+        assert_eq!(h.len(), 2);
+        // Unreachable cycle is collected.
+        h.begin_gc();
+        h.sweep();
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn words_accounting_grows() {
+        let mut h = Heap::new();
+        let w0 = h.words_allocated();
+        h.alloc(Obj::Vector(vec![Value::Nil; 10]));
+        assert_eq!(h.words_allocated(), w0 + 11);
+        h.alloc(Obj::Pair(Value::Nil, Value::Nil));
+        assert_eq!(h.words_allocated(), w0 + 13);
+    }
+
+    #[test]
+    fn closure_allocations_are_counted() {
+        let mut h = Heap::new();
+        assert_eq!(h.stats().closures_allocated, 0);
+        h.alloc(Obj::Closure { code: 0, free: Box::new([]) });
+        h.alloc(Obj::Pair(Value::Nil, Value::Nil));
+        assert_eq!(h.stats().closures_allocated, 1);
+    }
+
+    #[test]
+    fn wants_collection_after_threshold() {
+        let mut h = Heap::new();
+        h.set_gc_threshold(16);
+        for _ in 0..16 {
+            h.alloc(Obj::Cell(Value::Nil));
+        }
+        assert!(h.wants_collection());
+        h.begin_gc();
+        h.sweep();
+        assert!(!h.wants_collection());
+    }
+
+    #[test]
+    fn konts_iterator_finds_continuations() {
+        let mut h = Heap::new();
+        h.alloc(Obj::Cell(Value::Nil));
+        let k = h.alloc(Obj::Kont { kont: Some(KontId::from_index(7)), winders: Value::Nil });
+        let found: Vec<_> = h.konts().collect();
+        assert_eq!(found, vec![(k, KontId::from_index(7))]);
+    }
+}

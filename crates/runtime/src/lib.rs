@@ -1,0 +1,106 @@
+//! Value representation, heap, and garbage collector for the oneshot
+//! Scheme system.
+//!
+//! Values are one-word tagged [`Value`]s; compound data lives in a
+//! mark–sweep [`Heap`] indexed by [`ObjRef`]. Symbols are interned in a
+//! [`Symbols`] table. The collector is embedder-driven: the VM owns both
+//! the heap and the segmented control stack (`oneshot-core`), and marking
+//! must traverse both (continuation objects reference stack segments whose
+//! slots hold values, and vice versa), so the heap exposes a tri-color
+//! worklist API ([`Heap::mark_value`], [`Heap::pop_gray`]) instead of a
+//! monolithic `collect`.
+//!
+//! Allocation volume is accounted in words ([`Heap::words_allocated`]) —
+//! the measure behind the paper's "allocates 23% less memory" comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use oneshot_runtime::{Heap, Obj, Symbols, Value};
+//!
+//! let mut heap = Heap::new();
+//! let mut syms = Symbols::new();
+//! let x = syms.intern("x");
+//! let pair = heap.alloc(Obj::Pair(Value::Sym(x), Value::Fixnum(1)));
+//! assert_eq!(oneshot_runtime::write_value(&heap, &syms, Value::Obj(pair)), "(x . 1)");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod convert;
+mod heap;
+mod print;
+mod symbols;
+mod value;
+
+pub use convert::{datum_to_value, value_to_datum};
+pub use heap::{Heap, HeapStats, Obj};
+pub use print::{display_value, write_value};
+pub use symbols::{SymbolId, Symbols};
+pub use value::{ObjRef, Value};
+
+/// Structural (`equal?`) comparison of two values.
+///
+/// `eqv?`-style identity comparison is [`Value`]'s `PartialEq`. Uses an
+/// explicit worklist rather than recursion, so comparing arbitrarily long
+/// lists cannot overflow the native stack. Cyclic structures that are not
+/// identical diverge (as in R4RS `equal?`) — but identical cycle nodes
+/// short-circuit through the `a == b` fast path.
+pub fn values_equal(heap: &Heap, a: Value, b: Value) -> bool {
+    let mut work = vec![(a, b)];
+    while let Some((a, b)) = work.pop() {
+        if a == b {
+            continue;
+        }
+        let (Value::Obj(ra), Value::Obj(rb)) = (a, b) else { return false };
+        match (heap.get(ra), heap.get(rb)) {
+            (Obj::Pair(a1, d1), Obj::Pair(a2, d2)) => {
+                work.push((*d1, *d2));
+                work.push((*a1, *a2));
+            }
+            (Obj::Vector(v1), Obj::Vector(v2)) => {
+                if v1.len() != v2.len() {
+                    return false;
+                }
+                work.extend(v1.iter().copied().zip(v2.iter().copied()));
+            }
+            (Obj::Str(s1), Obj::Str(s2)) => {
+                if s1 != s2 {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_compares_structure() {
+        let mut heap = Heap::new();
+        let a = heap.alloc(Obj::Pair(Value::Fixnum(1), Value::Nil));
+        let b = heap.alloc(Obj::Pair(Value::Fixnum(1), Value::Nil));
+        assert_ne!(Value::Obj(a), Value::Obj(b), "eqv? distinguishes allocations");
+        assert!(values_equal(&heap, Value::Obj(a), Value::Obj(b)));
+        let c = heap.alloc(Obj::Pair(Value::Fixnum(2), Value::Nil));
+        assert!(!values_equal(&heap, Value::Obj(a), Value::Obj(c)));
+    }
+
+    #[test]
+    fn equal_compares_vectors_and_strings() {
+        let mut heap = Heap::new();
+        let v1 = heap.alloc(Obj::Vector(vec![Value::Fixnum(1), Value::Bool(true)]));
+        let v2 = heap.alloc(Obj::Vector(vec![Value::Fixnum(1), Value::Bool(true)]));
+        assert!(values_equal(&heap, Value::Obj(v1), Value::Obj(v2)));
+        let s1 = heap.alloc(Obj::Str("abc".chars().collect()));
+        let s2 = heap.alloc(Obj::Str("abc".chars().collect()));
+        let s3 = heap.alloc(Obj::Str("abd".chars().collect()));
+        assert!(values_equal(&heap, Value::Obj(s1), Value::Obj(s2)));
+        assert!(!values_equal(&heap, Value::Obj(s1), Value::Obj(s3)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Symbol interning.
+
+use std::collections::HashMap;
+
+/// An interned symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(u32);
+
+impl SymbolId {
+    /// The raw table index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// The symbol table: bijective map between names and [`SymbolId`]s.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    names: Vec<String>,
+    ids: HashMap<String, SymbolId>,
+    gensym_counter: u64,
+}
+
+impl Symbols {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Symbols::default()
+    }
+
+    /// Interns `name`, returning its stable identifier.
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = SymbolId(u32::try_from(self.names.len()).expect("symbol table overflow"));
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The name of an interned symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this table.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Generates a fresh uninterned-looking symbol with the given prefix
+    /// (actually interned under a name no reader token can produce).
+    pub fn gensym(&mut self, prefix: &str) -> SymbolId {
+        self.gensym_counter += 1;
+        let name = format!("{prefix}%{}", self.gensym_counter);
+        self.intern(&name)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbols are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = Symbols::new();
+        let a = t.intern("foo");
+        let b = t.intern("foo");
+        let c = t.intern("bar");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.name(a), "foo");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn gensyms_are_distinct() {
+        let mut t = Symbols::new();
+        let g1 = t.gensym("t");
+        let g2 = t.gensym("t");
+        assert_ne!(g1, g2);
+        assert_ne!(t.name(g1), t.name(g2));
+    }
+}

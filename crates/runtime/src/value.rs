@@ -1,0 +1,126 @@
+//! The tagged value word.
+
+use crate::symbols::SymbolId;
+
+/// A reference to a heap object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef(pub(crate) u32);
+
+impl ObjRef {
+    /// The raw heap index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A Scheme value: immediates inline, compound data via [`ObjRef`].
+///
+/// `PartialEq` implements `eqv?` semantics: immediates compare by value,
+/// heap objects by identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// An exact integer.
+    Fixnum(i64),
+    /// An inexact real.
+    Flonum(f64),
+    /// `#t` / `#f`.
+    Bool(bool),
+    /// A character.
+    Char(char),
+    /// The empty list.
+    Nil,
+    /// The end-of-file object.
+    Eof,
+    /// The unspecified value (result of `set!`, `for-each`, ...).
+    Unspecified,
+    /// An interned symbol.
+    Sym(SymbolId),
+    /// A builtin procedure, by index into the embedder's builtin table.
+    Builtin(u16),
+    /// A heap object.
+    Obj(ObjRef),
+}
+
+impl Value {
+    /// Scheme truthiness: everything but `#f` is true.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        !matches!(self, Value::Bool(false))
+    }
+
+    /// The fixnum payload, if this is one.
+    pub fn as_fixnum(self) -> Option<i64> {
+        match self {
+            Value::Fixnum(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The heap reference, if this is a heap object.
+    pub fn as_obj(self) -> Option<ObjRef> {
+        match self {
+            Value::Obj(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Value {
+    /// The unspecified value.
+    fn default() -> Self {
+        Value::Unspecified
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Fixnum(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<char> for Value {
+    fn from(c: char) -> Self {
+        Value::Char(c)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Flonum(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Bool(false).is_true());
+        assert!(Value::Bool(true).is_true());
+        assert!(Value::Fixnum(0).is_true());
+        assert!(Value::Nil.is_true());
+        assert!(Value::Unspecified.is_true());
+    }
+
+    #[test]
+    fn eqv_semantics() {
+        assert_eq!(Value::Fixnum(3), Value::from(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from('c'), Value::Char('c'));
+        assert_eq!(Value::from(1.5), Value::Flonum(1.5));
+        assert_ne!(Value::Obj(ObjRef(0)), Value::Obj(ObjRef(1)));
+        assert_eq!(Value::default(), Value::Unspecified);
+    }
+
+    #[test]
+    fn value_is_small() {
+        assert!(std::mem::size_of::<Value>() <= 16, "values stay word-pair sized");
+    }
+}

@@ -1,0 +1,561 @@
+//! Tokenizer for R4RS-style lexical syntax.
+
+use std::fmt;
+
+/// A half-open byte range with line/column of its start, for error
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The kind of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `#(` — vector open.
+    VecOpen,
+    /// `'`
+    Quote,
+    /// `` ` ``
+    Quasiquote,
+    /// `,`
+    Unquote,
+    /// `,@`
+    UnquoteSplicing,
+    /// `.` as a dotted-pair marker.
+    Dot,
+    /// `#;` — datum comment prefix.
+    DatumComment,
+    /// A boolean literal.
+    Bool(bool),
+    /// An exact integer literal.
+    Fixnum(i64),
+    /// An inexact real literal.
+    Flonum(f64),
+    /// A character literal.
+    Char(char),
+    /// A string literal (unescaped contents).
+    Str(String),
+    /// A symbol.
+    Symbol(String),
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was read.
+    pub kind: TokenKind,
+    /// Where it was read.
+    pub span: Span,
+}
+
+/// A lexical error with location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the problem was found.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// A tokenizer over a source string.
+#[derive(Debug, Clone)]
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_delimiter(b: u8) -> bool {
+    matches!(b, b'(' | b')' | b'[' | b']' | b'"' | b';') || b.is_ascii_whitespace()
+}
+
+fn is_symbol_initial(b: u8) -> bool {
+    b.is_ascii_alphabetic()
+        || matches!(
+            b,
+            b'!' | b'$' | b'%' | b'&' | b'*' | b'/' | b':' | b'<' | b'=' | b'>' | b'?' | b'^'
+                | b'_' | b'~'
+        )
+}
+
+fn is_symbol_subsequent(b: u8) -> bool {
+    is_symbol_initial(b) || b.is_ascii_digit() || matches!(b, b'+' | b'-' | b'.' | b'@' | b'#')
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn here(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn span_from(&self, start: (usize, u32, u32)) -> Span {
+        Span { start: start.0, end: self.pos, line: start.1, col: start.2 }
+    }
+
+    fn err(&self, start: (usize, u32, u32), message: impl Into<String>) -> LexError {
+        LexError { message: message.into(), span: self.span_from(start) }
+    }
+
+    fn skip_atmosphere(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b';') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'#') if self.peek2() == Some(b'|') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1u32;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'|'), Some(b'#')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(b'#'), Some(b'|')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(self.err(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produces the next token, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] on malformed input (bad character literal,
+    /// unterminated string or block comment, number out of range).
+    #[allow(clippy::too_many_lines)]
+    pub fn next_token(&mut self) -> Result<Option<Token>, LexError> {
+        self.skip_atmosphere()?;
+        let start = self.here();
+        let Some(b) = self.peek() else { return Ok(None) };
+        let kind = match b {
+            b'(' | b'[' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' | b']' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'\'' => {
+                self.bump();
+                TokenKind::Quote
+            }
+            b'`' => {
+                self.bump();
+                TokenKind::Quasiquote
+            }
+            b',' => {
+                self.bump();
+                if self.peek() == Some(b'@') {
+                    self.bump();
+                    TokenKind::UnquoteSplicing
+                } else {
+                    TokenKind::Unquote
+                }
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        None => return Err(self.err(start, "unterminated string")),
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'"') => s.push('"'),
+                            Some(b'0') => s.push('\0'),
+                            Some(c) => {
+                                return Err(self.err(
+                                    start,
+                                    format!("unknown string escape \\{}", c as char),
+                                ))
+                            }
+                            None => return Err(self.err(start, "unterminated string")),
+                        },
+                        Some(c) if c < 0x80 => s.push(c as char),
+                        Some(_) => {
+                            // Re-decode a UTF-8 sequence from the source.
+                            let begin = self.pos - 1;
+                            let ch = self.src[begin..]
+                                .chars()
+                                .next()
+                                .ok_or_else(|| self.err(start, "invalid UTF-8 in string"))?;
+                            for _ in 1..ch.len_utf8() {
+                                self.bump();
+                            }
+                            s.push(ch);
+                        }
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            b'#' => match self.peek2() {
+                Some(b'(') => {
+                    self.bump();
+                    self.bump();
+                    TokenKind::VecOpen
+                }
+                Some(b't') => {
+                    self.bump();
+                    self.bump();
+                    TokenKind::Bool(true)
+                }
+                Some(b'f') => {
+                    self.bump();
+                    self.bump();
+                    TokenKind::Bool(false)
+                }
+                Some(b';') => {
+                    self.bump();
+                    self.bump();
+                    TokenKind::DatumComment
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump();
+                    // Character: named or literal.
+                    let cstart = self.pos;
+                    let first = self
+                        .src[self.pos..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err(start, "end of input in character literal"))?;
+                    for _ in 0..first.len_utf8() {
+                        self.bump();
+                    }
+                    // Consume any following symbol characters (for names).
+                    while let Some(c) = self.peek() {
+                        if is_delimiter(c) {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    let text = &self.src[cstart..self.pos];
+                    let ch = if text.chars().count() == 1 {
+                        first
+                    } else {
+                        match text.to_ascii_lowercase().as_str() {
+                            "space" => ' ',
+                            "newline" | "linefeed" => '\n',
+                            "tab" => '\t',
+                            "return" => '\r',
+                            "nul" | "null" => '\0',
+                            "altmode" | "escape" => '\x1b',
+                            "backspace" => '\x08',
+                            "delete" | "rubout" => '\x7f',
+                            _ => {
+                                return Err(self.err(
+                                    start,
+                                    format!("unknown character name #\\{text}"),
+                                ))
+                            }
+                        }
+                    };
+                    TokenKind::Char(ch)
+                }
+                Some(b'x') | Some(b'X') => {
+                    self.bump();
+                    self.bump();
+                    let nstart = self.pos;
+                    while let Some(c) = self.peek() {
+                        if is_delimiter(c) {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    let text = &self.src[nstart..self.pos];
+                    let (neg, digits) = match text.strip_prefix('-') {
+                        Some(rest) => (true, rest),
+                        None => (false, text),
+                    };
+                    let n = i64::from_str_radix(digits, 16)
+                        .map_err(|_| self.err(start, format!("bad hex literal #x{text}")))?;
+                    TokenKind::Fixnum(if neg { -n } else { n })
+                }
+                other => {
+                    return Err(self.err(
+                        start,
+                        format!(
+                            "unknown # syntax: #{}",
+                            other.map_or(String::from("<eof>"), |c| (c as char).to_string())
+                        ),
+                    ))
+                }
+            },
+            _ => {
+                // Number, symbol, or dot. Accumulate until a delimiter.
+                let astart = self.pos;
+                while let Some(c) = self.peek() {
+                    if is_delimiter(c) {
+                        break;
+                    }
+                    self.bump();
+                }
+                let text = &self.src[astart..self.pos];
+                if text.is_empty() {
+                    return Err(self.err(start, format!("unexpected character {:?}", b as char)));
+                }
+                if text == "." {
+                    TokenKind::Dot
+                } else if let Some(kind) = parse_number(text) {
+                    kind
+                } else if (text.bytes().next().map(is_symbol_initial) == Some(true)
+                    && text.bytes().all(is_symbol_subsequent))
+                    || matches!(text, "+" | "-" | "...")
+                    || text.starts_with("->")
+                {
+                    TokenKind::Symbol(text.to_string())
+                } else {
+                    return Err(self.err(start, format!("invalid token {text:?}")));
+                }
+            }
+        };
+        Ok(Some(Token { kind, span: self.span_from(start) }))
+    }
+}
+
+/// Parses a decimal fixnum or flonum; `None` if `text` is not a number.
+fn parse_number(text: &str) -> Option<TokenKind> {
+    let body = text.strip_prefix(['+', '-']).unwrap_or(text);
+    if body.is_empty() || !body.bytes().next()?.is_ascii_digit() && !body.starts_with('.') {
+        return None;
+    }
+    if body.bytes().all(|b| b.is_ascii_digit()) {
+        return text.parse::<i64>().ok().map(TokenKind::Fixnum);
+    }
+    // Flonum: digits with a dot and/or exponent.
+    let valid = body
+        .bytes()
+        .all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'));
+    if valid && (body.contains('.') || body.contains('e') || body.contains('E')) {
+        return text.parse::<f64>().ok().map(TokenKind::Flonum);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> Vec<TokenKind> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::new();
+        while let Some(t) = lx.next_token().unwrap() {
+            out.push(t.kind);
+        }
+        out
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            lex("(foo 42 -7 #t #f)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Symbol("foo".into()),
+                TokenKind::Fixnum(42),
+                TokenKind::Fixnum(-7),
+                TokenKind::Bool(true),
+                TokenKind::Bool(false),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn quote_sugar_tokens() {
+        assert_eq!(
+            lex("'a `b ,c ,@d"),
+            vec![
+                TokenKind::Quote,
+                TokenKind::Symbol("a".into()),
+                TokenKind::Quasiquote,
+                TokenKind::Symbol("b".into()),
+                TokenKind::Unquote,
+                TokenKind::Symbol("c".into()),
+                TokenKind::UnquoteSplicing,
+                TokenKind::Symbol("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(lex(r#""a\nb\"c""#), vec![TokenKind::Str("a\nb\"c".into())]);
+    }
+
+    #[test]
+    fn characters_named_and_literal() {
+        assert_eq!(
+            lex(r"#\a #\space #\newline #\("),
+            vec![
+                TokenKind::Char('a'),
+                TokenKind::Char(' '),
+                TokenKind::Char('\n'),
+                TokenKind::Char('('),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            lex("1 -2 +3 1.5 -2e3 #x10 #x-ff"),
+            vec![
+                TokenKind::Fixnum(1),
+                TokenKind::Fixnum(-2),
+                TokenKind::Fixnum(3),
+                TokenKind::Flonum(1.5),
+                TokenKind::Flonum(-2000.0),
+                TokenKind::Fixnum(16),
+                TokenKind::Fixnum(-255),
+            ]
+        );
+    }
+
+    #[test]
+    fn peculiar_identifiers() {
+        assert_eq!(
+            lex("+ - ... ->foo a->b list->vector"),
+            vec![
+                TokenKind::Symbol("+".into()),
+                TokenKind::Symbol("-".into()),
+                TokenKind::Symbol("...".into()),
+                TokenKind::Symbol("->foo".into()),
+                TokenKind::Symbol("a->b".into()),
+                TokenKind::Symbol("list->vector".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_atmosphere() {
+        assert_eq!(
+            lex("; line\n1 #| block #| nested |# still |# 2"),
+            vec![TokenKind::Fixnum(1), TokenKind::Fixnum(2)]
+        );
+        assert_eq!(lex("#;"), vec![TokenKind::DatumComment]);
+    }
+
+    #[test]
+    fn brackets_are_parens() {
+        assert_eq!(
+            lex("[a]"),
+            vec![TokenKind::LParen, TokenKind::Symbol("a".into()), TokenKind::RParen]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let mut lx = Lexer::new("a\n  b");
+        let a = lx.next_token().unwrap().unwrap();
+        let b = lx.next_token().unwrap().unwrap();
+        assert_eq!((a.span.line, a.span.col), (1, 1));
+        assert_eq!((b.span.line, b.span.col), (2, 3));
+    }
+
+    #[test]
+    fn errors_carry_location() {
+        let mut lx = Lexer::new("\"abc");
+        let e = lx.next_token().unwrap_err();
+        assert!(e.message.contains("unterminated"));
+        assert_eq!(e.span.line, 1);
+    }
+
+    #[test]
+    fn dotted_token() {
+        assert_eq!(
+            lex("(a . b)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Symbol("a".into()),
+                TokenKind::Dot,
+                TokenKind::Symbol("b".into()),
+                TokenKind::RParen,
+            ]
+        );
+    }
+}

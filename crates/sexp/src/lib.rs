@@ -1,0 +1,31 @@
+//! S-expression reading and writing for the oneshot Scheme system.
+//!
+//! Provides the external representation layer: a [`Datum`] tree type, a
+//! reader with source positions and R4RS-style lexical syntax (lists,
+//! dotted pairs, vectors, strings, characters, booleans, fixnums, flonums,
+//! symbols, quotation sugar, and all three comment forms), and a writer
+//! with both `write` (machine-readable) and `display` (human-readable)
+//! conventions.
+//!
+//! # Example
+//!
+//! ```
+//! use oneshot_sexp::{read_str, Datum};
+//!
+//! let d = read_str("(+ 1 (quote x))").unwrap();
+//! assert_eq!(d.to_string(), "(+ 1 'x)");
+//! assert!(matches!(d, Datum::Pair(_)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod datum;
+mod lexer;
+mod reader;
+mod writer;
+
+pub use datum::{Datum, ListIter};
+pub use lexer::{LexError, Lexer, Span, Token, TokenKind};
+pub use reader::{read_all, read_str, ReadError, Reader};
+pub use writer::{display_datum, write_datum};

@@ -1,0 +1,302 @@
+//! The datum reader (parser).
+
+use std::fmt;
+
+use crate::datum::Datum;
+use crate::lexer::{LexError, Lexer, Span, Token, TokenKind};
+
+/// A read error: lexical or structural.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadError {
+    /// Human-readable description.
+    pub message: String,
+    /// Location, when known.
+    pub span: Option<Span>,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(s) => write!(f, "{} at {}", self.message, s),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<LexError> for ReadError {
+    fn from(e: LexError) -> Self {
+        ReadError { message: e.message, span: Some(e.span) }
+    }
+}
+
+/// A streaming datum reader over a source string.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    lexer: Lexer<'a>,
+    peeked: Option<Token>,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Reader { lexer: Lexer::new(src), peeked: None }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, ReadError> {
+        if let Some(t) = self.peeked.take() {
+            return Ok(Some(t));
+        }
+        Ok(self.lexer.next_token()?)
+    }
+
+    fn unread(&mut self, t: Token) {
+        debug_assert!(self.peeked.is_none());
+        self.peeked = Some(t);
+    }
+
+    /// Reads the next datum, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReadError`] on malformed input: unbalanced parentheses,
+    /// misplaced dots, lexical errors.
+    pub fn read(&mut self) -> Result<Option<Datum>, ReadError> {
+        let Some(tok) = self.next_token()? else { return Ok(None) };
+        self.read_after(tok).map(Some)
+    }
+
+    fn expect_datum(&mut self, what: &str, at: Span) -> Result<Datum, ReadError> {
+        match self.read()? {
+            Some(d) => Ok(d),
+            None => Err(ReadError {
+                message: format!("end of input: expected a datum after {what}"),
+                span: Some(at),
+            }),
+        }
+    }
+
+    fn read_after(&mut self, tok: Token) -> Result<Datum, ReadError> {
+        let span = tok.span;
+        match tok.kind {
+            TokenKind::Bool(b) => Ok(Datum::Bool(b)),
+            TokenKind::Fixnum(n) => Ok(Datum::Fixnum(n)),
+            TokenKind::Flonum(x) => Ok(Datum::Flonum(x)),
+            TokenKind::Char(c) => Ok(Datum::Char(c)),
+            TokenKind::Str(s) => Ok(Datum::Str(s)),
+            TokenKind::Symbol(s) => Ok(Datum::Symbol(s)),
+            TokenKind::Quote => self.sugar("quote", span),
+            TokenKind::Quasiquote => self.sugar("quasiquote", span),
+            TokenKind::Unquote => self.sugar("unquote", span),
+            TokenKind::UnquoteSplicing => self.sugar("unquote-splicing", span),
+            TokenKind::DatumComment => {
+                // Discard the next datum, then read another.
+                self.expect_datum("#;", span)?;
+                self.expect_datum("#; comment", span)
+            }
+            TokenKind::LParen => self.read_list(span),
+            TokenKind::VecOpen => self.read_vector(span),
+            TokenKind::RParen => {
+                Err(ReadError { message: "unexpected )".into(), span: Some(span) })
+            }
+            TokenKind::Dot => {
+                Err(ReadError { message: "unexpected .".into(), span: Some(span) })
+            }
+        }
+    }
+
+    fn sugar(&mut self, name: &str, span: Span) -> Result<Datum, ReadError> {
+        let d = self.expect_datum(name, span)?;
+        Ok(Datum::list([Datum::symbol(name), d]))
+    }
+
+    fn read_list(&mut self, open: Span) -> Result<Datum, ReadError> {
+        let mut items = Vec::new();
+        loop {
+            let Some(tok) = self.next_token()? else {
+                return Err(ReadError {
+                    message: "end of input: unclosed (".into(),
+                    span: Some(open),
+                });
+            };
+            match tok.kind {
+                TokenKind::RParen => {
+                    let mut d = Datum::Nil;
+                    for item in items.into_iter().rev() {
+                        d = Datum::cons(item, d);
+                    }
+                    return Ok(d);
+                }
+                TokenKind::Dot => {
+                    if items.is_empty() {
+                        return Err(ReadError {
+                            message: "dot at start of list".into(),
+                            span: Some(tok.span),
+                        });
+                    }
+                    let tail = self.expect_datum(".", tok.span)?;
+                    match self.next_token()? {
+                        Some(Token { kind: TokenKind::RParen, .. }) => {
+                            let mut d = tail;
+                            for item in items.into_iter().rev() {
+                                d = Datum::cons(item, d);
+                            }
+                            return Ok(d);
+                        }
+                        other => {
+                            return Err(ReadError {
+                                message: "expected ) after dotted tail".into(),
+                                span: other.map(|t| t.span).or(Some(open)),
+                            })
+                        }
+                    }
+                }
+                _ => {
+                    self.unread(tok);
+                    let Some(d) = self.read()? else {
+                        return Err(ReadError {
+                            message: "end of input: unclosed (".into(),
+                            span: Some(open),
+                        });
+                    };
+                    items.push(d);
+                }
+            }
+        }
+    }
+
+    fn read_vector(&mut self, open: Span) -> Result<Datum, ReadError> {
+        let mut items = Vec::new();
+        loop {
+            let Some(tok) = self.next_token()? else {
+                return Err(ReadError {
+                    message: "end of input: unclosed #(".into(),
+                    span: Some(open),
+                });
+            };
+            if tok.kind == TokenKind::RParen {
+                return Ok(Datum::Vector(items));
+            }
+            self.unread(tok);
+            let Some(d) = self.read()? else {
+                return Err(ReadError {
+                    message: "end of input: unclosed #(".into(),
+                    span: Some(open),
+                });
+            };
+            items.push(d);
+        }
+    }
+}
+
+/// Reads a single datum from `src`.
+///
+/// # Errors
+///
+/// Fails when `src` contains no datum or is malformed; trailing input is
+/// permitted and ignored.
+pub fn read_str(src: &str) -> Result<Datum, ReadError> {
+    match Reader::new(src).read()? {
+        Some(d) => Ok(d),
+        None => Err(ReadError { message: "no datum in input".into(), span: None }),
+    }
+}
+
+/// Reads every datum in `src`.
+///
+/// # Errors
+///
+/// Fails on the first malformed datum.
+pub fn read_all(src: &str) -> Result<Vec<Datum>, ReadError> {
+    let mut r = Reader::new(src);
+    let mut out = Vec::new();
+    while let Some(d) = r.read()? {
+        out.push(d);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_atoms() {
+        assert_eq!(read_str("42").unwrap(), Datum::Fixnum(42));
+        assert_eq!(read_str("#t").unwrap(), Datum::Bool(true));
+        assert_eq!(read_str("foo").unwrap(), Datum::symbol("foo"));
+        assert_eq!(read_str("\"hi\"").unwrap(), Datum::Str("hi".into()));
+        assert_eq!(read_str("#\\x").unwrap(), Datum::Char('x'));
+        assert_eq!(read_str("3.25").unwrap(), Datum::Flonum(3.25));
+    }
+
+    #[test]
+    fn reads_lists_and_dotted_pairs() {
+        assert_eq!(
+            read_str("(1 2)").unwrap(),
+            Datum::list([Datum::Fixnum(1), Datum::Fixnum(2)])
+        );
+        assert_eq!(
+            read_str("(1 . 2)").unwrap(),
+            Datum::cons(Datum::Fixnum(1), Datum::Fixnum(2))
+        );
+        assert_eq!(
+            read_str("(1 2 . 3)").unwrap(),
+            Datum::cons(Datum::Fixnum(1), Datum::cons(Datum::Fixnum(2), Datum::Fixnum(3)))
+        );
+        assert_eq!(read_str("()").unwrap(), Datum::Nil);
+    }
+
+    #[test]
+    fn reads_vectors() {
+        assert_eq!(
+            read_str("#(1 a)").unwrap(),
+            Datum::Vector(vec![Datum::Fixnum(1), Datum::symbol("a")])
+        );
+    }
+
+    #[test]
+    fn expands_quotation_sugar() {
+        assert_eq!(
+            read_str("'x").unwrap(),
+            Datum::list([Datum::symbol("quote"), Datum::symbol("x")])
+        );
+        assert_eq!(
+            read_str(",@x").unwrap(),
+            Datum::list([Datum::symbol("unquote-splicing"), Datum::symbol("x")])
+        );
+    }
+
+    #[test]
+    fn datum_comments_discard() {
+        assert_eq!(read_str("#;(1 2) 3").unwrap(), Datum::Fixnum(3));
+        assert_eq!(
+            read_str("(1 #;2 3)").unwrap(),
+            Datum::list([Datum::Fixnum(1), Datum::Fixnum(3)])
+        );
+    }
+
+    #[test]
+    fn read_all_reads_every_datum() {
+        let ds = read_all("1 (2) ;c\n3").unwrap();
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(read_str("(1 2").is_err());
+        assert!(read_str(")").is_err());
+        assert!(read_str("(. 1)").is_err());
+        assert!(read_str("(1 . 2 3)").is_err());
+        assert!(read_str("").is_err());
+        assert!(read_str("'").is_err());
+    }
+
+    #[test]
+    fn nested_structures() {
+        let d = read_str("(define (f x) (if (< x 2) 1 (* x (f (- x 1)))))").unwrap();
+        assert!(d.proper_list().is_some());
+        assert_eq!(d.car().unwrap().as_symbol(), Some("define"));
+    }
+}

@@ -1,0 +1,154 @@
+//! The datum writer.
+
+use std::fmt::{self, Write as _};
+
+use crate::datum::Datum;
+
+/// Formats `d` using `write` conventions: strings are quoted and escaped,
+/// characters use `#\` notation, quotation forms print with their sugar.
+pub fn write_datum(d: &Datum) -> String {
+    let mut s = String::new();
+    let _ = fmt_into(&mut s, d, true);
+    s
+}
+
+/// Formats `d` using `display` conventions: strings and characters print
+/// as their contents.
+pub fn display_datum(d: &Datum) -> String {
+    let mut s = String::new();
+    let _ = fmt_into(&mut s, d, false);
+    s
+}
+
+pub(crate) fn fmt_datum(d: &Datum, f: &mut fmt::Formatter<'_>, write: bool) -> fmt::Result {
+    let mut s = String::new();
+    fmt_into(&mut s, d, write)?;
+    f.write_str(&s)
+}
+
+/// The sugar prefix for a two-element `(tag x)` form, if `tag` has one.
+fn sugar_prefix(tag: &str) -> Option<&'static str> {
+    match tag {
+        "quote" => Some("'"),
+        "quasiquote" => Some("`"),
+        "unquote" => Some(","),
+        "unquote-splicing" => Some(",@"),
+        _ => None,
+    }
+}
+
+fn fmt_into(out: &mut String, d: &Datum, write: bool) -> fmt::Result {
+    match d {
+        Datum::Bool(true) => out.write_str("#t"),
+        Datum::Bool(false) => out.write_str("#f"),
+        Datum::Fixnum(n) => write!(out, "{n}"),
+        Datum::Flonum(x) => {
+            if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                write!(out, "{x:.1}")
+            } else {
+                write!(out, "{x}")
+            }
+        }
+        Datum::Char(c) if write => match c {
+            ' ' => out.write_str("#\\space"),
+            '\n' => out.write_str("#\\newline"),
+            '\t' => out.write_str("#\\tab"),
+            '\r' => out.write_str("#\\return"),
+            '\0' => out.write_str("#\\nul"),
+            c => write!(out, "#\\{c}"),
+        },
+        Datum::Char(c) => write!(out, "{c}"),
+        Datum::Str(s) if write => {
+            out.write_char('"')?;
+            for c in s.chars() {
+                match c {
+                    '"' => out.write_str("\\\"")?,
+                    '\\' => out.write_str("\\\\")?,
+                    '\n' => out.write_str("\\n")?,
+                    '\t' => out.write_str("\\t")?,
+                    '\r' => out.write_str("\\r")?,
+                    '\0' => out.write_str("\\0")?,
+                    c => out.write_char(c)?,
+                }
+            }
+            out.write_char('"')
+        }
+        Datum::Str(s) => out.write_str(s),
+        Datum::Symbol(s) => out.write_str(s),
+        Datum::Nil => out.write_str("()"),
+        Datum::Pair(p) => {
+            // Quotation sugar.
+            if let (Datum::Symbol(tag), Datum::Pair(rest)) = (&p.0, &p.1) {
+                if rest.1.is_nil() {
+                    if let Some(prefix) = sugar_prefix(tag) {
+                        out.write_str(prefix)?;
+                        return fmt_into(out, &rest.0, write);
+                    }
+                }
+            }
+            out.write_char('(')?;
+            fmt_into(out, &p.0, write)?;
+            let mut cur = &p.1;
+            loop {
+                match cur {
+                    Datum::Nil => break,
+                    Datum::Pair(q) => {
+                        out.write_char(' ')?;
+                        fmt_into(out, &q.0, write)?;
+                        cur = &q.1;
+                    }
+                    other => {
+                        out.write_str(" . ")?;
+                        fmt_into(out, other, write)?;
+                        break;
+                    }
+                }
+            }
+            out.write_char(')')
+        }
+        Datum::Vector(items) => {
+            out.write_str("#(")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(' ')?;
+                }
+                fmt_into(out, item, write)?;
+            }
+            out.write_char(')')
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_str;
+
+    #[test]
+    fn write_quotes_strings_display_does_not() {
+        let d = Datum::Str("a\"b\n".into());
+        assert_eq!(write_datum(&d), "\"a\\\"b\\n\"");
+        assert_eq!(display_datum(&d), "a\"b\n");
+    }
+
+    #[test]
+    fn characters() {
+        assert_eq!(write_datum(&Datum::Char(' ')), "#\\space");
+        assert_eq!(write_datum(&Datum::Char('q')), "#\\q");
+        assert_eq!(display_datum(&Datum::Char('q')), "q");
+    }
+
+    #[test]
+    fn lists_round_trip_textually() {
+        for src in ["(1 2 3)", "(1 . 2)", "(a (b . c) #(1 2))", "()", "'(1 2)", "`(a ,b ,@c)"] {
+            let d = read_str(src).unwrap();
+            assert_eq!(write_datum(&d), *src);
+        }
+    }
+
+    #[test]
+    fn flonums_keep_a_decimal_point() {
+        assert_eq!(write_datum(&Datum::Flonum(2.0)), "2.0");
+        assert_eq!(write_datum(&Datum::Flonum(1.5)), "1.5");
+    }
+}

@@ -1,0 +1,35 @@
+//! Robustness: the reader must never panic, whatever bytes arrive — it
+//! returns data or an error.
+
+use oneshot_sexp::read_all;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn reader_never_panics_on_arbitrary_input(src in any::<String>()) {
+        let _ = read_all(&src);
+    }
+
+    #[test]
+    fn reader_never_panics_on_scheme_ish_input(
+        src in "[()#'`,@a-z0-9.\\\\\" \\n;|+-]{0,64}"
+    ) {
+        let _ = read_all(&src);
+    }
+}
+
+#[test]
+fn pathological_inputs_error_cleanly() {
+    for src in [
+        "#", "#\\", "#x", "#xzz", "\"\\q\"", "(((((", ")))))", "'", "#;", "#;#;", "#|",
+        "(1 . )", "(. )", "...1", "1.2.3", ",",
+    ] {
+        assert!(read_all(src).is_err(), "{src:?} should be an error");
+    }
+    // Deeply nested input must not blow the parser (recursion is per
+    // nesting level; keep within default stack).
+    let deep = format!("{}1{}", "(".repeat(2000), ")".repeat(2000));
+    assert!(read_all(&deep).is_ok());
+}

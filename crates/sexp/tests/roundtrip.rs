@@ -1,0 +1,57 @@
+//! Property test: `read ∘ write` is the identity on data.
+
+use oneshot_sexp::{read_str, write_datum, Datum};
+use proptest::prelude::*;
+
+fn symbol_strategy() -> impl Strategy<Value = String> {
+    // Initial from the symbol alphabet, then subsequents.
+    "[a-z!$%&*/:<=>?^_~][a-z0-9!$%&*/:<=>?^_~+.@-]{0,10}".prop_map(|s| s)
+}
+
+fn leaf() -> impl Strategy<Value = Datum> {
+    prop_oneof![
+        any::<bool>().prop_map(Datum::Bool),
+        any::<i64>().prop_map(Datum::Fixnum),
+        (-1.0e9..1.0e9_f64).prop_map(Datum::Flonum),
+        proptest::char::range('!', '~').prop_map(Datum::Char),
+        prop_oneof![Just(' '), Just('\n'), Just('\t')].prop_map(Datum::Char),
+        "[ -~]{0,12}".prop_map(Datum::Str),
+        symbol_strategy().prop_map(Datum::Symbol),
+        Just(Datum::Nil),
+    ]
+}
+
+fn datum_strategy() -> impl Strategy<Value = Datum> {
+    leaf().prop_recursive(4, 64, 6, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Datum::cons(a, b)),
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Datum::list),
+            proptest::collection::vec(inner, 0..6).prop_map(Datum::Vector),
+        ]
+    })
+}
+
+// Structural equality with approximate flonum comparison is unnecessary:
+// the writer prints f64 with round-trip precision, so exact equality holds.
+proptest! {
+    #[test]
+    fn write_then_read_is_identity(d in datum_strategy()) {
+        let text = write_datum(&d);
+        let back = read_str(&text).unwrap_or_else(|e| panic!("reread failed on {text:?}: {e}"));
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn display_never_panics(d in datum_strategy()) {
+        let _ = oneshot_sexp::display_datum(&d);
+    }
+}
+
+#[test]
+fn sugar_survives_roundtrip() {
+    for src in ["'x", "`(a ,b ,@c)", "''x"] {
+        let d = read_str(src).unwrap();
+        let text = write_datum(&d);
+        assert_eq!(read_str(&text).unwrap(), d);
+    }
+}

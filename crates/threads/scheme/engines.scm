@@ -1,0 +1,66 @@
+;; Engines (Dybvig & Hieb, "Engines from continuations"), built on
+;; one-shot continuations and the VM timer.
+;;
+;; An engine is a procedure (engine fuel complete expire):
+;;   - fuel: positive number of procedure calls to run for;
+;;   - complete: called as (complete value remaining-fuel) if the
+;;     computation finishes within the budget;
+;;   - expire: called as (expire new-engine) when fuel runs out; the new
+;;     engine resumes the computation.
+;;
+;; Every continuation here is invoked exactly once, so call/1cc applies
+;; throughout: suspending an engine costs no stack copying.
+
+(define %engine-escape #f)
+(define %engine-parents '())
+
+(define (%run-engine proc fuel complete expire)
+  (let ((result
+         (call/1cc
+          (lambda (esc)
+            (set! %engine-parents (cons %engine-escape %engine-parents))
+            (set! %engine-escape esc)
+            (timer-interrupt-handler! %engine-interrupt)
+            (set-timer! fuel)
+            (proc)))))
+    (if (eq? (car result) 'done)
+        (complete (cadr result) (caddr result))
+        (expire (cadr result)))))
+
+;; Normal completion: escape through the *current* run's continuation
+;; (the lexical one may belong to an earlier, already-shot run).
+(define (%engine-return v)
+  (let ((left (set-timer! 0))
+        (esc %engine-escape))
+    (set! %engine-escape (car %engine-parents))
+    (set! %engine-parents (cdr %engine-parents))
+    (esc (list 'done v left))))
+
+;; Timer expiry: capture the interrupted computation one-shot and hand
+;; back a resuming engine.
+(define (%engine-interrupt)
+  (call/1cc
+   (lambda (resume)
+     (let ((esc %engine-escape))
+       (set! %engine-escape (car %engine-parents))
+       (set! %engine-parents (cdr %engine-parents))
+       (esc (list 'expired
+                  (lambda (fuel complete expire)
+                    (if (<= fuel 0) (error "engine: fuel must be positive"))
+                    (%run-engine (lambda () (resume 0)) fuel complete expire))))))))
+
+(define (make-engine thunk)
+  (lambda (fuel complete expire)
+    (if (<= fuel 0) (error "engine: fuel must be positive"))
+    (%run-engine (lambda () (%engine-return (thunk))) fuel complete expire)))
+
+;; Round-robin N engines to completion; returns the list of results in
+;; completion order.
+(define (engines-round-robin engines fuel)
+  (let loop ((queue engines) (results '()))
+    (if (null? queue)
+        (reverse results)
+        (let ((e (car queue)) (rest (cdr queue)))
+          (e fuel
+             (lambda (v left) (loop rest (cons v results)))
+             (lambda (e2) (loop (append rest (list e2)) results)))))))

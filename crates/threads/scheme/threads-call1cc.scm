@@ -1,0 +1,57 @@
+;; The same thread system built on one-shot continuations (call/1cc), the
+;; paper's motivating application: a suspended thread's continuation is
+;; invoked exactly once (when it is resumed), so capture encapsulates the
+;; segment and resumption is O(1) — no stack copying at all, with the
+;; segment cache absorbing the capture/invoke churn.
+
+(define %thread-queue '())
+(define %thread-tail '())
+(define %scheduler-k #f)
+(define %switch-fuel 0)
+
+(define (%enqueue k)
+  (let ((cell (cons k '())))
+    (if (null? %thread-queue)
+        (begin (set! %thread-queue cell) (set! %thread-tail cell))
+        (begin (set-cdr! %thread-tail cell) (set! %thread-tail cell)))))
+
+(define (%dequeue)
+  (if (null? %thread-queue)
+      #f
+      (let ((k (car %thread-queue)))
+        (set! %thread-queue (cdr %thread-queue))
+        (if (null? %thread-queue) (set! %thread-tail '()))
+        k)))
+
+(define (thread-spawn! thunk)
+  (%enqueue (lambda (ignore)
+              (thunk)
+              (thread-exit!))))
+
+;; One-shot capture: each suspended continuation is resumed exactly once.
+(define (thread-yield!)
+  (call/1cc (lambda (k)
+              (%enqueue k)
+              (%run-next!))))
+
+(define (thread-exit!)
+  (%run-next!))
+
+(define (%run-next!)
+  (let ((next (%dequeue)))
+    (if next
+        (begin
+          (if (> %switch-fuel 0) (set-timer! %switch-fuel))
+          (next 0))
+        (%scheduler-k 'all-done))))
+
+(define (threads-run! fuel)
+  (set! %switch-fuel fuel)
+  (if (> fuel 0)
+      (timer-interrupt-handler! (lambda () (thread-yield!))))
+  ;; The scheduler's own continuation is also invoked once.
+  (call/1cc (lambda (k)
+              (set! %scheduler-k k)
+              (%run-next!)))
+  (set-timer! 0)
+  'done)

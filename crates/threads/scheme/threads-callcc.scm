@@ -1,0 +1,61 @@
+;; A cooperative/preemptive thread system built on multi-shot
+;; continuations (call/cc), as in §4 of the paper. Context switches
+;; capture the running thread's continuation with call/cc and reinstate
+;; the next thread's saved continuation.
+;;
+;; Preemption uses the engine timer: the interrupt handler yields.
+;; The scheduler is a simple FIFO run queue.
+
+(define %thread-queue '())
+(define %thread-tail '())
+(define %scheduler-k #f)
+(define %switch-fuel 0)
+
+(define (%enqueue k)
+  (let ((cell (cons k '())))
+    (if (null? %thread-queue)
+        (begin (set! %thread-queue cell) (set! %thread-tail cell))
+        (begin (set-cdr! %thread-tail cell) (set! %thread-tail cell)))))
+
+(define (%dequeue)
+  (if (null? %thread-queue)
+      #f
+      (let ((k (car %thread-queue)))
+        (set! %thread-queue (cdr %thread-queue))
+        (if (null? %thread-queue) (set! %thread-tail '()))
+        k)))
+
+;; Start a thread: the thunk runs when the scheduler reaches it.
+(define (thread-spawn! thunk)
+  (%enqueue (lambda (ignore)
+              (thunk)
+              (thread-exit!))))
+
+;; Give up the processor: capture with call/cc, queue, run the next thread.
+(define (thread-yield!)
+  (call/cc (lambda (k)
+             (%enqueue k)
+             (%run-next!))))
+
+(define (thread-exit!)
+  (%run-next!))
+
+(define (%run-next!)
+  (let ((next (%dequeue)))
+    (if next
+        (begin
+          (if (> %switch-fuel 0) (set-timer! %switch-fuel))
+          (next 0))
+        (%scheduler-k 'all-done))))
+
+;; Run all spawned threads to completion. `fuel` > 0 enables preemption
+;; every `fuel` procedure calls (Figure 5's context-switch frequency).
+(define (threads-run! fuel)
+  (set! %switch-fuel fuel)
+  (if (> fuel 0)
+      (timer-interrupt-handler! (lambda () (thread-yield!))))
+  (call/cc (lambda (k)
+             (set! %scheduler-k k)
+             (%run-next!)))
+  (set-timer! 0)
+  'done)

@@ -1,0 +1,59 @@
+;; The CPS thread system of §4: threads are written in explicit
+;; continuation-passing style, so suspending a thread is just saving a
+;; closure — control lives entirely in the heap ("simulates a heap-based
+;; representation of control"). There is no call/cc, no call/1cc, and no
+;; stack capture anywhere; the cost moved into one closure allocation per
+;; (checked) call.
+;;
+;; This file is plain direct-style Scheme whose *conventions* are CPS; it
+;; is loaded into a normal (direct pipeline) VM.
+;;
+;; Context-switch frequency: workloads route every procedure call through
+;; `cps-call`, which decrements the fuel counter and yields when it hits
+;; zero — the source-level analogue of the engine timer.
+
+(define %cps-queue '())
+(define %cps-tail '())
+(define %cps-fuel 0)
+(define %cps-slice 0)
+
+(define (%cps-enqueue thunk)
+  (let ((cell (cons thunk '())))
+    (if (null? %cps-queue)
+        (begin (set! %cps-queue cell) (set! %cps-tail cell))
+        (begin (set-cdr! %cps-tail cell) (set! %cps-tail cell)))))
+
+(define (%cps-dequeue)
+  (if (null? %cps-queue)
+      #f
+      (let ((thunk (car %cps-queue)))
+        (set! %cps-queue (cdr %cps-queue))
+        (if (null? %cps-queue) (set! %cps-tail '()))
+        thunk)))
+
+;; Spawn a CPS procedure of one argument (its continuation).
+(define (cps-spawn! proc-cps)
+  (%cps-enqueue (lambda () (proc-cps (lambda (v) (%cps-run-next!))))))
+
+(define (%cps-run-next!)
+  (let ((next (%cps-dequeue)))
+    (if next
+        (begin
+          (set! %cps-fuel %cps-slice)
+          (next))
+        'all-done)))
+
+;; The per-call fuel check: runs `thunk` now, or suspends it (a heap
+;; closure) and switches to the next thread.
+(define (cps-call thunk)
+  (set! %cps-fuel (- %cps-fuel 1))
+  (if (<= %cps-fuel 0)
+      (begin (%cps-enqueue thunk) (%cps-run-next!))
+      (thunk)))
+
+;; Run all spawned threads with the given context-switch frequency
+;; (procedure calls per switch; 0 disables switching).
+(define (cps-threads-run! fuel)
+  (set! %cps-slice (if (> fuel 0) fuel 1000000000))
+  (set! %cps-fuel %cps-slice)
+  (%cps-run-next!))

@@ -1,0 +1,359 @@
+//! Continuation-based thread systems for the oneshot VM.
+//!
+//! Implements the three thread systems benchmarked in §4 / Figure 5 of the
+//! paper, each as a Scheme library driven through a Rust API:
+//!
+//! * [`Strategy::CallCc`] — context switches capture multi-shot
+//!   continuations (stack copying on every resumption);
+//! * [`Strategy::Call1Cc`] — context switches capture one-shot
+//!   continuations (O(1) suspension and resumption, fed by the segment
+//!   cache) — the paper's contribution applied to threads;
+//! * [`Strategy::Cps`] — threads written in continuation-passing style:
+//!   control lives in heap closures (the heap-based baseline).
+//!
+//! Preemption uses the VM's engine timer for the two capture-based systems
+//! and a source-level fuel counter for the CPS system; in both cases the
+//! knob is "procedure calls per context switch", Figure 5's x-axis.
+//!
+//! Also provides Dybvig–Hieb engines (`make-engine`) built on one-shot
+//! continuations.
+//!
+//! # Example
+//!
+//! ```
+//! use oneshot_threads::{Strategy, ThreadSystem};
+//!
+//! let mut ts = ThreadSystem::new(Strategy::Call1Cc);
+//! ts.eval("(define out '())").unwrap();
+//! ts.spawn("(lambda () (set! out (cons 'a out)) (thread-yield!) (set! out (cons 'c out)))")
+//!     .unwrap();
+//! ts.spawn("(lambda () (set! out (cons 'b out)))").unwrap();
+//! ts.run(0).unwrap();
+//! assert_eq!(ts.eval_to_string("(reverse out)").unwrap(), "(a b c)");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use oneshot_runtime::Value;
+use oneshot_vm::{Vm, VmConfig, VmError, VmStats};
+
+const CALLCC_SCHED: &str = include_str!("../scheme/threads-callcc.scm");
+const CALL1CC_SCHED: &str = include_str!("../scheme/threads-call1cc.scm");
+const CPS_SCHED: &str = include_str!("../scheme/threads-cps.scm");
+/// Dybvig–Hieb engines source, loaded by [`ThreadSystem::load_engines`].
+pub const ENGINES: &str = include_str!("../scheme/engines.scm");
+
+/// Which control representation the thread system uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Multi-shot continuations (`call/cc`): stack copying per switch.
+    CallCc,
+    /// One-shot continuations (`call/1cc`): O(1) switches.
+    Call1Cc,
+    /// Continuation-passing style: heap closures, no stack capture.
+    Cps,
+}
+
+impl Strategy {
+    /// All three systems, in the paper's presentation order.
+    pub const ALL: [Strategy; 3] = [Strategy::Cps, Strategy::CallCc, Strategy::Call1Cc];
+
+    /// A short label (used by the experiment harness).
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::CallCc => "call/cc",
+            Strategy::Call1Cc => "call/1cc",
+            Strategy::Cps => "cps",
+        }
+    }
+
+    fn scheduler_source(self) -> &'static str {
+        match self {
+            Strategy::CallCc => CALLCC_SCHED,
+            Strategy::Call1Cc => CALL1CC_SCHED,
+            Strategy::Cps => CPS_SCHED,
+        }
+    }
+}
+
+/// A VM plus a loaded scheduler.
+#[derive(Debug)]
+pub struct ThreadSystem {
+    vm: Vm,
+    strategy: Strategy,
+}
+
+impl ThreadSystem {
+    /// Creates a fresh VM with the chosen scheduler loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded scheduler source fails to load (a build
+    /// defect, covered by tests).
+    pub fn new(strategy: Strategy) -> Self {
+        Self::with_config(strategy, VmConfig::default())
+    }
+
+    /// As [`ThreadSystem::new`] with explicit VM configuration (stack
+    /// policies etc.).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded scheduler source fails to load.
+    pub fn with_config(strategy: Strategy, cfg: VmConfig) -> Self {
+        let mut vm = Vm::with_config(cfg);
+        vm.eval_str(strategy.scheduler_source()).expect("scheduler must load");
+        ThreadSystem { vm, strategy }
+    }
+
+    /// The strategy this system uses.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The underlying VM.
+    pub fn vm_mut(&mut self) -> &mut Vm {
+        &mut self.vm
+    }
+
+    /// Evaluates arbitrary Scheme in the system's VM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/compile/runtime errors.
+    pub fn eval(&mut self, src: &str) -> Result<Value, VmError> {
+        self.vm.eval_str(src)
+    }
+
+    /// Evaluates and formats with `write` conventions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/compile/runtime errors.
+    pub fn eval_to_string(&mut self, src: &str) -> Result<String, VmError> {
+        let v = self.vm.eval_str(src)?;
+        Ok(self.vm.write_value(&v))
+    }
+
+    /// Spawns a thread. For the capture-based systems `thunk_src` must
+    /// evaluate to a zero-argument procedure; for the CPS system, to a
+    /// one-argument CPS procedure (receiving its continuation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from `thunk_src`.
+    pub fn spawn(&mut self, thunk_src: &str) -> Result<(), VmError> {
+        let call = match self.strategy {
+            Strategy::Cps => format!("(cps-spawn! {thunk_src})"),
+            _ => format!("(thread-spawn! {thunk_src})"),
+        };
+        self.vm.eval_str(&call)?;
+        Ok(())
+    }
+
+    /// Runs all spawned threads to completion. `switch_every` is the
+    /// context-switch frequency in procedure calls (0 = cooperative only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from thread bodies.
+    pub fn run(&mut self, switch_every: u64) -> Result<Value, VmError> {
+        let call = match self.strategy {
+            Strategy::Cps => format!("(cps-threads-run! {switch_every})"),
+            _ => format!("(threads-run! {switch_every})"),
+        };
+        self.vm.eval_str(&call)
+    }
+
+    /// Loads the engines library (capture-based systems only — engines use
+    /// `call/1cc` and the VM timer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates load errors.
+    pub fn load_engines(&mut self) -> Result<(), VmError> {
+        self.vm.eval_str(ENGINES)?;
+        Ok(())
+    }
+
+    /// Statistics snapshot from the underlying VM.
+    pub fn stats(&self) -> VmStats {
+        self.vm.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_workload(ts: &mut ThreadSystem, threads: usize, n: usize) {
+        ts.eval("(define done 0)").unwrap();
+        match ts.strategy() {
+            Strategy::Cps => {
+                ts.eval(&format!(
+                    "(define (work k)
+                       (let loop ((i 0))
+                         (cps-call (lambda ()
+                           (if (< i {n})
+                               (loop (+ i 1))
+                               (begin (set! done (+ done 1)) (k 0)))))))"
+                ))
+                .unwrap();
+            }
+            _ => {
+                ts.eval(&format!(
+                    "(define (work)
+                       (let loop ((i 0))
+                         (if (< i {n}) (loop (+ i 1)) (set! done (+ done 1)))))"
+                ))
+                .unwrap();
+            }
+        }
+        for _ in 0..threads {
+            ts.spawn("work").unwrap();
+        }
+    }
+
+    fn done_count(ts: &mut ThreadSystem) -> i64 {
+        match ts.eval("done").unwrap() {
+            Value::Fixnum(n) => n,
+            other => panic!("done was {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cooperative_round_robin_interleaves() {
+        for strategy in [Strategy::CallCc, Strategy::Call1Cc] {
+            let mut ts = ThreadSystem::new(strategy);
+            ts.eval("(define out '())").unwrap();
+            ts.spawn(
+                "(lambda () (set! out (cons 1 out)) (thread-yield!) (set! out (cons 3 out)))",
+            )
+            .unwrap();
+            ts.spawn(
+                "(lambda () (set! out (cons 2 out)) (thread-yield!) (set! out (cons 4 out)))",
+            )
+            .unwrap();
+            ts.run(0).unwrap();
+            assert_eq!(ts.eval_to_string("(reverse out)").unwrap(), "(1 2 3 4)", "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn preemptive_switching_completes_all_threads() {
+        for strategy in Strategy::ALL {
+            let mut ts = ThreadSystem::new(strategy);
+            counter_workload(&mut ts, 5, 2000);
+            ts.run(16).unwrap();
+            assert_eq!(done_count(&mut ts), 5, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn one_shot_system_copies_nothing_call_cc_copies() {
+        let mut one = ThreadSystem::new(Strategy::Call1Cc);
+        counter_workload(&mut one, 4, 4000);
+        let before = one.stats();
+        one.run(8).unwrap();
+        let d1 = one.stats().delta_since(&before);
+        assert_eq!(d1.stack.slots_copied, 0, "one-shot switches copy nothing");
+        assert!(d1.stack.reinstates_one > 100);
+
+        let mut multi = ThreadSystem::new(Strategy::CallCc);
+        counter_workload(&mut multi, 4, 4000);
+        let before = multi.stats();
+        multi.run(8).unwrap();
+        let dm = multi.stats().delta_since(&before);
+        assert!(dm.stack.slots_copied > 1000, "call/cc switches copy: {:?}", dm.stack);
+    }
+
+    #[test]
+    fn cps_system_captures_no_continuations_at_all() {
+        let mut cps = ThreadSystem::new(Strategy::Cps);
+        counter_workload(&mut cps, 3, 2000);
+        let before = cps.stats();
+        cps.run(4).unwrap();
+        let d = cps.stats().delta_since(&before);
+        assert_eq!(d.stack.captures_multi, 0);
+        assert_eq!(d.stack.captures_one, 0);
+        assert!(d.heap.closures_allocated > 1000, "control became closures");
+        assert_eq!(done_count(&mut cps), 3);
+    }
+
+    #[test]
+    fn many_threads_complete() {
+        for strategy in Strategy::ALL {
+            let mut ts = ThreadSystem::new(strategy);
+            counter_workload(&mut ts, 100, 200);
+            ts.run(32).unwrap();
+            assert_eq!(done_count(&mut ts), 100, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn switching_preserves_thread_results() {
+        // Each thread computes a distinct value into a vector slot; rapid
+        // preemption must not corrupt any of them.
+        for strategy in [Strategy::CallCc, Strategy::Call1Cc] {
+            let mut ts = ThreadSystem::new(strategy);
+            ts.eval("(define results (make-vector 8 #f))").unwrap();
+            ts.eval(
+                "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+                 (define (job i) (lambda () (vector-set! results i (fib (+ 10 i)))))",
+            )
+            .unwrap();
+            for i in 0..8 {
+                ts.spawn(&format!("(job {i})")).unwrap();
+            }
+            ts.run(3).unwrap();
+            assert_eq!(
+                ts.eval_to_string("(vector->list results)").unwrap(),
+                "(55 89 144 233 377 610 987 1597)",
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn engines_complete_and_expire() {
+        let mut ts = ThreadSystem::new(Strategy::Call1Cc);
+        ts.load_engines().unwrap();
+        let r = ts
+            .eval_to_string(
+                "(define (spin n) (let loop ((i 0)) (if (= i n) i (loop (+ i 1)))))
+                 (define e (make-engine (lambda () (spin 1000))))
+                 (define expirations 0)
+                 (let retry ((e e))
+                   (e 100
+                      (lambda (v left) (list 'value v 'many-expirations (> expirations 5)))
+                      (lambda (e2) (set! expirations (+ expirations 1)) (retry e2))))",
+            )
+            .unwrap();
+        assert_eq!(r, "(value 1000 many-expirations #t)");
+    }
+
+    #[test]
+    fn engines_round_robin_fairness() {
+        let mut ts = ThreadSystem::new(Strategy::Call1Cc);
+        ts.load_engines().unwrap();
+        let r = ts
+            .eval_to_string(
+                "(define (spin n v) (let loop ((i 0)) (if (= i n) v (loop (+ i 1)))))
+                 (engines-round-robin
+                   (list (make-engine (lambda () (spin 500 'a)))
+                         (make-engine (lambda () (spin 100 'b)))
+                         (make-engine (lambda () (spin 300 'c))))
+                   50)",
+            )
+            .unwrap();
+        // Shorter computations finish earlier under round robin.
+        assert_eq!(r, "(b c a)");
+    }
+
+    #[test]
+    fn stats_are_exposed() {
+        let ts = ThreadSystem::new(Strategy::Call1Cc);
+        assert!(ts.stats().instructions > 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! GC stress for the thread systems: collections while many threads sit
+//! suspended on one-shot continuations.
+
+use oneshot_threads::{Strategy, ThreadSystem};
+use oneshot_vm::VmConfig;
+
+#[test]
+fn suspended_threads_survive_collections() {
+    let mut ts = ThreadSystem::with_config(Strategy::Call1Cc, VmConfig::default());
+    ts.vm_mut().heap_mut().set_gc_threshold(256);
+    ts.eval("(define acc '())").unwrap();
+    ts.eval(
+        "(define (job i)
+           (lambda ()
+             (let loop ((n 0) (l '()))
+               (if (< n 200)
+                   (begin (thread-yield!) (loop (+ n 1) (cons n l)))
+                   (set! acc (cons (cons i (length l)) acc))))))",
+    )
+    .unwrap();
+    for i in 0..8 {
+        ts.spawn(&format!("(job {i})")).unwrap();
+    }
+    ts.run(0).unwrap();
+    let done = ts.eval_to_string("(length acc)").unwrap();
+    assert_eq!(done, "8");
+    assert!(ts.stats().heap.collections > 0, "collections happened mid-run");
+}
+
+#[test]
+fn preemptive_threads_survive_collections_across_strategies() {
+    for strategy in Strategy::ALL {
+        let mut ts = ThreadSystem::new(strategy);
+        ts.vm_mut().heap_mut().set_gc_threshold(512);
+        ts.eval("(define total 0)").unwrap();
+        match strategy {
+            Strategy::Cps => {
+                ts.eval(
+                    "(define (job k)
+                       (let loop ((n 0) (l '()))
+                         (cps-call (lambda ()
+                           (if (< n 300)
+                               (loop (+ n 1) (cons n l))
+                               (begin (set! total (+ total (length l))) (k 0)))))))",
+                )
+                .unwrap();
+            }
+            _ => {
+                ts.eval(
+                    "(define (job)
+                       (let loop ((n 0) (l '()))
+                         (if (< n 300)
+                             (loop (+ n 1) (cons n l))
+                             (set! total (+ total (length l))))))",
+                )
+                .unwrap();
+            }
+        }
+        for _ in 0..4 {
+            ts.spawn("job").unwrap();
+        }
+        ts.run(8).unwrap();
+        assert_eq!(ts.eval_to_string("total").unwrap(), "1200", "{strategy:?}");
+        assert!(ts.stats().heap.collections > 0, "{strategy:?}");
+    }
+}

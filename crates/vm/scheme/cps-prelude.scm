@@ -1,0 +1,38 @@
+;; Hand-written continuation-passing-style definitions of the control
+;; operators, loaded (through the *direct* pipeline — these are already in
+;; CPS form) before any CPS-converted code. In the CPS world a procedure of
+;; n parameters is an (n+1)-parameter procedure whose first argument is the
+;; continuation, itself a one-argument procedure.
+;;
+;; This is the heap-based representation of control the paper benchmarks
+;; against: capturing a continuation is just passing `k` along (O(1)), and
+;; there is no one-shot optimization to be had — `call/1cc` is `call/cc`.
+
+(define (call/cc k f)
+  (f k (lambda (k2 v) (k v))))
+
+(define call-with-current-continuation call/cc)
+
+;; One-shot capture buys nothing when control already lives in the heap.
+(define (call/1cc k f)
+  (f k (lambda (k2 v) (k v))))
+
+(define (values k . vs)
+  (if (and (pair? vs) (null? (cdr vs)))
+      (k (car vs))
+      (error "values: only single values are supported in CPS mode")))
+
+(define (call-with-values k p c)
+  (p (lambda (v) (c k v))))
+
+;; No winder rewinding on continuation jumps in CPS mode — this baseline
+;; models straight-line wind semantics only (documented limitation).
+(define (dynamic-wind k before thunk after)
+  (before
+   (lambda (b)
+     (thunk
+      (lambda (v)
+        (after (lambda (a) (k v))))))))
+
+(define (apply k f . spec)
+  (%apply-args k f spec))

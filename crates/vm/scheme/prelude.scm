@@ -1,0 +1,84 @@
+;; The oneshot Scheme prelude: library procedures defined in Scheme on top
+;; of the Rust builtins. Compiled through the same pipeline as user code
+;; (so in CPS mode this file is CPS-converted too).
+
+(define (caar p) (car (car p)))
+(define (cadr p) (car (cdr p)))
+(define (cdar p) (cdr (car p)))
+(define (cddr p) (cdr (cdr p)))
+(define (caaar p) (car (caar p)))
+(define (caadr p) (car (cadr p)))
+(define (cadar p) (car (cdar p)))
+(define (caddr p) (car (cddr p)))
+(define (cdaar p) (cdr (caar p)))
+(define (cdadr p) (cdr (cadr p)))
+(define (cddar p) (cdr (cdar p)))
+(define (cdddr p) (cdr (cddr p)))
+(define (cadddr p) (car (cdddr p)))
+(define (cddddr p) (cdr (cdddr p)))
+
+(define (member x lst)
+  (cond ((null? lst) #f)
+        ((equal? x (car lst)) lst)
+        (else (member x (cdr lst)))))
+
+(define (assoc x lst)
+  (cond ((null? lst) #f)
+        ((equal? x (caar lst)) (car lst))
+        (else (assoc x (cdr lst)))))
+
+(define (map f lst . more)
+  (if (null? more)
+      (let map1 ((lst lst))
+        (if (null? lst)
+            '()
+            (cons (f (car lst)) (map1 (cdr lst)))))
+      (let mapn ((lists (cons lst more)))
+        (if (memq '() lists)
+            '()
+            (cons (apply f (map car lists))
+                  (mapn (map cdr lists)))))))
+
+(define (for-each f lst . more)
+  (if (null? more)
+      (let fe1 ((lst lst))
+        (if (null? lst)
+            (void)
+            (begin (f (car lst)) (fe1 (cdr lst)))))
+      (let fen ((lists (cons lst more)))
+        (if (memq '() lists)
+            (void)
+            (begin (apply f (map car lists)) (fen (map cdr lists)))))))
+
+(define (list-copy lst) (append lst '()))
+
+(define (last-pair lst)
+  (if (pair? (cdr lst)) (last-pair (cdr lst)) lst))
+
+(define (boolean=? a b) (eq? a b))
+
+(define (filter keep? lst)
+  (cond ((null? lst) '())
+        ((keep? (car lst)) (cons (car lst) (filter keep? (cdr lst))))
+        (else (filter keep? (cdr lst)))))
+
+(define (fold-left f init lst)
+  (if (null? lst)
+      init
+      (fold-left f (f init (car lst)) (cdr lst))))
+
+(define (fold-right f init lst)
+  (if (null? lst)
+      init
+      (f (car lst) (fold-right f init (cdr lst)))))
+
+(define (reduce f init lst)
+  (if (null? lst) init (fold-left f (car lst) (cdr lst))))
+
+(define (iota n)
+  (let loop ((i (- n 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons i acc)))))
+
+(define (assq-ref alist key)
+  (let ((hit (assq key alist)))
+    (if hit (cdr hit) #f)))

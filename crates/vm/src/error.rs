@@ -1,0 +1,44 @@
+//! VM errors.
+
+use std::fmt;
+
+/// Anything that can go wrong running a program.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VmError {
+    /// Reader failure.
+    Read(String),
+    /// Compiler failure.
+    Compile(String),
+    /// A runtime error (type errors, arity errors, `(error ...)`).
+    Runtime(String),
+}
+
+impl VmError {
+    pub(crate) fn runtime(msg: impl Into<String>) -> Self {
+        VmError::Runtime(msg.into())
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Read(m) => write!(f, "read error: {m}"),
+            VmError::Compile(m) => write!(f, "{m}"),
+            VmError::Runtime(m) => write!(f, "error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert!(VmError::runtime("x").to_string().starts_with("error:"));
+        assert!(VmError::Read("y".into()).to_string().contains("read"));
+    }
+}

@@ -1,0 +1,1181 @@
+//! Builtin procedures.
+//!
+//! Registration order follows `oneshot_compiler::builtins::BUILTIN_NAMES`
+//! (the canonical list shared with the CPS converter); construction panics
+//! if an implementation is missing, so the two cannot drift.
+
+use oneshot_runtime::{values_equal, Obj, Value};
+
+use crate::error::VmError;
+use crate::slot::{slot_disp, Resume, Slot};
+use crate::vm::Vm;
+
+type R<T> = Result<T, VmError>;
+
+/// What the VM should do after a builtin runs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Flow {
+    /// `acc` (and possibly pending multiple values) is the result; return
+    /// through the frame.
+    Return,
+    /// Tail-apply `f` to `argc` arguments already placed at `fp+1..`.
+    Tail {
+        /// The procedure.
+        f: Value,
+        /// Argument count.
+        argc: usize,
+    },
+    /// Control was already transferred (registers set).
+    Continue,
+    /// The program completed with this value.
+    Halt(Value),
+}
+
+/// A builtin: runs with the frame `[ret, args...]` at `fp`, `argc`
+/// arguments.
+pub(crate) type BuiltinFn = fn(&mut Vm, usize) -> R<Flow>;
+
+fn err(msg: impl Into<String>) -> VmError {
+    VmError::runtime(msg.into())
+}
+
+impl Vm {
+    pub(crate) fn register_builtins(&mut self) {
+        for (i, name) in oneshot_compiler::builtins::BUILTIN_NAMES.iter().enumerate() {
+            let f = lookup(name)
+                .unwrap_or_else(|| panic!("builtin {name} has no implementation"));
+            self.builtins.push(f);
+            let idx = u16::try_from(i).expect("too many builtins");
+            self.set_global(name, Value::Builtin(idx));
+        }
+    }
+
+    #[inline]
+    pub(crate) fn arg(&self, i: usize) -> Value {
+        self.local(1 + i)
+    }
+
+    fn args(&self, argc: usize) -> Vec<Value> {
+        (0..argc).map(|i| self.arg(i)).collect()
+    }
+
+    /// Maps an inner `apply` outcome to builtin flow.
+    fn transfer(&mut self, f: Value, argc: usize) -> R<Flow> {
+        self.calls += 1;
+        match self.apply(f, argc)? {
+            Some(v) => Ok(Flow::Halt(v)),
+            None => Ok(Flow::Continue),
+        }
+    }
+
+    /// Collects a proper list into a vector.
+    pub(crate) fn list_to_vec(&self, mut v: Value, who: &str) -> R<Vec<Value>> {
+        let mut out = Vec::new();
+        loop {
+            match v {
+                Value::Nil => return Ok(out),
+                Value::Obj(r) => match self.heap.get(r) {
+                    Obj::Pair(a, d) => {
+                        out.push(*a);
+                        v = *d;
+                    }
+                    _ => return Err(err(format!("{who}: improper list"))),
+                },
+                _ => return Err(err(format!("{who}: improper list"))),
+            }
+        }
+    }
+
+    fn string_of(&self, v: Value, who: &str) -> R<Vec<char>> {
+        match v {
+            Value::Obj(r) => match self.heap.get(r) {
+                Obj::Str(s) => Ok(s.clone()),
+                _ => Err(self.type_error(who, "string", v)),
+            },
+            _ => Err(self.type_error(who, "string", v)),
+        }
+    }
+
+    fn alloc_string(&mut self, s: Vec<char>) -> Value {
+        Value::Obj(self.heap.alloc(Obj::Str(s)))
+    }
+
+    // --- staged builtins (resumed from exec.rs) ---
+
+    /// `dynamic-wind` stage 2: `before` returned; push the winder and call
+    /// the thunk.
+    pub(crate) fn dynamic_wind_body(&mut self) -> R<Flow> {
+        let before = self.arg(0);
+        let thunk = self.arg(1);
+        let after = self.arg(2);
+        let winder = Value::Obj(self.heap.alloc(Obj::Pair(before, after)));
+        self.winders = Value::Obj(self.heap.alloc(Obj::Pair(winder, self.winders)));
+        let fp = self.stack.fp();
+        self.stack.set(fp + 4, Slot::Resume { kind: Resume::WindAfter, disp: 4 });
+        self.stack.set_fp(fp + 4);
+        self.transfer(thunk, 0)
+    }
+
+    /// `dynamic-wind` stage 3: the thunk returned; stash its value(s), pop
+    /// the winder, call `after`.
+    pub(crate) fn dynamic_wind_after(&mut self) -> R<Flow> {
+        let (stash, was_mv) = match self.mv.take() {
+            Some(vals) => (Value::Obj(self.heap.alloc(Obj::Vector(vals))), true),
+            None => (self.acc, false),
+        };
+        self.set_local(1, stash);
+        self.set_local(2, Value::Bool(was_mv));
+        self.winders = self.cdr_of(self.winders)?;
+        let after = self.local(3);
+        let fp = self.stack.fp();
+        self.stack.set(fp + 4, Slot::Resume { kind: Resume::WindDone, disp: 4 });
+        self.stack.set_fp(fp + 4);
+        self.transfer(after, 0)
+    }
+
+    /// `dynamic-wind` stage 4: `after` returned; restore the thunk's
+    /// value(s).
+    pub(crate) fn dynamic_wind_done(&mut self) -> R<Flow> {
+        let stash = self.local(1);
+        let was_mv = self.local(2);
+        if was_mv == Value::Bool(true) {
+            let Value::Obj(r) = stash else { panic!("wind stash corrupt") };
+            let Obj::Vector(vals) = self.heap.get(r) else { panic!("wind stash corrupt") };
+            self.mv = Some(vals.clone());
+            self.acc = Value::Unspecified;
+        } else {
+            self.acc = stash;
+            self.mv = None;
+        }
+        Ok(Flow::Return)
+    }
+
+    /// `call-with-values` stage 2: the producer returned; apply the
+    /// consumer.
+    pub(crate) fn cwv_consume(&mut self) -> R<Flow> {
+        let vals = match self.mv.take() {
+            Some(vals) => vals,
+            None => vec![self.acc],
+        };
+        let consumer = self.local(2);
+        self.stack.ensure(vals.len() + 3, 3, &slot_disp);
+        for (i, v) in vals.iter().enumerate() {
+            self.set_local(1 + i, *v);
+        }
+        Ok(Flow::Tail { f: consumer, argc: vals.len() })
+    }
+}
+
+fn check(argc: usize, expected: usize, who: &str) -> R<()> {
+    if argc == expected {
+        Ok(())
+    } else {
+        Err(err(format!("{who}: expected {expected} arguments, got {argc}")))
+    }
+}
+
+fn at_least(argc: usize, min: usize, who: &str) -> R<()> {
+    if argc >= min {
+        Ok(())
+    } else {
+        Err(err(format!("{who}: expected at least {min} arguments, got {argc}")))
+    }
+}
+
+fn fix(v: Value, who: &str) -> R<i64> {
+    match v {
+        Value::Fixnum(n) => Ok(n),
+        _ => Err(err(format!("{who}: expected integer"))),
+    }
+}
+
+fn ufix(v: Value, who: &str) -> R<usize> {
+    usize::try_from(fix(v, who)?).map_err(|_| err(format!("{who}: expected nonnegative integer")))
+}
+
+fn chr(v: Value, who: &str) -> R<char> {
+    match v {
+        Value::Char(c) => Ok(c),
+        _ => Err(err(format!("{who}: expected character"))),
+    }
+}
+
+/// Chained numeric comparison over all arguments.
+fn cmp_chain(vm: &mut Vm, argc: usize, op: &'static str) -> R<Flow> {
+    at_least(argc, 2, op)?;
+    for i in 0..argc - 1 {
+        let r = crate::vm::exec::num_cmp(vm.arg(i), vm.arg(i + 1), op)?;
+        if r == Value::Bool(false) {
+            vm.acc = Value::Bool(false);
+            return Ok(Flow::Return);
+        }
+    }
+    vm.acc = Value::Bool(true);
+    Ok(Flow::Return)
+}
+
+fn char_cmp_chain(vm: &mut Vm, argc: usize, who: &'static str, f: fn(char, char) -> bool) -> R<Flow> {
+    at_least(argc, 2, who)?;
+    for i in 0..argc - 1 {
+        let (a, b) = (chr(vm.arg(i), who)?, chr(vm.arg(i + 1), who)?);
+        if !f(a, b) {
+            vm.acc = Value::Bool(false);
+            return Ok(Flow::Return);
+        }
+    }
+    vm.acc = Value::Bool(true);
+    Ok(Flow::Return)
+}
+
+fn string_cmp_chain(
+    vm: &mut Vm,
+    argc: usize,
+    who: &'static str,
+    f: fn(&[char], &[char]) -> bool,
+) -> R<Flow> {
+    at_least(argc, 2, who)?;
+    for i in 0..argc - 1 {
+        let a = vm.string_of(vm.arg(i), who)?;
+        let b = vm.string_of(vm.arg(i + 1), who)?;
+        if !f(&a, &b) {
+            vm.acc = Value::Bool(false);
+            return Ok(Flow::Return);
+        }
+    }
+    vm.acc = Value::Bool(true);
+    Ok(Flow::Return)
+}
+
+/// Simple value-returning builtins share this wrapper shape.
+macro_rules! ret {
+    ($vm:expr, $v:expr) => {{
+        $vm.acc = $v;
+        Ok(Flow::Return)
+    }};
+}
+
+/// A unary predicate builtin.
+macro_rules! pred {
+    ($who:literal, $f:expr) => {
+        |vm: &mut Vm, argc: usize| -> R<Flow> {
+            check(argc, 1, $who)?;
+            let v = vm.arg(0);
+            let p: fn(&Vm, Value) -> bool = $f;
+            vm.acc = Value::Bool(p(vm, v));
+            Ok(Flow::Return)
+        }
+    };
+}
+
+#[allow(clippy::too_many_lines)]
+fn lookup(name: &str) -> Option<BuiltinFn> {
+    Some(match name {
+        // --- numbers ---
+        "+" => |vm, argc| {
+            let mut acc = Value::Fixnum(0);
+            for i in 0..argc {
+                acc = crate::vm::exec::num_add(acc, vm.arg(i))?;
+            }
+            ret!(vm, acc)
+        },
+        "-" => |vm, argc| {
+            at_least(argc, 1, "-")?;
+            if argc == 1 {
+                return ret!(vm, crate::vm::exec::num_sub(Value::Fixnum(0), vm.arg(0))?);
+            }
+            let mut acc = vm.arg(0);
+            for i in 1..argc {
+                acc = crate::vm::exec::num_sub(acc, vm.arg(i))?;
+            }
+            ret!(vm, acc)
+        },
+        "*" => |vm, argc| {
+            let mut acc = Value::Fixnum(1);
+            for i in 0..argc {
+                acc = crate::vm::exec::num_mul(acc, vm.arg(i))?;
+            }
+            ret!(vm, acc)
+        },
+        "/" => |vm, argc| {
+            at_least(argc, 1, "/")?;
+            let mut acc = if argc == 1 { Value::Fixnum(1) } else { vm.arg(0) };
+            let rest = if argc == 1 { 0..1 } else { 1..argc };
+            for i in rest {
+                let d = vm.arg(i);
+                acc = match (acc, d) {
+                    (Value::Fixnum(_), Value::Fixnum(0)) => return Err(err("/: division by zero")),
+                    (Value::Fixnum(a), Value::Fixnum(b)) if a % b == 0 => Value::Fixnum(a / b),
+                    _ => {
+                        let x = crate::vm::exec::as_f64(acc, "/")?;
+                        let y = crate::vm::exec::as_f64(d, "/")?;
+                        Value::Flonum(x / y)
+                    }
+                };
+            }
+            ret!(vm, acc)
+        },
+        "quotient" => |vm, argc| {
+            check(argc, 2, "quotient")?;
+            let (a, b) = (fix(vm.arg(0), "quotient")?, fix(vm.arg(1), "quotient")?);
+            if b == 0 {
+                return Err(err("quotient: division by zero"));
+            }
+            ret!(vm, Value::Fixnum(a.wrapping_div(b)))
+        },
+        "remainder" => |vm, argc| {
+            check(argc, 2, "remainder")?;
+            let (a, b) = (fix(vm.arg(0), "remainder")?, fix(vm.arg(1), "remainder")?);
+            if b == 0 {
+                return Err(err("remainder: division by zero"));
+            }
+            ret!(vm, Value::Fixnum(a.wrapping_rem(b)))
+        },
+        "modulo" => |vm, argc| {
+            check(argc, 2, "modulo")?;
+            let (a, b) = (fix(vm.arg(0), "modulo")?, fix(vm.arg(1), "modulo")?);
+            if b == 0 {
+                return Err(err("modulo: division by zero"));
+            }
+            let r = a % b;
+            let m = if r != 0 && (r < 0) != (b < 0) { r + b } else { r };
+            ret!(vm, Value::Fixnum(m))
+        },
+        "abs" => |vm, argc| {
+            check(argc, 1, "abs")?;
+            match vm.arg(0) {
+                Value::Fixnum(n) => ret!(vm, Value::Fixnum(n.abs())),
+                Value::Flonum(x) => ret!(vm, Value::Flonum(x.abs())),
+                v => Err(vm.type_error("abs", "number", v)),
+            }
+        },
+        "min" => |vm, argc| {
+            at_least(argc, 1, "min")?;
+            let mut best = vm.arg(0);
+            for i in 1..argc {
+                let v = vm.arg(i);
+                if crate::vm::exec::num_cmp(v, best, "<")? == Value::Bool(true) {
+                    best = v;
+                }
+            }
+            ret!(vm, best)
+        },
+        "max" => |vm, argc| {
+            at_least(argc, 1, "max")?;
+            let mut best = vm.arg(0);
+            for i in 1..argc {
+                let v = vm.arg(i);
+                if crate::vm::exec::num_cmp(v, best, ">")? == Value::Bool(true) {
+                    best = v;
+                }
+            }
+            ret!(vm, best)
+        },
+        "gcd" => |vm, argc| {
+            let mut g: i64 = 0;
+            for i in 0..argc {
+                g = gcd64(g, fix(vm.arg(i), "gcd")?.abs());
+            }
+            ret!(vm, Value::Fixnum(g))
+        },
+        "lcm" => |vm, argc| {
+            let mut l: i64 = 1;
+            for i in 0..argc {
+                let n = fix(vm.arg(i), "lcm")?.abs();
+                if n == 0 {
+                    return ret!(vm, Value::Fixnum(0));
+                }
+                l = l / gcd64(l, n) * n;
+            }
+            ret!(vm, Value::Fixnum(l))
+        },
+        "expt" => |vm, argc| {
+            check(argc, 2, "expt")?;
+            match (vm.arg(0), vm.arg(1)) {
+                (Value::Fixnum(a), Value::Fixnum(b)) if b >= 0 => {
+                    let e = u32::try_from(b).map_err(|_| err("expt: exponent too large"))?;
+                    let r = a.checked_pow(e).ok_or_else(|| err("fixnum overflow in expt"))?;
+                    ret!(vm, Value::Fixnum(r))
+                }
+                (a, b) => {
+                    let x = crate::vm::exec::as_f64(a, "expt")?;
+                    let y = crate::vm::exec::as_f64(b, "expt")?;
+                    ret!(vm, Value::Flonum(x.powf(y)))
+                }
+            }
+        },
+        "sqrt" => |vm, argc| {
+            check(argc, 1, "sqrt")?;
+            match vm.arg(0) {
+                Value::Fixnum(n) if n >= 0 => {
+                    let r = (n as f64).sqrt();
+                    let ri = r.round() as i64;
+                    if ri.checked_mul(ri) == Some(n) {
+                        ret!(vm, Value::Fixnum(ri))
+                    } else {
+                        ret!(vm, Value::Flonum(r))
+                    }
+                }
+                v => ret!(vm, Value::Flonum(crate::vm::exec::as_f64(v, "sqrt")?.sqrt())),
+            }
+        },
+        "floor" => |vm, argc| round_like(vm, argc, "floor", f64::floor),
+        "ceiling" => |vm, argc| round_like(vm, argc, "ceiling", f64::ceil),
+        "truncate" => |vm, argc| round_like(vm, argc, "truncate", f64::trunc),
+        "round" => |vm, argc| round_like(vm, argc, "round", round_even),
+        "exact->inexact" => |vm, argc| {
+            check(argc, 1, "exact->inexact")?;
+            ret!(vm, Value::Flonum(crate::vm::exec::as_f64(vm.arg(0), "exact->inexact")?))
+        },
+        "inexact->exact" => |vm, argc| {
+            check(argc, 1, "inexact->exact")?;
+            match vm.arg(0) {
+                Value::Fixnum(n) => ret!(vm, Value::Fixnum(n)),
+                Value::Flonum(x) if x.fract() == 0.0 => ret!(vm, Value::Fixnum(x as i64)),
+                _ => Err(err("inexact->exact: not representable as an exact integer")),
+            }
+        },
+        "number?" => pred!("number?", |_, v| matches!(v, Value::Fixnum(_) | Value::Flonum(_))),
+        "integer?" => pred!("integer?", |_, v| {
+            matches!(v, Value::Fixnum(_)) || matches!(v, Value::Flonum(x) if x.fract() == 0.0)
+        }),
+        "exact?" => pred!("exact?", |_, v| matches!(v, Value::Fixnum(_))),
+        "inexact?" => pred!("inexact?", |_, v| matches!(v, Value::Flonum(_))),
+        "zero?" => |vm, argc| {
+            check(argc, 1, "zero?")?;
+            match vm.arg(0) {
+                Value::Fixnum(n) => ret!(vm, Value::Bool(n == 0)),
+                Value::Flonum(x) => ret!(vm, Value::Bool(x == 0.0)),
+                v => Err(vm.type_error("zero?", "number", v)),
+            }
+        },
+        "positive?" => |vm, argc| {
+            check(argc, 1, "positive?")?;
+            ret!(vm, crate::vm::exec::num_cmp(vm.arg(0), Value::Fixnum(0), ">")?)
+        },
+        "negative?" => |vm, argc| {
+            check(argc, 1, "negative?")?;
+            ret!(vm, crate::vm::exec::num_cmp(vm.arg(0), Value::Fixnum(0), "<")?)
+        },
+        "odd?" => |vm, argc| {
+            check(argc, 1, "odd?")?;
+            ret!(vm, Value::Bool(fix(vm.arg(0), "odd?")? % 2 != 0))
+        },
+        "even?" => |vm, argc| {
+            check(argc, 1, "even?")?;
+            ret!(vm, Value::Bool(fix(vm.arg(0), "even?")? % 2 == 0))
+        },
+        "=" => |vm, argc| cmp_chain(vm, argc, "="),
+        "<" => |vm, argc| cmp_chain(vm, argc, "<"),
+        ">" => |vm, argc| cmp_chain(vm, argc, ">"),
+        "<=" => |vm, argc| cmp_chain(vm, argc, "<="),
+        ">=" => |vm, argc| cmp_chain(vm, argc, ">="),
+        "number->string" => |vm, argc| {
+            at_least(argc, 1, "number->string")?;
+            let radix = if argc >= 2 { fix(vm.arg(1), "number->string")? } else { 10 };
+            let s = match (vm.arg(0), radix) {
+                (Value::Fixnum(n), 10) => n.to_string(),
+                (Value::Fixnum(n), 2) => format!("{n:b}"),
+                (Value::Fixnum(n), 8) => format!("{n:o}"),
+                (Value::Fixnum(n), 16) => format!("{n:x}"),
+                (Value::Flonum(x), 10) => {
+                    if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                        format!("{x:.1}")
+                    } else {
+                        format!("{x}")
+                    }
+                }
+                _ => return Err(err("number->string: unsupported radix")),
+            };
+            let v = vm.alloc_string(s.chars().collect());
+            ret!(vm, v)
+        },
+        "string->number" => |vm, argc| {
+            at_least(argc, 1, "string->number")?;
+            let s: String = vm.string_of(vm.arg(0), "string->number")?.into_iter().collect();
+            let radix = if argc >= 2 { fix(vm.arg(1), "string->number")? } else { 10 };
+            let v = if radix == 10 {
+                if let Ok(n) = s.parse::<i64>() {
+                    Value::Fixnum(n)
+                } else if let Ok(x) = s.parse::<f64>() {
+                    Value::Flonum(x)
+                } else {
+                    Value::Bool(false)
+                }
+            } else {
+                match i64::from_str_radix(&s, radix as u32) {
+                    Ok(n) => Value::Fixnum(n),
+                    Err(_) => Value::Bool(false),
+                }
+            };
+            ret!(vm, v)
+        },
+        // --- predicates ---
+        "eq?" | "eqv?" => |vm, argc| {
+            check(argc, 2, "eq?")?;
+            ret!(vm, Value::Bool(vm.arg(0) == vm.arg(1)))
+        },
+        "equal?" => |vm, argc| {
+            check(argc, 2, "equal?")?;
+            ret!(vm, Value::Bool(values_equal(&vm.heap, vm.arg(0), vm.arg(1))))
+        },
+        "not" => pred!("not", |_, v| !v.is_true()),
+        "boolean?" => pred!("boolean?", |_, v| matches!(v, Value::Bool(_))),
+        "procedure?" => pred!("procedure?", |vm, v| match v {
+            Value::Builtin(_) => true,
+            Value::Obj(r) => matches!(vm.heap.get(r), Obj::Closure { .. } | Obj::Kont { .. }),
+            _ => false,
+        }),
+        "symbol?" => pred!("symbol?", |_, v| matches!(v, Value::Sym(_))),
+        "string?" => pred!("string?", |vm, v| {
+            matches!(v, Value::Obj(r) if matches!(vm.heap.get(r), Obj::Str(_)))
+        }),
+        "char?" => pred!("char?", |_, v| matches!(v, Value::Char(_))),
+        "vector?" => pred!("vector?", |vm, v| {
+            matches!(v, Value::Obj(r) if matches!(vm.heap.get(r), Obj::Vector(_)))
+        }),
+        "pair?" => pred!("pair?", |vm, v| {
+            matches!(v, Value::Obj(r) if matches!(vm.heap.get(r), Obj::Pair(..)))
+        }),
+        "null?" => pred!("null?", |_, v| v == Value::Nil),
+        // --- pairs and lists ---
+        "cons" => |vm, argc| {
+            check(argc, 2, "cons")?;
+            let p = Obj::Pair(vm.arg(0), vm.arg(1));
+            let v = Value::Obj(vm.heap.alloc(p));
+            ret!(vm, v)
+        },
+        "car" => |vm, argc| {
+            check(argc, 1, "car")?;
+            ret!(vm, vm.car_of(vm.arg(0))?)
+        },
+        "cdr" => |vm, argc| {
+            check(argc, 1, "cdr")?;
+            ret!(vm, vm.cdr_of(vm.arg(0))?)
+        },
+        "set-car!" => |vm, argc| {
+            check(argc, 2, "set-car!")?;
+            let (p, v) = (vm.arg(0), vm.arg(1));
+            let Value::Obj(r) = p else { return Err(vm.type_error("set-car!", "pair", p)) };
+            let Obj::Pair(a, _) = vm.heap.get_mut(r) else {
+                return Err(vm.type_error("set-car!", "pair", p));
+            };
+            *a = v;
+            ret!(vm, Value::Unspecified)
+        },
+        "set-cdr!" => |vm, argc| {
+            check(argc, 2, "set-cdr!")?;
+            let (p, v) = (vm.arg(0), vm.arg(1));
+            let Value::Obj(r) = p else { return Err(vm.type_error("set-cdr!", "pair", p)) };
+            let Obj::Pair(_, d) = vm.heap.get_mut(r) else {
+                return Err(vm.type_error("set-cdr!", "pair", p));
+            };
+            *d = v;
+            ret!(vm, Value::Unspecified)
+        },
+        "list" => |vm, argc| {
+            let items = vm.args(argc);
+            let v = vm.list(&items);
+            ret!(vm, v)
+        },
+        "length" => |vm, argc| {
+            check(argc, 1, "length")?;
+            let n = vm.list_to_vec(vm.arg(0), "length")?.len();
+            ret!(vm, Value::Fixnum(n as i64))
+        },
+        "append" => |vm, argc| {
+            if argc == 0 {
+                return ret!(vm, Value::Nil);
+            }
+            let mut out = vm.arg(argc - 1);
+            for i in (0..argc - 1).rev() {
+                let items = vm.list_to_vec(vm.arg(i), "append")?;
+                for &item in items.iter().rev() {
+                    out = vm.cons(item, out);
+                }
+            }
+            ret!(vm, out)
+        },
+        "reverse" => |vm, argc| {
+            check(argc, 1, "reverse")?;
+            let items = vm.list_to_vec(vm.arg(0), "reverse")?;
+            let mut out = Value::Nil;
+            for &item in &items {
+                out = vm.cons(item, out);
+            }
+            ret!(vm, out)
+        },
+        "list-tail" => |vm, argc| {
+            check(argc, 2, "list-tail")?;
+            let mut v = vm.arg(0);
+            for _ in 0..ufix(vm.arg(1), "list-tail")? {
+                v = vm.cdr_of(v)?;
+            }
+            ret!(vm, v)
+        },
+        "list-ref" => |vm, argc| {
+            check(argc, 2, "list-ref")?;
+            let mut v = vm.arg(0);
+            for _ in 0..ufix(vm.arg(1), "list-ref")? {
+                v = vm.cdr_of(v)?;
+            }
+            ret!(vm, vm.car_of(v)?)
+        },
+        "memq" | "memv" => |vm, argc| {
+            check(argc, 2, "memv")?;
+            let x = vm.arg(0);
+            let mut v = vm.arg(1);
+            loop {
+                match v {
+                    Value::Nil => return ret!(vm, Value::Bool(false)),
+                    Value::Obj(r) => match vm.heap.get(r) {
+                        Obj::Pair(a, d) => {
+                            if *a == x {
+                                return ret!(vm, v);
+                            }
+                            v = *d;
+                        }
+                        _ => return Err(err("memv: improper list")),
+                    },
+                    _ => return Err(err("memv: improper list")),
+                }
+            }
+        },
+        "assq" | "assv" => |vm, argc| {
+            check(argc, 2, "assv")?;
+            let x = vm.arg(0);
+            let mut v = vm.arg(1);
+            loop {
+                match v {
+                    Value::Nil => return ret!(vm, Value::Bool(false)),
+                    Value::Obj(r) => match vm.heap.get(r) {
+                        Obj::Pair(entry, d) => {
+                            let key = vm.car_of(*entry)?;
+                            if key == x {
+                                return ret!(vm, *entry);
+                            }
+                            v = *d;
+                        }
+                        _ => return Err(err("assv: improper list")),
+                    },
+                    _ => return Err(err("assv: improper list")),
+                }
+            }
+        },
+        "list?" => |vm, argc| {
+            check(argc, 1, "list?")?;
+            // Floyd cycle detection.
+            let mut slow = vm.arg(0);
+            let mut fast = vm.arg(0);
+            loop {
+                match fast {
+                    Value::Nil => return ret!(vm, Value::Bool(true)),
+                    Value::Obj(r) if matches!(vm.heap.get(r), Obj::Pair(..)) => {
+                        fast = vm.cdr_of(fast)?;
+                        match fast {
+                            Value::Nil => return ret!(vm, Value::Bool(true)),
+                            Value::Obj(r2) if matches!(vm.heap.get(r2), Obj::Pair(..)) => {
+                                fast = vm.cdr_of(fast)?;
+                                slow = vm.cdr_of(slow)?;
+                                if fast == slow {
+                                    return ret!(vm, Value::Bool(false));
+                                }
+                            }
+                            _ => return ret!(vm, Value::Bool(false)),
+                        }
+                    }
+                    _ => return ret!(vm, Value::Bool(false)),
+                }
+            }
+        },
+        // --- symbols ---
+        "symbol->string" => |vm, argc| {
+            check(argc, 1, "symbol->string")?;
+            let Value::Sym(s) = vm.arg(0) else {
+                return Err(vm.type_error("symbol->string", "symbol", vm.arg(0)));
+            };
+            let chars: Vec<char> = vm.syms.name(s).chars().collect();
+            let v = vm.alloc_string(chars);
+            ret!(vm, v)
+        },
+        "string->symbol" => |vm, argc| {
+            check(argc, 1, "string->symbol")?;
+            let s: String = vm.string_of(vm.arg(0), "string->symbol")?.into_iter().collect();
+            let v = vm.intern(&s);
+            ret!(vm, v)
+        },
+        "gensym" => |vm, argc| {
+            let prefix = if argc >= 1 {
+                vm.string_of(vm.arg(0), "gensym")?.into_iter().collect()
+            } else {
+                String::from("g")
+            };
+            let id = vm.syms.gensym(&prefix);
+            ret!(vm, Value::Sym(id))
+        },
+        // --- characters ---
+        "char->integer" => |vm, argc| {
+            check(argc, 1, "char->integer")?;
+            ret!(vm, Value::Fixnum(i64::from(u32::from(chr(vm.arg(0), "char->integer")?))))
+        },
+        "integer->char" => |vm, argc| {
+            check(argc, 1, "integer->char")?;
+            let n = fix(vm.arg(0), "integer->char")?;
+            let c = u32::try_from(n)
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| err("integer->char: not a character code"))?;
+            ret!(vm, Value::Char(c))
+        },
+        "char=?" => |vm, argc| char_cmp_chain(vm, argc, "char=?", |a, b| a == b),
+        "char<?" => |vm, argc| char_cmp_chain(vm, argc, "char<?", |a, b| a < b),
+        "char>?" => |vm, argc| char_cmp_chain(vm, argc, "char>?", |a, b| a > b),
+        "char<=?" => |vm, argc| char_cmp_chain(vm, argc, "char<=?", |a, b| a <= b),
+        "char>=?" => |vm, argc| char_cmp_chain(vm, argc, "char>=?", |a, b| a >= b),
+        "char-upcase" => |vm, argc| {
+            check(argc, 1, "char-upcase")?;
+            ret!(vm, Value::Char(chr(vm.arg(0), "char-upcase")?.to_ascii_uppercase()))
+        },
+        "char-downcase" => |vm, argc| {
+            check(argc, 1, "char-downcase")?;
+            ret!(vm, Value::Char(chr(vm.arg(0), "char-downcase")?.to_ascii_lowercase()))
+        },
+        "char-alphabetic?" => |vm, argc| {
+            check(argc, 1, "char-alphabetic?")?;
+            ret!(vm, Value::Bool(chr(vm.arg(0), "char-alphabetic?")?.is_alphabetic()))
+        },
+        "char-numeric?" => |vm, argc| {
+            check(argc, 1, "char-numeric?")?;
+            ret!(vm, Value::Bool(chr(vm.arg(0), "char-numeric?")?.is_numeric()))
+        },
+        "char-whitespace?" => |vm, argc| {
+            check(argc, 1, "char-whitespace?")?;
+            ret!(vm, Value::Bool(chr(vm.arg(0), "char-whitespace?")?.is_whitespace()))
+        },
+        "char-upper-case?" => |vm, argc| {
+            check(argc, 1, "char-upper-case?")?;
+            ret!(vm, Value::Bool(chr(vm.arg(0), "char-upper-case?")?.is_uppercase()))
+        },
+        "char-lower-case?" => |vm, argc| {
+            check(argc, 1, "char-lower-case?")?;
+            ret!(vm, Value::Bool(chr(vm.arg(0), "char-lower-case?")?.is_lowercase()))
+        },
+        // --- strings ---
+        "make-string" => |vm, argc| {
+            at_least(argc, 1, "make-string")?;
+            let n = ufix(vm.arg(0), "make-string")?;
+            let c = if argc >= 2 { chr(vm.arg(1), "make-string")? } else { ' ' };
+            let v = vm.alloc_string(vec![c; n]);
+            ret!(vm, v)
+        },
+        "string" => |vm, argc| {
+            let mut s = Vec::with_capacity(argc);
+            for i in 0..argc {
+                s.push(chr(vm.arg(i), "string")?);
+            }
+            let v = vm.alloc_string(s);
+            ret!(vm, v)
+        },
+        "string-length" => |vm, argc| {
+            check(argc, 1, "string-length")?;
+            let n = vm.string_of(vm.arg(0), "string-length")?.len();
+            ret!(vm, Value::Fixnum(n as i64))
+        },
+        "string-ref" => |vm, argc| {
+            check(argc, 2, "string-ref")?;
+            let s = vm.string_of(vm.arg(0), "string-ref")?;
+            let i = ufix(vm.arg(1), "string-ref")?;
+            let c = s.get(i).ok_or_else(|| err("string-ref: index out of range"))?;
+            ret!(vm, Value::Char(*c))
+        },
+        "string-set!" => |vm, argc| {
+            check(argc, 3, "string-set!")?;
+            let i = ufix(vm.arg(1), "string-set!")?;
+            let c = chr(vm.arg(2), "string-set!")?;
+            let Value::Obj(r) = vm.arg(0) else {
+                return Err(vm.type_error("string-set!", "string", vm.arg(0)));
+            };
+            let Obj::Str(s) = vm.heap.get_mut(r) else {
+                return Err(err("string-set!: expected string"));
+            };
+            let slot = s.get_mut(i).ok_or_else(|| err("string-set!: index out of range"))?;
+            *slot = c;
+            ret!(vm, Value::Unspecified)
+        },
+        "string=?" => |vm, argc| string_cmp_chain(vm, argc, "string=?", |a, b| a == b),
+        "string<?" => |vm, argc| string_cmp_chain(vm, argc, "string<?", |a, b| a < b),
+        "string>?" => |vm, argc| string_cmp_chain(vm, argc, "string>?", |a, b| a > b),
+        "string<=?" => |vm, argc| string_cmp_chain(vm, argc, "string<=?", |a, b| a <= b),
+        "string>=?" => |vm, argc| string_cmp_chain(vm, argc, "string>=?", |a, b| a >= b),
+        "substring" => |vm, argc| {
+            check(argc, 3, "substring")?;
+            let s = vm.string_of(vm.arg(0), "substring")?;
+            let start = ufix(vm.arg(1), "substring")?;
+            let end = ufix(vm.arg(2), "substring")?;
+            if start > end || end > s.len() {
+                return Err(err("substring: index out of range"));
+            }
+            let v = vm.alloc_string(s[start..end].to_vec());
+            ret!(vm, v)
+        },
+        "string-append" => |vm, argc| {
+            let mut out = Vec::new();
+            for i in 0..argc {
+                out.extend(vm.string_of(vm.arg(i), "string-append")?);
+            }
+            let v = vm.alloc_string(out);
+            ret!(vm, v)
+        },
+        "string->list" => |vm, argc| {
+            check(argc, 1, "string->list")?;
+            let items: Vec<Value> =
+                vm.string_of(vm.arg(0), "string->list")?.into_iter().map(Value::Char).collect();
+            let v = vm.list(&items);
+            ret!(vm, v)
+        },
+        "list->string" => |vm, argc| {
+            check(argc, 1, "list->string")?;
+            let items = vm.list_to_vec(vm.arg(0), "list->string")?;
+            let mut s = Vec::with_capacity(items.len());
+            for item in items {
+                s.push(chr(item, "list->string")?);
+            }
+            let v = vm.alloc_string(s);
+            ret!(vm, v)
+        },
+        "string-copy" => |vm, argc| {
+            check(argc, 1, "string-copy")?;
+            let s = vm.string_of(vm.arg(0), "string-copy")?;
+            let v = vm.alloc_string(s);
+            ret!(vm, v)
+        },
+        "string-fill!" => |vm, argc| {
+            check(argc, 2, "string-fill!")?;
+            let c = chr(vm.arg(1), "string-fill!")?;
+            let Value::Obj(r) = vm.arg(0) else {
+                return Err(vm.type_error("string-fill!", "string", vm.arg(0)));
+            };
+            let Obj::Str(s) = vm.heap.get_mut(r) else {
+                return Err(err("string-fill!: expected string"));
+            };
+            s.fill(c);
+            ret!(vm, Value::Unspecified)
+        },
+        // --- vectors ---
+        "make-vector" => |vm, argc| {
+            at_least(argc, 1, "make-vector")?;
+            let n = ufix(vm.arg(0), "make-vector")?;
+            let fill = if argc >= 2 { vm.arg(1) } else { Value::Unspecified };
+            let v = Value::Obj(vm.heap.alloc(Obj::Vector(vec![fill; n])));
+            ret!(vm, v)
+        },
+        "vector" => |vm, argc| {
+            let items = vm.args(argc);
+            let v = Value::Obj(vm.heap.alloc(Obj::Vector(items)));
+            ret!(vm, v)
+        },
+        "vector-length" => |vm, argc| {
+            check(argc, 1, "vector-length")?;
+            let Value::Obj(r) = vm.arg(0) else {
+                return Err(vm.type_error("vector-length", "vector", vm.arg(0)));
+            };
+            let Obj::Vector(items) = vm.heap.get(r) else {
+                return Err(vm.type_error("vector-length", "vector", vm.arg(0)));
+            };
+            ret!(vm, Value::Fixnum(items.len() as i64))
+        },
+        "vector-ref" => |vm, argc| {
+            check(argc, 2, "vector-ref")?;
+            ret!(vm, vm.vector_ref(vm.arg(0), vm.arg(1))?)
+        },
+        "vector-set!" => |vm, argc| {
+            check(argc, 3, "vector-set!")?;
+            let (v, i, x) = (vm.arg(0), vm.arg(1), vm.arg(2));
+            vm.vector_set(v, i, x)?;
+            ret!(vm, Value::Unspecified)
+        },
+        "vector->list" => |vm, argc| {
+            check(argc, 1, "vector->list")?;
+            let Value::Obj(r) = vm.arg(0) else {
+                return Err(vm.type_error("vector->list", "vector", vm.arg(0)));
+            };
+            let Obj::Vector(items) = vm.heap.get(r) else {
+                return Err(vm.type_error("vector->list", "vector", vm.arg(0)));
+            };
+            let items = items.clone();
+            let v = vm.list(&items);
+            ret!(vm, v)
+        },
+        "list->vector" => |vm, argc| {
+            check(argc, 1, "list->vector")?;
+            let items = vm.list_to_vec(vm.arg(0), "list->vector")?;
+            let v = Value::Obj(vm.heap.alloc(Obj::Vector(items)));
+            ret!(vm, v)
+        },
+        "vector-fill!" => |vm, argc| {
+            check(argc, 2, "vector-fill!")?;
+            let x = vm.arg(1);
+            let Value::Obj(r) = vm.arg(0) else {
+                return Err(vm.type_error("vector-fill!", "vector", vm.arg(0)));
+            };
+            let Obj::Vector(items) = vm.heap.get_mut(r) else {
+                return Err(err("vector-fill!: expected vector"));
+            };
+            items.fill(x);
+            ret!(vm, Value::Unspecified)
+        },
+        // --- control ---
+        "apply" => |vm, argc| {
+            at_least(argc, 2, "apply")?;
+            let f = vm.arg(0);
+            let mut full: Vec<Value> = (1..argc - 1).map(|i| vm.arg(i)).collect();
+            full.extend(vm.list_to_vec(vm.arg(argc - 1), "apply")?);
+            vm.stack.ensure(full.len() + 3, 1 + argc, &slot_disp);
+            for (i, v) in full.iter().enumerate() {
+                vm.set_local(1 + i, *v);
+            }
+            Ok(Flow::Tail { f, argc: full.len() })
+        },
+        "call/cc" | "call-with-current-continuation" => |vm, argc| {
+            check(argc, 1, "call/cc")?;
+            let p = vm.arg(0);
+            let kont = vm.stack.capture_multi();
+            let kv = Value::Obj(vm.heap.alloc(Obj::Kont { kont, winders: vm.winders }));
+            vm.set_local(1, kv);
+            Ok(Flow::Tail { f: p, argc: 1 })
+        },
+        "call/1cc" => |vm, argc| {
+            check(argc, 1, "call/1cc")?;
+            let p = vm.arg(0);
+            let kont = vm.stack.capture_one(4);
+            let kv = Value::Obj(vm.heap.alloc(Obj::Kont { kont, winders: vm.winders }));
+            vm.set_local(1, kv);
+            Ok(Flow::Tail { f: p, argc: 1 })
+        },
+        "dynamic-wind" => |vm, argc| {
+            check(argc, 3, "dynamic-wind")?;
+            vm.stack.ensure(8, 1 + argc, &slot_disp);
+            let before = vm.arg(0);
+            let fp = vm.stack.fp();
+            vm.stack.set(fp + 4, Slot::Resume { kind: Resume::WindBody, disp: 4 });
+            vm.stack.set_fp(fp + 4);
+            vm.transfer(before, 0)
+        },
+        "values" => |vm, argc| {
+            if argc == 1 {
+                vm.acc = vm.arg(0);
+                vm.mv = None;
+            } else {
+                vm.mv = Some(vm.args(argc));
+                vm.acc = Value::Unspecified;
+            }
+            Ok(Flow::Return)
+        },
+        "call-with-values" => |vm, argc| {
+            check(argc, 2, "call-with-values")?;
+            vm.stack.ensure(8, 1 + argc, &slot_disp);
+            let producer = vm.arg(0);
+            let fp = vm.stack.fp();
+            vm.stack.set(fp + 3, Slot::Resume { kind: Resume::CwvConsume, disp: 3 });
+            vm.stack.set_fp(fp + 3);
+            vm.transfer(producer, 0)
+        },
+        // --- i/o ---
+        "display" => |vm, argc| {
+            at_least(argc, 1, "display")?;
+            let s = vm.display_value(&vm.arg(0));
+            vm.emit_output(&s);
+            ret!(vm, Value::Unspecified)
+        },
+        "write" => |vm, argc| {
+            at_least(argc, 1, "write")?;
+            let s = vm.write_value(&vm.arg(0));
+            vm.emit_output(&s);
+            ret!(vm, Value::Unspecified)
+        },
+        "newline" => |vm, _argc| {
+            vm.emit_output("\n");
+            ret!(vm, Value::Unspecified)
+        },
+        "write-char" => |vm, argc| {
+            at_least(argc, 1, "write-char")?;
+            let c = chr(vm.arg(0), "write-char")?;
+            vm.emit_output(&c.to_string());
+            ret!(vm, Value::Unspecified)
+        },
+        // --- system ---
+        "error" => |vm, argc| {
+            let mut msg = String::new();
+            for i in 0..argc {
+                if i > 0 {
+                    msg.push(' ');
+                }
+                let v = vm.arg(i);
+                match v {
+                    Value::Obj(r) if matches!(vm.heap.get(r), Obj::Str(_)) => {
+                        msg.push_str(&vm.display_value(&v));
+                    }
+                    _ => msg.push_str(&vm.write_value(&v)),
+                }
+            }
+            Err(VmError::Runtime(msg))
+        },
+        "void" => |vm, _argc| ret!(vm, Value::Unspecified),
+        "gc" => |vm, argc| {
+            vm.collect(1 + argc);
+            ret!(vm, Value::Unspecified)
+        },
+        "set-timer!" => |vm, argc| {
+            check(argc, 1, "set-timer!")?;
+            let n = fix(vm.arg(0), "set-timer!")?;
+            let old = if vm.timer_on { vm.fuel as i64 } else { 0 };
+            if n > 0 {
+                vm.timer_on = true;
+                vm.fuel = n as u64;
+            } else {
+                vm.timer_on = false;
+                vm.fuel = 0;
+            }
+            ret!(vm, Value::Fixnum(old))
+        },
+        "timer-interrupt-handler!" => |vm, argc| {
+            check(argc, 1, "timer-interrupt-handler!")?;
+            let old = vm.timer_handler;
+            vm.timer_handler = vm.arg(0);
+            ret!(vm, old)
+        },
+        "eval" => |vm, argc| {
+            // (eval datum) — compiles through the VM's pipeline and
+            // tail-calls the resulting toplevel thunk. A second
+            // (environment) argument is accepted and ignored: there is one
+            // global environment.
+            at_least(argc, 1, "eval")?;
+            let datum = oneshot_runtime::value_to_datum(&vm.heap, &vm.syms, vm.arg(0))
+                .map_err(VmError::Runtime)?;
+            let prog = oneshot_compiler::compile_program(&[datum], vm.pipeline())
+                .map_err(|e| err(e.to_string()))?;
+            let entry = vm.link(&prog);
+            let thunk = Value::Obj(vm.heap.alloc(Obj::Closure { code: entry, free: Box::new([]) }));
+            Ok(Flow::Tail { f: thunk, argc: 0 })
+        },
+        "backtrace" => |vm, _argc| {
+            let names = vm.backtrace();
+            let items: Vec<Value> = names
+                .iter()
+                .map(|n| {
+                    let id = vm.syms.intern(n);
+                    Value::Sym(id)
+                })
+                .collect();
+            let v = vm.list(&items);
+            ret!(vm, v)
+        },
+        "vm-stats" => |vm, _argc| {
+            let stats = vm.stats();
+            let entries: Vec<(&str, i64)> = vec![
+                ("instructions", stats.instructions as i64),
+                ("calls", stats.calls as i64),
+                ("heap-words", stats.heap.words_allocated as i64),
+                ("heap-objects", stats.heap.objects_allocated as i64),
+                ("closures", stats.heap.closures_allocated as i64),
+                ("collections", stats.heap.collections as i64),
+                ("segments", stats.stack.segments_allocated as i64),
+                ("segment-cache-hits", stats.stack.cache_hits as i64),
+                ("slots-copied", stats.stack.slots_copied as i64),
+                ("captures-multi", stats.stack.captures_multi as i64),
+                ("captures-one", stats.stack.captures_one as i64),
+                ("reinstates-multi", stats.stack.reinstates_multi as i64),
+                ("reinstates-one", stats.stack.reinstates_one as i64),
+                ("promotions", stats.stack.promotions as i64),
+                ("overflows", stats.stack.overflows as i64),
+                ("underflows", stats.stack.underflows as i64),
+                ("shots", stats.stack.shots as i64),
+                ("resident-slots", vm.stack.resident_slots() as i64),
+                ("live-segments", vm.stack.segment_count() as i64),
+            ];
+            let mut alist = Value::Nil;
+            for (name, n) in entries.into_iter().rev() {
+                let key = vm.intern(name);
+                let pair = vm.cons(key, Value::Fixnum(n));
+                alist = vm.cons(pair, alist);
+            }
+            ret!(vm, alist)
+        },
+        // --- CPS support ---
+        "%apply-args" => |vm, argc| {
+            // (%apply-args k f spec): the CPS prelude's apply. Spreads
+            // `spec` per apply's rules, then calls `f` with the
+            // continuation prepended — unless `f` is a direct Rust builtin,
+            // which takes no continuation; its result is delivered to `k`.
+            check(argc, 3, "%apply-args")?;
+            let k = vm.arg(0);
+            let f = vm.arg(1);
+            let spec = vm.list_to_vec(vm.arg(2), "apply")?;
+            if spec.is_empty() {
+                return Err(err("apply: expected at least one argument"));
+            }
+            let mut spread: Vec<Value> = spec[..spec.len() - 1].to_vec();
+            spread.extend(vm.list_to_vec(spec[spec.len() - 1], "apply")?);
+            if let Value::Builtin(b) = f {
+                vm.stack.ensure(spread.len() + 3, 1 + argc, &slot_disp);
+                let n = spread.len();
+                for (i, v) in spread.iter().enumerate() {
+                    vm.set_local(1 + i, *v);
+                }
+                let func = vm.builtins[b as usize];
+                match func(vm, n)? {
+                    Flow::Return => {
+                        if vm.mv.is_some() {
+                            return Err(err(
+                                "apply: multiple values are unsupported in CPS mode",
+                            ));
+                        }
+                        let v = vm.acc;
+                        vm.set_local(1, v);
+                        return Ok(Flow::Tail { f: k, argc: 1 });
+                    }
+                    _ => return Err(err("apply: builtin transferred control in CPS mode")),
+                }
+            }
+            let mut full = vec![k];
+            full.extend(spread);
+            vm.stack.ensure(full.len() + 3, 1 + argc, &slot_disp);
+            for (i, v) in full.iter().enumerate() {
+                vm.set_local(1 + i, *v);
+            }
+            Ok(Flow::Tail { f, argc: full.len() })
+        },
+        _ => return None,
+    })
+}
+
+fn gcd64(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd64(b, a % b)
+    }
+}
+
+fn round_even(x: f64) -> f64 {
+    let r = x.round();
+    if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+        r - x.signum()
+    } else {
+        r
+    }
+}
+
+fn round_like(vm: &mut Vm, argc: usize, who: &str, f: fn(f64) -> f64) -> R<Flow> {
+    check(argc, 1, who)?;
+    match vm.arg(0) {
+        Value::Fixnum(n) => {
+            vm.acc = Value::Fixnum(n);
+            Ok(Flow::Return)
+        }
+        Value::Flonum(x) => {
+            vm.acc = Value::Flonum(f(x));
+            Ok(Flow::Return)
+        }
+        v => Err(vm.type_error(who, "number", v)),
+    }
+}

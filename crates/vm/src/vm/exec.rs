@@ -1,0 +1,749 @@
+//! The execution engine: instruction dispatch, the call protocol, returns,
+//! underflow, continuation invocation with `dynamic-wind` winding, and the
+//! engine timer.
+
+use oneshot_compiler::Op;
+use oneshot_core::{KontId, Underflow};
+use oneshot_runtime::{Obj, Value};
+
+use crate::error::VmError;
+use crate::slot::{slot_disp, Resume, Slot};
+use crate::vm::builtins::Flow;
+use crate::vm::Vm;
+
+type R<T> = Result<T, VmError>;
+
+impl Vm {
+    /// Reads the local slot at `fp + i` as a value.
+    #[inline]
+    pub(crate) fn local(&self, i: usize) -> Value {
+        match self.stack.get(self.stack.fp() + i) {
+            Slot::Val(v) => *v,
+            other => panic!("expected value at fp+{i}, found {other:?}"),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set_local(&mut self, i: usize, v: Value) {
+        let fp = self.stack.fp();
+        self.stack.set(fp + i, Slot::Val(v));
+    }
+
+    fn free_value(&self, i: usize) -> Value {
+        let Value::Obj(r) = self.closure else {
+            panic!("free reference without a closure")
+        };
+        let Obj::Closure { free, .. } = self.heap.get(r) else {
+            panic!("closure register holds a non-closure")
+        };
+        free[i]
+    }
+
+    fn cell_get(&self, cell: Value) -> Value {
+        let Value::Obj(r) = cell else { panic!("cell reference to non-cell") };
+        let Obj::Cell(v) = self.heap.get(r) else { panic!("cell reference to non-cell") };
+        *v
+    }
+
+    fn cell_set(&mut self, cell: Value, v: Value) {
+        let Value::Obj(r) = cell else { panic!("cell assignment to non-cell") };
+        let Obj::Cell(slot) = self.heap.get_mut(r) else { panic!("cell assignment to non-cell") };
+        *slot = v;
+    }
+
+    /// The main interpreter loop; returns the program's final value when
+    /// the continuation chain is exhausted.
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn run(&mut self) -> R<Value> {
+        loop {
+            let ops = self.codes[self.code as usize].ops.clone();
+            // Inner loop over the current code object; any transfer breaks
+            // back out to refetch.
+            'inner: loop {
+                let op = &ops[self.pc];
+                self.pc += 1;
+                self.instructions += 1;
+                match *op {
+                    Op::Const(i) => {
+                        self.acc = self.codes[self.code as usize].consts[i as usize];
+                    }
+                    Op::FixInt(n) => self.acc = Value::Fixnum(n.into()),
+                    Op::Unspec => self.acc = Value::Unspecified,
+                    Op::LocalRef(i) => self.acc = self.local(i as usize),
+                    Op::LocalSet(i) => {
+                        let v = self.acc;
+                        self.set_local(i as usize, v);
+                    }
+                    Op::FreeRef(i) => self.acc = self.free_value(i as usize),
+                    Op::CellRefLocal(i) => {
+                        let c = self.local(i as usize);
+                        self.acc = self.cell_get(c);
+                    }
+                    Op::CellRefFree(i) => {
+                        let c = self.free_value(i as usize);
+                        self.acc = self.cell_get(c);
+                    }
+                    Op::CellSetLocal(i) => {
+                        let c = self.local(i as usize);
+                        let v = self.acc;
+                        self.cell_set(c, v);
+                    }
+                    Op::CellSetFree(i) => {
+                        let c = self.free_value(i as usize);
+                        let v = self.acc;
+                        self.cell_set(c, v);
+                    }
+                    Op::MakeCell(i) => {
+                        let v = self.local(i as usize);
+                        let cell = Value::Obj(self.heap.alloc(Obj::Cell(v)));
+                        self.set_local(i as usize, cell);
+                    }
+                    Op::GlobalRef(i) => {
+                        if !self.global_defined[i as usize] {
+                            return Err(VmError::runtime(format!(
+                                "unbound variable: {}",
+                                self.global_names[i as usize]
+                            )));
+                        }
+                        self.acc = self.globals[i as usize];
+                    }
+                    Op::GlobalSet(i) => {
+                        if !self.global_defined[i as usize] {
+                            return Err(VmError::runtime(format!(
+                                "assignment to unbound variable: {}",
+                                self.global_names[i as usize]
+                            )));
+                        }
+                        self.globals[i as usize] = self.acc;
+                    }
+                    Op::GlobalDef(i) => {
+                        self.globals[i as usize] = self.acc;
+                        self.global_defined[i as usize] = true;
+                    }
+                    Op::Closure(i) => {
+                        let spec = self.codes[i as usize].code.free_spec.clone();
+                        let free: Box<[Value]> = spec
+                            .iter()
+                            .map(|s| match s {
+                                oneshot_compiler::FreeSrc::Local(j) => self.local(*j as usize),
+                                oneshot_compiler::FreeSrc::Free(j) => self.free_value(*j as usize),
+                            })
+                            .collect();
+                        self.acc = Value::Obj(self.heap.alloc(Obj::Closure { code: i, free }));
+                    }
+                    Op::Jump(off) => {
+                        self.pc = (self.pc as i64 + i64::from(off)) as usize;
+                    }
+                    Op::BranchFalse(off) => {
+                        if !self.acc.is_true() {
+                            self.pc = (self.pc as i64 + i64::from(off)) as usize;
+                        }
+                    }
+                    Op::Entry { required, rest } => {
+                        if self.entry(required as usize, rest)? {
+                            break 'inner; // timer interrupt transferred control
+                        }
+                    }
+                    Op::Call { disp, argc } => {
+                        self.calls += 1;
+                        let fp = self.stack.fp();
+                        self.stack.set(
+                            fp + disp as usize,
+                            Slot::Ret {
+                                code: self.code,
+                                pc: self.pc as u32,
+                                disp: disp.into(),
+                                closure: self.closure,
+                            },
+                        );
+                        self.stack.set_fp(fp + disp as usize);
+                        let f = self.acc;
+                        if let Some(v) = self.apply(f, argc as usize)? {
+                            return Ok(v);
+                        }
+                        break 'inner;
+                    }
+                    Op::TailCall { disp, argc } => {
+                        self.calls += 1;
+                        let fp = self.stack.fp();
+                        for i in 0..argc as usize {
+                            let v = self.stack.get(fp + disp as usize + 1 + i).clone();
+                            self.stack.set(fp + 1 + i, v);
+                        }
+                        let f = self.acc;
+                        if let Some(v) = self.apply(f, argc as usize)? {
+                            return Ok(v);
+                        }
+                        break 'inner;
+                    }
+                    Op::Return => {
+                        if let Some(v) = self.do_return()? {
+                            return Ok(v);
+                        }
+                        break 'inner;
+                    }
+                    // --- inline primitives ---
+                    Op::Add(i) => self.acc = num_add(self.local(i as usize), self.acc)?,
+                    Op::Sub(i) => self.acc = num_sub(self.local(i as usize), self.acc)?,
+                    Op::Mul(i) => self.acc = num_mul(self.local(i as usize), self.acc)?,
+                    Op::Lt(i) => self.acc = num_cmp(self.local(i as usize), self.acc, "<")?,
+                    Op::Le(i) => self.acc = num_cmp(self.local(i as usize), self.acc, "<=")?,
+                    Op::Gt(i) => self.acc = num_cmp(self.local(i as usize), self.acc, ">")?,
+                    Op::Ge(i) => self.acc = num_cmp(self.local(i as usize), self.acc, ">=")?,
+                    Op::NumEq(i) => self.acc = num_cmp(self.local(i as usize), self.acc, "=")?,
+                    Op::Cons(i) => {
+                        let car = self.local(i as usize);
+                        let cdr = self.acc;
+                        self.acc = Value::Obj(self.heap.alloc(Obj::Pair(car, cdr)));
+                    }
+                    Op::Eq(i) => self.acc = Value::Bool(self.local(i as usize) == self.acc),
+                    Op::Car => match self.acc {
+                        Value::Obj(r) => match self.heap.get(r) {
+                            Obj::Pair(a, _) => self.acc = *a,
+                            _ => return Err(self.type_error("car", "pair", self.acc)),
+                        },
+                        v => return Err(self.type_error("car", "pair", v)),
+                    },
+                    Op::Cdr => match self.acc {
+                        Value::Obj(r) => match self.heap.get(r) {
+                            Obj::Pair(_, d) => self.acc = *d,
+                            _ => return Err(self.type_error("cdr", "pair", self.acc)),
+                        },
+                        v => return Err(self.type_error("cdr", "pair", v)),
+                    },
+                    Op::NullP => self.acc = Value::Bool(self.acc == Value::Nil),
+                    Op::PairP => {
+                        self.acc = Value::Bool(matches!(
+                            self.acc,
+                            Value::Obj(r) if matches!(self.heap.get(r), Obj::Pair(..))
+                        ));
+                    }
+                    Op::Not => self.acc = Value::Bool(!self.acc.is_true()),
+                    Op::ZeroP => match self.acc {
+                        Value::Fixnum(n) => self.acc = Value::Bool(n == 0),
+                        Value::Flonum(x) => self.acc = Value::Bool(x == 0.0),
+                        v => return Err(self.type_error("zero?", "number", v)),
+                    },
+                    Op::Add1 => self.acc = num_add(self.acc, Value::Fixnum(1))?,
+                    Op::Sub1 => self.acc = num_sub(self.acc, Value::Fixnum(1))?,
+                    Op::VecRef(i) => {
+                        let v = self.local(i as usize);
+                        self.acc = self.vector_ref(v, self.acc)?;
+                    }
+                    Op::VecSet { v, i } => {
+                        let vec = self.local(v as usize);
+                        let idx = self.local(i as usize);
+                        let x = self.acc;
+                        self.vector_set(vec, idx, x)?;
+                        self.acc = Value::Unspecified;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Function prologue: arity, overflow check, rest collection, GC safe
+    /// point, timer tick. Returns true when a timer interrupt transferred
+    /// control to the handler.
+    fn entry(&mut self, required: usize, rest: bool) -> R<bool> {
+        let argc = self.argc;
+        if argc < required || (!rest && argc > required) {
+            let name = &self.codes[self.code as usize].code.name;
+            return Err(VmError::runtime(format!(
+                "{name}: expected {}{} arguments, got {argc}",
+                required,
+                if rest { "+" } else { "" }
+            )));
+        }
+        let need = self.codes[self.code as usize].code.frame_slots as usize + 2;
+        self.stack.ensure(need, 1 + argc, &slot_disp);
+        if rest {
+            let mut list = Value::Nil;
+            for i in (required..argc).rev() {
+                let v = self.local(1 + i);
+                list = Value::Obj(self.heap.alloc(Obj::Pair(v, list)));
+            }
+            self.set_local(1 + required, list);
+        }
+        let live = 1 + required + usize::from(rest);
+        if self.heap.wants_collection() {
+            self.collect(live);
+        }
+        if self.timer_on {
+            self.fuel = self.fuel.saturating_sub(1);
+            if self.fuel == 0 {
+                self.timer_on = false;
+                return self.fire_timer_interrupt();
+            }
+        }
+        Ok(false)
+    }
+
+    /// Calls the timer handler such that its normal return resumes the
+    /// interrupted function just past its (already completed) prologue.
+    fn fire_timer_interrupt(&mut self) -> R<bool> {
+        let handler = self.timer_handler;
+        if !matches!(handler, Value::Obj(_) | Value::Builtin(_)) {
+            return Err(VmError::runtime("timer expired with no interrupt handler"));
+        }
+        let fs = self.codes[self.code as usize].code.frame_slots as usize + 1;
+        let fp = self.stack.fp();
+        self.stack.set(
+            fp + fs,
+            Slot::Ret {
+                code: self.code,
+                pc: self.pc as u32,
+                disp: fs as u32,
+                closure: self.closure,
+            },
+        );
+        self.stack.set_fp(fp + fs);
+        self.calls += 1;
+        if self.apply(handler, 0)?.is_some() {
+            // A zero-argument handler cannot legitimately end the program
+            // from here; treat as an error to avoid losing the fact.
+            return Err(VmError::runtime("timer handler exhausted the continuation chain"));
+        }
+        Ok(true)
+    }
+
+    /// Applies `f` to `argc` arguments already placed at `fp+1..`.
+    /// Returns `Some(final)` if the program completed (underflowed out).
+    pub(crate) fn apply(&mut self, f: Value, argc: usize) -> R<Option<Value>> {
+        match f {
+            Value::Obj(r) => match self.heap.get(r) {
+                Obj::Closure { code, .. } => {
+                    self.closure = f;
+                    self.code = *code;
+                    self.pc = 0;
+                    self.argc = argc;
+                    Ok(None)
+                }
+                Obj::Kont { kont, winders } => {
+                    let (kont, winders) = (*kont, *winders);
+                    self.invoke_kont(kont, winders, argc)
+                }
+                _ => Err(self.type_error("apply", "procedure", f)),
+            },
+            Value::Builtin(i) => {
+                let func = self.builtins[i as usize];
+                let flow = func(self, argc)?;
+                self.flow(flow)
+            }
+            _ => Err(self.type_error("apply", "procedure", f)),
+        }
+    }
+
+    /// Acts on a builtin's control-flow outcome.
+    pub(crate) fn flow(&mut self, flow: Flow) -> R<Option<Value>> {
+        match flow {
+            Flow::Return => self.do_return(),
+            Flow::Tail { f, argc } => {
+                self.calls += 1;
+                self.apply(f, argc)
+            }
+            Flow::Continue => Ok(None),
+            Flow::Halt(v) => Ok(Some(v)),
+        }
+    }
+
+    /// Delivers control through an ordinary return address: rejects
+    /// pending multiple values, pops the frame, restores the caller's
+    /// registers.
+    fn deliver_ret(&mut self, code: u32, pc: u32, disp: u32, closure: Value) -> R<()> {
+        if self.mv.is_some() {
+            let n = self.mv.as_ref().map_or(0, Vec::len);
+            self.mv = None;
+            return Err(VmError::runtime(format!(
+                "returned {n} values to single value return context"
+            )));
+        }
+        self.stack.pop_frame(disp as usize);
+        self.code = code;
+        self.pc = pc as usize;
+        self.closure = closure;
+        Ok(())
+    }
+
+    /// Returns `acc` (or pending multiple values) through the slot at the
+    /// frame base. `Some(final)` when the program completed.
+    pub(crate) fn do_return(&mut self) -> R<Option<Value>> {
+        {
+            let slot = self.stack.get(self.stack.fp()).clone();
+            match slot {
+                Slot::Ret { code, pc, disp, closure } => {
+                    self.deliver_ret(code, pc, disp, closure)?;
+                    Ok(None)
+                }
+                Slot::Resume { kind, disp } => {
+                    self.stack.pop_frame(disp as usize);
+                    let flow = self.resume(kind)?;
+                    match self.flow(flow)? {
+                        Some(v) => Ok(Some(v)),
+                        None => Ok(None),
+                    }
+                }
+                Slot::Marker => {
+                    match self
+                        .stack
+                        .underflow(&slot_disp)
+                        .map_err(|e| VmError::runtime(e.to_string()))?
+                    {
+                        Underflow::Exhausted => {
+                            let v = self.acc;
+                            self.mv = None;
+                            Ok(Some(v))
+                        }
+                        Underflow::Resumed(r) => {
+                            // Deliver through the reinstated return address:
+                            // temporarily plant it at the new frame base...
+                            // it already encodes everything; dispatch on it
+                            // directly.
+                            match r.ret {
+                                Slot::Ret { code, pc, disp, closure } => {
+                                    self.deliver_ret(code, pc, disp, closure)?;
+                                    Ok(None)
+                                }
+                                Slot::Resume { kind, disp } => {
+                                    self.stack.pop_frame(disp as usize);
+                                    let flow = self.resume(kind)?;
+                                    match self.flow(flow)? {
+                                        Some(v) => Ok(Some(v)),
+                                        None => Ok(None),
+                                    }
+                                }
+                                other => {
+                                    panic!("continuation resumed at non-return slot {other:?}")
+                                }
+                            }
+                        }
+                    }
+                }
+                Slot::Val(v) => panic!("return through value slot {v:?}"),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Continuation invocation (Figures 3 and 4, plus dynamic-wind)
+    // ------------------------------------------------------------------
+
+    /// Invokes a continuation value with `argc` arguments at `fp+1..`.
+    pub(crate) fn invoke_kont(
+        &mut self,
+        kont: Option<KontId>,
+        winders: Value,
+        argc: usize,
+    ) -> R<Option<Value>> {
+        if self.winders == winders {
+            let vals: Vec<Value> = (0..argc).map(|i| self.local(1 + i)).collect();
+            return self.reinstate(kont, &vals);
+        }
+        // Winding needed: stash the target and values in the current frame
+        // and run winder thunks, one per step.
+        let vals: Vec<Value> = (0..argc).map(|i| self.local(1 + i)).collect();
+        self.stack.ensure((1 + argc).max(8), 1 + argc, &slot_disp);
+        let target = Value::Obj(self.heap.alloc(Obj::Kont { kont, winders }));
+        let vals_vec = Value::Obj(self.heap.alloc(Obj::Vector(vals)));
+        self.set_local(1, target);
+        self.set_local(2, vals_vec);
+        self.wind_step()
+    }
+
+    /// One step of winding toward the target continuation stashed in the
+    /// current frame; recomputed from scratch each step so that winder
+    /// thunks that themselves capture or invoke continuations behave
+    /// consistently.
+    pub(crate) fn wind_step(&mut self) -> R<Option<Value>> {
+        let target_val = self.local(1);
+        let Value::Obj(tr) = target_val else { panic!("wind target missing") };
+        let Obj::Kont { kont, winders: target_winders } = self.heap.get(tr) else {
+            panic!("wind target is not a continuation")
+        };
+        let (kont, target_winders) = (*kont, *target_winders);
+        if self.winders == target_winders {
+            let vals_val = self.local(2);
+            let Value::Obj(vr) = vals_val else { panic!("wind values missing") };
+            let Obj::Vector(vals) = self.heap.get(vr) else { panic!("wind values missing") };
+            let vals = vals.clone();
+            return self.reinstate(kont, &vals);
+        }
+        // Is the current winder list an extension of the common tail?
+        let common = self.common_tail(self.winders, target_winders);
+        if self.winders != common {
+            // Leave the innermost current winder: pop, then run its after.
+            let Value::Obj(wr) = self.winders else { panic!("winder list corrupt") };
+            let Obj::Pair(winder, rest) = self.heap.get(wr) else {
+                panic!("winder list corrupt")
+            };
+            let (winder, rest) = (*winder, *rest);
+            self.winders = rest;
+            let after = self.cdr_of(winder)?;
+            return self.call_winder(after, Resume::KontWind);
+        }
+        // Enter the outermost not-yet-entered target winder: run its
+        // before, then (on resume) set the winder list to that node.
+        let mut node = target_winders;
+        let mut enter = target_winders;
+        while node != common {
+            enter = node;
+            node = self.cdr_of(node)?;
+        }
+        let Value::Obj(er) = enter else { panic!("winder list corrupt") };
+        let Obj::Pair(winder, _) = self.heap.get(er) else { panic!("winder list corrupt") };
+        let before = self.car_of(*winder)?;
+        self.call_winder(before, Resume::KontWindEnter)
+    }
+
+    /// Longest common tail of two winder lists (by node identity).
+    fn common_tail(&self, a: Value, b: Value) -> Value {
+        let mut b_nodes = Vec::new();
+        let mut cur = b;
+        while let Value::Obj(r) = cur {
+            b_nodes.push(cur);
+            match self.heap.get(r) {
+                Obj::Pair(_, d) => cur = *d,
+                _ => break,
+            }
+        }
+        b_nodes.push(Value::Nil);
+        let mut cur = a;
+        loop {
+            if b_nodes.contains(&cur) {
+                return cur;
+            }
+            match cur {
+                Value::Obj(r) => match self.heap.get(r) {
+                    Obj::Pair(_, d) => cur = *d,
+                    _ => return Value::Nil,
+                },
+                _ => return Value::Nil,
+            }
+        }
+    }
+
+    /// Calls a winder thunk in a subframe above the wind state.
+    fn call_winder(&mut self, thunk: Value, kind: Resume) -> R<Option<Value>> {
+        let fp = self.stack.fp();
+        self.stack.set(fp + 3, Slot::Resume { kind, disp: 3 });
+        self.stack.set_fp(fp + 3);
+        self.calls += 1;
+        self.apply(thunk, 0)
+    }
+
+    /// Dispatches a staged-builtin resume (frame pointer already popped to
+    /// the staged frame).
+    fn resume(&mut self, kind: Resume) -> R<Flow> {
+        match kind {
+            Resume::KontWind => {
+                // An after thunk finished; keep winding.
+                match self.wind_step()? {
+                    Some(v) => Ok(Flow::Halt(v)),
+                    None => Ok(Flow::Continue),
+                }
+            }
+            Resume::KontWindEnter => {
+                // A before thunk finished: enter the winder, then continue.
+                let target_val = self.local(1);
+                let Value::Obj(tr) = target_val else { panic!("wind target missing") };
+                let Obj::Kont { winders: target_winders, .. } = self.heap.get(tr) else {
+                    panic!("wind target is not a continuation")
+                };
+                let target_winders = *target_winders;
+                let common = self.common_tail(self.winders, target_winders);
+                let mut node = target_winders;
+                let mut enter = target_winders;
+                while node != common {
+                    enter = node;
+                    node = self.cdr_of(node)?;
+                }
+                self.winders = enter;
+                match self.wind_step()? {
+                    Some(v) => Ok(Flow::Halt(v)),
+                    None => Ok(Flow::Continue),
+                }
+            }
+            Resume::WindBody => self.dynamic_wind_body(),
+            Resume::WindAfter => self.dynamic_wind_after(),
+            Resume::WindDone => self.dynamic_wind_done(),
+            Resume::CwvConsume => self.cwv_consume(),
+        }
+    }
+
+    /// Delivers `vals` to continuation `kont` (Figure 3/4 reinstatement).
+    fn reinstate(&mut self, kont: Option<KontId>, vals: &[Value]) -> R<Option<Value>> {
+        match vals {
+            [v] => {
+                self.acc = *v;
+                self.mv = None;
+            }
+            _ => {
+                self.mv = Some(vals.to_vec());
+                self.acc = Value::Unspecified;
+            }
+        }
+        let Some(k) = kont else {
+            // The empty continuation: the program completes with this value.
+            self.stack.clear_to_empty();
+            let v = self.acc;
+            self.mv = None;
+            return Ok(Some(v));
+        };
+        let r = self
+            .stack
+            .reinstate(k, &slot_disp)
+            .map_err(|e| match e {
+                oneshot_core::ControlError::AlreadyShot => VmError::runtime(
+                    "attempt to invoke shot one-shot continuation",
+                ),
+                other => VmError::runtime(other.to_string()),
+            })?;
+        match r.ret {
+            Slot::Ret { code, pc, disp, closure } => {
+                self.deliver_ret(code, pc, disp, closure)?;
+                Ok(None)
+            }
+            Slot::Resume { kind, disp } => {
+                self.stack.pop_frame(disp as usize);
+                let flow = self.resume(kind)?;
+                self.flow(flow)
+            }
+            other => panic!("continuation with non-return ret slot {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Small helpers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn car_of(&self, v: Value) -> R<Value> {
+        match v {
+            Value::Obj(r) => match self.heap.get(r) {
+                Obj::Pair(a, _) => Ok(*a),
+                _ => Err(self.type_error("car", "pair", v)),
+            },
+            _ => Err(self.type_error("car", "pair", v)),
+        }
+    }
+
+    pub(crate) fn cdr_of(&self, v: Value) -> R<Value> {
+        match v {
+            Value::Obj(r) => match self.heap.get(r) {
+                Obj::Pair(_, d) => Ok(*d),
+                _ => Err(self.type_error("cdr", "pair", v)),
+            },
+            _ => Err(self.type_error("cdr", "pair", v)),
+        }
+    }
+
+    pub(crate) fn vector_ref(&self, v: Value, idx: Value) -> R<Value> {
+        let Value::Obj(r) = v else {
+            return Err(self.type_error("vector-ref", "vector", v));
+        };
+        let Obj::Vector(items) = self.heap.get(r) else {
+            return Err(self.type_error("vector-ref", "vector", v));
+        };
+        let Value::Fixnum(i) = idx else {
+            return Err(self.type_error("vector-ref", "index", idx));
+        };
+        usize::try_from(i)
+            .ok()
+            .and_then(|i| items.get(i).copied())
+            .ok_or_else(|| VmError::runtime(format!("vector-ref: index {i} out of range")))
+    }
+
+    pub(crate) fn vector_set(&mut self, v: Value, idx: Value, x: Value) -> R<()> {
+        let Value::Obj(r) = v else {
+            return Err(self.type_error("vector-set!", "vector", v));
+        };
+        let Value::Fixnum(i) = idx else {
+            return Err(self.type_error("vector-set!", "index", idx));
+        };
+        let Obj::Vector(items) = self.heap.get_mut(r) else {
+            return Err(self.type_error("vector-set!", "vector", v));
+        };
+        let slot = usize::try_from(i)
+            .ok()
+            .and_then(|i| items.get_mut(i))
+            .ok_or_else(|| VmError::runtime(format!("vector-set!: index {i} out of range")))?;
+        *slot = x;
+        Ok(())
+    }
+
+    pub(crate) fn type_error(&self, who: &str, expected: &str, got: Value) -> VmError {
+        VmError::runtime(format!(
+            "{who}: expected {expected}, got {}",
+            oneshot_runtime::write_value(&self.heap, &self.syms, got)
+        ))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Numeric helpers (fixnum/flonum tower)
+// ----------------------------------------------------------------------
+
+pub(crate) fn num_add(a: Value, b: Value) -> Result<Value, VmError> {
+    match (a, b) {
+        (Value::Fixnum(x), Value::Fixnum(y)) => x
+            .checked_add(y)
+            .map(Value::Fixnum)
+            .ok_or_else(|| VmError::runtime("fixnum overflow in +")),
+        _ => Ok(Value::Flonum(as_f64(a, "+")? + as_f64(b, "+")?)),
+    }
+}
+
+pub(crate) fn num_sub(a: Value, b: Value) -> Result<Value, VmError> {
+    match (a, b) {
+        (Value::Fixnum(x), Value::Fixnum(y)) => x
+            .checked_sub(y)
+            .map(Value::Fixnum)
+            .ok_or_else(|| VmError::runtime("fixnum overflow in -")),
+        _ => Ok(Value::Flonum(as_f64(a, "-")? - as_f64(b, "-")?)),
+    }
+}
+
+pub(crate) fn num_mul(a: Value, b: Value) -> Result<Value, VmError> {
+    match (a, b) {
+        (Value::Fixnum(x), Value::Fixnum(y)) => x
+            .checked_mul(y)
+            .map(Value::Fixnum)
+            .ok_or_else(|| VmError::runtime("fixnum overflow in *")),
+        _ => Ok(Value::Flonum(as_f64(a, "*")? * as_f64(b, "*")?)),
+    }
+}
+
+pub(crate) fn num_cmp(a: Value, b: Value, op: &str) -> Result<Value, VmError> {
+    let r = match (a, b) {
+        (Value::Fixnum(x), Value::Fixnum(y)) => compare(x.cmp(&y), op),
+        _ => {
+            let (x, y) = (as_f64(a, op)?, as_f64(b, op)?);
+            // NaN compares false under every ordering, as in R4RS systems
+            // with IEEE flonums.
+            match x.partial_cmp(&y) {
+                Some(ord) => compare(ord, op),
+                None => false,
+            }
+        }
+    };
+    Ok(Value::Bool(r))
+}
+
+fn compare(ord: std::cmp::Ordering, op: &str) -> bool {
+    use std::cmp::Ordering::{Equal, Greater, Less};
+    match op {
+        "<" => ord == Less,
+        "<=" => ord != Greater,
+        ">" => ord == Greater,
+        ">=" => ord != Less,
+        "=" => ord == Equal,
+        _ => unreachable!("unknown comparison {op}"),
+    }
+}
+
+pub(crate) fn as_f64(v: Value, who: &str) -> Result<f64, VmError> {
+    match v {
+        Value::Fixnum(n) => Ok(n as f64),
+        Value::Flonum(x) => Ok(x),
+        _ => Err(VmError::runtime(format!("{who}: expected number"))),
+    }
+}

@@ -1,0 +1,132 @@
+//! Garbage collection: coordinated marking across the heap and the
+//! segmented control stack.
+//!
+//! Continuation heap objects reference stack records whose sealed slots
+//! hold heap values; the current stack's live slots hold heap values; and
+//! the current link chain may contain continuations with no heap object at
+//! all (implicit overflow continuations). Marking therefore alternates
+//! between the heap's gray worklist and a continuation worklist until both
+//! drain.
+
+use oneshot_core::KontId;
+use oneshot_runtime::{Obj, Value};
+
+use crate::slot::Slot;
+use crate::vm::Vm;
+
+impl Vm {
+    /// Runs a full collection. `live_above_fp` is the number of live slots
+    /// at and above the frame pointer (1 + argument count at the Entry
+    /// safe point).
+    pub(crate) fn collect(&mut self, live_above_fp: usize) {
+        self.heap.begin_gc();
+        self.stack.begin_gc();
+        let mut konts: Vec<KontId> = Vec::new();
+
+        // Roots: registers, globals, winders, timer handler, pending
+        // multiple values, constant pools.
+        self.heap.mark_value(self.acc);
+        self.heap.mark_value(self.closure);
+        self.heap.mark_value(self.winders);
+        self.heap.mark_value(self.timer_handler);
+        if let Some(vals) = self.mv.clone() {
+            for v in vals {
+                self.heap.mark_value(v);
+            }
+        }
+        for i in 0..self.globals.len() {
+            let v = self.globals[i];
+            self.heap.mark_value(v);
+        }
+        for ci in 0..self.codes.len() {
+            for vi in 0..self.codes[ci].consts.len() {
+                let v = self.codes[ci].consts[vi];
+                self.heap.mark_value(v);
+            }
+        }
+        // The live portion of the running stack.
+        let lo = self.stack.base();
+        let hi = (self.stack.fp() + live_above_fp).min(self.stack.end());
+        self.mark_slot_range(lo, hi);
+        // The current continuation chain (implicit continuations included).
+        let mut cursor = self.stack.current_link();
+        while let Some(k) = cursor {
+            konts.push(k);
+            cursor = self.stack.kont_link(k);
+        }
+
+        // Alternate the two worklists to a fixed point.
+        loop {
+            let mut progressed = false;
+            while let Some(r) = self.heap.pop_gray() {
+                progressed = true;
+                // Continuation heap objects seed stack marking.
+                if let Obj::Kont { kont: Some(k), .. } = self.heap.get(r) {
+                    konts.push(*k);
+                }
+                self.heap.with_children(r, |h, v| h.mark_value(v));
+            }
+            while let Some(k) = konts.pop() {
+                progressed = true;
+                if !self.stack.kont_alive(k) {
+                    // Already swept in a previous cycle's terms — cannot
+                    // happen mid-mark; defensive.
+                    continue;
+                }
+                if self.stack.mark_kont(k) {
+                    if let Some(l) = self.stack.kont_link(k) {
+                        konts.push(l);
+                    }
+                    // The saved return address lives in the continuation
+                    // object itself (not in the sealed slice) and carries
+                    // the caller's closure.
+                    if let Some(v) = slot_heap_value(self.stack.kont(k).ret()) {
+                        self.heap.mark_value(v);
+                    }
+                    let vals: Vec<Value> = self
+                        .stack
+                        .kont_slice(k)
+                        .iter()
+                        .filter_map(slot_heap_value)
+                        .collect();
+                    for v in vals {
+                        self.heap.mark_value(v);
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        self.heap.sweep();
+        self.stack.sweep(false);
+    }
+
+    fn mark_slot_range(&mut self, lo: usize, hi: usize) {
+        for i in lo..hi {
+            if let Some(v) = slot_heap_value(self.stack.get(i)) {
+                self.heap.mark_value(v);
+            }
+        }
+    }
+
+    /// Tells the VM writer where output goes (capture buffer + optional
+    /// echo).
+    pub(crate) fn emit_output(&mut self, s: &str) {
+        self.out.push_str(s);
+        if self.echo {
+            print!("{s}");
+        }
+    }
+}
+
+/// The heap value a slot keeps alive, if any (frame values and the saved
+/// closures inside return addresses).
+fn slot_heap_value(s: &Slot) -> Option<Value> {
+    match s {
+        Slot::Val(v) => Some(*v),
+        Slot::Ret { closure, .. } => Some(*closure),
+        _ => None,
+    }
+}

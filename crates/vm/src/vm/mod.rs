@@ -1,0 +1,479 @@
+//! The virtual machine.
+
+mod builtins;
+mod exec;
+mod gc;
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use oneshot_compiler::{compile_program, CodeObject, CompiledProgram, Op, Pipeline};
+use oneshot_core::{Config, SegStack, Stats};
+use oneshot_runtime::{
+    datum_to_value, display_value, write_value, Heap, HeapStats, Obj, Symbols, Value,
+};
+use oneshot_sexp::read_all;
+
+use crate::error::VmError;
+use crate::slot::Slot;
+
+pub(crate) use builtins::BuiltinFn;
+
+/// The Scheme prelude (list operations and other library procedures),
+/// compiled through whichever pipeline the VM uses.
+const PRELUDE: &str = include_str!("../../scheme/prelude.scm");
+/// Hand-written CPS definitions of the control operators, loaded (through
+/// the direct pipeline) only in CPS mode.
+const CPS_PRELUDE: &str = include_str!("../../scheme/cps-prelude.scm");
+
+/// VM construction options.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Segmented-stack tuning (segment size, copy bound, policies, ...).
+    pub stack: Config,
+    /// Which compiler pipeline to run programs through.
+    pub pipeline: Pipeline,
+    /// Whether to load the Scheme prelude at construction.
+    pub prelude: bool,
+    /// Echo `display`/`write` output to stdout as well as the capture
+    /// buffer.
+    pub echo_output: bool,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            stack: Config::default(),
+            pipeline: Pipeline::Direct,
+            prelude: true,
+            echo_output: false,
+        }
+    }
+}
+
+/// A loaded (linked) code object.
+#[derive(Debug)]
+pub(crate) struct LoadedCode {
+    pub(crate) code: Rc<CodeObject>,
+    /// Ops with global and code indices relinked to VM tables.
+    pub(crate) ops: Rc<[Op]>,
+    /// Constants lowered to runtime values (GC roots).
+    pub(crate) consts: Vec<Value>,
+}
+
+/// Aggregated statistics: instruction counts plus heap and stack counters.
+#[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
+pub struct VmStats {
+    /// Bytecode instructions executed.
+    pub instructions: u64,
+    /// Procedure calls performed (closures, builtins, continuations).
+    pub calls: u64,
+    /// Heap statistics snapshot.
+    pub heap: HeapStats,
+    /// Segmented-stack statistics snapshot.
+    pub stack: Stats,
+}
+
+impl VmStats {
+    /// Counter-wise difference for measuring a region.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &VmStats) -> VmStats {
+        VmStats {
+            instructions: self.instructions - earlier.instructions,
+            calls: self.calls - earlier.calls,
+            heap: self.heap.delta_since(&earlier.heap),
+            stack: self.stack.delta_since(&earlier.stack),
+        }
+    }
+}
+
+/// The virtual machine: heap, symbol table, segmented control stack,
+/// loaded code, globals, and machine registers.
+///
+/// See the crate documentation for an example.
+#[derive(Debug)]
+pub struct Vm {
+    pub(crate) heap: Heap,
+    pub(crate) syms: Symbols,
+    pub(crate) stack: SegStack<Slot>,
+    pub(crate) codes: Vec<LoadedCode>,
+    pub(crate) globals: Vec<Value>,
+    pub(crate) global_defined: Vec<bool>,
+    pub(crate) global_names: Vec<String>,
+    pub(crate) global_ids: HashMap<String, u32>,
+    pub(crate) builtins: Vec<BuiltinFn>,
+    // --- registers ---
+    pub(crate) acc: Value,
+    pub(crate) code: u32,
+    pub(crate) pc: usize,
+    pub(crate) closure: Value,
+    pub(crate) argc: usize,
+    /// Pending multiple values (`values` with n != 1).
+    pub(crate) mv: Option<Vec<Value>>,
+    /// The `dynamic-wind` winder list (a Scheme list of `(before . after)`
+    /// pairs).
+    pub(crate) winders: Value,
+    // --- engine timer (Dybvig–Hieb engines; drives Figure 5) ---
+    pub(crate) timer_on: bool,
+    pub(crate) fuel: u64,
+    pub(crate) timer_handler: Value,
+    // --- counters & output ---
+    pub(crate) instructions: u64,
+    pub(crate) calls: u64,
+    pub(crate) out: String,
+    pub(crate) echo: bool,
+    pipeline: Pipeline,
+}
+
+impl Vm {
+    /// A VM with default configuration (direct pipeline, prelude loaded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded prelude fails to compile — a build defect,
+    /// covered by tests.
+    pub fn new() -> Self {
+        Self::with_config(VmConfig::default())
+    }
+
+    /// A VM with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded prelude fails to compile.
+    pub fn with_config(cfg: VmConfig) -> Self {
+        let mut vm = Vm {
+            heap: Heap::new(),
+            syms: Symbols::new(),
+            stack: SegStack::new(cfg.stack, Slot::Marker),
+            codes: Vec::new(),
+            globals: Vec::new(),
+            global_defined: Vec::new(),
+            global_names: Vec::new(),
+            global_ids: HashMap::new(),
+            builtins: Vec::new(),
+            acc: Value::Unspecified,
+            code: 0,
+            pc: 0,
+            closure: Value::Unspecified,
+            argc: 0,
+            mv: None,
+            winders: Value::Nil,
+            timer_on: false,
+            fuel: 0,
+            timer_handler: Value::Unspecified,
+            instructions: 0,
+            calls: 0,
+            out: String::new(),
+            echo: cfg.echo_output,
+            pipeline: cfg.pipeline,
+        };
+        vm.register_builtins();
+        if cfg.pipeline == Pipeline::Cps {
+            // Control operators get CPS definitions (direct pipeline: the
+            // sources are hand-written CPS).
+            vm.load_with(CPS_PRELUDE, Pipeline::Direct).expect("CPS prelude must load");
+        }
+        if cfg.prelude {
+            vm.load_with(PRELUDE, cfg.pipeline).expect("prelude must load");
+        }
+        vm
+    }
+
+    /// The pipeline programs are compiled through.
+    pub fn pipeline(&self) -> Pipeline {
+        self.pipeline
+    }
+
+    // ------------------------------------------------------------------
+    // Loading and evaluation
+    // ------------------------------------------------------------------
+
+    /// Reads, compiles, links, and runs every form in `src`, returning the
+    /// value of the last one.
+    ///
+    /// # Errors
+    ///
+    /// Read, compile, or runtime errors; the VM remains usable afterwards.
+    pub fn eval_str(&mut self, src: &str) -> Result<Value, VmError> {
+        self.load_with(src, self.pipeline)
+    }
+
+    fn load_with(&mut self, src: &str, pipeline: Pipeline) -> Result<Value, VmError> {
+        let forms = read_all(src).map_err(|e| VmError::Read(e.to_string()))?;
+        let prog =
+            compile_program(&forms, pipeline).map_err(|e| VmError::Compile(e.to_string()))?;
+        let entry = self.link(&prog);
+        self.run_thunk(entry)
+    }
+
+    /// Links a compiled program into the VM, returning the loaded entry
+    /// code index. Global references are resolved by name; code indices are
+    /// rebased.
+    pub(crate) fn link(&mut self, prog: &CompiledProgram) -> u32 {
+        let base = self.codes.len() as u32;
+        // Map program-global indices to VM-global indices.
+        let gmap: Vec<u32> =
+            prog.globals.iter().map(|name| self.global_id(name)).collect();
+        for code in &prog.codes {
+            let ops: Vec<Op> = code
+                .ops
+                .iter()
+                .map(|op| match op {
+                    Op::GlobalRef(i) => Op::GlobalRef(gmap[*i as usize]),
+                    Op::GlobalSet(i) => Op::GlobalSet(gmap[*i as usize]),
+                    Op::GlobalDef(i) => Op::GlobalDef(gmap[*i as usize]),
+                    Op::Closure(i) => Op::Closure(base + i),
+                    other => other.clone(),
+                })
+                .collect();
+            let consts: Vec<Value> = code
+                .consts
+                .iter()
+                .map(|d| datum_to_value(&mut self.heap, &mut self.syms, d))
+                .collect();
+            // Resumed frames must never outrun the post-reinstatement
+            // headroom guarantee.
+            self.stack.raise_reserve(code.frame_slots as usize + 2);
+            self.codes.push(LoadedCode {
+                code: Rc::new(code.clone()),
+                ops: ops.into(),
+                consts,
+            });
+        }
+        base + prog.entry
+    }
+
+    /// Runs a zero-argument code object from the VM rest state.
+    pub(crate) fn run_thunk(&mut self, entry: u32) -> Result<Value, VmError> {
+        debug_assert!(matches!(self.stack.get(self.stack.fp()), Slot::Marker));
+        self.code = entry;
+        self.pc = 0;
+        self.closure = Value::Unspecified;
+        self.argc = 0;
+        self.mv = None;
+        let r = self.run();
+        if r.is_err() {
+            self.recover();
+        }
+        r
+    }
+
+    /// Calls a Scheme procedure from Rust with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Runtime errors from the callee, or a type error if `f` is not
+    /// applicable.
+    pub fn call(&mut self, f: Value, args: &[Value]) -> Result<Value, VmError> {
+        self.stack.ensure(args.len() + 2, 1, &crate::slot::slot_disp);
+        let fp = self.stack.fp();
+        for (i, a) in args.iter().enumerate() {
+            self.stack.set(fp + 1 + i, Slot::Val(*a));
+        }
+        self.acc = f;
+        self.mv = None;
+        let r = (|| {
+            if let Some(v) = self.apply(f, args.len())? {
+                return Ok(v);
+            }
+            self.run()
+        })();
+        if r.is_err() {
+            self.recover();
+        }
+        r
+    }
+
+    /// Resets control state after an error so the VM can keep evaluating.
+    fn recover(&mut self) {
+        self.stack.clear_to_empty();
+        self.winders = Value::Nil;
+        self.mv = None;
+        self.timer_on = false;
+        self.closure = Value::Unspecified;
+    }
+
+    // ------------------------------------------------------------------
+    // Globals and symbols
+    // ------------------------------------------------------------------
+
+    pub(crate) fn global_id(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.global_ids.get(name) {
+            return i;
+        }
+        let i = self.globals.len() as u32;
+        self.globals.push(Value::Unspecified);
+        self.global_defined.push(false);
+        self.global_names.push(name.to_string());
+        self.global_ids.insert(name.to_string(), i);
+        i
+    }
+
+    /// Reads a global variable by name, if defined.
+    pub fn global(&self, name: &str) -> Option<Value> {
+        let &i = self.global_ids.get(name)?;
+        self.global_defined[i as usize].then(|| self.globals[i as usize])
+    }
+
+    /// Defines (or redefines) a global variable.
+    pub fn set_global(&mut self, name: &str, v: Value) {
+        let i = self.global_id(name) as usize;
+        self.globals[i] = v;
+        self.global_defined[i] = true;
+    }
+
+    /// Interns a symbol, returning it as a value.
+    pub fn intern(&mut self, name: &str) -> Value {
+        Value::Sym(self.syms.intern(name))
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// Formats a value with `display` conventions.
+    pub fn display_value(&self, v: &Value) -> String {
+        display_value(&self.heap, &self.syms, *v)
+    }
+
+    /// Formats a value with `write` conventions.
+    pub fn write_value(&self, v: &Value) -> String {
+        write_value(&self.heap, &self.syms, *v)
+    }
+
+    /// Takes the captured `display`/`write` output.
+    pub fn take_output(&mut self) -> String {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> VmStats {
+        VmStats {
+            instructions: self.instructions,
+            calls: self.calls,
+            heap: *self.heap.stats(),
+            stack: *self.stack.stats(),
+        }
+    }
+
+    /// Direct access to the heap (for embedders building values).
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    /// Total slot capacity of all live stack segments — the resident
+    /// stack-memory measure behind the fragmentation experiment (§3.4).
+    pub fn stack_resident_slots(&self) -> usize {
+        self.stack.resident_slots()
+    }
+
+    /// Walks the control stack and returns the procedure names of every
+    /// pending frame, innermost first — across segment boundaries and
+    /// through the continuation chain. This is the §3.1 claim in action:
+    /// the displacement carried by each return address (the paper's
+    /// frame-size word) is what lets tools walk the stack.
+    pub fn backtrace(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        let code_name = |code: u32| self.codes[code as usize].code.name.clone();
+        names.push(code_name(self.code));
+        // The current record: from the active frame down to the base.
+        let mut pos = self.stack.fp();
+        let base = self.stack.base();
+        loop {
+            if names.len() > 4096 {
+                return names; // runaway guard
+            }
+            match self.stack.get(pos) {
+                Slot::Ret { code, disp, .. } => {
+                    names.push(code_name(*code));
+                    let d = *disp as usize;
+                    if d == 0 || pos < base + d {
+                        break;
+                    }
+                    pos -= d;
+                }
+                Slot::Resume { kind, disp } => {
+                    names.push(format!("#<{kind:?}>"));
+                    let d = *disp as usize;
+                    if d == 0 || pos < base + d {
+                        break;
+                    }
+                    pos -= d;
+                }
+                _ => break,
+            }
+        }
+        // The continuation chain below.
+        let mut cursor = self.stack.current_link();
+        while let Some(k) = cursor {
+            if names.len() > 4096 {
+                break;
+            }
+            let kont = self.stack.kont(k);
+            if kont.is_shot() {
+                names.push("#<shot>".to_string());
+                break;
+            }
+            let slice = self.stack.kont_slice(k);
+            let mut pos = kont.occupied(); // one past the top frame region
+            let mut ret = kont.ret().clone();
+            loop {
+                match &ret {
+                    Slot::Ret { code, disp, .. } => {
+                        names.push(code_name(*code));
+                        let d = *disp as usize;
+                        if d == 0 || pos < d {
+                            break;
+                        }
+                        pos -= d;
+                    }
+                    Slot::Resume { kind, disp } => {
+                        names.push(format!("#<{kind:?}>"));
+                        let d = *disp as usize;
+                        if d == 0 || pos < d {
+                            break;
+                        }
+                        pos -= d;
+                    }
+                    _ => break,
+                }
+                if names.len() > 4096 {
+                    break;
+                }
+                match slice.get(pos) {
+                    Some(s) => ret = s.clone(),
+                    None => break,
+                }
+            }
+            cursor = kont.link();
+        }
+        names
+    }
+
+    /// Number of live stack segments (cached ones included).
+    pub fn stack_segment_count(&self) -> usize {
+        self.stack.segment_count()
+    }
+
+    /// Allocates a pair.
+    pub fn cons(&mut self, car: Value, cdr: Value) -> Value {
+        Value::Obj(self.heap.alloc(Obj::Pair(car, cdr)))
+    }
+
+    /// Builds a Scheme list from a slice.
+    pub fn list(&mut self, items: &[Value]) -> Value {
+        let mut v = Value::Nil;
+        for &item in items.iter().rev() {
+            v = self.cons(item, v);
+        }
+        v
+    }
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Vm::new()
+    }
+}

@@ -1,0 +1,130 @@
+//! GC interaction tests: collections forced (tiny threshold) while
+//! continuations, winders, timers, and threads are all live.
+
+use oneshot_vm::Vm;
+
+fn tiny_gc_vm() -> Vm {
+    let mut vm = Vm::new();
+    vm.heap_mut().set_gc_threshold(64);
+    vm
+}
+
+#[test]
+fn winders_survive_collections() {
+    let mut vm = tiny_gc_vm();
+    let v = vm
+        .eval_str(
+            "
+        (define trace '())
+        (define (note x) (set! trace (cons x trace)))
+        (define (churn n) (if (zero? n) '() (cons (list n) (churn (- n 1)))))
+        (define k1 #f)
+        (define count 0)
+        (dynamic-wind
+          (lambda () (note 'in))
+          (lambda ()
+            (churn 500)            ; force collections inside the extent
+            (call/cc (lambda (k) (set! k1 k)))
+            (churn 500)
+            (set! count (+ count 1)))
+          (lambda () (note 'out)))
+        (if (< count 3) (k1 0))
+        (list count (reverse trace))",
+        )
+        .unwrap();
+    assert_eq!(vm.write_value(&v), "(3 (in out in out in out))");
+    assert!(vm.stats().heap.collections > 2);
+}
+
+#[test]
+fn timer_handler_survives_collections() {
+    let mut vm = tiny_gc_vm();
+    let v = vm
+        .eval_str(
+            "
+        (define ticks 0)
+        (timer-interrupt-handler!
+          (lambda () (set! ticks (+ ticks 1)) (set-timer! 50)))
+        (define (churn n acc) (if (zero? n) acc (churn (- n 1) (cons n acc))))
+        (set-timer! 50)
+        (define r (length (churn 5000 '())))
+        (set-timer! 0)
+        (list r (> ticks 10))",
+        )
+        .unwrap();
+    assert_eq!(vm.write_value(&v), "(5000 #t)");
+    assert!(vm.stats().heap.collections > 2);
+}
+
+#[test]
+fn shot_continuations_are_collected() {
+    // Shot continuations release their segments; a capture/shoot loop must
+    // not grow continuation or segment counts without bound.
+    let mut vm = tiny_gc_vm();
+    vm.eval_str(
+        "(define (spin n)
+           (if (zero? n)
+               'done
+               (begin (call/1cc (lambda (k) (k 0))) (spin (- n 1)))))
+         (spin 2000)",
+    )
+    .unwrap();
+    vm.eval_str("(gc)").unwrap();
+    let s = vm.stats();
+    assert!(s.stack.shots >= 2000);
+    assert!(
+        s.stack.segments_allocated < 50,
+        "cache and GC bound segment growth: {:?}",
+        s.stack
+    );
+}
+
+#[test]
+fn long_lists_do_not_overflow_the_native_stack() {
+    // Regression: equal?, list-literal conversion, and datum teardown all
+    // iterate along cdr spines instead of recursing per element.
+    let mut vm = Vm::new();
+    vm.eval_str("(define (build n) (if (zero? n) '() (cons n (build (- n 1)))))").unwrap();
+    let v = vm.eval_str("(equal? (build 200000) (build 200000))").unwrap();
+    assert_eq!(vm.write_value(&v), "#t");
+    // A 100k-element list literal survives reading, compiling (constant
+    // pooling compares data), linking, and dropping.
+    let mut src = String::from("(length '(");
+    for i in 0..100_000 {
+        src.push_str(&format!("{i} "));
+    }
+    src.push_str("))");
+    let v = vm.eval_str(&src).unwrap();
+    assert_eq!(vm.write_value(&v), "100000");
+    // eval of a long constructed form works (the depth bound applies to
+    // nesting, not length).
+    let v = vm
+        .eval_str("(eval (cons '+ (build 5000)))")
+        .unwrap();
+    assert_eq!(vm.write_value(&v), "12502500");
+}
+
+#[test]
+fn nan_comparisons_are_false_not_errors() {
+    let mut vm = Vm::new();
+    for (src, expect) in [
+        ("(< (/ 0.0 0.0) 1.0)", "#f"),
+        ("(> (/ 0.0 0.0) 1.0)", "#f"),
+        ("(= (/ 0.0 0.0) (/ 0.0 0.0))", "#f"),
+        ("(<= (/ 0.0 0.0) (/ 0.0 0.0))", "#f"),
+    ] {
+        let v = vm.eval_str(src).unwrap();
+        assert_eq!(vm.write_value(&v), expect, "{src}");
+    }
+}
+
+#[test]
+fn expansion_sentinel_cannot_be_named() {
+    // `(define x)` leaves x unspecified, but no user-writable symbol maps
+    // to the internal sentinel.
+    let mut vm = Vm::new();
+    let v = vm.eval_str("(define x) x").unwrap();
+    assert_eq!(vm.write_value(&v), "#<void>");
+    let e = vm.eval_str("%unspecified-define").unwrap_err();
+    assert!(e.to_string().contains("unbound"), "{e}");
+}

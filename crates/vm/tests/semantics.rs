@@ -1,0 +1,138 @@
+//! Additional semantic edge cases: letrec ordering, internal defines,
+//! winder/one-shot interactions, engine-adjacent timer behaviour, and the
+//! empty ("halt") continuation.
+
+use oneshot_vm::Vm;
+
+fn eval(vm: &mut Vm, src: &str) -> String {
+    match vm.eval_str(src) {
+        Ok(v) => vm.write_value(&v),
+        Err(e) => panic!("program failed: {e}\n{src}"),
+    }
+}
+
+#[test]
+fn letrec_mutual_recursion_and_ordering() {
+    let mut vm = Vm::new();
+    assert_eq!(
+        eval(
+            &mut vm,
+            "(letrec ((e? (lambda (n) (if (zero? n) #t (o? (- n 1)))))
+                      (o? (lambda (n) (if (zero? n) #f (e? (- n 1))))))
+               (list (e? 10) (o? 7)))"
+        ),
+        "(#t #t)"
+    );
+    // letrec* ordering: later inits may use earlier bindings' values.
+    assert_eq!(
+        eval(&mut vm, "(letrec* ((a 1) (b (+ a 1))) (list a b))"),
+        "(1 2)"
+    );
+}
+
+#[test]
+fn internal_defines_see_each_other() {
+    let mut vm = Vm::new();
+    assert_eq!(
+        eval(
+            &mut vm,
+            "(define (f n)
+               (define (even2? n) (if (zero? n) #t (odd2? (- n 1))))
+               (define (odd2? n) (if (zero? n) #f (even2? (- n 1))))
+               (even2? n))
+             (f 10)"
+        ),
+        "#t"
+    );
+}
+
+#[test]
+fn one_shot_through_dynamic_wind_runs_afters_once() {
+    let mut vm = Vm::new();
+    assert_eq!(
+        eval(
+            &mut vm,
+            "(define log '())
+             (define (note x) (set! log (cons x log)))
+             (call/cc (lambda (escape)
+               (dynamic-wind
+                 (lambda () (note 'in))
+                 (lambda ()
+                   ;; escape via a one-shot captured inside the extent
+                   (call/1cc (lambda (k) (escape 'out))))
+                 (lambda () (note 'out)))))
+             (reverse log)"
+        ),
+        "(in out)"
+    );
+}
+
+#[test]
+fn halt_continuation_aborts_to_toplevel_value() {
+    // A continuation captured at an empty tail position is the program's
+    // halt continuation; invoking it ends the program with that value.
+    let mut vm = Vm::new();
+    let v = vm.eval_str("(call/cc (lambda (k) k))").unwrap();
+    // The value is the continuation itself; invoking it from a later
+    // toplevel form aborts that form.
+    vm.set_global("saved-k", v);
+    let v = vm.eval_str("(+ 1 (saved-k 99) 1000000)").unwrap();
+    assert_eq!(vm.write_value(&v), "99");
+}
+
+#[test]
+fn set_timer_reports_remaining_fuel() {
+    let mut vm = Vm::new();
+    assert_eq!(
+        eval(
+            &mut vm,
+            "(timer-interrupt-handler! (lambda () (set-timer! 1000)))
+             (set-timer! 1000)
+             (define (spin n) (if (zero? n) 0 (spin (- n 1))))
+             (spin 100)
+             (let ((left (set-timer! 0)))
+               (and (> left 0) (< left 1000)))"
+        ),
+        "#t"
+    );
+}
+
+#[test]
+fn deep_mutual_recursion_across_segments() {
+    let mut vm = Vm::new();
+    assert_eq!(
+        eval(
+            &mut vm,
+            "(define (a n) (if (zero? n) 0 (+ 1 (b (- n 1)))))   ; non-tail
+             (define (b n) (if (zero? n) 0 (a (- n 1))))          ; tail
+             (a 100001)"
+        ),
+        "50001"
+    );
+}
+
+#[test]
+fn variadic_edge_cases() {
+    let mut vm = Vm::new();
+    assert_eq!(eval(&mut vm, "((lambda args (length args)))"), "0");
+    assert_eq!(
+        eval(&mut vm, "(apply (lambda (a b . r) (list a b r)) 1 '(2 3 4))"),
+        "(1 2 (3 4))"
+    );
+    assert_eq!(eval(&mut vm, "(apply list '())"), "()");
+}
+
+#[test]
+fn winders_compose_with_values() {
+    let mut vm = Vm::new();
+    assert_eq!(
+        eval(
+            &mut vm,
+            "(call-with-values
+               (lambda ()
+                 (dynamic-wind void (lambda () (values 1 2 3)) void))
+               list)"
+        ),
+        "(1 2 3)"
+    );
+}

@@ -1,0 +1,108 @@
+//! Generators and backtracking: where one-shot continuations suffice and
+//! where multi-shot continuations are genuinely needed (§2 of the paper).
+//!
+//! ```text
+//! cargo run --release --example generators
+//! ```
+
+use oneshot::vm::Vm;
+
+fn main() {
+    let mut vm = Vm::new();
+
+    // A generator: each suspension is resumed exactly once, so every
+    // capture can be one-shot — no stack copying anywhere.
+    let v = vm
+        .eval_str(
+            "
+        (define (make-generator producer)
+          ;; producer: (yield) -> any
+          (define return-k #f)
+          (define resume-k #f)
+          (define (yield x)
+            (call/1cc (lambda (k)
+              (set! resume-k k)
+              (return-k x))))
+          (define started #f)
+          (lambda ()
+            (call/1cc (lambda (k)
+              (set! return-k k)
+              (if started
+                  (resume-k 0)
+                  (begin
+                    (set! started #t)
+                    (producer yield)
+                    (return-k 'exhausted)))))))
+
+        (define squares
+          (make-generator
+            (lambda (yield)
+              (for-each (lambda (i) (yield (* i i))) '(1 2 3 4 5)))))
+
+        (list (squares) (squares) (squares) (squares))",
+        )
+        .unwrap();
+    println!("one-shot generator   => {}", vm.display_value(&v));
+    let s = vm.stats();
+    println!(
+        "  captures-one={} copied-slots={}",
+        s.stack.captures_one, s.stack.slots_copied
+    );
+
+    // Nondeterministic choice needs multi-shot continuations: each choice
+    // point is re-entered once per alternative (the paper: "one-shot
+    // continuations cannot be used to implement nondeterminism").
+    let v = vm
+        .eval_str(
+            "
+        (define fail #f)
+        (define (amb . choices)
+          (call/cc (lambda (k)
+            (define old-fail fail)
+            (define (try choices)
+              (if (null? choices)
+                  (begin (set! fail old-fail) (fail #f))
+                  (begin
+                    (call/cc (lambda (retry)
+                      (set! fail (lambda (ignore) (retry 'next)))
+                      (k (car choices))))
+                    (try (cdr choices)))))
+            (try choices))))
+
+        ;; A Pythagorean triple, found by backtracking.
+        (call/cc (lambda (done)
+          (set! fail (lambda (ignore) (done 'none)))
+          (let ((a (amb 1 2 3 4 5 6 7 8))
+                (b (amb 1 2 3 4 5 6 7 8))
+                (c (amb 1 2 3 4 5 6 7 8)))
+            (if (and (< a b) (= (+ (* a a) (* b b)) (* c c)))
+                (done (list a b c))
+                (fail #f)))))",
+        )
+        .unwrap();
+    println!("amb backtracking     => {}", vm.display_value(&v));
+
+    // Trying the same with call/1cc fails on the second use of a choice
+    // point — exactly the error the one-shot restriction defines.
+    let e = vm
+        .eval_str(
+            "
+        (define fail2 #f)
+        (define (amb1 . choices)
+          (call/1cc (lambda (k)
+            (define (try choices)
+              (if (null? choices)
+                  (fail2 #f)
+                  (begin
+                    (call/1cc (lambda (retry)
+                      (set! fail2 (lambda (ignore) (retry 'next)))
+                      (k (car choices))))
+                    (try (cdr choices)))))
+            (try choices))))
+        (call/cc (lambda (done)
+          (let ((a (amb1 1 2)))
+            (if (= a 2) (done a) (fail2 #f)))))",
+        )
+        .unwrap_err();
+    println!("amb via call/1cc     => {e}");
+}

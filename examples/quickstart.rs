@@ -1,0 +1,58 @@
+//! Quickstart: evaluate Scheme, capture continuations both ways, inspect
+//! the control-representation counters.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use oneshot::vm::{Vm, VmError};
+
+fn main() -> Result<(), VmError> {
+    let mut vm = Vm::new();
+
+    // Ordinary Scheme.
+    let v = vm.eval_str(
+        "(define (fact n) (if (< n 2) 1 (* n (fact (- n 1)))))
+         (fact 12)",
+    )?;
+    println!("(fact 12)            => {}", vm.display_value(&v));
+
+    // A multi-shot continuation: captured once, used as a nonlocal exit.
+    let v = vm.eval_str(
+        "(call/cc (lambda (exit)
+           (for-each (lambda (x) (if (> x 3) (exit x))) '(1 2 5 9))
+           'not-found))",
+    )?;
+    println!("nonlocal exit        => {}", vm.display_value(&v));
+
+    // A one-shot continuation: same use, but the system never has to copy
+    // the stack — capture encapsulates the segment, invoke swaps it back.
+    let v = vm.eval_str("(call/1cc (lambda (k) (+ 1 (k 41))))")?;
+    println!("one-shot escape      => {}", vm.display_value(&v));
+
+    // Invoking a one-shot continuation twice is detected.
+    let e = vm
+        .eval_str(
+            "(define k1 #f)
+             (+ 0 (call/1cc (lambda (k) (set! k1 k) 0)))
+             (k1 1)  ; the implicit return already shot it
+             'unreachable",
+        )
+        .unwrap_err();
+    println!("second shot          => {e}");
+
+    // Deep recursion crosses many stack segments; overflow is an implicit
+    // call/1cc, so unwinding copies nothing.
+    let before = vm.stats();
+    let v = vm.eval_str(
+        "(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1)))))
+         (sum 200000)",
+    )?;
+    let d = vm.stats().delta_since(&before);
+    println!("(sum 200000)         => {}", vm.display_value(&v));
+    println!(
+        "  overflows={} underflows={} one-shot-reinstatements={} slots-copied={}",
+        d.stack.overflows, d.stack.underflows, d.stack.reinstates_one, d.stack.slots_copied
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! A small interactive REPL over the oneshot VM.
+//!
+//! ```text
+//! cargo run --release --example repl
+//! ```
+//!
+//! Meta-commands: `,stats` prints the control-representation counters,
+//! `,quit` exits.
+
+use std::io::{self, BufRead, Write};
+
+use oneshot::vm::Vm;
+
+fn main() {
+    let mut vm = Vm::new();
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    println!("oneshot scheme — call/cc and call/1cc on segmented stacks");
+    println!("(,stats for counters, ,quit to exit)");
+    loop {
+        print!("> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            ",quit" | ",q" => break,
+            ",stats" => {
+                let s = vm.stats();
+                println!(
+                    "instructions={} calls={} captures(multi/one)={}/{} \
+                     reinstates(multi/one)={}/{} copied-slots={} overflows={} \
+                     promotions={} heap-words={} collections={}",
+                    s.instructions,
+                    s.calls,
+                    s.stack.captures_multi,
+                    s.stack.captures_one,
+                    s.stack.reinstates_multi,
+                    s.stack.reinstates_one,
+                    s.stack.slots_copied,
+                    s.stack.overflows,
+                    s.stack.promotions,
+                    s.heap.words_allocated,
+                    s.heap.collections,
+                );
+                continue;
+            }
+            _ => {}
+        }
+        match vm.eval_str(line) {
+            Ok(v) => {
+                let text = vm.take_output();
+                if !text.is_empty() {
+                    print!("{text}");
+                    if !text.ends_with('\n') {
+                        println!();
+                    }
+                }
+                println!("{}", vm.write_value(&v));
+            }
+            Err(e) => println!("{e}"),
+        }
+    }
+}

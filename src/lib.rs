@@ -1,0 +1,28 @@
+//! Facade crate for the *oneshot* workspace: a Rust reproduction of
+//! Bruggeman, Waddell, Dybvig — "Representing Control in the Presence of
+//! One-Shot Continuations" (PLDI 1996).
+//!
+//! Re-exports the crates a downstream user needs:
+//!
+//! * [`core`] — the segmented-stack control substrate (the paper's
+//!   contribution), usable independently of Scheme.
+//! * [`vm`] — a Scheme system (reader, compiler, bytecode VM) whose
+//!   `call/cc` and `call/1cc` are built on the substrate.
+//! * [`threads`] — continuation-based thread systems and engines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use oneshot::vm::Vm;
+//!
+//! let mut vm = Vm::new();
+//! let v = vm.eval_str("(call/1cc (lambda (k) (+ 1 (k 41))))").unwrap();
+//! assert_eq!(vm.display_value(&v), "41");
+//! ```
+
+pub use oneshot_compiler as compiler;
+pub use oneshot_core as core;
+pub use oneshot_runtime as runtime;
+pub use oneshot_sexp as sexp;
+pub use oneshot_threads as threads;
+pub use oneshot_vm as vm;
