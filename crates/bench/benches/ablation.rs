@@ -48,9 +48,10 @@ fn bench_hysteresis(c: &mut Criterion) {
 fn bench_promotion(c: &mut Criterion) {
     let mut g = c.benchmark_group("promotion");
     g.sample_size(10);
-    for (name, strategy) in
-        [("eager-walk", PromotionStrategy::EagerWalk), ("shared-flag", PromotionStrategy::SharedFlag)]
-    {
+    for (name, strategy) in [
+        ("eager-walk", PromotionStrategy::EagerWalk),
+        ("shared-flag", PromotionStrategy::SharedFlag),
+    ] {
         g.bench_function(name, |b| {
             let cfg = Config {
                 promotion: strategy,

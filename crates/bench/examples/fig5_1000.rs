@@ -37,9 +37,6 @@ fn main() {
             row.push(figure5_point(s, 1000, freq, 12).ms);
         }
         let sealed = sealed_point(1000, freq, 12);
-        println!(
-            "{:>12} {:>8.1} {:>8.1} {:>9.1} {:>14.1}",
-            freq, row[0], row[1], row[2], sealed
-        );
+        println!("{:>12} {:>8.1} {:>8.1} {:>9.1} {:>14.1}", freq, row[0], row[1], row[2], sealed);
     }
 }

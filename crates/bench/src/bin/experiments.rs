@@ -18,12 +18,18 @@
 //! `--paper` uses the paper's full parameters (fib 20, up to 1000 threads,
 //! frequencies to 512); the default is a scaled-down sweep with the same
 //! shape that finishes in a few minutes.
+//!
+//! Alongside the printed tables the binary writes a machine-readable
+//! report — per-experiment control-event counts (captures, reinstatements,
+//! overflows, slots copied, ...) next to every wall-clock number — to
+//! `experiments.json`, or to the path given with `--json PATH`.
 
 use oneshot_bench::experiments::{
-    cache_experiment, figure5, fragmentation_experiment, frame_overhead,
-    hysteresis_experiment, overflow_experiment, promotion_experiment, tak_experiment,
+    cache_experiment, figure5, fragmentation_experiment, frame_overhead, hysteresis_experiment,
+    overflow_experiment, promotion_experiment, tak_experiment,
 };
 use oneshot_bench::measure::render_table;
+use oneshot_bench::metrics::{measurement_json, Json};
 use oneshot_threads::Strategy;
 
 struct Scale {
@@ -63,49 +69,82 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
     let scale = if paper { Scale::paper() } else { Scale::quick() };
-    let cmd = args.iter().find(|a| !a.starts_with("--")).map_or("all", String::as_str);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "experiments.json".to_string());
+    let cmd = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--json")
+        })
+        .map(|(_, a)| a.as_str())
+        .next()
+        .unwrap_or("all");
+
+    let mut report: Vec<(String, Json)> = Vec::new();
+    let mut run = |name: &str, result: Json| report.push((name.to_string(), result));
 
     match cmd {
-        "figure5" => run_figure5(&scale),
-        "tak" => run_tak(&scale),
-        "overflow" => run_overflow(&scale),
-        "frames" => run_frames(),
-        "cache" => run_cache(&scale),
-        "hysteresis" => run_hysteresis(),
-        "fragmentation" => run_fragmentation(),
-        "promotion" => run_promotion(),
+        "figure5" => run("figure5", run_figure5(&scale)),
+        "tak" => run("tak", run_tak(&scale)),
+        "overflow" => run("overflow", run_overflow(&scale)),
+        "frames" => run("frames", run_frames()),
+        "cache" => run("cache", run_cache(&scale)),
+        "hysteresis" => run("hysteresis", run_hysteresis()),
+        "fragmentation" => run("fragmentation", run_fragmentation()),
+        "promotion" => run("promotion", run_promotion()),
         "all" => {
-            run_tak(&scale);
-            run_overflow(&scale);
-            run_frames();
-            run_cache(&scale);
-            run_hysteresis();
-            run_fragmentation();
-            run_promotion();
-            run_figure5(&scale);
+            run("tak", run_tak(&scale));
+            run("overflow", run_overflow(&scale));
+            run("frames", run_frames());
+            run("cache", run_cache(&scale));
+            run("hysteresis", run_hysteresis());
+            run("fragmentation", run_fragmentation());
+            run("promotion", run_promotion());
+            run("figure5", run_figure5(&scale));
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             std::process::exit(2);
         }
     }
+
+    let doc = Json::obj([
+        ("schema", Json::str("oneshot-experiments/v1")),
+        ("scale", Json::str(if paper { "paper" } else { "quick" })),
+        ("experiments", Json::Obj(report)),
+    ]);
+    match std::fs::write(&json_path, doc.render()) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+    }
 }
 
-fn run_figure5(scale: &Scale) {
-    println!(
-        "\n== E1 / Figure 5: thread systems (fib {} per thread; times in ms) ==",
-        scale.fib_n
-    );
+fn run_figure5(scale: &Scale) -> Json {
+    println!("\n== E1 / Figure 5: thread systems (fib {} per thread; times in ms) ==", scale.fib_n);
+    let mut points_json = Vec::new();
     for &threads in &scale.threads {
         println!("\n-- {threads} threads --");
         let points = figure5(&[threads], &scale.freqs, scale.fib_n);
+        for p in &points {
+            points_json.push(Json::obj([
+                ("threads", Json::int(p.threads as u64)),
+                ("calls_per_switch", Json::int(p.freq)),
+                ("strategy", Json::str(p.strategy.label())),
+                ("ms", Json::Num(p.ms)),
+                ("slots_copied", Json::int(p.slots_copied)),
+                ("closures", Json::int(p.closures)),
+            ]));
+        }
         let mut rows = Vec::new();
         for &freq in &scale.freqs {
             let get = |s: Strategy| {
-                points
-                    .iter()
-                    .find(|p| p.freq == freq && p.strategy == s)
-                    .map_or(f64::NAN, |p| p.ms)
+                points.iter().find(|p| p.freq == freq && p.strategy == s).map_or(f64::NAN, |p| p.ms)
             };
             let cps = get(Strategy::Cps);
             let cc = get(Strategy::CallCc);
@@ -132,9 +171,10 @@ fn run_figure5(scale: &Scale) {
     }
     println!("Expected shape: call/1cc <= call/cc everywhere; CPS wins only at the");
     println!("most rapid switch rates (paper: more often than every 4-8 calls).");
+    Json::obj([("fib_n", Json::int(u64::from(scale.fib_n))), ("points", Json::Arr(points_json))])
 }
 
-fn run_tak(scale: &Scale) {
+fn run_tak(scale: &Scale) -> Json {
     let (x, y, z) = scale.tak;
     println!("\n== E2 / §4: (ctak {x} {y} {z}) — capture+invoke per call ==");
     let rows = tak_experiment(x, y, z);
@@ -157,14 +197,38 @@ fn run_tak(scale: &Scale) {
     println!(
         "{}",
         render_table(
-            &["operator", "ms", "rel-time", "words-alloc", "rel-alloc", "stack-words", "slots-copied"],
+            &[
+                "operator",
+                "ms",
+                "rel-time",
+                "words-alloc",
+                "rel-alloc",
+                "stack-words",
+                "slots-copied"
+            ],
             &table
         )
     );
     println!("Paper: call/1cc 13% faster, 23% less allocation.");
+    Json::obj([
+        ("args", Json::Arr(vec![Json::int(x as u64), Json::int(y as u64), Json::int(z as u64)])),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("operator", Json::str(r.op)),
+                            ("measurement", measurement_json(&r.m)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
-fn run_overflow(scale: &Scale) {
+fn run_overflow(scale: &Scale) -> Json {
     println!(
         "\n== E3 / §4: deep recursion ({} rounds x depth {}), overflow policy ==",
         scale.deep_rounds, scale.deep_depth
@@ -192,9 +256,26 @@ fn run_overflow(scale: &Scale) {
     );
     println!("Paper: one-shot overflow handling ~300% faster on this extreme case,");
     println!("allocating almost nothing after the first round (cache hits).");
+    Json::obj([
+        ("rounds", Json::int(scale.deep_rounds)),
+        ("depth", Json::int(scale.deep_depth)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("overflow_as", Json::str(format!("{:?}", r.policy))),
+                            ("measurement", measurement_json(&r.m)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
-fn run_frames() {
+fn run_frames() -> Json {
     println!("\n== E4 / §5: closure-creation overhead per frame, direct vs CPS ==");
     let rows = frame_overhead();
     let table: Vec<Vec<String>> = rows
@@ -219,9 +300,23 @@ fn run_frames() {
     );
     println!("Paper (vs Appel-Shao): the stack compiler's closure overhead is ~0");
     println!("(boyer allocates no closures at all); CPS pays >=1 per non-tail call.");
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("program", Json::str(r.name)),
+                    ("pipeline", Json::str(format!("{:?}", r.pipeline))),
+                    ("calls", Json::int(r.calls)),
+                    ("closures", Json::int(r.closures)),
+                    ("instructions", Json::int(r.instructions)),
+                    ("closures_per_call", Json::Num(r.closures_per_call())),
+                ])
+            })
+            .collect(),
+    )
 }
 
-fn run_cache(scale: &Scale) {
+fn run_cache(scale: &Scale) -> Json {
     let (x, y, z) = scale.tak;
     println!("\n== E5 / §3.2 ablation: segment cache, (ctak {x} {y} {z}) with call/1cc ==");
     let rows = cache_experiment(x, y, z);
@@ -242,9 +337,19 @@ fn run_cache(scale: &Scale) {
         .collect();
     println!("{}", render_table(&["cache", "ms", "segments-allocated", "cache-hits"], &table));
     println!("Paper: without the cache, call/1cc programs were \"unacceptably slow\".");
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("cache_limit", Json::int(r.cache_limit as u64)),
+                    ("measurement", measurement_json(&r.m)),
+                ])
+            })
+            .collect(),
+    )
 }
 
-fn run_hysteresis() {
+fn run_hysteresis() -> Json {
     println!("\n== E6 / §3.2 ablation: overflow hysteresis (boundary-hovering recursion) ==");
     let rows = hysteresis_experiment(20_000);
     let table: Vec<Vec<String>> = rows
@@ -260,9 +365,19 @@ fn run_hysteresis() {
         .collect();
     println!("{}", render_table(&["hysteresis", "ms", "overflows", "slots-copied"], &table));
     println!("Paper: copying up a few frames on overflow prevents bouncing.");
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("hysteresis_slots", Json::int(r.hysteresis as u64)),
+                    ("measurement", measurement_json(&r.m)),
+                ])
+            })
+            .collect(),
+    )
 }
 
-fn run_fragmentation() {
+fn run_fragmentation() -> Json {
     println!("\n== E7 / §3.4: resident stack memory for 100 call/1cc threads ==");
     let rows = fragmentation_experiment(100);
     let table: Vec<Vec<String>> = rows
@@ -281,11 +396,23 @@ fn run_fragmentation() {
     println!("{}", render_table(&["policy", "threads", "resident-slots", "~bytes"], &table));
     println!("Paper: 100 threads x 16KB default stacks = 1.6MB mostly wasted;");
     println!("sealing at a displacement above the occupied portion bounds it.");
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("policy", Json::str(format!("{:?}", r.policy))),
+                    ("threads", Json::int(r.konts as u64)),
+                    ("resident_slots", Json::int(r.resident_slots as u64)),
+                ])
+            })
+            .collect(),
+    )
 }
 
-fn run_promotion() {
+fn run_promotion() -> Json {
     println!("\n== E8 / §3.3: promotion of one-shot chains by one call/cc ==");
     let mut table = Vec::new();
+    let mut rows_json = Vec::new();
     for chain in [10usize, 100, 1000] {
         for r in promotion_experiment(chain) {
             table.push(vec![
@@ -294,12 +421,16 @@ fn run_promotion() {
                 r.promotions.to_string(),
                 r.promotion_steps.to_string(),
             ]);
+            rows_json.push(Json::obj([
+                ("chain_length", Json::int(chain as u64)),
+                ("strategy", Json::str(format!("{:?}", r.strategy))),
+                ("promotions", Json::int(r.promotions)),
+                ("promotion_steps", Json::int(r.promotion_steps)),
+            ]));
         }
     }
-    println!(
-        "{}",
-        render_table(&["chain-length", "strategy", "promotions", "walk-steps"], &table)
-    );
+    println!("{}", render_table(&["chain-length", "strategy", "promotions", "walk-steps"], &table));
     println!("Paper: the eager walk is linear in the chain (amortized: each one-shot");
     println!("promotes once); the proposed shared flag promotes a whole chain in O(1).");
+    Json::Arr(rows_json)
 }

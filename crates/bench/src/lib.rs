@@ -6,7 +6,10 @@
 //!   recursion);
 //! * [`measure`] — wall-clock + counter-delta measurement;
 //! * [`experiments`] — one function per table/figure of the paper
-//!   (E1–E8 in DESIGN.md).
+//!   (E1–E8 in DESIGN.md);
+//! * [`metrics`] — dependency-free JSON export of the experiment results
+//!   (the `experiments.json` the binary writes);
+//! * [`rng`] — a deterministic xorshift64* PRNG (no external deps).
 //!
 //! The `experiments` binary drives everything:
 //!
@@ -20,4 +23,6 @@
 
 pub mod experiments;
 pub mod measure;
+pub mod metrics;
+pub mod rng;
 pub mod workloads;

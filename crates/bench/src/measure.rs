@@ -60,16 +60,8 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(
-        &headers.iter().map(|s| (*s).to_string()).collect::<Vec<_>>(),
-        &widths,
-        &mut out,
-    );
-    line(
-        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
-        &widths,
-        &mut out,
-    );
+    line(&headers.iter().map(|s| (*s).to_string()).collect::<Vec<_>>(), &widths, &mut out);
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(), &widths, &mut out);
     for row in rows {
         line(row, &widths, &mut out);
     }
@@ -83,8 +75,8 @@ mod tests {
     #[test]
     fn measurement_captures_deltas() {
         let mut vm = Vm::new();
-        let m = run_measured(&mut vm, "(define (f n) (if (zero? n) 0 (f (- n 1)))) (f 1000)")
-            .unwrap();
+        let m =
+            run_measured(&mut vm, "(define (f n) (if (zero? n) 0 (f (- n 1)))) (f 1000)").unwrap();
         assert!(m.delta.calls >= 1000);
         assert!(m.wall.as_nanos() > 0);
     }

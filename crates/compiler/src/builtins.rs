@@ -10,36 +10,138 @@
 /// `BUILTIN_NAMES[i]`.
 pub const BUILTIN_NAMES: &[&str] = &[
     // numbers
-    "+", "-", "*", "/", "quotient", "remainder", "modulo", "abs", "min", "max", "gcd", "lcm",
-    "expt", "sqrt", "floor", "ceiling", "truncate", "round", "exact->inexact", "inexact->exact",
-    "number?", "integer?", "exact?", "inexact?", "zero?", "positive?", "negative?", "odd?",
-    "even?", "=", "<", ">", "<=", ">=", "number->string", "string->number",
+    "+",
+    "-",
+    "*",
+    "/",
+    "quotient",
+    "remainder",
+    "modulo",
+    "abs",
+    "min",
+    "max",
+    "gcd",
+    "lcm",
+    "expt",
+    "sqrt",
+    "floor",
+    "ceiling",
+    "truncate",
+    "round",
+    "exact->inexact",
+    "inexact->exact",
+    "number?",
+    "integer?",
+    "exact?",
+    "inexact?",
+    "zero?",
+    "positive?",
+    "negative?",
+    "odd?",
+    "even?",
+    "=",
+    "<",
+    ">",
+    "<=",
+    ">=",
+    "number->string",
+    "string->number",
     // predicates
-    "eq?", "eqv?", "equal?", "not", "boolean?", "procedure?", "symbol?", "string?", "char?",
-    "vector?", "pair?", "null?",
+    "eq?",
+    "eqv?",
+    "equal?",
+    "not",
+    "boolean?",
+    "procedure?",
+    "symbol?",
+    "string?",
+    "char?",
+    "vector?",
+    "pair?",
+    "null?",
     // pairs and lists
-    "cons", "car", "cdr", "set-car!", "set-cdr!", "list", "length", "append", "reverse",
-    "list-tail", "list-ref", "memq", "memv", "assq", "assv", "list?",
+    "cons",
+    "car",
+    "cdr",
+    "set-car!",
+    "set-cdr!",
+    "list",
+    "length",
+    "append",
+    "reverse",
+    "list-tail",
+    "list-ref",
+    "memq",
+    "memv",
+    "assq",
+    "assv",
+    "list?",
     // symbols
-    "symbol->string", "string->symbol", "gensym",
+    "symbol->string",
+    "string->symbol",
+    "gensym",
     // characters
-    "char->integer", "integer->char", "char=?", "char<?", "char>?", "char<=?", "char>=?",
-    "char-upcase", "char-downcase", "char-alphabetic?", "char-numeric?", "char-whitespace?",
-    "char-upper-case?", "char-lower-case?",
+    "char->integer",
+    "integer->char",
+    "char=?",
+    "char<?",
+    "char>?",
+    "char<=?",
+    "char>=?",
+    "char-upcase",
+    "char-downcase",
+    "char-alphabetic?",
+    "char-numeric?",
+    "char-whitespace?",
+    "char-upper-case?",
+    "char-lower-case?",
     // strings
-    "make-string", "string", "string-length", "string-ref", "string-set!", "string=?",
-    "string<?", "string>?", "string<=?", "string>=?", "substring", "string-append",
-    "string->list", "list->string", "string-copy", "string-fill!",
+    "make-string",
+    "string",
+    "string-length",
+    "string-ref",
+    "string-set!",
+    "string=?",
+    "string<?",
+    "string>?",
+    "string<=?",
+    "string>=?",
+    "substring",
+    "string-append",
+    "string->list",
+    "list->string",
+    "string-copy",
+    "string-fill!",
     // vectors
-    "make-vector", "vector", "vector-length", "vector-ref", "vector-set!", "vector->list",
-    "list->vector", "vector-fill!",
+    "make-vector",
+    "vector",
+    "vector-length",
+    "vector-ref",
+    "vector-set!",
+    "vector->list",
+    "list->vector",
+    "vector-fill!",
     // control
-    "apply", "call/cc", "call-with-current-continuation", "call/1cc", "dynamic-wind", "values",
+    "apply",
+    "call/cc",
+    "call-with-current-continuation",
+    "call/1cc",
+    "dynamic-wind",
+    "values",
     "call-with-values",
     // i/o
-    "display", "write", "newline", "write-char",
+    "display",
+    "write",
+    "newline",
+    "write-char",
     // system
-    "error", "void", "gc", "set-timer!", "timer-interrupt-handler!", "vm-stats", "eval",
+    "error",
+    "void",
+    "gc",
+    "set-timer!",
+    "timer-interrupt-handler!",
+    "vm-stats",
+    "eval",
     "backtrace",
     // internal helpers (used by the CPS prelude)
     "%apply-args",

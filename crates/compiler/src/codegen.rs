@@ -363,8 +363,8 @@ impl Gen {
 
     fn gen_closure(&mut self, ctx: &mut FnCtx, l: &Rc<Lambda>) -> Result<()> {
         let free = free_vars(l);
-        let required = u16::try_from(l.params.len())
-            .map_err(|_| CompileError::new("too many parameters"))?;
+        let required =
+            u16::try_from(l.params.len()).map_err(|_| CompileError::new("too many parameters"))?;
         let mut inner = FnCtx::new(
             l.name.clone().unwrap_or_else(|| "lambda".into()),
             required,
@@ -378,7 +378,11 @@ impl Gen {
         }
         // Box mutated parameters.
         for i in 0..(required + u16::from(l.rest.is_some())) {
-            let v = if (i as usize) < l.params.len() { l.params[i as usize] } else { l.rest.expect("rest") };
+            let v = if (i as usize) < l.params.len() {
+                l.params[i as usize]
+            } else {
+                l.rest.expect("rest")
+            };
             if self.is_mutated(v) {
                 inner.emit(Op::MakeCell(1 + i));
             }
@@ -413,7 +417,10 @@ impl Gen {
         }
         // Inline primitives.
         if let Expr::GlobalRef(name) = f {
-            if inlinable(name) && !self.no_inline.contains(name) && self.gen_inline(ctx, name, args, tail)? {
+            if inlinable(name)
+                && !self.no_inline.contains(name)
+                && self.gen_inline(ctx, name, args, tail)?
+            {
                 return Ok(());
             }
         }
@@ -428,7 +435,8 @@ impl Gen {
             ctx.emit(Op::LocalSet(slot));
         }
         self.gen(ctx, f, false)?;
-        let argc = u16::try_from(args.len()).map_err(|_| CompileError::new("too many arguments"))?;
+        let argc =
+            u16::try_from(args.len()).map_err(|_| CompileError::new("too many arguments"))?;
         if tail {
             ctx.emit(Op::TailCall { disp, argc });
         } else {
@@ -440,7 +448,13 @@ impl Gen {
 
     /// Tries to emit an inline primitive; returns false to fall back to a
     /// general call (e.g. arity mismatch).
-    fn gen_inline(&mut self, ctx: &mut FnCtx, name: &str, args: &[Expr], tail: bool) -> Result<bool> {
+    fn gen_inline(
+        &mut self,
+        ctx: &mut FnCtx,
+        name: &str,
+        args: &[Expr],
+        tail: bool,
+    ) -> Result<bool> {
         // Unary accumulator ops.
         let unary = |n: &str| -> Option<Op> {
             Some(match n {

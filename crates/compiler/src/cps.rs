@@ -39,11 +39,7 @@ pub fn cps_convert(program: Program) -> Program {
         _ => Expr::Seq(program.forms),
     };
     let converted = c.cps(whole, K::Ctx(Box::new(|_, a| a)));
-    Program {
-        forms: vec![converted],
-        var_count: c.next,
-        defined_globals: program.defined_globals,
-    }
+    Program { forms: vec![converted], var_count: c.next, defined_globals: program.defined_globals }
 }
 
 struct Cps {
@@ -172,7 +168,10 @@ impl Cps {
     #[allow(clippy::too_many_lines)]
     fn cps(&mut self, e: Expr, k: K) -> Expr {
         match e {
-            Expr::Quote(_) | Expr::Unspecified | Expr::Ref(_) | Expr::GlobalRef(_)
+            Expr::Quote(_)
+            | Expr::Unspecified
+            | Expr::Ref(_)
+            | Expr::GlobalRef(_)
             | Expr::Lambda(_) => {
                 let a = self.convert_atom(e);
                 k.apply(self, a)
@@ -219,10 +218,7 @@ impl Cps {
                     ctx @ K::Ctx(_) => {
                         let j = self.fresh();
                         let join = ctx.reify(self);
-                        let body = self.cps(
-                            Expr::If(cond, t, f),
-                            K::Atom(Expr::Ref(j)),
-                        );
+                        let body = self.cps(Expr::If(cond, t, f), K::Atom(Expr::Ref(j)));
                         Expr::Let(vec![(j, join)], Box::new(body))
                     }
                 }
@@ -235,10 +231,7 @@ impl Cps {
                 if es.is_empty() {
                     return self.cps(head, k);
                 }
-                self.atomize(
-                    head,
-                    Box::new(move |c, _discard| c.cps(Expr::Seq(es), k)),
-                )
+                self.atomize(head, Box::new(move |c, _discard| c.cps(Expr::Seq(es), k)))
             }
             Expr::Let(mut bindings, body) => {
                 if bindings.is_empty() {
@@ -266,8 +259,7 @@ impl Cps {
                             args,
                             Vec::new(),
                             Box::new(move |c, atoms| {
-                                let call =
-                                    Expr::App(Box::new(Expr::GlobalRef(name)), atoms);
+                                let call = Expr::App(Box::new(Expr::GlobalRef(name)), atoms);
                                 match k {
                                     K::Atom(_) => k.apply(c, call),
                                     K::Ctx(fk) => {
@@ -320,9 +312,7 @@ mod tests {
             match e {
                 Expr::GlobalDef(_, v) => Some(v),
                 Expr::Seq(es) => es.iter().find_map(find),
-                Expr::Let(bs, body) => {
-                    bs.iter().find_map(|(_, i)| find(i)).or_else(|| find(body))
-                }
+                Expr::Let(bs, body) => bs.iter().find_map(|(_, i)| find(i)).or_else(|| find(body)),
                 Expr::App(f, args) => find(f).or_else(|| args.iter().find_map(find)),
                 Expr::Lambda(l) => find(&l.body),
                 Expr::If(a, b, c) => find(a).or_else(|| find(b)).or_else(|| find(c)),
@@ -339,10 +329,7 @@ mod tests {
             Expr::App(f, args) => {
                 let direct = matches!(&**f, Expr::GlobalRef(n) if cps_direct(n));
                 let lambda_app = matches!(&**f, Expr::Lambda(_));
-                assert!(
-                    direct || lambda_app || tail,
-                    "non-tail general call in CPS output: {e:?}"
-                );
+                assert!(direct || lambda_app || tail, "non-tail general call in CPS output: {e:?}");
                 if lambda_app {
                     if let Expr::Lambda(l) = &**f {
                         check_tail_only(&l.body, tail);
@@ -390,9 +377,7 @@ mod tests {
 
     #[test]
     fn all_general_calls_become_tail_calls() {
-        let p = convert(
-            "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 10)",
-        );
+        let p = convert("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 10)");
         for form in &p.forms {
             check_tail_only(form, true);
         }
@@ -404,7 +389,9 @@ mod tests {
         let Expr::Lambda(l) = first_define(&p) else { panic!() };
         // Body: (k (cons x 1)) — cons call stays direct inside.
         let Expr::App(_, args) = &l.body else { panic!() };
-        assert!(matches!(&args[0], Expr::App(f, _) if matches!(&**f, Expr::GlobalRef(n) if &**n == "cons")));
+        assert!(
+            matches!(&args[0], Expr::App(f, _) if matches!(&**f, Expr::GlobalRef(n) if &**n == "cons"))
+        );
     }
 
     #[test]
@@ -427,9 +414,7 @@ mod tests {
         fn has_join(e: &Expr) -> bool {
             match e {
                 Expr::Lambda(l) => l.name.as_deref() == Some("%k") || has_join(&l.body),
-                Expr::Let(bs, body) => {
-                    bs.iter().any(|(_, i)| has_join(i)) || has_join(body)
-                }
+                Expr::Let(bs, body) => bs.iter().any(|(_, i)| has_join(i)) || has_join(body),
                 Expr::If(a, b, c) => has_join(a) || has_join(b) || has_join(c),
                 Expr::App(f, args) => has_join(f) || args.iter().any(has_join),
                 Expr::Seq(es) => es.iter().any(has_join),

@@ -65,10 +65,7 @@ impl Env {
     }
 
     fn bind(&mut self, name: &str, id: VarId) {
-        self.frames
-            .last_mut()
-            .expect("bind outside any scope")
-            .insert(name.to_string(), id);
+        self.frames.last_mut().expect("bind outside any scope").insert(name.to_string(), id);
     }
 }
 
@@ -147,10 +144,8 @@ impl Expander {
                 }
                 if head == "begin" && self.keyword("begin") {
                     // Toplevel begin splices.
-                    let forms: Vec<Expr> = items[1..]
-                        .iter()
-                        .map(|f| self.toplevel(f))
-                        .collect::<Result<_>>()?;
+                    let forms: Vec<Expr> =
+                        items[1..].iter().map(|f| self.toplevel(f)).collect::<Result<_>>()?;
                     return Ok(if forms.is_empty() {
                         Expr::unspecified()
                     } else {
@@ -195,8 +190,12 @@ impl Expander {
 
     fn expr(&mut self, d: &Datum) -> Result<Expr> {
         match d {
-            Datum::Bool(_) | Datum::Fixnum(_) | Datum::Flonum(_) | Datum::Char(_)
-            | Datum::Str(_) | Datum::Vector(_) => Ok(Expr::Quote(d.clone())),
+            Datum::Bool(_)
+            | Datum::Fixnum(_)
+            | Datum::Flonum(_)
+            | Datum::Char(_)
+            | Datum::Str(_)
+            | Datum::Vector(_) => Ok(Expr::Quote(d.clone())),
             Datum::Nil => Err(err("empty application ()")),
             Datum::Symbol(name) => {
                 if name == UNSPEC_SENTINEL {
@@ -388,7 +387,11 @@ impl Expander {
         }
         if defines.is_empty() {
             let seq: Vec<Expr> = rest.iter().map(|f| self.expr(f)).collect::<Result<_>>()?;
-            return Ok(if seq.len() == 1 { seq.into_iter().next().expect("one") } else { Expr::Seq(seq) });
+            return Ok(if seq.len() == 1 {
+                seq.into_iter().next().expect("one")
+            } else {
+                Expr::Seq(seq)
+            });
         }
         // Internal defines: letrec* semantics via Let of unspecified + set!.
         self.env.push();
@@ -441,7 +444,8 @@ impl Expander {
             return Err(err("malformed let"));
         }
         let specs = self.binding_specs(items[1])?;
-        let inits: Vec<Expr> = specs.iter().map(|(_, init)| self.expr(init)).collect::<Result<_>>()?;
+        let inits: Vec<Expr> =
+            specs.iter().map(|(_, init)| self.expr(init)).collect::<Result<_>>()?;
         self.env.push();
         let bindings: Vec<(VarId, Expr)> = specs
             .iter()
@@ -462,7 +466,8 @@ impl Expander {
             return Err(err("malformed named let"));
         }
         let specs = self.binding_specs(spec)?;
-        let inits: Vec<Expr> = specs.iter().map(|(_, init)| self.expr(init)).collect::<Result<_>>()?;
+        let inits: Vec<Expr> =
+            specs.iter().map(|(_, init)| self.expr(init)).collect::<Result<_>>()?;
         // (letrec ((name (lambda (params) body))) (name inits...))
         self.env.push();
         let loop_id = self.fresh();
@@ -513,10 +518,7 @@ impl Expander {
             }
             let body = self.body(&items[2..])?;
             // Nested lets, innermost first.
-            Ok(bindings
-                .into_iter()
-                .rev()
-                .fold(body, |acc, b| Expr::Let(vec![b], Box::new(acc))))
+            Ok(bindings.into_iter().rev().fold(body, |acc, b| Expr::Let(vec![b], Box::new(acc))))
         })();
         for _ in 0..pushed {
             self.env.pop();
@@ -593,11 +595,7 @@ impl Expander {
                         )),
                     )
                 }
-                _ => Expr::If(
-                    Box::new(test),
-                    Box::new(self.body(&parts[1..])?),
-                    Box::new(out),
-                ),
+                _ => Expr::If(Box::new(test), Box::new(self.body(&parts[1..])?), Box::new(out)),
             };
         }
         Ok(out)
@@ -713,8 +711,7 @@ impl Expander {
             .collect();
         let mut recur = vec![loop_sym.clone()];
         recur.extend(steps);
-        let mut iter_body: Vec<Datum> =
-            items[3..].iter().map(|d| (*d).clone()).collect();
+        let mut iter_body: Vec<Datum> = items[3..].iter().map(|d| (*d).clone()).collect();
         iter_body.push(Datum::list(recur));
         let result: Datum = if exit.len() == 1 {
             Datum::symbol(UNSPEC_SENTINEL)
@@ -725,18 +722,9 @@ impl Expander {
         };
         let mut begin_iter = vec![Datum::symbol("begin")];
         begin_iter.extend(iter_body);
-        let if_form = Datum::list([
-            Datum::symbol("if"),
-            exit[0].clone(),
-            result,
-            Datum::list(begin_iter),
-        ]);
-        let form = Datum::list([
-            Datum::symbol("let"),
-            loop_sym,
-            Datum::list(bindings),
-            if_form,
-        ]);
+        let if_form =
+            Datum::list([Datum::symbol("if"), exit[0].clone(), result, Datum::list(begin_iter)]);
+        let form = Datum::list([Datum::symbol("let"), loop_sym, Datum::list(bindings), if_form]);
         self.expr(&form)
     }
 }
@@ -800,11 +788,7 @@ fn quasi(d: &Datum, depth: u32) -> Result<Datum> {
                     }
                 }
             }
-            Ok(Datum::list([
-                Datum::symbol("cons"),
-                quasi(&p.0, depth)?,
-                quasi(&p.1, depth)?,
-            ]))
+            Ok(Datum::list([Datum::symbol("cons"), quasi(&p.0, depth)?, quasi(&p.1, depth)?]))
         }
         Datum::Vector(items) => {
             let as_list = Datum::list(items.clone());

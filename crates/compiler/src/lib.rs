@@ -28,8 +28,8 @@
 #![warn(missing_docs)]
 
 mod analyze;
-pub mod builtins;
 mod ast;
+pub mod builtins;
 mod codegen;
 mod cps;
 mod expand;
@@ -39,7 +39,7 @@ pub use ast::{Expr, Lambda, Program, VarId};
 pub use codegen::compile_program;
 pub use cps::cps_convert;
 pub use expand::{expand_program, CompileError};
-pub use ops::{CodeObject, CompiledProgram, FreeSrc, Op};
+pub use ops::{CodeObject, CompiledProgram, FreeSrc, Op, MNEMONICS};
 
 /// Which compilation pipeline to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

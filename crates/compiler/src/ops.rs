@@ -127,6 +127,111 @@ pub enum Op {
     },
 }
 
+/// Mnemonics indexed by [`Op::kind_index`]; `MNEMONICS[op.kind_index()]`
+/// names any instruction.
+pub const MNEMONICS: [&str; Op::KIND_COUNT] = [
+    "const",
+    "fixint",
+    "unspec",
+    "local-ref",
+    "local-set",
+    "free-ref",
+    "cell-ref-local",
+    "cell-ref-free",
+    "cell-set-local",
+    "cell-set-free",
+    "make-cell",
+    "global-ref",
+    "global-set",
+    "global-def",
+    "closure",
+    "jump",
+    "branch-false",
+    "entry",
+    "call",
+    "tail-call",
+    "return",
+    "add",
+    "sub",
+    "mul",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "num-eq",
+    "cons",
+    "eq",
+    "car",
+    "cdr",
+    "null?",
+    "pair?",
+    "not",
+    "zero?",
+    "add1",
+    "sub1",
+    "vec-ref",
+    "vec-set",
+];
+
+impl Op {
+    /// Number of instruction kinds — the length of a per-opcode histogram.
+    pub const KIND_COUNT: usize = 41;
+
+    /// A dense index identifying the instruction kind (operands ignored),
+    /// in `0..Op::KIND_COUNT`. Histograms index by this; [`MNEMONICS`]
+    /// names each index.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Op::Const(_) => 0,
+            Op::FixInt(_) => 1,
+            Op::Unspec => 2,
+            Op::LocalRef(_) => 3,
+            Op::LocalSet(_) => 4,
+            Op::FreeRef(_) => 5,
+            Op::CellRefLocal(_) => 6,
+            Op::CellRefFree(_) => 7,
+            Op::CellSetLocal(_) => 8,
+            Op::CellSetFree(_) => 9,
+            Op::MakeCell(_) => 10,
+            Op::GlobalRef(_) => 11,
+            Op::GlobalSet(_) => 12,
+            Op::GlobalDef(_) => 13,
+            Op::Closure(_) => 14,
+            Op::Jump(_) => 15,
+            Op::BranchFalse(_) => 16,
+            Op::Entry { .. } => 17,
+            Op::Call { .. } => 18,
+            Op::TailCall { .. } => 19,
+            Op::Return => 20,
+            Op::Add(_) => 21,
+            Op::Sub(_) => 22,
+            Op::Mul(_) => 23,
+            Op::Lt(_) => 24,
+            Op::Le(_) => 25,
+            Op::Gt(_) => 26,
+            Op::Ge(_) => 27,
+            Op::NumEq(_) => 28,
+            Op::Cons(_) => 29,
+            Op::Eq(_) => 30,
+            Op::Car => 31,
+            Op::Cdr => 32,
+            Op::NullP => 33,
+            Op::PairP => 34,
+            Op::Not => 35,
+            Op::ZeroP => 36,
+            Op::Add1 => 37,
+            Op::Sub1 => 38,
+            Op::VecRef(_) => 39,
+            Op::VecSet { .. } => 40,
+        }
+    }
+
+    /// The mnemonic for this instruction's kind.
+    pub fn mnemonic(&self) -> &'static str {
+        MNEMONICS[self.kind_index()]
+    }
+}
+
 /// Where a created closure's captured value comes from, relative to the
 /// *creating* context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

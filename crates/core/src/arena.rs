@@ -73,19 +73,12 @@ impl<T> Arena<T> {
 
     /// Iterates over `(index, value)` pairs of live entries.
     pub(crate) fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
     }
 
     /// Indices of all live entries (snapshot).
     pub(crate) fn indices(&self) -> Vec<u32> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|_| i as u32))
-            .collect()
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| i as u32)).collect()
     }
 }
 

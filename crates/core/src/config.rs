@@ -146,7 +146,8 @@ mod tests {
 
     #[test]
     fn rejects_copy_bound_exceeding_segment() {
-        let cfg = Config { segment_slots: 64, copy_bound: 64, min_headroom: 16, ..Config::default() };
+        let cfg =
+            Config { segment_slots: 64, copy_bound: 64, min_headroom: 16, ..Config::default() };
         assert!(cfg.validate().is_err());
     }
 

@@ -65,11 +65,13 @@ mod arena;
 mod config;
 mod error;
 mod kont;
+pub mod probe;
 mod stack;
 mod stats;
 
 pub use config::{Config, OneShotPolicy, OverflowPolicy, PromotionStrategy};
 pub use error::{ConfigError, ControlError};
 pub use kont::{Kont, KontId, KontKind};
-pub use stack::{Overflow, Reinstated, SegStack, SegmentId, Underflow};
+pub use probe::{ControlProbe, CountingProbe, NoopProbe, ProbeEvent, RingTraceProbe};
+pub use stack::{FrameWalker, Overflow, Reinstated, SegStack, SegmentId, Underflow};
 pub use stats::Stats;

@@ -66,11 +66,39 @@ use crate::arena::Arena;
 use crate::config::{Config, OneShotPolicy, OverflowPolicy, PromotionStrategy};
 use crate::error::ControlError;
 use crate::kont::{Kont, KontId, KontKind};
+use crate::probe::{ControlProbe, NoopProbe};
 use crate::stats::Stats;
 
 /// Identifies a physical stack segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SegmentId(pub(crate) u32);
+
+impl SegmentId {
+    /// The raw index, useful for rendering probe traces.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Maps a return-address slot to the displacement between the frame holding
+/// it and its caller's frame (see the module docs on frame walking).
+///
+/// A blanket implementation covers any `Fn(&S) -> Option<usize>`, so plain
+/// closures and `fn` items remain valid walkers; implement the trait
+/// directly when the mapping carries state (a side table keyed by return
+/// PC, say) that a capturing closure cannot express ergonomically.
+pub trait FrameWalker<S> {
+    /// The frame displacement for `slot`, or `None` when `slot` is not a
+    /// return address (e.g. the underflow marker), which terminates a walk.
+    fn frame_disp(&self, slot: &S) -> Option<usize>;
+}
+
+impl<S, F: Fn(&S) -> Option<usize>> FrameWalker<S> for F {
+    #[inline]
+    fn frame_disp(&self, slot: &S) -> Option<usize> {
+        self(slot)
+    }
+}
 
 #[derive(Debug)]
 struct Segment<S> {
@@ -118,8 +146,13 @@ pub enum Overflow {
 ///
 /// `S` is the slot type stored in frames — typically a tagged value type
 /// that can also represent return addresses and the underflow marker.
+///
+/// `P` is the [`ControlProbe`] receiving fine-grained control events. It
+/// defaults to [`NoopProbe`], whose empty inlined callbacks monomorphize to
+/// nothing — instrumentation is free unless a real probe is installed with
+/// [`SegStack::with_probe`].
 #[derive(Debug)]
-pub struct SegStack<S> {
+pub struct SegStack<S, P: ControlProbe = NoopProbe> {
     segs: Arena<Segment<S>>,
     konts: Arena<Kont<S>>,
     /// Free list of default-size segments (§3.2's stack segment cache).
@@ -136,18 +169,33 @@ pub struct SegStack<S> {
     cur_link: Option<KontId>,
     fp: usize,
     stats: Stats,
+    probe: P,
 }
 
 impl<S: Clone> SegStack<S> {
     /// Creates a stack with one large initial segment, an empty cache, and
     /// the given underflow `marker`, which is installed in the base slot of
-    /// every stack record.
+    /// every stack record. The stack carries the free [`NoopProbe`]; use
+    /// [`SegStack::with_probe`] to instrument it.
     ///
     /// # Panics
     ///
     /// Panics if `cfg` fails [`Config::validate`]; use `validate` first for
     /// a recoverable error.
     pub fn new(cfg: Config, marker: S) -> Self {
+        Self::with_probe(cfg, marker, NoopProbe)
+    }
+}
+
+impl<S: Clone, P: ControlProbe> SegStack<S, P> {
+    /// Like [`SegStack::new`], but events are reported to `probe` (see
+    /// [`ControlProbe`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`Config::validate`]; use `validate` first for
+    /// a recoverable error.
+    pub fn with_probe(cfg: Config, marker: S, probe: P) -> Self {
         cfg.validate().expect("invalid segmented stack configuration");
         let reserve = cfg.min_headroom;
         let mut st = SegStack {
@@ -163,12 +211,24 @@ impl<S: Clone> SegStack<S> {
             cur_link: None,
             fp: 0,
             stats: Stats::default(),
+            probe,
         };
         let seg = st.alloc_segment(st.cfg.segment_slots);
         st.cur_seg = seg;
         st.cur_end = st.cfg.segment_slots;
         st.set(0, st.marker.clone());
         st
+    }
+
+    /// The installed control probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// The installed control probe, mutably — for resetting counters or
+    /// draining a trace ring mid-run.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
     }
 
     // ------------------------------------------------------------------
@@ -340,6 +400,7 @@ impl<S: Clone> SegStack<S> {
         if occupied == 0 {
             // Proper tail recursion (§3.2): the link is the continuation.
             self.stats.captures_empty += 1;
+            self.probe.capture_empty();
             return self.cur_link;
         }
         self.stats.captures_multi += 1;
@@ -356,6 +417,7 @@ impl<S: Clone> SegStack<S> {
         };
         self.segs.get_mut(self.cur_seg.0).rc += 1;
         let id = KontId(self.konts.insert(k));
+        self.probe.capture_multi(id, self.cur_seg, occupied);
         // The remainder of the segment becomes the current record.
         self.cur_base = self.fp;
         self.cur_link = Some(id);
@@ -378,6 +440,7 @@ impl<S: Clone> SegStack<S> {
         let occupied = self.fp - self.cur_base;
         if occupied == 0 {
             self.stats.captures_empty += 1;
+            self.probe.capture_empty();
             return self.cur_link;
         }
         self.stats.captures_one += 1;
@@ -404,6 +467,8 @@ impl<S: Clone> SegStack<S> {
                     };
                     self.segs.get_mut(self.cur_seg.0).rc += 1;
                     let id = KontId(self.konts.insert(k));
+                    self.probe.capture_one(id, self.cur_seg, occupied);
+                    self.probe.seal(id, self.cur_seg, pad);
                     self.cur_base = seal_end;
                     self.cur_link = Some(id);
                     self.fp = seal_end;
@@ -430,6 +495,7 @@ impl<S: Clone> SegStack<S> {
         };
         // The continuation takes over the current record's reference.
         let id = KontId(self.konts.insert(k));
+        self.probe.capture_one(id, self.cur_seg, occupied);
         let new_seg = self.obtain_segment(need.max(self.reserve) + 1);
         self.install_record(new_seg, Some(id));
         Some(id)
@@ -463,6 +529,7 @@ impl<S: Clone> SegStack<S> {
                         if !promoted.get() {
                             promoted.set(true);
                             self.stats.promotions += 1;
+                            self.probe.promotion(l, false);
                         }
                     }
                 }
@@ -483,6 +550,7 @@ impl<S: Clone> SegStack<S> {
                             self.stats.promotions += 1;
                             self.stats.promotion_steps += 1;
                             cursor = k.link;
+                            self.probe.promotion(id, true);
                         }
                         _ => break,
                     }
@@ -505,7 +573,8 @@ impl<S: Clone> SegStack<S> {
     /// portion exceeds the copy bound (Figure 3).
     ///
     /// `walker` maps a return-address slot to its frame displacement (see
-    /// module docs); it is consulted only when splitting.
+    /// [`FrameWalker`] and the module docs); it is consulted only when
+    /// splitting.
     ///
     /// # Errors
     ///
@@ -514,7 +583,7 @@ impl<S: Clone> SegStack<S> {
     /// `id` was collected.
     pub fn reinstate<W>(&mut self, id: KontId, walker: &W) -> Result<Reinstated<S>, ControlError>
     where
-        W: Fn(&S) -> Option<usize>,
+        W: FrameWalker<S> + ?Sized,
     {
         if !self.konts.contains(id.0) {
             return Err(ControlError::DeadContinuation);
@@ -542,6 +611,7 @@ impl<S: Clone> SegStack<S> {
     fn reinstate_one(&mut self, id: KontId) -> Reinstated<S> {
         self.stats.reinstates_one += 1;
         self.stats.shots += 1;
+        self.probe.reinstate(id, self.konts.get(id.0).seg, true, 0);
         let k = self.konts.get_mut(id.0);
         let (seg, base, size, cur, link) = (k.seg, k.base, k.size, k.cur, k.link);
         let ret = std::mem::replace(&mut k.ret, self.marker.clone());
@@ -565,7 +635,7 @@ impl<S: Clone> SegStack<S> {
     /// at frame boundaries when the saved portion exceeds the copy bound.
     fn reinstate_multi<W>(&mut self, mut id: KontId, walker: &W) -> Reinstated<S>
     where
-        W: Fn(&S) -> Option<usize>,
+        W: FrameWalker<S> + ?Sized,
     {
         self.stats.reinstates_multi += 1;
         if self.konts.get(id.0).cur > self.cfg.copy_bound {
@@ -591,6 +661,7 @@ impl<S: Clone> SegStack<S> {
 
         // Copy the saved frames to the base of the current record.
         self.stats.slots_copied += n as u64;
+        self.probe.reinstate(id, src_seg, false, n);
         self.copy_slots(src_seg, src_base, self.cur_seg, self.cur_base, n);
         // Patch the underflow marker into the copy: the bottom frame of the
         // record must return into the link. (For an unsplit continuation
@@ -610,7 +681,7 @@ impl<S: Clone> SegStack<S> {
     /// of the same large continuation split at most once per boundary.
     fn split<W>(&mut self, id: KontId, walker: &W) -> KontId
     where
-        W: Fn(&S) -> Option<usize>,
+        W: FrameWalker<S> + ?Sized,
     {
         let (seg, base, cur, ret) = {
             let k = self.konts.get(id.0);
@@ -621,7 +692,7 @@ impl<S: Clone> SegStack<S> {
         // would exceed the bound; split off as much as possible (§3.2).
         let mut x = top;
         let mut r = ret;
-        while let Some(d) = walker(&r) {
+        while let Some(d) = walker.frame_disp(&r) {
             if d == 0 || d > x - base {
                 break;
             }
@@ -662,6 +733,7 @@ impl<S: Clone> SegStack<S> {
         k.size = top - x;
         k.cur = top - x;
         k.link = Some(bottom_id);
+        self.probe.split(id, bottom_id, x - base);
         id
     }
 
@@ -679,10 +751,11 @@ impl<S: Clone> SegStack<S> {
     /// continuation that has already been invoked through another path.
     pub fn underflow<W>(&mut self, walker: &W) -> Result<Underflow<S>, ControlError>
     where
-        W: Fn(&S) -> Option<usize>,
+        W: FrameWalker<S> + ?Sized,
     {
         debug_assert_eq!(self.fp, self.cur_base, "underflow away from record base");
         self.stats.underflows += 1;
+        self.probe.underflow(self.cur_seg);
         match self.cur_link {
             None => Ok(Underflow::Exhausted),
             Some(link) => Ok(Underflow::Resumed(self.reinstate(link, walker)?)),
@@ -700,7 +773,7 @@ impl<S: Clone> SegStack<S> {
     /// setting — are copied into a fresh segment.
     pub fn ensure<W>(&mut self, need: usize, live: usize, walker: &W) -> Overflow
     where
-        W: Fn(&S) -> Option<usize>,
+        W: FrameWalker<S> + ?Sized,
     {
         debug_assert!(live >= 1 && live <= need);
         if self.fp + need <= self.cur_end {
@@ -712,7 +785,7 @@ impl<S: Clone> SegStack<S> {
 
     fn overflow<W>(&mut self, need: usize, live: usize, walker: &W)
     where
-        W: Fn(&S) -> Option<usize>,
+        W: FrameWalker<S> + ?Sized,
     {
         self.stats.overflows += 1;
         // Choose the relocation boundary: at least the active frame moves;
@@ -721,7 +794,7 @@ impl<S: Clone> SegStack<S> {
         if self.cfg.hysteresis_slots > 0 {
             let mut r = self.get(self.fp).clone();
             while x > self.cur_base {
-                let Some(d) = walker(&r) else { break };
+                let Some(d) = walker.frame_disp(&r) else { break };
                 if d == 0 || d > x - self.cur_base {
                     break;
                 }
@@ -740,13 +813,12 @@ impl<S: Clone> SegStack<S> {
         let old_seg = self.cur_seg;
         let occupied = x - self.cur_base;
 
-        let link = if occupied == 0 {
+        let created = if occupied == 0 {
             // The whole record relocates; no continuation is created (the
             // empty-capture rule) and the old segment loses the current
-            // record's reference.
-            let l = self.cur_link;
-            // Defer the release until after the copy below.
-            l
+            // record's reference. (Defer the release until after the copy
+            // below.)
+            None
         } else {
             let ret = self.get(x).clone();
             let kind = match self.cfg.overflow_policy {
@@ -774,10 +846,12 @@ impl<S: Clone> SegStack<S> {
             self.segs.get_mut(self.cur_seg.0).rc += 1;
             Some(KontId(self.konts.insert(k)))
         };
+        let link = created.or(self.cur_link);
 
         let new_seg = self.obtain_segment(relocated + need - live + self.reserve);
         // Copy the relocated frames to the base of the new segment.
         self.stats.slots_copied += relocated as u64;
+        self.probe.overflow(created, old_seg, new_seg, relocated);
         self.copy_slots(old_seg, x, new_seg, 0, relocated);
         let new_fp = self.fp - x;
         self.cur_seg = new_seg;
@@ -821,7 +895,9 @@ impl<S: Clone> SegStack<S> {
         self.stats.segment_slots_allocated += cap as u64;
         let slots = vec![self.marker.clone(); cap].into_boxed_slice();
         let default_size = cap == self.cfg.segment_slots;
-        SegmentId(self.segs.insert(Segment { slots, rc: 1, default_size }))
+        let id = SegmentId(self.segs.insert(Segment { slots, rc: 1, default_size }));
+        self.probe.segment_alloc(id, cap);
+        id
     }
 
     /// Obtains a segment with at least `min_slots` capacity: from the cache
@@ -830,6 +906,7 @@ impl<S: Clone> SegStack<S> {
         if min_slots <= self.cfg.segment_slots {
             if let Some(seg) = self.cache.pop() {
                 self.stats.cache_hits += 1;
+                self.probe.cache_hit(seg);
                 self.segs.get_mut(seg.0).rc = 1;
                 return seg;
             }
@@ -845,6 +922,7 @@ impl<S: Clone> SegStack<S> {
         if s.rc == 0 {
             if s.default_size && self.cache.len() < self.cfg.cache_limit {
                 self.stats.cache_returns += 1;
+                self.probe.cache_return(seg);
                 self.cache.push(seg);
             } else {
                 self.segs.remove(seg.0);
@@ -864,7 +942,14 @@ impl<S: Clone> SegStack<S> {
     }
 
     /// Copies `n` slots between (possibly identical) segments.
-    fn copy_slots(&mut self, src: SegmentId, src_at: usize, dst: SegmentId, dst_at: usize, n: usize) {
+    fn copy_slots(
+        &mut self,
+        src: SegmentId,
+        src_at: usize,
+        dst: SegmentId,
+        dst_at: usize,
+        n: usize,
+    ) {
         if src == dst {
             let seg = self.segs.get_mut(src.0);
             debug_assert!(src_at + n <= dst_at || dst_at + n <= src_at);

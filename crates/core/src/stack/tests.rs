@@ -65,7 +65,6 @@ fn ret(st: &mut St) -> usize {
     }
 }
 
-
 /// Delivers a reinstatement result the way a return point would: pops the
 /// frame by the displacement encoded in the return address and reports its
 /// pc tag.
@@ -617,10 +616,7 @@ fn deep_recursion_survives_many_overflow_cycles() {
         }
     }
     let s = st.stats();
-    assert!(
-        s.segments_allocated < 30,
-        "cache bounds total allocation across rounds: {s:?}"
-    );
+    assert!(s.segments_allocated < 30, "cache bounds total allocation across rounds: {s:?}");
 }
 
 #[test]

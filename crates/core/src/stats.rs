@@ -58,8 +58,7 @@ impl Stats {
     pub fn delta_since(&self, earlier: &Stats) -> Stats {
         Stats {
             segments_allocated: self.segments_allocated - earlier.segments_allocated,
-            segment_slots_allocated: self.segment_slots_allocated
-                - earlier.segment_slots_allocated,
+            segment_slots_allocated: self.segment_slots_allocated - earlier.segment_slots_allocated,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_returns: self.cache_returns - earlier.cache_returns,
             captures_multi: self.captures_multi - earlier.captures_multi,

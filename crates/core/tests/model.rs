@@ -359,7 +359,8 @@ fn run(cfg: Config, ops: Vec<Op>) {
             Op::Gc => {
                 real.st.begin_gc();
                 // The embedder (this test) keeps every captured kont alive.
-                let mut work: Vec<oneshot_core::KontId> = rkonts.iter().flatten().copied().collect();
+                let mut work: Vec<oneshot_core::KontId> =
+                    rkonts.iter().flatten().copied().collect();
                 while let Some(id) = work.pop() {
                     if real.st.mark_kont(id) {
                         if let Some(l) = real.st.kont_link(id) {

@@ -1,0 +1,184 @@
+//! A minimal, dependency-free benchmark harness.
+//!
+//! This crate implements the *subset* of the `criterion` crate's API used by
+//! this workspace's `harness = false` benches, so that `cargo bench` needs no
+//! network access (the build environment has no crates.io mirror). There is
+//! no statistical analysis or HTML report: each benchmark runs a short
+//! warm-up, then `sample_size` timed samples, and prints min / mean / max
+//! time per iteration.
+//!
+//! Supported surface: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 20 }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark: a warm-up call, then `sample_size` timed samples
+    /// of the closure passed to [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = if self.name.is_empty() { id.clone() } else { format!("{}/{}", self.name, id) };
+
+        // Warm-up: one un-timed run so lazily-initialized state (prelude
+        // loading, cache population) doesn't land in the first sample.
+        let mut warm = Bencher { samples: Vec::new(), record: false };
+        f(&mut warm);
+
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size), record: true };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        report(&label, &b.samples);
+        self
+    }
+
+    /// Ends the group (prints nothing; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<40} no samples recorded");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{label:<40} time: [{} {} {}]",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Times one sample of a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    record: bool,
+}
+
+impl Bencher {
+    /// Times `f` once and records the sample. (The real criterion runs many
+    /// iterations per sample with adaptive iteration counts; one iteration
+    /// per sample keeps this shim predictable and is plenty for the
+    /// relative comparisons these benches make.)
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        black_box(out);
+        if self.record {
+            self.samples.push(elapsed);
+        }
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_warmup_plus_samples() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 6); // 1 warm-up + 5 samples
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(250)), "250.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

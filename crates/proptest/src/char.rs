@@ -1,0 +1,44 @@
+//! Character strategies.
+
+use crate::{Strategy, TestRng};
+
+/// A strategy over an inclusive range of scalar values (see [`range`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    lo: u32,
+    hi: u32,
+}
+
+/// A strategy generating chars uniformly in `[lo, hi]`, skipping the
+/// surrogate gap.
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "inverted char range");
+    CharRange { lo: lo as u32, hi: hi as u32 }
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        loop {
+            let v = rng.range_u64(u64::from(self.lo), u64::from(self.hi)) as u32;
+            if let Some(c) = std::char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = TestRng::new(9);
+        let strat = range('!', '~');
+        for _ in 0..200 {
+            let c = strat.generate(&mut rng);
+            assert!(('!'..='~').contains(&c));
+        }
+    }
+}

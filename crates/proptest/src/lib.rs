@@ -1,0 +1,212 @@
+//! A minimal, dependency-free property-testing harness.
+//!
+//! This crate implements the *subset* of the `proptest` crate's API that
+//! this workspace uses, so that `cargo test` needs no network access (the
+//! build environment has no crates.io mirror). It is not a fork: generation
+//! is a simple seeded-PRNG pipeline with **no shrinking** — on failure the
+//! offending inputs and the seed are printed instead, and the fixed default
+//! seed makes every failure reproducible by rerunning the test.
+//!
+//! Supported surface:
+//!
+//! * [`Strategy`] with `prop_map`, `prop_recursive`, `boxed`;
+//! * ranges (`0..n`, `a..=b`), tuples, [`Just`], `&str` regex-subset
+//!   patterns (`[class]{m,n}` sequences);
+//! * [`any`]`::<bool | i64 | u32 | usize | char | String>()`;
+//! * `proptest::option::of`, `proptest::collection::vec`,
+//!   `proptest::char::range`, `proptest::sample::select`;
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, and
+//!   `prop_assert!` / `prop_assert_eq!`;
+//! * [`test_runner::ProptestConfig`] (the `cases` knob).
+//!
+//! Set `PROPTEST_SEED=<u64>` to rerun with a different seed.
+
+#![forbid(unsafe_code)]
+
+use std::rc::Rc;
+
+pub mod char;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// The rolled-up prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The pseudo-random source driving generation: xorshift64* — small, fast,
+/// and deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded with `seed` (zero is remapped — xorshift has a
+    /// zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // test-case generation.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive).
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive) over signed values.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(self.below(span.wrapping_add(1).max(1)) as i64)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A strategy for any [`Arbitrary`] type, mirroring `proptest::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical generation strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! arbitrary_fn {
+    ($t:ty, $body:expr) => {
+        impl Arbitrary for $t {
+            type Strategy = strategy::FnStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                strategy::FnStrategy::new($body)
+            }
+        }
+    };
+}
+
+arbitrary_fn!(bool, |rng| rng.next_u64() & 1 == 1);
+arbitrary_fn!(i64, |rng| {
+    // Mix small values (where most edge cases live) with full-range ones.
+    match rng.below(4) {
+        0 => rng.range_i64(-16, 16),
+        1 => *[i64::MIN, i64::MAX, 0, -1, 1].get(rng.below(5) as usize).unwrap(),
+        _ => rng.next_u64() as i64,
+    }
+});
+arbitrary_fn!(u32, |rng| rng.next_u64() as u32);
+arbitrary_fn!(usize, |rng| rng.below(1 << 32) as usize);
+arbitrary_fn!(char, |rng| {
+    // Mostly ASCII, sometimes arbitrary scalar values.
+    if rng.below(4) == 0 {
+        loop {
+            if let Some(c) = std::char::from_u32(rng.below(0x11_0000) as u32) {
+                break c;
+            }
+        }
+    } else {
+        std::char::from_u32(rng.range_u64(0x20, 0x7E) as u32).unwrap()
+    }
+});
+arbitrary_fn!(String, |rng| {
+    let len = rng.below(24) as usize;
+    let mut s = String::new();
+    for _ in 0..len {
+        let c = if rng.below(4) == 0 {
+            loop {
+                if let Some(c) = std::char::from_u32(rng.below(0x11_0000) as u32) {
+                    break c;
+                }
+            }
+        } else {
+            std::char::from_u32(rng.range_u64(0x20, 0x7E) as u32).unwrap()
+        };
+        s.push(c);
+    }
+    s
+});
+
+/// Shared boxed generator function (the representation behind
+/// [`BoxedStrategy`] and [`strategy::FnStrategy`]).
+pub(crate) type GenFn<T> = Rc<dyn Fn(&mut TestRng) -> T>;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strat = prop_oneof![
+            2 => (0u32..10).prop_map(|n| n as i64),
+            1 => Just(-1i64),
+        ];
+        let mut rng = TestRng::new(3);
+        let mut saw_neg = false;
+        let mut saw_small = false;
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((-1..10).contains(&v));
+            saw_neg |= v == -1;
+            saw_small |= (0..10).contains(&v);
+        }
+        assert!(saw_neg && saw_small);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_in_bounds(x in 0usize..50, s in "[a-z]{0,4}") {
+            prop_assert!(x < 50);
+            prop_assert!(s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Sampling strategies.
+
+use crate::{Strategy, TestRng};
+
+/// The result of [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+/// A strategy picking uniformly from `items`.
+///
+/// # Panics
+///
+/// Panics (at generation time) if `items` is empty.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.items.is_empty(), "select over an empty list");
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}

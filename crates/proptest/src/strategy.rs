@@ -1,0 +1,426 @@
+//! The [`Strategy`] trait and combinators.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::{GenFn, TestRng};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for the
+    /// levels below and returns the strategy for one level up; recursion is
+    /// structurally bounded by `depth`. The `_desired_size` and
+    /// `_expected_branch_size` hints of the real API are accepted and
+    /// ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut cur = base.clone();
+        for _ in 0..depth {
+            let rec = recurse(cur).boxed();
+            let leaf = base.clone();
+            // Bias toward the leaf so generated sizes stay moderate even
+            // when every level recurses with several children.
+            cur = BoxedStrategy::from_fn(move |rng| {
+                if rng.below(3) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    rec.generate(rng)
+                }
+            });
+        }
+        cur
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    f: GenFn<T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { f: self.f.clone() }
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    pub(crate) fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy { f: Rc::new(f) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// A strategy from a plain function (used by [`crate::Arbitrary`] impls).
+pub struct FnStrategy<T> {
+    f: fn(&mut TestRng) -> T,
+}
+
+impl<T> FnStrategy<T> {
+    /// Wraps a generator function.
+    pub fn new(f: fn(&mut TestRng) -> T) -> Self {
+        FnStrategy { f }
+    }
+}
+
+impl<T> Strategy for FnStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A weighted union of strategies (what [`crate::prop_oneof!`] builds).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// A union of the given `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights summed incorrectly")
+    }
+}
+
+/// Builds a union strategy from weighted arms.
+///
+/// ```
+/// use proptest::prelude::*;
+/// let s = prop_oneof![
+///     3 => Just(1),
+///     1 => Just(2),
+/// ];
+/// let unweighted = prop_oneof![Just('a'), Just('b')];
+/// # let _ = (s, unweighted);
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+// ---------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.range_i64(self.start as i64, self.end as i64 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_i64(*self.start() as i64, *self.end() as i64) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng);)+
+                ($($v,)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / a);
+tuple_strategy!(A / a, B / b);
+tuple_strategy!(A / a, B / b, C / c);
+tuple_strategy!(A / a, B / b, C / c, D / d);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g, H / h);
+
+// ---------------------------------------------------------------------
+// &str regex-subset patterns
+// ---------------------------------------------------------------------
+
+/// One parsed pattern element: a set of candidate characters and a
+/// repetition range.
+#[derive(Debug, Clone)]
+struct PatternPiece {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the regex subset used for string strategies: a sequence of
+/// `[class]` character classes (ranges, escapes, literal chars) or literal
+/// characters, each optionally followed by `{m,n}`.
+fn parse_pattern(pat: &str) -> Vec<PatternPiece> {
+    let mut pieces = Vec::new();
+    let mut it = pat.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let Some(c) = it.next() else {
+                        panic!("unterminated character class in pattern {pat:?}")
+                    };
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let e = it.next().expect("dangling escape in pattern");
+                            let e = match e {
+                                'n' => '\n',
+                                't' => '\t',
+                                'r' => '\r',
+                                other => other,
+                            };
+                            set.push(e);
+                            prev = Some(e);
+                        }
+                        '-' if prev.is_some() && it.peek() != Some(&']') => {
+                            let hi = it.next().expect("dangling range in pattern");
+                            let lo = prev.take().expect("range without start");
+                            set.pop();
+                            let (lo, hi) = (lo as u32, hi as u32);
+                            assert!(lo <= hi, "inverted range in pattern {pat:?}");
+                            for v in lo..=hi {
+                                if let Some(ch) = std::char::from_u32(v) {
+                                    set.push(ch);
+                                }
+                            }
+                        }
+                        other => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in pattern {pat:?}");
+                set
+            }
+            '\\' => {
+                let e = it.next().expect("dangling escape in pattern");
+                vec![match e {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }]
+            }
+            other => vec![other],
+        };
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut digits = String::new();
+            let mut lo = None;
+            loop {
+                match it.next().expect("unterminated repetition in pattern") {
+                    '}' => break,
+                    ',' => lo = Some(std::mem::take(&mut digits)),
+                    d => digits.push(d),
+                }
+            }
+            let parse = |s: &str| s.parse::<usize>().expect("bad repetition bound");
+            match lo {
+                Some(lo) => (parse(&lo), parse(&digits)),
+                None => {
+                    let n = parse(&digits);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(PatternPiece { chars, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let n = rng.range_u64(piece.min as u64, piece.max as u64) as usize;
+            for _ in 0..n {
+                out.push(piece.chars[rng.below(piece.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_classes_ranges_and_escapes() {
+        let pieces = parse_pattern("[a-c][x\\n-]{0,3}");
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(pieces[0].chars, vec!['a', 'b', 'c']);
+        assert_eq!(pieces[0].min, 1);
+        assert_eq!(pieces[1].chars, vec!['x', '\n', '-']);
+        assert_eq!((pieces[1].min, pieces[1].max), (0, 3));
+    }
+
+    #[test]
+    fn str_strategy_respects_bounds() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            let s = "[a-z]{2,5}".generate(&mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..200 {
+            let (a, b, c) = (0u32..7, 1usize..=3, -5i64..5).generate(&mut rng);
+            assert!(a < 7);
+            assert!((1..=3).contains(&b));
+            assert!((-5..5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn f64_range_in_bounds() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..200 {
+            let x = (-2.0..3.0f64).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The case runner behind the [`proptest!`](crate::proptest) macro.
+
+use crate::{Strategy, TestRng};
+
+/// The default seed when `PROPTEST_SEED` is unset: fixed, so failures
+/// reproduce by rerunning the same test binary.
+const DEFAULT_SEED: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// Runner configuration. Only `cases` is meaningful in this shim; the other
+/// fields exist so `..ProptestConfig::default()` struct updates written
+/// against the real crate keep compiling.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; local-rejection is not implemented.
+    pub max_local_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0, max_local_rejects: 65_536 }
+    }
+}
+
+fn seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => {
+            s.trim().parse().unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}"))
+        }
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// Runs `body` against `config.cases` values generated from `strategy`.
+///
+/// There is no shrinking: when a case panics, the generated inputs and the
+/// seed are printed and the panic is propagated so the harness reports the
+/// test as failed.
+pub fn run<S, F>(config: ProptestConfig, strategy: S, body: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: Fn(S::Value),
+{
+    let seed = seed();
+    let mut rng = TestRng::new(seed);
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        let repr = format!("{value:?}");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest case {case} of {} failed (seed {seed}, set PROPTEST_SEED to vary)\n\
+                 \x20   inputs: {repr}",
+                config.cases
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Declares property tests: each `#[test] fn name(x in strategy, ...)` item
+/// becomes a `#[test]` that runs its body over generated inputs. An optional
+/// leading `#![proptest_config(...)]` sets the [`ProptestConfig`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run($cfg, ($($strat,)+), |($($pat,)+)| $body);
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a property test (panicking form; the real
+/// crate's early-return-with-`Err` machinery is unnecessary here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}

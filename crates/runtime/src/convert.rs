@@ -34,8 +34,7 @@ pub fn datum_to_value(heap: &mut Heap, syms: &mut Symbols, d: &Datum) -> Value {
             out
         }
         Datum::Vector(items) => {
-            let vals: Vec<Value> =
-                items.iter().map(|x| datum_to_value(heap, syms, x)).collect();
+            let vals: Vec<Value> = items.iter().map(|x| datum_to_value(heap, syms, x)).collect();
             Value::Obj(heap.alloc(Obj::Vector(vals)))
         }
     }

@@ -135,14 +135,12 @@ fn emit(
                 Obj::Closure { code, .. } => {
                     let _ = write!(out, "#<procedure @{code}>");
                 }
-                Obj::Kont { kont, .. } => {
-                    match kont {
-                        Some(k) => {
-                            let _ = write!(out, "#<continuation {}>", k.index());
-                        }
-                        None => out.push_str("#<continuation halt>"),
+                Obj::Kont { kont, .. } => match kont {
+                    Some(k) => {
+                        let _ = write!(out, "#<continuation {}>", k.index());
                     }
-                }
+                    None => out.push_str("#<continuation halt>"),
+                },
                 Obj::Cell(inner) => {
                     out.push_str("#<box ");
                     emit(heap, syms, *inner, write, out, seen, depth + 1);

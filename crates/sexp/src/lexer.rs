@@ -101,8 +101,19 @@ fn is_symbol_initial(b: u8) -> bool {
     b.is_ascii_alphabetic()
         || matches!(
             b,
-            b'!' | b'$' | b'%' | b'&' | b'*' | b'/' | b':' | b'<' | b'=' | b'>' | b'?' | b'^'
-                | b'_' | b'~'
+            b'!' | b'$'
+                | b'%'
+                | b'&'
+                | b'*'
+                | b'/'
+                | b':'
+                | b'<'
+                | b'='
+                | b'>'
+                | b'?'
+                | b'^'
+                | b'_'
+                | b'~'
         )
 }
 
@@ -185,9 +196,7 @@ impl<'a> Lexer<'a> {
                             (Some(_), _) => {
                                 self.bump();
                             }
-                            (None, _) => {
-                                return Err(self.err(start, "unterminated block comment"))
-                            }
+                            (None, _) => return Err(self.err(start, "unterminated block comment")),
                         }
                     }
                 }
@@ -248,10 +257,8 @@ impl<'a> Lexer<'a> {
                             Some(b'"') => s.push('"'),
                             Some(b'0') => s.push('\0'),
                             Some(c) => {
-                                return Err(self.err(
-                                    start,
-                                    format!("unknown string escape \\{}", c as char),
-                                ))
+                                return Err(self
+                                    .err(start, format!("unknown string escape \\{}", c as char)))
                             }
                             None => return Err(self.err(start, "unterminated string")),
                         },
@@ -298,8 +305,7 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     // Character: named or literal.
                     let cstart = self.pos;
-                    let first = self
-                        .src[self.pos..]
+                    let first = self.src[self.pos..]
                         .chars()
                         .next()
                         .ok_or_else(|| self.err(start, "end of input in character literal"))?;
@@ -327,10 +333,9 @@ impl<'a> Lexer<'a> {
                             "backspace" => '\x08',
                             "delete" | "rubout" => '\x7f',
                             _ => {
-                                return Err(self.err(
-                                    start,
-                                    format!("unknown character name #\\{text}"),
-                                ))
+                                return Err(
+                                    self.err(start, format!("unknown character name #\\{text}"))
+                                )
                             }
                         }
                     };
@@ -407,9 +412,8 @@ fn parse_number(text: &str) -> Option<TokenKind> {
         return text.parse::<i64>().ok().map(TokenKind::Fixnum);
     }
     // Flonum: digits with a dot and/or exponent.
-    let valid = body
-        .bytes()
-        .all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'));
+    let valid =
+        body.bytes().all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'));
     if valid && (body.contains('.') || body.contains('e') || body.contains('E')) {
         return text.parse::<f64>().ok().map(TokenKind::Flonum);
     }

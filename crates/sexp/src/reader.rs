@@ -100,9 +100,7 @@ impl<'a> Reader<'a> {
             TokenKind::RParen => {
                 Err(ReadError { message: "unexpected )".into(), span: Some(span) })
             }
-            TokenKind::Dot => {
-                Err(ReadError { message: "unexpected .".into(), span: Some(span) })
-            }
+            TokenKind::Dot => Err(ReadError { message: "unexpected .".into(), span: Some(span) }),
         }
     }
 
@@ -233,14 +231,8 @@ mod tests {
 
     #[test]
     fn reads_lists_and_dotted_pairs() {
-        assert_eq!(
-            read_str("(1 2)").unwrap(),
-            Datum::list([Datum::Fixnum(1), Datum::Fixnum(2)])
-        );
-        assert_eq!(
-            read_str("(1 . 2)").unwrap(),
-            Datum::cons(Datum::Fixnum(1), Datum::Fixnum(2))
-        );
+        assert_eq!(read_str("(1 2)").unwrap(), Datum::list([Datum::Fixnum(1), Datum::Fixnum(2)]));
+        assert_eq!(read_str("(1 . 2)").unwrap(), Datum::cons(Datum::Fixnum(1), Datum::Fixnum(2)));
         assert_eq!(
             read_str("(1 2 . 3)").unwrap(),
             Datum::cons(Datum::Fixnum(1), Datum::cons(Datum::Fixnum(2), Datum::Fixnum(3)))

@@ -23,13 +23,22 @@ proptest! {
 #[test]
 fn pathological_inputs_error_cleanly() {
     for src in [
-        "#", "#\\", "#x", "#xzz", "\"\\q\"", "(((((", ")))))", "'", "#;", "#;#;", "#|",
-        "(1 . )", "(. )", "...1", "1.2.3", ",",
+        "#", "#\\", "#x", "#xzz", "\"\\q\"", "(((((", ")))))", "'", "#;", "#;#;", "#|", "(1 . )",
+        "(. )", "...1", "1.2.3", ",",
     ] {
         assert!(read_all(src).is_err(), "{src:?} should be an error");
     }
     // Deeply nested input must not blow the parser (recursion is per
-    // nesting level; keep within default stack).
-    let deep = format!("{}1{}", "(".repeat(2000), ")".repeat(2000));
-    assert!(read_all(&deep).is_ok());
+    // nesting level). Debug-build frames are large enough that 2000 levels
+    // exceed the 2 MiB default test stack, so give this check its own
+    // thread with room to spare.
+    std::thread::Builder::new()
+        .stack_size(32 * 1024 * 1024)
+        .spawn(|| {
+            let deep = format!("{}1{}", "(".repeat(2000), ")".repeat(2000));
+            assert!(read_all(&deep).is_ok());
+        })
+        .unwrap()
+        .join()
+        .unwrap();
 }

@@ -96,13 +96,23 @@ impl ThreadSystem {
     }
 
     /// As [`ThreadSystem::new`] with explicit VM configuration (stack
-    /// policies etc.).
+    /// policies, probes, etc.). Equivalent to wrapping
+    /// `Vm::builder().config(cfg).build()`.
     ///
     /// # Panics
     ///
     /// Panics if the embedded scheduler source fails to load.
     pub fn with_config(strategy: Strategy, cfg: VmConfig) -> Self {
-        let mut vm = Vm::with_config(cfg);
+        Self::with_vm(strategy, Vm::builder().config(cfg).build())
+    }
+
+    /// Loads the chosen scheduler into an already-built VM — the builder
+    /// path: `ThreadSystem::with_vm(strategy, Vm::builder()...build())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded scheduler source fails to load.
+    pub fn with_vm(strategy: Strategy, mut vm: Vm) -> Self {
         vm.eval_str(strategy.scheduler_source()).expect("scheduler must load");
         ThreadSystem { vm, strategy }
     }
@@ -227,14 +237,10 @@ mod tests {
         for strategy in [Strategy::CallCc, Strategy::Call1Cc] {
             let mut ts = ThreadSystem::new(strategy);
             ts.eval("(define out '())").unwrap();
-            ts.spawn(
-                "(lambda () (set! out (cons 1 out)) (thread-yield!) (set! out (cons 3 out)))",
-            )
-            .unwrap();
-            ts.spawn(
-                "(lambda () (set! out (cons 2 out)) (thread-yield!) (set! out (cons 4 out)))",
-            )
-            .unwrap();
+            ts.spawn("(lambda () (set! out (cons 1 out)) (thread-yield!) (set! out (cons 3 out)))")
+                .unwrap();
+            ts.spawn("(lambda () (set! out (cons 2 out)) (thread-yield!) (set! out (cons 4 out)))")
+                .unwrap();
             ts.run(0).unwrap();
             assert_eq!(ts.eval_to_string("(reverse out)").unwrap(), "(1 2 3 4)", "{strategy:?}");
         }

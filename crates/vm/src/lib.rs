@@ -38,7 +38,7 @@ mod vm;
 
 pub use error::VmError;
 pub use slot::{slot_disp, Resume, Slot};
-pub use vm::{Vm, VmConfig, VmStats};
+pub use vm::{ProbeSpec, Vm, VmBuilder, VmConfig, VmProbe, VmStats};
 
 pub use oneshot_compiler::Pipeline;
 pub use oneshot_runtime::{Obj, ObjRef, SymbolId, Value};

@@ -42,8 +42,7 @@ fn err(msg: impl Into<String>) -> VmError {
 impl Vm {
     pub(crate) fn register_builtins(&mut self) {
         for (i, name) in oneshot_compiler::builtins::BUILTIN_NAMES.iter().enumerate() {
-            let f = lookup(name)
-                .unwrap_or_else(|| panic!("builtin {name} has no implementation"));
+            let f = lookup(name).unwrap_or_else(|| panic!("builtin {name} has no implementation"));
             self.builtins.push(f);
             let idx = u16::try_from(i).expect("too many builtins");
             self.set_global(name, Value::Builtin(idx));
@@ -214,7 +213,12 @@ fn cmp_chain(vm: &mut Vm, argc: usize, op: &'static str) -> R<Flow> {
     Ok(Flow::Return)
 }
 
-fn char_cmp_chain(vm: &mut Vm, argc: usize, who: &'static str, f: fn(char, char) -> bool) -> R<Flow> {
+fn char_cmp_chain(
+    vm: &mut Vm,
+    argc: usize,
+    who: &'static str,
+    f: fn(char, char) -> bool,
+) -> R<Flow> {
     at_least(argc, 2, who)?;
     for i in 0..argc - 1 {
         let (a, b) = (chr(vm.arg(i), who)?, chr(vm.arg(i + 1), who)?);
@@ -1089,6 +1093,10 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 ("overflows", stats.stack.overflows as i64),
                 ("underflows", stats.stack.underflows as i64),
                 ("shots", stats.stack.shots as i64),
+                ("gc-collections", stats.gc_collections as i64),
+                ("gc-pause-ns", stats.gc_pause_ns as i64),
+                ("gc-max-pause-ns", stats.gc_max_pause_ns as i64),
+                ("gc-objects-freed", stats.gc_objects_freed as i64),
                 ("resident-slots", vm.stack.resident_slots() as i64),
                 ("live-segments", vm.stack.segment_count() as i64),
             ];
@@ -1125,9 +1133,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 match func(vm, n)? {
                     Flow::Return => {
                         if vm.mv.is_some() {
-                            return Err(err(
-                                "apply: multiple values are unsupported in CPS mode",
-                            ));
+                            return Err(err("apply: multiple values are unsupported in CPS mode"));
                         }
                         let v = vm.acc;
                         vm.set_local(1, v);

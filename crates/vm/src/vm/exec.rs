@@ -30,9 +30,7 @@ impl Vm {
     }
 
     fn free_value(&self, i: usize) -> Value {
-        let Value::Obj(r) = self.closure else {
-            panic!("free reference without a closure")
-        };
+        let Value::Obj(r) = self.closure else { panic!("free reference without a closure") };
         let Obj::Closure { free, .. } = self.heap.get(r) else {
             panic!("closure register holds a non-closure")
         };
@@ -63,6 +61,9 @@ impl Vm {
                 let op = &ops[self.pc];
                 self.pc += 1;
                 self.instructions += 1;
+                if let Some(hist) = &mut self.opcode_hist {
+                    hist[op.kind_index()] += 1;
+                }
                 match *op {
                     Op::Const(i) => {
                         self.acc = self.codes[self.code as usize].consts[i as usize];
@@ -473,9 +474,7 @@ impl Vm {
         if self.winders != common {
             // Leave the innermost current winder: pop, then run its after.
             let Value::Obj(wr) = self.winders else { panic!("winder list corrupt") };
-            let Obj::Pair(winder, rest) = self.heap.get(wr) else {
-                panic!("winder list corrupt")
-            };
+            let Obj::Pair(winder, rest) = self.heap.get(wr) else { panic!("winder list corrupt") };
             let (winder, rest) = (*winder, *rest);
             self.winders = rest;
             let after = self.cdr_of(winder)?;
@@ -589,15 +588,12 @@ impl Vm {
             self.mv = None;
             return Ok(Some(v));
         };
-        let r = self
-            .stack
-            .reinstate(k, &slot_disp)
-            .map_err(|e| match e {
-                oneshot_core::ControlError::AlreadyShot => VmError::runtime(
-                    "attempt to invoke shot one-shot continuation",
-                ),
-                other => VmError::runtime(other.to_string()),
-            })?;
+        let r = self.stack.reinstate(k, &slot_disp).map_err(|e| match e {
+            oneshot_core::ControlError::AlreadyShot => {
+                VmError::runtime("attempt to invoke shot one-shot continuation")
+            }
+            other => VmError::runtime(other.to_string()),
+        })?;
         match r.ret {
             Slot::Ret { code, pc, disp, closure } => {
                 self.deliver_ret(code, pc, disp, closure)?;

@@ -19,6 +19,7 @@ impl Vm {
     /// at and above the frame pointer (1 + argument count at the Entry
     /// safe point).
     pub(crate) fn collect(&mut self, live_above_fp: usize) {
+        let started = std::time::Instant::now();
         self.heap.begin_gc();
         self.stack.begin_gc();
         let mut konts: Vec<KontId> = Vec::new();
@@ -83,12 +84,8 @@ impl Vm {
                     if let Some(v) = slot_heap_value(self.stack.kont(k).ret()) {
                         self.heap.mark_value(v);
                     }
-                    let vals: Vec<Value> = self
-                        .stack
-                        .kont_slice(k)
-                        .iter()
-                        .filter_map(slot_heap_value)
-                        .collect();
+                    let vals: Vec<Value> =
+                        self.stack.kont_slice(k).iter().filter_map(slot_heap_value).collect();
                     for v in vals {
                         self.heap.mark_value(v);
                     }
@@ -101,6 +98,12 @@ impl Vm {
 
         self.heap.sweep();
         self.stack.sweep(false);
+
+        let pause = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.gc_collections += 1;
+        self.gc_pause_ns += pause;
+        self.gc_max_pause_ns = self.gc_max_pause_ns.max(pause);
+        self.gc_objects_freed += self.heap.stats().last_freed;
     }
 
     fn mark_slot_range(&mut self, lo: usize, hi: usize) {

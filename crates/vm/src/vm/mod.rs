@@ -7,8 +7,10 @@ mod gc;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use oneshot_compiler::{compile_program, CodeObject, CompiledProgram, Op, Pipeline};
-use oneshot_core::{Config, SegStack, Stats};
+use oneshot_compiler::{compile_program, CodeObject, CompiledProgram, Op, Pipeline, MNEMONICS};
+use oneshot_core::{
+    Config, ControlProbe, CountingProbe, KontId, RingTraceProbe, SegStack, SegmentId, Stats,
+};
 use oneshot_runtime::{
     datum_to_value, display_value, write_value, Heap, HeapStats, Obj, Symbols, Value,
 };
@@ -26,7 +28,78 @@ const PRELUDE: &str = include_str!("../../scheme/prelude.scm");
 /// the direct pipeline) only in CPS mode.
 const CPS_PRELUDE: &str = include_str!("../../scheme/cps-prelude.scm");
 
-/// VM construction options.
+/// Which control probe a VM installs on its segmented stack (a cloneable
+/// *specification*; the probe itself lives inside the stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeSpec {
+    /// No probe: control events cost nothing.
+    #[default]
+    Off,
+    /// A [`CountingProbe`] aggregating control events into [`Stats`]
+    /// totals, resettable mid-run (see [`Vm::probe_stats`]).
+    Counting,
+    /// A [`RingTraceProbe`] retaining the last `N` control events for
+    /// [`Vm::trace_dump`].
+    Ring(usize),
+}
+
+/// The probe a VM installs per its [`ProbeSpec`]. An enum rather than a
+/// `Box<dyn ControlProbe>` so dispatch is a predictable branch (and the
+/// common `Off` arm does nothing) instead of an indirect call.
+#[derive(Debug, Clone)]
+pub enum VmProbe {
+    /// No instrumentation.
+    Off,
+    /// Counting control events.
+    Counting(CountingProbe),
+    /// Tracing the last N control events.
+    Ring(RingTraceProbe),
+}
+
+impl From<ProbeSpec> for VmProbe {
+    fn from(spec: ProbeSpec) -> Self {
+        match spec {
+            ProbeSpec::Off => VmProbe::Off,
+            ProbeSpec::Counting => VmProbe::Counting(CountingProbe::new()),
+            ProbeSpec::Ring(n) => VmProbe::Ring(RingTraceProbe::new(n)),
+        }
+    }
+}
+
+macro_rules! forward_probe {
+    ($($method:ident($($arg:ident: $ty:ty),*);)*) => {
+        impl ControlProbe for VmProbe {
+            $(
+                #[inline]
+                fn $method(&mut self, $($arg: $ty),*) {
+                    match self {
+                        VmProbe::Off => {}
+                        VmProbe::Counting(p) => p.$method($($arg),*),
+                        VmProbe::Ring(p) => p.$method($($arg),*),
+                    }
+                }
+            )*
+        }
+    };
+}
+
+forward_probe! {
+    capture_multi(kont: KontId, seg: SegmentId, slots: usize);
+    capture_one(kont: KontId, seg: SegmentId, slots: usize);
+    capture_empty();
+    seal(kont: KontId, seg: SegmentId, pad: usize);
+    reinstate(kont: KontId, seg: SegmentId, one_shot: bool, slots_copied: usize);
+    overflow(kont: Option<KontId>, from: SegmentId, to: SegmentId, slots_moved: usize);
+    underflow(seg: SegmentId);
+    promotion(kont: KontId, walked: bool);
+    split(kont: KontId, bottom: KontId, slots: usize);
+    cache_hit(seg: SegmentId);
+    cache_return(seg: SegmentId);
+    segment_alloc(seg: SegmentId, slots: usize);
+}
+
+/// VM construction options. Prefer building through [`Vm::builder`]; the
+/// struct remains public for embedders that store configurations.
 #[derive(Debug, Clone)]
 pub struct VmConfig {
     /// Segmented-stack tuning (segment size, copy bound, policies, ...).
@@ -38,6 +111,11 @@ pub struct VmConfig {
     /// Echo `display`/`write` output to stdout as well as the capture
     /// buffer.
     pub echo_output: bool,
+    /// Which control probe to install on the stack.
+    pub probe: ProbeSpec,
+    /// Count executed instructions per opcode kind (see
+    /// [`Vm::opcode_histogram`]). Adds a counter bump per instruction.
+    pub opcode_histogram: bool,
 }
 
 impl Default for VmConfig {
@@ -47,7 +125,83 @@ impl Default for VmConfig {
             pipeline: Pipeline::Direct,
             prelude: true,
             echo_output: false,
+            probe: ProbeSpec::Off,
+            opcode_histogram: false,
         }
+    }
+}
+
+/// Fluent construction of a [`Vm`] — the primary construction path:
+///
+/// ```
+/// use oneshot_vm::{ProbeSpec, Vm};
+///
+/// let mut vm = Vm::builder().probe(ProbeSpec::Counting).build();
+/// vm.eval_str("(call/cc (lambda (k) (k 1)))").unwrap();
+/// assert!(vm.probe_stats().is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VmBuilder {
+    cfg: VmConfig,
+}
+
+impl VmBuilder {
+    /// Starts from the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an existing full configuration.
+    pub fn config(mut self, cfg: VmConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the compiler pipeline.
+    pub fn pipeline(mut self, pipeline: Pipeline) -> Self {
+        self.cfg.pipeline = pipeline;
+        self
+    }
+
+    /// Sets the segmented-stack configuration.
+    pub fn stack(mut self, stack: Config) -> Self {
+        self.cfg.stack = stack;
+        self
+    }
+
+    /// Selects the control probe.
+    pub fn probe(mut self, probe: ProbeSpec) -> Self {
+        self.cfg.probe = probe;
+        self
+    }
+
+    /// Enables per-opcode instruction counting.
+    pub fn opcode_histogram(mut self, on: bool) -> Self {
+        self.cfg.opcode_histogram = on;
+        self
+    }
+
+    /// Whether to load the Scheme prelude (on by default).
+    pub fn prelude(mut self, load: bool) -> Self {
+        self.cfg.prelude = load;
+        self
+    }
+
+    /// Echo `display`/`write` output to stdout as well as the capture
+    /// buffer.
+    pub fn echo_output(mut self, echo: bool) -> Self {
+        self.cfg.echo_output = echo;
+        self
+    }
+
+    /// Builds the VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded prelude fails to compile — a build defect,
+    /// covered by tests.
+    pub fn build(self) -> Vm {
+        Vm::from_config(self.cfg)
     }
 }
 
@@ -69,6 +223,16 @@ pub struct VmStats {
     pub instructions: u64,
     /// Procedure calls performed (closures, builtins, continuations).
     pub calls: u64,
+    /// Garbage collections run.
+    pub gc_collections: u64,
+    /// Total wall-clock time spent inside the collector, in nanoseconds.
+    pub gc_pause_ns: u64,
+    /// Longest single collection pause, in nanoseconds. A running maximum,
+    /// not a counter: [`VmStats::delta_since`] carries the later value
+    /// through unchanged.
+    pub gc_max_pause_ns: u64,
+    /// Heap objects freed by collections (GC volume).
+    pub gc_objects_freed: u64,
     /// Heap statistics snapshot.
     pub heap: HeapStats,
     /// Segmented-stack statistics snapshot.
@@ -76,12 +240,17 @@ pub struct VmStats {
 }
 
 impl VmStats {
-    /// Counter-wise difference for measuring a region.
+    /// Counter-wise difference for measuring a region. (`gc_max_pause_ns`
+    /// is a running maximum and is carried through, not subtracted.)
     #[must_use]
     pub fn delta_since(&self, earlier: &VmStats) -> VmStats {
         VmStats {
             instructions: self.instructions - earlier.instructions,
             calls: self.calls - earlier.calls,
+            gc_collections: self.gc_collections - earlier.gc_collections,
+            gc_pause_ns: self.gc_pause_ns - earlier.gc_pause_ns,
+            gc_max_pause_ns: self.gc_max_pause_ns,
+            gc_objects_freed: self.gc_objects_freed - earlier.gc_objects_freed,
             heap: self.heap.delta_since(&earlier.heap),
             stack: self.stack.delta_since(&earlier.stack),
         }
@@ -96,7 +265,7 @@ impl VmStats {
 pub struct Vm {
     pub(crate) heap: Heap,
     pub(crate) syms: Symbols,
-    pub(crate) stack: SegStack<Slot>,
+    pub(crate) stack: SegStack<Slot, VmProbe>,
     pub(crate) codes: Vec<LoadedCode>,
     pub(crate) globals: Vec<Value>,
     pub(crate) global_defined: Vec<bool>,
@@ -121,6 +290,13 @@ pub struct Vm {
     // --- counters & output ---
     pub(crate) instructions: u64,
     pub(crate) calls: u64,
+    /// Per-opcode execution counts, present when enabled in the config.
+    pub(crate) opcode_hist: Option<Box<[u64; Op::KIND_COUNT]>>,
+    // --- GC pause/volume tracking (see `gc.rs`) ---
+    pub(crate) gc_collections: u64,
+    pub(crate) gc_pause_ns: u64,
+    pub(crate) gc_max_pause_ns: u64,
+    pub(crate) gc_objects_freed: u64,
     pub(crate) out: String,
     pub(crate) echo: bool,
     pipeline: Pipeline,
@@ -134,19 +310,29 @@ impl Vm {
     /// Panics if the embedded prelude fails to compile — a build defect,
     /// covered by tests.
     pub fn new() -> Self {
-        Self::with_config(VmConfig::default())
+        Self::from_config(VmConfig::default())
     }
 
-    /// A VM with explicit configuration.
+    /// Starts fluent construction — the primary construction path.
+    pub fn builder() -> VmBuilder {
+        VmBuilder::new()
+    }
+
+    /// A VM with explicit configuration. Equivalent to
+    /// `Vm::builder().config(cfg).build()`.
     ///
     /// # Panics
     ///
     /// Panics if the embedded prelude fails to compile.
     pub fn with_config(cfg: VmConfig) -> Self {
+        Self::from_config(cfg)
+    }
+
+    fn from_config(cfg: VmConfig) -> Self {
         let mut vm = Vm {
             heap: Heap::new(),
             syms: Symbols::new(),
-            stack: SegStack::new(cfg.stack, Slot::Marker),
+            stack: SegStack::with_probe(cfg.stack, Slot::Marker, VmProbe::from(cfg.probe)),
             codes: Vec::new(),
             globals: Vec::new(),
             global_defined: Vec::new(),
@@ -165,6 +351,11 @@ impl Vm {
             timer_handler: Value::Unspecified,
             instructions: 0,
             calls: 0,
+            opcode_hist: cfg.opcode_histogram.then(|| Box::new([0u64; Op::KIND_COUNT])),
+            gc_collections: 0,
+            gc_pause_ns: 0,
+            gc_max_pause_ns: 0,
+            gc_objects_freed: 0,
             out: String::new(),
             echo: cfg.echo_output,
             pipeline: cfg.pipeline,
@@ -214,8 +405,7 @@ impl Vm {
     pub(crate) fn link(&mut self, prog: &CompiledProgram) -> u32 {
         let base = self.codes.len() as u32;
         // Map program-global indices to VM-global indices.
-        let gmap: Vec<u32> =
-            prog.globals.iter().map(|name| self.global_id(name)).collect();
+        let gmap: Vec<u32> = prog.globals.iter().map(|name| self.global_id(name)).collect();
         for code in &prog.codes {
             let ops: Vec<Op> = code
                 .ops
@@ -236,11 +426,7 @@ impl Vm {
             // Resumed frames must never outrun the post-reinstatement
             // headroom guarantee.
             self.stack.raise_reserve(code.frame_slots as usize + 2);
-            self.codes.push(LoadedCode {
-                code: Rc::new(code.clone()),
-                ops: ops.into(),
-                consts,
-            });
+            self.codes.push(LoadedCode { code: Rc::new(code.clone()), ops: ops.into(), consts });
         }
         base + prog.entry
     }
@@ -353,9 +539,75 @@ impl Vm {
         VmStats {
             instructions: self.instructions,
             calls: self.calls,
+            gc_collections: self.gc_collections,
+            gc_pause_ns: self.gc_pause_ns,
+            gc_max_pause_ns: self.gc_max_pause_ns,
+            gc_objects_freed: self.gc_objects_freed,
             heap: *self.heap.stats(),
             stack: *self.stack.stats(),
         }
+    }
+
+    /// The control probe installed on the stack.
+    pub fn probe(&self) -> &VmProbe {
+        self.stack.probe()
+    }
+
+    /// Control-event totals observed by the probe, if a
+    /// [`ProbeSpec::Counting`] probe is installed.
+    ///
+    /// Unlike [`Vm::stats`] (whose `stack` field counts from VM
+    /// construction), these totals cover only events since construction or
+    /// the last [`Vm::probe_reset`] — so an embedder can measure a region.
+    pub fn probe_stats(&self) -> Option<Stats> {
+        match self.stack.probe() {
+            VmProbe::Counting(p) => Some(p.stats()),
+            _ => None,
+        }
+    }
+
+    /// Clears the probe's accumulated state (counters or trace ring).
+    pub fn probe_reset(&mut self) {
+        match self.stack.probe_mut() {
+            VmProbe::Off => {}
+            VmProbe::Counting(p) => p.reset(),
+            VmProbe::Ring(p) => p.clear(),
+        }
+    }
+
+    /// Renders the ring-trace buffer symbolically, one control event per
+    /// line, oldest first — empty if no [`ProbeSpec::Ring`] probe is
+    /// installed. A dropped-event note is appended when the ring has
+    /// evicted older events.
+    pub fn trace_dump(&self) -> String {
+        let VmProbe::Ring(p) = self.stack.probe() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for ev in p.events() {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        if p.dropped() > 0 {
+            out.push_str(&format!("({} earlier events dropped)\n", p.dropped()));
+        }
+        out
+    }
+
+    /// Per-opcode execution counts as `(mnemonic, count)` pairs, sorted by
+    /// descending count with zero-count opcodes omitted. `None` unless
+    /// opcode counting was enabled at construction
+    /// ([`VmBuilder::opcode_histogram`]).
+    pub fn opcode_histogram(&self) -> Option<Vec<(&'static str, u64)>> {
+        let hist = self.opcode_hist.as_ref()?;
+        let mut rows: Vec<(&'static str, u64)> = hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (MNEMONICS[i], n))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        Some(rows)
     }
 
     /// Direct access to the heap (for embedders building values).

@@ -80,7 +80,12 @@ fn segment_cache_feeds_one_shot_churn() {
 #[test]
 fn deep_recursion_under_tiny_segments_is_correct_for_both_policies() {
     for policy in [OverflowPolicy::OneShot, OverflowPolicy::MultiShot] {
-        let cfg = Config { segment_slots: 256, copy_bound: 64, overflow_policy: policy, ..Config::default() };
+        let cfg = Config {
+            segment_slots: 256,
+            copy_bound: 64,
+            overflow_policy: policy,
+            ..Config::default()
+        };
         let mut vm = vm_with(cfg);
         let r = eval(&mut vm, "(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1))))) (sum 20000)");
         assert_eq!(r, "200010000", "{policy:?}");

@@ -17,11 +17,7 @@ fn expr(depth: u32, vars: Vec<String>) -> BoxedStrategy<String> {
             (-50i64..50).prop_map(|n| n.to_string()),
             Just("#t".to_string()),
             Just("#f".to_string()),
-            proptest::sample::select(if vars.is_empty() {
-                vec!["0".to_string()]
-            } else {
-                vars
-            }),
+            proptest::sample::select(if vars.is_empty() { vec!["0".to_string()] } else { vars }),
         ]
     };
     if depth == 0 {
@@ -143,8 +139,7 @@ fn corpus_agrees_across_configurations() {
         let mut tiny = Vm::with_config(VmConfig { stack: tiny_stack(), ..VmConfig::default() });
         assert_eq!(outcome(&mut tiny, src), expected, "tiny: {src}");
 
-        let mut cps =
-            Vm::with_config(VmConfig { pipeline: Pipeline::Cps, ..VmConfig::default() });
+        let mut cps = Vm::with_config(VmConfig { pipeline: Pipeline::Cps, ..VmConfig::default() });
         assert_eq!(outcome(&mut cps, src), expected, "cps: {src}");
     }
 }

@@ -72,11 +72,7 @@ fn shot_continuations_are_collected() {
     vm.eval_str("(gc)").unwrap();
     let s = vm.stats();
     assert!(s.stack.shots >= 2000);
-    assert!(
-        s.stack.segments_allocated < 50,
-        "cache and GC bound segment growth: {:?}",
-        s.stack
-    );
+    assert!(s.stack.segments_allocated < 50, "cache and GC bound segment growth: {:?}", s.stack);
 }
 
 #[test]
@@ -98,9 +94,7 @@ fn long_lists_do_not_overflow_the_native_stack() {
     assert_eq!(vm.write_value(&v), "100000");
     // eval of a long constructed form works (the depth bound applies to
     // nesting, not length).
-    let v = vm
-        .eval_str("(eval (cons '+ (build 5000)))")
-        .unwrap();
+    let v = vm.eval_str("(eval (cons '+ (build 5000)))").unwrap();
     assert_eq!(vm.write_value(&v), "12502500");
 }
 

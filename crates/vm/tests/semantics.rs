@@ -24,10 +24,7 @@ fn letrec_mutual_recursion_and_ordering() {
         "(#t #t)"
     );
     // letrec* ordering: later inits may use earlier bindings' values.
-    assert_eq!(
-        eval(&mut vm, "(letrec* ((a 1) (b (+ a 1))) (list a b))"),
-        "(1 2)"
-    );
+    assert_eq!(eval(&mut vm, "(letrec* ((a 1) (b (+ a 1))) (list a b))"), "(1 2)");
 }
 
 #[test]
@@ -115,10 +112,7 @@ fn deep_mutual_recursion_across_segments() {
 fn variadic_edge_cases() {
     let mut vm = Vm::new();
     assert_eq!(eval(&mut vm, "((lambda args (length args)))"), "0");
-    assert_eq!(
-        eval(&mut vm, "(apply (lambda (a b . r) (list a b r)) 1 '(2 3 4))"),
-        "(1 2 (3 4))"
-    );
+    assert_eq!(eval(&mut vm, "(apply (lambda (a b . r) (list a b r)) 1 '(2 3 4))"), "(1 2 (3 4))");
     assert_eq!(eval(&mut vm, "(apply list '())"), "()");
 }
 

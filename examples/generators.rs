@@ -8,7 +8,7 @@
 use oneshot::vm::Vm;
 
 fn main() {
-    let mut vm = Vm::new();
+    let mut vm = Vm::builder().build();
 
     // A generator: each suspension is resumed exactly once, so every
     // capture can be one-shot — no stack copying anywhere.
@@ -44,10 +44,7 @@ fn main() {
         .unwrap();
     println!("one-shot generator   => {}", vm.display_value(&v));
     let s = vm.stats();
-    println!(
-        "  captures-one={} copied-slots={}",
-        s.stack.captures_one, s.stack.slots_copied
-    );
+    println!("  captures-one={} copied-slots={}", s.stack.captures_one, s.stack.slots_copied);
 
     // Nondeterministic choice needs multi-shot continuations: each choice
     // point is re-entered once per alternative (the paper: "one-shot

@@ -5,10 +5,12 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use oneshot::vm::{Vm, VmError};
+use oneshot::vm::{ProbeSpec, Vm, VmError};
 
 fn main() -> Result<(), VmError> {
-    let mut vm = Vm::new();
+    // The builder is the primary construction path; a counting probe makes
+    // the control-event totals resettable per region (`Vm::probe_reset`).
+    let mut vm = Vm::builder().probe(ProbeSpec::Counting).build();
 
     // Ordinary Scheme.
     let v = vm.eval_str(
@@ -42,17 +44,18 @@ fn main() -> Result<(), VmError> {
     println!("second shot          => {e}");
 
     // Deep recursion crosses many stack segments; overflow is an implicit
-    // call/1cc, so unwinding copies nothing.
-    let before = vm.stats();
+    // call/1cc, so unwinding copies nothing. The probe attributes the
+    // events to just this region.
+    vm.probe_reset();
     let v = vm.eval_str(
         "(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1)))))
          (sum 200000)",
     )?;
-    let d = vm.stats().delta_since(&before);
+    let d = vm.probe_stats().expect("a counting probe is installed");
     println!("(sum 200000)         => {}", vm.display_value(&v));
     println!(
         "  overflows={} underflows={} one-shot-reinstatements={} slots-copied={}",
-        d.stack.overflows, d.stack.underflows, d.stack.reinstates_one, d.stack.slots_copied
+        d.overflows, d.underflows, d.reinstates_one, d.slots_copied
     );
     Ok(())
 }

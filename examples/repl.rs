@@ -5,18 +5,19 @@
 //! ```
 //!
 //! Meta-commands: `,stats` prints the control-representation counters,
+//! `,trace` the recent control events, `,ops` the opcode histogram,
 //! `,quit` exits.
 
 use std::io::{self, BufRead, Write};
 
-use oneshot::vm::Vm;
+use oneshot::vm::{ProbeSpec, Vm};
 
 fn main() {
-    let mut vm = Vm::new();
+    let mut vm = Vm::builder().probe(ProbeSpec::Ring(32)).opcode_histogram(true).build();
     let stdin = io::stdin();
     let mut out = io::stdout();
     println!("oneshot scheme — call/cc and call/1cc on segmented stacks");
-    println!("(,stats for counters, ,quit to exit)");
+    println!("(,stats for counters, ,trace for control events, ,ops for opcodes, ,quit to exit)");
     loop {
         print!("> ");
         let _ = out.flush();
@@ -51,6 +52,21 @@ fn main() {
                     s.heap.words_allocated,
                     s.heap.collections,
                 );
+                continue;
+            }
+            ",trace" => {
+                let t = vm.trace_dump();
+                if t.is_empty() {
+                    println!("(no control events recorded)");
+                } else {
+                    print!("{t}");
+                }
+                continue;
+            }
+            ",ops" => {
+                for (mnemonic, count) in vm.opcode_histogram().unwrap_or_default() {
+                    println!("{mnemonic:<16} {count}");
+                }
                 continue;
             }
             _ => {}

@@ -10,6 +10,7 @@
 //! ```
 
 use oneshot::threads::{Strategy, ThreadSystem};
+use oneshot::vm::Vm;
 
 fn main() {
     println!("10 threads x fib(14), preemptive switch every 8 calls\n");
@@ -34,8 +35,7 @@ fn main() {
                 }
             }
             _ => {
-                ts.eval("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
-                    .unwrap();
+                ts.eval("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
                 for _ in 0..10 {
                     ts.spawn("(lambda () (fib 14))").unwrap();
                 }
@@ -56,9 +56,10 @@ fn main() {
         );
     }
 
-    // Cooperative threads with explicit yields, driven from Rust.
+    // Cooperative threads with explicit yields, driven from Rust. The VM
+    // comes from the builder so the embedder controls its configuration.
     println!("\ncooperative pipeline (call/1cc):");
-    let mut ts = ThreadSystem::new(Strategy::Call1Cc);
+    let mut ts = ThreadSystem::with_vm(Strategy::Call1Cc, Vm::builder().build());
     ts.eval("(define log '())").unwrap();
     ts.spawn(
         "(lambda ()

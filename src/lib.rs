@@ -26,3 +26,10 @@ pub use oneshot_runtime as runtime;
 pub use oneshot_sexp as sexp;
 pub use oneshot_threads as threads;
 pub use oneshot_vm as vm;
+
+// The embedder-facing control-observability surface, flattened for
+// convenience: walking frames and probing control events are the two
+// extension points an embedder implements.
+pub use oneshot_core::{
+    ControlProbe, CountingProbe, FrameWalker, NoopProbe, ProbeEvent, RingTraceProbe,
+};

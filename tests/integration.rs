@@ -12,9 +12,8 @@ fn facade_reexports_work_together() {
         stack: Config { segment_slots: 512, copy_bound: 128, ..Config::default() },
         ..VmConfig::default()
     });
-    let v = vm
-        .eval_str("(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1))))) (sum 5000)")
-        .unwrap();
+    let v =
+        vm.eval_str("(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1))))) (sum 5000)").unwrap();
     assert_eq!(vm.display_value(&v), "12502500");
     assert!(vm.stats().stack.overflows > 10);
 }
@@ -40,8 +39,7 @@ fn thread_systems_share_results_across_strategies() {
                 }
             }
             _ => {
-                ts.eval("(define (job i) (lambda () (set! acc (cons (* i i) acc))))")
-                    .unwrap();
+                ts.eval("(define (job i) (lambda () (set! acc (cons (* i i) acc))))").unwrap();
                 for i in 0..6 {
                     ts.spawn(&format!("(job {i})")).unwrap();
                 }
@@ -64,9 +62,7 @@ fn experiment_shapes_hold_at_sanity_scale() {
 
     // E3: one-shot overflow copies far less.
     let rows = oneshot_bench::experiments::overflow_experiment(2, 20_000);
-    assert!(
-        rows[1].m.delta.stack.slots_copied > 5 * rows[0].m.delta.stack.slots_copied.max(1)
-    );
+    assert!(rows[1].m.delta.stack.slots_copied > 5 * rows[0].m.delta.stack.slots_copied.max(1));
 
     // E1: a single figure-5 point runs for every strategy.
     for s in Strategy::ALL {
@@ -92,7 +88,12 @@ fn direct_and_cps_agree_through_the_facade() {
 fn overflow_policies_agree_on_results() {
     for policy in [OverflowPolicy::OneShot, OverflowPolicy::MultiShot] {
         let mut vm = Vm::with_config(VmConfig {
-            stack: Config { segment_slots: 256, copy_bound: 64, overflow_policy: policy, ..Config::default() },
+            stack: Config {
+                segment_slots: 256,
+                copy_bound: 64,
+                overflow_policy: policy,
+                ..Config::default()
+            },
             ..VmConfig::default()
         });
         let v = vm
