@@ -12,6 +12,7 @@
 //!   hysteresis     §3.2 ablation: overflow hysteresis on/off
 //!   fragmentation  §3.4: fresh-segment vs seal-with-pad residency
 //!   promotion      §3.3: eager-walk vs shared-flag promotion
+//!   dispatch       E9: dispatch cost, superinstruction fusion on/off
 //!   all            everything above
 //! ```
 //!
@@ -25,8 +26,9 @@
 //! `experiments.json`, or to the path given with `--json PATH`.
 
 use oneshot_bench::experiments::{
-    cache_experiment, figure5, fragmentation_experiment, frame_overhead, hysteresis_experiment,
-    overflow_experiment, promotion_experiment, tak_experiment,
+    cache_experiment, dispatch_experiment, figure5, fragmentation_experiment, frame_overhead,
+    hysteresis_experiment, overflow_experiment, promotion_experiment, tak_experiment,
+    DispatchScale,
 };
 use oneshot_bench::measure::render_table;
 use oneshot_bench::metrics::{measurement_json, Json};
@@ -98,6 +100,7 @@ fn main() {
         "hysteresis" => run("hysteresis", run_hysteresis()),
         "fragmentation" => run("fragmentation", run_fragmentation()),
         "promotion" => run("promotion", run_promotion()),
+        "dispatch" => run("dispatch", run_dispatch(paper)),
         "all" => {
             run("tak", run_tak(&scale));
             run("overflow", run_overflow(&scale));
@@ -106,6 +109,7 @@ fn main() {
             run("hysteresis", run_hysteresis());
             run("fragmentation", run_fragmentation());
             run("promotion", run_promotion());
+            run("dispatch", run_dispatch(paper));
             run("figure5", run_figure5(&scale));
         }
         other => {
@@ -115,7 +119,7 @@ fn main() {
     }
 
     let doc = Json::obj([
-        ("schema", Json::str("oneshot-experiments/v1")),
+        ("schema", Json::str("oneshot-experiments/v2")),
         ("scale", Json::str(if paper { "paper" } else { "quick" })),
         ("experiments", Json::Obj(report)),
     ]);
@@ -407,6 +411,74 @@ fn run_fragmentation() -> Json {
             })
             .collect(),
     )
+}
+
+fn run_dispatch(paper: bool) -> Json {
+    let scale = if paper { DispatchScale::paper() } else { DispatchScale::quick() };
+    println!("\n== E9: dispatch cost — flat code + superinstruction fusion on/off ==");
+    let rows = dispatch_experiment(scale);
+    let names: Vec<&'static str> = {
+        let mut seen = Vec::new();
+        for r in &rows {
+            if !seen.contains(&r.name) {
+                seen.push(r.name);
+            }
+        }
+        seen
+    };
+    let mut table = Vec::new();
+    let mut workloads_json = Vec::new();
+    for name in names {
+        let unfused = rows.iter().find(|r| r.name == name && !r.fused).expect("unfused row");
+        let fused = rows.iter().find(|r| r.name == name && r.fused).expect("fused row");
+        let speedup = unfused.ms / fused.ms;
+        table.push(vec![
+            name.to_string(),
+            format!("{:.1}", unfused.ms),
+            format!("{:.1}", fused.ms),
+            format!("{speedup:.2}x"),
+            unfused.instructions.to_string(),
+            fused.instructions.to_string(),
+            format!("{:.1}", unfused.ns_per_instruction()),
+            format!("{:.1}", fused.ns_per_instruction()),
+        ]);
+        let row_json = |r: &oneshot_bench::experiments::DispatchRow| {
+            Json::obj([
+                ("ms", Json::Num(r.ms)),
+                ("instructions", Json::int(r.instructions)),
+                ("ns_per_instruction", Json::Num(r.ns_per_instruction())),
+            ])
+        };
+        workloads_json.push(Json::obj([
+            ("name", Json::str(name)),
+            ("unfused", row_json(unfused)),
+            ("fused", row_json(fused)),
+            ("speedup", Json::Num(speedup)),
+        ]));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "unfused-ms",
+                "fused-ms",
+                "speedup",
+                "unfused-instr",
+                "fused-instr",
+                "unfused-ns/i",
+                "fused-ns/i"
+            ],
+            &table
+        )
+    );
+    println!("Fusion halves dispatch on the hottest pairs (compare+branch, return-of-");
+    println!("local, immediate arithmetic); results and control events are identical.");
+    Json::obj([
+        ("scale", Json::str(if paper { "paper" } else { "quick" })),
+        ("reps", Json::int(u64::from(scale.reps))),
+        ("workloads", Json::Arr(workloads_json)),
+    ])
 }
 
 fn run_promotion() -> Json {

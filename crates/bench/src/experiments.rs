@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use oneshot_core::{Config, OneShotPolicy, OverflowPolicy, PromotionStrategy};
 use oneshot_threads::{Strategy, ThreadSystem};
-use oneshot_vm::{Pipeline, Vm, VmConfig};
+use oneshot_vm::{CompilerOptions, Pipeline, Vm, VmConfig};
 
 use crate::measure::{run_measured, Measurement};
 use crate::workloads;
@@ -416,6 +416,175 @@ pub fn promotion_experiment(chain: usize) -> Vec<PromotionRow> {
         .collect()
 }
 
+// ----------------------------------------------------------------------
+// E9 — dispatch cost: flat code arena + superinstruction fusion
+// ----------------------------------------------------------------------
+
+/// One measured configuration of the dispatch-cost benchmark.
+#[derive(Debug, Clone)]
+pub struct DispatchRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Whether peephole superinstruction fusion was enabled.
+    pub fused: bool,
+    /// Best-of-reps wall-clock milliseconds.
+    pub ms: f64,
+    /// Bytecode instructions retired (deterministic per configuration).
+    pub instructions: u64,
+}
+
+impl DispatchRow {
+    /// Nanoseconds per retired instruction — the dispatch cost proper,
+    /// independent of how many instructions fusion removed.
+    pub fn ns_per_instruction(&self) -> f64 {
+        self.ms * 1e6 / self.instructions.max(1) as f64
+    }
+}
+
+/// The scale knobs of the E9 dispatch benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchScale {
+    /// Timing repetitions per configuration (best-of is reported).
+    pub reps: u32,
+    /// `(tak x y z)` arguments.
+    pub tak: (i64, i64, i64),
+    /// `(ctak x y z)` arguments (continuation-heavy control).
+    pub ctak: (i64, i64, i64),
+    /// `(fib n)` argument.
+    pub fib_n: u32,
+    /// `(deep-rounds rounds depth)` arguments.
+    pub deep: (u64, u64),
+    /// Figure 5 inner loop: threads, calls per switch, per-thread fib n.
+    pub fig5: (usize, u64, u32),
+}
+
+impl DispatchScale {
+    /// A sweep that finishes in a few seconds. Workloads are sized so each
+    /// configuration runs for tens of milliseconds — long enough that the
+    /// fused-vs-unfused wall-clock difference clears timer noise.
+    pub fn quick() -> Self {
+        DispatchScale {
+            reps: 5,
+            tak: (24, 16, 8),
+            ctak: (16, 8, 0),
+            fib_n: 27,
+            deep: (5, 500_000),
+            fig5: (10, 8, 21),
+        }
+    }
+
+    /// The full-size sweep for reported numbers.
+    pub fn paper() -> Self {
+        DispatchScale {
+            reps: 7,
+            tak: (24, 16, 8),
+            ctak: (18, 12, 6),
+            fib_n: 28,
+            deep: (5, 2_000_000),
+            fig5: (100, 8, 21),
+        }
+    }
+}
+
+/// One VM-hosted dispatch case: best-of-`reps` wall time plus the
+/// (deterministic) retired-instruction count.
+fn dispatch_case(
+    name: &'static str,
+    setup: &str,
+    run: &str,
+    fused: bool,
+    reps: u32,
+) -> DispatchRow {
+    let mut vm = Vm::builder().fuse(fused).build();
+    vm.eval_str(setup).expect("dispatch workload loads");
+    let mut ms = f64::INFINITY;
+    let mut instructions = 0;
+    for _ in 0..reps {
+        let m = run_measured(&mut vm, run).expect("dispatch workload runs");
+        ms = ms.min(m.ms());
+        instructions = m.delta.instructions;
+    }
+    DispatchRow { name, fused, ms, instructions }
+}
+
+/// The Figure 5 inner loop under one fusion setting: `threads` call/1cc
+/// threads each computing fib, context-switching every `freq` calls. This
+/// is the experiment that anchors the perf trajectory — the same loop E1
+/// measures, timed fused vs unfused.
+fn dispatch_fig5_case(
+    fused: bool,
+    threads: usize,
+    freq: u64,
+    fib_n: u32,
+    reps: u32,
+) -> DispatchRow {
+    let mut ms = f64::INFINITY;
+    let mut instructions = 0;
+    for _ in 0..reps {
+        let mut ts = ThreadSystem::with_config(
+            Strategy::Call1Cc,
+            VmConfig { compiler: CompilerOptions { fuse: fused }, ..VmConfig::default() },
+        );
+        ts.eval(workloads::FIB).expect("workload loads");
+        for _ in 0..threads {
+            ts.spawn(&format!("(lambda () (fib {fib_n}))")).expect("spawn");
+        }
+        let before = ts.stats();
+        let start = Instant::now();
+        ts.run(freq).expect("threads run");
+        ms = ms.min(start.elapsed().as_secs_f64() * 1e3);
+        instructions = ts.stats().delta_since(&before).instructions;
+    }
+    DispatchRow { name: "fig5-loop", fused, ms, instructions }
+}
+
+/// E9: every workload under `fuse: false` then `fuse: true` — identical
+/// results and control events, fewer dispatches fused. Rows come in
+/// unfused/fused pairs per workload.
+///
+/// # Panics
+///
+/// Panics if a workload fails.
+pub fn dispatch_experiment(scale: DispatchScale) -> Vec<DispatchRow> {
+    let (tx, ty, tz) = scale.tak;
+    let (cx, cy, cz) = scale.ctak;
+    let (rounds, depth) = scale.deep;
+    let (threads, freq, fib5) = scale.fig5;
+    let mut out = Vec::new();
+    for fused in [false, true] {
+        out.push(dispatch_case(
+            "tak",
+            workloads::TAK,
+            &format!("(tak {tx} {ty} {tz})"),
+            fused,
+            scale.reps,
+        ));
+        out.push(dispatch_case(
+            "ctak",
+            &workloads::ctak("call/1cc"),
+            &format!("(ctak {cx} {cy} {cz})"),
+            fused,
+            scale.reps,
+        ));
+        out.push(dispatch_case(
+            "fib",
+            workloads::FIB,
+            &format!("(fib {})", scale.fib_n),
+            fused,
+            scale.reps,
+        ));
+        out.push(dispatch_case(
+            "deep",
+            workloads::DEEP,
+            &format!("(deep-rounds {rounds} {depth})"),
+            fused,
+            scale.reps,
+        ));
+        out.push(dispatch_fig5_case(fused, threads, freq, fib5, scale.reps));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +684,31 @@ mod tests {
             fresh.resident_slots,
             padded.resident_slots
         );
+    }
+
+    #[test]
+    fn dispatch_fusion_retires_fewer_instructions() {
+        let scale = DispatchScale {
+            reps: 1,
+            tak: (14, 7, 0),
+            ctak: (12, 6, 0),
+            fib_n: 14,
+            deep: (1, 20_000),
+            fig5: (3, 8, 8),
+        };
+        let rows = dispatch_experiment(scale);
+        assert_eq!(rows.len(), 10);
+        for name in ["tak", "ctak", "fib", "deep", "fig5-loop"] {
+            let unfused = rows.iter().find(|r| r.name == name && !r.fused).unwrap();
+            let fused = rows.iter().find(|r| r.name == name && r.fused).unwrap();
+            assert!(
+                fused.instructions < unfused.instructions,
+                "{name}: fused {} vs unfused {} instructions",
+                fused.instructions,
+                unfused.instructions
+            );
+            assert!(fused.ns_per_instruction() > 0.0);
+        }
     }
 
     #[test]

@@ -17,17 +17,32 @@ use crate::ast::{Expr, Lambda, VarId};
 use crate::cps::cps_convert;
 use crate::expand::{expand_program, CompileError};
 use crate::ops::{CodeObject, CompiledProgram, FreeSrc, Op};
-use crate::Pipeline;
+use crate::{peephole, CompilerOptions, Pipeline};
 
 type Result<T> = std::result::Result<T, CompileError>;
 
-/// Compiles a whole program (reader data) through the chosen pipeline.
+/// Compiles a whole program (reader data) through the chosen pipeline with
+/// default [`CompilerOptions`] (superinstruction fusion on).
 ///
 /// # Errors
 ///
 /// Returns a [`CompileError`] for malformed forms or frames exceeding the
 /// bytecode's 16-bit slot indices.
 pub fn compile_program(forms: &[Datum], pipeline: Pipeline) -> Result<CompiledProgram> {
+    compile_program_with(forms, pipeline, CompilerOptions::default())
+}
+
+/// Compiles a whole program with explicit back-end options.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for malformed forms or frames exceeding the
+/// bytecode's 16-bit slot indices.
+pub fn compile_program_with(
+    forms: &[Datum],
+    pipeline: Pipeline,
+    options: CompilerOptions,
+) -> Result<CompiledProgram> {
     let mut program = expand_program(forms)?;
     if pipeline == Pipeline::Cps {
         program = cps_convert(program);
@@ -39,6 +54,7 @@ pub fn compile_program(forms: &[Datum], pipeline: Pipeline) -> Result<CompiledPr
         global_ids: HashMap::new(),
         mutated,
         no_inline: collect_no_inline(&program.forms, &program.defined_globals),
+        options,
     };
     // The toplevel thunk.
     let mut ctx = FnCtx::new("toplevel".into(), 0, false);
@@ -213,6 +229,7 @@ struct Gen {
     global_ids: HashMap<Rc<str>, u32>,
     mutated: HashSet<VarId>,
     no_inline: HashSet<Rc<str>>,
+    options: CompilerOptions,
 }
 
 impl Gen {
@@ -228,12 +245,16 @@ impl Gen {
 
     fn finish_fn(&mut self, ctx: FnCtx, free_spec: Vec<FreeSrc>) -> u32 {
         let idx = self.codes.len() as u32;
+        let mut ops = ctx.ops;
+        if self.options.fuse {
+            peephole::fuse(&mut ops);
+        }
         self.codes.push(CodeObject {
             name: ctx.name,
             required: ctx.required,
             rest: ctx.rest,
             frame_slots: ctx.max,
-            ops: ctx.ops,
+            ops,
             consts: ctx.consts,
             free_spec,
         });
@@ -623,7 +644,13 @@ mod tests {
         let p = compile("(define (+ a b) 99) (+ 1 2)");
         let top = &p.codes[p.entry as usize];
         assert!(
-            top.ops.iter().any(|o| matches!(o, Op::Call { .. } | Op::TailCall { .. })),
+            top.ops.iter().any(|o| matches!(
+                o,
+                Op::Call { .. }
+                    | Op::TailCall { .. }
+                    | Op::CallGlobal { .. }
+                    | Op::TailCallGlobal { .. }
+            )),
             "redefined + must go through a call: {top}"
         );
     }
@@ -632,8 +659,11 @@ mod tests {
     fn tail_calls_use_tailcall() {
         let p = compile("(define (loop n) (loop n))");
         let lam = &p.codes[0];
-        assert!(lam.ops.iter().any(|o| matches!(o, Op::TailCall { .. })));
-        assert!(!lam.ops.iter().any(|o| matches!(o, Op::Call { .. })));
+        assert!(lam
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::TailCall { .. } | Op::TailCallGlobal { .. })));
+        assert!(!lam.ops.iter().any(|o| matches!(o, Op::Call { .. } | Op::CallGlobal { .. })));
     }
 
     #[test]
@@ -719,7 +749,8 @@ mod tests {
         let p = compile("(define (f a . rest) rest)");
         let f = &p.codes[0];
         assert_eq!(f.ops[0], Op::Entry { required: 1, rest: true });
-        assert!(f.ops.contains(&Op::LocalRef(2)));
+        // `LocalRef(2); Return` fuses into `ReturnLocal(2)`.
+        assert!(f.ops.contains(&Op::ReturnLocal(2)));
     }
 
     #[test]

@@ -34,12 +34,30 @@ mod codegen;
 mod cps;
 mod expand;
 mod ops;
+pub mod peephole;
 
 pub use ast::{Expr, Lambda, Program, VarId};
-pub use codegen::compile_program;
+pub use codegen::{compile_program, compile_program_with};
 pub use cps::cps_convert;
 pub use expand::{expand_program, CompileError};
 pub use ops::{CodeObject, CompiledProgram, FreeSrc, Op, MNEMONICS};
+
+/// Back-end options, independent of the [`Pipeline`] choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompilerOptions {
+    /// Run the peephole superinstruction pass ([`peephole::fuse`]) on every
+    /// generated code body. On by default; turning it off yields the
+    /// unfused instruction stream for dispatch-cost comparisons (the E9
+    /// experiment) — results and control-event counters are identical
+    /// either way.
+    pub fuse: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions { fuse: true }
+    }
+}
 
 /// Which compilation pipeline to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

@@ -15,7 +15,12 @@ use std::fmt;
 use oneshot_sexp::Datum;
 
 /// One bytecode instruction.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Op` is a fixed-width word: `Copy`, at most 16 bytes (enforced by a
+/// compile-time assertion below), so the VM's flat code arena can fetch
+/// instructions by value — one bounds-checked load per dispatch, no
+/// per-transfer allocation or reference counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// `acc := consts[i]`.
     Const(u32),
@@ -125,7 +130,116 @@ pub enum Op {
         /// Slot holding the index.
         i: u16,
     },
+    // --- fused superinstructions (see `peephole`) ---
+    /// `Lt(i); BranchFalse(off)`: `acc := slot[fp+i] < acc`, branch on `#f`.
+    BrLt {
+        /// Operand slot.
+        i: u16,
+        /// Relative branch offset (taken when the comparison is false).
+        off: i32,
+    },
+    /// `Le(i); BranchFalse(off)` fused.
+    BrLe {
+        /// Operand slot.
+        i: u16,
+        /// Relative branch offset.
+        off: i32,
+    },
+    /// `Gt(i); BranchFalse(off)` fused.
+    BrGt {
+        /// Operand slot.
+        i: u16,
+        /// Relative branch offset.
+        off: i32,
+    },
+    /// `Ge(i); BranchFalse(off)` fused.
+    BrGe {
+        /// Operand slot.
+        i: u16,
+        /// Relative branch offset.
+        off: i32,
+    },
+    /// `NumEq(i); BranchFalse(off)` fused.
+    BrNumEq {
+        /// Operand slot.
+        i: u16,
+        /// Relative branch offset.
+        off: i32,
+    },
+    /// `Eq(i); BranchFalse(off)` fused.
+    BrEq {
+        /// Operand slot.
+        i: u16,
+        /// Relative branch offset.
+        off: i32,
+    },
+    /// `ZeroP; BranchFalse(off)` fused.
+    BrZeroP(i32),
+    /// `NullP; BranchFalse(off)` fused.
+    BrNullP(i32),
+    /// `LocalRef(i); Return` fused: return `slot[fp+i]`.
+    ReturnLocal(u16),
+    /// `FixInt(n); Add(i)` fused: `acc := slot[fp+i] + n`.
+    AddImm {
+        /// Operand slot.
+        i: u16,
+        /// Immediate addend.
+        n: i32,
+    },
+    /// `FixInt(n); Sub(i)` fused: `acc := slot[fp+i] - n`.
+    SubImm {
+        /// Operand slot.
+        i: u16,
+        /// Immediate subtrahend.
+        n: i32,
+    },
+    /// `LocalRef(src); LocalSet(dst)` fused:
+    /// `acc := slot[fp+src]; slot[fp+dst] := acc` — the argument-shuffle
+    /// move that dominates call-heavy code.
+    Move {
+        /// Source slot.
+        src: u16,
+        /// Destination slot.
+        dst: u16,
+    },
+    /// `Not; BranchFalse(off)` fused: `acc := (not acc)`, branch when the
+    /// original accumulator was true (i.e. when the negation is `#f`).
+    BrTrue(i32),
+    /// `FixInt(n); BrLt { i, off }` fused (second fusion generation):
+    /// `acc := slot[fp+i] < n`, branch when false — the
+    /// compare-against-constant guard of counting recursion.
+    BrLtImm {
+        /// Operand slot.
+        i: u16,
+        /// Immediate right-hand side.
+        n: i32,
+        /// Relative branch offset.
+        off: i32,
+    },
+    /// `GlobalRef(g); Call { disp, argc }` fused: call the procedure in
+    /// `globals[g]` — the dominant call sequence in recursive code.
+    CallGlobal {
+        /// Global index of the callee.
+        g: u32,
+        /// Frame displacement.
+        disp: u16,
+        /// Argument count.
+        argc: u16,
+    },
+    /// `GlobalRef(g); TailCall { disp, argc }` fused.
+    TailCallGlobal {
+        /// Global index of the callee.
+        g: u32,
+        /// Where the argument block was built.
+        disp: u16,
+        /// Argument count.
+        argc: u16,
+    },
 }
+
+// The dispatch loop fetches instructions by value from the flat arena;
+// keep them at most two machine words wide.
+const _: () = assert!(std::mem::size_of::<Op>() <= 16, "Op must stay within 16 bytes");
 
 /// Mnemonics indexed by [`Op::kind_index`]; `MNEMONICS[op.kind_index()]`
 /// names any instruction.
@@ -171,11 +285,27 @@ pub const MNEMONICS: [&str; Op::KIND_COUNT] = [
     "sub1",
     "vec-ref",
     "vec-set",
+    "br-lt",
+    "br-le",
+    "br-gt",
+    "br-ge",
+    "br-num-eq",
+    "br-eq",
+    "br-zero?",
+    "br-null?",
+    "return-local",
+    "add-imm",
+    "sub-imm",
+    "move",
+    "br-true",
+    "br-lt-imm",
+    "call-global",
+    "tail-call-global",
 ];
 
 impl Op {
     /// Number of instruction kinds — the length of a per-opcode histogram.
-    pub const KIND_COUNT: usize = 41;
+    pub const KIND_COUNT: usize = 57;
 
     /// A dense index identifying the instruction kind (operands ignored),
     /// in `0..Op::KIND_COUNT`. Histograms index by this; [`MNEMONICS`]
@@ -223,12 +353,72 @@ impl Op {
             Op::Sub1 => 38,
             Op::VecRef(_) => 39,
             Op::VecSet { .. } => 40,
+            Op::BrLt { .. } => 41,
+            Op::BrLe { .. } => 42,
+            Op::BrGt { .. } => 43,
+            Op::BrGe { .. } => 44,
+            Op::BrNumEq { .. } => 45,
+            Op::BrEq { .. } => 46,
+            Op::BrZeroP(_) => 47,
+            Op::BrNullP(_) => 48,
+            Op::ReturnLocal(_) => 49,
+            Op::AddImm { .. } => 50,
+            Op::SubImm { .. } => 51,
+            Op::Move { .. } => 52,
+            Op::BrTrue(_) => 53,
+            Op::BrLtImm { .. } => 54,
+            Op::CallGlobal { .. } => 55,
+            Op::TailCallGlobal { .. } => 56,
         }
     }
 
     /// The mnemonic for this instruction's kind.
     pub fn mnemonic(&self) -> &'static str {
         MNEMONICS[self.kind_index()]
+    }
+
+    /// The relative branch offset carried by this instruction, if it is a
+    /// (possibly fused) jump or branch. Offsets are relative to the *next*
+    /// instruction.
+    pub fn branch_offset(&self) -> Option<i32> {
+        match *self {
+            Op::Jump(off)
+            | Op::BranchFalse(off)
+            | Op::BrZeroP(off)
+            | Op::BrNullP(off)
+            | Op::BrTrue(off)
+            | Op::BrLt { off, .. }
+            | Op::BrLe { off, .. }
+            | Op::BrGt { off, .. }
+            | Op::BrGe { off, .. }
+            | Op::BrNumEq { off, .. }
+            | Op::BrEq { off, .. }
+            | Op::BrLtImm { off, .. } => Some(off),
+            _ => None,
+        }
+    }
+
+    /// Replaces the relative branch offset of a jump or branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction carries no branch offset.
+    pub fn set_branch_offset(&mut self, new: i32) {
+        match self {
+            Op::Jump(off)
+            | Op::BranchFalse(off)
+            | Op::BrZeroP(off)
+            | Op::BrNullP(off)
+            | Op::BrTrue(off)
+            | Op::BrLt { off, .. }
+            | Op::BrLe { off, .. }
+            | Op::BrGt { off, .. }
+            | Op::BrGe { off, .. }
+            | Op::BrNumEq { off, .. }
+            | Op::BrEq { off, .. }
+            | Op::BrLtImm { off, .. } => *off = new,
+            other => panic!("set_branch_offset on non-branch {other:?}"),
+        }
     }
 }
 
@@ -296,6 +486,105 @@ pub struct CompiledProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// One instance of every instruction kind, in `kind_index` order.
+    fn one_of_each() -> Vec<Op> {
+        vec![
+            Op::Const(0),
+            Op::FixInt(0),
+            Op::Unspec,
+            Op::LocalRef(0),
+            Op::LocalSet(0),
+            Op::FreeRef(0),
+            Op::CellRefLocal(0),
+            Op::CellRefFree(0),
+            Op::CellSetLocal(0),
+            Op::CellSetFree(0),
+            Op::MakeCell(0),
+            Op::GlobalRef(0),
+            Op::GlobalSet(0),
+            Op::GlobalDef(0),
+            Op::Closure(0),
+            Op::Jump(0),
+            Op::BranchFalse(0),
+            Op::Entry { required: 0, rest: false },
+            Op::Call { disp: 0, argc: 0 },
+            Op::TailCall { disp: 0, argc: 0 },
+            Op::Return,
+            Op::Add(0),
+            Op::Sub(0),
+            Op::Mul(0),
+            Op::Lt(0),
+            Op::Le(0),
+            Op::Gt(0),
+            Op::Ge(0),
+            Op::NumEq(0),
+            Op::Cons(0),
+            Op::Eq(0),
+            Op::Car,
+            Op::Cdr,
+            Op::NullP,
+            Op::PairP,
+            Op::Not,
+            Op::ZeroP,
+            Op::Add1,
+            Op::Sub1,
+            Op::VecRef(0),
+            Op::VecSet { v: 0, i: 0 },
+            Op::BrLt { i: 0, off: 0 },
+            Op::BrLe { i: 0, off: 0 },
+            Op::BrGt { i: 0, off: 0 },
+            Op::BrGe { i: 0, off: 0 },
+            Op::BrNumEq { i: 0, off: 0 },
+            Op::BrEq { i: 0, off: 0 },
+            Op::BrZeroP(0),
+            Op::BrNullP(0),
+            Op::ReturnLocal(0),
+            Op::AddImm { i: 0, n: 0 },
+            Op::SubImm { i: 0, n: 0 },
+            Op::Move { src: 0, dst: 0 },
+            Op::BrTrue(0),
+            Op::BrLtImm { i: 0, n: 0, off: 0 },
+            Op::CallGlobal { g: 0, disp: 0, argc: 0 },
+            Op::TailCallGlobal { g: 0, disp: 0, argc: 0 },
+        ]
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_distinct() {
+        let all = one_of_each();
+        assert_eq!(all.len(), Op::KIND_COUNT, "one_of_each must cover every variant");
+        let mut seen = [false; Op::KIND_COUNT];
+        for op in &all {
+            let k = op.kind_index();
+            assert!(k < Op::KIND_COUNT, "{op:?} index {k} out of range");
+            assert!(!seen[k], "duplicate kind_index {k} for {op:?}");
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "kind indices must be dense");
+    }
+
+    #[test]
+    fn mnemonics_are_exhaustive_and_unique() {
+        for op in one_of_each() {
+            assert!(!op.mnemonic().is_empty(), "{op:?}");
+        }
+        let mut names: Vec<&str> = MNEMONICS.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Op::KIND_COUNT, "mnemonics must be unique");
+    }
+
+    #[test]
+    fn branch_offsets_round_trip() {
+        for mut op in one_of_each() {
+            if let Some(off) = op.branch_offset() {
+                assert_eq!(off, 0);
+                op.set_branch_offset(7);
+                assert_eq!(op.branch_offset(), Some(7), "{op:?}");
+            }
+        }
+    }
 
     #[test]
     fn display_lists_ops() {

@@ -63,6 +63,7 @@ fn emit(
         Value::Nil => out.push_str("()"),
         Value::Eof => out.push_str("#<eof>"),
         Value::Unspecified => out.push_str("#<void>"),
+        Value::Undefined => out.push_str("#<undefined>"),
         Value::Sym(s) => out.push_str(syms.name(s)),
         Value::Builtin(i) => {
             let _ = write!(out, "#<builtin {i}>");

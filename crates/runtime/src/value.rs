@@ -33,6 +33,11 @@ pub enum Value {
     Eof,
     /// The unspecified value (result of `set!`, `for-each`, ...).
     Unspecified,
+    /// The unbound-global sentinel. Never produced by evaluation: the VM
+    /// initializes global cells to `Undefined` so `GlobalRef`'s
+    /// bound-check is a single load + compare instead of a second table
+    /// lookup. Unreachable from Scheme code.
+    Undefined,
     /// An interned symbol.
     Sym(SymbolId),
     /// A builtin procedure, by index into the embedder's builtin table.

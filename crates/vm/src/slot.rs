@@ -48,7 +48,8 @@ pub enum Slot {
     Ret {
         /// Code-object index.
         code: u32,
-        /// Instruction index to resume at.
+        /// Absolute index into the VM's flat instruction arena to resume
+        /// at (not relative to `code`'s own body).
         pc: u32,
         /// Frame displacement (the paper's frame-size word).
         disp: u32,

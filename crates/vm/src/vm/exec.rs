@@ -49,194 +49,321 @@ impl Vm {
         *slot = v;
     }
 
+    /// Builds the unbound-variable error. Out of line and `#[cold]`: the
+    /// hot `GlobalRef` path is a load plus one sentinel compare, with the
+    /// message formatting kept off the fast path entirely.
+    #[cold]
+    #[inline(never)]
+    fn unbound(&self, what: &str, i: u32) -> VmError {
+        VmError::runtime(format!("{what}: {}", self.global_names[i as usize]))
+    }
+
     /// The main interpreter loop; returns the program's final value when
     /// the continuation chain is exhausted.
+    ///
+    /// `pc` is an absolute index into the flat arena, so every control
+    /// transfer — call, return, continuation reinstatement — is a plain
+    /// offset assignment; there is no per-transfer refetch of a code
+    /// object. The instruction itself is fetched by value each iteration
+    /// (`Op` is `Copy` and at most 16 bytes), which keeps the arena free
+    /// to grow underneath us when a builtin such as `eval` links new code
+    /// mid-run.
     #[allow(clippy::too_many_lines)]
     pub(crate) fn run(&mut self) -> R<Value> {
         loop {
-            let ops = self.codes[self.code as usize].ops.clone();
-            // Inner loop over the current code object; any transfer breaks
-            // back out to refetch.
-            'inner: loop {
-                let op = &ops[self.pc];
-                self.pc += 1;
-                self.instructions += 1;
-                if let Some(hist) = &mut self.opcode_hist {
-                    hist[op.kind_index()] += 1;
+            let op = self.flat[self.pc];
+            self.pc += 1;
+            self.instructions += 1;
+            if let Some(hist) = &mut self.opcode_hist {
+                hist[op.kind_index()] += 1;
+            }
+            match op {
+                Op::Const(i) => {
+                    self.acc = self.codes[self.code as usize].consts[i as usize];
                 }
-                match *op {
-                    Op::Const(i) => {
-                        self.acc = self.codes[self.code as usize].consts[i as usize];
+                Op::FixInt(n) => self.acc = Value::Fixnum(n.into()),
+                Op::Unspec => self.acc = Value::Unspecified,
+                Op::LocalRef(i) => self.acc = self.local(i as usize),
+                Op::LocalSet(i) => {
+                    let v = self.acc;
+                    self.set_local(i as usize, v);
+                }
+                Op::FreeRef(i) => self.acc = self.free_value(i as usize),
+                Op::CellRefLocal(i) => {
+                    let c = self.local(i as usize);
+                    self.acc = self.cell_get(c);
+                }
+                Op::CellRefFree(i) => {
+                    let c = self.free_value(i as usize);
+                    self.acc = self.cell_get(c);
+                }
+                Op::CellSetLocal(i) => {
+                    let c = self.local(i as usize);
+                    let v = self.acc;
+                    self.cell_set(c, v);
+                }
+                Op::CellSetFree(i) => {
+                    let c = self.free_value(i as usize);
+                    let v = self.acc;
+                    self.cell_set(c, v);
+                }
+                Op::MakeCell(i) => {
+                    let v = self.local(i as usize);
+                    let cell = Value::Obj(self.heap.alloc(Obj::Cell(v)));
+                    self.set_local(i as usize, cell);
+                }
+                Op::GlobalRef(i) => {
+                    let v = self.globals[i as usize];
+                    if v == Value::Undefined {
+                        return Err(self.unbound("unbound variable", i));
                     }
-                    Op::FixInt(n) => self.acc = Value::Fixnum(n.into()),
-                    Op::Unspec => self.acc = Value::Unspecified,
-                    Op::LocalRef(i) => self.acc = self.local(i as usize),
-                    Op::LocalSet(i) => {
-                        let v = self.acc;
-                        self.set_local(i as usize, v);
+                    self.acc = v;
+                }
+                Op::GlobalSet(i) => {
+                    if self.globals[i as usize] == Value::Undefined {
+                        return Err(self.unbound("assignment to unbound variable", i));
                     }
-                    Op::FreeRef(i) => self.acc = self.free_value(i as usize),
-                    Op::CellRefLocal(i) => {
-                        let c = self.local(i as usize);
-                        self.acc = self.cell_get(c);
-                    }
-                    Op::CellRefFree(i) => {
-                        let c = self.free_value(i as usize);
-                        self.acc = self.cell_get(c);
-                    }
-                    Op::CellSetLocal(i) => {
-                        let c = self.local(i as usize);
-                        let v = self.acc;
-                        self.cell_set(c, v);
-                    }
-                    Op::CellSetFree(i) => {
-                        let c = self.free_value(i as usize);
-                        let v = self.acc;
-                        self.cell_set(c, v);
-                    }
-                    Op::MakeCell(i) => {
-                        let v = self.local(i as usize);
-                        let cell = Value::Obj(self.heap.alloc(Obj::Cell(v)));
-                        self.set_local(i as usize, cell);
-                    }
-                    Op::GlobalRef(i) => {
-                        if !self.global_defined[i as usize] {
-                            return Err(VmError::runtime(format!(
-                                "unbound variable: {}",
-                                self.global_names[i as usize]
-                            )));
-                        }
-                        self.acc = self.globals[i as usize];
-                    }
-                    Op::GlobalSet(i) => {
-                        if !self.global_defined[i as usize] {
-                            return Err(VmError::runtime(format!(
-                                "assignment to unbound variable: {}",
-                                self.global_names[i as usize]
-                            )));
-                        }
-                        self.globals[i as usize] = self.acc;
-                    }
-                    Op::GlobalDef(i) => {
-                        self.globals[i as usize] = self.acc;
-                        self.global_defined[i as usize] = true;
-                    }
-                    Op::Closure(i) => {
-                        let spec = self.codes[i as usize].code.free_spec.clone();
-                        let free: Box<[Value]> = spec
-                            .iter()
-                            .map(|s| match s {
-                                oneshot_compiler::FreeSrc::Local(j) => self.local(*j as usize),
-                                oneshot_compiler::FreeSrc::Free(j) => self.free_value(*j as usize),
-                            })
-                            .collect();
-                        self.acc = Value::Obj(self.heap.alloc(Obj::Closure { code: i, free }));
-                    }
-                    Op::Jump(off) => {
+                    self.globals[i as usize] = self.acc;
+                }
+                Op::GlobalDef(i) => {
+                    self.globals[i as usize] = self.acc;
+                }
+                Op::Closure(i) => {
+                    let free: Box<[Value]> = self.codes[i as usize]
+                        .free_spec
+                        .iter()
+                        .map(|s| match *s {
+                            oneshot_compiler::FreeSrc::Local(j) => self.local(j as usize),
+                            oneshot_compiler::FreeSrc::Free(j) => self.free_value(j as usize),
+                        })
+                        .collect();
+                    self.acc = Value::Obj(self.heap.alloc(Obj::Closure { code: i, free }));
+                }
+                Op::Jump(off) => {
+                    self.pc = (self.pc as i64 + i64::from(off)) as usize;
+                }
+                Op::BranchFalse(off) => {
+                    if !self.acc.is_true() {
                         self.pc = (self.pc as i64 + i64::from(off)) as usize;
                     }
-                    Op::BranchFalse(off) => {
-                        if !self.acc.is_true() {
-                            self.pc = (self.pc as i64 + i64::from(off)) as usize;
-                        }
-                    }
-                    Op::Entry { required, rest } => {
-                        if self.entry(required as usize, rest)? {
-                            break 'inner; // timer interrupt transferred control
-                        }
-                    }
-                    Op::Call { disp, argc } => {
-                        self.calls += 1;
-                        let fp = self.stack.fp();
-                        self.stack.set(
-                            fp + disp as usize,
-                            Slot::Ret {
-                                code: self.code,
-                                pc: self.pc as u32,
-                                disp: disp.into(),
-                                closure: self.closure,
-                            },
-                        );
-                        self.stack.set_fp(fp + disp as usize);
-                        let f = self.acc;
-                        if let Some(v) = self.apply(f, argc as usize)? {
-                            return Ok(v);
-                        }
-                        break 'inner;
-                    }
-                    Op::TailCall { disp, argc } => {
-                        self.calls += 1;
-                        let fp = self.stack.fp();
-                        for i in 0..argc as usize {
-                            let v = self.stack.get(fp + disp as usize + 1 + i).clone();
-                            self.stack.set(fp + 1 + i, v);
-                        }
-                        let f = self.acc;
-                        if let Some(v) = self.apply(f, argc as usize)? {
-                            return Ok(v);
-                        }
-                        break 'inner;
-                    }
-                    Op::Return => {
-                        if let Some(v) = self.do_return()? {
-                            return Ok(v);
-                        }
-                        break 'inner;
-                    }
-                    // --- inline primitives ---
-                    Op::Add(i) => self.acc = num_add(self.local(i as usize), self.acc)?,
-                    Op::Sub(i) => self.acc = num_sub(self.local(i as usize), self.acc)?,
-                    Op::Mul(i) => self.acc = num_mul(self.local(i as usize), self.acc)?,
-                    Op::Lt(i) => self.acc = num_cmp(self.local(i as usize), self.acc, "<")?,
-                    Op::Le(i) => self.acc = num_cmp(self.local(i as usize), self.acc, "<=")?,
-                    Op::Gt(i) => self.acc = num_cmp(self.local(i as usize), self.acc, ">")?,
-                    Op::Ge(i) => self.acc = num_cmp(self.local(i as usize), self.acc, ">=")?,
-                    Op::NumEq(i) => self.acc = num_cmp(self.local(i as usize), self.acc, "=")?,
-                    Op::Cons(i) => {
-                        let car = self.local(i as usize);
-                        let cdr = self.acc;
-                        self.acc = Value::Obj(self.heap.alloc(Obj::Pair(car, cdr)));
-                    }
-                    Op::Eq(i) => self.acc = Value::Bool(self.local(i as usize) == self.acc),
-                    Op::Car => match self.acc {
-                        Value::Obj(r) => match self.heap.get(r) {
-                            Obj::Pair(a, _) => self.acc = *a,
-                            _ => return Err(self.type_error("car", "pair", self.acc)),
+                }
+                Op::Entry { required, rest } => {
+                    // When a timer interrupt fires, `entry` has already
+                    // transferred control to the handler; just keep going.
+                    self.entry(required as usize, rest)?;
+                }
+                Op::Call { disp, argc } => {
+                    self.calls += 1;
+                    let fp = self.stack.fp();
+                    self.stack.set(
+                        fp + disp as usize,
+                        Slot::Ret {
+                            code: self.code,
+                            pc: self.pc as u32,
+                            disp: disp.into(),
+                            closure: self.closure,
                         },
-                        v => return Err(self.type_error("car", "pair", v)),
-                    },
-                    Op::Cdr => match self.acc {
-                        Value::Obj(r) => match self.heap.get(r) {
-                            Obj::Pair(_, d) => self.acc = *d,
-                            _ => return Err(self.type_error("cdr", "pair", self.acc)),
-                        },
-                        v => return Err(self.type_error("cdr", "pair", v)),
-                    },
-                    Op::NullP => self.acc = Value::Bool(self.acc == Value::Nil),
-                    Op::PairP => {
-                        self.acc = Value::Bool(matches!(
-                            self.acc,
-                            Value::Obj(r) if matches!(self.heap.get(r), Obj::Pair(..))
-                        ));
+                    );
+                    self.stack.set_fp(fp + disp as usize);
+                    let f = self.acc;
+                    if let Some(v) = self.apply(f, argc as usize)? {
+                        return Ok(v);
                     }
-                    Op::Not => self.acc = Value::Bool(!self.acc.is_true()),
-                    Op::ZeroP => match self.acc {
-                        Value::Fixnum(n) => self.acc = Value::Bool(n == 0),
-                        Value::Flonum(x) => self.acc = Value::Bool(x == 0.0),
+                }
+                Op::TailCall { disp, argc } => {
+                    self.calls += 1;
+                    let fp = self.stack.fp();
+                    for i in 0..argc as usize {
+                        let v = self.stack.get(fp + disp as usize + 1 + i).clone();
+                        self.stack.set(fp + 1 + i, v);
+                    }
+                    let f = self.acc;
+                    if let Some(v) = self.apply(f, argc as usize)? {
+                        return Ok(v);
+                    }
+                }
+                Op::Return => {
+                    if let Some(v) = self.do_return()? {
+                        return Ok(v);
+                    }
+                }
+                // --- inline primitives ---
+                Op::Add(i) => self.acc = num_add(self.local(i as usize), self.acc)?,
+                Op::Sub(i) => self.acc = num_sub(self.local(i as usize), self.acc)?,
+                Op::Mul(i) => self.acc = num_mul(self.local(i as usize), self.acc)?,
+                Op::Lt(i) => self.acc = num_cmp(self.local(i as usize), self.acc, "<")?,
+                Op::Le(i) => self.acc = num_cmp(self.local(i as usize), self.acc, "<=")?,
+                Op::Gt(i) => self.acc = num_cmp(self.local(i as usize), self.acc, ">")?,
+                Op::Ge(i) => self.acc = num_cmp(self.local(i as usize), self.acc, ">=")?,
+                Op::NumEq(i) => self.acc = num_cmp(self.local(i as usize), self.acc, "=")?,
+                Op::Cons(i) => {
+                    let car = self.local(i as usize);
+                    let cdr = self.acc;
+                    self.acc = Value::Obj(self.heap.alloc(Obj::Pair(car, cdr)));
+                }
+                Op::Eq(i) => self.acc = Value::Bool(self.local(i as usize) == self.acc),
+                Op::Car => match self.acc {
+                    Value::Obj(r) => match self.heap.get(r) {
+                        Obj::Pair(a, _) => self.acc = *a,
+                        _ => return Err(self.type_error("car", "pair", self.acc)),
+                    },
+                    v => return Err(self.type_error("car", "pair", v)),
+                },
+                Op::Cdr => match self.acc {
+                    Value::Obj(r) => match self.heap.get(r) {
+                        Obj::Pair(_, d) => self.acc = *d,
+                        _ => return Err(self.type_error("cdr", "pair", self.acc)),
+                    },
+                    v => return Err(self.type_error("cdr", "pair", v)),
+                },
+                Op::NullP => self.acc = Value::Bool(self.acc == Value::Nil),
+                Op::PairP => {
+                    self.acc = Value::Bool(matches!(
+                        self.acc,
+                        Value::Obj(r) if matches!(self.heap.get(r), Obj::Pair(..))
+                    ));
+                }
+                Op::Not => self.acc = Value::Bool(!self.acc.is_true()),
+                Op::ZeroP => match self.acc {
+                    Value::Fixnum(n) => self.acc = Value::Bool(n == 0),
+                    Value::Flonum(x) => self.acc = Value::Bool(x == 0.0),
+                    v => return Err(self.type_error("zero?", "number", v)),
+                },
+                Op::Add1 => self.acc = num_add(self.acc, Value::Fixnum(1))?,
+                Op::Sub1 => self.acc = num_sub(self.acc, Value::Fixnum(1))?,
+                Op::VecRef(i) => {
+                    let v = self.local(i as usize);
+                    self.acc = self.vector_ref(v, self.acc)?;
+                }
+                Op::VecSet { v, i } => {
+                    let vec = self.local(v as usize);
+                    let idx = self.local(i as usize);
+                    let x = self.acc;
+                    self.vector_set(vec, idx, x)?;
+                    self.acc = Value::Unspecified;
+                }
+                // --- superinstructions (peephole-fused pairs) ---
+                // Each arm computes exactly what the unfused pair computed,
+                // including the value left in `acc`, so fusion never changes
+                // results or stack/control counters.
+                Op::BrLt { i, off } => {
+                    self.acc = num_cmp(self.local(i as usize), self.acc, "<")?;
+                    if !self.acc.is_true() {
+                        self.pc = (self.pc as i64 + i64::from(off)) as usize;
+                    }
+                }
+                Op::BrLe { i, off } => {
+                    self.acc = num_cmp(self.local(i as usize), self.acc, "<=")?;
+                    if !self.acc.is_true() {
+                        self.pc = (self.pc as i64 + i64::from(off)) as usize;
+                    }
+                }
+                Op::BrGt { i, off } => {
+                    self.acc = num_cmp(self.local(i as usize), self.acc, ">")?;
+                    if !self.acc.is_true() {
+                        self.pc = (self.pc as i64 + i64::from(off)) as usize;
+                    }
+                }
+                Op::BrGe { i, off } => {
+                    self.acc = num_cmp(self.local(i as usize), self.acc, ">=")?;
+                    if !self.acc.is_true() {
+                        self.pc = (self.pc as i64 + i64::from(off)) as usize;
+                    }
+                }
+                Op::BrNumEq { i, off } => {
+                    self.acc = num_cmp(self.local(i as usize), self.acc, "=")?;
+                    if !self.acc.is_true() {
+                        self.pc = (self.pc as i64 + i64::from(off)) as usize;
+                    }
+                }
+                Op::BrEq { i, off } => {
+                    self.acc = Value::Bool(self.local(i as usize) == self.acc);
+                    if !self.acc.is_true() {
+                        self.pc = (self.pc as i64 + i64::from(off)) as usize;
+                    }
+                }
+                Op::BrZeroP(off) => {
+                    self.acc = match self.acc {
+                        Value::Fixnum(n) => Value::Bool(n == 0),
+                        Value::Flonum(x) => Value::Bool(x == 0.0),
                         v => return Err(self.type_error("zero?", "number", v)),
-                    },
-                    Op::Add1 => self.acc = num_add(self.acc, Value::Fixnum(1))?,
-                    Op::Sub1 => self.acc = num_sub(self.acc, Value::Fixnum(1))?,
-                    Op::VecRef(i) => {
-                        let v = self.local(i as usize);
-                        self.acc = self.vector_ref(v, self.acc)?;
+                    };
+                    if !self.acc.is_true() {
+                        self.pc = (self.pc as i64 + i64::from(off)) as usize;
                     }
-                    Op::VecSet { v, i } => {
-                        let vec = self.local(v as usize);
-                        let idx = self.local(i as usize);
-                        let x = self.acc;
-                        self.vector_set(vec, idx, x)?;
-                        self.acc = Value::Unspecified;
+                }
+                Op::BrNullP(off) => {
+                    self.acc = Value::Bool(self.acc == Value::Nil);
+                    if !self.acc.is_true() {
+                        self.pc = (self.pc as i64 + i64::from(off)) as usize;
+                    }
+                }
+                Op::ReturnLocal(i) => {
+                    self.acc = self.local(i as usize);
+                    if let Some(v) = self.do_return()? {
+                        return Ok(v);
+                    }
+                }
+                Op::AddImm { i, n } => {
+                    self.acc = num_add(self.local(i as usize), Value::Fixnum(n.into()))?;
+                }
+                Op::SubImm { i, n } => {
+                    self.acc = num_sub(self.local(i as usize), Value::Fixnum(n.into()))?;
+                }
+                Op::Move { src, dst } => {
+                    self.acc = self.local(src as usize);
+                    let v = self.acc;
+                    self.set_local(dst as usize, v);
+                }
+                Op::BrLtImm { i, n, off } => {
+                    self.acc = num_cmp(self.local(i as usize), Value::Fixnum(n.into()), "<")?;
+                    if !self.acc.is_true() {
+                        self.pc = (self.pc as i64 + i64::from(off)) as usize;
+                    }
+                }
+                Op::CallGlobal { g, disp, argc } => {
+                    let f = self.globals[g as usize];
+                    if f == Value::Undefined {
+                        return Err(self.unbound("unbound variable", g));
+                    }
+                    self.acc = f;
+                    self.calls += 1;
+                    let fp = self.stack.fp();
+                    self.stack.set(
+                        fp + disp as usize,
+                        Slot::Ret {
+                            code: self.code,
+                            pc: self.pc as u32,
+                            disp: disp.into(),
+                            closure: self.closure,
+                        },
+                    );
+                    self.stack.set_fp(fp + disp as usize);
+                    if let Some(v) = self.apply(f, argc as usize)? {
+                        return Ok(v);
+                    }
+                }
+                Op::TailCallGlobal { g, disp, argc } => {
+                    let f = self.globals[g as usize];
+                    if f == Value::Undefined {
+                        return Err(self.unbound("unbound variable", g));
+                    }
+                    self.acc = f;
+                    self.calls += 1;
+                    let fp = self.stack.fp();
+                    for i in 0..argc as usize {
+                        let v = self.stack.get(fp + disp as usize + 1 + i).clone();
+                        self.stack.set(fp + 1 + i, v);
+                    }
+                    if let Some(v) = self.apply(f, argc as usize)? {
+                        return Ok(v);
+                    }
+                }
+                Op::BrTrue(off) => {
+                    let was_true = self.acc.is_true();
+                    self.acc = Value::Bool(!was_true);
+                    if was_true {
+                        self.pc = (self.pc as i64 + i64::from(off)) as usize;
                     }
                 }
             }
@@ -249,14 +376,14 @@ impl Vm {
     fn entry(&mut self, required: usize, rest: bool) -> R<bool> {
         let argc = self.argc;
         if argc < required || (!rest && argc > required) {
-            let name = &self.codes[self.code as usize].code.name;
+            let name = &self.codes[self.code as usize].name;
             return Err(VmError::runtime(format!(
                 "{name}: expected {}{} arguments, got {argc}",
                 required,
                 if rest { "+" } else { "" }
             )));
         }
-        let need = self.codes[self.code as usize].code.frame_slots as usize + 2;
+        let need = self.codes[self.code as usize].frame_slots as usize + 2;
         self.stack.ensure(need, 1 + argc, &slot_disp);
         if rest {
             let mut list = Value::Nil;
@@ -287,7 +414,7 @@ impl Vm {
         if !matches!(handler, Value::Obj(_) | Value::Builtin(_)) {
             return Err(VmError::runtime("timer expired with no interrupt handler"));
         }
-        let fs = self.codes[self.code as usize].code.frame_slots as usize + 1;
+        let fs = self.codes[self.code as usize].frame_slots as usize + 1;
         let fp = self.stack.fp();
         self.stack.set(
             fp + fs,
@@ -316,7 +443,7 @@ impl Vm {
                 Obj::Closure { code, .. } => {
                     self.closure = f;
                     self.code = *code;
-                    self.pc = 0;
+                    self.pc = self.codes[*code as usize].base as usize;
                     self.argc = argc;
                     Ok(None)
                 }

@@ -5,9 +5,10 @@ mod exec;
 mod gc;
 
 use std::collections::HashMap;
-use std::rc::Rc;
 
-use oneshot_compiler::{compile_program, CodeObject, CompiledProgram, Op, Pipeline, MNEMONICS};
+use oneshot_compiler::{
+    compile_program_with, CompiledProgram, CompilerOptions, FreeSrc, Op, Pipeline, MNEMONICS,
+};
 use oneshot_core::{
     Config, ControlProbe, CountingProbe, KontId, RingTraceProbe, SegStack, SegmentId, Stats,
 };
@@ -116,6 +117,9 @@ pub struct VmConfig {
     /// Count executed instructions per opcode kind (see
     /// [`Vm::opcode_histogram`]). Adds a counter bump per instruction.
     pub opcode_histogram: bool,
+    /// Compiler back-end options (superinstruction fusion, ...). Applies to
+    /// every program this VM compiles, including the prelude.
+    pub compiler: CompilerOptions,
 }
 
 impl Default for VmConfig {
@@ -127,6 +131,7 @@ impl Default for VmConfig {
             echo_output: false,
             probe: ProbeSpec::Off,
             opcode_histogram: false,
+            compiler: CompilerOptions::default(),
         }
     }
 }
@@ -187,6 +192,14 @@ impl VmBuilder {
         self
     }
 
+    /// Whether the compiler fuses superinstructions (on by default).
+    /// Turning it off yields the unfused instruction stream — same
+    /// results, same control events, more dispatches (the E9 comparison).
+    pub fn fuse(mut self, fuse: bool) -> Self {
+        self.cfg.compiler.fuse = fuse;
+        self
+    }
+
     /// Echo `display`/`write` output to stdout as well as the capture
     /// buffer.
     pub fn echo_output(mut self, echo: bool) -> Self {
@@ -205,14 +218,29 @@ impl VmBuilder {
     }
 }
 
-/// A loaded (linked) code object.
+/// A loaded (linked) code object: metadata plus a window into the VM's
+/// flat instruction arena.
+///
+/// The instructions themselves live concatenated in [`Vm::flat`]; each
+/// code object records only its base offset, so every control transfer is
+/// an offset assignment — no per-transfer clone or refcount traffic.
 #[derive(Debug)]
 pub(crate) struct LoadedCode {
-    pub(crate) code: Rc<CodeObject>,
-    /// Ops with global and code indices relinked to VM tables.
-    pub(crate) ops: Rc<[Op]>,
+    /// Diagnostic name (error messages, backtraces).
+    pub(crate) name: String,
+    /// Maximum frame extent in slots (the `Entry` overflow check).
+    pub(crate) frame_slots: u16,
+    /// Offset of this code object's first instruction in [`Vm::flat`].
+    pub(crate) base: u32,
+    /// Instruction count (diagnostics; the code body ends in an
+    /// unconditional transfer, so dispatch never runs off the end).
+    #[allow(dead_code)]
+    pub(crate) len: u32,
     /// Constants lowered to runtime values (GC roots).
     pub(crate) consts: Vec<Value>,
+    /// Capture spec, pre-resolved at link time so closure creation reads
+    /// it in place (no per-`Op::Closure` clone).
+    pub(crate) free_spec: Box<[FreeSrc]>,
 }
 
 /// Aggregated statistics: instruction counts plus heap and stack counters.
@@ -267,8 +295,13 @@ pub struct Vm {
     pub(crate) syms: Symbols,
     pub(crate) stack: SegStack<Slot, VmProbe>,
     pub(crate) codes: Vec<LoadedCode>,
+    /// The flat instruction arena: every loaded code object's instructions,
+    /// concatenated. `pc` is an absolute index into this vector; control
+    /// transfers are pointer arithmetic on it.
+    pub(crate) flat: Vec<Op>,
+    /// Globals. Unbound cells hold [`Value::Undefined`], so the
+    /// `GlobalRef` bound-check is one load + one compare.
     pub(crate) globals: Vec<Value>,
-    pub(crate) global_defined: Vec<bool>,
     pub(crate) global_names: Vec<String>,
     pub(crate) global_ids: HashMap<String, u32>,
     pub(crate) builtins: Vec<BuiltinFn>,
@@ -300,6 +333,7 @@ pub struct Vm {
     pub(crate) out: String,
     pub(crate) echo: bool,
     pipeline: Pipeline,
+    compiler: CompilerOptions,
 }
 
 impl Vm {
@@ -334,8 +368,8 @@ impl Vm {
             syms: Symbols::new(),
             stack: SegStack::with_probe(cfg.stack, Slot::Marker, VmProbe::from(cfg.probe)),
             codes: Vec::new(),
+            flat: Vec::new(),
             globals: Vec::new(),
-            global_defined: Vec::new(),
             global_names: Vec::new(),
             global_ids: HashMap::new(),
             builtins: Vec::new(),
@@ -359,6 +393,7 @@ impl Vm {
             out: String::new(),
             echo: cfg.echo_output,
             pipeline: cfg.pipeline,
+            compiler: cfg.compiler,
         };
         vm.register_builtins();
         if cfg.pipeline == Pipeline::Cps {
@@ -393,31 +428,34 @@ impl Vm {
 
     fn load_with(&mut self, src: &str, pipeline: Pipeline) -> Result<Value, VmError> {
         let forms = read_all(src).map_err(|e| VmError::Read(e.to_string()))?;
-        let prog =
-            compile_program(&forms, pipeline).map_err(|e| VmError::Compile(e.to_string()))?;
+        let prog = compile_program_with(&forms, pipeline, self.compiler)
+            .map_err(|e| VmError::Compile(e.to_string()))?;
         let entry = self.link(&prog);
         self.run_thunk(entry)
     }
 
     /// Links a compiled program into the VM, returning the loaded entry
-    /// code index. Global references are resolved by name; code indices are
-    /// rebased.
+    /// code index. Global references are resolved by name, code indices
+    /// are rebased, and the instructions are appended to the flat arena.
     pub(crate) fn link(&mut self, prog: &CompiledProgram) -> u32 {
         let base = self.codes.len() as u32;
         // Map program-global indices to VM-global indices.
         let gmap: Vec<u32> = prog.globals.iter().map(|name| self.global_id(name)).collect();
         for code in &prog.codes {
-            let ops: Vec<Op> = code
-                .ops
-                .iter()
-                .map(|op| match op {
-                    Op::GlobalRef(i) => Op::GlobalRef(gmap[*i as usize]),
-                    Op::GlobalSet(i) => Op::GlobalSet(gmap[*i as usize]),
-                    Op::GlobalDef(i) => Op::GlobalDef(gmap[*i as usize]),
-                    Op::Closure(i) => Op::Closure(base + i),
-                    other => other.clone(),
-                })
-                .collect();
+            let ops_base = u32::try_from(self.flat.len()).expect("flat arena exceeds u32 range");
+            self.flat.extend(code.ops.iter().map(|op| match *op {
+                Op::GlobalRef(i) => Op::GlobalRef(gmap[i as usize]),
+                Op::GlobalSet(i) => Op::GlobalSet(gmap[i as usize]),
+                Op::GlobalDef(i) => Op::GlobalDef(gmap[i as usize]),
+                Op::CallGlobal { g, disp, argc } => {
+                    Op::CallGlobal { g: gmap[g as usize], disp, argc }
+                }
+                Op::TailCallGlobal { g, disp, argc } => {
+                    Op::TailCallGlobal { g: gmap[g as usize], disp, argc }
+                }
+                Op::Closure(i) => Op::Closure(base + i),
+                other => other,
+            }));
             let consts: Vec<Value> = code
                 .consts
                 .iter()
@@ -426,7 +464,14 @@ impl Vm {
             // Resumed frames must never outrun the post-reinstatement
             // headroom guarantee.
             self.stack.raise_reserve(code.frame_slots as usize + 2);
-            self.codes.push(LoadedCode { code: Rc::new(code.clone()), ops: ops.into(), consts });
+            self.codes.push(LoadedCode {
+                name: code.name.clone(),
+                frame_slots: code.frame_slots,
+                base: ops_base,
+                len: code.ops.len() as u32,
+                consts,
+                free_spec: code.free_spec.clone().into_boxed_slice(),
+            });
         }
         base + prog.entry
     }
@@ -435,7 +480,7 @@ impl Vm {
     pub(crate) fn run_thunk(&mut self, entry: u32) -> Result<Value, VmError> {
         debug_assert!(matches!(self.stack.get(self.stack.fp()), Slot::Marker));
         self.code = entry;
-        self.pc = 0;
+        self.pc = self.codes[entry as usize].base as usize;
         self.closure = Value::Unspecified;
         self.argc = 0;
         self.mv = None;
@@ -490,8 +535,7 @@ impl Vm {
             return i;
         }
         let i = self.globals.len() as u32;
-        self.globals.push(Value::Unspecified);
-        self.global_defined.push(false);
+        self.globals.push(Value::Undefined);
         self.global_names.push(name.to_string());
         self.global_ids.insert(name.to_string(), i);
         i
@@ -500,14 +544,14 @@ impl Vm {
     /// Reads a global variable by name, if defined.
     pub fn global(&self, name: &str) -> Option<Value> {
         let &i = self.global_ids.get(name)?;
-        self.global_defined[i as usize].then(|| self.globals[i as usize])
+        let v = self.globals[i as usize];
+        (v != Value::Undefined).then_some(v)
     }
 
     /// Defines (or redefines) a global variable.
     pub fn set_global(&mut self, name: &str, v: Value) {
         let i = self.global_id(name) as usize;
         self.globals[i] = v;
-        self.global_defined[i] = true;
     }
 
     /// Interns a symbol, returning it as a value.
@@ -628,7 +672,7 @@ impl Vm {
     /// frame-size word) is what lets tools walk the stack.
     pub fn backtrace(&self) -> Vec<String> {
         let mut names = Vec::new();
-        let code_name = |code: u32| self.codes[code as usize].code.name.clone();
+        let code_name = |code: u32| self.codes[code as usize].name.clone();
         names.push(code_name(self.code));
         // The current record: from the active frame down to the base.
         let mut pos = self.stack.fp();

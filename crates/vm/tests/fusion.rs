@@ -1,0 +1,164 @@
+//! Superinstruction fusion must be semantically invisible: for any
+//! program, compiling with `fuse: true` and `fuse: false` must produce
+//! the same result AND the same segmented-stack control-event counters
+//! (captures, reinstatements, overflows, slots copied, ...) — fusion may
+//! only reduce the number of dispatched instructions, never change what
+//! the program does to the stack.
+
+use oneshot_vm::{Vm, VmStats};
+use proptest::prelude::*;
+
+/// A generated expression with the variables in scope. Weighted toward
+/// the comparison/test forms the peephole pass fuses.
+fn expr(depth: u32, vars: Vec<String>) -> BoxedStrategy<String> {
+    let atom = {
+        let vars = vars.clone();
+        prop_oneof![
+            (-50i64..50).prop_map(|n| n.to_string()),
+            Just("#t".to_string()),
+            Just("#f".to_string()),
+            Just("'()".to_string()),
+            proptest::sample::select(if vars.is_empty() { vec!["0".to_string()] } else { vars }),
+        ]
+    };
+    if depth == 0 {
+        return atom.boxed();
+    }
+    let sub = || expr(depth - 1, vars.clone());
+    let fresh = format!("v{depth}");
+    let mut extended = vars.clone();
+    extended.push(fresh.clone());
+    let sub_ext = expr(depth - 1, extended.clone());
+    let sub_ext2 = expr(depth - 1, extended);
+
+    prop_oneof![
+        2 => atom,
+        2 => (sub(), sub()).prop_map(|(a, b)| format!("(+ {a} {b})")),
+        1 => (sub(), sub()).prop_map(|(a, b)| format!("(- {a} {b})")),
+        // Every fused comparison, plus the negated form (BrTrue).
+        1 => (sub(), sub()).prop_map(|(a, b)| format!("(< {a} {b})")),
+        1 => (sub(), sub()).prop_map(|(a, b)| format!("(<= {a} {b})")),
+        1 => (sub(), sub()).prop_map(|(a, b)| format!("(> {a} {b})")),
+        1 => (sub(), sub()).prop_map(|(a, b)| format!("(= {a} {b})")),
+        1 => (sub(), sub()).prop_map(|(a, b)| format!("(eq? {a} {b})")),
+        1 => sub().prop_map(|a| format!("(zero? {a})")),
+        1 => sub().prop_map(|a| format!("(null? {a})")),
+        1 => sub().prop_map(|a| format!("(not {a})")),
+        1 => (sub(), sub()).prop_map(|(a, b)| format!("(cons {a} {b})")),
+        2 => (sub(), sub(), sub()).prop_map(|(c, t, f)| format!("(if {c} {t} {f})")),
+        2 => (sub(), sub_ext.clone()).prop_map({
+            let v = fresh.clone();
+            move |(init, body)| format!("(let (({v} {init})) {body})")
+        }),
+        1 => (sub(), sub_ext2).prop_map({
+            let v = fresh.clone();
+            move |(arg, body)| format!("((lambda ({v}) {body}) {arg})")
+        }),
+        // Continuations, so the SegStack counters actually move.
+        1 => (sub(), sub()).prop_map(|(a, b)| {
+            format!("(call/cc (lambda (k) (+ {a} (k {b}))))")
+        }),
+        1 => (sub(), sub()).prop_map(|(a, b)| {
+            format!("(call/1cc (lambda (k) (+ {a} (k {b}))))")
+        }),
+    ]
+    .boxed()
+}
+
+fn outcome(vm: &mut Vm, src: &str) -> Result<String, String> {
+    match vm.eval_str(src) {
+        Ok(v) => Ok(vm.write_value(&v)),
+        Err(_) => Err("error".to_string()),
+    }
+}
+
+/// Runs `src` on a fresh VM with the given fusion setting, returning the
+/// outcome and the counter delta over the run.
+fn measured(fuse: bool, src: &str) -> (Result<String, String>, VmStats) {
+    let mut vm = Vm::builder().fuse(fuse).build();
+    let before = vm.stats();
+    let r = outcome(&mut vm, src);
+    (r, vm.stats().delta_since(&before))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fusion_is_semantically_invisible(src in expr(4, vec![])) {
+        let (fused_r, fused_d) = measured(true, &src);
+        let (unfused_r, unfused_d) = measured(false, &src);
+        prop_assert_eq!(&fused_r, &unfused_r, "results diverged: {}", src);
+        prop_assert_eq!(
+            fused_d.stack, unfused_d.stack,
+            "SegStack counters diverged: {}", src
+        );
+        prop_assert_eq!(
+            fused_d.heap.closures_allocated, unfused_d.heap.closures_allocated,
+            "closure counts diverged: {}", src
+        );
+        prop_assert!(
+            fused_d.instructions <= unfused_d.instructions,
+            "fusion added instructions on {}: {} > {}",
+            src, fused_d.instructions, unfused_d.instructions
+        );
+    }
+}
+
+/// Deterministic anchors: the benchmark programs must agree bit-for-bit
+/// on control events while strictly reducing dispatches.
+#[test]
+fn corpus_fuses_without_changing_control_events() {
+    let corpus = [
+        "(define (tak x y z)
+           (if (not (< y x)) z
+               (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))
+         (tak 14 7 0)",
+        "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 15)",
+        "(define (ctak x y z)
+           (call/1cc (lambda (k) (ctak-aux k x y z))))
+         (define (ctak-aux k x y z)
+           (if (not (< y x))
+               (k z)
+               (ctak-aux k
+                 (ctak (- x 1) y z)
+                 (ctak (- y 1) z x)
+                 (ctak (- z 1) x y))))
+         (ctak 12 6 0)",
+        "(define (deep n) (if (zero? n) 0 (+ 1 (deep (- n 1))))) (deep 30000)",
+    ];
+    for src in corpus {
+        let (fused_r, fused_d) = measured(true, src);
+        let (unfused_r, unfused_d) = measured(false, src);
+        assert!(fused_r.is_ok(), "corpus program failed: {src}");
+        assert_eq!(fused_r, unfused_r, "{src}");
+        assert_eq!(fused_d.stack, unfused_d.stack, "{src}");
+        assert!(
+            fused_d.instructions < unfused_d.instructions,
+            "no dispatch reduction on {src}: {} vs {}",
+            fused_d.instructions,
+            unfused_d.instructions
+        );
+    }
+}
+
+/// The opcode histogram (the repl's `,ops`) renders fused opcodes
+/// symbolically via their mnemonics.
+#[test]
+fn histogram_names_fused_opcodes() {
+    let mut vm = Vm::builder().opcode_histogram(true).build();
+    vm.eval_str(
+        "(define (id x) x)
+         (define (cmp a b) (if (< a b) (+ a 5) (- a 5)))
+         (define (count l) (if (null? l) 0 (+ 1 (count (cdr l)))))
+         (id 1) (cmp 3 4) (cmp 4 3) (count '(1 2 3))",
+    )
+    .unwrap();
+    let hist = vm.opcode_histogram().expect("histogram enabled");
+    let names: Vec<&str> = hist.iter().map(|(n, _)| *n).collect();
+    for fused in ["br-lt", "return-local", "add-imm", "br-null?", "move", "call-global"] {
+        assert!(names.contains(&fused), "{fused} missing from histogram: {names:?}");
+    }
+    // Counts are positive for every listed opcode.
+    assert!(hist.iter().all(|&(_, n)| n > 0));
+}
