@@ -13,6 +13,7 @@
 //!   fragmentation  §3.4: fresh-segment vs seal-with-pad residency
 //!   promotion      §3.3: eager-walk vs shared-flag promotion
 //!   dispatch       E9: dispatch cost, superinstruction fusion on/off
+//!   gc             E10: segregated-pool heap under a threshold sweep
 //!   all            everything above
 //! ```
 //!
@@ -27,8 +28,8 @@
 
 use oneshot_bench::experiments::{
     cache_experiment, dispatch_experiment, figure5, fragmentation_experiment, frame_overhead,
-    hysteresis_experiment, overflow_experiment, promotion_experiment, tak_experiment,
-    DispatchScale,
+    gc_experiment, hysteresis_experiment, overflow_experiment, promotion_experiment,
+    tak_experiment, DispatchScale, GcScale, GC_UNBOUNDED,
 };
 use oneshot_bench::measure::render_table;
 use oneshot_bench::metrics::{measurement_json, Json};
@@ -101,6 +102,7 @@ fn main() {
         "fragmentation" => run("fragmentation", run_fragmentation()),
         "promotion" => run("promotion", run_promotion()),
         "dispatch" => run("dispatch", run_dispatch(paper)),
+        "gc" => run("gc", run_gc(paper)),
         "all" => {
             run("tak", run_tak(&scale));
             run("overflow", run_overflow(&scale));
@@ -110,6 +112,7 @@ fn main() {
             run("fragmentation", run_fragmentation());
             run("promotion", run_promotion());
             run("dispatch", run_dispatch(paper));
+            run("gc", run_gc(paper));
             run("figure5", run_figure5(&scale));
         }
         other => {
@@ -119,7 +122,7 @@ fn main() {
     }
 
     let doc = Json::obj([
-        ("schema", Json::str("oneshot-experiments/v2")),
+        ("schema", Json::str("oneshot-experiments/v3")),
         ("scale", Json::str(if paper { "paper" } else { "quick" })),
         ("experiments", Json::Obj(report)),
     ]);
@@ -478,6 +481,94 @@ fn run_dispatch(paper: bool) -> Json {
         ("scale", Json::str(if paper { "paper" } else { "quick" })),
         ("reps", Json::int(u64::from(scale.reps))),
         ("workloads", Json::Arr(workloads_json)),
+    ])
+}
+
+fn run_gc(paper: bool) -> Json {
+    let scale = if paper { GcScale::paper() } else { GcScale::quick() };
+    println!("\n== E10: segregated-pool heap — collection-threshold sweep ==");
+    let rows = gc_experiment(&scale);
+    let threshold_label = |t: usize| {
+        if t >= GC_UNBOUNDED {
+            "unbounded".to_string()
+        } else {
+            t.to_string()
+        }
+    };
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                threshold_label(r.gc_threshold),
+                format!("{:.1}", r.ms),
+                r.words_allocated.to_string(),
+                r.objects_allocated.to_string(),
+                r.collections.to_string(),
+                r.objects_freed.to_string(),
+                format!("{:.2}", r.sweep_ns as f64 / 1e6),
+                format!("{:.2}", r.max_pause_ns as f64 / 1e6),
+                r.live_after.to_string(),
+                if r.leaked { "LEAK" } else { "ok" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "threshold",
+                "ms",
+                "words-alloc",
+                "objects",
+                "collections",
+                "freed",
+                "sweep-ms",
+                "max-pause-ms",
+                "live-after",
+                "leak"
+            ],
+            &table
+        )
+    );
+    println!("Expected shape: identical results and allocation volume down each");
+    println!("workload's column; only collections/sweep time vary with the threshold.");
+    for r in &rows {
+        assert!(!r.leaked, "{} leaked at threshold {}", r.name, r.gc_threshold);
+    }
+    Json::obj([
+        ("scale", Json::str(if paper { "paper" } else { "quick" })),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("workload", Json::str(r.name)),
+                            (
+                                "gc_threshold",
+                                if r.gc_threshold >= GC_UNBOUNDED {
+                                    Json::str("unbounded")
+                                } else {
+                                    Json::int(r.gc_threshold as u64)
+                                },
+                            ),
+                            ("ms", Json::Num(r.ms)),
+                            ("result", Json::str(r.result.clone())),
+                            ("words_allocated", Json::int(r.words_allocated)),
+                            ("objects_allocated", Json::int(r.objects_allocated)),
+                            ("objects_freed", Json::int(r.objects_freed)),
+                            ("collections", Json::int(r.collections)),
+                            ("sweep_ns", Json::int(r.sweep_ns)),
+                            ("max_pause_ns", Json::int(r.max_pause_ns)),
+                            ("live_after", Json::int(r.live_after as u64)),
+                            ("leaked", Json::Bool(r.leaked)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 

@@ -585,6 +585,198 @@ pub fn dispatch_experiment(scale: DispatchScale) -> Vec<DispatchRow> {
     out
 }
 
+// ----------------------------------------------------------------------
+// E10 — GC: the segregated-pool heap under varying collection thresholds
+// ----------------------------------------------------------------------
+
+/// A `gc_threshold` that never triggers a collection in practice
+/// ("effectively infinite" in the threshold sweep).
+pub const GC_UNBOUNDED: usize = usize::MAX >> 1;
+
+/// One (workload, threshold) cell of the GC experiment.
+#[derive(Debug, Clone)]
+pub struct GcRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Objects allocated between collections ([`GC_UNBOUNDED`] = never).
+    pub gc_threshold: usize,
+    /// Wall-clock milliseconds of the measured run.
+    pub ms: f64,
+    /// Printed result of the measured run. GC is semantically invisible,
+    /// so this must not vary with the threshold.
+    pub result: String,
+    /// Heap words allocated during the measured run (deterministic per
+    /// workload — identical across thresholds).
+    pub words_allocated: u64,
+    /// Heap objects allocated during the measured run.
+    pub objects_allocated: u64,
+    /// Objects reclaimed by sweeps during the measured run.
+    pub objects_freed: u64,
+    /// Collections triggered during the measured run.
+    pub collections: u64,
+    /// Total sweep time during the measured run, nanoseconds.
+    pub sweep_ns: u64,
+    /// Worst single collection pause observed so far, nanoseconds.
+    pub max_pause_ns: u64,
+    /// Live heap objects after the final full collection.
+    pub live_after: usize,
+    /// Whether the final live count differs from the pre-run baseline —
+    /// an object the collector failed to reclaim.
+    pub leaked: bool,
+}
+
+/// The scale knobs of the E10 GC experiment.
+#[derive(Debug, Clone)]
+pub struct GcScale {
+    /// Thresholds swept (objects allocated between collections).
+    pub thresholds: Vec<usize>,
+    /// `(boyer-run n)` argument.
+    pub boyer_runs: u64,
+    /// `(ctak x y z)` arguments.
+    pub ctak: (i64, i64, i64),
+    /// `(deep-rounds rounds depth)` arguments.
+    pub deep: (u64, u64),
+    /// Figure 5 loop: threads, calls per switch, per-thread fib n.
+    pub fig5: (usize, u64, u32),
+}
+
+impl GcScale {
+    /// A sweep that finishes in a few seconds.
+    pub fn quick() -> Self {
+        GcScale {
+            thresholds: vec![256, 4096, 65536, GC_UNBOUNDED],
+            boyer_runs: 1,
+            ctak: (16, 8, 0),
+            deep: (2, 200_000),
+            fig5: (10, 8, 18),
+        }
+    }
+
+    /// The full-size sweep for reported numbers.
+    pub fn paper() -> Self {
+        GcScale {
+            thresholds: vec![256, 4096, 65536, GC_UNBOUNDED],
+            boyer_runs: 2,
+            ctak: (18, 12, 6),
+            deep: (5, 1_000_000),
+            fig5: (100, 8, 21),
+        }
+    }
+}
+
+/// Measures one workload in `vm` under the E10 protocol: warm up with one
+/// unmeasured run (boyer and the thread system mutate global state on
+/// first use), collect and take a live-count baseline, run measured, then
+/// collect again — any live-count growth over the baseline is a leak.
+fn gc_case(name: &'static str, threshold: usize, vm: &mut Vm, run: &str) -> GcRow {
+    vm.eval_str(run).expect("gc workload warms up");
+    vm.take_output();
+    vm.collect_now();
+    let baseline = vm.heap().len();
+    let before = vm.stats();
+    let start = Instant::now();
+    let value = vm.eval_str(run).expect("gc workload runs");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut result = vm.write_value(&value);
+    let output = vm.take_output();
+    if !output.is_empty() {
+        result.push_str(" | ");
+        result.push_str(&output);
+    }
+    let d = vm.stats().delta_since(&before);
+    vm.collect_now();
+    let live_after = vm.heap().len();
+    GcRow {
+        name,
+        gc_threshold: threshold,
+        ms,
+        result,
+        words_allocated: d.heap.words_allocated,
+        objects_allocated: d.heap.objects_allocated,
+        objects_freed: d.heap.objects_freed,
+        collections: d.heap.collections,
+        sweep_ns: d.heap.sweep_ns,
+        max_pause_ns: d.gc_max_pause_ns,
+        live_after,
+        leaked: live_after != baseline,
+    }
+}
+
+/// The Figure 5 thread loop as a GC workload: the suspended one-shot
+/// continuations are heap roots via the run queue, exercising the
+/// kont-registry path of the collector.
+fn gc_fig5_case(threshold: usize, threads: usize, freq: u64, fib_n: u32) -> GcRow {
+    let mut ts = ThreadSystem::with_config(
+        Strategy::Call1Cc,
+        VmConfig { gc_threshold: Some(threshold), ..VmConfig::default() },
+    );
+    ts.eval(workloads::FIB).expect("workload loads");
+    let spawn_all = |ts: &mut ThreadSystem| {
+        for _ in 0..threads {
+            ts.spawn(&format!("(lambda () (fib {fib_n}))")).expect("spawn");
+        }
+    };
+    // Warmup round.
+    spawn_all(&mut ts);
+    ts.run(freq).expect("threads run");
+    ts.vm_mut().collect_now();
+    let baseline = ts.vm_mut().heap().len();
+    // Measured round.
+    let before = ts.stats();
+    let start = Instant::now();
+    spawn_all(&mut ts);
+    let value = ts.run(freq).expect("threads run");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let result = ts.vm_mut().write_value(&value);
+    let d = ts.stats().delta_since(&before);
+    ts.vm_mut().collect_now();
+    let live_after = ts.vm_mut().heap().len();
+    GcRow {
+        name: "fig5-threads",
+        gc_threshold: threshold,
+        ms,
+        result,
+        words_allocated: d.heap.words_allocated,
+        objects_allocated: d.heap.objects_allocated,
+        objects_freed: d.heap.objects_freed,
+        collections: d.heap.collections,
+        sweep_ns: d.heap.sweep_ns,
+        max_pause_ns: d.gc_max_pause_ns,
+        live_after,
+        leaked: live_after != baseline,
+    }
+}
+
+/// E10: each workload at each collection threshold. Rows are grouped by
+/// workload, thresholds in sweep order; every row carries the leak-check
+/// verdict, and results must be identical down a workload's group.
+///
+/// # Panics
+///
+/// Panics if a workload fails.
+pub fn gc_experiment(scale: &GcScale) -> Vec<GcRow> {
+    let (cx, cy, cz) = scale.ctak;
+    let (rounds, depth) = scale.deep;
+    let (threads, freq, fib5) = scale.fig5;
+    let cases: [(&'static str, String, String); 3] = [
+        ("boyer", workloads::BOYER.to_string(), format!("(boyer-run {})", scale.boyer_runs)),
+        ("ctak", workloads::ctak("call/1cc"), format!("(ctak {cx} {cy} {cz})")),
+        ("deep", workloads::DEEP.to_string(), format!("(deep-rounds {rounds} {depth})")),
+    ];
+    let mut out = Vec::new();
+    for (name, setup, run) in &cases {
+        for &t in &scale.thresholds {
+            let mut vm = Vm::builder().gc_threshold(t).build();
+            vm.eval_str(setup).expect("gc workload loads");
+            out.push(gc_case(name, t, &mut vm, run));
+        }
+    }
+    for &t in &scale.thresholds {
+        out.push(gc_fig5_case(t, threads, freq, fib5));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -708,6 +900,43 @@ mod tests {
                 unfused.instructions
             );
             assert!(fused.ns_per_instruction() > 0.0);
+        }
+    }
+
+    #[test]
+    fn gc_thresholds_are_semantically_invisible_and_leak_free() {
+        let scale = GcScale {
+            thresholds: vec![1024, GC_UNBOUNDED],
+            boyer_runs: 1,
+            ctak: (12, 6, 0),
+            deep: (1, 20_000),
+            fig5: (3, 8, 8),
+        };
+        let rows = gc_experiment(&scale);
+        assert_eq!(rows.len(), 8);
+        for name in ["boyer", "ctak", "deep", "fig5-threads"] {
+            let group: Vec<&GcRow> = rows.iter().filter(|r| r.name == name).collect();
+            let (tiny, unbounded) = (group[0], group[1]);
+            assert_eq!(tiny.gc_threshold, 1024);
+            assert_eq!(tiny.result, unbounded.result, "{name}: result varies with gc threshold");
+            assert!(!tiny.leaked, "{name} leaked at threshold 1024");
+            assert!(!unbounded.leaked, "{name} leaked unbounded");
+            assert_eq!(
+                tiny.words_allocated, unbounded.words_allocated,
+                "{name}: allocation volume must be threshold-independent"
+            );
+            // deep barely touches the heap and the test-sized thread loop
+            // stays under the threshold; only the allocating workloads are
+            // guaranteed to collect.
+            if matches!(name, "boyer" | "ctak") {
+                assert!(
+                    tiny.collections > unbounded.collections,
+                    "{name}: tiny threshold ran {} collections vs {} unbounded",
+                    tiny.collections,
+                    unbounded.collections
+                );
+                assert!(tiny.objects_freed > 0, "{name} freed nothing under a tiny threshold");
+            }
         }
     }
 

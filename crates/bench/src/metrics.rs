@@ -372,6 +372,12 @@ pub fn stats_json(s: &Stats) -> Json {
 
 /// A [`VmStats`] as a JSON object: instruction/call/GC counters at the top
 /// level, heap and stack counters nested.
+///
+/// The heap object mirrors [`HeapStats`](oneshot_runtime::HeapStats)'
+/// counter/gauge split: `objects_freed` and `sweep_ns` are monotone
+/// counters (safe to sum across deltas — use these, not `last_freed`, for
+/// GC volume); `last_sweep_ns`, `live`, `peak_live`, and `pools` are
+/// point-in-time gauges carried from the later snapshot.
 pub fn vm_stats_json(s: &VmStats) -> Json {
     Json::obj([
         ("instructions", Json::int(s.instructions)),
@@ -387,6 +393,22 @@ pub fn vm_stats_json(s: &VmStats) -> Json {
                 ("objects_allocated", Json::int(s.heap.objects_allocated)),
                 ("closures_allocated", Json::int(s.heap.closures_allocated)),
                 ("collections", Json::int(s.heap.collections)),
+                ("objects_freed", Json::int(s.heap.objects_freed)),
+                ("sweep_ns", Json::int(s.heap.sweep_ns)),
+                ("last_sweep_ns", Json::int(s.heap.last_sweep_ns)),
+                ("live", Json::int(s.heap.live)),
+                ("peak_live", Json::int(s.heap.peak_live)),
+                (
+                    "pools",
+                    Json::obj([
+                        ("pairs", Json::int(s.heap.pools.pairs)),
+                        ("vectors", Json::int(s.heap.pools.vectors)),
+                        ("strs", Json::int(s.heap.pools.strs)),
+                        ("closures", Json::int(s.heap.pools.closures)),
+                        ("konts", Json::int(s.heap.pools.konts)),
+                        ("cells", Json::int(s.heap.pools.cells)),
+                    ]),
+                ),
             ]),
         ),
         ("stack", stats_json(&s.stack)),

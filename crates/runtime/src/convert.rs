@@ -2,7 +2,7 @@
 
 use oneshot_sexp::Datum;
 
-use crate::heap::{Heap, Obj};
+use crate::heap::{Heap, Obj, ObjView};
 use crate::symbols::Symbols;
 use crate::value::Value;
 
@@ -71,21 +71,21 @@ pub fn value_to_datum(
             Value::Char(c) => Ok(Datum::Char(c)),
             Value::Nil => Ok(Datum::Nil),
             Value::Sym(s) => Ok(Datum::Symbol(syms.name(s).to_string())),
-            Value::Obj(r) => match heap.get(r) {
-                Obj::Pair(..) => {
+            Value::Obj(r) => match heap.view(r) {
+                ObjView::Pair(..) => {
                     // Walk the cdr spine iteratively; cycles along the
                     // spine are caught by a step limit.
                     let mut cars = Vec::new();
                     let mut cur = v;
                     let mut steps = 0u32;
                     while let Value::Obj(r2) = cur {
-                        let Obj::Pair(a, d) = heap.get(r2) else { break };
+                        let Some((a, d)) = heap.pair(r2) else { break };
                         steps += 1;
                         if steps > 10_000_000 {
                             return Err("eval: datum too long (cyclic?)".to_string());
                         }
-                        cars.push(go(heap, syms, *a, depth + 1)?);
-                        cur = *d;
+                        cars.push(go(heap, syms, a, depth + 1)?);
+                        cur = d;
                     }
                     let mut out = go(heap, syms, cur, depth + 1)?;
                     for car in cars.into_iter().rev() {
@@ -93,13 +93,13 @@ pub fn value_to_datum(
                     }
                     Ok(out)
                 }
-                Obj::Vector(items) => Ok(Datum::Vector(
+                ObjView::Vector(items) => Ok(Datum::Vector(
                     items
                         .iter()
                         .map(|x| go(heap, syms, *x, depth + 1))
                         .collect::<Result<_, _>>()?,
                 )),
-                Obj::Str(s) => Ok(Datum::Str(s.iter().collect())),
+                ObjView::Str(s) => Ok(Datum::Str(s.iter().collect())),
                 _ => Err("eval: value has no external representation".to_string()),
             },
             _ => Err("eval: value has no external representation".to_string()),
@@ -144,9 +144,7 @@ mod tests {
         let f = h.alloc(Obj::Closure { code: 0, free: Box::new([]) });
         assert!(value_to_datum(&h, &s, Value::Obj(f)).is_err());
         let a = h.alloc(Obj::Pair(Value::Nil, Value::Nil));
-        if let Obj::Pair(_, d) = h.get_mut(a) {
-            *d = Value::Obj(a);
-        }
+        h.pair_mut(a).unwrap().1 = Value::Obj(a);
         assert!(value_to_datum(&h, &s, Value::Obj(a)).is_err());
     }
 
@@ -157,13 +155,9 @@ mod tests {
         let d = read_str("(x x)").unwrap();
         let v = datum_to_value(&mut h, &mut s, &d);
         let Value::Obj(r) = v else { panic!() };
-        let Obj::Pair(a, d2) = heap_get(&h, r) else { panic!() };
+        let (a, d2) = h.pair(r).unwrap();
         let Value::Obj(r2) = d2 else { panic!() };
-        let Obj::Pair(b, _) = heap_get(&h, *r2) else { panic!() };
+        let (b, _) = h.pair(r2).unwrap();
         assert_eq!(a, b, "same symbol id");
-    }
-
-    fn heap_get(h: &Heap, r: crate::value::ObjRef) -> &Obj {
-        h.get(r)
     }
 }

@@ -1,10 +1,38 @@
-//! The mark–sweep heap.
+//! The mark–sweep heap, organized as segregated per-kind pools.
+//!
+//! Every object kind gets its own dense pool: a bump-allocated `Vec` of
+//! payloads plus a free list, with `u64`-word *alive* and *mark* bitmaps.
+//! Pairs — the dominant kind in Scheme workloads — therefore pack as bare
+//! `(Value, Value)` tuples with no enum discriminant and no `Option`
+//! wrapper, and a mark clear is a `memset` of one `u64` per 64 objects
+//! instead of a per-object boolean loop.
+//!
+//! The kind lives in the top bits of [`ObjRef`] (see
+//! [`ObjRef::kind`](crate::ObjRef::kind)), so type predicates never touch
+//! heap memory and every accessor is a single bounds-checked index into the
+//! right pool.
+//!
+//! Collection is embedder-driven tri-color, as before: the embedder marks
+//! roots ([`Heap::mark_value`]), drains the gray worklist with
+//! [`Heap::mark_children`], interleaves continuation-stack marking via
+//! [`Heap::pop_kont`], then calls [`Heap::sweep`]. The mark phase performs
+//! **no heap allocation**: children are scanned in place by index, and
+//! [`Heap::begin_gc`] pre-reserves worklist capacity for every live object.
+
+use std::time::Instant;
 
 use oneshot_core::KontId;
 
 use crate::value::{ObjRef, Value};
 
-/// A heap-allocated object.
+pub use crate::value::ObjKind;
+
+/// A heap-allocated object, as passed to [`Heap::alloc`].
+///
+/// This is the *allocation description*: the heap immediately explodes it
+/// into the matching pool, so no `Obj` value is ever stored. Reads go
+/// through the typed accessors ([`Heap::pair`], [`Heap::vector`], ...) or
+/// the borrowing [`Heap::view`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Obj {
     /// A mutable pair.
@@ -49,26 +77,165 @@ impl Obj {
     }
 }
 
+/// A borrowed read-only view of a heap object, returned by [`Heap::view`].
+///
+/// Printers, converters and `equal?` traverse arbitrary objects through
+/// this; hot VM paths use the typed accessors instead.
+#[derive(Debug, Clone, Copy)]
+pub enum ObjView<'a> {
+    /// A pair's car and cdr.
+    Pair(Value, Value),
+    /// A vector's elements.
+    Vector(&'a [Value]),
+    /// A string's characters.
+    Str(&'a [char]),
+    /// A closure's code index and captured free values.
+    Closure {
+        /// Index into the VM's code table.
+        code: u32,
+        /// Captured free-variable values.
+        free: &'a [Value],
+    },
+    /// A continuation's stack record and winder snapshot.
+    Kont {
+        /// The sealed stack record, or `None` for the halt continuation.
+        kont: Option<KontId>,
+        /// The winder list captured with it.
+        winders: Value,
+    },
+    /// A cell's contents.
+    Cell(Value),
+}
+
+/// Inline capacity for closure free-variable payloads. Captures of at
+/// most this many values live directly in the pool slot; larger ones
+/// fall back to a boxed slice.
+const CLOSURE_INLINE: usize = 4;
+
+/// A closure's captured free variables. Small captures (the common case
+/// by far) are stored inline so closure allocation performs no Rust-side
+/// heap allocation — continuation-heavy workloads allocate one closure
+/// per capture, which made the payload box a hot malloc.
+#[derive(Debug)]
+enum FreeVals {
+    /// `len` live values in a fixed slot-resident array.
+    Inline(u8, [Value; CLOSURE_INLINE]),
+    /// Overflow representation for large captures.
+    Boxed(Box<[Value]>),
+}
+
+impl Default for FreeVals {
+    fn default() -> Self {
+        FreeVals::Inline(0, [Value::Nil; CLOSURE_INLINE])
+    }
+}
+
+impl FreeVals {
+    #[inline]
+    fn from_slice(free: &[Value]) -> Self {
+        if free.len() <= CLOSURE_INLINE {
+            let mut a = [Value::Nil; CLOSURE_INLINE];
+            a[..free.len()].copy_from_slice(free);
+            FreeVals::Inline(free.len() as u8, a)
+        } else {
+            FreeVals::Boxed(free.into())
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[Value] {
+        match self {
+            FreeVals::Inline(n, a) => &a[..*n as usize],
+            FreeVals::Boxed(b) => b,
+        }
+    }
+}
+
+/// A closure payload in the closure pool.
+#[derive(Debug, Default)]
+struct ClosureObj {
+    code: u32,
+    free: FreeVals,
+}
+
+/// A continuation payload in the kont pool.
+#[derive(Debug)]
+struct KontObj {
+    kont: Option<KontId>,
+    winders: Value,
+}
+
+impl Default for KontObj {
+    fn default() -> Self {
+        KontObj { kont: None, winders: Value::Nil }
+    }
+}
+
+/// Live-object counts per pool — point-in-time gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct PoolOccupancy {
+    /// Live pairs.
+    pub pairs: u64,
+    /// Live vectors.
+    pub vectors: u64,
+    /// Live strings.
+    pub strs: u64,
+    /// Live closures.
+    pub closures: u64,
+    /// Live continuations.
+    pub konts: u64,
+    /// Live cells.
+    pub cells: u64,
+}
+
 /// Heap statistics.
+///
+/// # Counters vs gauges
+///
+/// Fields are either **monotone counters** (only ever increase; a
+/// difference between two snapshots is the volume in between) or **gauges**
+/// (point-in-time readings; differencing or summing them is meaningless).
+/// [`HeapStats::delta_since`] subtracts the counters and carries the *later*
+/// snapshot's gauges through unchanged — consumers aggregating deltas (e.g.
+/// `crates/bench/src/metrics.rs`) must only sum the counter fields.
+///
+/// Counters: `words_allocated`, `objects_allocated`, `collections`,
+/// `closures_allocated`, `objects_freed`, `sweep_ns`.
+/// Gauges: `last_freed`, `last_sweep_ns`, `live`, `peak_live`, `pools`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct HeapStats {
-    /// Words allocated since creation (monotone).
+    /// Words allocated since creation (counter).
     pub words_allocated: u64,
-    /// Objects allocated since creation (monotone).
+    /// Objects allocated since creation (counter).
     pub objects_allocated: u64,
-    /// Collections performed.
+    /// Collections performed (counter).
     pub collections: u64,
-    /// Objects freed by the last sweep.
+    /// Objects freed by the last sweep (gauge — use
+    /// [`objects_freed`](Self::objects_freed) for volumes).
     pub last_freed: u64,
-    /// Closures allocated since creation (monotone) — drives the §5
+    /// Closures allocated since creation (counter) — drives the §5
     /// closure-creation-overhead comparison with CPS compilation.
     pub closures_allocated: u64,
+    /// Objects freed across all sweeps (counter).
+    pub objects_freed: u64,
+    /// Total nanoseconds spent sweeping (counter).
+    pub sweep_ns: u64,
+    /// Nanoseconds spent in the last sweep (gauge).
+    pub last_sweep_ns: u64,
+    /// Live objects right now (gauge).
+    pub live: u64,
+    /// Most objects ever simultaneously live (gauge, running maximum).
+    pub peak_live: u64,
+    /// Live objects per pool (gauges).
+    pub pools: PoolOccupancy,
 }
 
 impl HeapStats {
-    /// Counter-wise difference `self - earlier` (gauges keep their current
-    /// values).
+    /// Counter-wise difference `self - earlier`; gauge fields
+    /// (`last_freed`, `last_sweep_ns`, `live`, `peak_live`, `pools`) keep
+    /// `self`'s current values — do not sum them across deltas.
     #[must_use]
     pub fn delta_since(&self, earlier: &HeapStats) -> HeapStats {
         HeapStats {
@@ -77,42 +244,210 @@ impl HeapStats {
             collections: self.collections - earlier.collections,
             last_freed: self.last_freed,
             closures_allocated: self.closures_allocated - earlier.closures_allocated,
+            objects_freed: self.objects_freed - earlier.objects_freed,
+            sweep_ns: self.sweep_ns - earlier.sweep_ns,
+            last_sweep_ns: self.last_sweep_ns,
+            live: self.live,
+            peak_live: self.peak_live,
+            pools: self.pools,
         }
     }
 }
 
-/// A mark–sweep heap of [`Obj`]s.
-#[derive(Debug, Default)]
-pub struct Heap {
-    slots: Vec<Option<Obj>>,
-    marks: Vec<bool>,
-    free: Vec<u32>,
-    gray: Vec<ObjRef>,
-    live: usize,
-    stats: HeapStats,
-    alloc_since_gc: usize,
-    gc_threshold: usize,
+/// What sweeping must do to a freed slot. Plain-value payloads leave the
+/// stale bytes in place (the slot is dead — its alive bit is clear — and
+/// [`Pool::alloc`] overwrites the whole slot on reuse); payloads that own
+/// Rust-side memory release it here so a sweep, not a later reuse, is
+/// what returns memory to the allocator.
+trait PoolPayload: Default {
+    /// Drops any owned memory in a freed slot. The default is a no-op.
+    #[inline]
+    fn release(&mut self) {}
 }
 
-impl Heap {
-    /// Creates an empty heap with the default collection threshold.
-    pub fn new() -> Self {
-        Heap { gc_threshold: 1 << 16, ..Heap::default() }
+impl PoolPayload for (Value, Value) {}
+impl PoolPayload for Value {}
+impl PoolPayload for KontObj {}
+
+impl PoolPayload for Vec<Value> {
+    fn release(&mut self) {
+        *self = Vec::new();
+    }
+}
+
+impl PoolPayload for Vec<char> {
+    fn release(&mut self) {
+        *self = Vec::new();
+    }
+}
+
+impl PoolPayload for ClosureObj {
+    fn release(&mut self) {
+        // Inline captures own nothing; only a spilled box must drop.
+        if matches!(self.free, FreeVals::Boxed(_)) {
+            self.free = FreeVals::default();
+        }
+    }
+}
+
+/// One segregated pool: dense payload slots, a free list, and `u64`-word
+/// *alive*/*mark* bitmaps (bit `i` of word `i / 64` covers slot `i`).
+#[derive(Debug, Default)]
+struct Pool<T> {
+    slots: Vec<T>,
+    /// Alive bitmap: set at alloc, cleared at sweep. Sweep walks this.
+    alive: Vec<u64>,
+    /// Mark bitmap: cleared wholesale in `begin_gc`, set during marking.
+    marks: Vec<u64>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T: PoolPayload> Pool<T> {
+    /// Stores `v`, reusing a freed slot if one exists.
+    fn alloc(&mut self, v: T) -> u32 {
+        self.live += 1;
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = v;
+                set_bit(&mut self.alive, i);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("heap pool overflow");
+                assert!(i <= crate::value::INDEX_MASK, "heap pool overflow");
+                self.slots.push(v);
+                if self.slots.len() > self.alive.len() * 64 {
+                    self.alive.push(0);
+                    self.marks.push(0);
+                }
+                set_bit(&mut self.alive, i);
+                i
+            }
+        }
     }
 
-    /// Statistics (allocation volume, collections).
-    pub fn stats(&self) -> &HeapStats {
-        &self.stats
+    #[inline]
+    fn is_live(&self, i: u32) -> bool {
+        bit(&self.alive, i)
+    }
+
+    /// Marks slot `i`; true if it was not already marked.
+    #[inline]
+    fn try_mark(&mut self, i: u32) -> bool {
+        let (w, b) = (i as usize / 64, i % 64);
+        let hit = self.marks[w] & (1 << b) == 0;
+        self.marks[w] |= 1 << b;
+        hit
+    }
+
+    /// Word-granularity mark clear.
+    fn clear_marks(&mut self) {
+        self.marks.fill(0);
+    }
+
+    /// Frees every alive-but-unmarked slot (releasing any owned payload
+    /// memory — see [`PoolPayload::release`]), returning how many were
+    /// freed.
+    fn sweep(&mut self) -> u64 {
+        let mut freed = 0u64;
+        for w in 0..self.alive.len() {
+            let mut garbage = self.alive[w] & !self.marks[w];
+            if garbage == 0 {
+                continue;
+            }
+            self.alive[w] &= self.marks[w];
+            while garbage != 0 {
+                let i = w as u32 * 64 + garbage.trailing_zeros();
+                self.slots[i as usize].release();
+                self.free.push(i);
+                freed += 1;
+                garbage &= garbage - 1;
+            }
+        }
+        self.live -= freed as usize;
+        freed
+    }
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], i: u32) {
+    words[i as usize / 64] |= 1 << (i % 64);
+}
+
+#[inline]
+fn bit(words: &[u64], i: u32) -> bool {
+    words[i as usize / 64] & (1 << (i % 64)) != 0
+}
+
+/// A mark–sweep heap of segregated per-kind object pools.
+#[derive(Debug, Default)]
+pub struct Heap {
+    pairs: Pool<(Value, Value)>,
+    vectors: Pool<Vec<Value>>,
+    strs: Pool<Vec<char>>,
+    closures: Pool<ClosureObj>,
+    konts: Pool<KontObj>,
+    cells: Pool<Value>,
+    /// Pool indices of live `Kont` objects with a stack record — maintained
+    /// at alloc/sweep so [`Heap::konts`] never scans the heap.
+    kont_registry: Vec<u32>,
+    gray: Vec<ObjRef>,
+    /// Continuation records discovered during marking, for the embedder to
+    /// drain (their stack slices live outside the heap).
+    kont_gray: Vec<KontId>,
+    stats: HeapStats,
+    peak_live: usize,
+    alloc_since_gc: usize,
+    gc_threshold: usize,
+    /// Whether the threshold tracks the live set (the default) or was
+    /// pinned by [`Heap::set_gc_threshold`].
+    adaptive_threshold: bool,
+}
+
+/// Bounds for the adaptive collection threshold (objects allocated
+/// between collections). The floor keeps sweep amortization sane for
+/// tiny live sets while the pools stay cache-resident; the ceiling
+/// bounds the memory held by a collection cycle.
+const ADAPTIVE_THRESHOLD_MIN: usize = 1 << 14;
+const ADAPTIVE_THRESHOLD_MAX: usize = 1 << 20;
+
+impl Heap {
+    /// Creates an empty heap with the adaptive collection threshold.
+    pub fn new() -> Self {
+        Heap { gc_threshold: ADAPTIVE_THRESHOLD_MIN, adaptive_threshold: true, ..Heap::default() }
+    }
+
+    /// Statistics snapshot (allocation volume, collections, occupancy
+    /// gauges). See [`HeapStats`] for the counter/gauge split.
+    pub fn stats(&self) -> HeapStats {
+        let mut s = self.stats;
+        s.live = self.len() as u64;
+        s.peak_live = self.peak_live as u64;
+        s.pools = PoolOccupancy {
+            pairs: self.pairs.live as u64,
+            vectors: self.vectors.live as u64,
+            strs: self.strs.live as u64,
+            closures: self.closures.live as u64,
+            konts: self.konts.live as u64,
+            cells: self.cells.live as u64,
+        };
+        s
     }
 
     /// Number of live objects.
     pub fn len(&self) -> usize {
-        self.live
+        self.pairs.live
+            + self.vectors.live
+            + self.strs.live
+            + self.closures.live
+            + self.konts.live
+            + self.cells.live
     }
 
     /// Whether the heap holds no objects.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.len() == 0
     }
 
     /// Words allocated since creation (monotone) — the allocation-volume
@@ -121,10 +456,12 @@ impl Heap {
         self.stats.words_allocated
     }
 
-    /// Sets the number of allocations after which
-    /// [`Heap::wants_collection`] reports true.
+    /// Pins the number of allocations after which
+    /// [`Heap::wants_collection`] reports true, disabling the adaptive
+    /// trigger (experiments sweep fixed thresholds).
     pub fn set_gc_threshold(&mut self, objects: usize) {
         self.gc_threshold = objects.max(16);
+        self.adaptive_threshold = false;
     }
 
     /// Allocates `o`, returning its reference. Never collects — the
@@ -132,24 +469,54 @@ impl Heap {
     pub fn alloc(&mut self, o: Obj) -> ObjRef {
         self.stats.words_allocated += o.words();
         self.stats.objects_allocated += 1;
-        if matches!(o, Obj::Closure { .. }) {
-            self.stats.closures_allocated += 1;
-        }
         self.alloc_since_gc += 1;
-        self.live += 1;
-        match self.free.pop() {
-            Some(i) => {
-                self.slots[i as usize] = Some(o);
-                self.marks[i as usize] = false;
-                ObjRef(i)
+        let r = match o {
+            Obj::Pair(a, d) => ObjRef::pack(ObjKind::Pair, self.pairs.alloc((a, d))),
+            Obj::Vector(v) => ObjRef::pack(ObjKind::Vector, self.vectors.alloc(v)),
+            Obj::Str(s) => ObjRef::pack(ObjKind::Str, self.strs.alloc(s)),
+            Obj::Closure { code, free } => {
+                self.stats.closures_allocated += 1;
+                let free = FreeVals::from_slice(&free);
+                ObjRef::pack(ObjKind::Closure, self.closures.alloc(ClosureObj { code, free }))
             }
-            None => {
-                let i = u32::try_from(self.slots.len()).expect("heap index overflow");
-                self.slots.push(Some(o));
-                self.marks.push(false);
-                ObjRef(i)
+            Obj::Kont { kont, winders } => {
+                let i = self.konts.alloc(KontObj { kont, winders });
+                if kont.is_some() {
+                    self.kont_registry.push(i);
+                }
+                ObjRef::pack(ObjKind::Kont, i)
             }
-        }
+            Obj::Cell(v) => ObjRef::pack(ObjKind::Cell, self.cells.alloc(v)),
+        };
+        self.peak_live = self.peak_live.max(self.len());
+        r
+    }
+
+    /// Allocates a closure directly from a borrowed free-variable slice
+    /// (the hot path for the VM's `closure` opcode). Captures of at most
+    /// [`CLOSURE_INLINE`] values are copied into the pool slot, so this
+    /// performs no Rust-side allocation for them.
+    #[inline]
+    pub fn alloc_closure(&mut self, code: u32, free: &[Value]) -> ObjRef {
+        self.stats.words_allocated += 2 + free.len() as u64;
+        self.stats.objects_allocated += 1;
+        self.stats.closures_allocated += 1;
+        self.alloc_since_gc += 1;
+        let free = FreeVals::from_slice(free);
+        let r = ObjRef::pack(ObjKind::Closure, self.closures.alloc(ClosureObj { code, free }));
+        self.peak_live = self.peak_live.max(self.len());
+        r
+    }
+
+    /// Allocates a pair directly (the hot path for `cons`).
+    #[inline]
+    pub fn alloc_pair(&mut self, car: Value, cdr: Value) -> ObjRef {
+        self.stats.words_allocated += 2;
+        self.stats.objects_allocated += 1;
+        self.alloc_since_gc += 1;
+        let r = ObjRef::pack(ObjKind::Pair, self.pairs.alloc((car, cdr)));
+        self.peak_live = self.peak_live.max(self.len());
+        r
     }
 
     /// Whether enough allocation has happened that the embedder should run
@@ -158,45 +525,159 @@ impl Heap {
         self.alloc_since_gc >= self.gc_threshold
     }
 
-    /// Reads an object.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `r` refers to a collected object (an embedder bug: a root
-    /// was not reported during marking).
+    // ------------------------------------------------------------------
+    // Typed accessors (hot VM paths)
+    // ------------------------------------------------------------------
+
+    /// The car and cdr, if `r` is a pair.
     #[inline]
-    pub fn get(&self, r: ObjRef) -> &Obj {
-        self.slots[r.0 as usize].as_ref().expect("access to collected heap object")
+    pub fn pair(&self, r: ObjRef) -> Option<(Value, Value)> {
+        (r.kind() == ObjKind::Pair).then(|| {
+            debug_assert!(self.pairs.is_live(r.pool_index()), "access to collected pair");
+            self.pairs.slots[r.pool_index() as usize]
+        })
     }
 
-    /// Mutates an object (e.g. `set-car!`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `r` refers to a collected object.
+    /// Mutable car/cdr, if `r` is a pair (`set-car!` / `set-cdr!`).
     #[inline]
-    pub fn get_mut(&mut self, r: ObjRef) -> &mut Obj {
-        self.slots[r.0 as usize].as_mut().expect("access to collected heap object")
+    pub fn pair_mut(&mut self, r: ObjRef) -> Option<&mut (Value, Value)> {
+        (r.kind() == ObjKind::Pair).then(|| {
+            debug_assert!(self.pairs.is_live(r.pool_index()), "access to collected pair");
+            &mut self.pairs.slots[r.pool_index() as usize]
+        })
+    }
+
+    /// The elements, if `r` is a vector.
+    #[inline]
+    pub fn vector(&self, r: ObjRef) -> Option<&[Value]> {
+        (r.kind() == ObjKind::Vector).then(|| {
+            debug_assert!(self.vectors.is_live(r.pool_index()), "access to collected vector");
+            &self.vectors.slots[r.pool_index() as usize][..]
+        })
+    }
+
+    /// Mutable elements, if `r` is a vector.
+    #[inline]
+    pub fn vector_mut(&mut self, r: ObjRef) -> Option<&mut Vec<Value>> {
+        (r.kind() == ObjKind::Vector).then(|| {
+            debug_assert!(self.vectors.is_live(r.pool_index()), "access to collected vector");
+            &mut self.vectors.slots[r.pool_index() as usize]
+        })
+    }
+
+    /// The characters, if `r` is a string.
+    #[inline]
+    pub fn string(&self, r: ObjRef) -> Option<&[char]> {
+        (r.kind() == ObjKind::Str).then(|| {
+            debug_assert!(self.strs.is_live(r.pool_index()), "access to collected string");
+            &self.strs.slots[r.pool_index() as usize][..]
+        })
+    }
+
+    /// Mutable characters, if `r` is a string.
+    #[inline]
+    pub fn string_mut(&mut self, r: ObjRef) -> Option<&mut Vec<char>> {
+        (r.kind() == ObjKind::Str).then(|| {
+            debug_assert!(self.strs.is_live(r.pool_index()), "access to collected string");
+            &mut self.strs.slots[r.pool_index() as usize]
+        })
+    }
+
+    /// The code index and free values, if `r` is a closure.
+    #[inline]
+    pub fn closure(&self, r: ObjRef) -> Option<(u32, &[Value])> {
+        (r.kind() == ObjKind::Closure).then(|| {
+            debug_assert!(self.closures.is_live(r.pool_index()), "access to collected closure");
+            let c = &self.closures.slots[r.pool_index() as usize];
+            (c.code, c.free.as_slice())
+        })
+    }
+
+    /// The stack record and winder snapshot, if `r` is a continuation.
+    #[inline]
+    pub fn kont(&self, r: ObjRef) -> Option<(Option<KontId>, Value)> {
+        (r.kind() == ObjKind::Kont).then(|| {
+            debug_assert!(self.konts.is_live(r.pool_index()), "access to collected continuation");
+            let k = &self.konts.slots[r.pool_index() as usize];
+            (k.kont, k.winders)
+        })
+    }
+
+    /// The contents, if `r` is a cell.
+    #[inline]
+    pub fn cell(&self, r: ObjRef) -> Option<Value> {
+        (r.kind() == ObjKind::Cell).then(|| {
+            debug_assert!(self.cells.is_live(r.pool_index()), "access to collected cell");
+            self.cells.slots[r.pool_index() as usize]
+        })
+    }
+
+    /// Mutable contents, if `r` is a cell (`set!` on a boxed variable).
+    #[inline]
+    pub fn cell_mut(&mut self, r: ObjRef) -> Option<&mut Value> {
+        (r.kind() == ObjKind::Cell).then(|| {
+            debug_assert!(self.cells.is_live(r.pool_index()), "access to collected cell");
+            &mut self.cells.slots[r.pool_index() as usize]
+        })
+    }
+
+    /// A borrowed view of any object — the uniform path for printers,
+    /// converters and `equal?`.
+    pub fn view(&self, r: ObjRef) -> ObjView<'_> {
+        let i = r.pool_index() as usize;
+        match r.kind() {
+            ObjKind::Pair => {
+                let (a, d) = self.pairs.slots[i];
+                ObjView::Pair(a, d)
+            }
+            ObjKind::Vector => ObjView::Vector(&self.vectors.slots[i]),
+            ObjKind::Str => ObjView::Str(&self.strs.slots[i]),
+            ObjKind::Closure => {
+                let c = &self.closures.slots[i];
+                ObjView::Closure { code: c.code, free: c.free.as_slice() }
+            }
+            ObjKind::Kont => {
+                let k = &self.konts.slots[i];
+                ObjView::Kont { kont: k.kont, winders: k.winders }
+            }
+            ObjKind::Cell => ObjView::Cell(self.cells.slots[i]),
+        }
     }
 
     // ------------------------------------------------------------------
     // Collection (embedder-driven tri-color)
     // ------------------------------------------------------------------
 
-    /// Begins a collection: clears all marks and the gray worklist.
+    /// Begins a collection: clears all mark bitmaps (one `u64` write per 64
+    /// objects) and the worklists, and pre-reserves worklist capacity for
+    /// every live object so the mark phase never allocates.
     pub fn begin_gc(&mut self) {
-        for m in &mut self.marks {
-            *m = false;
-        }
+        self.pairs.clear_marks();
+        self.vectors.clear_marks();
+        self.strs.clear_marks();
+        self.closures.clear_marks();
+        self.konts.clear_marks();
+        self.cells.clear_marks();
         self.gray.clear();
+        self.gray.reserve(self.len());
+        self.kont_gray.clear();
+        self.kont_gray.reserve(self.konts.live);
     }
 
     /// Marks a value's object (if any) and queues it for scanning.
     #[inline]
     pub fn mark_value(&mut self, v: Value) {
         if let Value::Obj(r) = v {
-            if !self.marks[r.0 as usize] {
-                self.marks[r.0 as usize] = true;
+            let i = r.pool_index();
+            let hit = match r.kind() {
+                ObjKind::Pair => self.pairs.try_mark(i),
+                ObjKind::Vector => self.vectors.try_mark(i),
+                ObjKind::Str => self.strs.try_mark(i),
+                ObjKind::Closure => self.closures.try_mark(i),
+                ObjKind::Kont => self.konts.try_mark(i),
+                ObjKind::Cell => self.cells.try_mark(i),
+            };
+            if hit {
                 self.gray.push(r);
             }
         }
@@ -207,68 +688,91 @@ impl Heap {
         self.gray.pop()
     }
 
-    /// Calls `f` on each value directly referenced by `r`. The embedder is
-    /// responsible for continuation objects' stack slices (they live in the
+    /// Pops the next continuation record discovered during marking; the
+    /// embedder must mark its stack slice (those values live in the
     /// segmented stack, not the heap).
-    pub fn with_children(&mut self, r: ObjRef, mut f: impl FnMut(&mut Heap, Value)) {
-        // Take the object out to sidestep aliasing; cheap for everything
-        // but big vectors, which we handle by index.
-        match self.slots[r.0 as usize].as_ref().expect("scan of collected object") {
-            Obj::Pair(a, d) => {
-                let (a, d) = (*a, *d);
-                f(self, a);
-                f(self, d);
+    pub fn pop_kont(&mut self) -> Option<KontId> {
+        self.kont_gray.pop()
+    }
+
+    /// Marks every value directly referenced by `r`, in place — no
+    /// allocation, no callbacks. Continuations additionally enqueue their
+    /// stack record for the embedder (see [`Heap::pop_kont`]).
+    pub fn mark_children(&mut self, r: ObjRef) {
+        let i = r.pool_index() as usize;
+        match r.kind() {
+            ObjKind::Pair => {
+                let (a, d) = self.pairs.slots[i];
+                self.mark_value(a);
+                self.mark_value(d);
             }
-            Obj::Vector(v) => {
-                let n = v.len();
-                for i in 0..n {
-                    let x = match self.slots[r.0 as usize].as_ref() {
-                        Some(Obj::Vector(v)) => v[i],
-                        _ => unreachable!(),
-                    };
-                    f(self, x);
+            ObjKind::Vector => {
+                // Index loop: `mark_value` only touches bitmaps and the
+                // gray stack, never vector payloads, so re-borrowing per
+                // element is sound and copies nothing.
+                for j in 0..self.vectors.slots[i].len() {
+                    let v = self.vectors.slots[i][j];
+                    self.mark_value(v);
                 }
             }
-            Obj::Str(_) => {}
-            Obj::Closure { free, .. } => {
-                let free: Vec<Value> = free.to_vec();
-                for x in free {
-                    f(self, x);
+            ObjKind::Str => {}
+            ObjKind::Closure => {
+                for j in 0..self.closures.slots[i].free.as_slice().len() {
+                    let v = self.closures.slots[i].free.as_slice()[j];
+                    self.mark_value(v);
                 }
             }
-            Obj::Kont { winders, .. } => {
-                let w = *winders;
-                f(self, w);
+            ObjKind::Kont => {
+                let KontObj { kont, winders } = self.konts.slots[i];
+                if let Some(k) = kont {
+                    self.kont_gray.push(k);
+                }
+                self.mark_value(winders);
             }
-            Obj::Cell(v) => {
-                let v = *v;
-                f(self, v);
+            ObjKind::Cell => {
+                let v = self.cells.slots[i];
+                self.mark_value(v);
             }
         }
     }
 
-    /// Frees all unmarked objects. Resets the allocation clock.
+    /// Frees all unmarked objects (word-wise `alive & !mark`), prunes the
+    /// kont registry, and resets the allocation clock.
     pub fn sweep(&mut self) {
-        let mut freed = 0;
-        for i in 0..self.slots.len() {
-            if self.slots[i].is_some() && !self.marks[i] {
-                self.slots[i] = None;
-                self.free.push(i as u32);
-                self.live -= 1;
-                freed += 1;
-            }
+        let t0 = Instant::now();
+        let mut freed = self.pairs.sweep();
+        freed += self.vectors.sweep();
+        freed += self.strs.sweep();
+        freed += self.closures.sweep();
+        let kont_freed = self.konts.sweep();
+        freed += kont_freed;
+        freed += self.cells.sweep();
+        if kont_freed > 0 {
+            let konts = &self.konts;
+            self.kont_registry.retain(|&i| konts.is_live(i));
         }
+        let ns = t0.elapsed().as_nanos() as u64;
         self.stats.collections += 1;
         self.stats.last_freed = freed;
+        self.stats.objects_freed += freed;
+        self.stats.last_sweep_ns = ns;
+        self.stats.sweep_ns += ns;
         self.alloc_since_gc = 0;
+        if self.adaptive_threshold {
+            // Grow the budget with the surviving set: a large live graph
+            // makes each mark expensive (collect rarely), while a small
+            // one keeps pools cache-resident at the floor.
+            self.gc_threshold =
+                (self.len() * 4).clamp(ADAPTIVE_THRESHOLD_MIN, ADAPTIVE_THRESHOLD_MAX);
+        }
     }
 
     /// Iterates over live continuation heap objects — used by embedders to
-    /// seed stack-continuation marking.
+    /// seed stack-continuation marking. Backed by a registry maintained at
+    /// alloc/sweep time, not a heap scan.
     pub fn konts(&self) -> impl Iterator<Item = (ObjRef, KontId)> + '_ {
-        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
-            Some(Obj::Kont { kont: Some(k), .. }) => Some((ObjRef(i as u32), *k)),
-            _ => None,
+        self.kont_registry.iter().filter_map(|&i| {
+            self.konts.slots[i as usize].kont.map(|k| (ObjRef::pack(ObjKind::Kont, i), k))
         })
     }
 }
@@ -277,15 +781,23 @@ impl Heap {
 mod tests {
     use super::*;
 
+    /// Drains the gray worklist, ignoring kont records (none in these
+    /// tests reference the stack).
+    fn drain(h: &mut Heap) {
+        while let Some(r) = h.pop_gray() {
+            h.mark_children(r);
+        }
+    }
+
     #[test]
     fn alloc_get_mutate() {
         let mut h = Heap::new();
         let r = h.alloc(Obj::Pair(Value::Fixnum(1), Value::Nil));
-        assert_eq!(*h.get(r), Obj::Pair(Value::Fixnum(1), Value::Nil));
-        if let Obj::Pair(a, _) = h.get_mut(r) {
-            *a = Value::Fixnum(2);
-        }
-        assert_eq!(*h.get(r), Obj::Pair(Value::Fixnum(2), Value::Nil));
+        assert_eq!(h.pair(r), Some((Value::Fixnum(1), Value::Nil)));
+        h.pair_mut(r).unwrap().0 = Value::Fixnum(2);
+        assert_eq!(h.pair(r), Some((Value::Fixnum(2), Value::Nil)));
+        assert_eq!(r.kind(), ObjKind::Pair);
+        assert_eq!(h.vector(r), None);
     }
 
     #[test]
@@ -296,14 +808,12 @@ mod tests {
         let root = h.alloc(Obj::Pair(Value::Obj(inner), Value::Nil));
         h.begin_gc();
         h.mark_value(Value::Obj(root));
-        while let Some(r) = h.pop_gray() {
-            h.with_children(r, |h, v| h.mark_value(v));
-        }
+        drain(&mut h);
         h.sweep();
         assert_eq!(h.len(), 2);
-        assert_eq!(*h.get(inner), Obj::Pair(Value::Fixnum(2), Value::Nil));
-        // The dead slot is recycled.
-        let again = h.alloc(Obj::Cell(Value::Nil));
+        assert_eq!(h.pair(inner), Some((Value::Fixnum(2), Value::Nil)));
+        // The dead pair slot is recycled for the next pair.
+        let again = h.alloc(Obj::Pair(Value::Nil, Value::Nil));
         assert_eq!(again, dead);
     }
 
@@ -312,15 +822,11 @@ mod tests {
         let mut h = Heap::new();
         let a = h.alloc(Obj::Pair(Value::Nil, Value::Nil));
         let b = h.alloc(Obj::Pair(Value::Obj(a), Value::Nil));
-        if let Obj::Pair(_, d) = h.get_mut(a) {
-            *d = Value::Obj(b);
-        }
+        h.pair_mut(a).unwrap().1 = Value::Obj(b);
         // Marking a cycle terminates.
         h.begin_gc();
         h.mark_value(Value::Obj(a));
-        while let Some(r) = h.pop_gray() {
-            h.with_children(r, |h, v| h.mark_value(v));
-        }
+        drain(&mut h);
         h.sweep();
         assert_eq!(h.len(), 2);
         // Unreachable cycle is collected.
@@ -362,11 +868,78 @@ mod tests {
     }
 
     #[test]
-    fn konts_iterator_finds_continuations() {
+    fn konts_registry_finds_continuations() {
         let mut h = Heap::new();
         h.alloc(Obj::Cell(Value::Nil));
+        // Halt konts (no stack record) are not in the registry.
+        h.alloc(Obj::Kont { kont: None, winders: Value::Nil });
         let k = h.alloc(Obj::Kont { kont: Some(KontId::from_index(7)), winders: Value::Nil });
         let found: Vec<_> = h.konts().collect();
         assert_eq!(found, vec![(k, KontId::from_index(7))]);
+        // Sweeping an unmarked kont prunes the registry.
+        h.begin_gc();
+        h.sweep();
+        assert_eq!(h.konts().count(), 0);
+    }
+
+    #[test]
+    fn kont_children_enqueue_stack_record() {
+        let mut h = Heap::new();
+        let w = h.alloc(Obj::Pair(Value::Fixnum(1), Value::Nil));
+        let k = h.alloc(Obj::Kont { kont: Some(KontId::from_index(3)), winders: Value::Obj(w) });
+        h.begin_gc();
+        h.mark_value(Value::Obj(k));
+        drain(&mut h);
+        assert_eq!(h.pop_kont(), Some(KontId::from_index(3)));
+        h.sweep();
+        assert_eq!(h.len(), 2, "winders survive through the kont");
+    }
+
+    #[test]
+    fn typed_refs_are_pool_local() {
+        let mut h = Heap::new();
+        let p = h.alloc(Obj::Pair(Value::Nil, Value::Nil));
+        let c = h.alloc(Obj::Cell(Value::Nil));
+        // Same pool index, different kinds — distinct references.
+        assert_eq!(p.pool_index(), c.pool_index());
+        assert_ne!(p, c);
+        assert_eq!(c.kind(), ObjKind::Cell);
+        assert_eq!(h.cell(c), Some(Value::Nil));
+        assert_eq!(h.cell(p), None);
+    }
+
+    #[test]
+    fn stats_gauges_track_occupancy_and_peak() {
+        let mut h = Heap::new();
+        let keep = h.alloc(Obj::Pair(Value::Nil, Value::Nil));
+        h.alloc(Obj::Vector(vec![Value::Nil]));
+        h.alloc(Obj::Str(vec!['a']));
+        let s = h.stats();
+        assert_eq!((s.pools.pairs, s.pools.vectors, s.pools.strs), (1, 1, 1));
+        assert_eq!(s.live, 3);
+        assert_eq!(s.peak_live, 3);
+        h.begin_gc();
+        h.mark_value(Value::Obj(keep));
+        drain(&mut h);
+        h.sweep();
+        let s = h.stats();
+        assert_eq!(s.live, 1);
+        assert_eq!(s.peak_live, 3, "peak is a running max");
+        assert_eq!(s.last_freed, 2);
+        assert_eq!(s.objects_freed, 2);
+        assert_eq!(s.collections, 1);
+    }
+
+    #[test]
+    fn sweep_resets_freed_payloads() {
+        let mut h = Heap::new();
+        let v = h.alloc(Obj::Vector(vec![Value::Fixnum(9); 100]));
+        h.begin_gc();
+        h.sweep();
+        assert!(h.is_empty());
+        // The recycled slot starts empty, not with stale contents.
+        let v2 = h.alloc(Obj::Vector(Vec::new()));
+        assert_eq!(v2, v);
+        assert_eq!(h.vector(v2), Some(&[][..]));
     }
 }

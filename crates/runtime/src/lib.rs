@@ -2,13 +2,14 @@
 //! Scheme system.
 //!
 //! Values are one-word tagged [`Value`]s; compound data lives in a
-//! mark–sweep [`Heap`] indexed by [`ObjRef`]. Symbols are interned in a
-//! [`Symbols`] table. The collector is embedder-driven: the VM owns both
-//! the heap and the segmented control stack (`oneshot-core`), and marking
-//! must traverse both (continuation objects reference stack segments whose
-//! slots hold values, and vice versa), so the heap exposes a tri-color
-//! worklist API ([`Heap::mark_value`], [`Heap::pop_gray`]) instead of a
-//! monolithic `collect`.
+//! mark–sweep [`Heap`] organized as segregated per-kind pools, indexed by
+//! kind-tagged [`ObjRef`]s. Symbols are interned in a [`Symbols`] table.
+//! The collector is embedder-driven: the VM owns both the heap and the
+//! segmented control stack (`oneshot-core`), and marking must traverse
+//! both (continuation objects reference stack segments whose slots hold
+//! values, and vice versa), so the heap exposes a tri-color worklist API
+//! ([`Heap::mark_value`], [`Heap::pop_gray`], [`Heap::mark_children`],
+//! [`Heap::pop_kont`]) instead of a monolithic `collect`.
 //!
 //! Allocation volume is accounted in words ([`Heap::words_allocated`]) —
 //! the measure behind the paper's "allocates 23% less memory" comparison.
@@ -35,10 +36,10 @@ mod symbols;
 mod value;
 
 pub use convert::{datum_to_value, value_to_datum};
-pub use heap::{Heap, HeapStats, Obj};
+pub use heap::{Heap, HeapStats, Obj, ObjView, PoolOccupancy};
 pub use print::{display_value, write_value};
 pub use symbols::{SymbolId, Symbols};
-pub use value::{ObjRef, Value};
+pub use value::{ObjKind, ObjRef, Value};
 
 /// Structural (`equal?`) comparison of two values.
 ///
@@ -54,18 +55,18 @@ pub fn values_equal(heap: &Heap, a: Value, b: Value) -> bool {
             continue;
         }
         let (Value::Obj(ra), Value::Obj(rb)) = (a, b) else { return false };
-        match (heap.get(ra), heap.get(rb)) {
-            (Obj::Pair(a1, d1), Obj::Pair(a2, d2)) => {
-                work.push((*d1, *d2));
-                work.push((*a1, *a2));
+        match (heap.view(ra), heap.view(rb)) {
+            (ObjView::Pair(a1, d1), ObjView::Pair(a2, d2)) => {
+                work.push((d1, d2));
+                work.push((a1, a2));
             }
-            (Obj::Vector(v1), Obj::Vector(v2)) => {
+            (ObjView::Vector(v1), ObjView::Vector(v2)) => {
                 if v1.len() != v2.len() {
                     return false;
                 }
                 work.extend(v1.iter().copied().zip(v2.iter().copied()));
             }
-            (Obj::Str(s1), Obj::Str(s2)) => {
+            (ObjView::Str(s1), ObjView::Str(s2)) => {
                 if s1 != s2 {
                     return false;
                 }

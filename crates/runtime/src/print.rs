@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 use std::fmt::Write as _;
 
-use crate::heap::{Heap, Obj};
+use crate::heap::{Heap, ObjView};
 use crate::symbols::Symbols;
 use crate::value::{ObjRef, Value};
 
@@ -73,11 +73,11 @@ fn emit(
                 out.push_str("#<cycle>");
                 return;
             }
-            match heap.get(r) {
-                Obj::Pair(car, cdr) => {
+            match heap.view(r) {
+                ObjView::Pair(car, cdr) => {
                     out.push('(');
-                    emit(heap, syms, *car, write, out, seen, depth + 1);
-                    let mut cur = *cdr;
+                    emit(heap, syms, car, write, out, seen, depth + 1);
+                    let mut cur = cdr;
                     loop {
                         match cur {
                             Value::Nil => break,
@@ -86,11 +86,11 @@ fn emit(
                                     out.push_str(" . #<cycle>");
                                     break;
                                 }
-                                if let Obj::Pair(a, d) = heap.get(r2) {
+                                if let ObjView::Pair(a, d) = heap.view(r2) {
                                     seen.insert(r2);
                                     out.push(' ');
-                                    emit(heap, syms, *a, write, out, seen, depth + 1);
-                                    cur = *d;
+                                    emit(heap, syms, a, write, out, seen, depth + 1);
+                                    cur = d;
                                 } else {
                                     out.push_str(" . ");
                                     emit(heap, syms, cur, write, out, seen, depth + 1);
@@ -106,7 +106,7 @@ fn emit(
                     }
                     out.push(')');
                 }
-                Obj::Vector(items) => {
+                ObjView::Vector(items) => {
                     out.push_str("#(");
                     for (i, item) in items.iter().enumerate() {
                         if i > 0 {
@@ -116,16 +116,16 @@ fn emit(
                     }
                     out.push(')');
                 }
-                Obj::Str(s) => {
+                ObjView::Str(s) => {
                     if write {
                         out.push('"');
-                        for c in s {
+                        for &c in s {
                             match c {
                                 '"' => out.push_str("\\\""),
                                 '\\' => out.push_str("\\\\"),
                                 '\n' => out.push_str("\\n"),
                                 '\t' => out.push_str("\\t"),
-                                c => out.push(*c),
+                                c => out.push(c),
                             }
                         }
                         out.push('"');
@@ -133,18 +133,18 @@ fn emit(
                         out.extend(s.iter());
                     }
                 }
-                Obj::Closure { code, .. } => {
+                ObjView::Closure { code, .. } => {
                     let _ = write!(out, "#<procedure @{code}>");
                 }
-                Obj::Kont { kont, .. } => match kont {
+                ObjView::Kont { kont, .. } => match kont {
                     Some(k) => {
                         let _ = write!(out, "#<continuation {}>", k.index());
                     }
                     None => out.push_str("#<continuation halt>"),
                 },
-                Obj::Cell(inner) => {
+                ObjView::Cell(inner) => {
                     out.push_str("#<box ");
-                    emit(heap, syms, *inner, write, out, seen, depth + 1);
+                    emit(heap, syms, inner, write, out, seen, depth + 1);
                     out.push('>');
                 }
             }
@@ -156,6 +156,7 @@ fn emit(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::heap::Obj;
 
     fn list(heap: &mut Heap, items: &[Value]) -> Value {
         let mut v = Value::Nil;
@@ -198,9 +199,7 @@ mod tests {
         let mut h = Heap::new();
         let s = Symbols::new();
         let a = h.alloc(Obj::Pair(Value::Fixnum(1), Value::Nil));
-        if let Obj::Pair(_, d) = h.get_mut(a) {
-            *d = Value::Obj(a);
-        }
+        h.pair_mut(a).unwrap().1 = Value::Obj(a);
         let text = write_value(&h, &s, Value::Obj(a));
         assert!(text.contains("#<cycle>"), "{text}");
     }

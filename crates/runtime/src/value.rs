@@ -2,12 +2,67 @@
 
 use crate::symbols::SymbolId;
 
-/// A reference to a heap object.
+/// The kind of a heap object, encoded in the top bits of every [`ObjRef`]
+/// so type predicates (`pair?`, `procedure?`, ...) never touch heap memory.
+///
+/// The discriminants select the heap's segregated pools; `Pair` is zero so
+/// the dominant object kind gets the cheapest possible check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum ObjKind {
+    /// A mutable pair.
+    Pair = 0,
+    /// A mutable vector.
+    Vector = 1,
+    /// A mutable string.
+    Str = 2,
+    /// A closure.
+    Closure = 3,
+    /// A first-class continuation.
+    Kont = 4,
+    /// A boxed (assignment-converted) variable cell.
+    Cell = 5,
+}
+
+/// Number of low bits holding the pool index; the remaining high bits hold
+/// the [`ObjKind`] tag.
+pub(crate) const INDEX_BITS: u32 = 29;
+pub(crate) const INDEX_MASK: u32 = (1 << INDEX_BITS) - 1;
+
+/// A reference to a heap object: an [`ObjKind`] tag in the top 3 bits and
+/// an index into that kind's pool in the low 29.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjRef(pub(crate) u32);
 
 impl ObjRef {
-    /// The raw heap index.
+    /// Packs a kind tag and pool index (heap-internal).
+    #[inline]
+    pub(crate) fn pack(kind: ObjKind, index: u32) -> Self {
+        debug_assert!(index <= INDEX_MASK, "pool index overflow");
+        ObjRef((kind as u32) << INDEX_BITS | index)
+    }
+
+    /// The object's kind, read from the tag — no heap access.
+    #[inline]
+    pub fn kind(self) -> ObjKind {
+        match self.0 >> INDEX_BITS {
+            0 => ObjKind::Pair,
+            1 => ObjKind::Vector,
+            2 => ObjKind::Str,
+            3 => ObjKind::Closure,
+            4 => ObjKind::Kont,
+            _ => ObjKind::Cell,
+        }
+    }
+
+    /// The index into the kind's pool (heap-internal).
+    #[inline]
+    pub(crate) fn pool_index(self) -> u32 {
+        self.0 & INDEX_MASK
+    }
+
+    /// The raw tagged word — an opaque identity, stable for the object's
+    /// lifetime and only comparable against other `index()` results.
     pub fn index(self) -> u32 {
         self.0
     }

@@ -4,7 +4,7 @@
 //! (the canonical list shared with the CPS converter); construction panics
 //! if an implementation is missing, so the two cannot drift.
 
-use oneshot_runtime::{values_equal, Obj, Value};
+use oneshot_runtime::{values_equal, Obj, ObjKind, Value};
 
 use crate::error::VmError;
 use crate::slot::{slot_disp, Resume, Slot};
@@ -73,12 +73,12 @@ impl Vm {
         loop {
             match v {
                 Value::Nil => return Ok(out),
-                Value::Obj(r) => match self.heap.get(r) {
-                    Obj::Pair(a, d) => {
-                        out.push(*a);
-                        v = *d;
+                Value::Obj(r) => match self.heap.pair(r) {
+                    Some((a, d)) => {
+                        out.push(a);
+                        v = d;
                     }
-                    _ => return Err(err(format!("{who}: improper list"))),
+                    None => return Err(err(format!("{who}: improper list"))),
                 },
                 _ => return Err(err(format!("{who}: improper list"))),
             }
@@ -87,9 +87,9 @@ impl Vm {
 
     fn string_of(&self, v: Value, who: &str) -> R<Vec<char>> {
         match v {
-            Value::Obj(r) => match self.heap.get(r) {
-                Obj::Str(s) => Ok(s.clone()),
-                _ => Err(self.type_error(who, "string", v)),
+            Value::Obj(r) => match self.heap.string(r) {
+                Some(s) => Ok(s.to_vec()),
+                None => Err(self.type_error(who, "string", v)),
             },
             _ => Err(self.type_error(who, "string", v)),
         }
@@ -139,8 +139,8 @@ impl Vm {
         let was_mv = self.local(2);
         if was_mv == Value::Bool(true) {
             let Value::Obj(r) = stash else { panic!("wind stash corrupt") };
-            let Obj::Vector(vals) = self.heap.get(r) else { panic!("wind stash corrupt") };
-            self.mv = Some(vals.clone());
+            let Some(vals) = self.heap.vector(r) else { panic!("wind stash corrupt") };
+            self.mv = Some(vals.to_vec());
             self.acc = Value::Unspecified;
         } else {
             self.acc = stash;
@@ -524,28 +524,27 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         },
         "not" => pred!("not", |_, v| !v.is_true()),
         "boolean?" => pred!("boolean?", |_, v| matches!(v, Value::Bool(_))),
-        "procedure?" => pred!("procedure?", |vm, v| match v {
+        "procedure?" => pred!("procedure?", |_, v| match v {
             Value::Builtin(_) => true,
-            Value::Obj(r) => matches!(vm.heap.get(r), Obj::Closure { .. } | Obj::Kont { .. }),
+            Value::Obj(r) => matches!(r.kind(), ObjKind::Closure | ObjKind::Kont),
             _ => false,
         }),
         "symbol?" => pred!("symbol?", |_, v| matches!(v, Value::Sym(_))),
-        "string?" => pred!("string?", |vm, v| {
-            matches!(v, Value::Obj(r) if matches!(vm.heap.get(r), Obj::Str(_)))
-        }),
+        "string?" => {
+            pred!("string?", |_, v| { matches!(v, Value::Obj(r) if r.kind() == ObjKind::Str) })
+        }
         "char?" => pred!("char?", |_, v| matches!(v, Value::Char(_))),
-        "vector?" => pred!("vector?", |vm, v| {
-            matches!(v, Value::Obj(r) if matches!(vm.heap.get(r), Obj::Vector(_)))
-        }),
-        "pair?" => pred!("pair?", |vm, v| {
-            matches!(v, Value::Obj(r) if matches!(vm.heap.get(r), Obj::Pair(..)))
-        }),
+        "vector?" => {
+            pred!("vector?", |_, v| { matches!(v, Value::Obj(r) if r.kind() == ObjKind::Vector) })
+        }
+        "pair?" => {
+            pred!("pair?", |_, v| { matches!(v, Value::Obj(r) if r.kind() == ObjKind::Pair) })
+        }
         "null?" => pred!("null?", |_, v| v == Value::Nil),
         // --- pairs and lists ---
         "cons" => |vm, argc| {
             check(argc, 2, "cons")?;
-            let p = Obj::Pair(vm.arg(0), vm.arg(1));
-            let v = Value::Obj(vm.heap.alloc(p));
+            let v = Value::Obj(vm.heap.alloc_pair(vm.arg(0), vm.arg(1)));
             ret!(vm, v)
         },
         "car" => |vm, argc| {
@@ -560,20 +559,20 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             check(argc, 2, "set-car!")?;
             let (p, v) = (vm.arg(0), vm.arg(1));
             let Value::Obj(r) = p else { return Err(vm.type_error("set-car!", "pair", p)) };
-            let Obj::Pair(a, _) = vm.heap.get_mut(r) else {
+            let Some(pair) = vm.heap.pair_mut(r) else {
                 return Err(vm.type_error("set-car!", "pair", p));
             };
-            *a = v;
+            pair.0 = v;
             ret!(vm, Value::Unspecified)
         },
         "set-cdr!" => |vm, argc| {
             check(argc, 2, "set-cdr!")?;
             let (p, v) = (vm.arg(0), vm.arg(1));
             let Value::Obj(r) = p else { return Err(vm.type_error("set-cdr!", "pair", p)) };
-            let Obj::Pair(_, d) = vm.heap.get_mut(r) else {
+            let Some(pair) = vm.heap.pair_mut(r) else {
                 return Err(vm.type_error("set-cdr!", "pair", p));
             };
-            *d = v;
+            pair.1 = v;
             ret!(vm, Value::Unspecified)
         },
         "list" => |vm, argc| {
@@ -631,14 +630,14 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             loop {
                 match v {
                     Value::Nil => return ret!(vm, Value::Bool(false)),
-                    Value::Obj(r) => match vm.heap.get(r) {
-                        Obj::Pair(a, d) => {
-                            if *a == x {
+                    Value::Obj(r) => match vm.heap.pair(r) {
+                        Some((a, d)) => {
+                            if a == x {
                                 return ret!(vm, v);
                             }
-                            v = *d;
+                            v = d;
                         }
-                        _ => return Err(err("memv: improper list")),
+                        None => return Err(err("memv: improper list")),
                     },
                     _ => return Err(err("memv: improper list")),
                 }
@@ -651,15 +650,15 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             loop {
                 match v {
                     Value::Nil => return ret!(vm, Value::Bool(false)),
-                    Value::Obj(r) => match vm.heap.get(r) {
-                        Obj::Pair(entry, d) => {
-                            let key = vm.car_of(*entry)?;
+                    Value::Obj(r) => match vm.heap.pair(r) {
+                        Some((entry, d)) => {
+                            let key = vm.car_of(entry)?;
                             if key == x {
-                                return ret!(vm, *entry);
+                                return ret!(vm, entry);
                             }
-                            v = *d;
+                            v = d;
                         }
-                        _ => return Err(err("assv: improper list")),
+                        None => return Err(err("assv: improper list")),
                     },
                     _ => return Err(err("assv: improper list")),
                 }
@@ -673,11 +672,11 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             loop {
                 match fast {
                     Value::Nil => return ret!(vm, Value::Bool(true)),
-                    Value::Obj(r) if matches!(vm.heap.get(r), Obj::Pair(..)) => {
+                    Value::Obj(r) if r.kind() == ObjKind::Pair => {
                         fast = vm.cdr_of(fast)?;
                         match fast {
                             Value::Nil => return ret!(vm, Value::Bool(true)),
-                            Value::Obj(r2) if matches!(vm.heap.get(r2), Obj::Pair(..)) => {
+                            Value::Obj(r2) if r2.kind() == ObjKind::Pair => {
                                 fast = vm.cdr_of(fast)?;
                                 slow = vm.cdr_of(slow)?;
                                 if fast == slow {
@@ -798,7 +797,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let Value::Obj(r) = vm.arg(0) else {
                 return Err(vm.type_error("string-set!", "string", vm.arg(0)));
             };
-            let Obj::Str(s) = vm.heap.get_mut(r) else {
+            let Some(s) = vm.heap.string_mut(r) else {
                 return Err(err("string-set!: expected string"));
             };
             let slot = s.get_mut(i).ok_or_else(|| err("string-set!: index out of range"))?;
@@ -858,7 +857,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let Value::Obj(r) = vm.arg(0) else {
                 return Err(vm.type_error("string-fill!", "string", vm.arg(0)));
             };
-            let Obj::Str(s) = vm.heap.get_mut(r) else {
+            let Some(s) = vm.heap.string_mut(r) else {
                 return Err(err("string-fill!: expected string"));
             };
             s.fill(c);
@@ -882,7 +881,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let Value::Obj(r) = vm.arg(0) else {
                 return Err(vm.type_error("vector-length", "vector", vm.arg(0)));
             };
-            let Obj::Vector(items) = vm.heap.get(r) else {
+            let Some(items) = vm.heap.vector(r) else {
                 return Err(vm.type_error("vector-length", "vector", vm.arg(0)));
             };
             ret!(vm, Value::Fixnum(items.len() as i64))
@@ -902,10 +901,10 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let Value::Obj(r) = vm.arg(0) else {
                 return Err(vm.type_error("vector->list", "vector", vm.arg(0)));
             };
-            let Obj::Vector(items) = vm.heap.get(r) else {
+            let Some(items) = vm.heap.vector(r) else {
                 return Err(vm.type_error("vector->list", "vector", vm.arg(0)));
             };
-            let items = items.clone();
+            let items = items.to_vec();
             let v = vm.list(&items);
             ret!(vm, v)
         },
@@ -921,7 +920,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let Value::Obj(r) = vm.arg(0) else {
                 return Err(vm.type_error("vector-fill!", "vector", vm.arg(0)));
             };
-            let Obj::Vector(items) = vm.heap.get_mut(r) else {
+            let Some(items) = vm.heap.vector_mut(r) else {
                 return Err(err("vector-fill!: expected vector"));
             };
             items.fill(x);
@@ -1015,7 +1014,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 }
                 let v = vm.arg(i);
                 match v {
-                    Value::Obj(r) if matches!(vm.heap.get(r), Obj::Str(_)) => {
+                    Value::Obj(r) if r.kind() == ObjKind::Str => {
                         msg.push_str(&vm.display_value(&v));
                     }
                     _ => msg.push_str(&vm.write_value(&v)),

@@ -4,7 +4,7 @@
 
 use oneshot_compiler::Op;
 use oneshot_core::{KontId, Underflow};
-use oneshot_runtime::{Obj, Value};
+use oneshot_runtime::{Obj, ObjKind, Value};
 
 use crate::error::VmError;
 use crate::slot::{slot_disp, Resume, Slot};
@@ -31,7 +31,7 @@ impl Vm {
 
     fn free_value(&self, i: usize) -> Value {
         let Value::Obj(r) = self.closure else { panic!("free reference without a closure") };
-        let Obj::Closure { free, .. } = self.heap.get(r) else {
+        let Some((_, free)) = self.heap.closure(r) else {
             panic!("closure register holds a non-closure")
         };
         free[i]
@@ -39,14 +39,12 @@ impl Vm {
 
     fn cell_get(&self, cell: Value) -> Value {
         let Value::Obj(r) = cell else { panic!("cell reference to non-cell") };
-        let Obj::Cell(v) = self.heap.get(r) else { panic!("cell reference to non-cell") };
-        *v
+        self.heap.cell(r).expect("cell reference to non-cell")
     }
 
     fn cell_set(&mut self, cell: Value, v: Value) {
         let Value::Obj(r) = cell else { panic!("cell assignment to non-cell") };
-        let Obj::Cell(slot) = self.heap.get_mut(r) else { panic!("cell assignment to non-cell") };
-        *slot = v;
+        *self.heap.cell_mut(r).expect("cell assignment to non-cell") = v;
     }
 
     /// Builds the unbound-variable error. Out of line and `#[cold]`: the
@@ -129,15 +127,30 @@ impl Vm {
                     self.globals[i as usize] = self.acc;
                 }
                 Op::Closure(i) => {
-                    let free: Box<[Value]> = self.codes[i as usize]
-                        .free_spec
-                        .iter()
-                        .map(|s| match *s {
-                            oneshot_compiler::FreeSrc::Local(j) => self.local(j as usize),
-                            oneshot_compiler::FreeSrc::Free(j) => self.free_value(j as usize),
-                        })
-                        .collect();
-                    self.acc = Value::Obj(self.heap.alloc(Obj::Closure { code: i, free }));
+                    // Gather captures into a stack buffer: together with
+                    // the heap's inline closure payload, small closures
+                    // (the common case) never touch the Rust allocator.
+                    let n = self.codes[i as usize].free_spec.len();
+                    if n <= 8 {
+                        let mut buf = [Value::Undefined; 8];
+                        for (j, slot) in buf[..n].iter_mut().enumerate() {
+                            *slot = match self.codes[i as usize].free_spec[j] {
+                                oneshot_compiler::FreeSrc::Local(k) => self.local(k as usize),
+                                oneshot_compiler::FreeSrc::Free(k) => self.free_value(k as usize),
+                            };
+                        }
+                        self.acc = Value::Obj(self.heap.alloc_closure(i, &buf[..n]));
+                    } else {
+                        let free: Vec<Value> = self.codes[i as usize]
+                            .free_spec
+                            .iter()
+                            .map(|s| match *s {
+                                oneshot_compiler::FreeSrc::Local(j) => self.local(j as usize),
+                                oneshot_compiler::FreeSrc::Free(j) => self.free_value(j as usize),
+                            })
+                            .collect();
+                        self.acc = Value::Obj(self.heap.alloc_closure(i, &free));
+                    }
                 }
                 Op::Jump(off) => {
                     self.pc = (self.pc as i64 + i64::from(off)) as usize;
@@ -199,20 +212,20 @@ impl Vm {
                 Op::Cons(i) => {
                     let car = self.local(i as usize);
                     let cdr = self.acc;
-                    self.acc = Value::Obj(self.heap.alloc(Obj::Pair(car, cdr)));
+                    self.acc = Value::Obj(self.heap.alloc_pair(car, cdr));
                 }
                 Op::Eq(i) => self.acc = Value::Bool(self.local(i as usize) == self.acc),
                 Op::Car => match self.acc {
-                    Value::Obj(r) => match self.heap.get(r) {
-                        Obj::Pair(a, _) => self.acc = *a,
-                        _ => return Err(self.type_error("car", "pair", self.acc)),
+                    Value::Obj(r) => match self.heap.pair(r) {
+                        Some((a, _)) => self.acc = a,
+                        None => return Err(self.type_error("car", "pair", self.acc)),
                     },
                     v => return Err(self.type_error("car", "pair", v)),
                 },
                 Op::Cdr => match self.acc {
-                    Value::Obj(r) => match self.heap.get(r) {
-                        Obj::Pair(_, d) => self.acc = *d,
-                        _ => return Err(self.type_error("cdr", "pair", self.acc)),
+                    Value::Obj(r) => match self.heap.pair(r) {
+                        Some((_, d)) => self.acc = d,
+                        None => return Err(self.type_error("cdr", "pair", self.acc)),
                     },
                     v => return Err(self.type_error("cdr", "pair", v)),
                 },
@@ -220,7 +233,7 @@ impl Vm {
                 Op::PairP => {
                     self.acc = Value::Bool(matches!(
                         self.acc,
-                        Value::Obj(r) if matches!(self.heap.get(r), Obj::Pair(..))
+                        Value::Obj(r) if r.kind() == ObjKind::Pair
                     ));
                 }
                 Op::Not => self.acc = Value::Bool(!self.acc.is_true()),
@@ -389,7 +402,7 @@ impl Vm {
             let mut list = Value::Nil;
             for i in (required..argc).rev() {
                 let v = self.local(1 + i);
-                list = Value::Obj(self.heap.alloc(Obj::Pair(v, list)));
+                list = Value::Obj(self.heap.alloc_pair(v, list));
             }
             self.set_local(1 + required, list);
         }
@@ -439,16 +452,17 @@ impl Vm {
     /// Returns `Some(final)` if the program completed (underflowed out).
     pub(crate) fn apply(&mut self, f: Value, argc: usize) -> R<Option<Value>> {
         match f {
-            Value::Obj(r) => match self.heap.get(r) {
-                Obj::Closure { code, .. } => {
+            Value::Obj(r) => match r.kind() {
+                ObjKind::Closure => {
+                    let (code, _) = self.heap.closure(r).expect("closure pool lookup");
                     self.closure = f;
-                    self.code = *code;
-                    self.pc = self.codes[*code as usize].base as usize;
+                    self.code = code;
+                    self.pc = self.codes[code as usize].base as usize;
                     self.argc = argc;
                     Ok(None)
                 }
-                Obj::Kont { kont, winders } => {
-                    let (kont, winders) = (*kont, *winders);
+                ObjKind::Kont => {
+                    let (kont, winders) = self.heap.kont(r).expect("kont pool lookup");
                     self.invoke_kont(kont, winders, argc)
                 }
                 _ => Err(self.type_error("apply", "procedure", f)),
@@ -564,8 +578,20 @@ impl Vm {
         argc: usize,
     ) -> R<Option<Value>> {
         if self.winders == winders {
-            let vals: Vec<Value> = (0..argc).map(|i| self.local(1 + i)).collect();
-            return self.reinstate(kont, &vals);
+            // No winding: reinstate directly. One value is the
+            // overwhelmingly common case (every `(k v)` invocation), so
+            // keep it off the Rust allocator entirely.
+            match argc {
+                0 => return self.reinstate(kont, &[]),
+                1 => {
+                    let v = self.local(1);
+                    return self.reinstate(kont, &[v]);
+                }
+                _ => {
+                    let vals: Vec<Value> = (0..argc).map(|i| self.local(1 + i)).collect();
+                    return self.reinstate(kont, &vals);
+                }
+            }
         }
         // Winding needed: stash the target and values in the current frame
         // and run winder thunks, one per step.
@@ -585,15 +611,14 @@ impl Vm {
     pub(crate) fn wind_step(&mut self) -> R<Option<Value>> {
         let target_val = self.local(1);
         let Value::Obj(tr) = target_val else { panic!("wind target missing") };
-        let Obj::Kont { kont, winders: target_winders } = self.heap.get(tr) else {
+        let Some((kont, target_winders)) = self.heap.kont(tr) else {
             panic!("wind target is not a continuation")
         };
-        let (kont, target_winders) = (*kont, *target_winders);
         if self.winders == target_winders {
             let vals_val = self.local(2);
             let Value::Obj(vr) = vals_val else { panic!("wind values missing") };
-            let Obj::Vector(vals) = self.heap.get(vr) else { panic!("wind values missing") };
-            let vals = vals.clone();
+            let Some(vals) = self.heap.vector(vr) else { panic!("wind values missing") };
+            let vals = vals.to_vec();
             return self.reinstate(kont, &vals);
         }
         // Is the current winder list an extension of the common tail?
@@ -601,8 +626,7 @@ impl Vm {
         if self.winders != common {
             // Leave the innermost current winder: pop, then run its after.
             let Value::Obj(wr) = self.winders else { panic!("winder list corrupt") };
-            let Obj::Pair(winder, rest) = self.heap.get(wr) else { panic!("winder list corrupt") };
-            let (winder, rest) = (*winder, *rest);
+            let Some((winder, rest)) = self.heap.pair(wr) else { panic!("winder list corrupt") };
             self.winders = rest;
             let after = self.cdr_of(winder)?;
             return self.call_winder(after, Resume::KontWind);
@@ -616,8 +640,8 @@ impl Vm {
             node = self.cdr_of(node)?;
         }
         let Value::Obj(er) = enter else { panic!("winder list corrupt") };
-        let Obj::Pair(winder, _) = self.heap.get(er) else { panic!("winder list corrupt") };
-        let before = self.car_of(*winder)?;
+        let Some((winder, _)) = self.heap.pair(er) else { panic!("winder list corrupt") };
+        let before = self.car_of(winder)?;
         self.call_winder(before, Resume::KontWindEnter)
     }
 
@@ -627,9 +651,9 @@ impl Vm {
         let mut cur = b;
         while let Value::Obj(r) = cur {
             b_nodes.push(cur);
-            match self.heap.get(r) {
-                Obj::Pair(_, d) => cur = *d,
-                _ => break,
+            match self.heap.pair(r) {
+                Some((_, d)) => cur = d,
+                None => break,
             }
         }
         b_nodes.push(Value::Nil);
@@ -639,9 +663,9 @@ impl Vm {
                 return cur;
             }
             match cur {
-                Value::Obj(r) => match self.heap.get(r) {
-                    Obj::Pair(_, d) => cur = *d,
-                    _ => return Value::Nil,
+                Value::Obj(r) => match self.heap.pair(r) {
+                    Some((_, d)) => cur = d,
+                    None => return Value::Nil,
                 },
                 _ => return Value::Nil,
             }
@@ -672,10 +696,9 @@ impl Vm {
                 // A before thunk finished: enter the winder, then continue.
                 let target_val = self.local(1);
                 let Value::Obj(tr) = target_val else { panic!("wind target missing") };
-                let Obj::Kont { winders: target_winders, .. } = self.heap.get(tr) else {
+                let Some((_, target_winders)) = self.heap.kont(tr) else {
                     panic!("wind target is not a continuation")
                 };
-                let target_winders = *target_winders;
                 let common = self.common_tail(self.winders, target_winders);
                 let mut node = target_winders;
                 let mut enter = target_winders;
@@ -741,9 +764,9 @@ impl Vm {
 
     pub(crate) fn car_of(&self, v: Value) -> R<Value> {
         match v {
-            Value::Obj(r) => match self.heap.get(r) {
-                Obj::Pair(a, _) => Ok(*a),
-                _ => Err(self.type_error("car", "pair", v)),
+            Value::Obj(r) => match self.heap.pair(r) {
+                Some((a, _)) => Ok(a),
+                None => Err(self.type_error("car", "pair", v)),
             },
             _ => Err(self.type_error("car", "pair", v)),
         }
@@ -751,9 +774,9 @@ impl Vm {
 
     pub(crate) fn cdr_of(&self, v: Value) -> R<Value> {
         match v {
-            Value::Obj(r) => match self.heap.get(r) {
-                Obj::Pair(_, d) => Ok(*d),
-                _ => Err(self.type_error("cdr", "pair", v)),
+            Value::Obj(r) => match self.heap.pair(r) {
+                Some((_, d)) => Ok(d),
+                None => Err(self.type_error("cdr", "pair", v)),
             },
             _ => Err(self.type_error("cdr", "pair", v)),
         }
@@ -763,7 +786,7 @@ impl Vm {
         let Value::Obj(r) = v else {
             return Err(self.type_error("vector-ref", "vector", v));
         };
-        let Obj::Vector(items) = self.heap.get(r) else {
+        let Some(items) = self.heap.vector(r) else {
             return Err(self.type_error("vector-ref", "vector", v));
         };
         let Value::Fixnum(i) = idx else {
@@ -782,7 +805,7 @@ impl Vm {
         let Value::Fixnum(i) = idx else {
             return Err(self.type_error("vector-set!", "index", idx));
         };
-        let Obj::Vector(items) = self.heap.get_mut(r) else {
+        let Some(items) = self.heap.vector_mut(r) else {
             return Err(self.type_error("vector-set!", "vector", v));
         };
         let slot = usize::try_from(i)

@@ -7,9 +7,14 @@
 //! all (implicit overflow continuations). Marking therefore alternates
 //! between the heap's gray worklist and a continuation worklist until both
 //! drain.
+//!
+//! The mark phase is allocation-free in steady state: the heap scans
+//! children in place ([`oneshot_runtime::Heap::mark_children`]), stack
+//! slices are walked by reference (heap and stack are disjoint fields of
+//! [`Vm`], so no values are copied out), and the continuation worklist
+//! buffer is owned by the VM and reused across collections.
 
-use oneshot_core::KontId;
-use oneshot_runtime::{Obj, Value};
+use oneshot_runtime::Value;
 
 use crate::slot::Slot;
 use crate::vm::Vm;
@@ -22,7 +27,10 @@ impl Vm {
         let started = std::time::Instant::now();
         self.heap.begin_gc();
         self.stack.begin_gc();
-        let mut konts: Vec<KontId> = Vec::new();
+        // Reuse the continuation worklist across collections (no steady-
+        // state allocation).
+        let mut konts = std::mem::take(&mut self.gc_kont_work);
+        konts.clear();
 
         // Roots: registers, globals, winders, timer handler, pending
         // multiple values, constant pools.
@@ -30,18 +38,16 @@ impl Vm {
         self.heap.mark_value(self.closure);
         self.heap.mark_value(self.winders);
         self.heap.mark_value(self.timer_handler);
-        if let Some(vals) = self.mv.clone() {
-            for v in vals {
+        if let Some(vals) = &self.mv {
+            for &v in vals {
                 self.heap.mark_value(v);
             }
         }
-        for i in 0..self.globals.len() {
-            let v = self.globals[i];
+        for &v in &self.globals {
             self.heap.mark_value(v);
         }
-        for ci in 0..self.codes.len() {
-            for vi in 0..self.codes[ci].consts.len() {
-                let v = self.codes[ci].consts[vi];
+        for code in &self.codes {
+            for &v in &code.consts {
                 self.heap.mark_value(v);
             }
         }
@@ -56,16 +62,17 @@ impl Vm {
             cursor = self.stack.kont_link(k);
         }
 
-        // Alternate the two worklists to a fixed point.
+        // Alternate the two worklists to a fixed point: heap marking
+        // discovers continuation records (via `pop_kont`), and marking a
+        // record's sealed slots discovers heap values.
         loop {
             let mut progressed = false;
             while let Some(r) = self.heap.pop_gray() {
                 progressed = true;
-                // Continuation heap objects seed stack marking.
-                if let Obj::Kont { kont: Some(k), .. } = self.heap.get(r) {
-                    konts.push(*k);
-                }
-                self.heap.with_children(r, |h, v| h.mark_value(v));
+                self.heap.mark_children(r);
+            }
+            while let Some(k) = self.heap.pop_kont() {
+                konts.push(k);
             }
             while let Some(k) = konts.pop() {
                 progressed = true;
@@ -84,10 +91,10 @@ impl Vm {
                     if let Some(v) = slot_heap_value(self.stack.kont(k).ret()) {
                         self.heap.mark_value(v);
                     }
-                    let vals: Vec<Value> =
-                        self.stack.kont_slice(k).iter().filter_map(slot_heap_value).collect();
-                    for v in vals {
-                        self.heap.mark_value(v);
+                    for s in self.stack.kont_slice(k) {
+                        if let Some(v) = slot_heap_value(s) {
+                            self.heap.mark_value(v);
+                        }
                     }
                 }
             }
@@ -95,6 +102,7 @@ impl Vm {
                 break;
             }
         }
+        self.gc_kont_work = konts;
 
         self.heap.sweep();
         self.stack.sweep(false);

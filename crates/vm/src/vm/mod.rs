@@ -120,6 +120,10 @@ pub struct VmConfig {
     /// Compiler back-end options (superinstruction fusion, ...). Applies to
     /// every program this VM compiles, including the prelude.
     pub compiler: CompilerOptions,
+    /// Heap collection threshold: allocations between GC safe-point
+    /// checks. `None` keeps the heap's default adaptive trigger, which
+    /// scales with the surviving live set; `Some(n)` pins it at `n`.
+    pub gc_threshold: Option<usize>,
 }
 
 impl Default for VmConfig {
@@ -132,6 +136,7 @@ impl Default for VmConfig {
             probe: ProbeSpec::Off,
             opcode_histogram: false,
             compiler: CompilerOptions::default(),
+            gc_threshold: None,
         }
     }
 }
@@ -204,6 +209,15 @@ impl VmBuilder {
     /// buffer.
     pub fn echo_output(mut self, echo: bool) -> Self {
         self.cfg.echo_output = echo;
+        self
+    }
+
+    /// Pins the heap's collection threshold (allocations between GC
+    /// safe-point checks), disabling the adaptive trigger. Small values
+    /// force frequent collections — used by the E10 experiment and GC
+    /// stress tests.
+    pub fn gc_threshold(mut self, objects: usize) -> Self {
+        self.cfg.gc_threshold = Some(objects);
         self
     }
 
@@ -330,6 +344,9 @@ pub struct Vm {
     pub(crate) gc_pause_ns: u64,
     pub(crate) gc_max_pause_ns: u64,
     pub(crate) gc_objects_freed: u64,
+    /// Continuation mark worklist, reused across collections so the mark
+    /// phase does not allocate in steady state.
+    pub(crate) gc_kont_work: Vec<KontId>,
     pub(crate) out: String,
     pub(crate) echo: bool,
     pipeline: Pipeline,
@@ -390,11 +407,15 @@ impl Vm {
             gc_pause_ns: 0,
             gc_max_pause_ns: 0,
             gc_objects_freed: 0,
+            gc_kont_work: Vec::new(),
             out: String::new(),
             echo: cfg.echo_output,
             pipeline: cfg.pipeline,
             compiler: cfg.compiler,
         };
+        if let Some(t) = cfg.gc_threshold {
+            vm.heap.set_gc_threshold(t);
+        }
         vm.register_builtins();
         if cfg.pipeline == Pipeline::Cps {
             // Control operators get CPS definitions (direct pipeline: the
@@ -587,7 +608,7 @@ impl Vm {
             gc_pause_ns: self.gc_pause_ns,
             gc_max_pause_ns: self.gc_max_pause_ns,
             gc_objects_freed: self.gc_objects_freed,
-            heap: *self.heap.stats(),
+            heap: self.heap.stats(),
             stack: *self.stack.stats(),
         }
     }
@@ -654,9 +675,26 @@ impl Vm {
         Some(rows)
     }
 
+    /// Read access to the heap (for embedders inspecting values and live
+    /// counts — e.g. the E10 leak check).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
     /// Direct access to the heap (for embedders building values).
     pub fn heap_mut(&mut self) -> &mut Heap {
         &mut self.heap
+    }
+
+    /// Forces a full collection from outside the interpreter loop.
+    ///
+    /// Safe only between evaluations: the machine is quiescent, so no
+    /// slot at or above the frame pointer is live (marking up to the
+    /// segment's end would resurrect stale dead slots). The E10 leak
+    /// check calls this twice around a workload and compares
+    /// [`Heap::len`] — any growth is an unreclaimed object.
+    pub fn collect_now(&mut self) {
+        self.collect(0);
     }
 
     /// Total slot capacity of all live stack segments — the resident
