@@ -14,12 +14,14 @@
 //!   promotion      §3.3: eager-walk vs shared-flag promotion
 //!   dispatch       E9: dispatch cost, superinstruction fusion on/off
 //!   gc             E10: segregated-pool heap under a threshold sweep
+//!   e11            E11: worker-pool throughput/latency, workers x fuel slice
 //!   all            everything above
 //! ```
 //!
 //! `--paper` uses the paper's full parameters (fib 20, up to 1000 threads,
 //! frequencies to 512); the default is a scaled-down sweep with the same
-//! shape that finishes in a few minutes.
+//! shape that finishes in a few minutes. `--max-workers N` drops E11 sweep
+//! points above N workers (for CI smoke runs on small machines).
 //!
 //! Alongside the printed tables the binary writes a machine-readable
 //! report — per-experiment control-event counts (captures, reinstatements,
@@ -27,9 +29,9 @@
 //! `experiments.json`, or to the path given with `--json PATH`.
 
 use oneshot_bench::experiments::{
-    cache_experiment, dispatch_experiment, figure5, fragmentation_experiment, frame_overhead,
-    gc_experiment, hysteresis_experiment, overflow_experiment, promotion_experiment,
-    tak_experiment, DispatchScale, GcScale, GC_UNBOUNDED,
+    cache_experiment, dispatch_experiment, exec_experiment, figure5, fragmentation_experiment,
+    frame_overhead, gc_experiment, hysteresis_experiment, overflow_experiment,
+    promotion_experiment, tak_experiment, DispatchScale, ExecScale, GcScale, GC_UNBOUNDED,
 };
 use oneshot_bench::measure::render_table;
 use oneshot_bench::metrics::{measurement_json, Json};
@@ -78,12 +80,21 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "experiments.json".to_string());
+    let max_workers: Option<usize> = args
+        .iter()
+        .position(|a| a == "--max-workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
     let cmd = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
+            // Skip flags and the value of any value-taking flag.
             !a.starts_with("--")
-                && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--json")
+                && !matches!(
+                    args.get(i.wrapping_sub(1)).map(String::as_str),
+                    Some("--json" | "--max-workers")
+                )
         })
         .map(|(_, a)| a.as_str())
         .next()
@@ -103,6 +114,7 @@ fn main() {
         "promotion" => run("promotion", run_promotion()),
         "dispatch" => run("dispatch", run_dispatch(paper)),
         "gc" => run("gc", run_gc(paper)),
+        "e11" => run("exec", run_exec(paper, max_workers)),
         "all" => {
             run("tak", run_tak(&scale));
             run("overflow", run_overflow(&scale));
@@ -113,6 +125,7 @@ fn main() {
             run("promotion", run_promotion());
             run("dispatch", run_dispatch(paper));
             run("gc", run_gc(paper));
+            run("exec", run_exec(paper, max_workers));
             run("figure5", run_figure5(&scale));
         }
         other => {
@@ -122,7 +135,7 @@ fn main() {
     }
 
     let doc = Json::obj([
-        ("schema", Json::str("oneshot-experiments/v3")),
+        ("schema", Json::str("oneshot-experiments/v4")),
         ("scale", Json::str(if paper { "paper" } else { "quick" })),
         ("experiments", Json::Obj(report)),
     ]);
@@ -564,6 +577,108 @@ fn run_gc(paper: bool) -> Json {
                             ("max_pause_ns", Json::int(r.max_pause_ns)),
                             ("live_after", Json::int(r.live_after as u64)),
                             ("leaked", Json::Bool(r.leaked)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn run_exec(paper: bool, max_workers: Option<usize>) -> Json {
+    let mut scale = if paper { ExecScale::paper() } else { ExecScale::quick() };
+    if let Some(max) = max_workers {
+        scale.clamp_workers(max);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\n== E11: worker pool — {} mixed jobs (fib/ctak/deep/io) per cell, {cores} core(s) ==",
+        scale.jobs()
+    );
+    let rows = exec_experiment(&scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workers.to_string(),
+                r.fuel_slice.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.1}", r.throughput),
+                format!("{:.1}", r.p50_ms),
+                format!("{:.1}", r.p99_ms),
+                r.steals.to_string(),
+                r.requeues.to_string(),
+                r.slices.to_string(),
+                r.slots_copied.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workers",
+                "fuel-slice",
+                "wall-ms",
+                "jobs/s",
+                "p50-ms",
+                "p99-ms",
+                "steals",
+                "requeues",
+                "slices",
+                "slots-copied"
+            ],
+            &table
+        )
+    );
+    if let Some(one) = rows.iter().find(|r| r.workers == 1) {
+        let widest = rows
+            .iter()
+            .filter(|r| r.fuel_slice == one.fuel_slice)
+            .max_by_key(|r| r.workers)
+            .expect("the 1-worker row itself matches");
+        if widest.workers > 1 {
+            println!(
+                "Scaling at fuel-slice {}: {:.2}x throughput from 1 to {} workers.",
+                one.fuel_slice,
+                widest.throughput / one.throughput,
+                widest.workers
+            );
+        }
+    }
+    println!("Expected shape: throughput grows with workers (the io jobs release the");
+    println!("core while sleeping); small slices buy p99 latency at some wall cost;");
+    println!("slots-copied stays near 0 — engine preemption is one-shot capture,");
+    println!("so only overflow hysteresis on the deep jobs copies anything.");
+    Json::obj([
+        ("scale", Json::str(if paper { "paper" } else { "quick" })),
+        ("cores", Json::int(cores as u64)),
+        ("jobs_per_cell", Json::int(scale.jobs() as u64)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("workers", Json::int(r.workers as u64)),
+                            ("fuel_slice", Json::int(r.fuel_slice)),
+                            ("jobs", Json::int(r.jobs as u64)),
+                            ("wall_ms", Json::Num(r.wall_ms)),
+                            ("throughput_jobs_per_s", Json::Num(r.throughput)),
+                            ("p50_ms", Json::Num(r.p50_ms)),
+                            ("p99_ms", Json::Num(r.p99_ms)),
+                            ("completed", Json::int(r.completed)),
+                            ("failed", Json::int(r.failed)),
+                            ("timed_out", Json::int(r.timed_out)),
+                            ("panicked", Json::int(r.panicked)),
+                            ("steals", Json::int(r.steals)),
+                            ("requeues", Json::int(r.requeues)),
+                            ("slices", Json::int(r.slices)),
+                            ("queue_depth_highwater", Json::int(r.queue_depth_highwater)),
+                            ("instructions", Json::int(r.instructions)),
+                            ("captures_one", Json::int(r.captures_one)),
+                            ("reinstates_one", Json::int(r.reinstates_one)),
+                            ("slots_copied", Json::int(r.slots_copied)),
                         ])
                     })
                     .collect(),

@@ -777,6 +777,243 @@ pub fn gc_experiment(scale: &GcScale) -> Vec<GcRow> {
     out
 }
 
+// ----------------------------------------------------------------------
+// E11 — executor: worker-pool throughput and latency
+// ----------------------------------------------------------------------
+
+/// Scale knobs for the E11 pool sweep: a mixed job load (CPU-bound fib,
+/// continuation-heavy ctak, deep recursion, and sleep-based I/O-style
+/// request handlers) pushed through a [`Pool`](oneshot_exec::Pool) at each
+/// (workers × fuel-slice) point.
+#[derive(Debug, Clone)]
+pub struct ExecScale {
+    /// Worker counts to sweep.
+    pub workers: Vec<usize>,
+    /// Fuel slices (procedure calls per preemption) to sweep.
+    pub fuel_slices: Vec<u64>,
+    /// fib jobs per cell and the fib argument.
+    pub fib: (usize, u64),
+    /// ctak jobs per cell and the (x, y, z) arguments.
+    pub ctak: (usize, (i64, i64, i64)),
+    /// deep-recursion jobs per cell and the recursion depth.
+    pub deep: (usize, u64),
+    /// I/O-style jobs per cell and the per-job sleep in milliseconds.
+    /// These model request handlers blocked on a backend: the worker's OS
+    /// thread sleeps, so they are the component that scales with worker
+    /// count even on a single-core host.
+    pub io: (usize, u64),
+}
+
+impl ExecScale {
+    /// A sweep that finishes in seconds.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExecScale {
+            workers: vec![1, 2, 4],
+            fuel_slices: vec![512, 8192],
+            fib: (4, 14),
+            ctak: (4, (12, 6, 0)),
+            deep: (4, 20_000),
+            io: (12, 15),
+        }
+    }
+
+    /// The full sweep.
+    #[must_use]
+    pub fn paper() -> Self {
+        ExecScale {
+            workers: vec![1, 2, 4, 8],
+            fuel_slices: vec![256, 4096, 65_536],
+            fib: (8, 17),
+            ctak: (8, (14, 7, 0)),
+            deep: (8, 100_000),
+            io: (32, 25),
+        }
+    }
+
+    /// Drops worker counts above `max` (used by `--max-workers` for CI
+    /// smoke runs on small machines).
+    pub fn clamp_workers(&mut self, max: usize) {
+        self.workers.retain(|&w| w <= max.max(1));
+        if self.workers.is_empty() {
+            self.workers.push(1);
+        }
+    }
+
+    /// Total jobs per sweep cell.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.fib.0 + self.ctak.0 + self.deep.0 + self.io.0
+    }
+
+    /// The mixed job list, interleaved round-robin across the four classes
+    /// so every worker sees a mix rather than a run of one kind.
+    fn specs(&self) -> Vec<oneshot_exec::JobSpec> {
+        use oneshot_exec::JobSpec;
+        let (cx, cy, cz) = self.ctak.1;
+        let mut classes: [Vec<JobSpec>; 4] = [
+            (0..self.fib.0)
+                .map(|i| {
+                    JobSpec::new(
+                        format!("fib-{i}"),
+                        format!("{} (fib {})", workloads::FIB, self.fib.1),
+                    )
+                })
+                .collect(),
+            (0..self.ctak.0)
+                .map(|i| {
+                    JobSpec::new(
+                        format!("ctak-{i}"),
+                        format!("{} (ctak {cx} {cy} {cz})", workloads::ctak("call/1cc")),
+                    )
+                })
+                .collect(),
+            (0..self.deep.0)
+                .map(|i| {
+                    JobSpec::new(
+                        format!("deep-{i}"),
+                        format!("{} (deep-rounds 1 {})", workloads::DEEP, self.deep.1),
+                    )
+                })
+                .collect(),
+            (0..self.io.0)
+                .map(|i| {
+                    JobSpec::new(
+                        format!("io-{i}"),
+                        format!("(begin (sleep-ms {}) 'served)", self.io.1),
+                    )
+                })
+                .collect(),
+        ];
+        let mut specs = Vec::with_capacity(self.jobs());
+        while classes.iter().any(|c| !c.is_empty()) {
+            for class in &mut classes {
+                if !class.is_empty() {
+                    specs.push(class.remove(0));
+                }
+            }
+        }
+        specs
+    }
+}
+
+/// One cell of the E11 sweep.
+#[derive(Debug, Clone)]
+pub struct ExecRow {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Fuel slice (procedure calls per preemption).
+    pub fuel_slice: u64,
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Wall-clock milliseconds from first submit to last outcome.
+    pub wall_ms: f64,
+    /// Completed jobs per second of wall clock.
+    pub throughput: f64,
+    /// Median submit-to-outcome latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile submit-to-outcome latency in milliseconds.
+    pub p99_ms: f64,
+    /// Jobs that finished with a value (must equal `jobs` here: the load
+    /// is defect-free).
+    pub completed: u64,
+    /// Jobs that failed for any reason.
+    pub failed: u64,
+    /// Fuel-budget timeouts (subset of `failed`).
+    pub timed_out: u64,
+    /// Job panics (subset of `failed`).
+    pub panicked: u64,
+    /// Jobs taken from a peer's deque.
+    pub steals: u64,
+    /// Preemption requeues.
+    pub requeues: u64,
+    /// Engine fuel slices run.
+    pub slices: u64,
+    /// Deepest the injector queue got.
+    pub queue_depth_highwater: u64,
+    /// Bytecode instructions summed over every worker VM.
+    pub instructions: u64,
+    /// One-shot captures (mostly engine preemptions) summed over workers.
+    pub captures_one: u64,
+    /// One-shot reinstatements summed over workers.
+    pub reinstates_one: u64,
+    /// Stack slots copied — stays near zero: engine switches are one-shot
+    /// captures, so only overflow hysteresis copies anything.
+    pub slots_copied: u64,
+}
+
+fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Runs the mixed load through one pool configuration.
+///
+/// # Panics
+///
+/// Panics if any job fails — the load is pure and defect-free, so a
+/// failure is a build defect.
+pub fn exec_case(workers: usize, fuel_slice: u64, scale: &ExecScale) -> ExecRow {
+    use oneshot_exec::Pool;
+    let pool =
+        Pool::builder().workers(workers).fuel_slice(fuel_slice).build().expect("pool spawns");
+    let start = Instant::now();
+    let handles: Vec<_> =
+        scale.specs().into_iter().map(|spec| pool.submit(spec).expect("job submits")).collect();
+    let mut latencies_ms: Vec<f64> = handles
+        .iter()
+        .map(|h| {
+            let outcome = h.wait();
+            if let Err(e) = &outcome.result {
+                panic!("E11 job {} failed: {e}", outcome.name);
+            }
+            outcome.latency.as_secs_f64() * 1e3
+        })
+        .collect();
+    let wall = start.elapsed();
+    latencies_ms.sort_by(f64::total_cmp);
+    let report = pool.shutdown().expect("pool drains");
+    let c = report.counters;
+    let vm_sum =
+        |f: fn(&oneshot_exec::WorkerReport) -> u64| -> u64 { report.workers.iter().map(f).sum() };
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    ExecRow {
+        workers,
+        fuel_slice,
+        jobs: handles.len(),
+        wall_ms,
+        throughput: handles.len() as f64 / wall.as_secs_f64(),
+        p50_ms: percentile_ms(&latencies_ms, 0.50),
+        p99_ms: percentile_ms(&latencies_ms, 0.99),
+        completed: c.completed,
+        failed: c.failed,
+        timed_out: c.timed_out,
+        panicked: c.panicked,
+        steals: c.steals,
+        requeues: c.requeues,
+        slices: c.slices,
+        queue_depth_highwater: c.queue_depth_highwater,
+        instructions: vm_sum(|w| w.vm.instructions),
+        captures_one: vm_sum(|w| w.vm.captures_one),
+        reinstates_one: vm_sum(|w| w.vm.reinstates_one),
+        slots_copied: vm_sum(|w| w.vm.slots_copied),
+    }
+}
+
+/// The full E11 sweep: every worker count × every fuel slice.
+pub fn exec_experiment(scale: &ExecScale) -> Vec<ExecRow> {
+    let mut out = Vec::new();
+    for &fuel_slice in &scale.fuel_slices {
+        for &workers in &scale.workers {
+            out.push(exec_case(workers, fuel_slice, scale));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -937,6 +1174,40 @@ mod tests {
                 );
                 assert!(tiny.objects_freed > 0, "{name} freed nothing under a tiny threshold");
             }
+        }
+    }
+
+    #[test]
+    fn exec_experiment_completes_the_mixed_load() {
+        // A miniature sweep: every job completes, the mix really runs on
+        // the pool (preemptions show up as requeues at a tiny slice), and
+        // one-shot engine switching copies no stack slots.
+        let scale = ExecScale {
+            workers: vec![1, 2],
+            fuel_slices: vec![256],
+            fib: (2, 12),
+            ctak: (2, (10, 5, 0)),
+            deep: (2, 5_000),
+            io: (2, 5),
+        };
+        let rows = exec_experiment(&scale);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.completed, scale.jobs() as u64, "workers={}", r.workers);
+            assert_eq!(r.failed, 0);
+            assert_eq!(r.panicked, 0);
+            assert!(r.requeues > 0, "a 256-call slice must preempt the CPU jobs");
+            // Engine switches are one-shot and copy nothing; the only
+            // copying left is overflow hysteresis on the deep jobs — a few
+            // frames per segment overflow, vanishing next to the work done.
+            assert!(
+                (r.slots_copied as f64) < 0.01 * r.instructions as f64,
+                "{} slots copied vs {} instructions",
+                r.slots_copied,
+                r.instructions
+            );
+            assert!(r.p50_ms <= r.p99_ms);
+            assert!(r.throughput > 0.0);
         }
     }
 

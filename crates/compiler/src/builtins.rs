@@ -143,6 +143,8 @@ pub const BUILTIN_NAMES: &[&str] = &[
     "vm-stats",
     "eval",
     "backtrace",
+    "sleep-ms",
+    "debug-panic!",
     // internal helpers (used by the CPS prelude)
     "%apply-args",
 ];

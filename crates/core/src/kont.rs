@@ -1,7 +1,7 @@
 //! Continuation objects.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::stack::SegmentId;
 
@@ -25,7 +25,12 @@ impl KontId {
 }
 
 /// The flavour and state of a continuation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The shared promotion flag is an `Arc<AtomicBool>` rather than an
+/// `Rc<Cell<bool>>` solely so a whole `SegStack` (and the VM embedding it)
+/// is `Send` and can migrate between executor worker threads; a stack is
+/// only ever *used* by one thread at a time, so all accesses are relaxed.
+#[derive(Debug, Clone)]
 pub enum KontKind {
     /// A traditional multi-shot continuation: may be invoked any number of
     /// times; reinstatement copies the saved frames.
@@ -37,13 +42,28 @@ pub enum KontKind {
     OneShot {
         /// Set when every one-shot continuation in this chain has been
         /// promoted to multi-shot status by a `call/cc` capture.
-        promoted: Rc<Cell<bool>>,
+        promoted: Arc<AtomicBool>,
     },
     /// A one-shot continuation that has been invoked; invoking it again is
     /// an error. (The paper represents this state by setting both size
     /// fields to -1.)
     Shot,
 }
+
+impl PartialEq for KontKind {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (KontKind::MultiShot, KontKind::MultiShot) => true,
+            (KontKind::Shot, KontKind::Shot) => true,
+            (KontKind::OneShot { promoted: a }, KontKind::OneShot { promoted: b }) => {
+                a.load(Ordering::Relaxed) == b.load(Ordering::Relaxed)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for KontKind {}
 
 /// A continuation object: a sealed stack record (Figure 2 of the paper).
 ///
@@ -115,7 +135,7 @@ impl<S> Kont<S> {
     /// it is of one-shot kind and its shared promotion flag is unset.
     pub fn is_live_one_shot(&self) -> bool {
         match &self.kind {
-            KontKind::OneShot { promoted } => !promoted.get(),
+            KontKind::OneShot { promoted } => !promoted.load(Ordering::Relaxed),
             _ => false,
         }
     }
@@ -140,17 +160,17 @@ mod tests {
     fn size_field_test_matches_kind_for_fresh_konts() {
         let multi = mk(KontKind::MultiShot, 10, 10);
         assert!(!multi.is_one_shot_by_sizes());
-        let one = mk(KontKind::OneShot { promoted: Rc::new(Cell::new(false)) }, 64, 10);
+        let one = mk(KontKind::OneShot { promoted: Arc::new(AtomicBool::new(false)) }, 64, 10);
         assert!(one.is_one_shot_by_sizes());
         assert!(one.is_live_one_shot());
     }
 
     #[test]
     fn shared_flag_promotion_is_visible() {
-        let flag = Rc::new(Cell::new(false));
+        let flag = Arc::new(AtomicBool::new(false));
         let k = mk(KontKind::OneShot { promoted: flag.clone() }, 64, 10);
         assert!(k.is_live_one_shot());
-        flag.set(true);
+        flag.store(true, Ordering::Relaxed);
         assert!(!k.is_live_one_shot());
     }
 

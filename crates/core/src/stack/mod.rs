@@ -59,8 +59,8 @@
 //! underflow marker (or any non-return-address slot), which terminates a
 //! walk.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::arena::Arena;
 use crate::config::{Config, OneShotPolicy, OverflowPolicy, PromotionStrategy};
@@ -506,15 +506,15 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
     /// shares one flag), fresh otherwise. Under [`PromotionStrategy::
     /// EagerWalk`] the flag is never set, but maintaining it is cheap and
     /// keeps the two strategies structurally identical.
-    fn inherit_flag(&self) -> Rc<Cell<bool>> {
+    fn inherit_flag(&self) -> Arc<AtomicBool> {
         if let Some(l) = self.cur_link {
             if let KontKind::OneShot { promoted } = &self.konts.get(l.0).kind {
-                if !promoted.get() {
+                if !promoted.load(Ordering::Relaxed) {
                     return promoted.clone();
                 }
             }
         }
-        Rc::new(Cell::new(false))
+        Arc::new(AtomicBool::new(false))
     }
 
     /// Promotes every live one-shot continuation reachable through the
@@ -526,8 +526,8 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
             PromotionStrategy::SharedFlag => {
                 if let Some(l) = self.cur_link {
                     if let KontKind::OneShot { promoted } = &self.konts.get(l.0).kind {
-                        if !promoted.get() {
-                            promoted.set(true);
+                        if !promoted.load(Ordering::Relaxed) {
+                            promoted.store(true, Ordering::Relaxed);
                             self.stats.promotions += 1;
                             self.probe.promotion(l, false);
                         }
@@ -539,7 +539,7 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
                 while let Some(id) = cursor {
                     let k = self.konts.get_mut(id.0);
                     match &k.kind {
-                        KontKind::OneShot { promoted } if !promoted.get() => {
+                        KontKind::OneShot { promoted } if !promoted.load(Ordering::Relaxed) => {
                             // Promotion sets the size of a one-shot
                             // continuation equal to its current size,
                             // restoring the multi-shot invariant. The
@@ -595,7 +595,7 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
         }
         let path = match &self.konts.get(id.0).kind {
             KontKind::Shot => Path::Shot,
-            KontKind::OneShot { promoted } if !promoted.get() => Path::One,
+            KontKind::OneShot { promoted } if !promoted.load(Ordering::Relaxed) => Path::One,
             _ => Path::Multi,
         };
         match path {

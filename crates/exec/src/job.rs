@@ -1,0 +1,223 @@
+//! Jobs: what users submit, what workers run, what callers get back.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use oneshot_vm::{CompiledProgram, VmError};
+
+/// Identifies a job within one [`Pool`](crate::Pool), in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub(crate) u64);
+
+impl JobId {
+    /// The raw submission index.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A job description: a named Scheme program plus an optional fuel budget.
+///
+/// The program is compiled once, on the submitting thread; workers only
+/// link and run it. Jobs share the worker VM's global environment (see the
+/// fault-isolation contract in DESIGN.md), so toplevel definitions should
+/// either be job-private names or identical across jobs.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub(crate) name: String,
+    pub(crate) source: String,
+    pub(crate) fuel_budget: u64,
+}
+
+impl JobSpec {
+    /// Default per-job fuel budget: effectively unlimited.
+    pub const DEFAULT_FUEL_BUDGET: u64 = u64::MAX;
+
+    /// A job running `source`, labelled `name` for reporting.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
+        JobSpec { name: name.into(), source: source.into(), fuel_budget: Self::DEFAULT_FUEL_BUDGET }
+    }
+
+    /// Caps the total procedure calls the job may consume across all its
+    /// fuel slices; exceeding the cap yields [`JobError::TimedOut`].
+    #[must_use]
+    pub fn fuel_budget(mut self, budget: u64) -> Self {
+        self.fuel_budget = budget.max(1);
+        self
+    }
+
+    /// The job's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Why a job failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JobError {
+    /// The program failed to run: a Scheme error, a type error, a one-shot
+    /// continuation shot twice. Wrapped with job/worker context via
+    /// [`VmError::with_context`].
+    Vm(VmError),
+    /// The job exceeded its fuel budget and was dropped.
+    TimedOut {
+        /// The configured budget, in procedure calls.
+        budget: u64,
+        /// Fuel consumed before the pool gave up (a multiple of the slice).
+        used: u64,
+    },
+    /// The job panicked inside the VM; the worker rebuilt its VM.
+    Panicked(String),
+    /// Another job (`culprit`) panicked on the same worker while this job
+    /// was parked there; its VM — and this job's continuation — was lost.
+    WorkerReset {
+        /// The job whose panic destroyed the shared VM.
+        culprit: JobId,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Vm(e) => write!(f, "{e}"),
+            JobError::TimedOut { budget, used } => {
+                write!(f, "fuel budget exhausted: used {used} of {budget}")
+            }
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::WorkerReset { culprit } => {
+                write!(f, "worker VM was reset by panicking job {culprit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The result of one finished job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Which job.
+    pub id: JobId,
+    /// Its label, from [`JobSpec::new`].
+    pub name: String,
+    /// Index of the worker that finished (or failed) it.
+    pub worker: usize,
+    /// Fuel slices the job ran for (1 = never preempted).
+    pub slices: u64,
+    /// Total fuel charged to the job, in procedure calls.
+    pub fuel_used: u64,
+    /// Submit-to-completion latency.
+    pub latency: Duration,
+    /// The job's value written in Scheme `write` notation, or why it
+    /// failed. The string form is VM-independent, which is what makes
+    /// results comparable across worker counts.
+    pub result: Result<String, JobError>,
+}
+
+/// Shared slot a worker fills and a waiter blocks on.
+#[derive(Debug, Default)]
+pub(crate) struct OutcomeSlot {
+    outcome: Mutex<Option<JobOutcome>>,
+    ready: Condvar,
+}
+
+impl OutcomeSlot {
+    pub(crate) fn fill(&self, outcome: JobOutcome) {
+        let mut slot = self.outcome.lock().unwrap();
+        // First delivery wins; a shutdown-time duplicate is dropped.
+        if slot.is_none() {
+            *slot = Some(outcome);
+            self.ready.notify_all();
+        }
+    }
+
+    pub(crate) fn wait(&self) -> JobOutcome {
+        let mut slot = self.outcome.lock().unwrap();
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            slot = self.ready.wait(slot).unwrap();
+        }
+    }
+
+    pub(crate) fn get(&self) -> Option<JobOutcome> {
+        self.outcome.lock().unwrap().clone()
+    }
+}
+
+/// A claim on a submitted job's eventual [`JobOutcome`].
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    pub(crate) id: JobId,
+    pub(crate) name: String,
+    pub(crate) slot: Arc<OutcomeSlot>,
+}
+
+impl JobHandle {
+    /// The job's id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The job's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks until the job finishes (successfully or not).
+    pub fn wait(&self) -> JobOutcome {
+        self.slot.wait()
+    }
+
+    /// The outcome, if the job has already finished.
+    pub fn outcome(&self) -> Option<JobOutcome> {
+        self.slot.get()
+    }
+}
+
+/// The unit that moves through the queues: a compiled program plus the
+/// bookkeeping to deliver its outcome.
+#[derive(Debug, Clone)]
+pub(crate) struct Job {
+    pub(crate) id: JobId,
+    pub(crate) name: String,
+    pub(crate) prog: Arc<CompiledProgram>,
+    pub(crate) fuel_budget: u64,
+    pub(crate) submitted: Instant,
+    pub(crate) slot: Arc<OutcomeSlot>,
+}
+
+impl Job {
+    pub(crate) fn deliver(
+        &self,
+        worker: usize,
+        slices: u64,
+        fuel_used: u64,
+        result: Result<String, JobError>,
+    ) {
+        self.slot.fill(JobOutcome {
+            id: self.id,
+            name: self.name.clone(),
+            worker,
+            slices,
+            fuel_used,
+            latency: self.submitted.elapsed(),
+            result,
+        });
+    }
+}

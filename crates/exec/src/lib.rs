@@ -1,0 +1,69 @@
+//! A multi-core execution subsystem for the oneshot VM.
+//!
+//! The paper's thesis is that `call/1cc` makes context switches cheap
+//! enough to build real thread systems on; `oneshot-threads` demonstrates
+//! that inside one VM. This crate adds the outer level: a [`Pool`] of N OS
+//! worker threads, each owning its own [`Vm`](oneshot_vm::Vm), fed from a
+//! bounded shared injector queue with per-worker deques and work stealing
+//! of whole jobs.
+//!
+//! The two levels divide the work the way Kobayashi–Kameyama's one-shot
+//! expressiveness results suggest: OS threads provide parallelism between
+//! jobs; *within* a worker, jobs run as engine-fueled green threads
+//! (Dybvig–Hieb engines over one-shot continuations, via
+//! [`EngineHost`](oneshot_threads::EngineHost)), so a long job is preempted
+//! after its fuel slice and requeued rather than starving the worker — a
+//! preemption that costs no stack copying.
+//!
+//! Jobs are compiled once on submit ([`Pool::submit`] returns a
+//! [`JobHandle`]); the resulting [`CompiledProgram`](oneshot_vm::CompiledProgram)
+//! is plain `Send` data, so any worker can link and run it. Once a job has
+//! *started* on a worker its continuation lives in that worker's VM heap,
+//! so only unstarted jobs are stolen; preempted jobs requeue locally.
+//!
+//! Robustness is first-class:
+//!
+//! * a per-job fuel budget turns runaway jobs into [`JobError::TimedOut`];
+//! * a panicking job is caught with `catch_unwind`; the worker reports it
+//!   as [`JobError::Panicked`], rebuilds a fresh VM, and keeps draining;
+//! * the bounded injector gives backpressure ([`Pool::submit`] blocks,
+//!   [`Pool::try_submit`] refuses);
+//! * [`Pool::shutdown`] drains all in-flight jobs and joins every worker
+//!   (with a timeout, so a wedged worker is reported, not waited on
+//!   forever).
+//!
+//! # Example
+//!
+//! ```
+//! use oneshot_exec::{JobSpec, Pool};
+//!
+//! let pool = Pool::builder().workers(2).fuel_slice(4096).build().unwrap();
+//! let jobs: Vec<_> = (0..8)
+//!     .map(|i| {
+//!         pool.submit(JobSpec::new(
+//!             format!("square-{i}"),
+//!             format!("(* {i} {i})"),
+//!         ))
+//!         .unwrap()
+//!     })
+//!     .collect();
+//! for (i, h) in jobs.iter().enumerate() {
+//!     assert_eq!(h.wait().result.unwrap(), (i * i).to_string());
+//! }
+//! let report = pool.shutdown().unwrap();
+//! assert_eq!(report.counters.completed, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod pool;
+mod queue;
+mod worker;
+
+pub use job::{JobError, JobHandle, JobId, JobOutcome, JobSpec};
+pub use pool::{
+    Pool, PoolBuilder, PoolCountersSnapshot, PoolReport, ShutdownError, SubmitError, VmTotals,
+    WorkerReport,
+};

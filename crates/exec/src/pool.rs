@@ -1,0 +1,454 @@
+//! The pool: submission, backpressure, shutdown, and observability.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use oneshot_vm::{CompilerOptions, Pipeline, Vm, VmError, VmStats};
+
+use crate::job::{Job, JobHandle, JobId, JobSpec, OutcomeSlot};
+use crate::queue::{Injector, PushRefused, StealQueue};
+use crate::worker::{self, WorkerCtx};
+
+/// Per-worker knobs, fixed at build time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WorkerConfig {
+    /// Procedure calls per engine slice (the preemption quantum).
+    pub(crate) fuel_slice: u64,
+    /// Maximum jobs resident (started) on one worker at a time.
+    pub(crate) resident_cap: usize,
+    /// Jobs pulled from the injector per visit (the extras become
+    /// stealable local work).
+    pub(crate) grab_batch: usize,
+}
+
+/// Configures and builds a [`Pool`].
+#[derive(Debug, Clone)]
+pub struct PoolBuilder {
+    workers: usize,
+    fuel_slice: u64,
+    queue_capacity: usize,
+    resident_cap: usize,
+    grab_batch: usize,
+}
+
+impl Default for PoolBuilder {
+    fn default() -> Self {
+        PoolBuilder {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            fuel_slice: 4096,
+            queue_capacity: 256,
+            resident_cap: 8,
+            grab_batch: 4,
+        }
+    }
+}
+
+impl PoolBuilder {
+    /// Number of OS worker threads (≥ 1). Defaults to the machine's
+    /// available parallelism.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Procedure calls a job runs before preemption (≥ 1). Small slices
+    /// give fair latency, large slices give throughput — E11 measures the
+    /// trade-off.
+    #[must_use]
+    pub fn fuel_slice(mut self, calls: u64) -> Self {
+        self.fuel_slice = calls.max(1);
+        self
+    }
+
+    /// Injector capacity (≥ 1): beyond this, [`Pool::submit`] blocks and
+    /// [`Pool::try_submit`] refuses.
+    #[must_use]
+    pub fn queue_capacity(mut self, jobs: usize) -> Self {
+        self.queue_capacity = jobs.max(1);
+        self
+    }
+
+    /// Maximum jobs concurrently started (engine-resident) per worker
+    /// (≥ 1). More residents mean fairer interleaving but a bigger blast
+    /// radius when a job panics.
+    #[must_use]
+    pub fn resident_cap(mut self, jobs: usize) -> Self {
+        self.resident_cap = jobs.max(1);
+        self
+    }
+
+    /// Spawns the workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if a worker thread cannot be spawned.
+    pub fn build(self) -> std::io::Result<Pool> {
+        let injector = Arc::new(Injector::new(self.queue_capacity));
+        let queues: Arc<Vec<StealQueue>> =
+            Arc::new((0..self.workers).map(|_| StealQueue::default()).collect());
+        let counters = Arc::new(PoolCounters::default());
+        let (report_tx, report_rx) = mpsc::channel();
+        let cfg = WorkerConfig {
+            fuel_slice: self.fuel_slice,
+            resident_cap: self.resident_cap,
+            grab_batch: self.grab_batch,
+        };
+        let mut handles = Vec::with_capacity(self.workers);
+        for index in 0..self.workers {
+            let ctx = WorkerCtx {
+                index,
+                cfg,
+                injector: Arc::clone(&injector),
+                queues: Arc::clone(&queues),
+                counters: Arc::clone(&counters),
+                report_tx: report_tx.clone(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("oneshot-exec-{index}"))
+                .spawn(move || worker::run(ctx))?;
+            handles.push(handle);
+        }
+        Ok(Pool {
+            injector,
+            counters,
+            handles,
+            report_rx,
+            next_job: AtomicU64::new(0),
+            workers: self.workers,
+        })
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The program failed to compile; nothing was enqueued.
+    Compile(VmError),
+    /// The injector is full ([`Pool::try_submit`] only); the spec is
+    /// returned so the caller can retry or shed load.
+    Full(JobSpec),
+    /// The pool is shutting down.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Compile(e) => write!(f, "job failed to compile: {e}"),
+            SubmitError::Full(spec) => write!(f, "queue full, job {:?} refused", spec.name()),
+            SubmitError::Shutdown => write!(f, "pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Shutdown could not complete in time.
+#[derive(Debug)]
+pub enum ShutdownError {
+    /// Not every worker checked in before the deadline; the missing
+    /// workers' threads were left running (leaked).
+    Timeout {
+        /// Workers that reported before the deadline.
+        reported: usize,
+        /// Total workers.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShutdownError::Timeout { reported, total } => {
+                write!(f, "shutdown timed out: {reported} of {total} workers reported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShutdownError {}
+
+/// Pool-wide event counters (all `Relaxed`: totals, not synchronization).
+#[derive(Debug, Default)]
+pub(crate) struct PoolCounters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) timed_out: AtomicU64,
+    pub(crate) panicked: AtomicU64,
+    pub(crate) steals: AtomicU64,
+    pub(crate) requeues: AtomicU64,
+    pub(crate) vm_rebuilds: AtomicU64,
+    pub(crate) slices: AtomicU64,
+    pub(crate) queue_depth_highwater: AtomicU64,
+}
+
+impl PoolCounters {
+    fn snapshot(&self) -> PoolCountersSnapshot {
+        PoolCountersSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            requeues: self.requeues.load(Ordering::Relaxed),
+            vm_rebuilds: self.vm_rebuilds.load(Ordering::Relaxed),
+            slices: self.slices.load(Ordering::Relaxed),
+            queue_depth_highwater: self.queue_depth_highwater.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_depth(&self, depth: usize) {
+        self.queue_depth_highwater.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the pool's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCountersSnapshot {
+    /// Jobs accepted by `submit`/`try_submit`.
+    pub submitted: u64,
+    /// Jobs that finished with a value.
+    pub completed: u64,
+    /// Jobs that finished with any [`JobError`](crate::JobError).
+    pub failed: u64,
+    /// Subset of `failed`: fuel budget exhausted.
+    pub timed_out: u64,
+    /// Subset of `failed`: the job itself panicked.
+    pub panicked: u64,
+    /// Jobs taken from another worker's deque.
+    pub steals: u64,
+    /// Preemptions: a job parked after its slice and was requeued.
+    pub requeues: u64,
+    /// Fresh VMs built after a panic.
+    pub vm_rebuilds: u64,
+    /// Engine fuel slices run.
+    pub slices: u64,
+    /// Deepest the injector queue ever got.
+    pub queue_depth_highwater: u64,
+}
+
+/// Key `VmStats` counters summed across a worker's VM incarnations
+/// (a panic-triggered rebuild starts a new incarnation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VmTotals {
+    /// Bytecode instructions executed.
+    pub instructions: u64,
+    /// Procedure calls performed.
+    pub calls: u64,
+    /// Garbage collections run.
+    pub gc_collections: u64,
+    /// Nanoseconds spent in the collector.
+    pub gc_pause_ns: u64,
+    /// Objects reclaimed by the collector.
+    pub gc_objects_freed: u64,
+    /// Heap objects allocated.
+    pub objects_allocated: u64,
+    /// One-shot continuation captures (engine preemptions mostly).
+    pub captures_one: u64,
+    /// One-shot reinstatements (engine resumes mostly).
+    pub reinstates_one: u64,
+    /// Stack slots copied (stays near zero: one-shot switches copy
+    /// nothing).
+    pub slots_copied: u64,
+}
+
+impl VmTotals {
+    pub(crate) fn add(&mut self, s: &VmStats) {
+        self.instructions += s.instructions;
+        self.calls += s.calls;
+        self.gc_collections += s.gc_collections;
+        self.gc_pause_ns += s.gc_pause_ns;
+        self.gc_objects_freed += s.gc_objects_freed;
+        self.objects_allocated += s.heap.objects_allocated;
+        self.captures_one += s.stack.captures_one;
+        self.reinstates_one += s.stack.reinstates_one;
+        self.slots_copied += s.stack.slots_copied;
+    }
+}
+
+/// What one worker did over its lifetime, reported at shutdown.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// The worker's index.
+    pub worker: usize,
+    /// Jobs this worker completed successfully.
+    pub jobs_ok: u64,
+    /// Jobs this worker reported as failed.
+    pub jobs_failed: u64,
+    /// Fuel slices this worker ran.
+    pub slices: u64,
+    /// Jobs this worker stole from peers.
+    pub steals: u64,
+    /// VMs this worker built after panics.
+    pub vm_rebuilds: u64,
+    /// VM counters summed over all incarnations.
+    pub vm: VmTotals,
+}
+
+impl WorkerReport {
+    pub(crate) fn new(worker: usize) -> Self {
+        WorkerReport {
+            worker,
+            jobs_ok: 0,
+            jobs_failed: 0,
+            slices: 0,
+            steals: 0,
+            vm_rebuilds: 0,
+            vm: VmTotals::default(),
+        }
+    }
+}
+
+/// Everything a completed shutdown reports.
+#[derive(Debug, Clone)]
+pub struct PoolReport {
+    /// Per-worker reports, sorted by worker index.
+    pub workers: Vec<WorkerReport>,
+    /// Final pool-wide counters.
+    pub counters: PoolCountersSnapshot,
+}
+
+/// A pool of OS worker threads, each owning a VM that runs jobs as
+/// engine-preempted green threads. See the crate docs for the full model
+/// and an example.
+#[derive(Debug)]
+pub struct Pool {
+    injector: Arc<Injector>,
+    counters: Arc<PoolCounters>,
+    handles: Vec<JoinHandle<()>>,
+    report_rx: mpsc::Receiver<WorkerReport>,
+    next_job: AtomicU64,
+    workers: usize,
+}
+
+impl Pool {
+    /// Starts configuring a pool.
+    pub fn builder() -> PoolBuilder {
+        PoolBuilder::default()
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Current injector depth (jobs accepted but not yet picked up).
+    pub fn queue_depth(&self) -> usize {
+        self.injector.depth()
+    }
+
+    /// A snapshot of the pool-wide counters.
+    pub fn stats(&self) -> PoolCountersSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Compiles `spec` and enqueues it, blocking while the injector is
+    /// full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Compile`] or [`SubmitError::Shutdown`]; never
+    /// [`SubmitError::Full`].
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.submit_inner(spec, true)
+    }
+
+    /// Compiles `spec` and enqueues it, refusing instead of blocking when
+    /// the injector is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] (spec returned for retry),
+    /// [`SubmitError::Compile`], or [`SubmitError::Shutdown`].
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.submit_inner(spec, false)
+    }
+
+    fn submit_inner(&self, spec: JobSpec, block: bool) -> Result<JobHandle, SubmitError> {
+        // Compile once, on the submitting thread; workers only link.
+        let prog = Vm::compile_str(&spec.source, Pipeline::Direct, CompilerOptions::default())
+            .map_err(SubmitError::Compile)?;
+        let id = JobId(self.next_job.fetch_add(1, Ordering::Relaxed));
+        let slot = Arc::new(OutcomeSlot::default());
+        let job = Job {
+            id,
+            name: spec.name.clone(),
+            prog: Arc::new(prog),
+            fuel_budget: spec.fuel_budget,
+            submitted: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        let pushed = if block { self.injector.push(job) } else { self.injector.try_push(job) };
+        match pushed {
+            Ok(depth) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                self.counters.note_depth(depth);
+                Ok(JobHandle { id, name: spec.name, slot })
+            }
+            Err(PushRefused::Full) => Err(SubmitError::Full(spec)),
+            Err(PushRefused::Closed) => Err(SubmitError::Shutdown),
+        }
+    }
+
+    /// Graceful shutdown with a 60-second deadline: closes the injector,
+    /// lets the workers drain every queued and in-flight job, joins them,
+    /// and aggregates their reports. Equivalent to
+    /// `shutdown_timeout(Duration::from_secs(60))`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pool::shutdown_timeout`].
+    pub fn shutdown(self) -> Result<PoolReport, ShutdownError> {
+        self.shutdown_timeout(Duration::from_secs(60))
+    }
+
+    /// As [`Pool::shutdown`] with an explicit deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`ShutdownError::Timeout`] if some worker failed to drain and check
+    /// in before the deadline; its thread is left behind (leaked), which
+    /// the CI leak test treats as a failure.
+    pub fn shutdown_timeout(mut self, deadline: Duration) -> Result<PoolReport, ShutdownError> {
+        self.injector.close();
+        let end = Instant::now() + deadline;
+        let mut reports = Vec::with_capacity(self.workers);
+        while reports.len() < self.workers {
+            let left = end.saturating_duration_since(Instant::now());
+            match self.report_rx.recv_timeout(left) {
+                Ok(report) => reports.push(report),
+                Err(_) => {
+                    // Leave the handles unjoined: the caller learns exactly
+                    // how many threads are wedged.
+                    self.handles.clear();
+                    return Err(ShutdownError::Timeout {
+                        reported: reports.len(),
+                        total: self.workers,
+                    });
+                }
+            }
+        }
+        // Every worker has sent its report, so joins return immediately.
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        reports.sort_by_key(|r| r.worker);
+        Ok(PoolReport { workers: reports, counters: self.counters.snapshot() })
+    }
+}
+
+impl Drop for Pool {
+    /// Best-effort cleanup for pools dropped without [`Pool::shutdown`]:
+    /// closes the injector and joins the workers (they exit once drained).
+    fn drop(&mut self) {
+        self.injector.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

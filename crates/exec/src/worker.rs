@@ -1,0 +1,248 @@
+//! The worker loop: one OS thread, one VM, many engine-fueled jobs.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use oneshot_threads::{EngineHost, EngineId, EngineStep};
+
+use crate::job::{Job, JobError};
+use crate::pool::{PoolCounters, WorkerConfig, WorkerReport};
+use crate::queue::{Injector, Popped, StealQueue};
+
+/// How long an idle worker blocks on the injector before rechecking the
+/// steal queues. Pure liveness tuning; correctness never depends on it.
+const IDLE_WAIT: Duration = Duration::from_millis(25);
+
+/// A job that has started on this worker: its engine — and therefore the
+/// one-shot continuation of its preempted state — lives in this worker's
+/// VM heap, so it can never migrate. Only [`Job`]s (unstarted) are stolen.
+struct Active {
+    job: Job,
+    engine: EngineId,
+    slices: u64,
+    fuel_used: u64,
+}
+
+/// Everything a worker thread needs, bundled for the spawn closure.
+pub(crate) struct WorkerCtx {
+    pub(crate) index: usize,
+    pub(crate) cfg: WorkerConfig,
+    pub(crate) injector: Arc<Injector>,
+    pub(crate) queues: Arc<Vec<StealQueue>>,
+    pub(crate) counters: Arc<PoolCounters>,
+    pub(crate) report_tx: mpsc::Sender<WorkerReport>,
+}
+
+pub(crate) fn run(ctx: WorkerCtx) {
+    let mut report = WorkerReport::new(ctx.index);
+    let mut host = EngineHost::new();
+    let mut ready: VecDeque<Active> = VecDeque::new();
+
+    loop {
+        // Admit at most one new job per iteration: a started job is
+        // pinned to this VM, so surplus work stays in the stealable stash
+        // where an idle peer can still take it. The resident set fills
+        // gradually — one admission per slice — up to the cap.
+        if ready.len() < ctx.cfg.resident_cap {
+            if let Some(job) = acquire(&ctx, &mut report) {
+                admit(&ctx, &mut host, job, &mut ready, &mut report);
+            }
+        }
+
+        if let Some(active) = ready.pop_front() {
+            step_active(&ctx, &mut host, active, &mut ready, &mut report);
+            continue;
+        }
+
+        // Nothing resident: block for new work, or detect that the pool
+        // has fully drained.
+        match ctx.injector.pop_wait(IDLE_WAIT) {
+            Popped::Job(job) => admit(&ctx, &mut host, job, &mut ready, &mut report),
+            Popped::TimedOut => continue,
+            Popped::Drained => {
+                if let Some(job) = acquire(&ctx, &mut report) {
+                    admit(&ctx, &mut host, job, &mut ready, &mut report);
+                    continue;
+                }
+                break;
+            }
+        }
+    }
+
+    report.vm.add(&host.vm().stats());
+    // The pool may already have given up on us (shutdown timeout); a dead
+    // receiver is not our problem.
+    let _ = ctx.report_tx.send(report);
+}
+
+/// Next unstarted job, by locality: own stash, then the injector (grabbing
+/// a batch), then stealing the oldest job from the busiest-looking peer.
+fn acquire(ctx: &WorkerCtx, report: &mut WorkerReport) -> Option<Job> {
+    if let Some(job) = ctx.queues[ctx.index].pop() {
+        return Some(job);
+    }
+    if let Some(job) = ctx.injector.try_pop() {
+        // Grab a few more while we hold nothing: they land in our steal
+        // queue where a peer can still take them if we fall behind.
+        for _ in 1..ctx.cfg.grab_batch {
+            match ctx.injector.try_pop() {
+                Some(extra) => ctx.queues[ctx.index].push(extra),
+                None => break,
+            }
+        }
+        return Some(job);
+    }
+    for offset in 1..ctx.queues.len() {
+        let victim = (ctx.index + offset) % ctx.queues.len();
+        if let Some(job) = ctx.queues[victim].steal() {
+            ctx.counters.steals.fetch_add(1, Ordering::Relaxed);
+            report.steals += 1;
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// Registers a job as an engine. Runs no user code yet, but is still
+/// panic-isolated: a defect while linking must not take the worker down.
+fn admit(
+    ctx: &WorkerCtx,
+    host: &mut EngineHost,
+    job: Job,
+    ready: &mut VecDeque<Active>,
+    report: &mut WorkerReport,
+) {
+    match catch_unwind(AssertUnwindSafe(|| host.spawn_program(&job.prog))) {
+        Ok(Ok(engine)) => {
+            ready.push_back(Active { job, engine, slices: 0, fuel_used: 0 });
+        }
+        Ok(Err(e)) => {
+            let err = JobError::Vm(e.with_context(job.id.0, ctx.index as u32));
+            deliver_failure(ctx, report, &job, 0, 0, err);
+        }
+        Err(payload) => {
+            handle_panic(ctx, host, &job, 0, 0, ready, report, panic_message(payload));
+        }
+    }
+}
+
+/// Runs one fuel slice of a started job.
+fn step_active(
+    ctx: &WorkerCtx,
+    host: &mut EngineHost,
+    mut active: Active,
+    ready: &mut VecDeque<Active>,
+    report: &mut WorkerReport,
+) {
+    let remaining = active.job.fuel_budget.saturating_sub(active.fuel_used);
+    if remaining == 0 {
+        host.drop_engine(active.engine);
+        ctx.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+        let err = JobError::TimedOut { budget: active.job.fuel_budget, used: active.fuel_used };
+        deliver_failure(ctx, report, &active.job, active.slices, active.fuel_used, err);
+        return;
+    }
+    let slice = ctx.cfg.fuel_slice.min(remaining);
+    let engine = active.engine;
+    match catch_unwind(AssertUnwindSafe(|| host.step(engine, slice))) {
+        Ok(Ok(EngineStep::Done(value))) => {
+            let shown = host.vm().write_value(&value);
+            active.slices += 1;
+            active.fuel_used += slice;
+            ctx.counters.completed.fetch_add(1, Ordering::Relaxed);
+            report.jobs_ok += 1;
+            report.slices += 1;
+            ctx.counters.slices.fetch_add(1, Ordering::Relaxed);
+            active.job.deliver(ctx.index, active.slices, active.fuel_used, Ok(shown));
+        }
+        Ok(Ok(EngineStep::Parked)) => {
+            active.slices += 1;
+            active.fuel_used += slice;
+            report.slices += 1;
+            ctx.counters.slices.fetch_add(1, Ordering::Relaxed);
+            ctx.counters.requeues.fetch_add(1, Ordering::Relaxed);
+            ready.push_back(active);
+        }
+        Ok(Err(e)) => {
+            active.slices += 1;
+            active.fuel_used += slice;
+            report.slices += 1;
+            ctx.counters.slices.fetch_add(1, Ordering::Relaxed);
+            let err = JobError::Vm(e.with_context(active.job.id.0, ctx.index as u32));
+            deliver_failure(ctx, report, &active.job, active.slices, active.fuel_used, err);
+        }
+        Err(payload) => {
+            handle_panic(
+                ctx,
+                host,
+                &active.job,
+                active.slices + 1,
+                active.fuel_used + slice,
+                ready,
+                report,
+                panic_message(payload),
+            );
+        }
+    }
+}
+
+/// A job panicked: report it, fail every other job whose continuation
+/// lived in the now-poisoned VM, rebuild, keep draining.
+#[allow(clippy::too_many_arguments)]
+fn handle_panic(
+    ctx: &WorkerCtx,
+    host: &mut EngineHost,
+    culprit: &Job,
+    slices: u64,
+    fuel_used: u64,
+    ready: &mut VecDeque<Active>,
+    report: &mut WorkerReport,
+    message: String,
+) {
+    ctx.counters.panicked.fetch_add(1, Ordering::Relaxed);
+    deliver_failure(ctx, report, culprit, slices, fuel_used, JobError::Panicked(message));
+    let culprit_id = culprit.id;
+    for lost in ready.drain(..) {
+        deliver_failure(
+            ctx,
+            report,
+            &lost.job,
+            lost.slices,
+            lost.fuel_used,
+            JobError::WorkerReset { culprit: culprit_id },
+        );
+    }
+    // Salvage the poisoned VM's counters, then replace it wholesale; the
+    // interpreter state under an unwound panic is unknown, the stats
+    // fields are plain counters.
+    report.vm.add(&host.vm().stats());
+    *host = EngineHost::new();
+    report.vm_rebuilds += 1;
+    ctx.counters.vm_rebuilds.fetch_add(1, Ordering::Relaxed);
+}
+
+fn deliver_failure(
+    ctx: &WorkerCtx,
+    report: &mut WorkerReport,
+    job: &Job,
+    slices: u64,
+    fuel_used: u64,
+    err: JobError,
+) {
+    ctx.counters.failed.fetch_add(1, Ordering::Relaxed);
+    report.jobs_failed += 1;
+    job.deliver(ctx.index, slices, fuel_used, Err(err));
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

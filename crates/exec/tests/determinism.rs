@@ -1,0 +1,77 @@
+//! Cross-worker determinism: a set of pure jobs must produce the same
+//! multiset of (name, result) pairs whether it runs on 1, 2, or 4 workers
+//! — scheduling, stealing, and preemption order must be invisible in the
+//! results.
+
+use oneshot_exec::{JobSpec, Pool};
+use proptest::prelude::*;
+
+/// Pure job templates. Every template defines its helpers under its own
+/// names with identical bodies, so interleaved jobs sharing a worker VM
+/// can never observe a conflicting definition.
+fn job_source(template: usize, n: u64) -> String {
+    match template % 4 {
+        0 => format!(
+            "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib {})",
+            6 + n % 9
+        ),
+        1 => format!(
+            "(define (sum-to n acc) (if (zero? n) acc (sum-to (- n 1) (+ acc n)))) (sum-to {} 0)",
+            100 + n * 37
+        ),
+        2 => format!(
+            // A call/1cc escape inside the job: capture-based control must
+            // be deterministic under preemption too.
+            "(+ 1000 (call/1cc (lambda (k) (k {n}))))"
+        ),
+        _ => format!(
+            "(define (build n) (if (zero? n) '() (cons n (build (- n 1)))))
+             (length (build {}))",
+            10 + n % 50
+        ),
+    }
+}
+
+fn run_jobs(workers: usize, fuel_slice: u64, specs: &[(String, String)]) -> Vec<(String, String)> {
+    let pool = Pool::builder().workers(workers).fuel_slice(fuel_slice).build().unwrap();
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|(name, src)| pool.submit(JobSpec::new(name.clone(), src.clone())).unwrap())
+        .collect();
+    let mut results: Vec<(String, String)> = handles
+        .iter()
+        .map(|h| {
+            let outcome = h.wait();
+            let shown = match outcome.result {
+                Ok(v) => v,
+                Err(e) => panic!("pure job {} failed: {e}", outcome.name),
+            };
+            (outcome.name, shown)
+        })
+        .collect();
+    pool.shutdown().unwrap();
+    // Sort: completion order is scheduling-dependent, the multiset is not.
+    results.sort();
+    results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn same_multiset_of_results_at_1_2_4_workers(
+        params in proptest::collection::vec((0usize..4, 0u32..60), 3..10),
+        fuel_slice in prop_oneof![Just(128u64), Just(1024), Just(16384)],
+    ) {
+        let specs: Vec<(String, String)> = params
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, n))| (format!("job-{i}"), job_source(t, u64::from(n))))
+            .collect();
+        let baseline = run_jobs(1, fuel_slice, &specs);
+        for workers in [2, 4] {
+            let got = run_jobs(workers, fuel_slice, &specs);
+            prop_assert_eq!(&got, &baseline, "diverged at {} workers", workers);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! End-to-end pool tests: completion, backpressure, budgets, fault
+//! isolation, and clean shutdown with no leaked worker threads.
+
+use std::time::Duration;
+
+use oneshot_exec::{JobError, JobSpec, Pool, SubmitError};
+
+/// fib has identical toplevel definitions across jobs, so interleaved
+/// jobs on a shared worker VM can't disagree about it.
+fn fib_job(n: u64) -> JobSpec {
+    JobSpec::new(
+        format!("fib-{n}"),
+        format!("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib {n})"),
+    )
+}
+
+fn spin_job(name: &str, iters: u64) -> JobSpec {
+    JobSpec::new(name, format!("(let loop ((i 0)) (if (< i {iters}) (loop (+ i 1)) 'spun))"))
+}
+
+#[test]
+fn jobs_complete_across_worker_counts() {
+    for workers in [1, 2, 4] {
+        let pool = Pool::builder().workers(workers).fuel_slice(512).build().unwrap();
+        let handles: Vec<_> =
+            (0..12).map(|i| pool.submit(fib_job(10 + (i % 5))).unwrap()).collect();
+        for h in &handles {
+            let outcome = h.wait();
+            let expected = match h.name() {
+                "fib-10" => "55",
+                "fib-11" => "89",
+                "fib-12" => "144",
+                "fib-13" => "233",
+                "fib-14" => "377",
+                other => panic!("unexpected job {other}"),
+            };
+            assert_eq!(outcome.result.as_deref(), Ok(expected), "{}", h.name());
+        }
+        let report = pool.shutdown_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(report.counters.completed, 12, "workers={workers}");
+        assert_eq!(report.counters.failed, 0);
+        assert_eq!(report.workers.len(), workers);
+        let ran: u64 = report.workers.iter().map(|w| w.jobs_ok).sum();
+        assert_eq!(ran, 12);
+    }
+}
+
+#[test]
+fn long_jobs_are_preempted_not_starving() {
+    // One long job plus quick jobs on a single worker: with a small fuel
+    // slice the quick jobs finish long before the big one.
+    let pool = Pool::builder().workers(1).fuel_slice(256).build().unwrap();
+    let long = pool.submit(spin_job("long", 2_000_000).fuel_budget(u64::MAX)).unwrap();
+    let quick: Vec<_> = (0..4).map(|_| pool.submit(fib_job(10)).unwrap()).collect();
+    for h in &quick {
+        assert_eq!(h.wait().result.as_deref(), Ok("55"));
+    }
+    let outcome = long.wait();
+    assert_eq!(outcome.result.as_deref(), Ok("spun"));
+    assert!(outcome.slices > 1, "the long job must have been preempted");
+    let report = pool.shutdown().unwrap();
+    assert!(report.counters.requeues > 0, "preemption shows up as requeues");
+}
+
+#[test]
+fn try_submit_gives_backpressure() {
+    // Capacity-1 queue and a worker wedged on a sleep: the second
+    // enqueued job sits in the injector, so a third is refused.
+    let pool = Pool::builder().workers(1).queue_capacity(1).resident_cap(1).build().unwrap();
+    let blocker = pool.submit(JobSpec::new("blocker", "(sleep-ms 300)")).unwrap();
+    // Wait for the worker to pick the blocker up so the queue is empty...
+    while pool.queue_depth() > 0 {
+        std::thread::yield_now();
+    }
+    // ...then fill the single queue slot.
+    let queued = pool.submit(fib_job(10)).unwrap();
+    let refused = pool.try_submit(fib_job(11));
+    match refused {
+        Err(SubmitError::Full(spec)) => assert_eq!(spec.name(), "fib-11"),
+        other => panic!("expected Full, got {other:?}"),
+    }
+    assert_eq!(blocker.wait().result.as_deref(), Ok("#<void>"));
+    assert_eq!(queued.wait().result.as_deref(), Ok("55"));
+    pool.shutdown().unwrap();
+}
+
+#[test]
+fn compile_errors_fail_at_submit() {
+    let pool = Pool::builder().workers(1).build().unwrap();
+    match pool.submit(JobSpec::new("bad", "(lambda)")) {
+        Err(SubmitError::Compile(_)) => {}
+        other => panic!("expected a compile error, got {other:?}"),
+    }
+    pool.shutdown().unwrap();
+}
+
+#[test]
+fn fuel_budget_times_out_runaway_jobs() {
+    let pool = Pool::builder().workers(1).fuel_slice(500).build().unwrap();
+    let runaway = pool.submit(spin_job("runaway", 10_000_000_000).fuel_budget(5_000)).unwrap();
+    let bystander = pool.submit(fib_job(12)).unwrap();
+    let outcome = runaway.wait();
+    match outcome.result {
+        Err(JobError::TimedOut { budget, used }) => {
+            assert_eq!(budget, 5_000);
+            assert!(used >= budget, "budget must actually be consumed first");
+        }
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+    assert_eq!(bystander.wait().result.as_deref(), Ok("144"));
+    let report = pool.shutdown().unwrap();
+    assert_eq!(report.counters.timed_out, 1);
+    assert_eq!(report.counters.completed, 1);
+}
+
+#[test]
+fn scheme_errors_are_vm_job_errors_with_context() {
+    let pool = Pool::builder().workers(1).build().unwrap();
+    let bad = pool.submit(JobSpec::new("type-error", "(car 42)")).unwrap();
+    match bad.wait().result {
+        Err(JobError::Vm(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("job 0"), "context names the job: {msg}");
+            assert!(msg.contains("worker 0"), "context names the worker: {msg}");
+            assert!(msg.contains("car"), "root cause survives: {msg}");
+        }
+        other => panic!("expected Vm error, got {other:?}"),
+    }
+    pool.shutdown().unwrap();
+}
+
+#[test]
+fn shot_continuation_in_pooled_job_is_a_vm_error() {
+    // The ISSUE's acceptance scenario: a call/1cc continuation shot twice
+    // inside a pooled job surfaces as JobError::Vm — no panic, no wedged
+    // worker.
+    let pool = Pool::builder().workers(2).build().unwrap();
+    let shot = pool.submit(JobSpec::new(
+        "shot-twice",
+        "(define k1 #f)
+         (call/1cc (lambda (k) (set! k1 k)))
+         (k1 0)",
+    ));
+    let shot = shot.unwrap();
+    let after = pool.submit(fib_job(10)).unwrap();
+    match shot.wait().result {
+        Err(JobError::Vm(e)) => {
+            assert!(e.to_string().contains("one-shot"), "{e}");
+        }
+        other => panic!("expected Vm(one-shot) error, got {other:?}"),
+    }
+    assert_eq!(after.wait().result.as_deref(), Ok("55"), "worker is not wedged");
+    let report = pool.shutdown_timeout(Duration::from_secs(30)).unwrap();
+    assert_eq!(report.counters.panicked, 0);
+}
+
+#[test]
+fn panicking_job_is_isolated_and_pool_drains() {
+    let pool = Pool::builder().workers(2).fuel_slice(512).build().unwrap();
+    let before: Vec<_> = (0..4).map(|_| pool.submit(fib_job(11)).unwrap()).collect();
+    let bomb = pool.submit(JobSpec::new("bomb", "(debug-panic! \"kaboom\")")).unwrap();
+    let after: Vec<_> = (0..4).map(|_| pool.submit(fib_job(12)).unwrap()).collect();
+
+    match bomb.wait().result {
+        Err(JobError::Panicked(msg)) => assert!(msg.contains("kaboom"), "{msg}"),
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    // Every other job still finishes: either normally, or failed-fast as
+    // WorkerReset collateral if it was parked on the panicking VM.
+    for h in before.iter().chain(&after) {
+        let outcome = h.wait();
+        match outcome.result {
+            Ok(v) => assert!(v == "89" || v == "144"),
+            Err(JobError::WorkerReset { culprit }) => assert_eq!(culprit, bomb.id()),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    let report = pool.shutdown_timeout(Duration::from_secs(30)).unwrap();
+    assert_eq!(report.counters.panicked, 1);
+    assert_eq!(report.counters.vm_rebuilds, 1);
+    assert_eq!(report.counters.completed + report.counters.failed, 9);
+}
+
+#[test]
+fn shutdown_reports_every_worker_and_leaks_nothing() {
+    let pool = Pool::builder().workers(3).build().unwrap();
+    for i in 0..6 {
+        pool.submit(fib_job(10 + i % 3)).unwrap();
+    }
+    // A short deadline that still comfortably covers the drain: if a
+    // worker thread wedged or leaked, this returns Err and the test fails.
+    let report = pool.shutdown_timeout(Duration::from_secs(20)).unwrap();
+    assert_eq!(report.workers.len(), 3, "every worker joined and reported");
+    assert_eq!(report.counters.completed, 6);
+    let instructions: u64 = report.workers.iter().map(|w| w.vm.instructions).sum();
+    assert!(instructions > 0, "per-worker VmStats were aggregated");
+}
+
+#[test]
+fn submit_after_shutdown_is_refused() {
+    let pool = Pool::builder().workers(1).build().unwrap();
+    let stats = pool.stats();
+    assert_eq!(stats.submitted, 0);
+    // Close via drop path: build a second pool to keep using the API.
+    drop(pool);
+    let pool = Pool::builder().workers(1).build().unwrap();
+    let h = pool.submit(fib_job(10)).unwrap();
+    h.wait();
+    pool.shutdown().unwrap();
+}
+
+#[test]
+fn mixed_sleep_and_cpu_jobs_overlap_across_workers() {
+    // Four 60 ms sleeps on four workers should take far less than the
+    // 240 ms serial total — the scaling mechanism E11 measures.
+    let pool = Pool::builder().workers(4).build().unwrap();
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            pool.submit(JobSpec::new(format!("io-{i}"), "(begin (sleep-ms 60) 'served)")).unwrap()
+        })
+        .collect();
+    for h in &handles {
+        assert_eq!(h.wait().result.as_deref(), Ok("served"));
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(200),
+        "4 sleeps of 60ms must overlap, took {elapsed:?}"
+    );
+    pool.shutdown().unwrap();
+}

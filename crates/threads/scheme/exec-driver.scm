@@ -1,0 +1,46 @@
+;; Executor driver: a registry of engines keyed by fixnum id, stepped one
+;; fuel slice at a time from Rust (the oneshot-exec worker loop).
+;;
+;; Each pooled job becomes one engine (engines.scm must be loaded first).
+;; The table is a toplevel global, so parked engines — and with them the
+;; one-shot continuations of preempted jobs — are GC roots between slices.
+
+(define %exec-table '())
+
+;; Register a new engine for `thunk` under `id` (chosen by the host).
+(define (exec-spawn! id thunk)
+  (set! %exec-table (cons (cons id (make-engine thunk)) %exec-table))
+  id)
+
+(define (%exec-remove! id)
+  (set! %exec-table
+        (let loop ((t %exec-table))
+          (cond ((null? t) '())
+                ((= (car (car t)) id) (cdr t))
+                (else (cons (car t) (loop (cdr t))))))))
+
+;; Forget an engine without running it (budget exhausted, worker reset).
+(define (exec-drop! id)
+  (%exec-remove! id)
+  #t)
+
+;; Run engine `id` for one fuel slice. Returns (done . value) if the job
+;; finished, or the symbol `parked` if it was preempted (the resuming
+;; engine replaces the old one in the table).
+(define (exec-step! id fuel)
+  ;; A job that errored out of a previous slice escapes %run-engine
+  ;; without popping the engine globals; the pool never nests engines,
+  ;; so reset them outright before every slice.
+  (set! %engine-escape #f)
+  (set! %engine-parents '())
+  (let ((entry (assv id %exec-table)))
+    (if (not entry)
+        (error "exec-step!: unknown engine " id))
+    ((cdr entry)
+     fuel
+     (lambda (v left)
+       (%exec-remove! id)
+       (cons 'done v))
+     (lambda (e2)
+       (set-cdr! entry e2)
+       'parked))))

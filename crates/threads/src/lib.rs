@@ -35,14 +35,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::HashSet;
+
 use oneshot_runtime::Value;
-use oneshot_vm::{Vm, VmConfig, VmError, VmStats};
+use oneshot_vm::{CompiledProgram, Vm, VmConfig, VmError, VmStats};
 
 const CALLCC_SCHED: &str = include_str!("../scheme/threads-callcc.scm");
 const CALL1CC_SCHED: &str = include_str!("../scheme/threads-call1cc.scm");
 const CPS_SCHED: &str = include_str!("../scheme/threads-cps.scm");
 /// Dybvig–Hieb engines source, loaded by [`ThreadSystem::load_engines`].
 pub const ENGINES: &str = include_str!("../scheme/engines.scm");
+/// The executor driver: an id-keyed engine registry stepped from Rust,
+/// loaded by [`EngineHost`] on top of [`ENGINES`].
+pub const EXEC_DRIVER: &str = include_str!("../scheme/exec-driver.scm");
 
 /// Which control representation the thread system uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -190,6 +195,185 @@ impl ThreadSystem {
     /// Statistics snapshot from the underlying VM.
     pub fn stats(&self) -> VmStats {
         self.vm.stats()
+    }
+}
+
+/// Identifier of an engine registered with an [`EngineHost`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EngineId(i64);
+
+impl std::fmt::Display for EngineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Outcome of one [`EngineHost::step`] fuel slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineStep {
+    /// The computation finished with this value.
+    Done(Value),
+    /// Fuel ran out; the engine was parked and can be stepped again.
+    Parked,
+}
+
+/// A VM hosting a registry of Dybvig–Hieb engines, stepped one fuel slice
+/// at a time from Rust.
+///
+/// This is the scheduling substrate of the `oneshot-exec` worker pool:
+/// each pooled job becomes one engine (a green thread preempted by the VM
+/// timer via `call/1cc`), and the worker loop decides which engine to step
+/// next. Parked engines are rooted through a Scheme global, so their
+/// captured one-shot continuations survive GC — and survive *other* jobs
+/// erroring out (an error only unwinds the current stack segment).
+///
+/// # Example
+///
+/// ```
+/// use oneshot_threads::{EngineHost, EngineStep};
+/// use oneshot_vm::{CompilerOptions, Pipeline, Vm};
+///
+/// let mut host = EngineHost::new();
+/// let prog = Vm::compile_str(
+///     "(let loop ((i 0)) (if (< i 10000) (loop (+ i 1)) 'done))",
+///     Pipeline::Direct,
+///     CompilerOptions::default(),
+/// )
+/// .unwrap();
+/// let id = host.spawn_program(&prog).unwrap();
+/// let mut slices = 0;
+/// loop {
+///     match host.step(id, 256).unwrap() {
+///         EngineStep::Parked => slices += 1,
+///         EngineStep::Done(v) => {
+///             assert_eq!(host.vm().display_value(&v), "done");
+///             break;
+///         }
+///     }
+/// }
+/// assert!(slices > 0, "a 10k-iteration loop must not finish in 256 calls");
+/// assert_eq!(host.live(), 0);
+/// ```
+#[derive(Debug)]
+pub struct EngineHost {
+    vm: Vm,
+    next: i64,
+    live: HashSet<EngineId>,
+}
+
+impl EngineHost {
+    /// A host on a fresh default VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded engines/driver sources fail to load (a build
+    /// defect, covered by tests).
+    pub fn new() -> Self {
+        Self::with_vm(Vm::new())
+    }
+
+    /// Loads the engines library and the executor driver into `vm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded engines/driver sources fail to load.
+    pub fn with_vm(mut vm: Vm) -> Self {
+        vm.eval_str(ENGINES).expect("engines library must load");
+        vm.eval_str(EXEC_DRIVER).expect("exec driver must load");
+        EngineHost { vm, next: 0, live: HashSet::new() }
+    }
+
+    /// The underlying VM.
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// The underlying VM, mutably.
+    pub fn vm_mut(&mut self) -> &mut Vm {
+        &mut self.vm
+    }
+
+    /// Number of engines spawned but not yet finished or dropped.
+    pub fn live(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Links `prog` into the host VM and registers its toplevel thunk as a
+    /// new engine. Nothing runs until the first [`EngineHost::step`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM errors from engine registration.
+    pub fn spawn_program(&mut self, prog: &CompiledProgram) -> Result<EngineId, VmError> {
+        let id = EngineId(self.next);
+        let thunk = self.vm.load_program(prog);
+        let spawn = self.vm.global("exec-spawn!").expect("driver defines exec-spawn!");
+        self.vm.call(spawn, &[Value::Fixnum(id.0), thunk])?;
+        self.next += 1;
+        self.live.insert(id);
+        Ok(id)
+    }
+
+    /// Runs engine `id` for one slice of `fuel` procedure calls.
+    ///
+    /// Returns [`EngineStep::Done`] when the job finishes within the slice
+    /// and [`EngineStep::Parked`] when it is preempted (step again to
+    /// resume). The `Done` value is unrooted — format or store it before
+    /// running anything else on this VM.
+    ///
+    /// # Errors
+    ///
+    /// A Scheme error raised by the job (including a one-shot continuation
+    /// shot twice) is returned as `Err`; the engine is dropped and the VM
+    /// stays usable — other parked engines are unaffected.
+    pub fn step(&mut self, id: EngineId, fuel: u64) -> Result<EngineStep, VmError> {
+        if !self.live.contains(&id) {
+            return Err(VmError::Runtime(format!("step: unknown engine {id}")));
+        }
+        let step = self.vm.global("exec-step!").expect("driver defines exec-step!");
+        let fuel = i64::try_from(fuel.max(1)).unwrap_or(i64::MAX);
+        match self.vm.call(step, &[Value::Fixnum(id.0), Value::Fixnum(fuel)]) {
+            Ok(v) => {
+                if v == self.vm.intern("parked") {
+                    return Ok(EngineStep::Parked);
+                }
+                if let Some((tag, value)) = self.vm.pair(v) {
+                    if tag == self.vm.intern("done") {
+                        self.live.remove(&id);
+                        return Ok(EngineStep::Done(value));
+                    }
+                }
+                self.live.remove(&id);
+                Err(VmError::Runtime(format!(
+                    "exec-step! returned an unexpected value: {}",
+                    self.vm.write_value(&v)
+                )))
+            }
+            Err(e) => {
+                // The errored engine never reached complete/expire, so the
+                // driver still holds it; drop it before reporting.
+                self.drop_engine(id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Unregisters a parked engine without running it (fuel budget
+    /// exhausted, worker shutdown). Returns whether the engine was live.
+    pub fn drop_engine(&mut self, id: EngineId) -> bool {
+        if !self.live.remove(&id) {
+            return false;
+        }
+        let drop_fn = self.vm.global("exec-drop!").expect("driver defines exec-drop!");
+        // exec-drop! cannot raise; ignore the (always #t) result.
+        let _ = self.vm.call(drop_fn, &[Value::Fixnum(id.0)]);
+        true
+    }
+}
+
+impl Default for EngineHost {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -361,5 +545,89 @@ mod tests {
     fn stats_are_exposed() {
         let ts = ThreadSystem::new(Strategy::Call1Cc);
         assert!(ts.stats().instructions > 0);
+    }
+
+    fn compile(src: &str) -> oneshot_vm::CompiledProgram {
+        Vm::compile_str(src, oneshot_vm::Pipeline::Direct, Default::default()).unwrap()
+    }
+
+    #[test]
+    fn host_interleaves_independent_engines() {
+        let mut host = EngineHost::new();
+        let mk = |n: u64, tag: &str| {
+            compile(&format!("(let loop ((i 0)) (if (< i {n}) (loop (+ i 1)) '{tag}))"))
+        };
+        let a = host.spawn_program(&mk(5000, "a")).unwrap();
+        let b = host.spawn_program(&mk(800, "b")).unwrap();
+        assert_eq!(host.live(), 2);
+        let mut done = Vec::new();
+        let mut queue = std::collections::VecDeque::from([a, b]);
+        while let Some(id) = queue.pop_front() {
+            match host.step(id, 300).unwrap() {
+                EngineStep::Parked => queue.push_back(id),
+                EngineStep::Done(v) => done.push(host.vm().display_value(&v)),
+            }
+        }
+        // The shorter job finishes first under round-robin slicing.
+        assert_eq!(done, ["b", "a"]);
+        assert_eq!(host.live(), 0);
+    }
+
+    #[test]
+    fn host_job_error_leaves_parked_engines_intact() {
+        let mut host = EngineHost::new();
+        let ok = host
+            .spawn_program(&compile("(let loop ((i 0)) (if (< i 9000) (loop (+ i 1)) 'fine))"))
+            .unwrap();
+        // Park the good job mid-run so its one-shot continuation is live.
+        assert_eq!(host.step(ok, 100).unwrap(), EngineStep::Parked);
+        let bad = host.spawn_program(&compile("(car 42)")).unwrap();
+        let e = host.step(bad, 100).unwrap_err();
+        assert!(e.to_string().contains("car"), "{e}");
+        assert_eq!(host.live(), 1, "errored engine was dropped");
+        // The parked engine's captured continuation still works.
+        let mut last = EngineStep::Parked;
+        while last == EngineStep::Parked {
+            last = host.step(ok, 300).unwrap();
+        }
+        let EngineStep::Done(v) = last else { unreachable!() };
+        assert_eq!(host.vm().display_value(&v), "fine");
+    }
+
+    #[test]
+    fn host_shot_continuation_is_an_error_not_a_wedge() {
+        let mut host = EngineHost::new();
+        let id = host
+            .spawn_program(&compile(
+                "(define k1 #f)
+                 (call/1cc (lambda (k) (set! k1 k)))
+                 (k1 0)",
+            ))
+            .unwrap();
+        let mut r = host.step(id, 50);
+        while r == Ok(EngineStep::Parked) {
+            r = host.step(id, 50);
+        }
+        let e = r.unwrap_err();
+        assert!(e.to_string().contains("one-shot"), "{e}");
+        // The host is still usable for fresh work.
+        let id2 = host.spawn_program(&compile("(+ 1 2)")).unwrap();
+        let EngineStep::Done(v) = host.step(id2, 10_000).unwrap() else {
+            panic!("trivial job should finish in one slice")
+        };
+        assert_eq!(host.vm().display_value(&v), "3");
+    }
+
+    #[test]
+    fn host_drop_engine_forgets_parked_work() {
+        let mut host = EngineHost::new();
+        let id = host
+            .spawn_program(&compile("(let loop ((i 0)) (if (< i 90000) (loop (+ i 1)) i))"))
+            .unwrap();
+        assert_eq!(host.step(id, 50).unwrap(), EngineStep::Parked);
+        assert!(host.drop_engine(id));
+        assert!(!host.drop_engine(id), "double drop is a no-op");
+        assert_eq!(host.live(), 0);
+        assert!(host.step(id, 50).is_err(), "stepping a dropped engine errors");
     }
 }

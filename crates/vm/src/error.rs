@@ -12,11 +12,46 @@ pub enum VmError {
     Compile(String),
     /// A runtime error (type errors, arity errors, `(error ...)`).
     Runtime(String),
+    /// An error annotated with the job and worker it occurred on.
+    ///
+    /// Produced by [`VmError::with_context`]; the executor layer uses this to
+    /// report *which* job on *which* worker failed without formatting any
+    /// strings on the hot path (the ids are plain integers until displayed).
+    InContext {
+        /// Executor job id the error belongs to.
+        job: u64,
+        /// Index of the worker thread that ran the job.
+        worker: u32,
+        /// The underlying error.
+        source: Box<VmError>,
+    },
 }
 
 impl VmError {
     pub(crate) fn runtime(msg: impl Into<String>) -> Self {
         VmError::Runtime(msg.into())
+    }
+
+    /// Wrap this error with the job and worker it occurred on.
+    ///
+    /// Cheap: stores two integers and boxes the original error, no
+    /// formatting happens until someone calls `Display`. Re-wrapping an
+    /// already-contextualised error replaces the old context rather than
+    /// nesting.
+    #[must_use]
+    pub fn with_context(self, job: u64, worker: u32) -> Self {
+        match self {
+            VmError::InContext { source, .. } => VmError::InContext { job, worker, source },
+            other => VmError::InContext { job, worker, source: Box::new(other) },
+        }
+    }
+
+    /// The innermost error, stripped of any job/worker context.
+    pub fn root_cause(&self) -> &VmError {
+        match self {
+            VmError::InContext { source, .. } => source.root_cause(),
+            other => other,
+        }
     }
 }
 
@@ -26,19 +61,41 @@ impl fmt::Display for VmError {
             VmError::Read(m) => write!(f, "read error: {m}"),
             VmError::Compile(m) => write!(f, "{m}"),
             VmError::Runtime(m) => write!(f, "error: {m}"),
+            VmError::InContext { job, worker, source } => {
+                write!(f, "job {job} on worker {worker}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for VmError {}
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::InContext { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_prefixes() {
         assert!(VmError::runtime("x").to_string().starts_with("error:"));
         assert!(VmError::Read("y".into()).to_string().contains("read"));
+    }
+
+    #[test]
+    fn context_chain() {
+        let e = VmError::runtime("boom").with_context(7, 2);
+        assert_eq!(e.to_string(), "job 7 on worker 2: error: boom");
+        assert_eq!(e.source().unwrap().to_string(), "error: boom");
+        assert_eq!(e.root_cause(), &VmError::Runtime("boom".into()));
+        // Re-wrapping replaces the context instead of nesting.
+        let e2 = e.with_context(8, 0);
+        assert_eq!(e2.to_string(), "job 8 on worker 0: error: boom");
     }
 }

@@ -40,5 +40,5 @@ pub use error::VmError;
 pub use slot::{slot_disp, Resume, Slot};
 pub use vm::{ProbeSpec, Vm, VmBuilder, VmConfig, VmProbe, VmStats};
 
-pub use oneshot_compiler::{CompilerOptions, Pipeline};
+pub use oneshot_compiler::{CompiledProgram, CompilerOptions, Pipeline};
 pub use oneshot_runtime::{Obj, ObjRef, SymbolId, Value};

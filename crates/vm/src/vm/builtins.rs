@@ -1107,6 +1107,27 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             }
             ret!(vm, alist)
         },
+        "sleep-ms" => |vm, argc| {
+            // (sleep-ms n): block the calling OS thread for n milliseconds.
+            // Models a request handler waiting on I/O; the executor's mixed
+            // workload uses it so multi-worker throughput scaling is
+            // observable even on one core.
+            check(argc, 1, "sleep-ms")?;
+            let n = fix(vm.arg(0), "sleep-ms")?;
+            if n < 0 {
+                return Err(err("sleep-ms: expected a non-negative duration"));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(n as u64));
+            ret!(vm, Value::Unspecified)
+        },
+        "debug-panic!" => |vm, argc| {
+            // (debug-panic! msg): abort via a Rust panic instead of a Scheme
+            // error. Fault-injection hook for the executor's catch_unwind
+            // isolation tests; never use it for ordinary error signalling.
+            let msg =
+                if argc > 0 { vm.display_value(&vm.arg(0)) } else { "debug-panic!".to_string() };
+            panic!("debug-panic!: {msg}");
+        },
         // --- CPS support ---
         "%apply-args" => |vm, argc| {
             // (%apply-args k f spec): the CPS prelude's apply. Spreads

@@ -455,6 +455,51 @@ impl Vm {
         self.run_thunk(entry)
     }
 
+    /// Compiles `src` to a [`CompiledProgram`] without touching any VM.
+    ///
+    /// The result is plain owned data (`Send`), so a program can be compiled
+    /// once on a submitting thread and later linked into any number of VMs
+    /// with [`Vm::load_program`] — the executor's compile-once/run-anywhere
+    /// contract. The program must be linked into a VM whose pipeline and
+    /// prelude match `pipeline`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Read`] or [`VmError::Compile`].
+    pub fn compile_str(
+        src: &str,
+        pipeline: Pipeline,
+        options: CompilerOptions,
+    ) -> Result<CompiledProgram, VmError> {
+        let forms = read_all(src).map_err(|e| VmError::Read(e.to_string()))?;
+        compile_program_with(&forms, pipeline, options).map_err(|e| VmError::Compile(e.to_string()))
+    }
+
+    /// Links a [`CompiledProgram`] into this VM and returns its toplevel
+    /// thunk as a zero-argument closure (every entry code object begins
+    /// with `Op::Entry`, so it is directly callable).
+    ///
+    /// The returned closure is a fresh heap object and is **not** GC-rooted;
+    /// pass it to [`Vm::call`] or store it in a global before running
+    /// anything else on this VM.
+    pub fn load_program(&mut self, prog: &CompiledProgram) -> Value {
+        let entry = self.link(prog);
+        Value::Obj(self.heap.alloc(Obj::Closure { code: entry, free: Box::new([]) }))
+    }
+
+    /// Clears per-job control state so the VM can be reused for the next
+    /// job without rebuilding it (no re-interning of builtins or symbols).
+    ///
+    /// Resets the stack to an empty frame, drops pending winders, multiple
+    /// values, and the engine timer, and discards captured output. Globals,
+    /// linked code, the symbol table, probe counters, and cumulative
+    /// statistics all survive — sealed continuation segments held by parked
+    /// engines remain valid.
+    pub fn reset_for_reuse(&mut self) {
+        self.recover();
+        self.out.clear();
+    }
+
     /// Links a compiled program into the VM, returning the loaded entry
     /// code index. Global references are resolved by name, code indices
     /// are rebased, and the instructions are appended to the flat arena.
@@ -803,6 +848,14 @@ impl Vm {
             v = self.cons(item, v);
         }
         v
+    }
+
+    /// Reads a pair's car and cdr, if `v` is a pair.
+    pub fn pair(&self, v: Value) -> Option<(Value, Value)> {
+        match v {
+            Value::Obj(r) => self.heap.pair(r),
+            _ => None,
+        }
     }
 }
 

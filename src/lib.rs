@@ -9,6 +9,8 @@
 //! * [`vm`] — a Scheme system (reader, compiler, bytecode VM) whose
 //!   `call/cc` and `call/1cc` are built on the substrate.
 //! * [`threads`] — continuation-based thread systems and engines.
+//! * [`exec`] — a multi-core worker pool running jobs as engine-preempted
+//!   green threads with work stealing and fault isolation.
 //!
 //! # Quickstart
 //!
@@ -22,6 +24,7 @@
 
 pub use oneshot_compiler as compiler;
 pub use oneshot_core as core;
+pub use oneshot_exec as exec;
 pub use oneshot_runtime as runtime;
 pub use oneshot_sexp as sexp;
 pub use oneshot_threads as threads;
