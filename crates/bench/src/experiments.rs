@@ -1014,6 +1014,149 @@ pub fn exec_experiment(scale: &ExecScale) -> Vec<ExecRow> {
     out
 }
 
+// ----------------------------------------------------------------------
+// E12 — chaos sweep: recovery under deterministic fault injection
+// ----------------------------------------------------------------------
+
+/// One cell of the E12 sweep: a workload run under `seeds` fault
+/// schedules at one fault horizon (smaller horizon = denser faults).
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Fault countdown horizon the schedules draw from.
+    pub horizon: u64,
+    /// Schedules run.
+    pub runs: u64,
+    /// Runs that finished with no condition raised.
+    pub clean: u64,
+    /// Runs where a guard caught the fault and the program recovered.
+    pub recovered: u64,
+    /// Runs ending in a structured uncaught condition (fault fired
+    /// outside the guard's extent).
+    pub uncaught: u64,
+    /// Injected faults the VMs consumed, summed.
+    pub faults_injected: u64,
+    /// Conditions raised (caught or not), summed.
+    pub conditions_raised: u64,
+    /// Wall-clock for the whole cell, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl ChaosRow {
+    /// Fraction of fault-affected runs the guard recovered.
+    pub fn recovery_rate(&self) -> f64 {
+        let affected = self.recovered + self.uncaught;
+        if affected == 0 {
+            1.0
+        } else {
+            self.recovered as f64 / affected as f64
+        }
+    }
+}
+
+/// The guarded chaos workloads: each returns `(ok . #f)` on a clean run
+/// or `(caught . kind)` when the guard recovers a condition.
+pub const CHAOS_WORKLOADS: &[(&str, &str)] = &[
+    (
+        "alloc",
+        "(call-with-guard
+           (lambda (c) (cons 'caught (condition-kind c)))
+           (lambda ()
+             (letrec ((chew (lambda (n acc)
+                              (if (zero? n) acc (chew (- n 1) (cons n acc))))))
+               (begin (length (chew 400 '())) '(ok . #f)))))",
+    ),
+    (
+        "control",
+        "(call-with-guard
+           (lambda (c) (cons 'caught (condition-kind c)))
+           (lambda ()
+             (letrec ((deep (lambda (n) (if (zero? n) 0 (+ 1 (deep (- n 1)))))))
+               (begin
+                 (dynamic-wind
+                   (lambda () #t)
+                   (lambda () (+ (deep 400) (call/1cc (lambda (k) (k 1)))))
+                   (lambda () #t))
+                 '(ok . #f)))))",
+    ),
+];
+
+/// Runs one chaos cell: `seeds` schedules of `workload` at `horizon`.
+pub fn chaos_case(workload: (&'static str, &str), horizon: u64, seeds: u64) -> ChaosRow {
+    use oneshot_vm::FaultPlan;
+    let started = Instant::now();
+    let mut row = ChaosRow {
+        workload: workload.0,
+        horizon,
+        runs: seeds,
+        clean: 0,
+        recovered: 0,
+        uncaught: 0,
+        faults_injected: 0,
+        conditions_raised: 0,
+        wall_ms: 0.0,
+    };
+    for seed in 0..seeds {
+        let mut vm = Vm::builder()
+            .fault_plan(FaultPlan::seeded(seed.wrapping_mul(0x9E37).wrapping_add(horizon), horizon))
+            .heap_budget(50_000)
+            .max_stack_segments(16)
+            .build();
+        match vm.eval_str(workload.1) {
+            Ok(v) => {
+                if vm.write_value(&v) == "(ok . #f)" {
+                    row.clean += 1;
+                } else {
+                    row.recovered += 1;
+                }
+            }
+            Err(_) => row.uncaught += 1,
+        }
+        let s = vm.stats();
+        row.faults_injected += s.faults_injected;
+        row.conditions_raised += s.conditions_raised;
+    }
+    row.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    row
+}
+
+/// The full E12 sweep: workload × fault horizon.
+pub fn chaos_experiment(horizons: &[u64], seeds: u64) -> Vec<ChaosRow> {
+    let mut out = Vec::new();
+    for &workload in CHAOS_WORKLOADS {
+        for &horizon in horizons {
+            out.push(chaos_case(workload, horizon, seeds));
+        }
+    }
+    out
+}
+
+/// Measures the cost of the guard plumbing itself: the same workload run
+/// with no guards at all versus every guard armed but never tripping.
+/// Returns `(baseline_ms, guarded_ms)` per-iteration averages.
+pub fn chaos_overhead(iters: u64) -> (f64, f64) {
+    let src = "(letrec ((chew (lambda (n acc)
+                          (if (zero? n) acc (chew (- n 1) (cons n acc)))))
+                    (deep (lambda (n) (if (zero? n) 0 (+ 1 (deep (- n 1)))))))
+                 (+ (length (chew 300 '())) (deep 300)))";
+    let time = |vm: &mut Vm| {
+        // Warm-up run, then the timed batch.
+        vm.eval_str(src).expect("overhead workload must succeed");
+        let started = Instant::now();
+        for _ in 0..iters {
+            vm.eval_str(src).expect("overhead workload must succeed");
+        }
+        started.elapsed().as_secs_f64() * 1e3 / iters as f64
+    };
+    let baseline = time(&mut Vm::new());
+    // Budgets far above the workload's needs: the guard checks run on
+    // every safe point but never fire.
+    let guarded =
+        time(&mut Vm::builder().heap_budget(10_000_000).max_stack_segments(1 << 20).build());
+    (baseline, guarded)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

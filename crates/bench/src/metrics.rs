@@ -386,6 +386,8 @@ pub fn vm_stats_json(s: &VmStats) -> Json {
         ("gc_pause_ns", Json::int(s.gc_pause_ns)),
         ("gc_max_pause_ns", Json::int(s.gc_max_pause_ns)),
         ("gc_objects_freed", Json::int(s.gc_objects_freed)),
+        ("conditions_raised", Json::int(s.conditions_raised)),
+        ("faults_injected", Json::int(s.faults_injected)),
         (
             "heap",
             Json::obj([

@@ -147,6 +147,13 @@ pub const BUILTIN_NAMES: &[&str] = &[
     "debug-panic!",
     // internal helpers (used by the CPS prelude)
     "%apply-args",
+    // internal helpers (used by the condition-system prelude)
+    "%push-handler!",
+    "%pop-handler!",
+    "%top-handler",
+    "%have-handler?",
+    "%note-raise!",
+    "%uncaught",
 ];
 
 /// Control operators that cannot be called direct-style from CPS code;

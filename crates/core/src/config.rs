@@ -82,6 +82,13 @@ pub struct Config {
     /// `SealWithPad` keeps the remainder of a segment as the current
     /// segment; below this the policy falls back to a fresh segment.
     pub min_headroom: usize,
+    /// Ceiling on the number of *live* (non-cached) segments the stack may
+    /// hold. When growing past the ceiling, [`SegStack::ensure`]
+    /// (crate::SegStack::ensure) reports [`Overflow::Ceiling`]
+    /// (crate::Overflow::Ceiling) instead of allocating, letting the
+    /// embedder unwind (e.g. raise a catchable `stack-overflow`
+    /// condition). Zero — the default — disables the ceiling.
+    pub max_segments: usize,
 }
 
 impl Default for Config {
@@ -95,6 +102,7 @@ impl Default for Config {
             promotion: PromotionStrategy::EagerWalk,
             cache_limit: 64,
             min_headroom: 64,
+            max_segments: 0,
         }
     }
 }

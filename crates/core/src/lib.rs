@@ -64,6 +64,7 @@
 mod arena;
 mod config;
 mod error;
+mod fault;
 mod kont;
 pub mod probe;
 mod stack;
@@ -71,6 +72,7 @@ mod stats;
 
 pub use config::{Config, OneShotPolicy, OverflowPolicy, PromotionStrategy};
 pub use error::{ConfigError, ControlError};
+pub use fault::{FaultClock, FaultPlan};
 pub use kont::{Kont, KontId, KontKind};
 pub use probe::{ControlProbe, CountingProbe, NoopProbe, ProbeEvent, RingTraceProbe};
 pub use stack::{FrameWalker, Overflow, Reinstated, SegStack, SegmentId, Underflow};

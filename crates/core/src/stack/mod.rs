@@ -65,6 +65,7 @@ use std::sync::Arc;
 use crate::arena::Arena;
 use crate::config::{Config, OneShotPolicy, OverflowPolicy, PromotionStrategy};
 use crate::error::ControlError;
+use crate::fault::FaultClock;
 use crate::kont::{Kont, KontId, KontKind};
 use crate::probe::{ControlProbe, NoopProbe};
 use crate::stats::Stats;
@@ -140,6 +141,16 @@ pub enum Overflow {
     /// The stack overflowed and was handled per [`OverflowPolicy`]; the
     /// frame pointer has moved to the relocated frame in a new segment.
     Handled,
+    /// The segment ceiling ([`Config::max_segments`]) was hit — or an
+    /// injected segment fault fired — and nothing was allocated. The stack
+    /// is unchanged. An injected fault arms the *grace* period itself; for a
+    /// real ceiling the embedder may first reclaim dead segments and retry,
+    /// then call [`SegStack::enter_overflow_grace`] so the frames needed to
+    /// unwind (e.g. raise a catchable `stack-overflow` condition) can be
+    /// pushed past the ceiling. The grace period ends when segments are
+    /// released back below the ceiling, when a continuation is explicitly
+    /// reinstated, or when the stack is cleared.
+    Ceiling,
 }
 
 /// A segmented control stack (Figures 1–4 of the paper).
@@ -170,6 +181,17 @@ pub struct SegStack<S, P: ControlProbe = NoopProbe> {
     fp: usize,
     stats: Stats,
     probe: P,
+    /// Injected segment-fault countdown: when it fires, the next `ensure`
+    /// reports [`Overflow::Ceiling`] regardless of actual occupancy.
+    fault: FaultClock,
+    /// While set, `ensure` neither ticks nor fires the fault countdown
+    /// (critical sections such as winder entries).
+    fault_deferred: bool,
+    /// Whether the ceiling is temporarily waived so the embedder can unwind
+    /// (set by an injected fault or [`SegStack::enter_overflow_grace`];
+    /// cleared when occupancy drops back under the ceiling, a continuation
+    /// is explicitly reinstated, or the stack is cleared).
+    grace: bool,
 }
 
 impl<S: Clone> SegStack<S> {
@@ -212,6 +234,9 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
             fp: 0,
             stats: Stats::default(),
             probe,
+            fault: FaultClock::disarmed(),
+            fault_deferred: false,
+            grace: false,
         };
         let seg = st.alloc_segment(st.cfg.segment_slots);
         st.cur_seg = seg;
@@ -365,6 +390,43 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
     /// Number of segments currently in the cache.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Number of live segments *excluding* cached ones — the occupancy
+    /// measure the [`Config::max_segments`] ceiling is checked against.
+    pub fn live_segment_count(&self) -> usize {
+        self.segs.len() - self.cache.len()
+    }
+
+    /// Whether the stack is in the post-[`Overflow::Ceiling`] grace period
+    /// during which the ceiling is waived.
+    pub fn in_overflow_grace(&self) -> bool {
+        self.grace
+    }
+
+    /// Arms the injected segment fault: the `n`-th subsequent
+    /// [`SegStack::ensure`] check (1-based) reports [`Overflow::Ceiling`]
+    /// even though the stack has room — the deterministic "premature
+    /// overflow" fault of a [`FaultPlan`](crate::FaultPlan).
+    pub fn arm_segment_fault(&mut self, n: u64) {
+        self.fault = FaultClock::arm(n);
+    }
+
+    /// Whether an injected segment fault is armed and has not fired yet.
+    /// (To tell an injected ceiling from a real one after the fact, check
+    /// [`SegStack::in_overflow_grace`]: only the injected fault arms the
+    /// grace period itself.)
+    pub fn segment_fault_armed(&self) -> bool {
+        self.fault.is_armed()
+    }
+
+    /// Defers the injected segment fault: while `on`, [`SegStack::ensure`]
+    /// neither ticks nor fires the fault countdown. Embedders set this
+    /// around checks made in critical sections (e.g. `dynamic-wind` winder
+    /// entries) where an asynchronous fault would unbalance bookkeeping;
+    /// the countdown is preserved, not consumed.
+    pub fn defer_segment_fault(&mut self, on: bool) {
+        self.fault_deferred = on;
     }
 
     /// Total slot capacity of all live segments — the resident stack memory
@@ -585,6 +647,21 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
     where
         W: FrameWalker<S> + ?Sized,
     {
+        // An explicit reinstatement transfers control out of whatever extent
+        // overflowed, so any ceiling grace period is over: the next ensure
+        // re-checks occupancy (after the embedder's collect-and-retry).
+        self.grace = false;
+        self.reinstate_inner(id, walker)
+    }
+
+    /// [`SegStack::reinstate`] minus the grace-period reset — the underflow
+    /// path resumes the *same* logical extent (returning into a caller's
+    /// frames), which must not end a grace period that is letting error
+    /// delivery run above the ceiling.
+    fn reinstate_inner<W>(&mut self, id: KontId, walker: &W) -> Result<Reinstated<S>, ControlError>
+    where
+        W: FrameWalker<S> + ?Sized,
+    {
         if !self.konts.contains(id.0) {
             return Err(ControlError::DeadContinuation);
         }
@@ -758,7 +835,7 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
         self.probe.underflow(self.cur_seg);
         match self.cur_link {
             None => Ok(Underflow::Exhausted),
-            Some(link) => Ok(Underflow::Resumed(self.reinstate(link, walker)?)),
+            Some(link) => Ok(Underflow::Resumed(self.reinstate_inner(link, walker)?)),
         }
     }
 
@@ -771,16 +848,46 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
     /// On overflow, the old segment is encapsulated in an implicit
     /// continuation and the top frames — bounded by the hysteresis
     /// setting — are copied into a fresh segment.
+    ///
+    /// When a segment ceiling is configured ([`Config::max_segments`]) or
+    /// an injected segment fault fires ([`SegStack::arm_segment_fault`]),
+    /// this can instead report [`Overflow::Ceiling`]: nothing is allocated
+    /// and the embedder is expected to unwind (the ceiling is waived until
+    /// occupancy drops back under it, so the unwinding itself can grow the
+    /// stack).
     pub fn ensure<W>(&mut self, need: usize, live: usize, walker: &W) -> Overflow
     where
         W: FrameWalker<S> + ?Sized,
     {
         debug_assert!(live >= 1 && live <= need);
+        if self.fault.is_armed() && !self.fault_deferred && self.fault.tick() && !self.grace {
+            self.grace = true;
+            return Overflow::Ceiling;
+        }
         if self.fp + need <= self.cur_end {
             return Overflow::Fits;
         }
+        if !self.grace
+            && self.cfg.max_segments > 0
+            && self.live_segment_count() >= self.cfg.max_segments
+        {
+            // The occupancy count may be pinned by dead segments awaiting a
+            // sweep; the embedder decides whether to reclaim and retry or to
+            // unwind (calling [`SegStack::enter_overflow_grace`] first so the
+            // unwinding itself can grow the stack).
+            return Overflow::Ceiling;
+        }
         self.overflow(need, live, walker);
         Overflow::Handled
+    }
+
+    /// Begins the post-ceiling grace period: the segment ceiling is waived
+    /// so that error-delivery machinery can push frames past it. The grace
+    /// period ends when occupancy drops back under the ceiling, when a
+    /// continuation is explicitly reinstated (control has escaped the
+    /// overflowing extent), or when the stack is cleared.
+    pub fn enter_overflow_grace(&mut self) {
+        self.grace = true;
     }
 
     fn overflow<W>(&mut self, need: usize, live: usize, walker: &W)
@@ -880,6 +987,7 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
         self.release_segment(old);
         let seg = self.obtain_segment(self.cfg.segment_slots);
         self.install_record(seg, None);
+        self.grace = false;
     }
 
     // ------------------------------------------------------------------
@@ -927,6 +1035,13 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
             } else {
                 self.segs.remove(seg.0);
             }
+        }
+        // End the ceiling grace period once occupancy drops back under the
+        // ceiling (injected faults fire once, so grace is done either way).
+        if self.grace
+            && (self.cfg.max_segments == 0 || self.live_segment_count() < self.cfg.max_segments)
+        {
+            self.grace = false;
         }
     }
 

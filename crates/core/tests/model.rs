@@ -304,6 +304,7 @@ fn config_strategy() -> impl Strategy<Value = Config> {
                 promotion: PromotionStrategy::EagerWalk,
                 cache_limit: cache,
                 min_headroom: HEADROOM,
+                max_segments: 0,
             }
         })
 }
@@ -448,6 +449,7 @@ fn split_artifact_tail_capture_regression() {
         promotion: PromotionStrategy::EagerWalk,
         cache_limit: 0,
         min_headroom: 16,
+        max_segments: 0,
     };
     let ops = vec![
         Op::Call { pc: 0, disp: 5, local: None },

@@ -161,6 +161,7 @@ fn config_strategy() -> impl Strategy<Value = Config> {
                     promotion,
                     cache_limit: cache,
                     min_headroom: HEADROOM,
+                    max_segments: 0,
                 }
             },
         )

@@ -83,6 +83,24 @@ pub enum JobError {
     },
 }
 
+impl JobError {
+    /// Whether retrying the job could plausibly succeed.
+    ///
+    /// Transient: an uncaught `out-of-memory` condition (an injected
+    /// allocation fault or a momentary heap-budget breach — the retried
+    /// job starts on a freshly collected heap) and [`JobError::WorkerReset`]
+    /// (the job was collateral damage of *another* job's panic). Everything
+    /// else — type errors, arity errors, `(error ...)`, fuel exhaustion,
+    /// panics in the job itself — is deterministic and fails fast.
+    pub fn transient(&self) -> bool {
+        match self {
+            JobError::WorkerReset { .. } => true,
+            JobError::Vm(e) => e.condition_kind() == Some("out-of-memory"),
+            _ => false,
+        }
+    }
+}
+
 impl std::fmt::Display for JobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -200,6 +218,8 @@ pub(crate) struct Job {
     pub(crate) fuel_budget: u64,
     pub(crate) submitted: Instant,
     pub(crate) slot: Arc<OutcomeSlot>,
+    /// Times this job has already been retried after a transient fault.
+    pub(crate) attempts: u32,
 }
 
 impl Job {

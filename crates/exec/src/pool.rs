@@ -5,7 +5,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use oneshot_vm::{CompilerOptions, Pipeline, Vm, VmError, VmStats};
+use oneshot_vm::{CompilerOptions, Pipeline, Vm, VmConfig, VmError, VmStats};
 
 use crate::job::{Job, JobHandle, JobId, JobSpec, OutcomeSlot};
 use crate::queue::{Injector, PushRefused, StealQueue};
@@ -21,6 +21,9 @@ pub(crate) struct WorkerConfig {
     /// Jobs pulled from the injector per visit (the extras become
     /// stealable local work).
     pub(crate) grab_batch: usize,
+    /// Times a job failing with a *transient* error is requeued before its
+    /// failure is delivered (0 = fail on first error).
+    pub(crate) max_retries: u32,
 }
 
 /// Configures and builds a [`Pool`].
@@ -31,6 +34,8 @@ pub struct PoolBuilder {
     queue_capacity: usize,
     resident_cap: usize,
     grab_batch: usize,
+    max_retries: u32,
+    vm_config: VmConfig,
 }
 
 impl Default for PoolBuilder {
@@ -41,6 +46,8 @@ impl Default for PoolBuilder {
             queue_capacity: 256,
             resident_cap: 8,
             grab_batch: 4,
+            max_retries: 0,
+            vm_config: VmConfig::default(),
         }
     }
 }
@@ -80,6 +87,26 @@ impl PoolBuilder {
         self
     }
 
+    /// How many times a job that fails with a *transient* error (see
+    /// [`JobError::transient`](crate::JobError::transient)) is requeued —
+    /// with exponential backoff — before its failure is delivered.
+    /// Defaults to 0: every failure is final.
+    #[must_use]
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Configuration for every worker's VM (resource guards, fault plan,
+    /// probes, GC threshold, ...). Lets a pool run with per-job heap
+    /// budgets or a deterministic chaos plan. Defaults to
+    /// [`VmConfig::default`].
+    #[must_use]
+    pub fn vm_config(mut self, cfg: VmConfig) -> Self {
+        self.vm_config = cfg;
+        self
+    }
+
     /// Spawns the workers.
     ///
     /// # Errors
@@ -95,12 +122,15 @@ impl PoolBuilder {
             fuel_slice: self.fuel_slice,
             resident_cap: self.resident_cap,
             grab_batch: self.grab_batch,
+            max_retries: self.max_retries,
         };
+        let vm_config = Arc::new(self.vm_config);
         let mut handles = Vec::with_capacity(self.workers);
         for index in 0..self.workers {
             let ctx = WorkerCtx {
                 index,
                 cfg,
+                vm_config: Arc::clone(&vm_config),
                 injector: Arc::clone(&injector),
                 queues: Arc::clone(&queues),
                 counters: Arc::clone(&counters),
@@ -179,6 +209,7 @@ pub(crate) struct PoolCounters {
     pub(crate) failed: AtomicU64,
     pub(crate) timed_out: AtomicU64,
     pub(crate) panicked: AtomicU64,
+    pub(crate) retried: AtomicU64,
     pub(crate) steals: AtomicU64,
     pub(crate) requeues: AtomicU64,
     pub(crate) vm_rebuilds: AtomicU64,
@@ -194,6 +225,7 @@ impl PoolCounters {
             failed: self.failed.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             panicked: self.panicked.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             requeues: self.requeues.load(Ordering::Relaxed),
             vm_rebuilds: self.vm_rebuilds.load(Ordering::Relaxed),
@@ -220,6 +252,9 @@ pub struct PoolCountersSnapshot {
     pub timed_out: u64,
     /// Subset of `failed`: the job itself panicked.
     pub panicked: u64,
+    /// Transient failures that were requeued for another attempt (not
+    /// counted in `failed` unless the final attempt also failed).
+    pub retried: u64,
     /// Jobs taken from another worker's deque.
     pub steals: u64,
     /// Preemptions: a job parked after its slice and was requeued.
@@ -255,6 +290,12 @@ pub struct VmTotals {
     /// Stack slots copied (stays near zero: one-shot switches copy
     /// nothing).
     pub slots_copied: u64,
+    /// Conditions raised (caught or not) across all incarnations —
+    /// survives panic-triggered VM rebuilds rather than being dropped with
+    /// the poisoned VM.
+    pub conditions_raised: u64,
+    /// Deterministic faults the fault plan injected and the VM consumed.
+    pub faults_injected: u64,
 }
 
 impl VmTotals {
@@ -268,6 +309,8 @@ impl VmTotals {
         self.captures_one += s.stack.captures_one;
         self.reinstates_one += s.stack.reinstates_one;
         self.slots_copied += s.stack.slots_copied;
+        self.conditions_raised += s.conditions_raised;
+        self.faults_injected += s.faults_injected;
     }
 }
 
@@ -284,6 +327,8 @@ pub struct WorkerReport {
     pub slices: u64,
     /// Jobs this worker stole from peers.
     pub steals: u64,
+    /// Transient failures this worker requeued for another attempt.
+    pub retries: u64,
     /// VMs this worker built after panics.
     pub vm_rebuilds: u64,
     /// VM counters summed over all incarnations.
@@ -298,6 +343,7 @@ impl WorkerReport {
             jobs_failed: 0,
             slices: 0,
             steals: 0,
+            retries: 0,
             vm_rebuilds: 0,
             vm: VmTotals::default(),
         }
@@ -382,6 +428,7 @@ impl Pool {
             fuel_budget: spec.fuel_budget,
             submitted: Instant::now(),
             slot: Arc::clone(&slot),
+            attempts: 0,
         };
         let pushed = if block { self.injector.push(job) } else { self.injector.try_push(job) };
         match pushed {

@@ -180,6 +180,7 @@ mod tests {
             fuel_budget: spec.fuel_budget,
             submitted: Instant::now(),
             slot: Arc::new(OutcomeSlot::default()),
+            attempts: 0,
         }
     }
 

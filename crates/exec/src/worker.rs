@@ -7,6 +7,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use oneshot_threads::{EngineHost, EngineId, EngineStep};
+use oneshot_vm::{VmBuilder, VmConfig};
 
 use crate::job::{Job, JobError};
 use crate::pool::{PoolCounters, WorkerConfig, WorkerReport};
@@ -30,6 +31,7 @@ struct Active {
 pub(crate) struct WorkerCtx {
     pub(crate) index: usize,
     pub(crate) cfg: WorkerConfig,
+    pub(crate) vm_config: Arc<VmConfig>,
     pub(crate) injector: Arc<Injector>,
     pub(crate) queues: Arc<Vec<StealQueue>>,
     pub(crate) counters: Arc<PoolCounters>,
@@ -38,7 +40,7 @@ pub(crate) struct WorkerCtx {
 
 pub(crate) fn run(ctx: WorkerCtx) {
     let mut report = WorkerReport::new(ctx.index);
-    let mut host = EngineHost::new();
+    let mut host = build_host(&ctx);
     let mut ready: VecDeque<Active> = VecDeque::new();
 
     loop {
@@ -76,6 +78,12 @@ pub(crate) fn run(ctx: WorkerCtx) {
     // The pool may already have given up on us (shutdown timeout); a dead
     // receiver is not our problem.
     let _ = ctx.report_tx.send(report);
+}
+
+/// A fresh engine host on a VM built from the pool's configuration
+/// (resource guards, fault plan, probes).
+fn build_host(ctx: &WorkerCtx) -> EngineHost {
+    EngineHost::with_vm(VmBuilder::from_config((*ctx.vm_config).clone()).build())
 }
 
 /// Next unstarted job, by locality: own stash, then the injector (grabbing
@@ -121,7 +129,7 @@ fn admit(
         }
         Ok(Err(e)) => {
             let err = JobError::Vm(e.with_context(job.id.0, ctx.index as u32));
-            deliver_failure(ctx, report, &job, 0, 0, err);
+            fail_or_retry(ctx, report, &job, 0, 0, err);
         }
         Err(payload) => {
             handle_panic(ctx, host, &job, 0, 0, ready, report, panic_message(payload));
@@ -172,7 +180,7 @@ fn step_active(
             report.slices += 1;
             ctx.counters.slices.fetch_add(1, Ordering::Relaxed);
             let err = JobError::Vm(e.with_context(active.job.id.0, ctx.index as u32));
-            deliver_failure(ctx, report, &active.job, active.slices, active.fuel_used, err);
+            fail_or_retry(ctx, report, &active.job, active.slices, active.fuel_used, err);
         }
         Err(payload) => {
             handle_panic(
@@ -206,7 +214,10 @@ fn handle_panic(
     deliver_failure(ctx, report, culprit, slices, fuel_used, JobError::Panicked(message));
     let culprit_id = culprit.id;
     for lost in ready.drain(..) {
-        deliver_failure(
+        // WorkerReset is transient by definition (the lost job did nothing
+        // wrong), so with retries enabled it goes around again on the
+        // rebuilt VM instead of failing.
+        fail_or_retry(
             ctx,
             report,
             &lost.job,
@@ -219,9 +230,35 @@ fn handle_panic(
     // interpreter state under an unwound panic is unknown, the stats
     // fields are plain counters.
     report.vm.add(&host.vm().stats());
-    *host = EngineHost::new();
+    *host = build_host(ctx);
     report.vm_rebuilds += 1;
     ctx.counters.vm_rebuilds.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Requeues a transiently failed job for another attempt — bounded by the
+/// pool's retry budget, with a small exponential backoff — or delivers the
+/// failure. A retried job restarts from its compiled program (its engine
+/// state is gone), keeping only the attempt count.
+fn fail_or_retry(
+    ctx: &WorkerCtx,
+    report: &mut WorkerReport,
+    job: &Job,
+    slices: u64,
+    fuel_used: u64,
+    err: JobError,
+) {
+    if err.transient() && job.attempts < ctx.cfg.max_retries {
+        let mut retry = job.clone();
+        retry.attempts += 1;
+        // 2ms, 4ms, ... capped at 32ms: enough for transient heap pressure
+        // to clear without parking the worker for long.
+        std::thread::sleep(Duration::from_millis(1u64 << retry.attempts.min(5)));
+        ctx.counters.retried.fetch_add(1, Ordering::Relaxed);
+        report.retries += 1;
+        ctx.queues[ctx.index].push(retry);
+    } else {
+        deliver_failure(ctx, report, job, slices, fuel_used, err);
+    }
 }
 
 fn deliver_failure(

@@ -403,6 +403,11 @@ pub struct Heap {
     /// Whether the threshold tracks the live set (the default) or was
     /// pinned by [`Heap::set_gc_threshold`].
     adaptive_threshold: bool,
+    /// Injected allocation fault: the `objects_allocated` count at which
+    /// the fault fires (see [`Heap::arm_alloc_fault`]). Piggybacking on
+    /// the allocation counter keeps the alloc hot paths untouched — the
+    /// threshold is only compared at embedder safe points.
+    alloc_fault_at: Option<u64>,
 }
 
 /// Bounds for the adaptive collection threshold (objects allocated
@@ -462,6 +467,34 @@ impl Heap {
     pub fn set_gc_threshold(&mut self, objects: usize) {
         self.gc_threshold = objects.max(16);
         self.adaptive_threshold = false;
+    }
+
+    /// Arms the injected allocation fault: the `n`-th subsequent
+    /// allocation (1-based) *latches* a fault that the embedder observes
+    /// with [`Heap::take_alloc_fault`] at its next safe point. The
+    /// allocation itself still succeeds — Scheme semantics require the
+    /// failure to surface as a raised condition, not a torn object graph.
+    pub fn arm_alloc_fault(&mut self, n: u64) {
+        self.alloc_fault_at = Some(self.stats.objects_allocated + n.max(1));
+    }
+
+    /// Consumes a latched allocation fault, returning whether one had
+    /// fired since the last call. Injected faults fire once per arming.
+    pub fn take_alloc_fault(&mut self) -> bool {
+        if self.alloc_fault_pending() {
+            self.alloc_fault_at = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a fired allocation fault is latched and waiting for
+    /// [`Heap::take_alloc_fault`]. Lets the embedder skip the consuming
+    /// check at safe points where fault delivery is deferred.
+    #[must_use]
+    pub fn alloc_fault_pending(&self) -> bool {
+        self.alloc_fault_at.is_some_and(|at| self.stats.objects_allocated >= at)
     }
 
     /// Allocates `o`, returning its reference. Never collects — the
@@ -928,6 +961,21 @@ mod tests {
         assert_eq!(s.last_freed, 2);
         assert_eq!(s.objects_freed, 2);
         assert_eq!(s.collections, 1);
+    }
+
+    #[test]
+    fn alloc_fault_latches_once_at_nth_alloc() {
+        let mut h = Heap::new();
+        h.arm_alloc_fault(3);
+        h.alloc_pair(Value::Nil, Value::Nil);
+        h.alloc_pair(Value::Nil, Value::Nil);
+        assert!(!h.take_alloc_fault());
+        h.alloc_pair(Value::Nil, Value::Nil);
+        assert!(h.take_alloc_fault());
+        // Consumed: subsequent allocations do not re-trip.
+        assert!(!h.take_alloc_fault());
+        h.alloc_pair(Value::Nil, Value::Nil);
+        assert!(!h.take_alloc_fault());
     }
 
     #[test]

@@ -82,3 +82,71 @@
 (define (assq-ref alist key)
   (let ((hit (assq key alist)))
     (if hit (cdr hit) #f)))
+
+;; ----------------------------------------------------------------------
+;; Condition system.
+;;
+;; A condition is a pair of a kind symbol and a message string; the VM
+;; raises its own recoverable faults (type errors, heap budget,
+;; stack-segment ceiling, injected faults) through `raise` in exactly this
+;; shape, so one handler mechanism covers Scheme-side and Rust-side faults.
+;; The handler stack itself lives in the VM (see the %-builtins) so that
+;; the garbage collector can trace it and `vm-stats` can report it.
+;; ----------------------------------------------------------------------
+
+(define (make-condition kind message) (cons kind message))
+(define (condition? c)
+  (and (pair? c) (symbol? (car c)) (string? (cdr c))))
+(define (condition-kind c) (car c))
+(define (condition-message c) (cdr c))
+
+;; Installs `handler` for the dynamic extent of `thunk`. The dynamic-wind
+;; brackets keep the handler stack balanced when control enters or leaves
+;; the extent through continuations.
+(define (with-exception-handler handler thunk)
+  (dynamic-wind
+    (lambda () (%push-handler! handler))
+    thunk
+    (lambda () (%pop-handler!))))
+
+;; Raises a non-continuable condition: the innermost handler runs with the
+;; next-outer handler installed (so a raise from inside a handler is not
+;; caught by the same handler); if it returns, that is itself an error.
+(define (raise c)
+  (%note-raise!)
+  (if (%have-handler?)
+      (let ((h (%top-handler)))
+        (dynamic-wind
+          (lambda () (%pop-handler!))
+          (lambda ()
+            (h c)
+            (raise (make-condition
+                    'non-continuable
+                    "exception handler returned from non-continuable raise")))
+          (lambda () (%push-handler! h))))
+      (%uncaught c)))
+
+;; Like `raise`, but the handler's value becomes the value of the
+;; `raise-continuable` call (used by the VM for injected faults that are
+;; safe to resume past).
+(define (raise-continuable c)
+  (%note-raise!)
+  (if (%have-handler?)
+      (let ((h (%top-handler)))
+        (dynamic-wind
+          (lambda () (%pop-handler!))
+          (lambda () (h c))
+          (lambda () (%push-handler! h))))
+      (%uncaught c)))
+
+;; `guard`-style recovery without macros: runs `thunk`; if it raises,
+;; escapes the raising context on a one-shot continuation (running any
+;; intervening dynamic-wind afters) and applies `handler` to the condition
+;; *outside* the handler's own extent, so conditions raised while handling
+;; go to the enclosing guard.
+(define (call-with-guard handler thunk)
+  ((call/1cc
+    (lambda (k)
+      (with-exception-handler
+       (lambda (c) (k (lambda () (handler c))))
+       (lambda () (let ((v (thunk))) (lambda () v))))))))

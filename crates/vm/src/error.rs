@@ -12,6 +12,32 @@ pub enum VmError {
     Compile(String),
     /// A runtime error (type errors, arity errors, `(error ...)`).
     Runtime(String),
+    /// A *recoverable* fault, classified by condition kind. The VM's
+    /// dispatch loop intercepts this variant and re-raises it as a Scheme
+    /// condition through the prelude's `raise`, so a `with-exception-handler`
+    /// in the guest program can catch it; it only escapes to the embedder
+    /// when interception is impossible (e.g. during prelude loading).
+    Condition {
+        /// The condition kind: `out-of-memory`, `stack-overflow`,
+        /// `fuel-exhausted`, `type-error`, `arity-error`, `shot-twice`, or
+        /// `error` for user `(error ...)` / fixnum overflow.
+        kind: &'static str,
+        /// Human-readable description, shown like a `Runtime` message.
+        message: String,
+    },
+    /// A condition that no handler caught. Carries the condition's message
+    /// and a backtrace walked from the live stack records at raise time.
+    Uncaught {
+        /// The uncaught condition's message.
+        condition: String,
+        /// The condition's kind symbol (e.g. `out-of-memory`), when the
+        /// condition had the standard `(kind . message)` shape. The
+        /// executor uses this to tell transient faults from permanent ones.
+        kind: Option<String>,
+        /// Frame names (innermost first), recovered from return addresses
+        /// and continuation records.
+        backtrace: Vec<String>,
+    },
     /// An error annotated with the job and worker it occurred on.
     ///
     /// Produced by [`VmError::with_context`]; the executor layer uses this to
@@ -30,6 +56,21 @@ pub enum VmError {
 impl VmError {
     pub(crate) fn runtime(msg: impl Into<String>) -> Self {
         VmError::Runtime(msg.into())
+    }
+
+    pub(crate) fn condition(kind: &'static str, msg: impl Into<String>) -> Self {
+        VmError::Condition { kind, message: msg.into() }
+    }
+
+    /// The condition kind, when this error is (or wraps) a classified
+    /// condition: `Condition` directly, an `Uncaught` condition that had a
+    /// kind, or `InContext` around either.
+    pub fn condition_kind(&self) -> Option<&str> {
+        match self.root_cause() {
+            VmError::Condition { kind, .. } => Some(kind),
+            VmError::Uncaught { kind, .. } => kind.as_deref(),
+            _ => None,
+        }
     }
 
     /// Wrap this error with the job and worker it occurred on.
@@ -61,6 +102,8 @@ impl fmt::Display for VmError {
             VmError::Read(m) => write!(f, "read error: {m}"),
             VmError::Compile(m) => write!(f, "{m}"),
             VmError::Runtime(m) => write!(f, "error: {m}"),
+            VmError::Condition { message, .. } => write!(f, "error: {message}"),
+            VmError::Uncaught { condition, .. } => write!(f, "error: {condition}"),
             VmError::InContext { job, worker, source } => {
                 write!(f, "job {job} on worker {worker}: {source}")
             }
@@ -86,6 +129,39 @@ mod tests {
     fn display_prefixes() {
         assert!(VmError::runtime("x").to_string().starts_with("error:"));
         assert!(VmError::Read("y".into()).to_string().contains("read"));
+    }
+
+    #[test]
+    fn condition_display_matches_runtime_shape() {
+        let e = VmError::condition("type-error", "car: expected pair, got 1");
+        assert_eq!(e.to_string(), "error: car: expected pair, got 1");
+        assert_eq!(e.condition_kind(), Some("type-error"));
+        assert_eq!(e.with_context(3, 1).condition_kind(), Some("type-error"));
+    }
+
+    #[test]
+    fn uncaught_display_and_root_cause() {
+        let e = VmError::Uncaught {
+            condition: "boom".into(),
+            kind: None,
+            backtrace: vec!["f".into(), "g".into()],
+        };
+        assert_eq!(e.to_string(), "error: boom");
+        let wrapped = e.clone().with_context(9, 4);
+        assert_eq!(wrapped.to_string(), "job 9 on worker 4: error: boom");
+        assert_eq!(wrapped.root_cause(), &e);
+        assert_eq!(wrapped.condition_kind(), None);
+    }
+
+    #[test]
+    fn uncaught_preserves_condition_kind() {
+        let e = VmError::Uncaught {
+            condition: "injected allocation failure".into(),
+            kind: Some("out-of-memory".into()),
+            backtrace: vec![],
+        };
+        assert_eq!(e.condition_kind(), Some("out-of-memory"));
+        assert_eq!(e.with_context(1, 0).condition_kind(), Some("out-of-memory"));
     }
 
     #[test]

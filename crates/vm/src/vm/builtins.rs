@@ -7,7 +7,7 @@
 use oneshot_runtime::{values_equal, Obj, ObjKind, Value};
 
 use crate::error::VmError;
-use crate::slot::{slot_disp, Resume, Slot};
+use crate::slot::{Resume, Slot};
 use crate::vm::Vm;
 
 type R<T> = Result<T, VmError>;
@@ -138,8 +138,8 @@ impl Vm {
         let stash = self.local(1);
         let was_mv = self.local(2);
         if was_mv == Value::Bool(true) {
-            let Value::Obj(r) = stash else { panic!("wind stash corrupt") };
-            let Some(vals) = self.heap.vector(r) else { panic!("wind stash corrupt") };
+            let Value::Obj(r) = stash else { return Err(err("wind stash corrupt")) };
+            let Some(vals) = self.heap.vector(r) else { return Err(err("wind stash corrupt")) };
             self.mv = Some(vals.to_vec());
             self.acc = Value::Unspecified;
         } else {
@@ -157,7 +157,7 @@ impl Vm {
             None => vec![self.acc],
         };
         let consumer = self.local(2);
-        self.stack.ensure(vals.len() + 3, 3, &slot_disp);
+        self.ensure_or_raise(vals.len() + 3, 3)?;
         for (i, v) in vals.iter().enumerate() {
             self.set_local(1 + i, *v);
         }
@@ -932,7 +932,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let f = vm.arg(0);
             let mut full: Vec<Value> = (1..argc - 1).map(|i| vm.arg(i)).collect();
             full.extend(vm.list_to_vec(vm.arg(argc - 1), "apply")?);
-            vm.stack.ensure(full.len() + 3, 1 + argc, &slot_disp);
+            vm.ensure_or_raise(full.len() + 3, 1 + argc)?;
             for (i, v) in full.iter().enumerate() {
                 vm.set_local(1 + i, *v);
             }
@@ -956,7 +956,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         },
         "dynamic-wind" => |vm, argc| {
             check(argc, 3, "dynamic-wind")?;
-            vm.stack.ensure(8, 1 + argc, &slot_disp);
+            vm.ensure_or_raise(8, 1 + argc)?;
             let before = vm.arg(0);
             let fp = vm.stack.fp();
             vm.stack.set(fp + 4, Slot::Resume { kind: Resume::WindBody, disp: 4 });
@@ -975,7 +975,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         },
         "call-with-values" => |vm, argc| {
             check(argc, 2, "call-with-values")?;
-            vm.stack.ensure(8, 1 + argc, &slot_disp);
+            vm.ensure_or_raise(8, 1 + argc)?;
             let producer = vm.arg(0);
             let fp = vm.stack.fp();
             vm.stack.set(fp + 3, Slot::Resume { kind: Resume::CwvConsume, disp: 3 });
@@ -1020,7 +1020,11 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                     _ => msg.push_str(&vm.write_value(&v)),
                 }
             }
-            Err(VmError::Runtime(msg))
+            // `(error ...)` is a raised condition of kind `error`: the
+            // dispatch loop re-raises it through the prelude so guard
+            // handlers can catch it; uncaught, it prints exactly as the old
+            // Runtime variant did.
+            Err(VmError::Condition { kind: "error", message: msg })
         },
         "void" => |vm, _argc| ret!(vm, Value::Unspecified),
         "gc" => |vm, argc| {
@@ -1098,6 +1102,8 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 ("gc-objects-freed", stats.gc_objects_freed as i64),
                 ("resident-slots", vm.stack.resident_slots() as i64),
                 ("live-segments", vm.stack.segment_count() as i64),
+                ("conditions-raised", stats.conditions_raised as i64),
+                ("faults-injected", stats.faults_injected as i64),
             ];
             let mut alist = Value::Nil;
             for (name, n) in entries.into_iter().rev() {
@@ -1128,6 +1134,49 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 if argc > 0 { vm.display_value(&vm.arg(0)) } else { "debug-panic!".to_string() };
             panic!("debug-panic!: {msg}");
         },
+        // --- condition system support (used only by the prelude) ---
+        "%push-handler!" => |vm, argc| {
+            check(argc, 1, "%push-handler!")?;
+            let h = vm.arg(0);
+            vm.handlers = vm.cons(h, vm.handlers);
+            ret!(vm, Value::Unspecified)
+        },
+        "%pop-handler!" => |vm, _argc| {
+            // Popping an empty stack is a no-op: the prelude only pops
+            // inside dynamic-wind brackets it pushed itself.
+            vm.handlers = vm.cdr_of(vm.handlers).unwrap_or(Value::Nil);
+            ret!(vm, Value::Unspecified)
+        },
+        "%top-handler" => |vm, _argc| {
+            let h = vm.car_of(vm.handlers).map_err(|_| err("%top-handler: empty handler stack"))?;
+            ret!(vm, h)
+        },
+        "%have-handler?" => |vm, _argc| {
+            let b = Value::Bool(vm.handlers != Value::Nil);
+            ret!(vm, b)
+        },
+        "%note-raise!" => |vm, _argc| {
+            vm.conditions_raised += 1;
+            ret!(vm, Value::Unspecified)
+        },
+        "%uncaught" => |vm, argc| {
+            // Terminal: no handler was installed for a raised condition.
+            // `(kind . "message")` conditions surface their message text
+            // (matching the shape Runtime errors always printed); anything
+            // else is written as a datum.
+            at_least(argc, 1, "%uncaught")?;
+            let c = vm.arg(0);
+            let (condition, kind) = match c {
+                Value::Obj(r) => match vm.heap.pair(r) {
+                    Some((Value::Sym(k), d)) if matches!(d, Value::Obj(s) if s.kind() == ObjKind::Str) => {
+                        (vm.display_value(&d), Some(vm.syms.name(k).to_string()))
+                    }
+                    _ => (vm.write_value(&c), None),
+                },
+                _ => (vm.write_value(&c), None),
+            };
+            Err(VmError::Uncaught { condition, kind, backtrace: vm.backtrace() })
+        },
         // --- CPS support ---
         "%apply-args" => |vm, argc| {
             // (%apply-args k f spec): the CPS prelude's apply. Spreads
@@ -1144,7 +1193,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let mut spread: Vec<Value> = spec[..spec.len() - 1].to_vec();
             spread.extend(vm.list_to_vec(spec[spec.len() - 1], "apply")?);
             if let Value::Builtin(b) = f {
-                vm.stack.ensure(spread.len() + 3, 1 + argc, &slot_disp);
+                vm.ensure_or_raise(spread.len() + 3, 1 + argc)?;
                 let n = spread.len();
                 for (i, v) in spread.iter().enumerate() {
                     vm.set_local(1 + i, *v);
@@ -1164,7 +1213,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             }
             let mut full = vec![k];
             full.extend(spread);
-            vm.stack.ensure(full.len() + 3, 1 + argc, &slot_disp);
+            vm.ensure_or_raise(full.len() + 3, 1 + argc)?;
             for (i, v) in full.iter().enumerate() {
                 vm.set_local(1 + i, *v);
             }

@@ -56,7 +56,78 @@ impl Vm {
         VmError::runtime(format!("{what}: {}", self.global_names[i as usize]))
     }
 
-    /// The main interpreter loop; returns the program's final value when
+    /// The interpreter entry: runs the dispatch loop, intercepting
+    /// recoverable [`VmError::Condition`] faults and re-raising them as
+    /// Scheme conditions through the prelude's `raise`, so guest handlers
+    /// installed with `with-exception-handler` can catch Rust-side faults
+    /// (type errors, heap budget, stack ceiling, injected faults) exactly
+    /// like Scheme-side ones.
+    pub(crate) fn run(&mut self) -> R<Value> {
+        loop {
+            match self.run_dispatch() {
+                Err(VmError::Condition { kind, message }) => {
+                    if let Some(v) = self.begin_raise(kind, message)? {
+                        return Ok(v);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Re-enters the guest at `raise` with a freshly allocated condition
+    /// pair `(kind . message)`. Returns `Ok(None)` when control was
+    /// transferred (the dispatch loop should continue), `Ok(Some(v))` in
+    /// the degenerate case where the application completed the program
+    /// outright, and `Err(Uncaught)` when interception is impossible — no
+    /// handler installed, or the prelude (which defines `raise`) is not
+    /// loaded yet.
+    #[cold]
+    #[inline(never)]
+    fn begin_raise(&mut self, kind: &'static str, message: String) -> R<Option<Value>> {
+        let uncaught = |vm: &mut Vm, message: String| {
+            vm.conditions_raised += 1;
+            Err(VmError::Uncaught {
+                condition: message,
+                kind: Some(kind.to_string()),
+                backtrace: vm.backtrace(),
+            })
+        };
+        // CPS-converted `raise` takes a continuation argument the VM cannot
+        // synthesize here; under that pipeline conditions the VM itself
+        // raises surface as uncaught directly (Scheme-side `raise` still
+        // dispatches to handlers normally).
+        if self.pipeline() == oneshot_compiler::Pipeline::Cps {
+            return uncaught(self, message);
+        }
+        let Some(raise) = self.global("raise") else {
+            return uncaught(self, message);
+        };
+        if self.handlers == Value::Nil {
+            return uncaught(self, message);
+        }
+        self.mv = None;
+        // Room for the one-argument application below. The stack's ceiling
+        // grace period (and the `oom_raised` latch) keep this from raising
+        // recursively; if even one frame cannot be pushed, give up.
+        if self.ensure_or_raise(3, 1).is_err() {
+            return uncaught(self, message);
+        }
+        let kind_sym = self.intern(kind);
+        let msg_str = Value::Obj(self.heap.alloc(Obj::Str(message.chars().collect())));
+        let cond = Value::Obj(self.heap.alloc_pair(kind_sym, msg_str));
+        let fp = self.stack.fp();
+        self.stack.set(fp + 1, Slot::Val(cond));
+        self.acc = raise;
+        self.calls += 1;
+        match self.apply(raise, 1) {
+            Ok(flow) => Ok(flow),
+            // `raise` bound to something inapplicable: don't loop, report.
+            Err(_) => uncaught(self, message),
+        }
+    }
+
+    /// The main dispatch loop; returns the program's final value when
     /// the continuation chain is exhausted.
     ///
     /// `pc` is an absolute index into the flat arena, so every control
@@ -67,7 +138,7 @@ impl Vm {
     /// to grow underneath us when a builtin such as `eval` links new code
     /// mid-run.
     #[allow(clippy::too_many_lines)]
-    pub(crate) fn run(&mut self) -> R<Value> {
+    fn run_dispatch(&mut self) -> R<Value> {
         loop {
             let op = self.flat[self.pc];
             self.pc += 1;
@@ -389,15 +460,25 @@ impl Vm {
     fn entry(&mut self, required: usize, rest: bool) -> R<bool> {
         let argc = self.argc;
         if argc < required || (!rest && argc > required) {
-            let name = &self.codes[self.code as usize].name;
-            return Err(VmError::runtime(format!(
-                "{name}: expected {}{} arguments, got {argc}",
-                required,
-                if rest { "+" } else { "" }
-            )));
+            return Err(self.arity_error(required, rest, argc));
         }
         let need = self.codes[self.code as usize].frame_slots as usize + 2;
-        self.stack.ensure(need, 1 + argc, &slot_disp);
+        // Winder entries are critical sections: an asynchronous guard fault
+        // delivered between the wind machinery's bookkeeping (winder pushed
+        // or popped) and the winder thunk's body would unbalance
+        // enter/exit. Defer every injected fault and budget check to the
+        // next ordinary entry; genuine errors still propagate. The whole
+        // fault block sits behind the single `guards_active` flag so an
+        // unguarded VM pays one predicted branch here, nothing more.
+        let winder = self.guards_active && self.entering_winder();
+        if winder {
+            self.stack.defer_segment_fault(true);
+        }
+        let ensured = self.ensure_or_raise(need, 1 + argc);
+        if winder {
+            self.stack.defer_segment_fault(false);
+        }
+        ensured?;
         if rest {
             let mut list = Value::Nil;
             for i in (required..argc).rev() {
@@ -410,6 +491,11 @@ impl Vm {
         if self.heap.wants_collection() {
             self.collect(live);
         }
+        if self.guards_active && !winder {
+            if let Some(transferred) = self.entry_guard_checks(live)? {
+                return Ok(transferred);
+            }
+        }
         if self.timer_on {
             self.fuel = self.fuel.saturating_sub(1);
             if self.fuel == 0 {
@@ -420,12 +506,87 @@ impl Vm {
         Ok(false)
     }
 
+    /// The resource-guard and injected-fault checks run at each function
+    /// entry of a guarded VM, out of line so `entry` itself stays small
+    /// on the unguarded hot path. `Some(transferred)` means the entry is
+    /// done (an injected timer expiry fired the interrupt); `None` means
+    /// continue the ordinary prologue.
+    #[cold]
+    #[inline(never)]
+    fn entry_guard_checks(&mut self, live: usize) -> R<Option<bool>> {
+        if self.heap.take_alloc_fault() {
+            self.faults_injected += 1;
+            return Err(VmError::condition("out-of-memory", "injected allocation failure"));
+        }
+        if let Some(budget) = self.heap_budget {
+            if self.heap.len() > budget {
+                // One more collection right at the budget boundary;
+                // raise only if the live set genuinely exceeds it.
+                self.collect(live);
+                if self.heap.len() > budget && !self.oom_raised {
+                    self.oom_raised = true;
+                    return Err(VmError::condition(
+                        "out-of-memory",
+                        format!(
+                            "heap budget exceeded: {} live objects over budget of {budget}",
+                            self.heap.len()
+                        ),
+                    ));
+                }
+            } else if self.oom_raised {
+                self.oom_raised = false;
+            }
+        }
+        if self.timer_fault.tick() {
+            // Injected early timer expiry: preempt as if fuel ran out.
+            self.faults_injected += 1;
+            self.timer_on = false;
+            self.fuel = 0;
+            return self.fire_timer_interrupt().map(Some);
+        }
+        Ok(None)
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn arity_error(&self, required: usize, rest: bool, argc: usize) -> VmError {
+        let name = &self.codes[self.code as usize].name;
+        VmError::condition(
+            "arity-error",
+            format!(
+                "{name}: expected {}{} arguments, got {argc}",
+                required,
+                if rest { "+" } else { "" }
+            ),
+        )
+    }
+
+    /// Whether the frame being entered belongs to a winder thunk invoked
+    /// by the `dynamic-wind` machinery: its return slot is one of the wind
+    /// resume markers. (The body thunk resumes through `WindAfter` and is
+    /// *not* a winder — faults deliver normally inside the extent.)
+    fn entering_winder(&self) -> bool {
+        matches!(
+            self.stack.get(self.stack.fp()),
+            Slot::Resume {
+                kind: Resume::WindBody
+                    | Resume::WindDone
+                    | Resume::KontWind
+                    | Resume::KontWindEnter,
+                ..
+            }
+        )
+    }
+
     /// Calls the timer handler such that its normal return resumes the
     /// interrupted function just past its (already completed) prologue.
     fn fire_timer_interrupt(&mut self) -> R<bool> {
         let handler = self.timer_handler;
         if !matches!(handler, Value::Obj(_) | Value::Builtin(_)) {
-            return Err(VmError::runtime("timer expired with no interrupt handler"));
+            return Err(VmError::condition(
+                "fuel-exhausted",
+                "timer expired with no interrupt handler",
+            ));
         }
         let fs = self.codes[self.code as usize].frame_slots as usize + 1;
         let fp = self.stack.fp();
@@ -454,7 +615,9 @@ impl Vm {
         match f {
             Value::Obj(r) => match r.kind() {
                 ObjKind::Closure => {
-                    let (code, _) = self.heap.closure(r).expect("closure pool lookup");
+                    let Some((code, _)) = self.heap.closure(r) else {
+                        return Err(VmError::runtime("application of a collected closure"));
+                    };
                     self.closure = f;
                     self.code = code;
                     self.pc = self.codes[code as usize].base as usize;
@@ -462,7 +625,9 @@ impl Vm {
                     Ok(None)
                 }
                 ObjKind::Kont => {
-                    let (kont, winders) = self.heap.kont(r).expect("kont pool lookup");
+                    let Some((kont, winders)) = self.heap.kont(r) else {
+                        return Err(VmError::runtime("invocation of a collected continuation"));
+                    };
                     self.invoke_kont(kont, winders, argc)
                 }
                 _ => Err(self.type_error("apply", "procedure", f)),
@@ -554,14 +719,14 @@ impl Vm {
                                         None => Ok(None),
                                     }
                                 }
-                                other => {
-                                    panic!("continuation resumed at non-return slot {other:?}")
-                                }
+                                other => Err(VmError::runtime(format!(
+                                    "continuation resumed at non-return slot {other:?}"
+                                ))),
                             }
                         }
                     }
                 }
-                Slot::Val(v) => panic!("return through value slot {v:?}"),
+                Slot::Val(v) => Err(VmError::runtime(format!("return through value slot {v:?}"))),
             }
         }
     }
@@ -596,7 +761,7 @@ impl Vm {
         // Winding needed: stash the target and values in the current frame
         // and run winder thunks, one per step.
         let vals: Vec<Value> = (0..argc).map(|i| self.local(1 + i)).collect();
-        self.stack.ensure((1 + argc).max(8), 1 + argc, &slot_disp);
+        self.ensure_or_raise((1 + argc).max(8), 1 + argc)?;
         let target = Value::Obj(self.heap.alloc(Obj::Kont { kont, winders }));
         let vals_vec = Value::Obj(self.heap.alloc(Obj::Vector(vals)));
         self.set_local(1, target);
@@ -610,14 +775,20 @@ impl Vm {
     /// consistently.
     pub(crate) fn wind_step(&mut self) -> R<Option<Value>> {
         let target_val = self.local(1);
-        let Value::Obj(tr) = target_val else { panic!("wind target missing") };
+        let Value::Obj(tr) = target_val else {
+            return Err(VmError::runtime("wind target missing"));
+        };
         let Some((kont, target_winders)) = self.heap.kont(tr) else {
-            panic!("wind target is not a continuation")
+            return Err(VmError::runtime("wind target is not a continuation"));
         };
         if self.winders == target_winders {
             let vals_val = self.local(2);
-            let Value::Obj(vr) = vals_val else { panic!("wind values missing") };
-            let Some(vals) = self.heap.vector(vr) else { panic!("wind values missing") };
+            let Value::Obj(vr) = vals_val else {
+                return Err(VmError::runtime("wind values missing"));
+            };
+            let Some(vals) = self.heap.vector(vr) else {
+                return Err(VmError::runtime("wind values missing"));
+            };
             let vals = vals.to_vec();
             return self.reinstate(kont, &vals);
         }
@@ -625,8 +796,12 @@ impl Vm {
         let common = self.common_tail(self.winders, target_winders);
         if self.winders != common {
             // Leave the innermost current winder: pop, then run its after.
-            let Value::Obj(wr) = self.winders else { panic!("winder list corrupt") };
-            let Some((winder, rest)) = self.heap.pair(wr) else { panic!("winder list corrupt") };
+            let Value::Obj(wr) = self.winders else {
+                return Err(VmError::runtime("winder list corrupt"));
+            };
+            let Some((winder, rest)) = self.heap.pair(wr) else {
+                return Err(VmError::runtime("winder list corrupt"));
+            };
             self.winders = rest;
             let after = self.cdr_of(winder)?;
             return self.call_winder(after, Resume::KontWind);
@@ -639,8 +814,12 @@ impl Vm {
             enter = node;
             node = self.cdr_of(node)?;
         }
-        let Value::Obj(er) = enter else { panic!("winder list corrupt") };
-        let Some((winder, _)) = self.heap.pair(er) else { panic!("winder list corrupt") };
+        let Value::Obj(er) = enter else {
+            return Err(VmError::runtime("winder list corrupt"));
+        };
+        let Some((winder, _)) = self.heap.pair(er) else {
+            return Err(VmError::runtime("winder list corrupt"));
+        };
         let before = self.car_of(winder)?;
         self.call_winder(before, Resume::KontWindEnter)
     }
@@ -695,9 +874,11 @@ impl Vm {
             Resume::KontWindEnter => {
                 // A before thunk finished: enter the winder, then continue.
                 let target_val = self.local(1);
-                let Value::Obj(tr) = target_val else { panic!("wind target missing") };
+                let Value::Obj(tr) = target_val else {
+                    return Err(VmError::runtime("wind target missing"));
+                };
                 let Some((_, target_winders)) = self.heap.kont(tr) else {
-                    panic!("wind target is not a continuation")
+                    return Err(VmError::runtime("wind target is not a continuation"));
                 };
                 let common = self.common_tail(self.winders, target_winders);
                 let mut node = target_winders;
@@ -740,7 +921,7 @@ impl Vm {
         };
         let r = self.stack.reinstate(k, &slot_disp).map_err(|e| match e {
             oneshot_core::ControlError::AlreadyShot => {
-                VmError::runtime("attempt to invoke shot one-shot continuation")
+                VmError::condition("shot-twice", "attempt to invoke shot one-shot continuation")
             }
             other => VmError::runtime(other.to_string()),
         })?;
@@ -754,7 +935,9 @@ impl Vm {
                 let flow = self.resume(kind)?;
                 self.flow(flow)
             }
-            other => panic!("continuation with non-return ret slot {other:?}"),
+            other => {
+                Err(VmError::runtime(format!("continuation with non-return ret slot {other:?}")))
+            }
         }
     }
 
@@ -817,10 +1000,13 @@ impl Vm {
     }
 
     pub(crate) fn type_error(&self, who: &str, expected: &str, got: Value) -> VmError {
-        VmError::runtime(format!(
-            "{who}: expected {expected}, got {}",
-            oneshot_runtime::write_value(&self.heap, &self.syms, got)
-        ))
+        VmError::condition(
+            "type-error",
+            format!(
+                "{who}: expected {expected}, got {}",
+                oneshot_runtime::write_value(&self.heap, &self.syms, got)
+            ),
+        )
     }
 }
 
@@ -833,7 +1019,7 @@ pub(crate) fn num_add(a: Value, b: Value) -> Result<Value, VmError> {
         (Value::Fixnum(x), Value::Fixnum(y)) => x
             .checked_add(y)
             .map(Value::Fixnum)
-            .ok_or_else(|| VmError::runtime("fixnum overflow in +")),
+            .ok_or_else(|| VmError::condition("error", "fixnum overflow in +")),
         _ => Ok(Value::Flonum(as_f64(a, "+")? + as_f64(b, "+")?)),
     }
 }
@@ -843,7 +1029,7 @@ pub(crate) fn num_sub(a: Value, b: Value) -> Result<Value, VmError> {
         (Value::Fixnum(x), Value::Fixnum(y)) => x
             .checked_sub(y)
             .map(Value::Fixnum)
-            .ok_or_else(|| VmError::runtime("fixnum overflow in -")),
+            .ok_or_else(|| VmError::condition("error", "fixnum overflow in -")),
         _ => Ok(Value::Flonum(as_f64(a, "-")? - as_f64(b, "-")?)),
     }
 }
@@ -853,7 +1039,7 @@ pub(crate) fn num_mul(a: Value, b: Value) -> Result<Value, VmError> {
         (Value::Fixnum(x), Value::Fixnum(y)) => x
             .checked_mul(y)
             .map(Value::Fixnum)
-            .ok_or_else(|| VmError::runtime("fixnum overflow in *")),
+            .ok_or_else(|| VmError::condition("error", "fixnum overflow in *")),
         _ => Ok(Value::Flonum(as_f64(a, "*")? * as_f64(b, "*")?)),
     }
 }
@@ -890,6 +1076,6 @@ pub(crate) fn as_f64(v: Value, who: &str) -> Result<f64, VmError> {
     match v {
         Value::Fixnum(n) => Ok(n as f64),
         Value::Flonum(x) => Ok(x),
-        _ => Err(VmError::runtime(format!("{who}: expected number"))),
+        _ => Err(VmError::condition("type-error", format!("{who}: expected number"))),
     }
 }

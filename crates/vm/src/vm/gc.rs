@@ -37,6 +37,7 @@ impl Vm {
         self.heap.mark_value(self.acc);
         self.heap.mark_value(self.closure);
         self.heap.mark_value(self.winders);
+        self.heap.mark_value(self.handlers);
         self.heap.mark_value(self.timer_handler);
         if let Some(vals) = &self.mv {
             for &v in vals {

@@ -10,7 +10,8 @@ use oneshot_compiler::{
     compile_program_with, CompiledProgram, CompilerOptions, FreeSrc, Op, Pipeline, MNEMONICS,
 };
 use oneshot_core::{
-    Config, ControlProbe, CountingProbe, KontId, RingTraceProbe, SegStack, SegmentId, Stats,
+    Config, ControlProbe, CountingProbe, FaultClock, FaultPlan, KontId, Overflow, RingTraceProbe,
+    SegStack, SegmentId, Stats,
 };
 use oneshot_runtime::{
     datum_to_value, display_value, write_value, Heap, HeapStats, Obj, Symbols, Value,
@@ -124,6 +125,15 @@ pub struct VmConfig {
     /// checks. `None` keeps the heap's default adaptive trigger, which
     /// scales with the surviving live set; `Some(n)` pins it at `n`.
     pub gc_threshold: Option<usize>,
+    /// Heap budget, in live objects. When a safe-point check finds the
+    /// live set above the budget (after collecting), the VM raises a
+    /// catchable `out-of-memory` condition instead of aborting. `None`
+    /// disables the guard.
+    pub heap_budget: Option<usize>,
+    /// Deterministic fault-injection plan (chaos testing). `None` — the
+    /// default — arms nothing and costs one disarmed-countdown branch per
+    /// site.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for VmConfig {
@@ -137,6 +147,8 @@ impl Default for VmConfig {
             opcode_histogram: false,
             compiler: CompilerOptions::default(),
             gc_threshold: None,
+            heap_budget: None,
+            fault_plan: None,
         }
     }
 }
@@ -159,6 +171,12 @@ impl VmBuilder {
     /// Starts from the default configuration.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Starts from an explicit configuration (e.g. one stored by an
+    /// embedder and shared across a worker pool).
+    pub fn from_config(cfg: VmConfig) -> Self {
+        VmBuilder { cfg }
     }
 
     /// Starts from an existing full configuration.
@@ -221,6 +239,30 @@ impl VmBuilder {
         self
     }
 
+    /// Caps the heap at `objects` live objects; exceeding the budget at a
+    /// safe point (after a collection fails to get back under it) raises a
+    /// catchable `out-of-memory` condition.
+    pub fn heap_budget(mut self, objects: usize) -> Self {
+        self.cfg.heap_budget = Some(objects);
+        self
+    }
+
+    /// Caps the segmented stack at `segments` live (non-cached) segments;
+    /// growing past the ceiling raises a catchable `stack-overflow`
+    /// condition. Zero disables the ceiling.
+    pub fn max_stack_segments(mut self, segments: usize) -> Self {
+        self.cfg.stack.max_segments = segments;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (see
+    /// [`FaultPlan`]); each armed countdown fires once and surfaces as
+    /// the corresponding catchable condition.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = Some(plan);
+        self
+    }
+
     /// Builds the VM.
     ///
     /// # Panics
@@ -275,6 +317,11 @@ pub struct VmStats {
     pub gc_max_pause_ns: u64,
     /// Heap objects freed by collections (GC volume).
     pub gc_objects_freed: u64,
+    /// Scheme conditions raised (via `raise`/`raise-continuable` or a
+    /// guarded fault such as `out-of-memory`).
+    pub conditions_raised: u64,
+    /// Injected faults consumed from a [`FaultPlan`] by this VM.
+    pub faults_injected: u64,
     /// Heap statistics snapshot.
     pub heap: HeapStats,
     /// Segmented-stack statistics snapshot.
@@ -293,6 +340,8 @@ impl VmStats {
             gc_pause_ns: self.gc_pause_ns - earlier.gc_pause_ns,
             gc_max_pause_ns: self.gc_max_pause_ns,
             gc_objects_freed: self.gc_objects_freed - earlier.gc_objects_freed,
+            conditions_raised: self.conditions_raised - earlier.conditions_raised,
+            faults_injected: self.faults_injected - earlier.faults_injected,
             heap: self.heap.delta_since(&earlier.heap),
             stack: self.stack.delta_since(&earlier.stack),
         }
@@ -330,6 +379,27 @@ pub struct Vm {
     /// The `dynamic-wind` winder list (a Scheme list of `(before . after)`
     /// pairs).
     pub(crate) winders: Value,
+    /// The exception-handler stack (a Scheme list, innermost handler
+    /// first), maintained by the `%push-handler!`/`%pop-handler!` builtins
+    /// the prelude's `with-exception-handler` is built on. A GC root.
+    pub(crate) handlers: Value,
+    /// Latched when the heap budget raised `out-of-memory`, so one breach
+    /// raises exactly once; cleared when the live set drops back under the
+    /// budget or on recovery.
+    pub(crate) oom_raised: bool,
+    /// Heap budget in live objects (see [`VmConfig::heap_budget`]).
+    pub(crate) heap_budget: Option<usize>,
+    /// Injected timer-fault countdown: fires at a safe point, forcing the
+    /// engine timer to expire early.
+    pub(crate) timer_fault: FaultClock,
+    /// Whether any resource guard or fault plan was configured. Entry
+    /// safe points branch on this one flag so an unguarded VM pays
+    /// nothing for the fault machinery on its hot path.
+    pub(crate) guards_active: bool,
+    /// Scheme conditions raised.
+    pub(crate) conditions_raised: u64,
+    /// Injected faults consumed.
+    pub(crate) faults_injected: u64,
     // --- engine timer (Dybvig–Hieb engines; drives Figure 5) ---
     pub(crate) timer_on: bool,
     pub(crate) fuel: u64,
@@ -397,6 +467,13 @@ impl Vm {
             argc: 0,
             mv: None,
             winders: Value::Nil,
+            handlers: Value::Nil,
+            oom_raised: false,
+            heap_budget: None,
+            timer_fault: FaultClock::disarmed(),
+            guards_active: false,
+            conditions_raised: 0,
+            faults_injected: 0,
             timer_on: false,
             fuel: 0,
             timer_handler: Value::Unspecified,
@@ -424,6 +501,23 @@ impl Vm {
         }
         if cfg.prelude {
             vm.load_with(PRELUDE, cfg.pipeline).expect("prelude must load");
+        }
+        // Guards and fault clocks activate only after the prelude loads:
+        // budgets and injected faults target user programs, and the
+        // condition machinery they raise through is itself defined by the
+        // prelude.
+        vm.heap_budget = cfg.heap_budget;
+        vm.guards_active = cfg.heap_budget.is_some() || cfg.fault_plan.is_some();
+        if let Some(plan) = cfg.fault_plan {
+            if let Some(n) = plan.alloc_fault_after {
+                vm.heap.arm_alloc_fault(n);
+            }
+            if let Some(n) = plan.segment_fault_after {
+                vm.stack.arm_segment_fault(n);
+            }
+            if let Some(n) = plan.timer_fault_after {
+                vm.timer_fault = FaultClock::arm(n);
+            }
         }
         vm
     }
@@ -564,32 +658,88 @@ impl Vm {
     /// Runtime errors from the callee, or a type error if `f` is not
     /// applicable.
     pub fn call(&mut self, f: Value, args: &[Value]) -> Result<Value, VmError> {
-        self.stack.ensure(args.len() + 2, 1, &crate::slot::slot_disp);
-        let fp = self.stack.fp();
-        for (i, a) in args.iter().enumerate() {
-            self.stack.set(fp + 1 + i, Slot::Val(*a));
-        }
-        self.acc = f;
-        self.mv = None;
         let r = (|| {
+            self.ensure_or_raise(args.len() + 2, 1)?;
+            let fp = self.stack.fp();
+            for (i, a) in args.iter().enumerate() {
+                self.stack.set(fp + 1 + i, Slot::Val(*a));
+            }
+            self.acc = f;
+            self.mv = None;
             if let Some(v) = self.apply(f, args.len())? {
                 return Ok(v);
             }
             self.run()
         })();
+        // `run` intercepts `Condition` internally, but the pre-run `apply`
+        // (or the initial ensure) can surface one directly; classify it as
+        // uncaught while the stack is still intact for a backtrace.
+        let r = r.map_err(|e| match e {
+            VmError::Condition { kind, message } => {
+                self.conditions_raised += 1;
+                VmError::Uncaught {
+                    condition: message,
+                    kind: Some(kind.to_string()),
+                    backtrace: self.backtrace(),
+                }
+            }
+            other => other,
+        });
         if r.is_err() {
             self.recover();
         }
         r
     }
 
+    /// Grows the stack for `need` slots, turning a resource-ceiling refusal
+    /// (segment budget or injected segment fault) into a catchable
+    /// `stack-overflow` condition instead of growing past the limit.
+    pub(crate) fn ensure_or_raise(&mut self, need: usize, live: usize) -> Result<(), VmError> {
+        match self.stack.ensure(need, live, &crate::slot::slot_disp) {
+            Overflow::Ceiling => self.ceiling_to_condition(need, live),
+            _ => Ok(()),
+        }
+    }
+
+    /// The [`Overflow::Ceiling`] slow path, kept out of line so the per-call
+    /// `ensure_or_raise` stays small enough to inline.
+    #[cold]
+    #[inline(never)]
+    fn ceiling_to_condition(&mut self, need: usize, live: usize) -> Result<(), VmError> {
+        if self.stack.in_overflow_grace() {
+            // Only an injected segment fault reports `Ceiling` with the
+            // grace period already armed (a real ceiling leaves arming to
+            // the embedder); no reclamation would help, so raise at once.
+            self.faults_injected += 1;
+            return Err(VmError::condition("stack-overflow", "stack segment ceiling exceeded"));
+        }
+        // A real ceiling can be pinned by dead segments awaiting a
+        // sweep (e.g. the chain bypassed by a continuation escape);
+        // collect once and retry before declaring overflow. The
+        // `live` slots above fp are GC roots, so this is safe at
+        // every ensure site.
+        self.collect(live);
+        match self.stack.ensure(need, live, &crate::slot::slot_disp) {
+            Overflow::Ceiling => {
+                self.stack.enter_overflow_grace();
+                Err(VmError::condition("stack-overflow", "stack segment ceiling exceeded"))
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Resets control state after an error so the VM can keep evaluating.
     fn recover(&mut self) {
         self.stack.clear_to_empty();
         self.winders = Value::Nil;
+        self.handlers = Value::Nil;
+        self.oom_raised = false;
         self.mv = None;
         self.timer_on = false;
         self.closure = Value::Unspecified;
+        // The accumulator is a GC root; a stale value from before the
+        // error would pin an arbitrary object graph across the recovery.
+        self.acc = Value::Unspecified;
     }
 
     // ------------------------------------------------------------------
@@ -653,6 +803,8 @@ impl Vm {
             gc_pause_ns: self.gc_pause_ns,
             gc_max_pause_ns: self.gc_max_pause_ns,
             gc_objects_freed: self.gc_objects_freed,
+            conditions_raised: self.conditions_raised,
+            faults_injected: self.faults_injected,
             heap: self.heap.stats(),
             stack: *self.stack.stats(),
         }
