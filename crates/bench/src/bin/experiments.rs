@@ -16,6 +16,7 @@
 //!   gc             E10: segregated-pool heap under a threshold sweep
 //!   e11            E11: worker-pool throughput/latency, workers x fuel slice
 //!   chaos          E12: recovery rate under seeded fault schedules
+//!   e13            E13: reactor — loopback echo + timer storms, 10k+ green threads
 //!   all            everything above
 //! ```
 //!
@@ -32,8 +33,8 @@
 use oneshot_bench::experiments::{
     cache_experiment, chaos_experiment, chaos_overhead, dispatch_experiment, exec_experiment,
     figure5, fragmentation_experiment, frame_overhead, gc_experiment, hysteresis_experiment,
-    overflow_experiment, promotion_experiment, tak_experiment, DispatchScale, ExecScale, GcScale,
-    GC_UNBOUNDED,
+    overflow_experiment, promotion_experiment, reactor_experiment, tak_experiment, DispatchScale,
+    ExecScale, GcScale, ReactorScale, GC_UNBOUNDED,
 };
 use oneshot_bench::measure::render_table;
 use oneshot_bench::metrics::{measurement_json, Json};
@@ -118,6 +119,7 @@ fn main() {
         "gc" => run("gc", run_gc(paper)),
         "e11" => run("exec", run_exec(paper, max_workers)),
         "chaos" => run("chaos", run_chaos(paper)),
+        "e13" => run("reactor", run_reactor(paper, max_workers)),
         "all" => {
             run("tak", run_tak(&scale));
             run("overflow", run_overflow(&scale));
@@ -130,6 +132,7 @@ fn main() {
             run("gc", run_gc(paper));
             run("exec", run_exec(paper, max_workers));
             run("chaos", run_chaos(paper));
+            run("reactor", run_reactor(paper, max_workers));
             run("figure5", run_figure5(&scale));
         }
         other => {
@@ -139,7 +142,7 @@ fn main() {
     }
 
     let doc = Json::obj([
-        ("schema", Json::str("oneshot-experiments/v5")),
+        ("schema", Json::str("oneshot-experiments/v6")),
         ("scale", Json::str(if paper { "paper" } else { "quick" })),
         ("experiments", Json::Obj(report)),
     ]);
@@ -764,6 +767,103 @@ fn run_chaos(paper: bool) -> Json {
                             ("faults_injected", Json::int(r.faults_injected)),
                             ("conditions_raised", Json::int(r.conditions_raised)),
                             ("wall_ms", Json::Num(r.wall_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn run_reactor(paper: bool, max_workers: Option<usize>) -> Json {
+    let mut scale = if paper { ReactorScale::paper() } else { ReactorScale::quick() };
+    if let Some(max) = max_workers {
+        scale.clamp_workers(max);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\n== E13: reactor — loopback echo ({} rounds/conn) + timer storms, {cores} core(s) ==",
+        scale.echo_rounds
+    );
+    let rows = reactor_experiment(&scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                r.workers.to_string(),
+                r.green_threads.to_string(),
+                r.ops.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.0}", r.throughput),
+                format!("{:.2}", r.p50_us / 1e3),
+                format!("{:.2}", r.p99_us / 1e3),
+                format!("{:.2}", r.max_us / 1e3),
+                r.blocked_highwater.to_string(),
+                r.io_wakeups.to_string(),
+                format!("{}/{}", r.leaked_sockets, r.live_segments),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "mode",
+                "workers",
+                "green-threads",
+                "ops",
+                "wall-ms",
+                "ops/s",
+                "p50-ms",
+                "p99-ms",
+                "max-ms",
+                "blocked-hw",
+                "wakeups",
+                "leaks(fd/seg)"
+            ],
+            &table
+        )
+    );
+    if let Some(peak) = rows.iter().max_by_key(|r| r.green_threads) {
+        println!(
+            "Peak concurrency: {} green threads ({}) on {} worker(s); \
+             single-worker blocked highwater {}.",
+            peak.green_threads, peak.mode, peak.workers, peak.blocked_highwater
+        );
+    }
+    println!("Expected shape: every op verifies with zero failures and zero leaked");
+    println!("sockets/segments; a blocked connection is a sealed one-shot continuation,");
+    println!("so green-thread counts far beyond the worker count cost memory, not");
+    println!("threads; echo latency (p50 vs p99) measures reactor requeue fairness and");
+    println!("timer-storm lateness stays small against the requested wait.");
+    Json::obj([
+        ("scale", Json::str(if paper { "paper" } else { "quick" })),
+        ("cores", Json::int(cores as u64)),
+        ("echo_rounds", Json::int(scale.echo_rounds as u64)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("mode", Json::str(r.mode)),
+                            ("workers", Json::int(r.workers as u64)),
+                            ("green_threads", Json::int(r.green_threads as u64)),
+                            ("ops", Json::int(r.ops as u64)),
+                            ("wall_ms", Json::Num(r.wall_ms)),
+                            ("throughput_ops_per_s", Json::Num(r.throughput)),
+                            ("p50_us", Json::Num(r.p50_us)),
+                            ("p99_us", Json::Num(r.p99_us)),
+                            ("max_us", Json::Num(r.max_us)),
+                            ("completed", Json::int(r.completed)),
+                            ("failed", Json::int(r.failed)),
+                            ("io_blocked", Json::int(r.io_blocked)),
+                            ("io_wakeups", Json::int(r.io_wakeups)),
+                            ("timer_waits", Json::int(r.timer_waits)),
+                            ("blocked_highwater", Json::int(r.blocked_highwater)),
+                            ("leaked_sockets", Json::int(r.leaked_sockets.max(0) as u64)),
+                            ("live_segments", Json::int(r.live_segments.max(0) as u64)),
                         ])
                     })
                     .collect(),

@@ -1157,6 +1157,387 @@ pub fn chaos_overhead(iters: u64) -> (f64, f64) {
     (baseline, guarded)
 }
 
+// ----------------------------------------------------------------------
+// E13 — reactor: green-thread I/O at 10k+ concurrent continuations
+// ----------------------------------------------------------------------
+
+/// Scale knobs for the E13 reactor sweep: loopback echo pairs (each pair
+/// is a handler green thread plus a client green thread multiplexed by
+/// the pool's `poll(2)` reactor) and timer storms (every job suspended in
+/// `(timer-wait ms)` at once).
+#[derive(Debug, Clone)]
+pub struct ReactorScale {
+    /// Worker counts to sweep.
+    pub workers: Vec<usize>,
+    /// Echo connection counts to sweep; each is 2 green threads and 3 fds.
+    pub echo_pairs: Vec<usize>,
+    /// Echo messages per connection.
+    pub echo_rounds: usize,
+    /// Timer storms as `(jobs, wait_ms)`. The wait must comfortably
+    /// exceed the submit phase so the whole storm is suspended at once —
+    /// `blocked_highwater` then records the true peak concurrency.
+    pub timer_storms: Vec<(usize, u64)>,
+}
+
+impl ReactorScale {
+    /// A sweep that finishes in seconds (CI smoke).
+    #[must_use]
+    pub fn quick() -> Self {
+        ReactorScale {
+            workers: vec![1, 2],
+            echo_pairs: vec![64, 256],
+            echo_rounds: 2,
+            timer_storms: vec![(2_000, 1_000)],
+        }
+    }
+
+    /// The full sweep: 10k green threads on loopback echo (5000 pairs x 3
+    /// fds stays under both the per-VM socket cap and typical `ulimit -n`)
+    /// and a 100k-continuation timer storm.
+    #[must_use]
+    pub fn paper() -> Self {
+        ReactorScale {
+            workers: vec![1, 2, 4],
+            echo_pairs: vec![1_000, 5_000],
+            echo_rounds: 4,
+            timer_storms: vec![(10_000, 5_000), (100_000, 30_000)],
+        }
+    }
+
+    /// Drops worker counts above `max` (used by `--max-workers` for CI
+    /// smoke runs on small machines).
+    pub fn clamp_workers(&mut self, max: usize) {
+        self.workers.retain(|&w| w <= max.max(1));
+        if self.workers.is_empty() {
+            self.workers.push(1);
+        }
+    }
+}
+
+/// One cell of the E13 sweep.
+#[derive(Debug, Clone)]
+pub struct ReactorRow {
+    /// `"echo"` or `"timer-storm"`.
+    pub mode: &'static str,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Green threads the cell keeps in flight (2 per echo pair; one per
+    /// storm timer).
+    pub green_threads: usize,
+    /// Operations measured: verified echo round trips, or timer wakeups.
+    pub ops: usize,
+    /// Wall-clock milliseconds from first load submit to last outcome.
+    pub wall_ms: f64,
+    /// Operations per second of wall clock.
+    pub throughput: f64,
+    /// Median per-op latency in microseconds: echo round-trip time, or
+    /// timer wake lateness beyond the requested wait.
+    pub p50_us: f64,
+    /// 99th-percentile per-op latency in microseconds.
+    pub p99_us: f64,
+    /// Worst per-op latency in microseconds.
+    pub max_us: f64,
+    /// Jobs that finished with a value.
+    pub completed: u64,
+    /// Jobs that failed for any reason (must be 0: the load is
+    /// defect-free).
+    pub failed: u64,
+    /// I/O suspensions (continuation sealed, fd registered).
+    pub io_blocked: u64,
+    /// Reactor readiness deliveries that requeued a continuation.
+    pub io_wakeups: u64,
+    /// Timer suspensions.
+    pub timer_waits: u64,
+    /// Peak simultaneously-blocked continuations on any single worker —
+    /// the honest concurrency measure.
+    pub blocked_highwater: u64,
+    /// Open sockets after the drain (must be 0).
+    pub leaked_sockets: i64,
+    /// In-use (uncached) stack segments after the drain, summed over
+    /// workers: a sealed continuation that leaked would show up here.
+    pub live_segments: i64,
+}
+
+/// Pinned per shard worker: bind `n` loopback listeners (one per
+/// connection — a readiness wakeup never herds accepters onto a shared
+/// fd) plus the echo handler, and return the port list.
+fn reactor_setup_src(n: usize) -> String {
+    format!(
+        "(define listeners
+           (let loop ((i 0) (acc '()))
+             (if (< i {n})
+                 (loop (+ i 1) (cons (tcp-listen 0) acc))
+                 (list->vector (reverse acc)))))
+         (define (serve-echo lst)
+           (let ((c (tcp-accept lst)))
+             (let loop ()
+               (let ((d (tcp-read c 4096)))
+                 (if (eq? d 'eof)
+                     (begin (tcp-close c) (tcp-close lst) 'served)
+                     (begin (tcp-write c d) (loop)))))))
+         (let loop ((i 0) (acc '()))
+           (if (< i {n})
+               (loop (+ i 1) (cons (tcp-local-port (vector-ref listeners i)) acc))
+               (reverse acc)))"
+    )
+}
+
+/// Pinned to every worker (clients are unpinned, so every VM needs it):
+/// an echo client that verifies each round and returns the list of
+/// per-round round-trip times in microseconds.
+const REACTOR_CLIENT_LIB: &str = "(define (read-n s n acc)
+       (if (>= (string-length acc) n)
+           acc
+           (let ((d (tcp-read s 4096)))
+             (if (eq? d 'eof) acc (read-n s n (string-append acc d))))))
+     (define (echo-client port msg rounds)
+       (let ((s (tcp-connect port)))
+         (let loop ((i 0) (acc '()))
+           (if (< i rounds)
+               (let ((t0 (now-us)))
+                 (tcp-write s msg)
+                 (let ((r (read-n s (string-length msg) \"\")))
+                   (if (string=? r msg)
+                       (loop (+ i 1) (cons (- (now-us) t0) acc))
+                       'corrupt)))
+               (begin (tcp-close s) (reverse acc))))))
+     'lib";
+
+/// Pinned per worker after the drain: `(live-sockets . in-use-segments)`.
+/// Cached segments are excluded — a drained continuation's segments land
+/// in the reuse cache, which is recycling, not leakage.
+const REACTOR_AUDIT: &str = "(cons (%net-live) (cdr (assq 'live-uncached-segments (vm-stats))))";
+
+/// Parses a flat Scheme list of fixnums, e.g. `"(118 92 87)"`.
+fn parse_fixnum_list(shown: &str) -> Vec<i64> {
+    shown
+        .trim_matches(['(', ')'])
+        .split_whitespace()
+        .map(|t| t.parse().expect("fixnum list element"))
+        .collect()
+}
+
+/// Runs the post-drain leak audit on every worker of a still-live pool.
+fn reactor_audit(pool: &oneshot_exec::Pool, workers: usize) -> (i64, i64) {
+    use oneshot_exec::JobSpec;
+    let (mut sockets, mut segments) = (0i64, 0i64);
+    for w in 0..workers {
+        let shown = pool
+            .submit(JobSpec::new(format!("audit-{w}"), REACTOR_AUDIT).pin(w))
+            .expect("audit submits")
+            .wait()
+            .result
+            .expect("audit runs");
+        let (s, g) = shown.trim_matches(['(', ')']).split_once(" . ").expect("audit pair");
+        sockets += s.parse::<i64>().expect("socket count");
+        segments += g.parse::<i64>().expect("segment count");
+    }
+    (sockets, segments)
+}
+
+/// Assembles a [`ReactorRow`] from a finished cell's latency samples and
+/// the drained pool's counter snapshot.
+fn reactor_row(
+    mode: &'static str,
+    workers: usize,
+    green_threads: usize,
+    mut samples_us: Vec<f64>,
+    wall: std::time::Duration,
+    c: &oneshot_exec::PoolCountersSnapshot,
+    audit: (i64, i64),
+) -> ReactorRow {
+    samples_us.sort_by(f64::total_cmp);
+    ReactorRow {
+        mode,
+        workers,
+        green_threads,
+        ops: samples_us.len(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput: samples_us.len() as f64 / wall.as_secs_f64(),
+        p50_us: percentile_ms(&samples_us, 0.50),
+        p99_us: percentile_ms(&samples_us, 0.99),
+        max_us: percentile_ms(&samples_us, 1.0),
+        completed: c.completed,
+        failed: c.failed,
+        io_blocked: c.io_blocked,
+        io_wakeups: c.io_wakeups,
+        timer_waits: c.timer_waits,
+        blocked_highwater: c.blocked_highwater,
+        leaked_sockets: audit.0,
+        live_segments: audit.1,
+    }
+}
+
+/// Runs one loopback-echo cell: `pairs` connections, each a pinned
+/// handler green thread and an unpinned client green thread, sharded
+/// across `workers`.
+///
+/// # Panics
+///
+/// Panics if any echo fails to verify or any job fails — the load is
+/// defect-free, so a failure is a build defect.
+pub fn reactor_echo_case(workers: usize, pairs: usize, rounds: usize) -> ReactorRow {
+    use oneshot_exec::{JobSpec, Pool};
+    let pool = Pool::builder()
+        .workers(workers)
+        .resident_cap(2 * pairs.div_ceil(workers) + 16)
+        .queue_capacity(2 * pairs + 64)
+        .fuel_slice(2048)
+        .build()
+        .expect("pool spawns");
+
+    // Shard setup: listeners + handler library pinned per worker, the
+    // client library pinned to every worker.
+    let per_shard: Vec<usize> =
+        (0..workers).map(|w| pairs / workers + usize::from(w < pairs % workers)).collect();
+    let mut ports: Vec<(usize, u16)> = Vec::with_capacity(pairs); // (worker, port)
+    for (w, &n) in per_shard.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let shown = pool
+            .submit(JobSpec::new(format!("setup-{w}"), reactor_setup_src(n)).pin(w))
+            .expect("setup submits")
+            .wait()
+            .result
+            .expect("listeners bind");
+        for p in shown.trim_matches(['(', ')']).split_whitespace() {
+            ports.push((w, p.parse().expect("port list")));
+        }
+    }
+    assert_eq!(ports.len(), pairs);
+    for w in 0..workers {
+        let ok = pool
+            .submit(JobSpec::new(format!("client-lib-{w}"), REACTOR_CLIENT_LIB).pin(w))
+            .expect("lib submits")
+            .wait()
+            .result
+            .expect("client lib loads");
+        assert_eq!(ok, "lib");
+    }
+
+    // The load: one pinned handler per listener, one unpinned client per
+    // connection.
+    let deadline = std::time::Duration::from_secs(300);
+    let start = Instant::now();
+    let handlers: Vec<_> = ports
+        .iter()
+        .enumerate()
+        .map(|(i, &(w, _))| {
+            let slot = per_shard[..w].iter().sum::<usize>();
+            pool.submit(
+                JobSpec::new(
+                    format!("handler-{i}"),
+                    format!("(serve-echo (vector-ref listeners {}))", i - slot),
+                )
+                .pin(w)
+                .deadline(deadline),
+            )
+            .expect("handler submits")
+        })
+        .collect();
+    let clients: Vec<_> = ports
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, port))| {
+            pool.submit(
+                JobSpec::new(
+                    format!("client-{i}"),
+                    format!("(echo-client {port} \"e13-payload-{i}\" {rounds})"),
+                )
+                .deadline(deadline),
+            )
+            .expect("client submits")
+        })
+        .collect();
+
+    let mut rtts_us: Vec<f64> = Vec::with_capacity(pairs * rounds);
+    for h in &clients {
+        let outcome = h.wait();
+        let shown = match outcome.result.as_deref() {
+            Ok(shown) if shown != "corrupt" => shown.to_string(),
+            other => panic!("E13 client {} failed: {other:?}", outcome.name),
+        };
+        rtts_us.extend(parse_fixnum_list(&shown).into_iter().map(|us| us as f64));
+    }
+    for h in &handlers {
+        assert_eq!(h.wait().result.as_deref(), Ok("served"), "handler must drain");
+    }
+    let wall = start.elapsed();
+    assert_eq!(rtts_us.len(), pairs * rounds);
+
+    let audit = reactor_audit(&pool, workers);
+    let report = pool.shutdown().expect("pool drains");
+    reactor_row("echo", workers, 2 * pairs, rtts_us, wall, &report.counters, audit)
+}
+
+/// Runs one timer-storm cell: `jobs` green threads all suspended in
+/// `(timer-wait wait_ms)` at once; each returns its wake lateness in
+/// microseconds.
+///
+/// # Panics
+///
+/// Panics if any job fails or the storm never reaches full suspension
+/// (`wait_ms` must exceed the submit phase).
+pub fn reactor_timer_case(workers: usize, jobs: usize, wait_ms: u64) -> ReactorRow {
+    use oneshot_exec::{JobSpec, Pool};
+    let pool = Pool::builder()
+        .workers(workers)
+        .resident_cap(jobs.div_ceil(workers) + 8)
+        .queue_capacity(jobs + 64)
+        .fuel_slice(2048)
+        .build()
+        .expect("pool spawns");
+    let deadline = std::time::Duration::from_millis(wait_ms) + std::time::Duration::from_secs(300);
+    let src =
+        format!("(let ((t0 (now-us))) (timer-wait {wait_ms}) (- (now-us) t0 {}))", wait_ms * 1000);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..jobs)
+        .map(|i| {
+            pool.submit(JobSpec::new(format!("storm-{i}"), src.clone()).deadline(deadline))
+                .expect("storm submits")
+        })
+        .collect();
+    let submit_ms = start.elapsed().as_secs_f64() * 1e3;
+    let lateness_us: Vec<f64> = handles
+        .iter()
+        .map(|h| {
+            let outcome = h.wait();
+            match outcome.result.as_deref() {
+                Ok(shown) => shown.parse::<f64>().expect("lateness fixnum"),
+                Err(e) => panic!("E13 storm job {} failed: {e}", outcome.name),
+            }
+        })
+        .collect();
+    let wall = start.elapsed();
+    assert!(
+        submit_ms < wait_ms as f64,
+        "submit phase ({submit_ms:.0} ms) outlasted the {wait_ms} ms wait: \
+         the storm never reached full suspension"
+    );
+
+    let audit = reactor_audit(&pool, workers);
+    let report = pool.shutdown().expect("pool drains");
+    reactor_row("timer-storm", workers, jobs, lateness_us, wall, &report.counters, audit)
+}
+
+/// The full E13 sweep: echo cells then timer storms, each across every
+/// worker count.
+pub fn reactor_experiment(scale: &ReactorScale) -> Vec<ReactorRow> {
+    let mut out = Vec::new();
+    for &pairs in &scale.echo_pairs {
+        for &workers in &scale.workers {
+            out.push(reactor_echo_case(workers, pairs, scale.echo_rounds));
+        }
+    }
+    for &(jobs, wait_ms) in &scale.timer_storms {
+        for &workers in &scale.workers {
+            out.push(reactor_timer_case(workers, jobs, wait_ms));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1352,6 +1733,30 @@ mod tests {
             assert!(r.p50_ms <= r.p99_ms);
             assert!(r.throughput > 0.0);
         }
+    }
+
+    #[test]
+    fn reactor_cases_suspend_and_audit_clean() {
+        // A miniature echo cell: every round trip verifies, the clients
+        // really suspended on the reactor (not spun), and the drain left
+        // no sockets and no sealed continuation segments behind.
+        let echo = reactor_echo_case(2, 16, 2);
+        assert_eq!(echo.ops, 32);
+        assert_eq!(echo.failed, 0);
+        assert!(echo.io_blocked > 0, "echo load must suspend on the reactor");
+        assert!(echo.io_wakeups > 0);
+        assert_eq!(echo.leaked_sockets, 0);
+        assert!(echo.live_segments < 32, "segments leaked: {}", echo.live_segments);
+        assert!(echo.p50_us <= echo.p99_us && echo.p99_us <= echo.max_us);
+
+        // A miniature storm: all 48 timers suspended at once (the wait is
+        // generous because debug-build submits compile slowly).
+        let storm = reactor_timer_case(1, 48, 1_500);
+        assert_eq!(storm.ops, 48);
+        assert_eq!(storm.failed, 0);
+        assert!(storm.timer_waits >= 48);
+        assert!(storm.blocked_highwater >= 48, "highwater {}", storm.blocked_highwater);
+        assert_eq!(storm.leaked_sockets, 0);
     }
 
     #[test]

@@ -145,6 +145,17 @@ pub const BUILTIN_NAMES: &[&str] = &[
     "backtrace",
     "sleep-ms",
     "debug-panic!",
+    "now-us",
+    // nonblocking loopback TCP; the would-block retry loops live in the
+    // threads crate's io.scm, where they suspend the running green thread
+    "%tcp-listen",
+    "%tcp-local-port",
+    "%tcp-accept",
+    "%tcp-connect",
+    "%tcp-read",
+    "%tcp-write",
+    "%tcp-close",
+    "%net-live",
     // internal helpers (used by the CPS prelude)
     "%apply-args",
     // internal helpers (used by the condition-system prelude)

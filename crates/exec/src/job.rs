@@ -3,7 +3,9 @@
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use oneshot_vm::{CompiledProgram, VmError};
+use oneshot_vm::CompiledProgram;
+
+use crate::error::Error;
 
 /// Identifies a job within one [`Pool`](crate::Pool), in submission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,33 +24,130 @@ impl std::fmt::Display for JobId {
     }
 }
 
-/// A job description: a named Scheme program plus an optional fuel budget.
+/// What [`Pool::submit`](crate::Pool::submit) does when the injector is
+/// full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Admission {
+    /// Block the submitting thread until there is room (backpressure by
+    /// waiting). The default.
+    #[default]
+    Blocking,
+    /// Refuse with [`ErrorKind::QueueFull`](crate::ErrorKind::QueueFull),
+    /// returning the spec via
+    /// [`Error::into_refused_spec`](crate::Error::into_refused_spec)
+    /// (backpressure by shedding).
+    NonBlocking,
+}
+
+/// Completion callback type: runs on the worker thread that finishes the
+/// job, right after its outcome is delivered.
+pub type OnComplete = Arc<dyn Fn(&JobOutcome) + Send + Sync>;
+
+/// A job description: a named Scheme program plus execution policy, built
+/// fluently:
+///
+/// ```
+/// use std::time::Duration;
+/// use oneshot_exec::{Admission, JobSpec};
+///
+/// let spec = JobSpec::new("fib", "(define (f n) (if (< n 2) n (+ (f (- n 1)) (f (- n 2))))) (f 18)")
+///     .fuel(200_000)
+///     .retries(2)
+///     .deadline(Duration::from_secs(5))
+///     .admission(Admission::NonBlocking);
+/// assert_eq!(spec.name(), "fib");
+/// ```
 ///
 /// The program is compiled once, on the submitting thread; workers only
 /// link and run it. Jobs share the worker VM's global environment (see the
 /// fault-isolation contract in DESIGN.md), so toplevel definitions should
 /// either be job-private names or identical across jobs.
-#[derive(Debug, Clone)]
 pub struct JobSpec {
     pub(crate) name: String,
     pub(crate) source: String,
-    pub(crate) fuel_budget: u64,
+    pub(crate) fuel: u64,
+    pub(crate) retries: Option<u32>,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) admission: Admission,
+    pub(crate) pin: Option<usize>,
+    pub(crate) on_complete: Option<OnComplete>,
 }
 
 impl JobSpec {
     /// Default per-job fuel budget: effectively unlimited.
-    pub const DEFAULT_FUEL_BUDGET: u64 = u64::MAX;
+    pub const DEFAULT_FUEL: u64 = u64::MAX;
 
-    /// A job running `source`, labelled `name` for reporting.
+    /// A job running `source`, labelled `name` for reporting. Defaults:
+    /// unlimited fuel, no deadline, the pool's retry budget, blocking
+    /// admission, no completion callback.
     pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
-        JobSpec { name: name.into(), source: source.into(), fuel_budget: Self::DEFAULT_FUEL_BUDGET }
+        JobSpec {
+            name: name.into(),
+            source: source.into(),
+            fuel: Self::DEFAULT_FUEL,
+            retries: None,
+            deadline: None,
+            admission: Admission::default(),
+            pin: None,
+            on_complete: None,
+        }
     }
 
     /// Caps the total procedure calls the job may consume across all its
-    /// fuel slices; exceeding the cap yields [`JobError::TimedOut`].
+    /// fuel slices; exceeding the cap yields
+    /// [`ErrorKind::FuelExhausted`](crate::ErrorKind::FuelExhausted).
+    /// Time a job spends *blocked* on I/O or a timer burns no fuel.
     #[must_use]
-    pub fn fuel_budget(mut self, budget: u64) -> Self {
-        self.fuel_budget = budget.max(1);
+    pub fn fuel(mut self, budget: u64) -> Self {
+        self.fuel = budget.max(1);
+        self
+    }
+
+    /// Overrides the pool's retry budget for this job: how many times a
+    /// *transient* failure (see [`Error::transient`](crate::Error::transient))
+    /// is requeued before it is delivered.
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = Some(retries);
+        self
+    }
+
+    /// Wall-clock deadline, measured from submission. A job past its
+    /// deadline fails with
+    /// [`ErrorKind::DeadlineExceeded`](crate::ErrorKind::DeadlineExceeded)
+    /// at its next scheduling point — including while blocked on I/O, which
+    /// makes this the safety valve against a peer that never answers.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Full-queue policy for [`Pool::submit`](crate::Pool::submit):
+    /// block (default) or refuse.
+    #[must_use]
+    pub fn admission(mut self, admission: Admission) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Pins the job to worker `index` (wrapped modulo the worker count):
+    /// it is handed straight to that worker's queue and is never stolen.
+    /// Pinning is how jobs that must share one VM's globals — a listener
+    /// and its accept loops, say — are kept together.
+    #[must_use]
+    pub fn pin(mut self, index: usize) -> Self {
+        self.pin = Some(index);
+        self
+    }
+
+    /// Registers a completion callback, invoked on the worker thread that
+    /// finishes the job (successfully or not), after the outcome is
+    /// visible to [`JobHandle::wait`]. Keep it short; it runs inside the
+    /// worker loop.
+    #[must_use]
+    pub fn on_complete(mut self, f: impl Fn(&JobOutcome) + Send + Sync + 'static) -> Self {
+        self.on_complete = Some(Arc::new(f));
         self
     }
 
@@ -58,70 +157,32 @@ impl JobSpec {
     }
 }
 
-/// Why a job failed.
-#[derive(Debug, Clone, PartialEq)]
-#[non_exhaustive]
-pub enum JobError {
-    /// The program failed to run: a Scheme error, a type error, a one-shot
-    /// continuation shot twice. Wrapped with job/worker context via
-    /// [`VmError::with_context`].
-    Vm(VmError),
-    /// The job exceeded its fuel budget and was dropped.
-    TimedOut {
-        /// The configured budget, in procedure calls.
-        budget: u64,
-        /// Fuel consumed before the pool gave up (a multiple of the slice).
-        used: u64,
-    },
-    /// The job panicked inside the VM; the worker rebuilt its VM.
-    Panicked(String),
-    /// Another job (`culprit`) panicked on the same worker while this job
-    /// was parked there; its VM — and this job's continuation — was lost.
-    WorkerReset {
-        /// The job whose panic destroyed the shared VM.
-        culprit: JobId,
-    },
-}
-
-impl JobError {
-    /// Whether retrying the job could plausibly succeed.
-    ///
-    /// Transient: an uncaught `out-of-memory` condition (an injected
-    /// allocation fault or a momentary heap-budget breach — the retried
-    /// job starts on a freshly collected heap) and [`JobError::WorkerReset`]
-    /// (the job was collateral damage of *another* job's panic). Everything
-    /// else — type errors, arity errors, `(error ...)`, fuel exhaustion,
-    /// panics in the job itself — is deterministic and fails fast.
-    pub fn transient(&self) -> bool {
-        match self {
-            JobError::WorkerReset { .. } => true,
-            JobError::Vm(e) => e.condition_kind() == Some("out-of-memory"),
-            _ => false,
+impl Clone for JobSpec {
+    fn clone(&self) -> Self {
+        JobSpec {
+            name: self.name.clone(),
+            source: self.source.clone(),
+            fuel: self.fuel,
+            retries: self.retries,
+            deadline: self.deadline,
+            admission: self.admission,
+            pin: self.pin,
+            on_complete: self.on_complete.clone(),
         }
     }
 }
 
-impl std::fmt::Display for JobError {
+impl std::fmt::Debug for JobSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            JobError::Vm(e) => write!(f, "{e}"),
-            JobError::TimedOut { budget, used } => {
-                write!(f, "fuel budget exhausted: used {used} of {budget}")
-            }
-            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
-            JobError::WorkerReset { culprit } => {
-                write!(f, "worker VM was reset by panicking job {culprit}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for JobError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            JobError::Vm(e) => Some(e),
-            _ => None,
-        }
+        f.debug_struct("JobSpec")
+            .field("name", &self.name)
+            .field("fuel", &self.fuel)
+            .field("retries", &self.retries)
+            .field("deadline", &self.deadline)
+            .field("admission", &self.admission)
+            .field("pin", &self.pin)
+            .field("on_complete", &self.on_complete.as_ref().map(|_| "<callback>"))
+            .finish_non_exhaustive()
     }
 }
 
@@ -136,14 +197,15 @@ pub struct JobOutcome {
     pub worker: usize,
     /// Fuel slices the job ran for (1 = never preempted).
     pub slices: u64,
-    /// Total fuel charged to the job, in procedure calls.
+    /// Total fuel charged to the job, in procedure calls. Blocked time
+    /// burns no fuel.
     pub fuel_used: u64,
     /// Submit-to-completion latency.
     pub latency: Duration,
     /// The job's value written in Scheme `write` notation, or why it
     /// failed. The string form is VM-independent, which is what makes
     /// results comparable across worker counts.
-    pub result: Result<String, JobError>,
+    pub result: Result<String, Error>,
 }
 
 /// Shared slot a worker fills and a waiter blocks on.
@@ -154,13 +216,15 @@ pub(crate) struct OutcomeSlot {
 }
 
 impl OutcomeSlot {
-    pub(crate) fn fill(&self, outcome: JobOutcome) {
+    pub(crate) fn fill(&self, outcome: JobOutcome) -> bool {
         let mut slot = self.outcome.lock().unwrap();
         // First delivery wins; a shutdown-time duplicate is dropped.
         if slot.is_none() {
             *slot = Some(outcome);
             self.ready.notify_all();
+            return true;
         }
+        false
     }
 
     pub(crate) fn wait(&self) -> JobOutcome {
@@ -210,16 +274,37 @@ impl JobHandle {
 
 /// The unit that moves through the queues: a compiled program plus the
 /// bookkeeping to deliver its outcome.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub(crate) struct Job {
     pub(crate) id: JobId,
     pub(crate) name: String,
     pub(crate) prog: Arc<CompiledProgram>,
     pub(crate) fuel_budget: u64,
+    /// Absolute wall-clock deadline, computed at submission.
+    pub(crate) deadline: Option<Instant>,
+    /// Per-job retry override ([`JobSpec::retries`]); `None` uses the
+    /// pool's budget.
+    pub(crate) retries: Option<u32>,
+    /// Pinned jobs are never stolen from their worker's queue.
+    pub(crate) pinned: bool,
     pub(crate) submitted: Instant,
     pub(crate) slot: Arc<OutcomeSlot>,
+    pub(crate) on_complete: Option<OnComplete>,
     /// Times this job has already been retried after a transient fault.
     pub(crate) attempts: u32,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("fuel_budget", &self.fuel_budget)
+            .field("deadline", &self.deadline)
+            .field("pinned", &self.pinned)
+            .field("attempts", &self.attempts)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Job {
@@ -228,9 +313,9 @@ impl Job {
         worker: usize,
         slices: u64,
         fuel_used: u64,
-        result: Result<String, JobError>,
+        result: Result<String, Error>,
     ) {
-        self.slot.fill(JobOutcome {
+        let outcome = JobOutcome {
             id: self.id,
             name: self.name.clone(),
             worker,
@@ -238,6 +323,12 @@ impl Job {
             fuel_used,
             latency: self.submitted.elapsed(),
             result,
-        });
+        };
+        let first = self.slot.fill(outcome.clone());
+        if first {
+            if let Some(cb) = &self.on_complete {
+                cb(&outcome);
+            }
+        }
     }
 }

@@ -5,7 +5,8 @@
 //! that inside one VM. This crate adds the outer level: a [`Pool`] of N OS
 //! worker threads, each owning its own [`Vm`](oneshot_vm::Vm), fed from a
 //! bounded shared injector queue with per-worker deques and work stealing
-//! of whole jobs.
+//! of whole jobs — plus one *reactor* thread that multiplexes blocking
+//! guest I/O over `poll(2)`.
 //!
 //! The two levels divide the work the way Kobayashi–Kameyama's one-shot
 //! expressiveness results suggest: OS threads provide parallelism between
@@ -15,22 +16,37 @@
 //! after its fuel slice and requeued rather than starving the worker — a
 //! preemption that costs no stack copying.
 //!
-//! Jobs are compiled once on submit ([`Pool::submit`] returns a
-//! [`JobHandle`]); the resulting [`CompiledProgram`](oneshot_vm::CompiledProgram)
-//! is plain `Send` data, so any worker can link and run it. Once a job has
-//! *started* on a worker its continuation lives in that worker's VM heap,
-//! so only unstarted jobs are stolen; preempted jobs requeue locally.
+//! The same mechanism makes I/O non-blocking for free: when a job calls
+//! `(tcp-read sock n)` on a socket with no data, the guest library captures
+//! the job's one-shot continuation, the engine returns
+//! [`EngineStep::Blocked`](oneshot_threads::EngineStep), and the worker
+//! parks the job and moves on. The reactor polls the fd; readiness turns
+//! into an ordinary engine resumption. Suspending ten thousand connections
+//! costs ten thousand sealed stack segments — no OS threads, no callbacks,
+//! no stack copies.
 //!
-//! Robustness is first-class:
+//! Jobs are described by a fluent [`JobSpec`] — fuel, retries, deadline,
+//! [`Admission`] policy, worker pinning, completion callback — compiled
+//! once on submit ([`Pool::submit`] returns a [`JobHandle`]); the resulting
+//! [`CompiledProgram`](oneshot_vm::CompiledProgram) is plain `Send` data,
+//! so any worker can link and run it. Once a job has *started* on a worker
+//! its continuation lives in that worker's VM heap, so only unstarted jobs
+//! are stolen; preempted jobs requeue locally.
 //!
-//! * a per-job fuel budget turns runaway jobs into [`JobError::TimedOut`];
+//! Everything that can go wrong surfaces as one [`Error`] with a stable
+//! [`ErrorKind`]:
+//!
+//! * a per-job fuel budget turns runaway jobs into
+//!   [`ErrorKind::FuelExhausted`], a wall-clock deadline into
+//!   [`ErrorKind::DeadlineExceeded`] — even while blocked on a peer that
+//!   never answers;
 //! * a panicking job is caught with `catch_unwind`; the worker reports it
-//!   as [`JobError::Panicked`], rebuilds a fresh VM, and keeps draining;
-//! * the bounded injector gives backpressure ([`Pool::submit`] blocks,
-//!   [`Pool::try_submit`] refuses);
-//! * [`Pool::shutdown`] drains all in-flight jobs and joins every worker
-//!   (with a timeout, so a wedged worker is reported, not waited on
-//!   forever).
+//!   as [`ErrorKind::Panicked`], rebuilds a fresh VM, and keeps draining;
+//! * the bounded injector gives backpressure ([`Admission::Blocking`]
+//!   waits, [`Admission::NonBlocking`] refuses with the spec returned);
+//! * [`Pool::shutdown`] drains all in-flight and blocked jobs and joins
+//!   every worker and the reactor (with a timeout, so a wedged worker is
+//!   reported, not waited on forever).
 //!
 //! # Example
 //!
@@ -40,10 +56,10 @@
 //! let pool = Pool::builder().workers(2).fuel_slice(4096).build().unwrap();
 //! let jobs: Vec<_> = (0..8)
 //!     .map(|i| {
-//!         pool.submit(JobSpec::new(
-//!             format!("square-{i}"),
-//!             format!("(* {i} {i})"),
-//!         ))
+//!         pool.submit(
+//!             JobSpec::new(format!("square-{i}"), format!("(* {i} {i})"))
+//!                 .fuel(100_000),
+//!         )
 //!         .unwrap()
 //!     })
 //!     .collect();
@@ -54,16 +70,16 @@
 //! assert_eq!(report.counters.completed, 8);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // one audited exception: reactor::sys wraps poll(2)
 #![warn(missing_docs)]
 
+mod error;
 mod job;
 mod pool;
 mod queue;
+mod reactor;
 mod worker;
 
-pub use job::{JobError, JobHandle, JobId, JobOutcome, JobSpec};
-pub use pool::{
-    Pool, PoolBuilder, PoolCountersSnapshot, PoolReport, ShutdownError, SubmitError, VmTotals,
-    WorkerReport,
-};
+pub use error::{Error, ErrorKind};
+pub use job::{Admission, JobHandle, JobId, JobOutcome, JobSpec, OnComplete};
+pub use pool::{Pool, PoolBuilder, PoolCountersSnapshot, PoolReport, VmTotals, WorkerReport};

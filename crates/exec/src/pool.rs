@@ -1,14 +1,16 @@
 //! The pool: submission, backpressure, shutdown, and observability.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use oneshot_vm::{CompilerOptions, Pipeline, Vm, VmConfig, VmError, VmStats};
+use oneshot_vm::{CompilerOptions, Pipeline, Vm, VmConfig, VmStats};
 
-use crate::job::{Job, JobHandle, JobId, JobSpec, OutcomeSlot};
+use crate::error::Error;
+use crate::job::{Admission, Job, JobHandle, JobId, JobSpec, OutcomeSlot};
 use crate::queue::{Injector, PushRefused, StealQueue};
+use crate::reactor::{Reactor, ResumeQueues};
 use crate::worker::{self, WorkerCtx};
 
 /// Per-worker knobs, fixed at build time.
@@ -16,7 +18,8 @@ use crate::worker::{self, WorkerCtx};
 pub(crate) struct WorkerConfig {
     /// Procedure calls per engine slice (the preemption quantum).
     pub(crate) fuel_slice: u64,
-    /// Maximum jobs resident (started) on one worker at a time.
+    /// Maximum jobs resident (started) on one worker at a time — running
+    /// *or* blocked on I/O; both hold engine state in the worker's VM.
     pub(crate) resident_cap: usize,
     /// Jobs pulled from the injector per visit (the extras become
     /// stealable local work).
@@ -70,8 +73,10 @@ impl PoolBuilder {
         self
     }
 
-    /// Injector capacity (≥ 1): beyond this, [`Pool::submit`] blocks and
-    /// [`Pool::try_submit`] refuses.
+    /// Injector capacity (≥ 1): beyond this, a
+    /// [`Admission::Blocking`](crate::Admission::Blocking) submit blocks
+    /// and a [`Admission::NonBlocking`](crate::Admission::NonBlocking)
+    /// submit refuses.
     #[must_use]
     pub fn queue_capacity(mut self, jobs: usize) -> Self {
         self.queue_capacity = jobs.max(1);
@@ -79,8 +84,10 @@ impl PoolBuilder {
     }
 
     /// Maximum jobs concurrently started (engine-resident) per worker
-    /// (≥ 1). More residents mean fairer interleaving but a bigger blast
-    /// radius when a job panics.
+    /// (≥ 1), counting jobs blocked on I/O or timers. More residents mean
+    /// fairer interleaving and more concurrent connections, but a bigger
+    /// blast radius when a job panics. This is the knob that sets how many
+    /// green threads a server pool holds open at once.
     #[must_use]
     pub fn resident_cap(mut self, jobs: usize) -> Self {
         self.resident_cap = jobs.max(1);
@@ -88,9 +95,10 @@ impl PoolBuilder {
     }
 
     /// How many times a job that fails with a *transient* error (see
-    /// [`JobError::transient`](crate::JobError::transient)) is requeued —
-    /// with exponential backoff — before its failure is delivered.
-    /// Defaults to 0: every failure is final.
+    /// [`Error::transient`](crate::Error::transient)) is requeued — with
+    /// exponential backoff — before its failure is delivered. Defaults to
+    /// 0: every failure is final. [`JobSpec::retries`] overrides this per
+    /// job.
     #[must_use]
     pub fn max_retries(mut self, retries: u32) -> Self {
         self.max_retries = retries;
@@ -98,8 +106,8 @@ impl PoolBuilder {
     }
 
     /// Configuration for every worker's VM (resource guards, fault plan,
-    /// probes, GC threshold, ...). Lets a pool run with per-job heap
-    /// budgets or a deterministic chaos plan. Defaults to
+    /// probes, GC threshold, socket-table cap, ...). Lets a pool run with
+    /// per-job heap budgets or a deterministic chaos plan. Defaults to
     /// [`VmConfig::default`].
     #[must_use]
     pub fn vm_config(mut self, cfg: VmConfig) -> Self {
@@ -107,16 +115,21 @@ impl PoolBuilder {
         self
     }
 
-    /// Spawns the workers.
+    /// Spawns the reactor and the workers.
     ///
     /// # Errors
     ///
-    /// Propagates the OS error if a worker thread cannot be spawned.
+    /// Propagates the OS error if a thread (or the reactor's wakeup pipe)
+    /// cannot be created.
     pub fn build(self) -> std::io::Result<Pool> {
         let injector = Arc::new(Injector::new(self.queue_capacity));
         let queues: Arc<Vec<StealQueue>> =
             Arc::new((0..self.workers).map(|_| StealQueue::default()).collect());
         let counters = Arc::new(PoolCounters::default());
+        let resumes: ResumeQueues =
+            Arc::new((0..self.workers).map(|_| Mutex::new(Vec::new())).collect());
+        let reactor =
+            Reactor::spawn(Arc::clone(&resumes), Arc::clone(&injector), Arc::clone(&counters))?;
         let (report_tx, report_rx) = mpsc::channel();
         let cfg = WorkerConfig {
             fuel_slice: self.fuel_slice,
@@ -134,6 +147,8 @@ impl PoolBuilder {
                 injector: Arc::clone(&injector),
                 queues: Arc::clone(&queues),
                 counters: Arc::clone(&counters),
+                reactor: Arc::clone(&reactor.shared),
+                resumes: Arc::clone(&resumes),
                 report_tx: report_tx.clone(),
             };
             let handle = std::thread::Builder::new()
@@ -143,63 +158,16 @@ impl PoolBuilder {
         }
         Ok(Pool {
             injector,
+            queues,
             counters,
             handles,
+            reactor: Some(reactor),
             report_rx,
             next_job: AtomicU64::new(0),
             workers: self.workers,
         })
     }
 }
-
-/// Why a submission was refused.
-#[derive(Debug)]
-pub enum SubmitError {
-    /// The program failed to compile; nothing was enqueued.
-    Compile(VmError),
-    /// The injector is full ([`Pool::try_submit`] only); the spec is
-    /// returned so the caller can retry or shed load.
-    Full(JobSpec),
-    /// The pool is shutting down.
-    Shutdown,
-}
-
-impl std::fmt::Display for SubmitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SubmitError::Compile(e) => write!(f, "job failed to compile: {e}"),
-            SubmitError::Full(spec) => write!(f, "queue full, job {:?} refused", spec.name()),
-            SubmitError::Shutdown => write!(f, "pool is shut down"),
-        }
-    }
-}
-
-impl std::error::Error for SubmitError {}
-
-/// Shutdown could not complete in time.
-#[derive(Debug)]
-pub enum ShutdownError {
-    /// Not every worker checked in before the deadline; the missing
-    /// workers' threads were left running (leaked).
-    Timeout {
-        /// Workers that reported before the deadline.
-        reported: usize,
-        /// Total workers.
-        total: usize,
-    },
-}
-
-impl std::fmt::Display for ShutdownError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ShutdownError::Timeout { reported, total } => {
-                write!(f, "shutdown timed out: {reported} of {total} workers reported")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ShutdownError {}
 
 /// Pool-wide event counters (all `Relaxed`: totals, not synchronization).
 #[derive(Debug, Default)]
@@ -215,6 +183,10 @@ pub(crate) struct PoolCounters {
     pub(crate) vm_rebuilds: AtomicU64,
     pub(crate) slices: AtomicU64,
     pub(crate) queue_depth_highwater: AtomicU64,
+    pub(crate) io_blocked: AtomicU64,
+    pub(crate) io_wakeups: AtomicU64,
+    pub(crate) timer_waits: AtomicU64,
+    pub(crate) blocked_highwater: AtomicU64,
 }
 
 impl PoolCounters {
@@ -231,6 +203,10 @@ impl PoolCounters {
             vm_rebuilds: self.vm_rebuilds.load(Ordering::Relaxed),
             slices: self.slices.load(Ordering::Relaxed),
             queue_depth_highwater: self.queue_depth_highwater.load(Ordering::Relaxed),
+            io_blocked: self.io_blocked.load(Ordering::Relaxed),
+            io_wakeups: self.io_wakeups.load(Ordering::Relaxed),
+            timer_waits: self.timer_waits.load(Ordering::Relaxed),
+            blocked_highwater: self.blocked_highwater.load(Ordering::Relaxed),
         }
     }
 
@@ -242,11 +218,11 @@ impl PoolCounters {
 /// A point-in-time copy of the pool's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolCountersSnapshot {
-    /// Jobs accepted by `submit`/`try_submit`.
+    /// Jobs accepted by [`Pool::submit`].
     pub submitted: u64,
     /// Jobs that finished with a value.
     pub completed: u64,
-    /// Jobs that finished with any [`JobError`](crate::JobError).
+    /// Jobs that finished with any [`Error`](crate::Error).
     pub failed: u64,
     /// Subset of `failed`: fuel budget exhausted.
     pub timed_out: u64,
@@ -265,6 +241,16 @@ pub struct PoolCountersSnapshot {
     pub slices: u64,
     /// Deepest the injector queue ever got.
     pub queue_depth_highwater: u64,
+    /// Suspensions on socket readiness (`tcp-accept`, `tcp-read`,
+    /// `tcp-write` finding the fd not ready).
+    pub io_blocked: u64,
+    /// Readiness/deadline deliveries the reactor made (I/O and timers).
+    pub io_wakeups: u64,
+    /// Suspensions on `timer-wait`.
+    pub timer_waits: u64,
+    /// Most jobs simultaneously blocked on any single worker — the honest
+    /// measure of peak per-worker green-thread concurrency.
+    pub blocked_highwater: u64,
 }
 
 /// Key `VmStats` counters summed across a worker's VM incarnations
@@ -360,13 +346,16 @@ pub struct PoolReport {
 }
 
 /// A pool of OS worker threads, each owning a VM that runs jobs as
-/// engine-preempted green threads. See the crate docs for the full model
+/// engine-preempted green threads, plus one reactor thread multiplexing
+/// every blocked job's I/O wait. See the crate docs for the full model
 /// and an example.
 #[derive(Debug)]
 pub struct Pool {
     injector: Arc<Injector>,
+    queues: Arc<Vec<StealQueue>>,
     counters: Arc<PoolCounters>,
     handles: Vec<JoinHandle<()>>,
+    reactor: Option<Reactor>,
     report_rx: mpsc::Receiver<WorkerReport>,
     next_job: AtomicU64,
     workers: usize,
@@ -393,64 +382,77 @@ impl Pool {
         self.counters.snapshot()
     }
 
-    /// Compiles `spec` and enqueues it, blocking while the injector is
-    /// full (backpressure).
+    /// Compiles `spec` and enqueues it. The spec's
+    /// [`admission`](JobSpec::admission) decides the full-queue policy:
+    /// [`Admission::Blocking`] waits for room (backpressure),
+    /// [`Admission::NonBlocking`] refuses with
+    /// [`ErrorKind::QueueFull`](crate::ErrorKind::QueueFull) and hands the
+    /// spec back via [`Error::into_refused_spec`].
+    ///
+    /// A [`pinned`](JobSpec::pin) spec bypasses the injector entirely: it
+    /// goes straight to the chosen worker's queue (never stolen, never
+    /// counted against `queue_capacity`), which is how jobs that must
+    /// share one VM's globals are kept together.
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Compile`] or [`SubmitError::Shutdown`]; never
-    /// [`SubmitError::Full`].
-    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
-        self.submit_inner(spec, true)
-    }
-
-    /// Compiles `spec` and enqueues it, refusing instead of blocking when
-    /// the injector is full.
-    ///
-    /// # Errors
-    ///
-    /// [`SubmitError::Full`] (spec returned for retry),
-    /// [`SubmitError::Compile`], or [`SubmitError::Shutdown`].
-    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
-        self.submit_inner(spec, false)
-    }
-
-    fn submit_inner(&self, spec: JobSpec, block: bool) -> Result<JobHandle, SubmitError> {
+    /// [`ErrorKind::Compile`](crate::ErrorKind::Compile),
+    /// [`ErrorKind::QueueFull`](crate::ErrorKind::QueueFull) (nonblocking
+    /// only), or [`ErrorKind::PoolClosed`](crate::ErrorKind::PoolClosed).
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, Error> {
         // Compile once, on the submitting thread; workers only link.
         let prog = Vm::compile_str(&spec.source, Pipeline::Direct, CompilerOptions::default())
-            .map_err(SubmitError::Compile)?;
+            .map_err(Error::compile)?;
         let id = JobId(self.next_job.fetch_add(1, Ordering::Relaxed));
         let slot = Arc::new(OutcomeSlot::default());
         let job = Job {
             id,
             name: spec.name.clone(),
             prog: Arc::new(prog),
-            fuel_budget: spec.fuel_budget,
+            fuel_budget: spec.fuel,
+            deadline: spec.deadline.map(|d| Instant::now() + d),
+            retries: spec.retries,
+            pinned: spec.pin.is_some(),
             submitted: Instant::now(),
             slot: Arc::clone(&slot),
+            on_complete: spec.on_complete.clone(),
             attempts: 0,
         };
-        let pushed = if block { self.injector.push(job) } else { self.injector.try_push(job) };
+        let handle = JobHandle { id, name: spec.name.clone(), slot };
+        if let Some(pin) = spec.pin {
+            if self.injector.is_closed() {
+                return Err(Error::pool_closed());
+            }
+            self.queues[pin % self.workers].push(job);
+            self.injector.notify_workers();
+            self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            return Ok(handle);
+        }
+        let pushed = match spec.admission {
+            Admission::Blocking => self.injector.push(job),
+            Admission::NonBlocking => self.injector.try_push(job),
+        };
         match pushed {
             Ok(depth) => {
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
                 self.counters.note_depth(depth);
-                Ok(JobHandle { id, name: spec.name, slot })
+                Ok(handle)
             }
-            Err(PushRefused::Full) => Err(SubmitError::Full(spec)),
-            Err(PushRefused::Closed) => Err(SubmitError::Shutdown),
+            Err(PushRefused::Full) => Err(Error::queue_full(spec)),
+            Err(PushRefused::Closed) => Err(Error::pool_closed()),
         }
     }
 
     /// Graceful shutdown with a 60-second deadline: closes the injector,
-    /// lets the workers drain every queued and in-flight job, joins them,
-    /// and aggregates their reports. Equivalent to
-    /// `shutdown_timeout(Duration::from_secs(60))`.
+    /// lets the workers drain every queued, in-flight, *and blocked* job
+    /// (blocked jobs finish when their I/O completes or their deadline
+    /// fires), joins them, stops the reactor, and aggregates the reports.
+    /// Equivalent to `shutdown_timeout(Duration::from_secs(60))`.
     ///
     /// # Errors
     ///
     /// See [`Pool::shutdown_timeout`].
-    pub fn shutdown(self) -> Result<PoolReport, ShutdownError> {
+    pub fn shutdown(self) -> Result<PoolReport, Error> {
         self.shutdown_timeout(Duration::from_secs(60))
     }
 
@@ -458,10 +460,11 @@ impl Pool {
     ///
     /// # Errors
     ///
-    /// [`ShutdownError::Timeout`] if some worker failed to drain and check
-    /// in before the deadline; its thread is left behind (leaked), which
-    /// the CI leak test treats as a failure.
-    pub fn shutdown_timeout(mut self, deadline: Duration) -> Result<PoolReport, ShutdownError> {
+    /// [`ErrorKind::ShutdownTimeout`](crate::ErrorKind::ShutdownTimeout)
+    /// if some worker failed to drain and check in before the deadline;
+    /// its thread — and the reactor, which it may still need — is left
+    /// behind (leaked), which the CI leak test treats as a failure.
+    pub fn shutdown_timeout(mut self, deadline: Duration) -> Result<PoolReport, Error> {
         self.injector.close();
         let end = Instant::now() + deadline;
         let mut reports = Vec::with_capacity(self.workers);
@@ -471,18 +474,22 @@ impl Pool {
                 Ok(report) => reports.push(report),
                 Err(_) => {
                     // Leave the handles unjoined: the caller learns exactly
-                    // how many threads are wedged.
+                    // how many threads are wedged. The reactor is detached,
+                    // not stopped — a slow worker still needs its wakeups.
                     self.handles.clear();
-                    return Err(ShutdownError::Timeout {
-                        reported: reports.len(),
-                        total: self.workers,
-                    });
+                    self.reactor.take();
+                    return Err(Error::shutdown_timeout(reports.len(), self.workers));
                 }
             }
         }
-        // Every worker has sent its report, so joins return immediately.
+        // Every worker has sent its report, so joins return immediately —
+        // and only now is it safe to stop the reactor: no wait can be
+        // outstanding once every worker has drained.
         for handle in self.handles.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
         }
         reports.sort_by_key(|r| r.worker);
         Ok(PoolReport { workers: reports, counters: self.counters.snapshot() })
@@ -491,11 +498,15 @@ impl Pool {
 
 impl Drop for Pool {
     /// Best-effort cleanup for pools dropped without [`Pool::shutdown`]:
-    /// closes the injector and joins the workers (they exit once drained).
+    /// closes the injector, joins the workers (they exit once drained),
+    /// then stops the reactor.
     fn drop(&mut self) {
         self.injector.close();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
         }
     }
 }

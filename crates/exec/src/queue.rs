@@ -10,6 +10,12 @@ use crate::job::Job;
 /// push at the back, workers pop at the front. `Mutex<VecDeque>` plus two
 /// condvars — deliberately boring; the interesting scheduling happens in
 /// the workers.
+///
+/// The `not_empty` condvar doubles as the pool-wide activity signal: the
+/// reactor calls [`Injector::notify_workers`] after delivering readiness
+/// wakeups, so a worker sleeping in [`Injector::pop_wait`] or
+/// [`Injector::wait_activity`] re-checks its resume queue promptly
+/// instead of riding out its idle timeout.
 #[derive(Debug)]
 pub(crate) struct Injector {
     state: Mutex<InjectorState>,
@@ -30,14 +36,17 @@ pub(crate) enum Popped {
     Job(Job),
     /// The queue is closed *and* empty: no job will ever arrive again.
     Drained,
-    /// The timeout elapsed with the queue open but empty.
+    /// The wait ended (timeout *or* activity signal) with the queue open
+    /// but empty. Callers loop, so spurious returns are harmless — and
+    /// deliberate: a reactor wakeup must get the worker back to its
+    /// resume queue.
     TimedOut,
 }
 
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
 pub(crate) enum PushRefused {
-    /// The queue is at capacity (only `try_push` reports this).
+    /// The queue is at capacity (nonblocking admission only).
     Full,
     /// The queue was closed by shutdown.
     Closed,
@@ -96,23 +105,51 @@ impl Injector {
         job
     }
 
-    /// Pop, waiting up to `timeout` for a job to arrive.
+    /// Pop, waiting up to `timeout`. Single-wait semantics: the first
+    /// wakeup — job, timeout, or an activity signal from
+    /// [`Injector::notify_workers`] — returns control to the worker loop,
+    /// which has other queues (its own stash, its resume queue) to check.
     pub(crate) fn pop_wait(&self, timeout: Duration) -> Popped {
         let mut st = self.state.lock().unwrap();
-        loop {
-            if let Some(job) = st.queue.pop_front() {
-                self.not_full.notify_one();
-                return Popped::Job(job);
-            }
-            if st.closed {
-                return Popped::Drained;
-            }
-            let (next, res) = self.not_empty.wait_timeout(st, timeout).unwrap();
-            st = next;
-            if res.timed_out() && st.queue.is_empty() && !st.closed {
-                return Popped::TimedOut;
-            }
+        if let Some(job) = st.queue.pop_front() {
+            self.not_full.notify_one();
+            return Popped::Job(job);
         }
+        if st.closed {
+            return Popped::Drained;
+        }
+        let (mut st, _res) = self.not_empty.wait_timeout(st, timeout).unwrap();
+        if let Some(job) = st.queue.pop_front() {
+            self.not_full.notify_one();
+            return Popped::Job(job);
+        }
+        if st.closed {
+            return Popped::Drained;
+        }
+        Popped::TimedOut
+    }
+
+    /// Blocks up to `timeout` for *any* pool activity — a push, a close,
+    /// or a [`Injector::notify_workers`] signal. Unlike
+    /// [`Injector::pop_wait`] this waits even when the queue is closed:
+    /// it is what a worker with blocked (I/O-suspended) jobs parks on
+    /// during shutdown drain, when no new job will ever arrive but
+    /// reactor wakeups still will.
+    pub(crate) fn wait_activity(&self, timeout: Duration) {
+        let st = self.state.lock().unwrap();
+        if !st.queue.is_empty() {
+            return;
+        }
+        let _ = self.not_empty.wait_timeout(st, timeout).unwrap();
+    }
+
+    /// Wakes every waiting worker so it re-checks its resume queue. Called
+    /// by the reactor after readiness deliveries.
+    pub(crate) fn notify_workers(&self) {
+        // Lock to order the wakeup after the delivering store; the resume
+        // queues themselves are behind their own mutexes.
+        let _st = self.state.lock().unwrap();
+        self.not_empty.notify_all();
     }
 
     /// Closes the queue: future pushes are refused, and once the backlog
@@ -128,13 +165,20 @@ impl Injector {
     pub(crate) fn depth(&self) -> usize {
         self.state.lock().unwrap().queue.len()
     }
+
+    /// Whether [`Injector::close`] has been called. Best-effort: used to
+    /// refuse pinned submissions (which bypass the queue) after shutdown.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
 }
 
 /// One worker's stealable deque of *unstarted* jobs. The owner pushes and
 /// pops at the front (LIFO for locality of freshly-grabbed batches);
 /// thieves steal from the back — the classic work-stealing discipline,
 /// restricted to whole jobs because a started job's continuation is pinned
-/// to its worker's VM heap.
+/// to its worker's VM heap. Jobs submitted with [`JobSpec::pin`]
+/// (crate::JobSpec::pin) are additionally never stolen at all.
 #[derive(Debug, Default)]
 pub(crate) struct StealQueue {
     queue: Mutex<VecDeque<Job>>,
@@ -151,9 +195,14 @@ impl StealQueue {
         self.queue.lock().unwrap().pop_front()
     }
 
-    /// Thief side: take the oldest stashed job.
+    /// Thief side: take the oldest *unpinned* stashed job.
     pub(crate) fn steal(&self) -> Option<Job> {
-        self.queue.lock().unwrap().pop_back()
+        let mut q = self.queue.lock().unwrap();
+        // Scan from the back (oldest); pinned jobs are invisible to
+        // thieves. Pinned jobs cluster at submission time, so in practice
+        // this looks at one or two entries.
+        let idx = q.iter().rposition(|job| !job.pinned)?;
+        q.remove(idx)
     }
 }
 
@@ -165,6 +214,10 @@ mod tests {
     use std::time::Instant;
 
     fn job(id: u64) -> Job {
+        job_pinned(id, false)
+    }
+
+    fn job_pinned(id: u64, pinned: bool) -> Job {
         let spec = JobSpec::new(format!("j{id}"), "#t");
         Job {
             id: JobId(id),
@@ -177,9 +230,13 @@ mod tests {
                 )
                 .unwrap(),
             ),
-            fuel_budget: spec.fuel_budget,
+            fuel_budget: spec.fuel,
+            deadline: None,
+            retries: None,
+            pinned,
             submitted: Instant::now(),
             slot: Arc::new(OutcomeSlot::default()),
+            on_complete: None,
             attempts: 0,
         }
     }
@@ -209,5 +266,33 @@ mod tests {
         assert_eq!(q.pop().unwrap().id, JobId(2), "owner takes the newest");
         assert_eq!(q.pop().unwrap().id, JobId(1));
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pinned_jobs_are_invisible_to_thieves_but_not_owners() {
+        let q = StealQueue::default();
+        q.push(job_pinned(0, true));
+        q.push(job(1));
+        q.push(job_pinned(2, true));
+        assert_eq!(q.steal().unwrap().id, JobId(1), "thief skips pinned jobs");
+        assert!(q.steal().is_none(), "only pinned jobs remain");
+        assert_eq!(q.pop().unwrap().id, JobId(2), "owner sees everything");
+        assert_eq!(q.pop().unwrap().id, JobId(0));
+    }
+
+    #[test]
+    fn notify_workers_wakes_a_pop_wait_early() {
+        let q = Arc::new(Injector::new(4));
+        let q2 = Arc::clone(&q);
+        let start = Instant::now();
+        let t = std::thread::spawn(move || {
+            // A full 10s wait would blow the test timeout; the notify must
+            // cut it short with a TimedOut (spurious-wakeup) result.
+            matches!(q2.pop_wait(Duration::from_secs(10)), Popped::TimedOut)
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        q.notify_workers();
+        assert!(t.join().unwrap());
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 }

@@ -1,0 +1,361 @@
+//! The reactor: one event-loop thread multiplexing every blocked green
+//! thread's wait over poll(2).
+//!
+//! When a job suspends on I/O (`EngineStep::Blocked`), its worker seals
+//! the one-shot continuation inside the engine table, registers the wait
+//! here, and goes on running other jobs. The reactor polls all registered
+//! fds plus a timer heap; on readiness (or deadline) it pushes a `(job,
+//! seq)` wakeup onto the owning worker's resume queue and rings the
+//! injector's activity signal. The worker then moves the job from its
+//! blocked map back to its ready ring — a normal engine resumption, O(1),
+//! no stack copying, exactly the paper's suspension cost model.
+//!
+//! Interest is one-shot: an entry delivers once and is forgotten, like
+//! the continuation it wakes. Stale deliveries (the job has since blocked
+//! again, or died with its worker's VM) are filtered by the `seq` check
+//! on the worker side and are harmless here. An fd closed while
+//! registered reports `POLLNVAL`, which counts as readiness: the resumed
+//! retry loop then sees the guest-level `io-error`. Dependency-free by
+//! design: the only foreign call is `poll(2)` itself.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{ErrorKind, Read, Write};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::pool::PoolCounters;
+use crate::queue::Injector;
+
+/// Raw poll(2) binding. The crate is `#![deny(unsafe_code)]`; this module
+/// is the single audited exception, and the only unsafe operation is the
+/// syscall itself over a plain `#[repr(C)]` slice.
+#[allow(unsafe_code)]
+mod sys {
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// Polls `fds` for up to `timeout_ms` (-1 = forever). Returns the
+    /// number of ready entries, 0 on timeout, or a negative errno-style
+    /// result (EINTR included) which callers treat as "poll again".
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+        unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) }
+    }
+}
+
+/// One readiness wakeup: which job (by raw id) and which wait generation.
+/// The generation lets a worker discard deliveries for waits it has
+/// already abandoned (deadline failure, worker reset).
+pub(crate) type Wakeup = (u64, u64);
+
+/// Per-worker wakeup mailboxes, indexed by worker.
+pub(crate) type ResumeQueues = Arc<Vec<Mutex<Vec<Wakeup>>>>;
+
+/// A wait registration or control message for the reactor.
+#[derive(Debug)]
+pub(crate) enum Msg {
+    /// Wake `(worker, job, seq)` when `fd` is readable (or writable), or
+    /// when `deadline` passes, whichever comes first.
+    Io { worker: usize, job: u64, seq: u64, fd: i32, write: bool, deadline: Option<Instant> },
+    /// Wake `(worker, job, seq)` at `deadline`.
+    Timer { worker: usize, job: u64, seq: u64, deadline: Instant },
+    /// Exit the reactor loop. Sent after every worker has drained.
+    Shutdown,
+}
+
+/// The handle workers use to register waits: a message box plus a
+/// self-pipe that interrupts an in-flight poll.
+#[derive(Debug)]
+pub(crate) struct ReactorShared {
+    msgs: Mutex<Vec<Msg>>,
+    wake_tx: UnixStream,
+}
+
+impl ReactorShared {
+    pub(crate) fn send(&self, msg: Msg) {
+        self.msgs.lock().unwrap().push(msg);
+        // A full pipe already guarantees a pending wakeup; WouldBlock is
+        // success here.
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+}
+
+/// The running reactor thread plus its shared mailbox.
+#[derive(Debug)]
+pub(crate) struct Reactor {
+    pub(crate) shared: Arc<ReactorShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Reactor {
+    /// Spawns the reactor thread.
+    pub(crate) fn spawn(
+        resumes: ResumeQueues,
+        injector: Arc<Injector>,
+        counters: Arc<PoolCounters>,
+    ) -> std::io::Result<Reactor> {
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let shared = Arc::new(ReactorShared { msgs: Mutex::new(Vec::new()), wake_tx });
+        let shared2 = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("oneshot-exec-reactor".to_string())
+            .spawn(move || run(shared2, wake_rx, resumes, injector, counters))?;
+        Ok(Reactor { shared, handle: Some(handle) })
+    }
+
+    /// Asks the loop to exit and joins it. Call only after every worker
+    /// has drained: a blocked job whose wait is dropped here would never
+    /// wake.
+    pub(crate) fn shutdown(mut self) {
+        self.shared.send(Msg::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// An fd wait in flight.
+#[derive(Debug)]
+struct IoWait {
+    fd: i32,
+    write: bool,
+    worker: usize,
+    job: u64,
+    seq: u64,
+    deadline: Option<Instant>,
+}
+
+fn run(
+    shared: Arc<ReactorShared>,
+    wake_rx: UnixStream,
+    resumes: ResumeQueues,
+    injector: Arc<Injector>,
+    counters: Arc<PoolCounters>,
+) {
+    let mut io_waits: Vec<IoWait> = Vec::new();
+    // Min-heap of (deadline, worker, job, seq).
+    let mut timers: BinaryHeap<Reverse<(Instant, usize, u64, u64)>> = BinaryHeap::new();
+    let mut pollfds: Vec<sys::PollFd> = Vec::new();
+    let wake_fd = wake_rx.as_raw_fd();
+
+    loop {
+        // Ingest registrations queued since the last iteration.
+        let batch = std::mem::take(&mut *shared.msgs.lock().unwrap());
+        for msg in batch {
+            match msg {
+                Msg::Io { worker, job, seq, fd, write, deadline } => {
+                    io_waits.push(IoWait { fd, write, worker, job, seq, deadline });
+                }
+                Msg::Timer { worker, job, seq, deadline } => {
+                    timers.push(Reverse((deadline, worker, job, seq)));
+                }
+                Msg::Shutdown => return,
+            }
+        }
+
+        // Sleep until the nearest deadline (timer or I/O), or forever if
+        // none: the self-pipe interrupts for new registrations.
+        let now = Instant::now();
+        let mut next: Option<Instant> = timers.peek().map(|Reverse((t, ..))| *t);
+        for w in &io_waits {
+            if let Some(d) = w.deadline {
+                next = Some(next.map_or(d, |n| n.min(d)));
+            }
+        }
+        let timeout_ms: i32 = match next {
+            None => -1,
+            Some(t) => {
+                let ms = t.saturating_duration_since(now).as_millis();
+                // +1: round up so we never wake a hair *before* the
+                // deadline and spin.
+                i32::try_from(ms.saturating_add(1)).unwrap_or(i32::MAX)
+            }
+        };
+
+        pollfds.clear();
+        pollfds.push(sys::PollFd { fd: wake_fd, events: sys::POLLIN, revents: 0 });
+        for w in &io_waits {
+            let events = if w.write { sys::POLLOUT } else { sys::POLLIN };
+            pollfds.push(sys::PollFd { fd: w.fd, events, revents: 0 });
+        }
+        let rc = sys::poll_fds(&mut pollfds, timeout_ms);
+        if rc < 0 {
+            // EINTR or transient failure: re-ingest and poll again.
+            continue;
+        }
+
+        if pollfds[0].revents != 0 {
+            // Drain the self-pipe; the payload bytes carry no meaning.
+            let mut sink = [0u8; 256];
+            loop {
+                match (&wake_rx).read(&mut sink) {
+                    Ok(0) => break,
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        let now = Instant::now();
+        let mut delivered: Vec<(usize, Wakeup)> = Vec::new();
+
+        // I/O readiness and I/O deadlines. Any nonzero revents — POLLIN /
+        // POLLOUT, but also POLLERR / POLLHUP / POLLNVAL — wakes the job:
+        // the retried guest operation is what turns the underlying state
+        // into data, EOF, or an io-error condition.
+        let mut kept = Vec::with_capacity(io_waits.len());
+        for (i, w) in io_waits.drain(..).enumerate() {
+            let ready = pollfds[i + 1].revents != 0;
+            let expired = w.deadline.is_some_and(|d| d <= now);
+            if ready || expired {
+                delivered.push((w.worker, (w.job, w.seq)));
+            } else {
+                kept.push(w);
+            }
+        }
+        io_waits = kept;
+
+        // Due timers.
+        while let Some(Reverse((t, ..))) = timers.peek() {
+            if *t > now {
+                break;
+            }
+            let Reverse((_, worker, job, seq)) = timers.pop().unwrap();
+            delivered.push((worker, (job, seq)));
+        }
+
+        if !delivered.is_empty() {
+            counters.io_wakeups.fetch_add(delivered.len() as u64, Ordering::Relaxed);
+            for (worker, wakeup) in delivered {
+                resumes[worker].lock().unwrap().push(wakeup);
+            }
+            injector.notify_workers();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn harness(workers: usize) -> (Reactor, ResumeQueues, Arc<Injector>) {
+        let resumes: ResumeQueues =
+            Arc::new((0..workers).map(|_| Mutex::new(Vec::new())).collect());
+        let injector = Arc::new(Injector::new(8));
+        let counters = Arc::new(PoolCounters::default());
+        let reactor =
+            Reactor::spawn(Arc::clone(&resumes), Arc::clone(&injector), counters).unwrap();
+        (reactor, resumes, injector)
+    }
+
+    fn wait_for<F: FnMut() -> bool>(mut f: F, what: &str) {
+        let end = Instant::now() + Duration::from_secs(10);
+        while !f() {
+            assert!(Instant::now() < end, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn readable_fd_wakes_the_registered_job() {
+        let (reactor, resumes, _inj) = harness(1);
+        let (a, b) = UnixStream::pair().unwrap();
+        reactor.shared.send(Msg::Io {
+            worker: 0,
+            job: 42,
+            seq: 1,
+            fd: a.as_raw_fd(),
+            write: false,
+            deadline: None,
+        });
+        // Nothing readable yet: no delivery.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(resumes[0].lock().unwrap().is_empty());
+        (&b).write_all(b"x").unwrap();
+        wait_for(|| !resumes[0].lock().unwrap().is_empty(), "readiness delivery");
+        assert_eq!(resumes[0].lock().unwrap().pop(), Some((42, 1)));
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let (reactor, resumes, _inj) = harness(1);
+        let now = Instant::now();
+        reactor.shared.send(Msg::Timer {
+            worker: 0,
+            job: 2,
+            seq: 0,
+            deadline: now + Duration::from_millis(60),
+        });
+        reactor.shared.send(Msg::Timer {
+            worker: 0,
+            job: 1,
+            seq: 0,
+            deadline: now + Duration::from_millis(15),
+        });
+        wait_for(|| resumes[0].lock().unwrap().len() == 2, "both timers");
+        let fired: Vec<u64> = resumes[0].lock().unwrap().iter().map(|(j, _)| *j).collect();
+        assert_eq!(fired, vec![1, 2], "earlier deadline delivers first");
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn io_deadline_delivers_even_without_readiness() {
+        let (reactor, resumes, _inj) = harness(1);
+        let (a, _b) = UnixStream::pair().unwrap();
+        reactor.shared.send(Msg::Io {
+            worker: 0,
+            job: 9,
+            seq: 3,
+            fd: a.as_raw_fd(),
+            write: false,
+            deadline: Some(Instant::now() + Duration::from_millis(25)),
+        });
+        wait_for(|| !resumes[0].lock().unwrap().is_empty(), "deadline delivery");
+        assert_eq!(resumes[0].lock().unwrap().pop(), Some((9, 3)));
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn closed_fd_counts_as_readiness_not_a_wedge() {
+        let (reactor, resumes, _inj) = harness(1);
+        let (a, b) = UnixStream::pair().unwrap();
+        let fd = a.as_raw_fd();
+        // Register, then close both ends: POLLNVAL/HUP must still deliver.
+        reactor.shared.send(Msg::Io {
+            worker: 0,
+            job: 5,
+            seq: 0,
+            fd,
+            write: false,
+            deadline: None,
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        drop(a);
+        drop(b);
+        // Ring the pipe so the loop rebuilds its pollfd set promptly.
+        reactor.shared.send(Msg::Timer { worker: 0, job: 999, seq: 0, deadline: Instant::now() });
+        wait_for(|| resumes[0].lock().unwrap().iter().any(|(j, _)| *j == 5), "POLLNVAL delivery");
+        reactor.shutdown();
+    }
+}

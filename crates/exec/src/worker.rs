@@ -1,20 +1,24 @@
 //! The worker loop: one OS thread, one VM, many engine-fueled jobs.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use oneshot_threads::{EngineHost, EngineId, EngineStep};
+use oneshot_threads::{EngineHost, EngineId, EngineStep, Wait};
 use oneshot_vm::{VmBuilder, VmConfig};
 
-use crate::job::{Job, JobError};
+use crate::error::Error;
+use crate::job::Job;
 use crate::pool::{PoolCounters, WorkerConfig, WorkerReport};
 use crate::queue::{Injector, Popped, StealQueue};
+use crate::reactor::{Msg, ReactorShared, ResumeQueues};
 
 /// How long an idle worker blocks on the injector before rechecking the
-/// steal queues. Pure liveness tuning; correctness never depends on it.
+/// steal queues and its resume queue. Pure liveness tuning; correctness
+/// never depends on it — the reactor's `notify_workers` cuts the wait
+/// short whenever a wakeup is actually pending.
 const IDLE_WAIT: Duration = Duration::from_millis(25);
 
 /// A job that has started on this worker: its engine — and therefore the
@@ -27,6 +31,15 @@ struct Active {
     fuel_used: u64,
 }
 
+/// An [`Active`] job suspended on I/O or a timer. Its sealed one-shot
+/// continuation sits in the engine table; the reactor owns the wait. The
+/// `seq` is the wait generation: a wakeup carrying a stale `seq` (the job
+/// blocked again, or was failed while blocked) is discarded.
+struct BlockedJob {
+    active: Active,
+    seq: u64,
+}
+
 /// Everything a worker thread needs, bundled for the spawn closure.
 pub(crate) struct WorkerCtx {
     pub(crate) index: usize,
@@ -35,6 +48,8 @@ pub(crate) struct WorkerCtx {
     pub(crate) injector: Arc<Injector>,
     pub(crate) queues: Arc<Vec<StealQueue>>,
     pub(crate) counters: Arc<PoolCounters>,
+    pub(crate) reactor: Arc<ReactorShared>,
+    pub(crate) resumes: ResumeQueues,
     pub(crate) report_tx: mpsc::Sender<WorkerReport>,
 }
 
@@ -42,31 +57,55 @@ pub(crate) fn run(ctx: WorkerCtx) {
     let mut report = WorkerReport::new(ctx.index);
     let mut host = build_host(&ctx);
     let mut ready: VecDeque<Active> = VecDeque::new();
+    let mut blocked: HashMap<u64, BlockedJob> = HashMap::new();
+    let mut next_seq: u64 = 0;
 
     loop {
+        // Reactor wakeups first: a resumed job re-enters the ready ring as
+        // an ordinary engine resumption.
+        drain_resumes(&ctx, &mut host, &mut ready, &mut blocked, &mut report);
+
         // Admit at most one new job per iteration: a started job is
         // pinned to this VM, so surplus work stays in the stealable stash
         // where an idle peer can still take it. The resident set fills
-        // gradually — one admission per slice — up to the cap.
-        if ready.len() < ctx.cfg.resident_cap {
+        // gradually — one admission per slice — up to the cap, which
+        // counts blocked residents too: each holds a sealed stack segment
+        // in this VM's heap.
+        if ready.len() + blocked.len() < ctx.cfg.resident_cap {
             if let Some(job) = acquire(&ctx, &mut report) {
-                admit(&ctx, &mut host, job, &mut ready, &mut report);
+                admit(&ctx, &mut host, job, &mut ready, &mut blocked, &mut report);
             }
         }
 
         if let Some(active) = ready.pop_front() {
-            step_active(&ctx, &mut host, active, &mut ready, &mut report);
+            step_active(
+                &ctx,
+                &mut host,
+                active,
+                &mut ready,
+                &mut blocked,
+                &mut next_seq,
+                &mut report,
+            );
             continue;
         }
 
-        // Nothing resident: block for new work, or detect that the pool
-        // has fully drained.
+        // Nothing runnable. Block for new work — or, if the pool has
+        // drained but residents are still parked on I/O, for reactor
+        // activity: those jobs finish (or hit their deadlines) before the
+        // worker may exit.
         match ctx.injector.pop_wait(IDLE_WAIT) {
-            Popped::Job(job) => admit(&ctx, &mut host, job, &mut ready, &mut report),
+            Popped::Job(job) => {
+                admit(&ctx, &mut host, job, &mut ready, &mut blocked, &mut report);
+            }
             Popped::TimedOut => continue,
             Popped::Drained => {
                 if let Some(job) = acquire(&ctx, &mut report) {
-                    admit(&ctx, &mut host, job, &mut ready, &mut report);
+                    admit(&ctx, &mut host, job, &mut ready, &mut blocked, &mut report);
+                    continue;
+                }
+                if !blocked.is_empty() {
+                    ctx.injector.wait_activity(IDLE_WAIT);
                     continue;
                 }
                 break;
@@ -86,8 +125,50 @@ fn build_host(ctx: &WorkerCtx) -> EngineHost {
     EngineHost::with_vm(VmBuilder::from_config((*ctx.vm_config).clone()).build())
 }
 
+/// Moves jobs the reactor has woken from the blocked map back to the
+/// ready ring. Stale wakeups (unknown job, mismatched generation) are
+/// dropped; a woken job already past its wall-clock deadline is failed
+/// here instead of resumed — this is what bounds a peer that never
+/// answers.
+fn drain_resumes(
+    ctx: &WorkerCtx,
+    host: &mut EngineHost,
+    ready: &mut VecDeque<Active>,
+    blocked: &mut HashMap<u64, BlockedJob>,
+    report: &mut WorkerReport,
+) {
+    let wakeups = std::mem::take(&mut *ctx.resumes[ctx.index].lock().unwrap());
+    if wakeups.is_empty() {
+        return;
+    }
+    let now = Instant::now();
+    for (job_id, seq) in wakeups {
+        let stale = match blocked.get(&job_id) {
+            None => true,
+            Some(b) => b.seq != seq,
+        };
+        if stale {
+            continue;
+        }
+        let b = blocked.remove(&job_id).expect("checked above");
+        if b.active.job.deadline.is_some_and(|d| d <= now) {
+            host.drop_engine(b.active.engine);
+            deliver_failure(
+                ctx,
+                report,
+                &b.active.job,
+                b.active.slices,
+                b.active.fuel_used,
+                Error::deadline_exceeded(),
+            );
+        } else {
+            ready.push_back(b.active);
+        }
+    }
+}
+
 /// Next unstarted job, by locality: own stash, then the injector (grabbing
-/// a batch), then stealing the oldest job from the busiest-looking peer.
+/// a batch), then stealing the oldest unpinned job from a peer.
 fn acquire(ctx: &WorkerCtx, report: &mut WorkerReport) -> Option<Job> {
     if let Some(job) = ctx.queues[ctx.index].pop() {
         return Some(job);
@@ -121,6 +202,7 @@ fn admit(
     host: &mut EngineHost,
     job: Job,
     ready: &mut VecDeque<Active>,
+    blocked: &mut HashMap<u64, BlockedJob>,
     report: &mut WorkerReport,
 ) {
     match catch_unwind(AssertUnwindSafe(|| host.spawn_program(&job.prog))) {
@@ -128,28 +210,43 @@ fn admit(
             ready.push_back(Active { job, engine, slices: 0, fuel_used: 0 });
         }
         Ok(Err(e)) => {
-            let err = JobError::Vm(e.with_context(job.id.0, ctx.index as u32));
+            let err = Error::vm(e.with_context(job.id.0, ctx.index as u32));
             fail_or_retry(ctx, report, &job, 0, 0, err);
         }
         Err(payload) => {
-            handle_panic(ctx, host, &job, 0, 0, ready, report, panic_message(payload));
+            handle_panic(ctx, host, &job, 0, 0, ready, blocked, report, panic_message(payload));
         }
     }
 }
 
 /// Runs one fuel slice of a started job.
+#[allow(clippy::too_many_arguments)]
 fn step_active(
     ctx: &WorkerCtx,
     host: &mut EngineHost,
     mut active: Active,
     ready: &mut VecDeque<Active>,
+    blocked: &mut HashMap<u64, BlockedJob>,
+    next_seq: &mut u64,
     report: &mut WorkerReport,
 ) {
+    if active.job.deadline.is_some_and(|d| d <= Instant::now()) {
+        host.drop_engine(active.engine);
+        deliver_failure(
+            ctx,
+            report,
+            &active.job,
+            active.slices,
+            active.fuel_used,
+            Error::deadline_exceeded(),
+        );
+        return;
+    }
     let remaining = active.job.fuel_budget.saturating_sub(active.fuel_used);
     if remaining == 0 {
         host.drop_engine(active.engine);
         ctx.counters.timed_out.fetch_add(1, Ordering::Relaxed);
-        let err = JobError::TimedOut { budget: active.job.fuel_budget, used: active.fuel_used };
+        let err = Error::fuel_exhausted(active.job.fuel_budget, active.fuel_used);
         deliver_failure(ctx, report, &active.job, active.slices, active.fuel_used, err);
         return;
     }
@@ -174,12 +271,19 @@ fn step_active(
             ctx.counters.requeues.fetch_add(1, Ordering::Relaxed);
             ready.push_back(active);
         }
+        Ok(Ok(EngineStep::Blocked(wait))) => {
+            active.slices += 1;
+            active.fuel_used += slice;
+            report.slices += 1;
+            ctx.counters.slices.fetch_add(1, Ordering::Relaxed);
+            block_job(ctx, host, active, wait, ready, blocked, next_seq);
+        }
         Ok(Err(e)) => {
             active.slices += 1;
             active.fuel_used += slice;
             report.slices += 1;
             ctx.counters.slices.fetch_add(1, Ordering::Relaxed);
-            let err = JobError::Vm(e.with_context(active.job.id.0, ctx.index as u32));
+            let err = Error::vm(e.with_context(active.job.id.0, ctx.index as u32));
             fail_or_retry(ctx, report, &active.job, active.slices, active.fuel_used, err);
         }
         Err(payload) => {
@@ -190,6 +294,7 @@ fn step_active(
                 active.slices + 1,
                 active.fuel_used + slice,
                 ready,
+                blocked,
                 report,
                 panic_message(payload),
             );
@@ -197,8 +302,62 @@ fn step_active(
     }
 }
 
+/// Parks a job whose engine suspended on I/O or a timer: registers the
+/// wait with the reactor and moves the job to the blocked map. The sealed
+/// continuation stays in the engine table untouched — suspension costs
+/// one table insert and one message, never a stack copy.
+fn block_job(
+    ctx: &WorkerCtx,
+    host: &mut EngineHost,
+    active: Active,
+    wait: Wait,
+    ready: &mut VecDeque<Active>,
+    blocked: &mut HashMap<u64, BlockedJob>,
+    next_seq: &mut u64,
+) {
+    *next_seq += 1;
+    let seq = *next_seq;
+    let job_id = active.job.id.0;
+    let worker = ctx.index;
+    let msg = match wait {
+        Wait::Readable(tok) | Wait::Writable(tok) => {
+            let Some(fd) = host.vm().net_fd(tok) else {
+                // Stale socket token (closed by another green thread):
+                // resume immediately so the retried operation raises the
+                // guest-level io-error instead of wedging forever.
+                ready.push_back(active);
+                return;
+            };
+            ctx.counters.io_blocked.fetch_add(1, Ordering::Relaxed);
+            Msg::Io {
+                worker,
+                job: job_id,
+                seq,
+                fd: fd as i32,
+                write: matches!(wait, Wait::Writable(_)),
+                deadline: active.job.deadline,
+            }
+        }
+        Wait::TimerMs(ms) => {
+            ctx.counters.timer_waits.fetch_add(1, Ordering::Relaxed);
+            let mut deadline = Instant::now() + Duration::from_millis(ms.max(0) as u64);
+            if let Some(d) = active.job.deadline {
+                // Wake at the job deadline if it lands first; the drain
+                // path turns the early wakeup into DeadlineExceeded.
+                deadline = deadline.min(d);
+            }
+            Msg::Timer { worker, job: job_id, seq, deadline }
+        }
+    };
+    blocked.insert(job_id, BlockedJob { active, seq });
+    ctx.counters.blocked_highwater.fetch_max(blocked.len() as u64, Ordering::Relaxed);
+    ctx.reactor.send(msg);
+}
+
 /// A job panicked: report it, fail every other job whose continuation
-/// lived in the now-poisoned VM, rebuild, keep draining.
+/// lived in the now-poisoned VM — ready *and* blocked — rebuild, keep
+/// draining. Blocked jobs cannot be retried in place (their reactor wait
+/// may still deliver, but the stale `seq` makes that delivery a no-op).
 #[allow(clippy::too_many_arguments)]
 fn handle_panic(
     ctx: &WorkerCtx,
@@ -207,11 +366,12 @@ fn handle_panic(
     slices: u64,
     fuel_used: u64,
     ready: &mut VecDeque<Active>,
+    blocked: &mut HashMap<u64, BlockedJob>,
     report: &mut WorkerReport,
     message: String,
 ) {
     ctx.counters.panicked.fetch_add(1, Ordering::Relaxed);
-    deliver_failure(ctx, report, culprit, slices, fuel_used, JobError::Panicked(message));
+    deliver_failure(ctx, report, culprit, slices, fuel_used, Error::panicked(message));
     let culprit_id = culprit.id;
     for lost in ready.drain(..) {
         // WorkerReset is transient by definition (the lost job did nothing
@@ -223,7 +383,17 @@ fn handle_panic(
             &lost.job,
             lost.slices,
             lost.fuel_used,
-            JobError::WorkerReset { culprit: culprit_id },
+            Error::worker_reset(culprit_id),
+        );
+    }
+    for (_, lost) in blocked.drain() {
+        fail_or_retry(
+            ctx,
+            report,
+            &lost.active.job,
+            lost.active.slices,
+            lost.active.fuel_used,
+            Error::worker_reset(culprit_id),
         );
     }
     // Salvage the poisoned VM's counters, then replace it wholesale; the
@@ -236,18 +406,20 @@ fn handle_panic(
 }
 
 /// Requeues a transiently failed job for another attempt — bounded by the
-/// pool's retry budget, with a small exponential backoff — or delivers the
-/// failure. A retried job restarts from its compiled program (its engine
-/// state is gone), keeping only the attempt count.
+/// job's retry budget (its spec override, else the pool's), with a small
+/// exponential backoff — or delivers the failure. A retried job restarts
+/// from its compiled program (its engine state is gone), keeping only the
+/// attempt count.
 fn fail_or_retry(
     ctx: &WorkerCtx,
     report: &mut WorkerReport,
     job: &Job,
     slices: u64,
     fuel_used: u64,
-    err: JobError,
+    err: Error,
 ) {
-    if err.transient() && job.attempts < ctx.cfg.max_retries {
+    let budget = job.retries.unwrap_or(ctx.cfg.max_retries);
+    if err.transient() && job.attempts < budget {
         let mut retry = job.clone();
         retry.attempts += 1;
         // 2ms, 4ms, ... capped at 32ms: enough for transient heap pressure
@@ -267,7 +439,7 @@ fn deliver_failure(
     job: &Job,
     slices: u64,
     fuel_used: u64,
-    err: JobError,
+    err: Error,
 ) {
     ctx.counters.failed.fetch_add(1, Ordering::Relaxed);
     report.jobs_failed += 1;

@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use oneshot_exec::{JobError, JobSpec, Pool};
+use oneshot_exec::{ErrorKind, JobSpec, Pool};
 use oneshot_vm::{FaultPlan, VmConfig};
 
 fn chaos_config(plan: FaultPlan) -> VmConfig {
@@ -55,12 +55,9 @@ fn permanent_errors_fail_fast_without_retry() {
     let pool = Pool::builder().workers(1).max_retries(3).build().unwrap();
     let bad = pool.submit(JobSpec::new("bad", "(car 5)")).unwrap();
     let good = pool.submit(JobSpec::new("good", "(+ 1 2)")).unwrap();
-    match bad.wait().result {
-        Err(JobError::Vm(e)) => {
-            assert_eq!(e.condition_kind(), Some("type-error"), "got: {e}");
-        }
-        other => panic!("expected a VM type error, got {other:?}"),
-    }
+    let err = bad.wait().result.unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Vm);
+    assert_eq!(err.condition_kind(), Some("type-error"), "got: {err}");
     assert_eq!(good.wait().result.as_deref(), Ok("3"));
     let report = pool.shutdown_timeout(Duration::from_secs(30)).unwrap();
     assert_eq!(report.counters.retried, 0, "a type error must not burn retries");
@@ -81,12 +78,9 @@ fn exhausted_retries_surface_the_transient_error() {
          (length (chew 100000 '()))",
     );
     let h = pool.submit(spec).unwrap();
-    match h.wait().result {
-        Err(JobError::Vm(e)) => {
-            assert_eq!(e.condition_kind(), Some("out-of-memory"), "got: {e}");
-        }
-        other => panic!("expected out-of-memory, got {other:?}"),
-    }
+    let err = h.wait().result.unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Vm);
+    assert_eq!(err.condition_kind(), Some("out-of-memory"), "got: {err}");
     let report = pool.shutdown_timeout(Duration::from_secs(30)).unwrap();
     assert_eq!(report.counters.retried, 2, "both retry attempts were spent");
     assert_eq!(report.counters.failed, 1);
@@ -127,7 +121,7 @@ fn seeded_schedules_keep_the_pool_live() {
             let outcome = h.wait();
             if let Err(e) = &outcome.result {
                 assert!(
-                    matches!(e, JobError::Vm(_) | JobError::TimedOut { .. }),
+                    matches!(e.kind(), ErrorKind::Vm | ErrorKind::FuelExhausted),
                     "seed {seed}: job {} died unstructured: {e}",
                     h.name()
                 );

@@ -1,9 +1,11 @@
 //! End-to-end pool tests: completion, backpressure, budgets, fault
 //! isolation, and clean shutdown with no leaked worker threads.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use oneshot_exec::{JobError, JobSpec, Pool, SubmitError};
+use oneshot_exec::{Admission, ErrorKind, JobSpec, Pool};
 
 /// fib has identical toplevel definitions across jobs, so interleaved
 /// jobs on a shared worker VM can't disagree about it.
@@ -50,7 +52,7 @@ fn long_jobs_are_preempted_not_starving() {
     // One long job plus quick jobs on a single worker: with a small fuel
     // slice the quick jobs finish long before the big one.
     let pool = Pool::builder().workers(1).fuel_slice(256).build().unwrap();
-    let long = pool.submit(spin_job("long", 2_000_000).fuel_budget(u64::MAX)).unwrap();
+    let long = pool.submit(spin_job("long", 2_000_000).fuel(u64::MAX)).unwrap();
     let quick: Vec<_> = (0..4).map(|_| pool.submit(fib_job(10)).unwrap()).collect();
     for h in &quick {
         assert_eq!(h.wait().result.as_deref(), Ok("55"));
@@ -63,7 +65,7 @@ fn long_jobs_are_preempted_not_starving() {
 }
 
 #[test]
-fn try_submit_gives_backpressure() {
+fn nonblocking_admission_gives_backpressure() {
     // Capacity-1 queue and a worker wedged on a sleep: the second
     // enqueued job sits in the injector, so a third is refused.
     let pool = Pool::builder().workers(1).queue_capacity(1).resident_cap(1).build().unwrap();
@@ -74,11 +76,10 @@ fn try_submit_gives_backpressure() {
     }
     // ...then fill the single queue slot.
     let queued = pool.submit(fib_job(10)).unwrap();
-    let refused = pool.try_submit(fib_job(11));
-    match refused {
-        Err(SubmitError::Full(spec)) => assert_eq!(spec.name(), "fib-11"),
-        other => panic!("expected Full, got {other:?}"),
-    }
+    let err = pool.submit(fib_job(11).admission(Admission::NonBlocking)).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::QueueFull);
+    let spec = err.into_refused_spec().expect("the refused spec comes back");
+    assert_eq!(spec.name(), "fib-11");
     assert_eq!(blocker.wait().result.as_deref(), Ok("#<void>"));
     assert_eq!(queued.wait().result.as_deref(), Ok("55"));
     pool.shutdown().unwrap();
@@ -87,26 +88,20 @@ fn try_submit_gives_backpressure() {
 #[test]
 fn compile_errors_fail_at_submit() {
     let pool = Pool::builder().workers(1).build().unwrap();
-    match pool.submit(JobSpec::new("bad", "(lambda)")) {
-        Err(SubmitError::Compile(_)) => {}
-        other => panic!("expected a compile error, got {other:?}"),
-    }
+    let err = pool.submit(JobSpec::new("bad", "(lambda)")).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Compile);
+    assert!(err.vm_error().is_some(), "the compile diagnostic is chained");
     pool.shutdown().unwrap();
 }
 
 #[test]
 fn fuel_budget_times_out_runaway_jobs() {
     let pool = Pool::builder().workers(1).fuel_slice(500).build().unwrap();
-    let runaway = pool.submit(spin_job("runaway", 10_000_000_000).fuel_budget(5_000)).unwrap();
+    let runaway = pool.submit(spin_job("runaway", 10_000_000_000).fuel(5_000)).unwrap();
     let bystander = pool.submit(fib_job(12)).unwrap();
-    let outcome = runaway.wait();
-    match outcome.result {
-        Err(JobError::TimedOut { budget, used }) => {
-            assert_eq!(budget, 5_000);
-            assert!(used >= budget, "budget must actually be consumed first");
-        }
-        other => panic!("expected TimedOut, got {other:?}"),
-    }
+    let err = runaway.wait().result.unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::FuelExhausted);
+    assert!(err.message().contains("of 5000"), "budget is reported: {err}");
     assert_eq!(bystander.wait().result.as_deref(), Ok("144"));
     let report = pool.shutdown().unwrap();
     assert_eq!(report.counters.timed_out, 1);
@@ -114,26 +109,62 @@ fn fuel_budget_times_out_runaway_jobs() {
 }
 
 #[test]
-fn scheme_errors_are_vm_job_errors_with_context() {
+fn deadline_exceeded_fails_even_a_sleeping_job() {
+    // The job's wall-clock deadline fires while it is blocked on a timer
+    // far longer than anyone wants to wait — the safety valve.
+    let pool = Pool::builder().workers(1).build().unwrap();
+    let h = pool
+        .submit(JobSpec::new("sleeper", "(timer-wait 60000)").deadline(Duration::from_millis(100)))
+        .unwrap();
+    let err = h.wait().result.unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::DeadlineExceeded);
+    let report = pool.shutdown_timeout(Duration::from_secs(30)).unwrap();
+    assert_eq!(report.counters.failed, 1);
+}
+
+#[test]
+fn on_complete_runs_exactly_once_per_job() {
+    let pool = Pool::builder().workers(2).build().unwrap();
+    let hits = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let hits = Arc::clone(&hits);
+            pool.submit(fib_job(10 + i % 3).on_complete(move |outcome| {
+                assert!(outcome.result.is_ok());
+                hits.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap()
+        })
+        .collect();
+    for h in &handles {
+        h.wait();
+    }
+    pool.shutdown().unwrap();
+    assert_eq!(hits.load(Ordering::Relaxed), 6);
+}
+
+#[test]
+fn scheme_errors_are_vm_errors_with_context() {
     let pool = Pool::builder().workers(1).build().unwrap();
     let bad = pool.submit(JobSpec::new("type-error", "(car 42)")).unwrap();
-    match bad.wait().result {
-        Err(JobError::Vm(e)) => {
-            let msg = e.to_string();
-            assert!(msg.contains("job 0"), "context names the job: {msg}");
-            assert!(msg.contains("worker 0"), "context names the worker: {msg}");
-            assert!(msg.contains("car"), "root cause survives: {msg}");
-        }
-        other => panic!("expected Vm error, got {other:?}"),
-    }
+    let err = bad.wait().result.unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Vm);
+    assert_eq!(err.condition_kind(), Some("type-error"));
+    let msg = err.to_string();
+    assert!(msg.contains("job 0"), "context names the job: {msg}");
+    assert!(msg.contains("worker 0"), "context names the worker: {msg}");
+    assert!(msg.contains("car"), "root cause survives: {msg}");
+    assert!(
+        std::error::Error::source(&err).is_some(),
+        "the VmError is reachable through the source chain"
+    );
     pool.shutdown().unwrap();
 }
 
 #[test]
 fn shot_continuation_in_pooled_job_is_a_vm_error() {
-    // The ISSUE's acceptance scenario: a call/1cc continuation shot twice
-    // inside a pooled job surfaces as JobError::Vm — no panic, no wedged
-    // worker.
+    // A call/1cc continuation shot twice inside a pooled job surfaces as
+    // ErrorKind::Vm — no panic, no wedged worker.
     let pool = Pool::builder().workers(2).build().unwrap();
     let shot = pool.submit(JobSpec::new(
         "shot-twice",
@@ -143,12 +174,9 @@ fn shot_continuation_in_pooled_job_is_a_vm_error() {
     ));
     let shot = shot.unwrap();
     let after = pool.submit(fib_job(10)).unwrap();
-    match shot.wait().result {
-        Err(JobError::Vm(e)) => {
-            assert!(e.to_string().contains("one-shot"), "{e}");
-        }
-        other => panic!("expected Vm(one-shot) error, got {other:?}"),
-    }
+    let err = shot.wait().result.unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Vm);
+    assert!(err.to_string().contains("one-shot"), "{err}");
     assert_eq!(after.wait().result.as_deref(), Ok("55"), "worker is not wedged");
     let report = pool.shutdown_timeout(Duration::from_secs(30)).unwrap();
     assert_eq!(report.counters.panicked, 0);
@@ -161,24 +189,39 @@ fn panicking_job_is_isolated_and_pool_drains() {
     let bomb = pool.submit(JobSpec::new("bomb", "(debug-panic! \"kaboom\")")).unwrap();
     let after: Vec<_> = (0..4).map(|_| pool.submit(fib_job(12)).unwrap()).collect();
 
-    match bomb.wait().result {
-        Err(JobError::Panicked(msg)) => assert!(msg.contains("kaboom"), "{msg}"),
-        other => panic!("expected Panicked, got {other:?}"),
-    }
+    let err = bomb.wait().result.unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Panicked);
+    assert!(err.message().contains("kaboom"), "{err}");
     // Every other job still finishes: either normally, or failed-fast as
     // WorkerReset collateral if it was parked on the panicking VM.
     for h in before.iter().chain(&after) {
         let outcome = h.wait();
         match outcome.result {
             Ok(v) => assert!(v == "89" || v == "144"),
-            Err(JobError::WorkerReset { culprit }) => assert_eq!(culprit, bomb.id()),
-            other => panic!("unexpected outcome {other:?}"),
+            Err(e) => {
+                assert_eq!(e.kind(), ErrorKind::WorkerReset);
+                assert_eq!(e.culprit(), Some(bomb.id()));
+            }
         }
     }
     let report = pool.shutdown_timeout(Duration::from_secs(30)).unwrap();
     assert_eq!(report.counters.panicked, 1);
     assert_eq!(report.counters.vm_rebuilds, 1);
     assert_eq!(report.counters.completed + report.counters.failed, 9);
+}
+
+#[test]
+fn pinned_jobs_share_their_workers_vm_globals() {
+    // Two pinned jobs on the same worker see each other's toplevel
+    // definitions; pinning is the documented way to build listener +
+    // handler constellations.
+    let pool = Pool::builder().workers(2).build().unwrap();
+    let setter =
+        pool.submit(JobSpec::new("setter", "(define shared-cell 41) 'set").pin(0)).unwrap();
+    assert_eq!(setter.wait().result.as_deref(), Ok("set"));
+    let getter = pool.submit(JobSpec::new("getter", "(+ shared-cell 1)").pin(0)).unwrap();
+    assert_eq!(getter.wait().result.as_deref(), Ok("42"));
+    pool.shutdown().unwrap();
 }
 
 #[test]
@@ -229,4 +272,30 @@ fn mixed_sleep_and_cpu_jobs_overlap_across_workers() {
         "4 sleeps of 60ms must overlap, took {elapsed:?}"
     );
     pool.shutdown().unwrap();
+}
+
+#[test]
+fn timer_wait_suspends_instead_of_spinning() {
+    // 8 concurrent 80 ms timer-waits on ONE worker finish in ~one timer
+    // period, and the pool counts the suspensions: blocked time holds no
+    // worker and burns no fuel.
+    let pool = Pool::builder().workers(1).resident_cap(16).build().unwrap();
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            pool.submit(JobSpec::new(format!("wait-{i}"), "(begin (timer-wait 80) 'woke)")).unwrap()
+        })
+        .collect();
+    for h in &handles {
+        assert_eq!(h.wait().result.as_deref(), Ok("woke"));
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(400),
+        "8 overlapping 80ms waits on one worker took {elapsed:?}"
+    );
+    let report = pool.shutdown().unwrap();
+    assert_eq!(report.counters.timer_waits, 8);
+    assert!(report.counters.io_wakeups >= 8);
+    assert!(report.counters.blocked_highwater >= 2, "the waits actually overlapped");
 }

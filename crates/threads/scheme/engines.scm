@@ -23,9 +23,15 @@
             (timer-interrupt-handler! %engine-interrupt)
             (set-timer! fuel)
             (proc)))))
-    (if (eq? (car result) 'done)
-        (complete (cadr result) (caddr result))
-        (expire (cadr result)))))
+    (cond ((eq? (car result) 'done)
+           (complete (cadr result) (caddr result)))
+          ((eq? (car result) 'blocked)
+           ;; Escaped by %engine-block: (blocked kind handle resume-engine).
+           ;; Not a completion and not an expiry — hand the whole tuple to
+           ;; expire's caller via the same expire channel, tagged so the
+           ;; exec driver can tell the two suspensions apart.
+           (expire result))
+          (else (expire (cadr result))))))
 
 ;; Normal completion: escape through the *current* run's continuation
 ;; (the lexical one may belong to an earlier, already-shot run).
@@ -45,6 +51,27 @@
        (set! %engine-escape (car %engine-parents))
        (set! %engine-parents (cdr %engine-parents))
        (esc (list 'expired
+                  (lambda (fuel complete expire)
+                    (if (<= fuel 0) (error "engine: fuel must be positive"))
+                    (%run-engine (lambda () (resume 0)) fuel complete expire))))))))
+
+;; Voluntary suspension on an I/O or timer wait: capture the running
+;; computation one-shot and escape with a resuming engine, exactly like
+;; timer expiry — but tagged 'blocked and carrying (kind handle) so the
+;; host can register interest with its reactor before requeueing. The
+;; VM timer is still running here (unlike %engine-interrupt, which is
+;; invoked by its expiry), so stop it first; the resume engine re-arms
+;; it with fresh fuel through %run-engine. Every continuation involved
+;; is invoked at most once, so call/1cc applies: suspending ten
+;; thousand green threads on sockets costs no stack copying.
+(define (%engine-block kind handle)
+  (call/1cc
+   (lambda (resume)
+     (set-timer! 0)
+     (let ((esc %engine-escape))
+       (set! %engine-escape (car %engine-parents))
+       (set! %engine-parents (cdr %engine-parents))
+       (esc (list 'blocked kind handle
                   (lambda (fuel complete expire)
                     (if (<= fuel 0) (error "engine: fuel must be positive"))
                     (%run-engine (lambda () (resume 0)) fuel complete expire))))))))

@@ -1,46 +1,66 @@
-;; Executor driver: a registry of engines keyed by fixnum id, stepped one
-;; fuel slice at a time from Rust (the oneshot-exec worker loop).
+;; Executor driver: a registry of engines in a growable vector indexed by
+;; a host-chosen slot, stepped one fuel slice at a time from Rust (the
+;; oneshot-exec worker loop).
 ;;
 ;; Each pooled job becomes one engine (engines.scm must be loaded first).
 ;; The table is a toplevel global, so parked engines — and with them the
-;; one-shot continuations of preempted jobs — are GC roots between slices.
+;; one-shot continuations of preempted or I/O-blocked jobs — are GC roots
+;; between slices. The host allocates slots densely from a free list, so
+;; register, lookup, and remove are all O(1): a worker can keep tens of
+;; thousands of engines resident, and an association list scanned per
+;; step would make every slice O(residents).
 
-(define %exec-table '())
+(define %exec-table (make-vector 64 #f))
 
-;; Register a new engine for `thunk` under `id` (chosen by the host).
-(define (exec-spawn! id thunk)
-  (set! %exec-table (cons (cons id (make-engine thunk)) %exec-table))
-  id)
+(define (%exec-grow! slot)
+  (if (>= slot (vector-length %exec-table))
+      (let ((new (make-vector (* 2 (vector-length %exec-table)) #f)))
+        (let loop ((i 0))
+          (if (< i (vector-length %exec-table))
+              (begin (vector-set! new i (vector-ref %exec-table i))
+                     (loop (+ i 1)))))
+        (set! %exec-table new)
+        (%exec-grow! slot))))
 
-(define (%exec-remove! id)
-  (set! %exec-table
-        (let loop ((t %exec-table))
-          (cond ((null? t) '())
-                ((= (car (car t)) id) (cdr t))
-                (else (cons (car t) (loop (cdr t))))))))
+;; Register a new engine for `thunk` under `slot` (chosen by the host).
+(define (exec-spawn! slot thunk)
+  (%exec-grow! slot)
+  (vector-set! %exec-table slot (make-engine thunk))
+  slot)
 
 ;; Forget an engine without running it (budget exhausted, worker reset).
-(define (exec-drop! id)
-  (%exec-remove! id)
+(define (exec-drop! slot)
+  (if (< slot (vector-length %exec-table))
+      (vector-set! %exec-table slot #f))
   #t)
 
-;; Run engine `id` for one fuel slice. Returns (done . value) if the job
-;; finished, or the symbol `parked` if it was preempted (the resuming
-;; engine replaces the old one in the table).
-(define (exec-step! id fuel)
+;; Run the engine in `slot` for one fuel slice. Returns (done . value) if
+;; the job finished, the symbol `parked` if it was preempted, or (blocked
+;; kind handle) if it suspended on an I/O or timer wait via %engine-block.
+;; In both suspension cases the resuming engine replaces the old one in
+;; the table; for a blocked job the host must not step it again until
+;; its wait is satisfied (the reactor's readiness wakeup).
+(define (exec-step! slot fuel)
   ;; A job that errored out of a previous slice escapes %run-engine
   ;; without popping the engine globals; the pool never nests engines,
   ;; so reset them outright before every slice.
   (set! %engine-escape #f)
   (set! %engine-parents '())
-  (let ((entry (assv id %exec-table)))
-    (if (not entry)
-        (error "exec-step!: unknown engine " id))
-    ((cdr entry)
+  (let ((eng (vector-ref %exec-table slot)))
+    (if (not eng)
+        (error "exec-step!: unknown engine " slot))
+    (eng
      fuel
      (lambda (v left)
-       (%exec-remove! id)
+       (vector-set! %exec-table slot #f)
        (cons 'done v))
      (lambda (e2)
-       (set-cdr! entry e2)
-       'parked))))
+       ;; e2 is either the resuming engine (timer expiry) or a
+       ;; (blocked kind handle resume-engine) tuple (%engine-block).
+       (if (and (pair? e2) (eq? (car e2) 'blocked))
+           (begin
+             (vector-set! %exec-table slot (cadr (cddr e2)))
+             (list 'blocked (cadr e2) (caddr e2)))
+           (begin
+             (vector-set! %exec-table slot e2)
+             'parked))))))

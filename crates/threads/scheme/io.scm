@@ -1,0 +1,61 @@
+;; Guest-facing nonblocking I/O, built on the `%tcp-*` VM builtins and
+;; `%engine-block` (engines.scm must be loaded first).
+;;
+;; The builtins never block: they return #f when the OS says would-block.
+;; The retry loops here are where a green thread actually suspends —
+;; `%engine-block` captures the running job's one-shot continuation,
+;; escapes the engine with a (blocked kind handle) tuple, and the exec
+;; worker registers the wait with the pool's reactor. On readiness the
+;; sealed continuation is requeued and the loop retries the syscall.
+;; Readiness is a hint, not a promise (another green thread may win the
+;; race for the same listener), so every loop re-checks.
+
+;; (tcp-listen port) -> listener  ; port 0 picks a free port
+(define (tcp-listen port) (%tcp-listen port))
+
+;; (tcp-local-port sock) -> port number actually bound
+(define (tcp-local-port sock) (%tcp-local-port sock))
+
+;; (tcp-accept listener) -> stream, suspending until a peer connects.
+(define (tcp-accept listener)
+  (let ((s (%tcp-accept listener)))
+    (if s
+        s
+        (begin (%engine-block 'read listener)
+               (tcp-accept listener)))))
+
+;; (tcp-connect port) -> stream connected to 127.0.0.1:port.
+(define (tcp-connect port) (%tcp-connect port))
+
+;; (tcp-read sock max) -> string of 1..max bytes, or 'eof when the peer
+;; closed; suspends until bytes arrive.
+(define (tcp-read sock max)
+  (let ((r (%tcp-read sock max)))
+    (if r
+        r
+        (begin (%engine-block 'read sock)
+               (tcp-read sock max)))))
+
+;; (tcp-write sock str) -> #t after the whole string is written,
+;; suspending whenever the send buffer is full.
+(define (tcp-write sock str)
+  (let ((len (string-length str)))
+    (let loop ((start 0))
+      (if (>= start len)
+          #t
+          (let ((n (%tcp-write sock str start)))
+            (if n
+                (loop (+ start n))
+                (begin (%engine-block 'write sock)
+                       (loop start))))))))
+
+;; (tcp-close sock) -> #t if it was open.
+(define (tcp-close sock) (%tcp-close sock))
+
+;; (timer-wait ms) -> suspends this green thread for at least ms
+;; milliseconds without holding a worker. The engine timer keeps
+;; preempting CPU-bound jobs; this is the I/O-flavoured sleep.
+(define (timer-wait ms)
+  (if (> ms 0)
+      (%engine-block 'timer ms))
+  #t)

@@ -35,7 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use oneshot_runtime::Value;
 use oneshot_vm::{CompiledProgram, Vm, VmConfig, VmError, VmStats};
@@ -48,6 +48,10 @@ pub const ENGINES: &str = include_str!("../scheme/engines.scm");
 /// The executor driver: an id-keyed engine registry stepped from Rust,
 /// loaded by [`EngineHost`] on top of [`ENGINES`].
 pub const EXEC_DRIVER: &str = include_str!("../scheme/exec-driver.scm");
+/// Guest-facing nonblocking I/O (`tcp-*`, `timer-wait`): would-block
+/// retry loops that suspend the running green thread via
+/// `%engine-block`. Loaded by [`EngineHost`] on top of [`EXEC_DRIVER`].
+pub const IO: &str = include_str!("../scheme/io.scm");
 
 /// Which control representation the thread system uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -215,6 +219,23 @@ pub enum EngineStep {
     Done(Value),
     /// Fuel ran out; the engine was parked and can be stepped again.
     Parked,
+    /// The engine suspended itself on an I/O or timer wait
+    /// (`%engine-block`). Do not step it again until the wait is
+    /// satisfied; stepping early just re-runs the would-block retry
+    /// loop, which suspends again.
+    Blocked(Wait),
+}
+
+/// What a [`EngineStep::Blocked`] engine is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wait {
+    /// Readable data (or an acceptable connection) on the guest socket
+    /// with this token — resolve to an fd via `Vm::net_fd`.
+    Readable(i64),
+    /// Writable buffer space on the guest socket with this token.
+    Writable(i64),
+    /// At least this many milliseconds of wall-clock delay.
+    TimerMs(i64),
 }
 
 /// A VM hosting a registry of Dybvig–Hieb engines, stepped one fuel slice
@@ -249,6 +270,7 @@ pub enum EngineStep {
 ///             assert_eq!(host.vm().display_value(&v), "done");
 ///             break;
 ///         }
+///         EngineStep::Blocked(w) => panic!("a pure loop never blocks: {w:?}"),
 ///     }
 /// }
 /// assert!(slices > 0, "a 10k-iteration loop must not finish in 256 calls");
@@ -259,6 +281,12 @@ pub struct EngineHost {
     vm: Vm,
     next: i64,
     live: HashSet<EngineId>,
+    /// Driver-table slot per live engine. Slots are reused through
+    /// `free_slots` so the guest-side vector stays dense — every driver
+    /// operation is O(1) no matter how many engines are resident.
+    slot_of: HashMap<EngineId, i64>,
+    free_slots: Vec<i64>,
+    high_slot: i64,
 }
 
 impl EngineHost {
@@ -280,7 +308,15 @@ impl EngineHost {
     pub fn with_vm(mut vm: Vm) -> Self {
         vm.eval_str(ENGINES).expect("engines library must load");
         vm.eval_str(EXEC_DRIVER).expect("exec driver must load");
-        EngineHost { vm, next: 0, live: HashSet::new() }
+        vm.eval_str(IO).expect("io library must load");
+        EngineHost {
+            vm,
+            next: 0,
+            live: HashSet::new(),
+            slot_of: HashMap::new(),
+            free_slots: Vec::new(),
+            high_slot: 0,
+        }
     }
 
     /// The underlying VM.
@@ -306,12 +342,30 @@ impl EngineHost {
     /// Propagates VM errors from engine registration.
     pub fn spawn_program(&mut self, prog: &CompiledProgram) -> Result<EngineId, VmError> {
         let id = EngineId(self.next);
+        let slot = self.free_slots.pop().unwrap_or_else(|| {
+            let s = self.high_slot;
+            self.high_slot += 1;
+            s
+        });
         let thunk = self.vm.load_program(prog);
         let spawn = self.vm.global("exec-spawn!").expect("driver defines exec-spawn!");
-        self.vm.call(spawn, &[Value::Fixnum(id.0), thunk])?;
+        if let Err(e) = self.vm.call(spawn, &[Value::Fixnum(slot), thunk]) {
+            self.free_slots.push(slot);
+            return Err(e);
+        }
         self.next += 1;
         self.live.insert(id);
+        self.slot_of.insert(id, slot);
         Ok(id)
+    }
+
+    /// Returns `id`'s driver-table slot to the free list. The guest-side
+    /// table entry must already be cleared (by the engine completing, or
+    /// by `exec-drop!`).
+    fn release_slot(&mut self, id: EngineId) {
+        if let Some(slot) = self.slot_of.remove(&id) {
+            self.free_slots.push(slot);
+        }
     }
 
     /// Runs engine `id` for one slice of `fuel` procedure calls.
@@ -327,12 +381,12 @@ impl EngineHost {
     /// shot twice) is returned as `Err`; the engine is dropped and the VM
     /// stays usable — other parked engines are unaffected.
     pub fn step(&mut self, id: EngineId, fuel: u64) -> Result<EngineStep, VmError> {
-        if !self.live.contains(&id) {
+        let Some(&slot) = self.slot_of.get(&id) else {
             return Err(VmError::Runtime(format!("step: unknown engine {id}")));
-        }
+        };
         let step = self.vm.global("exec-step!").expect("driver defines exec-step!");
         let fuel = i64::try_from(fuel.max(1)).unwrap_or(i64::MAX);
-        match self.vm.call(step, &[Value::Fixnum(id.0), Value::Fixnum(fuel)]) {
+        match self.vm.call(step, &[Value::Fixnum(slot), Value::Fixnum(fuel)]) {
             Ok(v) => {
                 if v == self.vm.intern("parked") {
                     return Ok(EngineStep::Parked);
@@ -340,14 +394,18 @@ impl EngineHost {
                 if let Some((tag, value)) = self.vm.pair(v) {
                     if tag == self.vm.intern("done") {
                         self.live.remove(&id);
+                        self.release_slot(id);
                         return Ok(EngineStep::Done(value));
                     }
+                    if tag == self.vm.intern("blocked") {
+                        if let Some(wait) = self.parse_wait(value) {
+                            return Ok(EngineStep::Blocked(wait));
+                        }
+                    }
                 }
-                self.live.remove(&id);
-                Err(VmError::Runtime(format!(
-                    "exec-step! returned an unexpected value: {}",
-                    self.vm.write_value(&v)
-                )))
+                let shown = self.vm.write_value(&v);
+                self.drop_engine(id);
+                Err(VmError::Runtime(format!("exec-step! returned an unexpected value: {shown}")))
             }
             Err(e) => {
                 // The errored engine never reached complete/expire, so the
@@ -358,15 +416,35 @@ impl EngineHost {
         }
     }
 
+    /// Decodes the `(kind handle)` tail of a `(blocked kind handle)`
+    /// driver result into a [`Wait`].
+    fn parse_wait(&mut self, tail: Value) -> Option<Wait> {
+        let (kind, rest) = self.vm.pair(tail)?;
+        let (handle, _) = self.vm.pair(rest)?;
+        let Value::Fixnum(handle) = handle else { return None };
+        if kind == self.vm.intern("read") {
+            Some(Wait::Readable(handle))
+        } else if kind == self.vm.intern("write") {
+            Some(Wait::Writable(handle))
+        } else if kind == self.vm.intern("timer") {
+            Some(Wait::TimerMs(handle))
+        } else {
+            None
+        }
+    }
+
     /// Unregisters a parked engine without running it (fuel budget
     /// exhausted, worker shutdown). Returns whether the engine was live.
     pub fn drop_engine(&mut self, id: EngineId) -> bool {
         if !self.live.remove(&id) {
             return false;
         }
-        let drop_fn = self.vm.global("exec-drop!").expect("driver defines exec-drop!");
-        // exec-drop! cannot raise; ignore the (always #t) result.
-        let _ = self.vm.call(drop_fn, &[Value::Fixnum(id.0)]);
+        if let Some(&slot) = self.slot_of.get(&id) {
+            let drop_fn = self.vm.global("exec-drop!").expect("driver defines exec-drop!");
+            // exec-drop! cannot raise; ignore the (always #t) result.
+            let _ = self.vm.call(drop_fn, &[Value::Fixnum(slot)]);
+        }
+        self.release_slot(id);
         true
     }
 }
@@ -566,6 +644,7 @@ mod tests {
             match host.step(id, 300).unwrap() {
                 EngineStep::Parked => queue.push_back(id),
                 EngineStep::Done(v) => done.push(host.vm().display_value(&v)),
+                EngineStep::Blocked(w) => panic!("no engine here blocks: {w:?}"),
             }
         }
         // The shorter job finishes first under round-robin slicing.
@@ -629,5 +708,78 @@ mod tests {
         assert!(!host.drop_engine(id), "double drop is a no-op");
         assert_eq!(host.live(), 0);
         assert!(host.step(id, 50).is_err(), "stepping a dropped engine errors");
+    }
+
+    #[test]
+    fn host_timer_wait_blocks_and_resumes() {
+        let mut host = EngineHost::new();
+        let id = host.spawn_program(&compile("(begin (timer-wait 3) 'woke)")).unwrap();
+        let mut step = host.step(id, 4096).unwrap();
+        while step == EngineStep::Parked {
+            step = host.step(id, 4096).unwrap();
+        }
+        assert_eq!(step, EngineStep::Blocked(Wait::TimerMs(3)));
+        // The host decides when the wait is over; stepping again resumes
+        // the sealed one-shot continuation, which returns from timer-wait.
+        let mut step = host.step(id, 4096).unwrap();
+        loop {
+            match step {
+                EngineStep::Done(v) => {
+                    assert_eq!(host.vm().display_value(&v), "woke");
+                    break;
+                }
+                EngineStep::Parked => step = host.step(id, 4096).unwrap(),
+                EngineStep::Blocked(w) => panic!("timer-wait must block once, got {w:?}"),
+            }
+        }
+        assert_eq!(host.live(), 0);
+    }
+
+    #[test]
+    fn host_accept_blocks_until_a_peer_connects() {
+        let mut host = EngineHost::new();
+        let id = host
+            .spawn_program(&compile(
+                "(define lst (tcp-listen 0))
+                 (let ((c (tcp-accept lst)))
+                   (let ((msg (tcp-read c 64)))
+                     (tcp-write c msg)
+                     (tcp-close c)
+                     (tcp-close lst)
+                     'served))",
+            ))
+            .unwrap();
+        let mut step = host.step(id, 100_000).unwrap();
+        while step == EngineStep::Parked {
+            step = host.step(id, 100_000).unwrap();
+        }
+        let EngineStep::Blocked(Wait::Readable(tok)) = step else {
+            panic!("accept with no peer must block readable, got {step:?}");
+        };
+        assert!(host.vm().net_fd(tok).is_some(), "the wait token resolves to an fd");
+        // Connect from plain Rust while the green thread is suspended.
+        let port = {
+            let v = host.vm_mut().eval_str("(tcp-local-port lst)").unwrap();
+            host.vm().display_value(&v).parse::<u16>().unwrap()
+        };
+        use std::io::{Read, Write};
+        let mut peer = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
+        peer.write_all(b"hi").unwrap();
+        // Step until served: intermediate blocks (read readiness races)
+        // are allowed; readiness is a hint, not a promise.
+        let mut echoed = Vec::new();
+        loop {
+            match host.step(id, 100_000).unwrap() {
+                EngineStep::Done(v) => {
+                    assert_eq!(host.vm().display_value(&v), "served");
+                    break;
+                }
+                EngineStep::Parked => {}
+                EngineStep::Blocked(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        }
+        peer.read_to_end(&mut echoed).unwrap();
+        assert_eq!(echoed, b"hi");
+        assert_eq!(host.vm().net_live(), 0, "guest closed everything it opened");
     }
 }

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod net;
 mod slot;
 mod vm;
 

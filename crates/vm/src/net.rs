@@ -1,0 +1,264 @@
+//! Nonblocking loopback TCP for the guest: a slab of sockets keyed by
+//! fixnum tokens.
+//!
+//! The VM itself never blocks on a socket. Every operation that would
+//! block returns a would-block sentinel (`#f` at the builtin layer); the
+//! retry loop lives in Scheme (`io.scm` in `oneshot-threads`), where
+//! `%engine-block` captures the running green thread's one-shot
+//! continuation and yields the worker until the reactor reports
+//! readiness. Keeping the table inside the VM means sockets are owned by
+//! the worker that runs the guest, and a worker reset (VM rebuild) closes
+//! every socket of the jobs it killed.
+//!
+//! Tokens are dense indices with a free list, so `%tcp-*` builtins are
+//! O(1) and a stale token is caught (slot `None` or reused slot — the
+//! guest protocol never retains tokens past `%tcp-close`).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+
+use crate::error::VmError;
+
+/// One open socket.
+#[derive(Debug)]
+pub(crate) enum Sock {
+    /// A listening socket bound to 127.0.0.1.
+    Listener(TcpListener),
+    /// A connected (or accepted) stream.
+    Stream(TcpStream),
+}
+
+/// Outcome of a nonblocking read.
+#[derive(Debug)]
+pub(crate) enum ReadOutcome {
+    /// Bytes arrived.
+    Data(Vec<u8>),
+    /// The peer closed its write side.
+    Eof,
+    /// Nothing available yet — suspend and retry.
+    WouldBlock,
+}
+
+/// The per-VM socket table.
+#[derive(Debug)]
+pub(crate) struct NetTable {
+    slots: Vec<Option<Sock>>,
+    free: Vec<usize>,
+    live: usize,
+    /// Open-socket ceiling; exceeding it raises a catchable `io-error`
+    /// condition instead of hitting the process fd limit.
+    cap: usize,
+}
+
+fn io_err(who: &str, e: std::io::Error) -> VmError {
+    VmError::Condition { kind: "io-error", message: format!("{who}: {e}") }
+}
+
+fn bad_token(who: &str, token: i64) -> VmError {
+    VmError::Condition { kind: "io-error", message: format!("{who}: bad socket token {token}") }
+}
+
+impl NetTable {
+    pub(crate) fn new(cap: usize) -> Self {
+        NetTable { slots: Vec::new(), free: Vec::new(), live: 0, cap }
+    }
+
+    /// Number of open sockets.
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+
+    fn insert(&mut self, who: &str, sock: Sock) -> Result<i64, VmError> {
+        if self.live >= self.cap {
+            return Err(VmError::Condition {
+                kind: "io-error",
+                message: format!("{who}: too many open sockets (limit {})", self.cap),
+            });
+        }
+        self.live += 1;
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(sock);
+                i
+            }
+            None => {
+                self.slots.push(Some(sock));
+                self.slots.len() - 1
+            }
+        };
+        Ok(idx as i64)
+    }
+
+    fn get(&mut self, who: &str, token: i64) -> Result<&mut Sock, VmError> {
+        usize::try_from(token)
+            .ok()
+            .and_then(|i| self.slots.get_mut(i))
+            .and_then(|s| s.as_mut())
+            .ok_or_else(|| bad_token(who, token))
+    }
+
+    /// The raw file descriptor behind `token`, for reactor registration.
+    pub(crate) fn fd(&self, token: i64) -> Option<i64> {
+        let slot = usize::try_from(token).ok().and_then(|i| self.slots.get(i))?;
+        match slot.as_ref()? {
+            Sock::Listener(l) => Some(i64::from(l.as_raw_fd())),
+            Sock::Stream(s) => Some(i64::from(s.as_raw_fd())),
+        }
+    }
+
+    /// Binds a nonblocking listener on 127.0.0.1. `port` 0 asks the OS to
+    /// pick one (read it back with [`NetTable::local_port`]).
+    pub(crate) fn listen(&mut self, port: u16) -> Result<i64, VmError> {
+        let l = TcpListener::bind(("127.0.0.1", port)).map_err(|e| io_err("tcp-listen", e))?;
+        l.set_nonblocking(true).map_err(|e| io_err("tcp-listen", e))?;
+        self.insert("tcp-listen", Sock::Listener(l))
+    }
+
+    /// The local port a listener is bound to.
+    pub(crate) fn local_port(&mut self, token: i64) -> Result<i64, VmError> {
+        match self.get("tcp-local-port", token)? {
+            Sock::Listener(l) => {
+                let addr = l.local_addr().map_err(|e| io_err("tcp-local-port", e))?;
+                Ok(i64::from(addr.port()))
+            }
+            Sock::Stream(s) => {
+                let addr = s.local_addr().map_err(|e| io_err("tcp-local-port", e))?;
+                Ok(i64::from(addr.port()))
+            }
+        }
+    }
+
+    /// Accepts one pending connection; `Ok(None)` means would-block.
+    pub(crate) fn accept(&mut self, token: i64) -> Result<Option<i64>, VmError> {
+        let sock = self.get("tcp-accept", token)?;
+        let Sock::Listener(l) = sock else {
+            return Err(bad_token("tcp-accept: not a listener", token));
+        };
+        match l.accept() {
+            Ok((s, _)) => {
+                s.set_nonblocking(true).map_err(|e| io_err("tcp-accept", e))?;
+                s.set_nodelay(true).map_err(|e| io_err("tcp-accept", e))?;
+                self.insert("tcp-accept", Sock::Stream(s)).map(Some)
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(io_err("tcp-accept", e)),
+        }
+    }
+
+    /// Connects to 127.0.0.1:`port`. The connect itself is blocking (a
+    /// loopback connect completes immediately once accepted by the
+    /// backlog); the stream is then switched to nonblocking for all
+    /// subsequent I/O.
+    pub(crate) fn connect(&mut self, port: u16) -> Result<i64, VmError> {
+        let s = TcpStream::connect(("127.0.0.1", port)).map_err(|e| io_err("tcp-connect", e))?;
+        s.set_nonblocking(true).map_err(|e| io_err("tcp-connect", e))?;
+        s.set_nodelay(true).map_err(|e| io_err("tcp-connect", e))?;
+        self.insert("tcp-connect", Sock::Stream(s))
+    }
+
+    /// Reads at most `max` bytes.
+    pub(crate) fn read(&mut self, token: i64, max: usize) -> Result<ReadOutcome, VmError> {
+        let sock = self.get("tcp-read", token)?;
+        let Sock::Stream(s) = sock else {
+            return Err(bad_token("tcp-read: not a stream", token));
+        };
+        let mut buf = vec![0u8; max.clamp(1, 1 << 20)];
+        match s.read(&mut buf) {
+            Ok(0) => Ok(ReadOutcome::Eof),
+            Ok(n) => {
+                buf.truncate(n);
+                Ok(ReadOutcome::Data(buf))
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(ReadOutcome::WouldBlock),
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(ReadOutcome::WouldBlock),
+            Err(e) => Err(io_err("tcp-read", e)),
+        }
+    }
+
+    /// Writes `bytes`; `Ok(None)` means would-block (nothing written).
+    pub(crate) fn write(&mut self, token: i64, bytes: &[u8]) -> Result<Option<usize>, VmError> {
+        let sock = self.get("tcp-write", token)?;
+        let Sock::Stream(s) = sock else {
+            return Err(bad_token("tcp-write: not a stream", token));
+        };
+        match s.write(bytes) {
+            Ok(n) => Ok(Some(n)),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(None),
+            Err(e) => Err(io_err("tcp-write", e)),
+        }
+    }
+
+    /// Closes `token`. Closing an already-closed token is a no-op (`false`).
+    pub(crate) fn close(&mut self, token: i64) -> bool {
+        let Some(slot) = usize::try_from(token).ok().and_then(|i| self.slots.get_mut(i)) else {
+            return false;
+        };
+        if slot.take().is_some() {
+            self.live -= 1;
+            self.free.push(token as usize);
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_connect_echo_roundtrip_via_table() {
+        let mut t = NetTable::new(16);
+        let l = t.listen(0).unwrap();
+        let port = t.local_port(l).unwrap();
+        let c = t.connect(u16::try_from(port).unwrap()).unwrap();
+        // Accept may need a beat for the connect to land in the backlog.
+        let a = loop {
+            if let Some(a) = t.accept(l).unwrap() {
+                break a;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(t.write(c, b"ping").unwrap(), Some(4));
+        let data = loop {
+            match t.read(a, 64).unwrap() {
+                ReadOutcome::Data(d) => break d,
+                ReadOutcome::WouldBlock => std::thread::yield_now(),
+                ReadOutcome::Eof => panic!("eof before data"),
+            }
+        };
+        assert_eq!(data, b"ping");
+        assert_eq!(t.live(), 3);
+        assert!(t.close(c));
+        assert!(!t.close(c));
+        // Peer closed: the accepted side reads EOF once drained.
+        let eof = loop {
+            match t.read(a, 64).unwrap() {
+                ReadOutcome::Eof => break true,
+                ReadOutcome::WouldBlock => std::thread::yield_now(),
+                ReadOutcome::Data(_) => {}
+            }
+        };
+        assert!(eof);
+        t.close(a);
+        t.close(l);
+        assert_eq!(t.live(), 0);
+    }
+
+    #[test]
+    fn socket_cap_is_a_catchable_condition() {
+        let mut t = NetTable::new(1);
+        let _l = t.listen(0).unwrap();
+        let e = t.listen(0).unwrap_err();
+        assert_eq!(e.condition_kind(), Some("io-error"));
+    }
+
+    #[test]
+    fn stale_tokens_are_io_errors() {
+        let mut t = NetTable::new(4);
+        let e = t.read(7, 10).unwrap_err();
+        assert_eq!(e.condition_kind(), Some("io-error"));
+    }
+}

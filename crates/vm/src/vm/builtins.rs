@@ -192,6 +192,11 @@ fn ufix(v: Value, who: &str) -> R<usize> {
     usize::try_from(fix(v, who)?).map_err(|_| err(format!("{who}: expected nonnegative integer")))
 }
 
+fn net_port(v: Value, who: &str) -> R<u16> {
+    let n = fix(v, who)?;
+    u16::try_from(n).map_err(|_| err(format!("{who}: expected a port in 0..=65535")))
+}
+
 fn chr(v: Value, who: &str) -> R<char> {
     match v {
         Value::Char(c) => Ok(c),
@@ -1102,6 +1107,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 ("gc-objects-freed", stats.gc_objects_freed as i64),
                 ("resident-slots", vm.stack.resident_slots() as i64),
                 ("live-segments", vm.stack.segment_count() as i64),
+                ("live-uncached-segments", vm.stack.live_segment_count() as i64),
                 ("conditions-raised", stats.conditions_raised as i64),
                 ("faults-injected", stats.faults_injected as i64),
             ];
@@ -1133,6 +1139,104 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let msg =
                 if argc > 0 { vm.display_value(&vm.arg(0)) } else { "debug-panic!".to_string() };
             panic!("debug-panic!: {msg}");
+        },
+        "now-us" => |vm, _argc| {
+            // (now-us): microseconds since the first call in this process.
+            // A monotonic clock for guest-side latency measurement; the
+            // origin is arbitrary, only differences are meaningful.
+            use std::sync::OnceLock;
+            use std::time::Instant;
+            static EPOCH: OnceLock<Instant> = OnceLock::new();
+            let t0 = *EPOCH.get_or_init(Instant::now);
+            let us = i64::try_from(t0.elapsed().as_micros()).unwrap_or(i64::MAX);
+            ret!(vm, Value::Fixnum(us))
+        },
+        // --- nonblocking loopback TCP ---
+        // All `%tcp-*` builtins return immediately; #f means would-block.
+        // The retry loops that suspend the running green thread live in
+        // the threads crate's io.scm. I/O failures raise the catchable
+        // `io-error` condition. Strings cross the socket as latin-1: one
+        // char per byte, lossless for the full 0..=255 range.
+        "%tcp-listen" => |vm, argc| {
+            check(argc, 1, "%tcp-listen")?;
+            let port = net_port(vm.arg(0), "%tcp-listen")?;
+            let tok = vm.net.listen(port)?;
+            ret!(vm, Value::Fixnum(tok))
+        },
+        "%tcp-local-port" => |vm, argc| {
+            check(argc, 1, "%tcp-local-port")?;
+            let tok = fix(vm.arg(0), "%tcp-local-port")?;
+            let port = vm.net.local_port(tok)?;
+            ret!(vm, Value::Fixnum(port))
+        },
+        "%tcp-accept" => |vm, argc| {
+            check(argc, 1, "%tcp-accept")?;
+            let tok = fix(vm.arg(0), "%tcp-accept")?;
+            match vm.net.accept(tok)? {
+                Some(t) => ret!(vm, Value::Fixnum(t)),
+                None => ret!(vm, Value::Bool(false)),
+            }
+        },
+        "%tcp-connect" => |vm, argc| {
+            check(argc, 1, "%tcp-connect")?;
+            let port = net_port(vm.arg(0), "%tcp-connect")?;
+            let tok = vm.net.connect(port)?;
+            ret!(vm, Value::Fixnum(tok))
+        },
+        "%tcp-read" => |vm, argc| {
+            // (%tcp-read tok max) -> string | 'eof | #f
+            check(argc, 2, "%tcp-read")?;
+            let tok = fix(vm.arg(0), "%tcp-read")?;
+            let max = fix(vm.arg(1), "%tcp-read")?;
+            if max <= 0 {
+                return Err(err("%tcp-read: expected a positive byte count"));
+            }
+            match vm.net.read(tok, max as usize)? {
+                crate::net::ReadOutcome::Data(bytes) => {
+                    let chars: Vec<char> = bytes.iter().map(|&b| b as char).collect();
+                    let s = vm.alloc_string(chars);
+                    ret!(vm, s)
+                }
+                crate::net::ReadOutcome::Eof => {
+                    let eof = vm.intern("eof");
+                    ret!(vm, eof)
+                }
+                crate::net::ReadOutcome::WouldBlock => ret!(vm, Value::Bool(false)),
+            }
+        },
+        "%tcp-write" => |vm, argc| {
+            // (%tcp-write tok str start) -> chars-written | #f
+            check(argc, 3, "%tcp-write")?;
+            let tok = fix(vm.arg(0), "%tcp-write")?;
+            let chars = vm.string_of(vm.arg(1), "%tcp-write")?;
+            let start = fix(vm.arg(2), "%tcp-write")?;
+            let start = usize::try_from(start)
+                .ok()
+                .filter(|&s| s <= chars.len())
+                .ok_or_else(|| err("%tcp-write: start out of range"))?;
+            let mut bytes = Vec::with_capacity(chars.len() - start);
+            for &c in &chars[start..] {
+                let b = u8::try_from(u32::from(c)).map_err(|_| VmError::Condition {
+                    kind: "io-error",
+                    message: "%tcp-write: string has chars above latin-1".to_string(),
+                })?;
+                bytes.push(b);
+            }
+            match vm.net.write(tok, &bytes)? {
+                Some(n) => ret!(vm, Value::Fixnum(n as i64)),
+                None => ret!(vm, Value::Bool(false)),
+            }
+        },
+        "%tcp-close" => |vm, argc| {
+            check(argc, 1, "%tcp-close")?;
+            let tok = fix(vm.arg(0), "%tcp-close")?;
+            let closed = vm.net.close(tok);
+            ret!(vm, Value::Bool(closed))
+        },
+        "%net-live" => |vm, _argc| {
+            // Open sockets in this VM's table — the leak audit a server
+            // runs after draining its connections.
+            ret!(vm, Value::Fixnum(vm.net.live() as i64))
         },
         // --- condition system support (used only by the prelude) ---
         "%push-handler!" => |vm, argc| {

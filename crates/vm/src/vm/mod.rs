@@ -134,6 +134,10 @@ pub struct VmConfig {
     /// default — arms nothing and costs one disarmed-countdown branch per
     /// site.
     pub fault_plan: Option<FaultPlan>,
+    /// Open-socket ceiling for the guest `%tcp-*` builtins. Exceeding it
+    /// raises a catchable `io-error` condition instead of running the
+    /// process into its fd limit.
+    pub max_open_sockets: usize,
 }
 
 impl Default for VmConfig {
@@ -149,6 +153,7 @@ impl Default for VmConfig {
             gc_threshold: None,
             heap_budget: None,
             fault_plan: None,
+            max_open_sockets: 16_384,
         }
     }
 }
@@ -252,6 +257,13 @@ impl VmBuilder {
     /// condition. Zero disables the ceiling.
     pub fn max_stack_segments(mut self, segments: usize) -> Self {
         self.cfg.stack.max_segments = segments;
+        self
+    }
+
+    /// Caps the guest socket table at `n` open sockets; exceeding the
+    /// ceiling raises a catchable `io-error` condition.
+    pub fn max_open_sockets(mut self, n: usize) -> Self {
+        self.cfg.max_open_sockets = n;
         self
     }
 
@@ -419,6 +431,9 @@ pub struct Vm {
     pub(crate) gc_kont_work: Vec<KontId>,
     pub(crate) out: String,
     pub(crate) echo: bool,
+    /// Guest TCP sockets (see `crate::net`). Owned by the VM so a worker
+    /// reset closes every socket of the jobs it killed.
+    pub(crate) net: crate::net::NetTable,
     pipeline: Pipeline,
     compiler: CompilerOptions,
 }
@@ -487,6 +502,7 @@ impl Vm {
             gc_kont_work: Vec::new(),
             out: String::new(),
             echo: cfg.echo_output,
+            net: crate::net::NetTable::new(cfg.max_open_sockets),
             pipeline: cfg.pipeline,
             compiler: cfg.compiler,
         };
@@ -592,6 +608,20 @@ impl Vm {
     pub fn reset_for_reuse(&mut self) {
         self.recover();
         self.out.clear();
+    }
+
+    /// The raw file descriptor behind guest socket `token`, or `None` if
+    /// the token is stale. The reactor registers this fd with poll(2);
+    /// the descriptor stays owned by the VM and is closed by
+    /// `%tcp-close` or VM teardown, at which point a registered poll
+    /// entry reports `POLLNVAL` and self-cleans.
+    pub fn net_fd(&self, token: i64) -> Option<i64> {
+        self.net.fd(token)
+    }
+
+    /// Number of guest sockets currently open in this VM.
+    pub fn net_live(&self) -> usize {
+        self.net.live()
     }
 
     /// Links a compiled program into the VM, returning the loaded entry

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use oneshot::exec::{JobError, JobSpec, Pool};
+use oneshot::exec::{ErrorKind, JobSpec, Pool};
 
 fn main() {
     let pool = Pool::builder().workers(4).fuel_slice(1024).build().expect("pool spawns");
@@ -37,10 +37,8 @@ fn main() {
         );
     }
     handles.push(
-        pool.submit(
-            JobSpec::new("runaway", "(let loop ((i 0)) (loop (+ i 1)))").fuel_budget(20_000),
-        )
-        .expect("submit"),
+        pool.submit(JobSpec::new("runaway", "(let loop ((i 0)) (loop (+ i 1)))").fuel(20_000))
+            .expect("submit"),
     );
     handles.push(pool.submit(JobSpec::new("type-error", "(car 42)")).expect("submit"));
 
@@ -53,13 +51,10 @@ fn main() {
                 outcome.slices,
                 outcome.latency.as_secs_f64() * 1e3
             ),
-            Err(JobError::TimedOut { budget, used }) => {
-                println!(
-                    "{:<12} => timed out after {used} of {budget} budgeted calls",
-                    outcome.name
-                );
+            Err(e) if e.kind() == ErrorKind::FuelExhausted => {
+                println!("{:<12} => {e}", outcome.name);
             }
-            Err(e) => println!("{:<12} => error: {e}", outcome.name),
+            Err(e) => println!("{:<12} => error ({}): {e}", outcome.name, e.kind()),
         }
     }
     println!("\nall outcomes in {:.1} ms wall", start.elapsed().as_secs_f64() * 1e3);

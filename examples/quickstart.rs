@@ -1,38 +1,23 @@
-//! Quickstart: evaluate Scheme, capture continuations both ways, inspect
-//! the control-representation counters.
+//! Quickstart: the embedder surface in one import — evaluate Scheme,
+//! capture one-shot continuations, then run jobs on a pool with fuel
+//! preemption, deadlines, and green-thread I/O.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use oneshot::vm::{ProbeSpec, Vm, VmError};
+use std::time::{Duration, Instant};
 
-fn main() -> Result<(), VmError> {
-    // The builder is the primary construction path; a counting probe makes
-    // the control-event totals resettable per region (`Vm::probe_reset`).
-    let mut vm = Vm::builder().probe(ProbeSpec::Counting).build();
+use oneshot::prelude::*;
 
-    // Ordinary Scheme.
-    let v = vm.eval_str(
-        "(define (fact n) (if (< n 2) 1 (* n (fact (- n 1)))))
-         (fact 12)",
-    )?;
-    println!("(fact 12)            => {}", vm.display_value(&v));
-
-    // A multi-shot continuation: captured once, used as a nonlocal exit.
-    let v = vm.eval_str(
-        "(call/cc (lambda (exit)
-           (for-each (lambda (x) (if (> x 3) (exit x))) '(1 2 5 9))
-           'not-found))",
-    )?;
-    println!("nonlocal exit        => {}", vm.display_value(&v));
-
-    // A one-shot continuation: same use, but the system never has to copy
-    // the stack — capture encapsulates the segment, invoke swaps it back.
-    let v = vm.eval_str("(call/1cc (lambda (k) (+ 1 (k 41))))")?;
+fn main() {
+    // --- Direct evaluation: one VM, one thread. -------------------------
+    let mut vm = Vm::new();
+    let v =
+        vm.eval_str("(call/1cc (lambda (k) (+ 1 (k 41))))").expect("a one-shot escape evaluates");
     println!("one-shot escape      => {}", vm.display_value(&v));
 
-    // Invoking a one-shot continuation twice is detected.
+    // Invoking a one-shot continuation twice is detected, not undefined.
     let e = vm
         .eval_str(
             "(define k1 #f)
@@ -43,19 +28,50 @@ fn main() -> Result<(), VmError> {
         .unwrap_err();
     println!("second shot          => {e}");
 
-    // Deep recursion crosses many stack segments; overflow is an implicit
-    // call/1cc, so unwinding copies nothing. The probe attributes the
-    // events to just this region.
-    vm.probe_reset();
-    let v = vm.eval_str(
-        "(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1)))))
-         (sum 200000)",
-    )?;
-    let d = vm.probe_stats().expect("a counting probe is installed");
-    println!("(sum 200000)         => {}", vm.display_value(&v));
+    // --- The pool: jobs as engine-preempted green threads. --------------
+    let pool = Pool::builder().workers(2).fuel_slice(1024).build().expect("pool spawns");
+
+    // The fluent JobSpec carries the whole execution policy.
+    let fib = pool
+        .submit(
+            JobSpec::new(
+                "fib-20",
+                "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 20)",
+            )
+            .fuel(10_000_000)
+            .deadline(Duration::from_secs(10)),
+        )
+        .expect("submit");
+
+    // Blocking I/O is a green-thread suspension, not a held worker: eight
+    // 50 ms waits on two workers overlap into ~one wait.
+    let t0 = Instant::now();
+    let sleepers: Vec<_> = (0..8)
+        .map(|i| {
+            pool.submit(JobSpec::new(format!("nap-{i}"), "(begin (timer-wait 50) 'woke)"))
+                .expect("submit")
+        })
+        .collect();
+    for h in &sleepers {
+        assert_eq!(h.wait().result.as_deref(), Ok("woke"));
+    }
+    println!("8 overlapped naps    => {:.0} ms wall", t0.elapsed().as_secs_f64() * 1e3);
+    println!("(fib 20)             => {}", fib.wait().result.expect("fib completes"));
+
+    // Every failure is one Error with a stable kind.
+    let err = pool
+        .submit(JobSpec::new("runaway", "(let loop ((i 0)) (loop (+ i 1)))").fuel(20_000))
+        .expect("submit")
+        .wait()
+        .result
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::FuelExhausted);
+    println!("runaway job          => {err}");
+
+    let report = pool.shutdown().expect("clean shutdown");
+    let c = report.counters;
     println!(
-        "  overflows={} underflows={} one-shot-reinstatements={} slots-copied={}",
-        d.overflows, d.underflows, d.reinstates_one, d.slots_copied
+        "counters: {} completed, {} failed, {} timer waits, {} reactor wakeups",
+        c.completed, c.failed, c.timer_waits, c.io_wakeups
     );
-    Ok(())
 }
