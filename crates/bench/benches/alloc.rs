@@ -27,9 +27,9 @@ fn bench_alloc(c: &mut Criterion) {
     g.bench_function("pairs-100k", |b| {
         let mut h = Heap::new();
         b.iter(|| {
-            let mut list = Value::Nil;
+            let mut list = Value::NIL;
             for i in 0..OBJECTS_PER_ITER {
-                list = Value::Obj(h.alloc_pair(Value::Fixnum(i), list));
+                list = Value::obj(h.alloc_pair(Value::fixnum(i), list));
             }
             black_box(&list);
             drain(&mut h);
@@ -41,9 +41,9 @@ fn bench_alloc(c: &mut Criterion) {
     g.bench_function("closures-100k", |b| {
         let mut h = Heap::new();
         b.iter(|| {
-            let mut last = Value::Nil;
+            let mut last = Value::NIL;
             for i in 0..OBJECTS_PER_ITER {
-                last = Value::Obj(h.alloc_closure(i as u32, &[Value::Fixnum(i), last]));
+                last = Value::obj(h.alloc_closure(i as u32, &[Value::fixnum(i), last]));
             }
             black_box(&last);
             drain(&mut h);

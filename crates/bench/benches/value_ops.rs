@@ -1,0 +1,118 @@
+//! Criterion bench for the NaN-boxed value word itself: encode/decode
+//! (tag/untag) throughput for each immediate class, pair car/cdr through
+//! the heap's pair pool, and fixnum arithmetic including the overflow
+//! range test — the per-value costs every interpreter op pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oneshot_runtime::{Heap, Value, FIXNUM_MAX};
+
+const OPS_PER_ITER: i64 = 100_000;
+
+fn bench_value_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("value_ops");
+    g.sample_size(20);
+
+    // Encode + decode round trip per immediate class. black_box on the
+    // input defeats constant folding; the decode keeps the untag path on
+    // the measured side.
+    g.bench_function("fixnum-tag-untag-100k", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for i in 0..OPS_PER_ITER {
+                let v = Value::fixnum(black_box(i));
+                acc = acc.wrapping_add(v.as_fixnum().unwrap());
+            }
+            black_box(acc)
+        });
+    });
+
+    g.bench_function("flonum-tag-untag-100k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 0..OPS_PER_ITER {
+                let v = Value::flonum(black_box(i as f64) * 0.5);
+                acc += v.as_flonum().unwrap();
+            }
+            black_box(acc)
+        });
+    });
+
+    g.bench_function("bool-char-tag-untag-100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..OPS_PER_ITER {
+                let bv = Value::boolean(black_box(i) & 1 == 0);
+                acc = acc.wrapping_add(u32::from(bv.is_true()));
+                let cv = Value::character(char::from_u32((i as u32) % 128).unwrap());
+                acc = acc.wrapping_add(cv.as_char().unwrap() as u32);
+            }
+            black_box(acc)
+        });
+    });
+
+    g.bench_function("sym-builtin-tag-untag-100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..OPS_PER_ITER {
+                let s = Value::builtin(black_box(i) as u16);
+                acc = acc.wrapping_add(u32::from(s.as_builtin().unwrap()));
+            }
+            black_box(acc)
+        });
+    });
+
+    // car/cdr: one tag test on the word, then the pool lookup. This is
+    // the full Op::Car path minus dispatch.
+    g.bench_function("pair-car-cdr-100k", |b| {
+        let mut h = Heap::new();
+        let mut list = Value::NIL;
+        for i in 0..OPS_PER_ITER {
+            list = Value::obj(h.alloc_pair(Value::fixnum(i), list));
+        }
+        b.iter(|| {
+            let mut acc = 0i64;
+            let mut cur = list;
+            while let Some(r) = cur.as_obj() {
+                let (a, d) = h.pair(r).unwrap();
+                acc = acc.wrapping_add(a.as_fixnum().unwrap());
+                cur = d;
+            }
+            black_box(acc)
+        });
+    });
+
+    // Fixnum add with the i50 range test on every result — the interpreter's
+    // num_add fast path, including the (never-taken) overflow branch.
+    g.bench_function("fixnum-add-checked-100k", |b| {
+        b.iter(|| {
+            let mut acc = Value::fixnum(0);
+            for i in 0..OPS_PER_ITER {
+                let x = acc.as_fixnum().unwrap();
+                let y = black_box(i);
+                acc = Value::fixnum_checked(x + y).expect("in range");
+            }
+            black_box(acc)
+        });
+    });
+
+    // The overflow path itself: results past FIXNUM_MAX must be rejected,
+    // not silently wrapped.
+    g.bench_function("fixnum-overflow-path-100k", |b| {
+        b.iter(|| {
+            let mut rejected = 0u32;
+            for i in 0..OPS_PER_ITER {
+                let near = FIXNUM_MAX - (i & 1);
+                if Value::fixnum_checked(near + black_box(i & 3)).is_none() {
+                    rejected += 1;
+                }
+            }
+            black_box(rejected)
+        });
+    });
+
+    g.finish();
+    println!("(each iteration performs {OPS_PER_ITER} ops; divide for ops/sec)");
+}
+
+criterion_group!(benches, bench_value_ops);
+criterion_main!(benches);

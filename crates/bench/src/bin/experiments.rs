@@ -17,6 +17,8 @@
 //!   e11            E11: worker-pool throughput/latency, workers x fuel slice
 //!   chaos          E12: recovery rate under seeded fault schedules
 //!   e13            E13: reactor — loopback echo + timer storms, 10k+ green threads
+//!   e14            E14: value representation — word sizes, segment-copy cost,
+//!                  fused paper workloads (optionally vs `--baseline PATH`)
 //!   all            everything above
 //! ```
 //!
@@ -24,6 +26,9 @@
 //! frequencies to 512); the default is a scaled-down sweep with the same
 //! shape that finishes in a few minutes. `--max-workers N` drops E11 sweep
 //! points above N workers (for CI smoke runs on small machines).
+//! `--baseline PATH` points E14 at an earlier experiments JSON (a `dispatch`
+//! or `e14` run from a previous revision at the same scale) and reports
+//! per-workload speedups, an instruction-identity check, and the geomean.
 //!
 //! Alongside the printed tables the binary writes a machine-readable
 //! report — per-experiment control-event counts (captures, reinstatements,
@@ -33,8 +38,8 @@
 use oneshot_bench::experiments::{
     cache_experiment, chaos_experiment, chaos_overhead, dispatch_experiment, exec_experiment,
     figure5, fragmentation_experiment, frame_overhead, gc_experiment, hysteresis_experiment,
-    overflow_experiment, promotion_experiment, reactor_experiment, tak_experiment, DispatchScale,
-    ExecScale, GcScale, ReactorScale, GC_UNBOUNDED,
+    overflow_experiment, promotion_experiment, reactor_experiment, tak_experiment,
+    value_rep_experiment, DispatchScale, ExecScale, GcScale, ReactorScale, GC_UNBOUNDED,
 };
 use oneshot_bench::measure::render_table;
 use oneshot_bench::metrics::{measurement_json, Json};
@@ -88,6 +93,8 @@ fn main() {
         .position(|a| a == "--max-workers")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok());
+    let baseline: Option<String> =
+        args.iter().position(|a| a == "--baseline").and_then(|i| args.get(i + 1)).cloned();
     let cmd = args
         .iter()
         .enumerate()
@@ -96,7 +103,7 @@ fn main() {
             !a.starts_with("--")
                 && !matches!(
                     args.get(i.wrapping_sub(1)).map(String::as_str),
-                    Some("--json" | "--max-workers")
+                    Some("--json" | "--max-workers" | "--baseline")
                 )
         })
         .map(|(_, a)| a.as_str())
@@ -120,6 +127,7 @@ fn main() {
         "e11" => run("exec", run_exec(paper, max_workers)),
         "chaos" => run("chaos", run_chaos(paper)),
         "e13" => run("reactor", run_reactor(paper, max_workers)),
+        "e14" => run("value_rep", run_value_rep(paper, baseline.as_deref())),
         "all" => {
             run("tak", run_tak(&scale));
             run("overflow", run_overflow(&scale));
@@ -133,6 +141,7 @@ fn main() {
             run("exec", run_exec(paper, max_workers));
             run("chaos", run_chaos(paper));
             run("reactor", run_reactor(paper, max_workers));
+            run("value_rep", run_value_rep(paper, baseline.as_deref()));
             run("figure5", run_figure5(&scale));
         }
         other => {
@@ -142,7 +151,7 @@ fn main() {
     }
 
     let doc = Json::obj([
-        ("schema", Json::str("oneshot-experiments/v6")),
+        ("schema", Json::str("oneshot-experiments/v7")),
         ("scale", Json::str(if paper { "paper" } else { "quick" })),
         ("experiments", Json::Obj(report)),
     ]);
@@ -870,6 +879,143 @@ fn run_reactor(paper: bool, max_workers: Option<usize>) -> Json {
             ),
         ),
     ])
+}
+
+/// Pulls `(name, ms, instructions)` baseline rows out of an earlier
+/// experiments document: either an `e14` report's own rows or the fused
+/// side of a `dispatch` run (the E14 workloads are the E9 fused cases, so
+/// any pre-change `dispatch` JSON at the same scale is a valid baseline).
+fn baseline_workloads(doc: &Json) -> Vec<(String, f64, u64)> {
+    let Some(exps) = doc.get("experiments") else { return Vec::new() };
+    let mut out = Vec::new();
+    if let Some(rows) = exps.get("value_rep").and_then(|vr| vr.get("rows")).and_then(Json::as_arr) {
+        for r in rows {
+            if let (Some(name), Some(ms), Some(instructions)) = (
+                r.get("name").and_then(Json::as_str),
+                r.get("ms").and_then(Json::as_f64),
+                r.get("instructions").and_then(Json::as_u64),
+            ) {
+                out.push((name.to_string(), ms, instructions));
+            }
+        }
+    } else if let Some(workloads) =
+        exps.get("dispatch").and_then(|d| d.get("workloads")).and_then(Json::as_arr)
+    {
+        for w in workloads {
+            if let (Some(name), Some(fused)) =
+                (w.get("name").and_then(Json::as_str), w.get("fused"))
+            {
+                if let (Some(ms), Some(instructions)) = (
+                    fused.get("ms").and_then(Json::as_f64),
+                    fused.get("instructions").and_then(Json::as_u64),
+                ) {
+                    out.push((name.to_string(), ms, instructions));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn run_value_rep(paper: bool, baseline: Option<&str>) -> Json {
+    let scale = if paper { DispatchScale::paper() } else { DispatchScale::quick() };
+    println!("\n== E14: value representation — NaN-boxed word on the paper workloads ==");
+    let report = value_rep_experiment(scale);
+    println!(
+        "value word: {} bytes; stack slot: {} bytes; segment copy: {:.3} ns/slot",
+        report.value_word_bytes, report.slot_bytes, report.segment_copy_ns_per_slot
+    );
+    let base = baseline.map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("could not read baseline {path}: {e}"));
+        let doc =
+            Json::parse(&text).unwrap_or_else(|e| panic!("could not parse baseline {path}: {e}"));
+        let rows = baseline_workloads(&doc);
+        assert!(!rows.is_empty(), "baseline {path} has no dispatch/e14 workload rows");
+        rows
+    });
+
+    let mut table = Vec::new();
+    let mut rows_json = Vec::new();
+    let mut speedups = Vec::new();
+    let mut instructions_identical = true;
+    for r in &report.rows {
+        let found = base
+            .as_deref()
+            .and_then(|rows| rows.iter().find(|(name, _, _)| name == r.name))
+            .map(|&(_, ms, instructions)| (ms, instructions));
+        let mut fields = vec![
+            ("name", Json::str(r.name)),
+            ("ms", Json::Num(r.ms)),
+            ("instructions", Json::int(r.instructions)),
+            ("ns_per_instruction", Json::Num(r.ns_per_instruction())),
+        ];
+        let (base_ms_s, speedup_s, instr_s) = if let Some((base_ms, base_instructions)) = found {
+            let speedup = base_ms / r.ms;
+            // The representation must not change what the compiler emits
+            // or how often control events fire — only how fast the same
+            // instruction stream retires. fig5-loop runs a scheduler on
+            // wall-clock-dependent switch points, so only the four
+            // deterministic workloads assert identity strictly.
+            let identical = base_instructions == r.instructions;
+            instructions_identical &= identical;
+            speedups.push(speedup);
+            fields.push(("baseline_ms", Json::Num(base_ms)));
+            fields.push(("baseline_instructions", Json::int(base_instructions)));
+            fields.push(("speedup", Json::Num(speedup)));
+            fields.push(("instructions_identical", Json::Bool(identical)));
+            (format!("{base_ms:.1}"), format!("{speedup:.2}x"), identical.to_string())
+        } else {
+            ("-".into(), "-".into(), "-".into())
+        };
+        table.push(vec![
+            r.name.to_string(),
+            format!("{:.1}", r.ms),
+            r.instructions.to_string(),
+            base_ms_s,
+            speedup_s,
+            instr_s,
+        ]);
+        rows_json.push(Json::obj(fields));
+    }
+    println!(
+        "{}",
+        render_table(
+            &["workload", "ms", "instructions", "baseline-ms", "speedup", "instr-identical"],
+            &table
+        )
+    );
+
+    let geomean = (!speedups.is_empty()).then(|| {
+        let log_sum: f64 = speedups.iter().map(|s| s.ln()).sum();
+        (log_sum / speedups.len() as f64).exp()
+    });
+    if let Some(g) = geomean {
+        println!(
+            "Geomean speedup vs baseline: {g:.3}x across {} workloads; \
+             instruction counts identical: {instructions_identical}.",
+            speedups.len()
+        );
+    } else {
+        println!("No baseline given (--baseline PATH): absolute numbers only.");
+    }
+    println!("Expected shape: the 8-byte word shrinks every stack slot and pool");
+    println!("payload, so the same instruction streams retire faster and segment");
+    println!("copies move fewer bytes; instruction counts must not move at all.");
+
+    let mut fields = vec![
+        ("scale", Json::str(if paper { "paper" } else { "quick" })),
+        ("reps", Json::int(u64::from(scale.reps))),
+        ("value_word_bytes", Json::int(report.value_word_bytes)),
+        ("slot_bytes", Json::int(report.slot_bytes)),
+        ("segment_copy_ns_per_slot", Json::Num(report.segment_copy_ns_per_slot)),
+        ("rows", Json::Arr(rows_json)),
+    ];
+    if let Some(g) = geomean {
+        fields.push(("geomean_speedup", Json::Num(g)));
+        fields.push(("instructions_identical", Json::Bool(instructions_identical)));
+    }
+    Json::obj(fields)
 }
 
 fn run_promotion() -> Json {

@@ -353,10 +353,9 @@ pub fn fragmentation_experiment(konts: usize) -> Vec<FragmentationRow> {
             )
             .expect("spawn probe");
             ts.run(0).expect("run");
-            let resident = match ts.eval("probe").expect("probe read") {
-                oneshot_vm::Value::Fixnum(n) => n as usize,
-                other => panic!("probe was {other:?}"),
-            };
+            let probe = ts.eval("probe").expect("probe read");
+            let resident =
+                probe.as_fixnum().unwrap_or_else(|| panic!("probe was {probe:?}")) as usize;
             FragmentationRow { policy, konts, resident_slots: resident }
         })
         .collect()
@@ -1538,6 +1537,98 @@ pub fn reactor_experiment(scale: &ReactorScale) -> Vec<ReactorRow> {
     out
 }
 
+// ----------------------------------------------------------------------
+// E14 — value representation: the NaN-boxed word on the paper workloads
+// ----------------------------------------------------------------------
+
+/// The E14 report: static sizes of the value word and stack slot, the
+/// measured segment-copy cost per slot, and the fused paper workloads
+/// timed under the current representation. Comparing the rows against a
+/// committed baseline (the same workloads measured before the word was
+/// packed) is the representation's end-to-end cost/benefit statement.
+#[derive(Debug, Clone)]
+pub struct ValueRepReport {
+    /// `size_of::<Value>()` — 8 with the NaN-boxed word.
+    pub value_word_bytes: u64,
+    /// `size_of::<Slot>()` — what every stack slot, and therefore every
+    /// overflow/capture copy, actually moves.
+    pub slot_bytes: u64,
+    /// Best-of-reps nanoseconds per slot to copy a full 4096-slot segment
+    /// buffer (the §3.2 overflow/underflow copy, isolated from the VM).
+    pub segment_copy_ns_per_slot: f64,
+    /// The fused dispatch workloads (fib/tak/ctak/fig5-loop) under the
+    /// current value representation.
+    pub rows: Vec<DispatchRow>,
+}
+
+/// Times a raw segment copy: a 4096-slot buffer with the frame shape the
+/// stack machinery really holds (a return address every eight slots, value
+/// words elsewhere), copied slot-for-slot as overflow and capture do.
+fn segment_copy_ns_per_slot(reps: u32) -> f64 {
+    use oneshot_runtime::Value;
+    use oneshot_vm::Slot;
+    const SLOTS: usize = 4096;
+    let src: Vec<Slot> = (0..SLOTS)
+        .map(|i| {
+            if i % 8 == 0 {
+                Slot::Ret {
+                    code: i as u32,
+                    pc: (i * 3) as u32,
+                    disp: 8,
+                    closure: Value::UNSPECIFIED,
+                }
+            } else {
+                Slot::Val(Value::fixnum(i as i64))
+            }
+        })
+        .collect();
+    let mut dst: Vec<Slot> = vec![Slot::Marker; SLOTS];
+    // Enough rounds per timing that a copy is micro-seconds, not nano.
+    const ROUNDS: u32 = 2_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..ROUNDS {
+            dst.copy_from_slice(&src);
+            std::hint::black_box(&mut dst);
+        }
+        let ns = start.elapsed().as_nanos() as f64;
+        best = best.min(ns / f64::from(ROUNDS) / SLOTS as f64);
+    }
+    best
+}
+
+/// E14: sizes, segment-copy cost, and the fused paper workloads. Reuses
+/// the E9 cases (fusion on) so the numbers are directly comparable to a
+/// `dispatch` run from any earlier revision at the same scale.
+///
+/// # Panics
+///
+/// Panics if a workload fails.
+pub fn value_rep_experiment(scale: DispatchScale) -> ValueRepReport {
+    let (tx, ty, tz) = scale.tak;
+    let (cx, cy, cz) = scale.ctak;
+    let (threads, freq, fib5) = scale.fig5;
+    let rows = vec![
+        dispatch_case("fib", workloads::FIB, &format!("(fib {})", scale.fib_n), true, scale.reps),
+        dispatch_case("tak", workloads::TAK, &format!("(tak {tx} {ty} {tz})"), true, scale.reps),
+        dispatch_case(
+            "ctak",
+            &workloads::ctak("call/1cc"),
+            &format!("(ctak {cx} {cy} {cz})"),
+            true,
+            scale.reps,
+        ),
+        dispatch_fig5_case(true, threads, freq, fib5, scale.reps),
+    ];
+    ValueRepReport {
+        value_word_bytes: std::mem::size_of::<oneshot_runtime::Value>() as u64,
+        slot_bytes: std::mem::size_of::<oneshot_vm::Slot>() as u64,
+        segment_copy_ns_per_slot: segment_copy_ns_per_slot(scale.reps),
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1757,6 +1848,25 @@ mod tests {
         assert!(storm.timer_waits >= 48);
         assert!(storm.blocked_highwater >= 48, "highwater {}", storm.blocked_highwater);
         assert_eq!(storm.leaked_sockets, 0);
+    }
+
+    #[test]
+    fn value_rep_reports_sizes_and_rows() {
+        let scale = DispatchScale {
+            reps: 1,
+            tak: (8, 4, 0),
+            ctak: (6, 4, 2),
+            fib_n: 10,
+            deep: (1, 100),
+            fig5: (2, 4, 8),
+        };
+        let r = value_rep_experiment(scale);
+        assert_eq!(r.value_word_bytes, 8, "the NaN-boxed word is one machine word");
+        assert!(r.slot_bytes <= 24, "slot grew past Ret's packed size: {}", r.slot_bytes);
+        assert!(r.segment_copy_ns_per_slot > 0.0);
+        let names: Vec<_> = r.rows.iter().map(|row| row.name).collect();
+        assert_eq!(names, ["fib", "tak", "ctak", "fig5-loop"]);
+        assert!(r.rows.iter().all(|row| row.fused && row.instructions > 0));
     }
 
     #[test]

@@ -388,6 +388,8 @@ pub fn vm_stats_json(s: &VmStats) -> Json {
         ("gc_objects_freed", Json::int(s.gc_objects_freed)),
         ("conditions_raised", Json::int(s.conditions_raised)),
         ("faults_injected", Json::int(s.faults_injected)),
+        ("value_word_bytes", Json::int(s.value_word_bytes)),
+        ("segment_bytes_highwater", Json::int(s.segment_bytes_highwater)),
         (
             "heap",
             Json::obj([

@@ -6,7 +6,7 @@
 //! which are control operators that get continuation-passing definitions in
 //! the CPS prelude).
 
-/// Every builtin name, in registration order. `Value::Builtin(i)` refers to
+/// Every builtin name, in registration order. `Value::builtin(i)` refers to
 /// `BUILTIN_NAMES[i]`.
 pub const BUILTIN_NAMES: &[&str] = &[
     // numbers

@@ -62,6 +62,53 @@ impl<T> Arena<T> {
         self.slots[idx as usize].as_mut().expect("arena slot is free")
     }
 
+    /// Like [`Arena::get`] without the bounds/occupancy checks (they become
+    /// `debug_assert`s).
+    ///
+    /// # Safety
+    ///
+    /// `idx` must refer to a live (inserted, not removed) entry.
+    #[allow(unsafe_code)]
+    #[inline]
+    pub(crate) unsafe fn get_unchecked(&self, idx: u32) -> &T {
+        debug_assert!(self.contains(idx), "arena index {idx} is not live");
+        // SAFETY: the caller guarantees `idx` is live, so the slot exists
+        // and holds `Some`.
+        unsafe { self.slots.get_unchecked(idx as usize).as_ref().unwrap_unchecked() }
+    }
+
+    /// Like [`Arena::get_mut`] without the bounds/occupancy checks.
+    ///
+    /// # Safety
+    ///
+    /// `idx` must refer to a live (inserted, not removed) entry.
+    #[allow(unsafe_code)]
+    #[inline]
+    pub(crate) unsafe fn get_unchecked_mut(&mut self, idx: u32) -> &mut T {
+        debug_assert!(self.contains(idx), "arena index {idx} is not live");
+        // SAFETY: as for `get_unchecked`.
+        unsafe { self.slots.get_unchecked_mut(idx as usize).as_mut().unwrap_unchecked() }
+    }
+
+    /// Two distinct live entries, mutably — the split borrow behind
+    /// cross-segment slot copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either entry is free.
+    pub(crate) fn get2_mut(&mut self, a: u32, b: u32) -> (&mut T, &mut T) {
+        assert_ne!(a, b, "get2_mut needs distinct indices");
+        let (lo, hi, swap) = if a < b { (a, b, false) } else { (b, a, true) };
+        let (left, right) = self.slots.split_at_mut(hi as usize);
+        let x = left[lo as usize].as_mut().expect("arena slot is free");
+        let y = right[0].as_mut().expect("arena slot is free");
+        if swap {
+            (y, x)
+        } else {
+            (x, y)
+        }
+    }
+
     pub(crate) fn contains(&self, idx: u32) -> bool {
         (idx as usize) < self.slots.len() && self.slots[idx as usize].is_some()
     }

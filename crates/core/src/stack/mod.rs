@@ -192,6 +192,9 @@ pub struct SegStack<S, P: ControlProbe = NoopProbe> {
     /// cleared when occupancy drops back under the ceiling, a continuation
     /// is explicitly reinstated, or the stack is cleared).
     grace: bool,
+    /// Highest `resident_slots()` ever observed (gauge; see
+    /// [`SegStack::resident_slots_highwater`]).
+    resident_highwater: usize,
 }
 
 impl<S: Clone> SegStack<S> {
@@ -237,6 +240,7 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
             fault: FaultClock::disarmed(),
             fault_deferred: false,
             grace: false,
+            resident_highwater: 0,
         };
         let seg = st.alloc_segment(st.cfg.segment_slots);
         st.cur_seg = seg;
@@ -304,30 +308,67 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
         self.cur_link
     }
 
+    /// The current segment.
+    ///
+    /// The unchecked arena access is sound because `cur_seg` always names a
+    /// live segment: it is only ever set to a freshly allocated/obtained
+    /// segment or to a continuation's segment (kept alive by its rc), and
+    /// the "current" reference is counted in that rc.
+    #[allow(unsafe_code)]
+    #[inline]
+    fn cur(&self) -> &Segment<S> {
+        // SAFETY: see the doc comment — `cur_seg` is live by construction.
+        unsafe { self.segs.get_unchecked(self.cur_seg.0) }
+    }
+
+    /// The current segment, mutably (same invariant as [`SegStack::cur`]).
+    #[allow(unsafe_code)]
+    #[inline]
+    fn cur_mut(&mut self) -> &mut Segment<S> {
+        // SAFETY: see `cur` — `cur_seg` is live by construction.
+        unsafe { self.segs.get_unchecked_mut(self.cur_seg.0) }
+    }
+
     /// Reads the slot at absolute index `i` in the current segment.
     ///
-    /// # Panics
-    ///
-    /// Panics if `i` is outside the current segment.
+    /// The bounds check is a `debug_assert`: the caller must keep `i`
+    /// inside the current segment. Embedder indices are frame-relative
+    /// displacements validated by [`SegStack::ensure`] at frame entry, so
+    /// the per-access check is pure overhead on the dispatch hot path; the
+    /// debug-profile test run keeps the assertion armed.
+    #[allow(unsafe_code)]
     #[inline]
     pub fn get(&self, i: usize) -> &S {
-        &self.segs.get(self.cur_seg.0).slots[i]
+        let seg = self.cur();
+        debug_assert!(i < seg.slots.len(), "slot read out of segment: {i}");
+        // SAFETY: `i` is within the current segment per the documented
+        // contract (debug-asserted above).
+        unsafe { seg.slots.get_unchecked(i) }
     }
 
     /// Writes the slot at absolute index `i` in the current segment.
     ///
-    /// # Panics
-    ///
-    /// Panics if `i` is outside the current segment.
+    /// Same contract as [`SegStack::get`]: the bounds check is a
+    /// `debug_assert`, and `i` must lie inside the current segment.
+    #[allow(unsafe_code)]
     #[inline]
     pub fn set(&mut self, i: usize, v: S) {
-        self.segs.get_mut(self.cur_seg.0).slots[i] = v;
+        let seg = self.cur_mut();
+        debug_assert!(i < seg.slots.len(), "slot write out of segment: {i}");
+        // SAFETY: `i` is within the current segment per the documented
+        // contract (debug-asserted above).
+        unsafe { *seg.slots.get_unchecked_mut(i) = v };
     }
 
     /// A slice of the current segment, `[lo, hi)` — used by embedder GCs to
     /// trace the live portion of the running stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside the current segment (GC-rate, not
+    /// dispatch-rate, so the checked index stays).
     pub fn slice(&self, lo: usize, hi: usize) -> &[S] {
-        &self.segs.get(self.cur_seg.0).slots[lo..hi]
+        &self.cur().slots[lo..hi]
     }
 
     /// Pushes a frame: writes `ret` at `fp + disp` and advances the frame
@@ -340,7 +381,7 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
     #[inline]
     pub fn push_frame(&mut self, disp: usize, ret: S) {
         let nfp = self.fp + disp;
-        assert!(nfp < self.cur_end, "frame pushed past segment end; missing ensure()");
+        debug_assert!(nfp < self.cur_end, "frame pushed past segment end; missing ensure()");
         self.set(nfp, ret);
         self.fp = nfp;
     }
@@ -369,11 +410,19 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
 
     /// The occupied saved slots of a continuation — what a multi-shot
     /// reinstatement would copy. Empty for shot continuations.
+    #[allow(unsafe_code)]
     pub fn kont_slice(&self, id: KontId) -> &[S] {
         let k = self.konts.get(id.0);
         match k.kind {
             KontKind::Shot => &[],
-            _ => &self.segs.get(k.seg.0).slots[k.base..k.base + k.cur],
+            _ => {
+                // SAFETY: an unshot continuation holds an rc on its
+                // segment, so `k.seg` is live; `base + cur` never exceeds
+                // the sealed extent recorded at capture (debug-asserted).
+                let seg = unsafe { self.segs.get_unchecked(k.seg.0) };
+                debug_assert!(k.base + k.cur <= seg.slots.len());
+                unsafe { seg.slots.get_unchecked(k.base..k.base + k.cur) }
+            }
         }
     }
 
@@ -434,6 +483,13 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
     /// segments.
     pub fn resident_slots(&self) -> usize {
         self.segs.iter().map(|(_, s)| s.slots.len()).sum()
+    }
+
+    /// The highest [`SegStack::resident_slots`] ever observed — a gauge
+    /// (not a counter), sampled whenever a segment is allocated. Multiply
+    /// by the embedder's slot size for the segment-bytes highwater metric.
+    pub fn resident_slots_highwater(&self) -> usize {
+        self.resident_highwater
     }
 
     /// Raises the post-reinstatement headroom guarantee to at least
@@ -1004,6 +1060,7 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
         let slots = vec![self.marker.clone(); cap].into_boxed_slice();
         let default_size = cap == self.cfg.segment_slots;
         let id = SegmentId(self.segs.insert(Segment { slots, rc: 1, default_size }));
+        self.resident_highwater = self.resident_highwater.max(self.resident_slots());
         self.probe.segment_alloc(id, cap);
         id
     }
@@ -1072,11 +1129,10 @@ impl<S: Clone, P: ControlProbe> SegStack<S, P> {
                 seg.slots[dst_at + i] = seg.slots[src_at + i].clone();
             }
         } else {
-            // Clone out then in; n is bounded by the copy bound or the
-            // hysteresis setting, so the temporary is small.
-            let tmp: Vec<S> = self.segs.get(src.0).slots[src_at..src_at + n].to_vec();
-            let d = self.segs.get_mut(dst.0);
-            d.slots[dst_at..dst_at + n].clone_from_slice(&tmp);
+            // Split-borrow both segments and clone straight across — no
+            // temporary buffer on the reinstate/overflow path.
+            let (s, d) = self.segs.get2_mut(src.0, dst.0);
+            d.slots[dst_at..dst_at + n].clone_from_slice(&s.slots[src_at..src_at + n]);
         }
     }
 

@@ -4,7 +4,7 @@ use oneshot_sexp::Datum;
 
 use crate::heap::{Heap, Obj, ObjView};
 use crate::symbols::Symbols;
-use crate::value::Value;
+use crate::value::{Unpacked, Value};
 
 /// Converts a reader [`Datum`] into a heap [`Value`] (used for `quote`d
 /// constants and program input).
@@ -13,13 +13,17 @@ use crate::value::Value;
 /// without native-stack recursion; recursion depth is bounded by nesting.
 pub fn datum_to_value(heap: &mut Heap, syms: &mut Symbols, d: &Datum) -> Value {
     match d {
-        Datum::Bool(b) => Value::Bool(*b),
-        Datum::Fixnum(n) => Value::Fixnum(*n),
-        Datum::Flonum(x) => Value::Flonum(*x),
-        Datum::Char(c) => Value::Char(*c),
-        Datum::Str(s) => Value::Obj(heap.alloc(Obj::Str(s.chars().collect()))),
-        Datum::Symbol(s) => Value::Sym(syms.intern(s)),
-        Datum::Nil => Value::Nil,
+        Datum::Bool(b) => Value::boolean(*b),
+        // An integer literal outside the 50-bit fixnum range becomes an
+        // inexact flonum — the reader's i64 range exceeds the word's; there
+        // is no bignum layer to fall back to, and a literal should not
+        // raise. Arithmetic overflow, by contrast, raises a condition.
+        Datum::Fixnum(n) => Value::fixnum_checked(*n).unwrap_or_else(|| Value::flonum(*n as f64)),
+        Datum::Flonum(x) => Value::flonum(*x),
+        Datum::Char(c) => Value::character(*c),
+        Datum::Str(s) => Value::obj(heap.alloc(Obj::Str(s.chars().collect()))),
+        Datum::Symbol(s) => Value::sym(syms.intern(s)),
+        Datum::Nil => Value::NIL,
         Datum::Pair(_) => {
             let mut cars = Vec::new();
             let mut cur = d;
@@ -29,13 +33,13 @@ pub fn datum_to_value(heap: &mut Heap, syms: &mut Symbols, d: &Datum) -> Value {
             }
             let mut out = datum_to_value(heap, syms, cur);
             for car in cars.into_iter().rev() {
-                out = Value::Obj(heap.alloc(Obj::Pair(car, out)));
+                out = Value::obj(heap.alloc(Obj::Pair(car, out)));
             }
             out
         }
         Datum::Vector(items) => {
             let vals: Vec<Value> = items.iter().map(|x| datum_to_value(heap, syms, x)).collect();
-            Value::Obj(heap.alloc(Obj::Vector(vals)))
+            Value::obj(heap.alloc(Obj::Vector(vals)))
         }
     }
 }
@@ -64,21 +68,21 @@ pub fn value_to_datum(
         if depth > 512 {
             return Err("eval: datum nested too deeply (cyclic?)".to_string());
         }
-        match v {
-            Value::Bool(b) => Ok(Datum::Bool(b)),
-            Value::Fixnum(n) => Ok(Datum::Fixnum(n)),
-            Value::Flonum(x) => Ok(Datum::Flonum(x)),
-            Value::Char(c) => Ok(Datum::Char(c)),
-            Value::Nil => Ok(Datum::Nil),
-            Value::Sym(s) => Ok(Datum::Symbol(syms.name(s).to_string())),
-            Value::Obj(r) => match heap.view(r) {
+        match v.unpack() {
+            Unpacked::Bool(b) => Ok(Datum::Bool(b)),
+            Unpacked::Fixnum(n) => Ok(Datum::Fixnum(n)),
+            Unpacked::Flonum(x) => Ok(Datum::Flonum(x)),
+            Unpacked::Char(c) => Ok(Datum::Char(c)),
+            Unpacked::Nil => Ok(Datum::Nil),
+            Unpacked::Sym(s) => Ok(Datum::Symbol(syms.name(s).to_string())),
+            Unpacked::Obj(r) => match heap.view(r) {
                 ObjView::Pair(..) => {
                     // Walk the cdr spine iteratively; cycles along the
                     // spine are caught by a step limit.
                     let mut cars = Vec::new();
                     let mut cur = v;
                     let mut steps = 0u32;
-                    while let Value::Obj(r2) = cur {
+                    while let Some(r2) = cur.as_obj() {
                         let Some((a, d)) = heap.pair(r2) else { break };
                         steps += 1;
                         if steps > 10_000_000 {
@@ -142,10 +146,10 @@ mod tests {
         let mut h = Heap::new();
         let s = Symbols::new();
         let f = h.alloc(Obj::Closure { code: 0, free: Box::new([]) });
-        assert!(value_to_datum(&h, &s, Value::Obj(f)).is_err());
-        let a = h.alloc(Obj::Pair(Value::Nil, Value::Nil));
-        h.pair_mut(a).unwrap().1 = Value::Obj(a);
-        assert!(value_to_datum(&h, &s, Value::Obj(a)).is_err());
+        assert!(value_to_datum(&h, &s, Value::obj(f)).is_err());
+        let a = h.alloc(Obj::Pair(Value::NIL, Value::NIL));
+        h.pair_mut(a).unwrap().1 = Value::obj(a);
+        assert!(value_to_datum(&h, &s, Value::obj(a)).is_err());
     }
 
     #[test]
@@ -154,9 +158,9 @@ mod tests {
         let mut s = Symbols::new();
         let d = read_str("(x x)").unwrap();
         let v = datum_to_value(&mut h, &mut s, &d);
-        let Value::Obj(r) = v else { panic!() };
+        let Some(r) = v.as_obj() else { panic!() };
         let (a, d2) = h.pair(r).unwrap();
-        let Value::Obj(r2) = d2 else { panic!() };
+        let Some(r2) = d2.as_obj() else { panic!() };
         let (b, _) = h.pair(r2).unwrap();
         assert_eq!(a, b, "same symbol id");
     }

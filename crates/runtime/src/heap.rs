@@ -126,7 +126,7 @@ enum FreeVals {
 
 impl Default for FreeVals {
     fn default() -> Self {
-        FreeVals::Inline(0, [Value::Nil; CLOSURE_INLINE])
+        FreeVals::Inline(0, [Value::NIL; CLOSURE_INLINE])
     }
 }
 
@@ -134,7 +134,7 @@ impl FreeVals {
     #[inline]
     fn from_slice(free: &[Value]) -> Self {
         if free.len() <= CLOSURE_INLINE {
-            let mut a = [Value::Nil; CLOSURE_INLINE];
+            let mut a = [Value::NIL; CLOSURE_INLINE];
             a[..free.len()].copy_from_slice(free);
             FreeVals::Inline(free.len() as u8, a)
         } else {
@@ -167,7 +167,7 @@ struct KontObj {
 
 impl Default for KontObj {
     fn default() -> Self {
-        KontObj { kont: None, winders: Value::Nil }
+        KontObj { kont: None, winders: Value::NIL }
     }
 }
 
@@ -700,7 +700,9 @@ impl Heap {
     /// Marks a value's object (if any) and queues it for scanning.
     #[inline]
     pub fn mark_value(&mut self, v: Value) {
-        if let Value::Obj(r) = v {
+        // One tag test filters out every immediate; only heap words reach
+        // the per-kind bitmaps.
+        if let Some(r) = v.as_obj() {
             let i = r.pool_index();
             let hit = match r.kind() {
                 ObjKind::Pair => self.pairs.try_mark(i),
@@ -825,10 +827,10 @@ mod tests {
     #[test]
     fn alloc_get_mutate() {
         let mut h = Heap::new();
-        let r = h.alloc(Obj::Pair(Value::Fixnum(1), Value::Nil));
-        assert_eq!(h.pair(r), Some((Value::Fixnum(1), Value::Nil)));
-        h.pair_mut(r).unwrap().0 = Value::Fixnum(2);
-        assert_eq!(h.pair(r), Some((Value::Fixnum(2), Value::Nil)));
+        let r = h.alloc(Obj::Pair(Value::fixnum(1), Value::NIL));
+        assert_eq!(h.pair(r), Some((Value::fixnum(1), Value::NIL)));
+        h.pair_mut(r).unwrap().0 = Value::fixnum(2);
+        assert_eq!(h.pair(r), Some((Value::fixnum(2), Value::NIL)));
         assert_eq!(r.kind(), ObjKind::Pair);
         assert_eq!(h.vector(r), None);
     }
@@ -836,29 +838,29 @@ mod tests {
     #[test]
     fn mark_sweep_frees_garbage_keeps_reachable() {
         let mut h = Heap::new();
-        let dead = h.alloc(Obj::Pair(Value::Fixnum(1), Value::Nil));
-        let inner = h.alloc(Obj::Pair(Value::Fixnum(2), Value::Nil));
-        let root = h.alloc(Obj::Pair(Value::Obj(inner), Value::Nil));
+        let dead = h.alloc(Obj::Pair(Value::fixnum(1), Value::NIL));
+        let inner = h.alloc(Obj::Pair(Value::fixnum(2), Value::NIL));
+        let root = h.alloc(Obj::Pair(Value::obj(inner), Value::NIL));
         h.begin_gc();
-        h.mark_value(Value::Obj(root));
+        h.mark_value(Value::obj(root));
         drain(&mut h);
         h.sweep();
         assert_eq!(h.len(), 2);
-        assert_eq!(h.pair(inner), Some((Value::Fixnum(2), Value::Nil)));
+        assert_eq!(h.pair(inner), Some((Value::fixnum(2), Value::NIL)));
         // The dead pair slot is recycled for the next pair.
-        let again = h.alloc(Obj::Pair(Value::Nil, Value::Nil));
+        let again = h.alloc(Obj::Pair(Value::NIL, Value::NIL));
         assert_eq!(again, dead);
     }
 
     #[test]
     fn cycles_are_collected_and_survive_marking() {
         let mut h = Heap::new();
-        let a = h.alloc(Obj::Pair(Value::Nil, Value::Nil));
-        let b = h.alloc(Obj::Pair(Value::Obj(a), Value::Nil));
-        h.pair_mut(a).unwrap().1 = Value::Obj(b);
+        let a = h.alloc(Obj::Pair(Value::NIL, Value::NIL));
+        let b = h.alloc(Obj::Pair(Value::obj(a), Value::NIL));
+        h.pair_mut(a).unwrap().1 = Value::obj(b);
         // Marking a cycle terminates.
         h.begin_gc();
-        h.mark_value(Value::Obj(a));
+        h.mark_value(Value::obj(a));
         drain(&mut h);
         h.sweep();
         assert_eq!(h.len(), 2);
@@ -872,9 +874,9 @@ mod tests {
     fn words_accounting_grows() {
         let mut h = Heap::new();
         let w0 = h.words_allocated();
-        h.alloc(Obj::Vector(vec![Value::Nil; 10]));
+        h.alloc(Obj::Vector(vec![Value::NIL; 10]));
         assert_eq!(h.words_allocated(), w0 + 11);
-        h.alloc(Obj::Pair(Value::Nil, Value::Nil));
+        h.alloc(Obj::Pair(Value::NIL, Value::NIL));
         assert_eq!(h.words_allocated(), w0 + 13);
     }
 
@@ -883,7 +885,7 @@ mod tests {
         let mut h = Heap::new();
         assert_eq!(h.stats().closures_allocated, 0);
         h.alloc(Obj::Closure { code: 0, free: Box::new([]) });
-        h.alloc(Obj::Pair(Value::Nil, Value::Nil));
+        h.alloc(Obj::Pair(Value::NIL, Value::NIL));
         assert_eq!(h.stats().closures_allocated, 1);
     }
 
@@ -892,7 +894,7 @@ mod tests {
         let mut h = Heap::new();
         h.set_gc_threshold(16);
         for _ in 0..16 {
-            h.alloc(Obj::Cell(Value::Nil));
+            h.alloc(Obj::Cell(Value::NIL));
         }
         assert!(h.wants_collection());
         h.begin_gc();
@@ -903,10 +905,10 @@ mod tests {
     #[test]
     fn konts_registry_finds_continuations() {
         let mut h = Heap::new();
-        h.alloc(Obj::Cell(Value::Nil));
+        h.alloc(Obj::Cell(Value::NIL));
         // Halt konts (no stack record) are not in the registry.
-        h.alloc(Obj::Kont { kont: None, winders: Value::Nil });
-        let k = h.alloc(Obj::Kont { kont: Some(KontId::from_index(7)), winders: Value::Nil });
+        h.alloc(Obj::Kont { kont: None, winders: Value::NIL });
+        let k = h.alloc(Obj::Kont { kont: Some(KontId::from_index(7)), winders: Value::NIL });
         let found: Vec<_> = h.konts().collect();
         assert_eq!(found, vec![(k, KontId::from_index(7))]);
         // Sweeping an unmarked kont prunes the registry.
@@ -918,10 +920,10 @@ mod tests {
     #[test]
     fn kont_children_enqueue_stack_record() {
         let mut h = Heap::new();
-        let w = h.alloc(Obj::Pair(Value::Fixnum(1), Value::Nil));
-        let k = h.alloc(Obj::Kont { kont: Some(KontId::from_index(3)), winders: Value::Obj(w) });
+        let w = h.alloc(Obj::Pair(Value::fixnum(1), Value::NIL));
+        let k = h.alloc(Obj::Kont { kont: Some(KontId::from_index(3)), winders: Value::obj(w) });
         h.begin_gc();
-        h.mark_value(Value::Obj(k));
+        h.mark_value(Value::obj(k));
         drain(&mut h);
         assert_eq!(h.pop_kont(), Some(KontId::from_index(3)));
         h.sweep();
@@ -931,28 +933,28 @@ mod tests {
     #[test]
     fn typed_refs_are_pool_local() {
         let mut h = Heap::new();
-        let p = h.alloc(Obj::Pair(Value::Nil, Value::Nil));
-        let c = h.alloc(Obj::Cell(Value::Nil));
+        let p = h.alloc(Obj::Pair(Value::NIL, Value::NIL));
+        let c = h.alloc(Obj::Cell(Value::NIL));
         // Same pool index, different kinds — distinct references.
         assert_eq!(p.pool_index(), c.pool_index());
         assert_ne!(p, c);
         assert_eq!(c.kind(), ObjKind::Cell);
-        assert_eq!(h.cell(c), Some(Value::Nil));
+        assert_eq!(h.cell(c), Some(Value::NIL));
         assert_eq!(h.cell(p), None);
     }
 
     #[test]
     fn stats_gauges_track_occupancy_and_peak() {
         let mut h = Heap::new();
-        let keep = h.alloc(Obj::Pair(Value::Nil, Value::Nil));
-        h.alloc(Obj::Vector(vec![Value::Nil]));
+        let keep = h.alloc(Obj::Pair(Value::NIL, Value::NIL));
+        h.alloc(Obj::Vector(vec![Value::NIL]));
         h.alloc(Obj::Str(vec!['a']));
         let s = h.stats();
         assert_eq!((s.pools.pairs, s.pools.vectors, s.pools.strs), (1, 1, 1));
         assert_eq!(s.live, 3);
         assert_eq!(s.peak_live, 3);
         h.begin_gc();
-        h.mark_value(Value::Obj(keep));
+        h.mark_value(Value::obj(keep));
         drain(&mut h);
         h.sweep();
         let s = h.stats();
@@ -967,21 +969,21 @@ mod tests {
     fn alloc_fault_latches_once_at_nth_alloc() {
         let mut h = Heap::new();
         h.arm_alloc_fault(3);
-        h.alloc_pair(Value::Nil, Value::Nil);
-        h.alloc_pair(Value::Nil, Value::Nil);
+        h.alloc_pair(Value::NIL, Value::NIL);
+        h.alloc_pair(Value::NIL, Value::NIL);
         assert!(!h.take_alloc_fault());
-        h.alloc_pair(Value::Nil, Value::Nil);
+        h.alloc_pair(Value::NIL, Value::NIL);
         assert!(h.take_alloc_fault());
         // Consumed: subsequent allocations do not re-trip.
         assert!(!h.take_alloc_fault());
-        h.alloc_pair(Value::Nil, Value::Nil);
+        h.alloc_pair(Value::NIL, Value::NIL);
         assert!(!h.take_alloc_fault());
     }
 
     #[test]
     fn sweep_resets_freed_payloads() {
         let mut h = Heap::new();
-        let v = h.alloc(Obj::Vector(vec![Value::Fixnum(9); 100]));
+        let v = h.alloc(Obj::Vector(vec![Value::fixnum(9); 100]));
         h.begin_gc();
         h.sweep();
         assert!(h.is_empty());

@@ -22,8 +22,8 @@
 //! let mut heap = Heap::new();
 //! let mut syms = Symbols::new();
 //! let x = syms.intern("x");
-//! let pair = heap.alloc(Obj::Pair(Value::Sym(x), Value::Fixnum(1)));
-//! assert_eq!(oneshot_runtime::write_value(&heap, &syms, Value::Obj(pair)), "(x . 1)");
+//! let pair = heap.alloc(Obj::Pair(Value::sym(x), Value::fixnum(1)));
+//! assert_eq!(oneshot_runtime::write_value(&heap, &syms, Value::obj(pair)), "(x . 1)");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -39,7 +39,7 @@ pub use convert::{datum_to_value, value_to_datum};
 pub use heap::{Heap, HeapStats, Obj, ObjView, PoolOccupancy};
 pub use print::{display_value, write_value};
 pub use symbols::{SymbolId, Symbols};
-pub use value::{ObjKind, ObjRef, Value};
+pub use value::{ObjKind, ObjRef, Unpacked, Value, FIXNUM_MAX, FIXNUM_MIN};
 
 /// Structural (`equal?`) comparison of two values.
 ///
@@ -54,7 +54,7 @@ pub fn values_equal(heap: &Heap, a: Value, b: Value) -> bool {
         if a == b {
             continue;
         }
-        let (Value::Obj(ra), Value::Obj(rb)) = (a, b) else { return false };
+        let (Some(ra), Some(rb)) = (a.as_obj(), b.as_obj()) else { return false };
         match (heap.view(ra), heap.view(rb)) {
             (ObjView::Pair(a1, d1), ObjView::Pair(a2, d2)) => {
                 work.push((d1, d2));
@@ -84,24 +84,24 @@ mod tests {
     #[test]
     fn equal_compares_structure() {
         let mut heap = Heap::new();
-        let a = heap.alloc(Obj::Pair(Value::Fixnum(1), Value::Nil));
-        let b = heap.alloc(Obj::Pair(Value::Fixnum(1), Value::Nil));
-        assert_ne!(Value::Obj(a), Value::Obj(b), "eqv? distinguishes allocations");
-        assert!(values_equal(&heap, Value::Obj(a), Value::Obj(b)));
-        let c = heap.alloc(Obj::Pair(Value::Fixnum(2), Value::Nil));
-        assert!(!values_equal(&heap, Value::Obj(a), Value::Obj(c)));
+        let a = heap.alloc(Obj::Pair(Value::fixnum(1), Value::NIL));
+        let b = heap.alloc(Obj::Pair(Value::fixnum(1), Value::NIL));
+        assert_ne!(Value::obj(a), Value::obj(b), "eqv? distinguishes allocations");
+        assert!(values_equal(&heap, Value::obj(a), Value::obj(b)));
+        let c = heap.alloc(Obj::Pair(Value::fixnum(2), Value::NIL));
+        assert!(!values_equal(&heap, Value::obj(a), Value::obj(c)));
     }
 
     #[test]
     fn equal_compares_vectors_and_strings() {
         let mut heap = Heap::new();
-        let v1 = heap.alloc(Obj::Vector(vec![Value::Fixnum(1), Value::Bool(true)]));
-        let v2 = heap.alloc(Obj::Vector(vec![Value::Fixnum(1), Value::Bool(true)]));
-        assert!(values_equal(&heap, Value::Obj(v1), Value::Obj(v2)));
+        let v1 = heap.alloc(Obj::Vector(vec![Value::fixnum(1), Value::TRUE]));
+        let v2 = heap.alloc(Obj::Vector(vec![Value::fixnum(1), Value::TRUE]));
+        assert!(values_equal(&heap, Value::obj(v1), Value::obj(v2)));
         let s1 = heap.alloc(Obj::Str("abc".chars().collect()));
         let s2 = heap.alloc(Obj::Str("abc".chars().collect()));
         let s3 = heap.alloc(Obj::Str("abd".chars().collect()));
-        assert!(values_equal(&heap, Value::Obj(s1), Value::Obj(s2)));
-        assert!(!values_equal(&heap, Value::Obj(s1), Value::Obj(s3)));
+        assert!(values_equal(&heap, Value::obj(s1), Value::obj(s2)));
+        assert!(!values_equal(&heap, Value::obj(s1), Value::obj(s3)));
     }
 }

@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 
 use crate::heap::{Heap, ObjView};
 use crate::symbols::Symbols;
-use crate::value::{ObjRef, Value};
+use crate::value::{ObjRef, Unpacked, Value};
 
 /// Formats `v` with `write` conventions (strings quoted, chars as `#\x`).
 pub fn write_value(heap: &Heap, syms: &Symbols, v: Value) -> String {
@@ -38,20 +38,20 @@ fn emit(
         out.push_str("...");
         return;
     }
-    match v {
-        Value::Fixnum(n) => {
+    match v.unpack() {
+        Unpacked::Fixnum(n) => {
             let _ = write!(out, "{n}");
         }
-        Value::Flonum(x) => {
+        Unpacked::Flonum(x) => {
             if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
                 let _ = write!(out, "{x:.1}");
             } else {
                 let _ = write!(out, "{x}");
             }
         }
-        Value::Bool(true) => out.push_str("#t"),
-        Value::Bool(false) => out.push_str("#f"),
-        Value::Char(c) if write => match c {
+        Unpacked::Bool(true) => out.push_str("#t"),
+        Unpacked::Bool(false) => out.push_str("#f"),
+        Unpacked::Char(c) if write => match c {
             ' ' => out.push_str("#\\space"),
             '\n' => out.push_str("#\\newline"),
             '\t' => out.push_str("#\\tab"),
@@ -59,16 +59,16 @@ fn emit(
                 let _ = write!(out, "#\\{c}");
             }
         },
-        Value::Char(c) => out.push(c),
-        Value::Nil => out.push_str("()"),
-        Value::Eof => out.push_str("#<eof>"),
-        Value::Unspecified => out.push_str("#<void>"),
-        Value::Undefined => out.push_str("#<undefined>"),
-        Value::Sym(s) => out.push_str(syms.name(s)),
-        Value::Builtin(i) => {
+        Unpacked::Char(c) => out.push(c),
+        Unpacked::Nil => out.push_str("()"),
+        Unpacked::Eof => out.push_str("#<eof>"),
+        Unpacked::Unspecified => out.push_str("#<void>"),
+        Unpacked::Undefined => out.push_str("#<undefined>"),
+        Unpacked::Sym(s) => out.push_str(syms.name(s)),
+        Unpacked::Builtin(i) => {
             let _ = write!(out, "#<builtin {i}>");
         }
-        Value::Obj(r) => {
+        Unpacked::Obj(r) => {
             if !seen.insert(r) {
                 out.push_str("#<cycle>");
                 return;
@@ -80,8 +80,9 @@ fn emit(
                     let mut cur = cdr;
                     loop {
                         match cur {
-                            Value::Nil => break,
-                            Value::Obj(r2) => {
+                            c if c == Value::NIL => break,
+                            c if c.is_obj() => {
+                                let r2 = c.as_obj().expect("just checked");
                                 if seen.contains(&r2) {
                                     out.push_str(" . #<cycle>");
                                     break;
@@ -159,10 +160,10 @@ mod tests {
     use crate::heap::Obj;
 
     fn list(heap: &mut Heap, items: &[Value]) -> Value {
-        let mut v = Value::Nil;
+        let mut v = Value::NIL;
         for &item in items.iter().rev() {
             let r = heap.alloc(Obj::Pair(item, v));
-            v = Value::Obj(r);
+            v = Value::obj(r);
         }
         v
     }
@@ -171,7 +172,7 @@ mod tests {
     fn prints_lists() {
         let mut h = Heap::new();
         let s = Symbols::new();
-        let l = list(&mut h, &[Value::Fixnum(1), Value::Fixnum(2)]);
+        let l = list(&mut h, &[Value::fixnum(1), Value::fixnum(2)]);
         assert_eq!(write_value(&h, &s, l), "(1 2)");
     }
 
@@ -179,10 +180,10 @@ mod tests {
     fn prints_dotted_pairs_and_vectors() {
         let mut h = Heap::new();
         let s = Symbols::new();
-        let p = h.alloc(Obj::Pair(Value::Fixnum(1), Value::Fixnum(2)));
-        assert_eq!(write_value(&h, &s, Value::Obj(p)), "(1 . 2)");
-        let v = h.alloc(Obj::Vector(vec![Value::Bool(true), Value::Nil]));
-        assert_eq!(write_value(&h, &s, Value::Obj(v)), "#(#t ())");
+        let p = h.alloc(Obj::Pair(Value::fixnum(1), Value::fixnum(2)));
+        assert_eq!(write_value(&h, &s, Value::obj(p)), "(1 . 2)");
+        let v = h.alloc(Obj::Vector(vec![Value::TRUE, Value::NIL]));
+        assert_eq!(write_value(&h, &s, Value::obj(v)), "#(#t ())");
     }
 
     #[test]
@@ -190,17 +191,17 @@ mod tests {
         let mut h = Heap::new();
         let s = Symbols::new();
         let r = h.alloc(Obj::Str("a\"b".chars().collect()));
-        assert_eq!(write_value(&h, &s, Value::Obj(r)), "\"a\\\"b\"");
-        assert_eq!(display_value(&h, &s, Value::Obj(r)), "a\"b");
+        assert_eq!(write_value(&h, &s, Value::obj(r)), "\"a\\\"b\"");
+        assert_eq!(display_value(&h, &s, Value::obj(r)), "a\"b");
     }
 
     #[test]
     fn cycles_are_detected() {
         let mut h = Heap::new();
         let s = Symbols::new();
-        let a = h.alloc(Obj::Pair(Value::Fixnum(1), Value::Nil));
-        h.pair_mut(a).unwrap().1 = Value::Obj(a);
-        let text = write_value(&h, &s, Value::Obj(a));
+        let a = h.alloc(Obj::Pair(Value::fixnum(1), Value::NIL));
+        h.pair_mut(a).unwrap().1 = Value::obj(a);
+        let text = write_value(&h, &s, Value::obj(a));
         assert!(text.contains("#<cycle>"), "{text}");
     }
 
@@ -209,6 +210,6 @@ mod tests {
         let h = Heap::new();
         let mut s = Symbols::new();
         let id = s.intern("lambda");
-        assert_eq!(write_value(&h, &s, Value::Sym(id)), "lambda");
+        assert_eq!(write_value(&h, &s, Value::sym(id)), "lambda");
     }
 }

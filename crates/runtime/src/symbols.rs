@@ -11,6 +11,12 @@ impl SymbolId {
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds an id from a raw index (value-word decoding only; the
+    /// index must have come from [`SymbolId::index`]).
+    pub(crate) fn from_raw(index: u32) -> SymbolId {
+        SymbolId(index)
+    }
 }
 
 /// The symbol table: bijective map between names and [`SymbolId`]s.

@@ -1,4 +1,43 @@
-//! The tagged value word.
+//! The NaN-boxed value word.
+//!
+//! Every Scheme value is one 64-bit word. Untagged words are flonums (the
+//! raw IEEE 754 bits of an `f64`); tagged words live in the negative
+//! quiet-NaN space, which no canonical flonum ever occupies. See
+//! DESIGN.md § "Value representation" for the full scheme and its safety
+//! contract.
+//!
+//! Bit layout (`w` is the word, bit 63 = most significant):
+//!
+//! ```text
+//!  63            50 49  48 47                                0
+//! ┌────────────────┬──────┬──────────────────────────────────┐
+//! │ 1111111111111 1│  n n n n n n ... fixnum payload (i50)   │ fixnum
+//! │ 1111111111111 0│ 0  0 │ ObjRef (kind«3» | pool index)    │ heap object
+//! │ 1111111111111 0│ 0  1 │ SymbolId                         │ symbol
+//! │ 1111111111111 0│ 1  0 │ builtin index (u16)              │ builtin
+//! │ 1111111111111 0│ 1  1 │0 char scalar (21 bits)           │ character
+//! │ 1111111111111 0│ 1  1 │1 singleton id (#f #t () eof ...) │ singletons
+//! │ anything else: the raw bits of an f64                    │ flonum
+//! └────────────────┴──────┴──────────────────────────────────┘
+//! ```
+//!
+//! A word is *tagged* iff its top 13 bits (sign, exponent, quiet bit) are
+//! all ones — i.e. it is a negative quiet NaN. [`Value::flonum`]
+//! canonicalizes every NaN to the positive quiet NaN
+//! `0x7FF8_0000_0000_0000` on encode, so no hardware-produced NaN bit
+//! pattern can ever alias a tag.
+//!
+//! Fixnums occupy the entire bit-50-set half of the tagged space: 50
+//! payload bits, sign-extended on decode, giving the range
+//! `-2^49 ..= 2^49 - 1`. Arithmetic that leaves this range raises the
+//! catchable `fixnum overflow` condition (the "bignum or error" decision:
+//! error — there is no bignum layer).
+//!
+//! `PartialEq` (derived, bitwise) implements `eqv?`: immediates compare by
+//! value, heap objects by identity, flonums by bits. With canonicalized
+//! NaNs this makes `(eqv? +nan.0 +nan.0)` ⇒ `#t` and
+//! `(eqv? 0.0 -0.0)` ⇒ `#f`, both permitted by R7RS (numeric `=` still
+//! compares as `f64`, so `(= +nan.0 +nan.0)` stays `#f`).
 
 use crate::symbols::SymbolId;
 
@@ -68,12 +107,55 @@ impl ObjRef {
     }
 }
 
-/// A Scheme value: immediates inline, compound data via [`ObjRef`].
+/// A word is tagged iff these 13 bits (sign + exponent + quiet bit) are
+/// all set; otherwise it is flonum bits.
+const TAGGED: u64 = 0xFFF8_0000_0000_0000;
+/// Tagged with bit 50 also set: a fixnum. The whole upper half of the
+/// tagged space belongs to fixnums so the fixnum test is one mask+compare.
+const FIXNUM: u64 = 0xFFFC_0000_0000_0000;
+/// Non-fixnum tag field (bits 49..48), as the word's top 16 bits.
+const TAG_OBJ: u64 = 0xFFF8;
+const TAG_SYM: u64 = 0xFFF9;
+const TAG_BUILTIN: u64 = 0xFFFA;
+const TAG_MISC: u64 = 0xFFFB;
+/// Inside `TAG_MISC`: bit 47 clear = character scalar, set = singleton.
+const MISC_SINGLETON: u64 = 1 << 47;
+/// Every NaN is canonicalized to this (positive quiet) pattern on encode.
+const CANONICAL_NAN: u64 = 0x7FF8_0000_0000_0000;
+/// Fixnum payload width and range.
+const FIXNUM_BITS: u32 = 50;
+const FIXNUM_PAYLOAD: u64 = (1 << FIXNUM_BITS) - 1;
+/// Smallest and largest representable fixnums (`i50`).
+pub const FIXNUM_MIN: i64 = -(1 << (FIXNUM_BITS - 1));
+/// Largest representable fixnum.
+pub const FIXNUM_MAX: i64 = (1 << (FIXNUM_BITS - 1)) - 1;
+
+const fn singleton(id: u64) -> u64 {
+    (TAG_MISC << 48) | MISC_SINGLETON | id
+}
+
+/// A Scheme value: one 64-bit NaN-boxed word. Immediates (fixnums,
+/// flonums, booleans, characters, singletons, symbols, builtins) are
+/// stored inline; compound data is an [`ObjRef`] into the heap's
+/// segregated pools.
 ///
 /// `PartialEq` implements `eqv?` semantics: immediates compare by value,
-/// heap objects by identity.
+/// heap objects by identity (see the module docs for the flonum corner
+/// cases). Construct with the typed constructors ([`Value::fixnum`],
+/// [`Value::flonum`], ...) and inspect with the predicates/accessors or
+/// [`Value::unpack`] — the raw word is private and no tag bits escape
+/// this module.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value(u64);
+
+/// A [`Value`] exploded into a Rust enum, for exhaustive matching.
+///
+/// This is the *view* type: `v.unpack()` is the only way to branch over
+/// every class at once, and it compiles to a couple of shifts. Hot paths
+/// that only care about one class should use the direct predicates and
+/// accessors instead.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Value {
+pub enum Unpacked {
     /// An exact integer.
     Fixnum(i64),
     /// An inexact real.
@@ -88,10 +170,7 @@ pub enum Value {
     Eof,
     /// The unspecified value (result of `set!`, `for-each`, ...).
     Unspecified,
-    /// The unbound-global sentinel. Never produced by evaluation: the VM
-    /// initializes global cells to `Undefined` so `GlobalRef`'s
-    /// bound-check is a single load + compare instead of a second table
-    /// lookup. Unreachable from Scheme code.
+    /// The unbound-global sentinel (never produced by evaluation).
     Undefined,
     /// An interned symbol.
     Sym(SymbolId),
@@ -102,25 +181,248 @@ pub enum Value {
 }
 
 impl Value {
-    /// Scheme truthiness: everything but `#f` is true.
+    /// `#f`.
+    pub const FALSE: Value = Value(singleton(0));
+    /// `#t`.
+    pub const TRUE: Value = Value(singleton(1));
+    /// The empty list.
+    pub const NIL: Value = Value(singleton(2));
+    /// The end-of-file object.
+    pub const EOF: Value = Value(singleton(3));
+    /// The unspecified value (result of `set!`, `for-each`, ...).
+    pub const UNSPECIFIED: Value = Value(singleton(4));
+    /// The unbound-global sentinel. Never produced by evaluation: the VM
+    /// initializes global cells to `UNDEFINED` so `GlobalRef`'s
+    /// bound-check is a single load + compare instead of a second table
+    /// lookup. Unreachable from Scheme code.
+    pub const UNDEFINED: Value = Value(singleton(5));
+
+    // --- constructors ---
+
+    /// Whether `n` is representable as a fixnum (50 bits, signed).
     #[inline]
-    pub fn is_true(self) -> bool {
-        !matches!(self, Value::Bool(false))
+    pub const fn fits_fixnum(n: i64) -> bool {
+        n >= FIXNUM_MIN && n <= FIXNUM_MAX
     }
 
-    /// The fixnum payload, if this is one.
-    pub fn as_fixnum(self) -> Option<i64> {
-        match self {
-            Value::Fixnum(n) => Some(n),
-            _ => None,
+    /// An exact integer.
+    ///
+    /// The payload must fit the 50-bit fixnum range
+    /// ([`FIXNUM_MIN`]`..=`[`FIXNUM_MAX`]); this is debug-asserted, and in
+    /// release the excess high bits are silently dropped (sign-extending
+    /// truncation). Fallible producers (arithmetic, parsing) must go
+    /// through [`Value::fixnum_checked`] and surface the overflow.
+    #[inline]
+    pub fn fixnum(n: i64) -> Value {
+        debug_assert!(Value::fits_fixnum(n), "fixnum out of range: {n}");
+        Value(FIXNUM | (n as u64 & FIXNUM_PAYLOAD))
+    }
+
+    /// An exact integer, or `None` if `n` exceeds the fixnum range.
+    #[inline]
+    pub fn fixnum_checked(n: i64) -> Option<Value> {
+        Value::fits_fixnum(n).then(|| Value::fixnum(n))
+    }
+
+    /// An inexact real. NaNs (any payload, either sign) are canonicalized
+    /// to one positive quiet NaN so no NaN bit pattern can alias a tag.
+    #[inline]
+    pub fn flonum(x: f64) -> Value {
+        if x.is_nan() {
+            Value(CANONICAL_NAN)
+        } else {
+            Value(x.to_bits())
         }
     }
 
+    /// `#t` or `#f`.
+    #[inline]
+    pub const fn boolean(b: bool) -> Value {
+        if b {
+            Value::TRUE
+        } else {
+            Value::FALSE
+        }
+    }
+
+    /// A character.
+    #[inline]
+    pub fn character(c: char) -> Value {
+        Value((TAG_MISC << 48) | u64::from(u32::from(c)))
+    }
+
+    /// An interned symbol.
+    #[inline]
+    pub fn sym(id: SymbolId) -> Value {
+        Value((TAG_SYM << 48) | u64::from(id.index()))
+    }
+
+    /// A builtin procedure index.
+    #[inline]
+    pub fn builtin(i: u16) -> Value {
+        Value((TAG_BUILTIN << 48) | u64::from(i))
+    }
+
+    /// A heap object.
+    #[inline]
+    pub fn obj(r: ObjRef) -> Value {
+        Value((TAG_OBJ << 48) | u64::from(r.0))
+    }
+
+    // --- predicates ---
+
+    #[inline]
+    fn is_tagged(self) -> bool {
+        self.0 & TAGGED == TAGGED
+    }
+
+    /// Scheme truthiness: everything but `#f` is true.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self != Value::FALSE
+    }
+
+    /// Whether this is an exact integer.
+    #[inline]
+    pub fn is_fixnum(self) -> bool {
+        self.0 & FIXNUM == FIXNUM
+    }
+
+    /// Whether this is an inexact real.
+    #[inline]
+    pub fn is_flonum(self) -> bool {
+        !self.is_tagged()
+    }
+
+    /// Whether this is `#t` or `#f`.
+    #[inline]
+    pub fn is_boolean(self) -> bool {
+        self == Value::TRUE || self == Value::FALSE
+    }
+
+    /// Whether this is a character.
+    #[inline]
+    pub fn is_char(self) -> bool {
+        self.0 >> 48 == TAG_MISC && self.0 & MISC_SINGLETON == 0
+    }
+
+    /// Whether this is an interned symbol.
+    #[inline]
+    pub fn is_sym(self) -> bool {
+        self.0 >> 48 == TAG_SYM
+    }
+
+    /// Whether this is a builtin procedure.
+    #[inline]
+    pub fn is_builtin(self) -> bool {
+        self.0 >> 48 == TAG_BUILTIN
+    }
+
+    /// Whether this is a heap object.
+    #[inline]
+    pub fn is_obj(self) -> bool {
+        self.0 >> 48 == TAG_OBJ
+    }
+
+    /// Whether this is a heap object of the given kind — one mask+compare,
+    /// no heap access.
+    #[inline]
+    pub fn is_obj_kind(self, kind: ObjKind) -> bool {
+        const KIND_MASK: u64 = 0xFFFF_0000_0000_0000 | ((7u32 << INDEX_BITS) as u64);
+        self.0 & KIND_MASK == (TAG_OBJ << 48) | u64::from((kind as u32) << INDEX_BITS)
+    }
+
+    /// Whether this is a pair (the dominant `is_obj_kind` query).
+    #[inline]
+    pub fn is_pair(self) -> bool {
+        self.is_obj_kind(ObjKind::Pair)
+    }
+
+    // --- accessors ---
+
+    /// The fixnum payload, if this is one.
+    #[inline]
+    pub fn as_fixnum(self) -> Option<i64> {
+        self.is_fixnum().then_some(((self.0 << 14) as i64) >> 14)
+    }
+
+    /// The flonum payload, if this is one.
+    #[inline]
+    pub fn as_flonum(self) -> Option<f64> {
+        self.is_flonum().then(|| f64::from_bits(self.0))
+    }
+
+    /// The character payload, if this is one.
+    #[inline]
+    pub fn as_char(self) -> Option<char> {
+        // The low 32 bits of a char word are exactly the scalar value the
+        // constructor stored, so the round trip cannot fail.
+        self.is_char().then(|| char::from_u32(self.0 as u32).expect("char scalar"))
+    }
+
+    /// The symbol id, if this is one.
+    #[inline]
+    pub fn as_sym(self) -> Option<SymbolId> {
+        self.is_sym().then(|| SymbolId::from_raw(self.0 as u32))
+    }
+
+    /// The builtin index, if this is one.
+    #[inline]
+    pub fn as_builtin(self) -> Option<u16> {
+        self.is_builtin().then_some(self.0 as u16)
+    }
+
     /// The heap reference, if this is a heap object.
+    #[inline]
     pub fn as_obj(self) -> Option<ObjRef> {
-        match self {
-            Value::Obj(r) => Some(r),
-            _ => None,
+        self.is_obj().then_some(ObjRef(self.0 as u32))
+    }
+
+    /// Explodes the word into an enum for exhaustive matching.
+    #[inline]
+    pub fn unpack(self) -> Unpacked {
+        if !self.is_tagged() {
+            return Unpacked::Flonum(f64::from_bits(self.0));
+        }
+        match (self.0 >> 48) & 7 {
+            0 => Unpacked::Obj(ObjRef(self.0 as u32)),
+            1 => Unpacked::Sym(SymbolId::from_raw(self.0 as u32)),
+            2 => Unpacked::Builtin(self.0 as u16),
+            3 => {
+                if self.0 & MISC_SINGLETON == 0 {
+                    Unpacked::Char(char::from_u32(self.0 as u32).expect("char scalar"))
+                } else {
+                    match self.0 & 7 {
+                        0 => Unpacked::Bool(false),
+                        1 => Unpacked::Bool(true),
+                        2 => Unpacked::Nil,
+                        3 => Unpacked::Eof,
+                        4 => Unpacked::Unspecified,
+                        _ => Unpacked::Undefined,
+                    }
+                }
+            }
+            _ => Unpacked::Fixnum(((self.0 << 14) as i64) >> 14),
+        }
+    }
+}
+
+impl std::fmt::Debug for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Print the unpacked view (with the old enum's variant spellings)
+        // so diagnostics stay readable.
+        match self.unpack() {
+            Unpacked::Fixnum(n) => write!(f, "Fixnum({n})"),
+            Unpacked::Flonum(x) => write!(f, "Flonum({x})"),
+            Unpacked::Bool(b) => write!(f, "Bool({b})"),
+            Unpacked::Char(c) => write!(f, "Char({c:?})"),
+            Unpacked::Nil => write!(f, "Nil"),
+            Unpacked::Eof => write!(f, "Eof"),
+            Unpacked::Unspecified => write!(f, "Unspecified"),
+            Unpacked::Undefined => write!(f, "Undefined"),
+            Unpacked::Sym(s) => write!(f, "Sym({})", s.index()),
+            Unpacked::Builtin(i) => write!(f, "Builtin({i})"),
+            Unpacked::Obj(r) => write!(f, "Obj({:?}:{})", r.kind(), r.pool_index()),
         }
     }
 }
@@ -128,33 +430,37 @@ impl Value {
 impl Default for Value {
     /// The unspecified value.
     fn default() -> Self {
-        Value::Unspecified
+        Value::UNSPECIFIED
     }
 }
 
 impl From<i64> for Value {
     fn from(n: i64) -> Self {
-        Value::Fixnum(n)
+        Value::fixnum(n)
     }
 }
 
 impl From<bool> for Value {
     fn from(b: bool) -> Self {
-        Value::Bool(b)
+        Value::boolean(b)
     }
 }
 
 impl From<char> for Value {
     fn from(c: char) -> Self {
-        Value::Char(c)
+        Value::character(c)
     }
 }
 
 impl From<f64> for Value {
     fn from(x: f64) -> Self {
-        Value::Flonum(x)
+        Value::flonum(x)
     }
 }
+
+/// The whole point: a value is one machine word.
+const _: () = assert!(std::mem::size_of::<Value>() == 8, "Value must be one word");
+const _: () = assert!(std::mem::size_of::<Option<Value>>() == 16);
 
 #[cfg(test)]
 mod tests {
@@ -162,25 +468,105 @@ mod tests {
 
     #[test]
     fn truthiness() {
-        assert!(!Value::Bool(false).is_true());
-        assert!(Value::Bool(true).is_true());
-        assert!(Value::Fixnum(0).is_true());
-        assert!(Value::Nil.is_true());
-        assert!(Value::Unspecified.is_true());
+        assert!(!Value::FALSE.is_true());
+        assert!(Value::TRUE.is_true());
+        assert!(Value::fixnum(0).is_true());
+        assert!(Value::NIL.is_true());
+        assert!(Value::UNSPECIFIED.is_true());
     }
 
     #[test]
     fn eqv_semantics() {
-        assert_eq!(Value::Fixnum(3), Value::from(3));
-        assert_eq!(Value::from(true), Value::Bool(true));
-        assert_eq!(Value::from('c'), Value::Char('c'));
-        assert_eq!(Value::from(1.5), Value::Flonum(1.5));
-        assert_ne!(Value::Obj(ObjRef(0)), Value::Obj(ObjRef(1)));
-        assert_eq!(Value::default(), Value::Unspecified);
+        assert_eq!(Value::fixnum(3), Value::from(3));
+        assert_eq!(Value::from(true), Value::TRUE);
+        assert_eq!(Value::from('c'), Value::character('c'));
+        assert_eq!(Value::from(1.5), Value::flonum(1.5));
+        assert_ne!(Value::obj(ObjRef(0)), Value::obj(ObjRef(1)));
+        assert_eq!(Value::default(), Value::UNSPECIFIED);
     }
 
     #[test]
-    fn value_is_small() {
-        assert!(std::mem::size_of::<Value>() <= 16, "values stay word-pair sized");
+    fn singletons_are_distinct() {
+        let all = [
+            Value::FALSE,
+            Value::TRUE,
+            Value::NIL,
+            Value::EOF,
+            Value::UNSPECIFIED,
+            Value::UNDEFINED,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                assert_eq!(a == b, i == j, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixnum_range_round_trips() {
+        for n in [0, 1, -1, 42, -42, FIXNUM_MIN, FIXNUM_MAX, FIXNUM_MIN + 1, FIXNUM_MAX - 1] {
+            assert_eq!(Value::fixnum(n).as_fixnum(), Some(n));
+            assert_eq!(Value::fixnum(n).unpack(), Unpacked::Fixnum(n));
+        }
+        assert!(Value::fixnum_checked(FIXNUM_MAX + 1).is_none());
+        assert!(Value::fixnum_checked(FIXNUM_MIN - 1).is_none());
+        assert!(Value::fixnum_checked(i64::MAX).is_none());
+        assert!(Value::fixnum_checked(i64::MIN).is_none());
+    }
+
+    #[test]
+    fn flonum_bits_round_trip() {
+        for x in [0.0, -0.0, 1.5, -1.5, f64::INFINITY, f64::NEG_INFINITY, f64::MIN, f64::MAX] {
+            let v = Value::flonum(x);
+            assert!(v.is_flonum());
+            assert_eq!(v.as_flonum().map(f64::to_bits), Some(x.to_bits()), "{x}");
+        }
+        // NaNs canonicalize: every NaN encodes to the same word, which is
+        // still a NaN and never reads back as a tagged value.
+        let nan = Value::flonum(f64::NAN);
+        assert!(nan.is_flonum());
+        assert!(nan.as_flonum().unwrap().is_nan());
+        assert_eq!(nan, Value::flonum(-f64::NAN));
+        assert_eq!(nan, Value::flonum(f64::from_bits(0xFFF8_DEAD_BEEF_0001)));
+    }
+
+    #[test]
+    fn chars_and_indices_round_trip() {
+        for c in ['a', '\0', ' ', 'λ', char::MAX] {
+            assert_eq!(Value::character(c).as_char(), Some(c));
+        }
+        assert_eq!(Value::builtin(u16::MAX).as_builtin(), Some(u16::MAX));
+        let s = SymbolId::from_raw(u32::MAX);
+        assert_eq!(Value::sym(s).as_sym(), Some(s));
+    }
+
+    #[test]
+    fn classes_do_not_alias() {
+        // A zero payload in every tagged class, plus flonum 0.0: all
+        // pairwise distinct words.
+        let vs = [
+            Value::fixnum(0),
+            Value::flonum(0.0),
+            Value::character('\0'),
+            Value::builtin(0),
+            Value::sym(SymbolId::from_raw(0)),
+            Value::obj(ObjRef(0)),
+            Value::FALSE,
+        ];
+        for (i, a) in vs.iter().enumerate() {
+            for (j, b) in vs.iter().enumerate() {
+                assert_eq!(a == b, i == j, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let p = Value::obj(ObjRef::pack(ObjKind::Pair, 7));
+        assert!(p.is_pair() && p.is_obj());
+        let v = Value::obj(ObjRef::pack(ObjKind::Vector, 7));
+        assert!(!v.is_pair() && v.is_obj_kind(ObjKind::Vector));
+        assert!(!Value::fixnum(7).is_pair());
+        assert!(!Value::flonum(0.0).is_obj());
     }
 }

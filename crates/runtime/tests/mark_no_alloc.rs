@@ -42,16 +42,16 @@ fn alloc_calls() -> u64 {
 /// closure, a string, a cell) plus `garbage` dead pairs, returning the
 /// roots.
 fn populate(h: &mut Heap, garbage: i64) -> Vec<Value> {
-    let mut list = Value::Nil;
+    let mut list = Value::NIL;
     for i in 0..1_000 {
-        list = Value::Obj(h.alloc(Obj::Pair(Value::Fixnum(i), list)));
+        list = Value::obj(h.alloc(Obj::Pair(Value::fixnum(i), list)));
     }
-    let vec = Value::Obj(h.alloc(Obj::Vector((0..100).map(Value::Fixnum).collect())));
-    let clo = Value::Obj(h.alloc(Obj::Closure { code: 0, free: vec![list, vec].into() }));
-    let s = Value::Obj(h.alloc(Obj::Str("one-shot".chars().collect())));
-    let cell = Value::Obj(h.alloc(Obj::Cell(vec)));
+    let vec = Value::obj(h.alloc(Obj::Vector((0..100).map(Value::fixnum).collect())));
+    let clo = Value::obj(h.alloc(Obj::Closure { code: 0, free: vec![list, vec].into() }));
+    let s = Value::obj(h.alloc(Obj::Str("one-shot".chars().collect())));
+    let cell = Value::obj(h.alloc(Obj::Cell(vec)));
     for i in 0..garbage {
-        h.alloc(Obj::Pair(Value::Fixnum(i), Value::Nil));
+        h.alloc(Obj::Pair(Value::fixnum(i), Value::NIL));
     }
     vec![list, vec, clo, s, cell]
 }
@@ -93,7 +93,7 @@ fn warm_mark_phase_performs_zero_allocations() {
     // Fresh garbage, same volume as before, so cycle 2 does real marking
     // and sweeping work without needing larger buffers.
     for i in 0..2_000 {
-        h.alloc(Obj::Pair(Value::Fixnum(i), Value::Nil));
+        h.alloc(Obj::Pair(Value::fixnum(i), Value::NIL));
     }
 
     let objects_before = h.stats().objects_allocated;

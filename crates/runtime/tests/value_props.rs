@@ -1,0 +1,209 @@
+//! Property tests for the NaN-boxed value word: encode/decode round trips
+//! for every variant at its edges, class exclusivity (no two classes ever
+//! alias a bit pattern), and the fixnum-range fallback decisions.
+
+use oneshot_runtime::{Heap, ObjKind, ObjRef, Symbols, Unpacked, Value, FIXNUM_MAX, FIXNUM_MIN};
+use proptest::prelude::*;
+
+/// Fixnum payloads weighted toward the edges of the 50-bit range.
+fn fixnum_strategy() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        3 => FIXNUM_MIN..=FIXNUM_MAX,
+        1 => prop_oneof![
+            Just(FIXNUM_MIN),
+            Just(FIXNUM_MAX),
+            Just(FIXNUM_MIN + 1),
+            Just(FIXNUM_MAX - 1),
+            Just(0i64),
+            Just(-1i64),
+        ],
+    ]
+}
+
+/// f64 bit patterns including every special the encoder must canonicalize
+/// or preserve: NaNs (quiet, signalling-shaped, negative), infinities,
+/// signed zeros, subnormals.
+fn flonum_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        3 => -1.0e300..1.0e300_f64,
+        1 => prop_oneof![
+            Just(f64::NAN),
+            Just(-f64::NAN),
+            Just(f64::from_bits(0x7FF0_0000_0000_0001)), // signalling-shaped NaN
+            Just(f64::from_bits(0xFFF8_DEAD_BEEF_0001)), // negative NaN with payload
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(0.0),
+            Just(-0.0),
+            Just(f64::MIN_POSITIVE),
+            Just(f64::from_bits(1)), // smallest subnormal
+            Just(f64::MAX),
+            Just(f64::MIN),
+        ],
+    ]
+}
+
+/// Chars weighted toward the scalar-value boundaries (surrogate gap edges,
+/// 1/2/3/4-byte UTF-8 boundaries, char::MAX).
+fn char_strategy() -> impl Strategy<Value = char> {
+    prop_oneof![
+        2 => any::<char>(),
+        1 => prop_oneof![
+            Just('\0'),
+            Just('\u{7F}'),
+            Just('\u{80}'),
+            Just('\u{7FF}'),
+            Just('\u{800}'),
+            Just('\u{D7FF}'), // last scalar before the surrogate gap
+            Just('\u{E000}'), // first scalar after it
+            Just('\u{FFFF}'),
+            Just('\u{10000}'),
+            Just(char::MAX),
+        ],
+    ]
+}
+
+proptest! {
+    #[test]
+    fn fixnum_round_trips(n in fixnum_strategy()) {
+        let v = Value::fixnum(n);
+        prop_assert_eq!(v.as_fixnum(), Some(n));
+        prop_assert!(matches!(v.unpack(), Unpacked::Fixnum(m) if m == n));
+        prop_assert!(v.is_fixnum() && !v.is_flonum() && !v.is_obj());
+        prop_assert_eq!(Value::fixnum_checked(n), Some(v));
+    }
+
+    #[test]
+    fn out_of_range_fixnums_are_rejected_not_wrapped(bits in any::<i64>()) {
+        // The bignum-or-error decision: a checked producer must see None
+        // for anything outside the 50-bit payload (i64::MIN/MAX included
+        // by the i64 strategy's edge mix), never a silently wrapped word.
+        let expect = (FIXNUM_MIN..=FIXNUM_MAX).contains(&bits);
+        prop_assert_eq!(Value::fixnum_checked(bits).is_some(), expect);
+    }
+
+    #[test]
+    fn flonum_round_trips(x in flonum_strategy()) {
+        let v = Value::flonum(x);
+        prop_assert!(v.is_flonum() && !v.is_fixnum() && !v.is_obj());
+        let back = v.as_flonum().expect("flonum decodes");
+        if x.is_nan() {
+            // Every NaN canonicalizes to the one quiet positive NaN, so no
+            // hardware NaN payload can alias a tagged word.
+            prop_assert!(back.is_nan());
+            prop_assert_eq!(Value::flonum(x), Value::flonum(f64::NAN));
+        } else {
+            // Bit-exact otherwise: -0.0 and subnormals survive.
+            prop_assert_eq!(back.to_bits(), x.to_bits());
+        }
+        prop_assert!(matches!(v.unpack(), Unpacked::Flonum(_)));
+    }
+
+    #[test]
+    fn char_round_trips(c in char_strategy()) {
+        let v = Value::character(c);
+        prop_assert_eq!(v.as_char(), Some(c));
+        prop_assert!(v.is_char() && !v.is_boolean() && !v.is_fixnum());
+        prop_assert!(matches!(v.unpack(), Unpacked::Char(d) if d == c));
+    }
+
+    #[test]
+    fn builtin_indices_round_trip(raw in any::<u32>()) {
+        // The builtin table index is a u16; cover 0, the max, and the field.
+        let i = raw as u16;
+        let v = Value::builtin(i);
+        prop_assert_eq!(v.as_builtin(), Some(i));
+        prop_assert!(v.is_builtin() && !v.is_sym() && !v.is_obj());
+        prop_assert!(matches!(v.unpack(), Unpacked::Builtin(j) if j == i));
+    }
+
+    #[test]
+    fn obj_refs_round_trip(count in 1usize..64) {
+        // Heap-allocated refs of every kind: the word must carry the kind
+        // in its tag bits (is_pair with no heap access) and the pool index
+        // intact as the free list hands out scattered slots.
+        let mut h = Heap::new();
+        use oneshot_runtime::Obj;
+        for i in 0..count {
+            let refs = [
+                h.alloc_pair(Value::fixnum(i as i64), Value::NIL),
+                h.alloc(Obj::Vector(vec![Value::TRUE; i % 3])),
+                h.alloc(Obj::Str("x".chars().collect())),
+                h.alloc(Obj::Closure { code: i as u32, free: Box::new([]) }),
+                h.alloc(Obj::Cell(Value::NIL)),
+            ];
+            let kinds =
+                [ObjKind::Pair, ObjKind::Vector, ObjKind::Str, ObjKind::Closure, ObjKind::Cell];
+            for (r, kind) in refs.into_iter().zip(kinds) {
+                let v = Value::obj(r);
+                prop_assert_eq!(v.as_obj(), Some(r));
+                prop_assert_eq!(v.as_obj().map(ObjRef::kind), Some(kind));
+                prop_assert!(v.is_obj_kind(kind));
+                prop_assert_eq!(v.is_pair(), kind == ObjKind::Pair);
+                prop_assert!(v.is_obj() && !v.is_fixnum() && !v.is_flonum());
+            }
+        }
+    }
+
+    #[test]
+    fn classes_never_alias(n in fixnum_strategy(), x in flonum_strategy(), c in char_strategy(), i in any::<u32>()) {
+        let i = i as u16;
+        // Distinct classes must produce distinct words: bitwise equality is
+        // eqv?, so any collision would conflate Scheme values.
+        let vals = [
+            Value::fixnum(n),
+            Value::flonum(x),
+            Value::character(c),
+            Value::builtin(i),
+            Value::TRUE,
+            Value::FALSE,
+            Value::NIL,
+            Value::EOF,
+            Value::UNSPECIFIED,
+            Value::UNDEFINED,
+        ];
+        for (a_i, a) in vals.iter().enumerate() {
+            for (b_i, b) in vals.iter().enumerate() {
+                if a_i != b_i {
+                    prop_assert_ne!(a, b, "class {} aliased class {}", a_i, b_i);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn symbol_index_limits_round_trip() {
+    // SymbolId indices are dense interner handles; exercise the word path
+    // with real interned symbols plus the index extremes via sym/as_sym.
+    let mut syms = Symbols::new();
+    let a = syms.intern("a");
+    let v = Value::sym(a);
+    assert_eq!(v.as_sym(), Some(a));
+    assert!(v.is_sym() && !v.is_builtin());
+    assert!(matches!(v.unpack(), Unpacked::Sym(s) if s == a));
+}
+
+#[test]
+fn i64_extremes_fall_back_to_flonum_literals() {
+    // A program literal outside the fixnum range converts, not raises:
+    // the reader's i64 becomes an inexact flonum (no bignum layer).
+    use oneshot_runtime::datum_to_value;
+    let mut h = Heap::new();
+    let mut s = Symbols::new();
+    for n in [i64::MIN, i64::MAX, FIXNUM_MAX + 1, FIXNUM_MIN - 1] {
+        let v = datum_to_value(&mut h, &mut s, &oneshot_sexp::Datum::Fixnum(n));
+        assert!(v.is_flonum(), "{n} should degrade to a flonum literal");
+        assert_eq!(v.as_flonum(), Some(n as f64));
+    }
+    for n in [FIXNUM_MAX, FIXNUM_MIN, 0] {
+        let v = datum_to_value(&mut h, &mut s, &oneshot_sexp::Datum::Fixnum(n));
+        assert_eq!(v.as_fixnum(), Some(n), "{n} stays exact");
+    }
+}
+
+#[test]
+fn value_word_is_one_machine_word() {
+    assert_eq!(std::mem::size_of::<Value>(), 8);
+    assert_eq!(std::mem::size_of::<Option<Value>>(), 16);
+}

@@ -349,7 +349,7 @@ impl EngineHost {
         });
         let thunk = self.vm.load_program(prog);
         let spawn = self.vm.global("exec-spawn!").expect("driver defines exec-spawn!");
-        if let Err(e) = self.vm.call(spawn, &[Value::Fixnum(slot), thunk]) {
+        if let Err(e) = self.vm.call(spawn, &[Value::fixnum(slot), thunk]) {
             self.free_slots.push(slot);
             return Err(e);
         }
@@ -386,7 +386,7 @@ impl EngineHost {
         };
         let step = self.vm.global("exec-step!").expect("driver defines exec-step!");
         let fuel = i64::try_from(fuel.max(1)).unwrap_or(i64::MAX);
-        match self.vm.call(step, &[Value::Fixnum(slot), Value::Fixnum(fuel)]) {
+        match self.vm.call(step, &[Value::fixnum(slot), Value::fixnum(fuel)]) {
             Ok(v) => {
                 if v == self.vm.intern("parked") {
                     return Ok(EngineStep::Parked);
@@ -421,7 +421,7 @@ impl EngineHost {
     fn parse_wait(&mut self, tail: Value) -> Option<Wait> {
         let (kind, rest) = self.vm.pair(tail)?;
         let (handle, _) = self.vm.pair(rest)?;
-        let Value::Fixnum(handle) = handle else { return None };
+        let handle = handle.as_fixnum()?;
         if kind == self.vm.intern("read") {
             Some(Wait::Readable(handle))
         } else if kind == self.vm.intern("write") {
@@ -442,7 +442,7 @@ impl EngineHost {
         if let Some(&slot) = self.slot_of.get(&id) {
             let drop_fn = self.vm.global("exec-drop!").expect("driver defines exec-drop!");
             // exec-drop! cannot raise; ignore the (always #t) result.
-            let _ = self.vm.call(drop_fn, &[Value::Fixnum(slot)]);
+            let _ = self.vm.call(drop_fn, &[Value::fixnum(slot)]);
         }
         self.release_slot(id);
         true
@@ -488,10 +488,8 @@ mod tests {
     }
 
     fn done_count(ts: &mut ThreadSystem) -> i64 {
-        match ts.eval("done").unwrap() {
-            Value::Fixnum(n) => n,
-            other => panic!("done was {other:?}"),
-        }
+        let v = ts.eval("done").unwrap();
+        v.as_fixnum().unwrap_or_else(|| panic!("done was {v:?}"))
     }
 
     #[test]

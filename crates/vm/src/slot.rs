@@ -38,7 +38,7 @@ pub enum Resume {
 /// stored in return addresses is the paper's frame-size word (kept in the
 /// code stream there, inside the return address here) — it is what lets
 /// the runtime walk frames for splitting and overflow hysteresis.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Slot {
     /// A value.
     Val(Value),
@@ -53,7 +53,7 @@ pub enum Slot {
         pc: u32,
         /// Frame displacement (the paper's frame-size word).
         disp: u32,
-        /// The caller's closure, or `Value::Unspecified`.
+        /// The caller's closure, or `Value::UNSPECIFIED`.
         closure: Value,
     },
     /// A staged-builtin resume point (see [`Resume`]).
@@ -101,16 +101,16 @@ mod tests {
 
     #[test]
     fn walker_reads_displacements() {
-        let r = Slot::Ret { code: 0, pc: 3, disp: 7, closure: Value::Unspecified };
+        let r = Slot::Ret { code: 0, pc: 3, disp: 7, closure: Value::UNSPECIFIED };
         assert_eq!(slot_disp(&r), Some(7));
         let w = Slot::Resume { kind: Resume::CwvConsume, disp: 4 };
         assert_eq!(slot_disp(&w), Some(4));
         assert_eq!(slot_disp(&Slot::Marker), None);
-        assert_eq!(slot_disp(&Slot::Val(Value::Nil)), None);
+        assert_eq!(slot_disp(&Slot::Val(Value::NIL)), None);
     }
 
     #[test]
     fn value_accessor() {
-        assert_eq!(Slot::Val(Value::Fixnum(3)).value(), Value::Fixnum(3));
+        assert_eq!(Slot::Val(Value::fixnum(3)).value(), Value::fixnum(3));
     }
 }

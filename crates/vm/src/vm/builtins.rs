@@ -4,7 +4,7 @@
 //! (the canonical list shared with the CPS converter); construction panics
 //! if an implementation is missing, so the two cannot drift.
 
-use oneshot_runtime::{values_equal, Obj, ObjKind, Value};
+use oneshot_runtime::{values_equal, Obj, ObjKind, ObjRef, Unpacked, Value};
 
 use crate::error::VmError;
 use crate::slot::{Resume, Slot};
@@ -45,7 +45,7 @@ impl Vm {
             let f = lookup(name).unwrap_or_else(|| panic!("builtin {name} has no implementation"));
             self.builtins.push(f);
             let idx = u16::try_from(i).expect("too many builtins");
-            self.set_global(name, Value::Builtin(idx));
+            self.set_global(name, Value::builtin(idx));
         }
     }
 
@@ -71,32 +71,28 @@ impl Vm {
     pub(crate) fn list_to_vec(&self, mut v: Value, who: &str) -> R<Vec<Value>> {
         let mut out = Vec::new();
         loop {
-            match v {
-                Value::Nil => return Ok(out),
-                Value::Obj(r) => match self.heap.pair(r) {
-                    Some((a, d)) => {
-                        out.push(a);
-                        v = d;
-                    }
-                    None => return Err(err(format!("{who}: improper list"))),
-                },
-                _ => return Err(err(format!("{who}: improper list"))),
+            if v == Value::NIL {
+                return Ok(out);
+            }
+            match v.as_obj().and_then(|r| self.heap.pair(r)) {
+                Some((a, d)) => {
+                    out.push(a);
+                    v = d;
+                }
+                None => return Err(err(format!("{who}: improper list"))),
             }
         }
     }
 
     fn string_of(&self, v: Value, who: &str) -> R<Vec<char>> {
-        match v {
-            Value::Obj(r) => match self.heap.string(r) {
-                Some(s) => Ok(s.to_vec()),
-                None => Err(self.type_error(who, "string", v)),
-            },
-            _ => Err(self.type_error(who, "string", v)),
+        match v.as_obj().and_then(|r| self.heap.string(r)) {
+            Some(s) => Ok(s.to_vec()),
+            None => Err(self.type_error(who, "string", v)),
         }
     }
 
     fn alloc_string(&mut self, s: Vec<char>) -> Value {
-        Value::Obj(self.heap.alloc(Obj::Str(s)))
+        Value::obj(self.heap.alloc(Obj::Str(s)))
     }
 
     // --- staged builtins (resumed from exec.rs) ---
@@ -107,8 +103,8 @@ impl Vm {
         let before = self.arg(0);
         let thunk = self.arg(1);
         let after = self.arg(2);
-        let winder = Value::Obj(self.heap.alloc(Obj::Pair(before, after)));
-        self.winders = Value::Obj(self.heap.alloc(Obj::Pair(winder, self.winders)));
+        let winder = Value::obj(self.heap.alloc(Obj::Pair(before, after)));
+        self.winders = Value::obj(self.heap.alloc(Obj::Pair(winder, self.winders)));
         let fp = self.stack.fp();
         self.stack.set(fp + 4, Slot::Resume { kind: Resume::WindAfter, disp: 4 });
         self.stack.set_fp(fp + 4);
@@ -119,11 +115,11 @@ impl Vm {
     /// the winder, call `after`.
     pub(crate) fn dynamic_wind_after(&mut self) -> R<Flow> {
         let (stash, was_mv) = match self.mv.take() {
-            Some(vals) => (Value::Obj(self.heap.alloc(Obj::Vector(vals))), true),
+            Some(vals) => (Value::obj(self.heap.alloc(Obj::Vector(vals))), true),
             None => (self.acc, false),
         };
         self.set_local(1, stash);
-        self.set_local(2, Value::Bool(was_mv));
+        self.set_local(2, Value::boolean(was_mv));
         self.winders = self.cdr_of(self.winders)?;
         let after = self.local(3);
         let fp = self.stack.fp();
@@ -137,11 +133,11 @@ impl Vm {
     pub(crate) fn dynamic_wind_done(&mut self) -> R<Flow> {
         let stash = self.local(1);
         let was_mv = self.local(2);
-        if was_mv == Value::Bool(true) {
-            let Value::Obj(r) = stash else { return Err(err("wind stash corrupt")) };
+        if was_mv == Value::TRUE {
+            let Some(r) = stash.as_obj() else { return Err(err("wind stash corrupt")) };
             let Some(vals) = self.heap.vector(r) else { return Err(err("wind stash corrupt")) };
             self.mv = Some(vals.to_vec());
-            self.acc = Value::Unspecified;
+            self.acc = Value::UNSPECIFIED;
         } else {
             self.acc = stash;
             self.mv = None;
@@ -182,10 +178,14 @@ fn at_least(argc: usize, min: usize, who: &str) -> R<()> {
 }
 
 fn fix(v: Value, who: &str) -> R<i64> {
-    match v {
-        Value::Fixnum(n) => Ok(n),
-        _ => Err(err(format!("{who}: expected integer"))),
-    }
+    v.as_fixnum().ok_or_else(|| err(format!("{who}: expected integer")))
+}
+
+/// A fixnum result that must fit the 50-bit payload; raises the catchable
+/// overflow condition otherwise (the word has no bignum fallback).
+fn fixnum_or_overflow(n: i64, who: &str) -> R<Value> {
+    Value::fixnum_checked(n)
+        .ok_or_else(|| VmError::condition("error", format!("fixnum overflow in {who}")))
 }
 
 fn ufix(v: Value, who: &str) -> R<usize> {
@@ -198,10 +198,7 @@ fn net_port(v: Value, who: &str) -> R<u16> {
 }
 
 fn chr(v: Value, who: &str) -> R<char> {
-    match v {
-        Value::Char(c) => Ok(c),
-        _ => Err(err(format!("{who}: expected character"))),
-    }
+    v.as_char().ok_or_else(|| err(format!("{who}: expected character")))
 }
 
 /// Chained numeric comparison over all arguments.
@@ -209,12 +206,12 @@ fn cmp_chain(vm: &mut Vm, argc: usize, op: &'static str) -> R<Flow> {
     at_least(argc, 2, op)?;
     for i in 0..argc - 1 {
         let r = crate::vm::exec::num_cmp(vm.arg(i), vm.arg(i + 1), op)?;
-        if r == Value::Bool(false) {
-            vm.acc = Value::Bool(false);
+        if r == Value::FALSE {
+            vm.acc = Value::FALSE;
             return Ok(Flow::Return);
         }
     }
-    vm.acc = Value::Bool(true);
+    vm.acc = Value::TRUE;
     Ok(Flow::Return)
 }
 
@@ -228,11 +225,11 @@ fn char_cmp_chain(
     for i in 0..argc - 1 {
         let (a, b) = (chr(vm.arg(i), who)?, chr(vm.arg(i + 1), who)?);
         if !f(a, b) {
-            vm.acc = Value::Bool(false);
+            vm.acc = Value::FALSE;
             return Ok(Flow::Return);
         }
     }
-    vm.acc = Value::Bool(true);
+    vm.acc = Value::TRUE;
     Ok(Flow::Return)
 }
 
@@ -247,11 +244,11 @@ fn string_cmp_chain(
         let a = vm.string_of(vm.arg(i), who)?;
         let b = vm.string_of(vm.arg(i + 1), who)?;
         if !f(&a, &b) {
-            vm.acc = Value::Bool(false);
+            vm.acc = Value::FALSE;
             return Ok(Flow::Return);
         }
     }
-    vm.acc = Value::Bool(true);
+    vm.acc = Value::TRUE;
     Ok(Flow::Return)
 }
 
@@ -270,7 +267,7 @@ macro_rules! pred {
             check(argc, 1, $who)?;
             let v = vm.arg(0);
             let p: fn(&Vm, Value) -> bool = $f;
-            vm.acc = Value::Bool(p(vm, v));
+            vm.acc = Value::boolean(p(vm, v));
             Ok(Flow::Return)
         }
     };
@@ -281,7 +278,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
     Some(match name {
         // --- numbers ---
         "+" => |vm, argc| {
-            let mut acc = Value::Fixnum(0);
+            let mut acc = Value::fixnum(0);
             for i in 0..argc {
                 acc = crate::vm::exec::num_add(acc, vm.arg(i))?;
             }
@@ -290,7 +287,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         "-" => |vm, argc| {
             at_least(argc, 1, "-")?;
             if argc == 1 {
-                return ret!(vm, crate::vm::exec::num_sub(Value::Fixnum(0), vm.arg(0))?);
+                return ret!(vm, crate::vm::exec::num_sub(Value::fixnum(0), vm.arg(0))?);
             }
             let mut acc = vm.arg(0);
             for i in 1..argc {
@@ -299,7 +296,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             ret!(vm, acc)
         },
         "*" => |vm, argc| {
-            let mut acc = Value::Fixnum(1);
+            let mut acc = Value::fixnum(1);
             for i in 0..argc {
                 acc = crate::vm::exec::num_mul(acc, vm.arg(i))?;
             }
@@ -307,17 +304,17 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         },
         "/" => |vm, argc| {
             at_least(argc, 1, "/")?;
-            let mut acc = if argc == 1 { Value::Fixnum(1) } else { vm.arg(0) };
+            let mut acc = if argc == 1 { Value::fixnum(1) } else { vm.arg(0) };
             let rest = if argc == 1 { 0..1 } else { 1..argc };
             for i in rest {
                 let d = vm.arg(i);
-                acc = match (acc, d) {
-                    (Value::Fixnum(_), Value::Fixnum(0)) => return Err(err("/: division by zero")),
-                    (Value::Fixnum(a), Value::Fixnum(b)) if a % b == 0 => Value::Fixnum(a / b),
+                acc = match (acc.as_fixnum(), d.as_fixnum()) {
+                    (Some(_), Some(0)) => return Err(err("/: division by zero")),
+                    (Some(a), Some(b)) if a % b == 0 => Value::fixnum(a / b),
                     _ => {
                         let x = crate::vm::exec::as_f64(acc, "/")?;
                         let y = crate::vm::exec::as_f64(d, "/")?;
-                        Value::Flonum(x / y)
+                        Value::flonum(x / y)
                     }
                 };
             }
@@ -329,7 +326,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             if b == 0 {
                 return Err(err("quotient: division by zero"));
             }
-            ret!(vm, Value::Fixnum(a.wrapping_div(b)))
+            ret!(vm, fixnum_or_overflow(a.wrapping_div(b), "quotient")?)
         },
         "remainder" => |vm, argc| {
             check(argc, 2, "remainder")?;
@@ -337,7 +334,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             if b == 0 {
                 return Err(err("remainder: division by zero"));
             }
-            ret!(vm, Value::Fixnum(a.wrapping_rem(b)))
+            ret!(vm, Value::fixnum(a.wrapping_rem(b)))
         },
         "modulo" => |vm, argc| {
             check(argc, 2, "modulo")?;
@@ -347,14 +344,14 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             }
             let r = a % b;
             let m = if r != 0 && (r < 0) != (b < 0) { r + b } else { r };
-            ret!(vm, Value::Fixnum(m))
+            ret!(vm, Value::fixnum(m))
         },
         "abs" => |vm, argc| {
             check(argc, 1, "abs")?;
-            match vm.arg(0) {
-                Value::Fixnum(n) => ret!(vm, Value::Fixnum(n.abs())),
-                Value::Flonum(x) => ret!(vm, Value::Flonum(x.abs())),
-                v => Err(vm.type_error("abs", "number", v)),
+            match vm.arg(0).unpack() {
+                Unpacked::Fixnum(n) => ret!(vm, fixnum_or_overflow(n.abs(), "abs")?),
+                Unpacked::Flonum(x) => ret!(vm, Value::flonum(x.abs())),
+                _ => Err(vm.type_error("abs", "number", vm.arg(0))),
             }
         },
         "min" => |vm, argc| {
@@ -362,7 +359,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let mut best = vm.arg(0);
             for i in 1..argc {
                 let v = vm.arg(i);
-                if crate::vm::exec::num_cmp(v, best, "<")? == Value::Bool(true) {
+                if crate::vm::exec::num_cmp(v, best, "<")? == Value::TRUE {
                     best = v;
                 }
             }
@@ -373,7 +370,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let mut best = vm.arg(0);
             for i in 1..argc {
                 let v = vm.arg(i);
-                if crate::vm::exec::num_cmp(v, best, ">")? == Value::Bool(true) {
+                if crate::vm::exec::num_cmp(v, best, ">")? == Value::TRUE {
                     best = v;
                 }
             }
@@ -384,47 +381,51 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             for i in 0..argc {
                 g = gcd64(g, fix(vm.arg(i), "gcd")?.abs());
             }
-            ret!(vm, Value::Fixnum(g))
+            ret!(vm, fixnum_or_overflow(g, "gcd")?)
         },
         "lcm" => |vm, argc| {
             let mut l: i64 = 1;
             for i in 0..argc {
                 let n = fix(vm.arg(i), "lcm")?.abs();
                 if n == 0 {
-                    return ret!(vm, Value::Fixnum(0));
+                    return ret!(vm, Value::fixnum(0));
                 }
-                l = l / gcd64(l, n) * n;
+                l = (l / gcd64(l, n))
+                    .checked_mul(n)
+                    .ok_or_else(|| VmError::condition("error", "fixnum overflow in lcm"))?;
             }
-            ret!(vm, Value::Fixnum(l))
+            ret!(vm, fixnum_or_overflow(l, "lcm")?)
         },
         "expt" => |vm, argc| {
             check(argc, 2, "expt")?;
-            match (vm.arg(0), vm.arg(1)) {
-                (Value::Fixnum(a), Value::Fixnum(b)) if b >= 0 => {
+            match (vm.arg(0).as_fixnum(), vm.arg(1).as_fixnum()) {
+                (Some(a), Some(b)) if b >= 0 => {
                     let e = u32::try_from(b).map_err(|_| err("expt: exponent too large"))?;
                     let r = a.checked_pow(e).ok_or_else(|| err("fixnum overflow in expt"))?;
-                    ret!(vm, Value::Fixnum(r))
+                    ret!(vm, fixnum_or_overflow(r, "expt")?)
                 }
-                (a, b) => {
-                    let x = crate::vm::exec::as_f64(a, "expt")?;
-                    let y = crate::vm::exec::as_f64(b, "expt")?;
-                    ret!(vm, Value::Flonum(x.powf(y)))
+                _ => {
+                    let x = crate::vm::exec::as_f64(vm.arg(0), "expt")?;
+                    let y = crate::vm::exec::as_f64(vm.arg(1), "expt")?;
+                    ret!(vm, Value::flonum(x.powf(y)))
                 }
             }
         },
         "sqrt" => |vm, argc| {
             check(argc, 1, "sqrt")?;
-            match vm.arg(0) {
-                Value::Fixnum(n) if n >= 0 => {
+            match vm.arg(0).as_fixnum() {
+                Some(n) if n >= 0 => {
                     let r = (n as f64).sqrt();
                     let ri = r.round() as i64;
                     if ri.checked_mul(ri) == Some(n) {
-                        ret!(vm, Value::Fixnum(ri))
+                        ret!(vm, Value::fixnum(ri))
                     } else {
-                        ret!(vm, Value::Flonum(r))
+                        ret!(vm, Value::flonum(r))
                     }
                 }
-                v => ret!(vm, Value::Flonum(crate::vm::exec::as_f64(v, "sqrt")?.sqrt())),
+                _ => {
+                    ret!(vm, Value::flonum(crate::vm::exec::as_f64(vm.arg(0), "sqrt")?.sqrt()))
+                }
             }
         },
         "floor" => |vm, argc| round_like(vm, argc, "floor", f64::floor),
@@ -433,45 +434,47 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         "round" => |vm, argc| round_like(vm, argc, "round", round_even),
         "exact->inexact" => |vm, argc| {
             check(argc, 1, "exact->inexact")?;
-            ret!(vm, Value::Flonum(crate::vm::exec::as_f64(vm.arg(0), "exact->inexact")?))
+            ret!(vm, Value::flonum(crate::vm::exec::as_f64(vm.arg(0), "exact->inexact")?))
         },
         "inexact->exact" => |vm, argc| {
             check(argc, 1, "inexact->exact")?;
-            match vm.arg(0) {
-                Value::Fixnum(n) => ret!(vm, Value::Fixnum(n)),
-                Value::Flonum(x) if x.fract() == 0.0 => ret!(vm, Value::Fixnum(x as i64)),
+            match vm.arg(0).unpack() {
+                Unpacked::Fixnum(n) => ret!(vm, Value::fixnum(n)),
+                Unpacked::Flonum(x) if x.fract() == 0.0 && Value::fits_fixnum(x as i64) => {
+                    ret!(vm, Value::fixnum(x as i64))
+                }
                 _ => Err(err("inexact->exact: not representable as an exact integer")),
             }
         },
-        "number?" => pred!("number?", |_, v| matches!(v, Value::Fixnum(_) | Value::Flonum(_))),
+        "number?" => pred!("number?", |_, v| v.is_fixnum() || v.is_flonum()),
         "integer?" => pred!("integer?", |_, v| {
-            matches!(v, Value::Fixnum(_)) || matches!(v, Value::Flonum(x) if x.fract() == 0.0)
+            v.is_fixnum() || matches!(v.as_flonum(), Some(x) if x.fract() == 0.0)
         }),
-        "exact?" => pred!("exact?", |_, v| matches!(v, Value::Fixnum(_))),
-        "inexact?" => pred!("inexact?", |_, v| matches!(v, Value::Flonum(_))),
+        "exact?" => pred!("exact?", |_, v| v.is_fixnum()),
+        "inexact?" => pred!("inexact?", |_, v| v.is_flonum()),
         "zero?" => |vm, argc| {
             check(argc, 1, "zero?")?;
-            match vm.arg(0) {
-                Value::Fixnum(n) => ret!(vm, Value::Bool(n == 0)),
-                Value::Flonum(x) => ret!(vm, Value::Bool(x == 0.0)),
-                v => Err(vm.type_error("zero?", "number", v)),
+            match vm.arg(0).unpack() {
+                Unpacked::Fixnum(n) => ret!(vm, Value::boolean(n == 0)),
+                Unpacked::Flonum(x) => ret!(vm, Value::boolean(x == 0.0)),
+                _ => Err(vm.type_error("zero?", "number", vm.arg(0))),
             }
         },
         "positive?" => |vm, argc| {
             check(argc, 1, "positive?")?;
-            ret!(vm, crate::vm::exec::num_cmp(vm.arg(0), Value::Fixnum(0), ">")?)
+            ret!(vm, crate::vm::exec::num_cmp(vm.arg(0), Value::fixnum(0), ">")?)
         },
         "negative?" => |vm, argc| {
             check(argc, 1, "negative?")?;
-            ret!(vm, crate::vm::exec::num_cmp(vm.arg(0), Value::Fixnum(0), "<")?)
+            ret!(vm, crate::vm::exec::num_cmp(vm.arg(0), Value::fixnum(0), "<")?)
         },
         "odd?" => |vm, argc| {
             check(argc, 1, "odd?")?;
-            ret!(vm, Value::Bool(fix(vm.arg(0), "odd?")? % 2 != 0))
+            ret!(vm, Value::boolean(fix(vm.arg(0), "odd?")? % 2 != 0))
         },
         "even?" => |vm, argc| {
             check(argc, 1, "even?")?;
-            ret!(vm, Value::Bool(fix(vm.arg(0), "even?")? % 2 == 0))
+            ret!(vm, Value::boolean(fix(vm.arg(0), "even?")? % 2 == 0))
         },
         "=" => |vm, argc| cmp_chain(vm, argc, "="),
         "<" => |vm, argc| cmp_chain(vm, argc, "<"),
@@ -481,12 +484,12 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         "number->string" => |vm, argc| {
             at_least(argc, 1, "number->string")?;
             let radix = if argc >= 2 { fix(vm.arg(1), "number->string")? } else { 10 };
-            let s = match (vm.arg(0), radix) {
-                (Value::Fixnum(n), 10) => n.to_string(),
-                (Value::Fixnum(n), 2) => format!("{n:b}"),
-                (Value::Fixnum(n), 8) => format!("{n:o}"),
-                (Value::Fixnum(n), 16) => format!("{n:x}"),
-                (Value::Flonum(x), 10) => {
+            let s = match (vm.arg(0).unpack(), radix) {
+                (Unpacked::Fixnum(n), 10) => n.to_string(),
+                (Unpacked::Fixnum(n), 2) => format!("{n:b}"),
+                (Unpacked::Fixnum(n), 8) => format!("{n:o}"),
+                (Unpacked::Fixnum(n), 16) => format!("{n:x}"),
+                (Unpacked::Flonum(x), 10) => {
                     if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
                         format!("{x:.1}")
                     } else {
@@ -502,18 +505,20 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             at_least(argc, 1, "string->number")?;
             let s: String = vm.string_of(vm.arg(0), "string->number")?.into_iter().collect();
             let radix = if argc >= 2 { fix(vm.arg(1), "string->number")? } else { 10 };
+            // Integers that parse but exceed the 50-bit fixnum payload
+            // degrade to inexact flonums (there is no bignum layer).
             let v = if radix == 10 {
-                if let Ok(n) = s.parse::<i64>() {
-                    Value::Fixnum(n)
+                if let Some(v) = s.parse::<i64>().ok().and_then(Value::fixnum_checked) {
+                    v
                 } else if let Ok(x) = s.parse::<f64>() {
-                    Value::Flonum(x)
+                    Value::flonum(x)
                 } else {
-                    Value::Bool(false)
+                    Value::FALSE
                 }
             } else {
                 match i64::from_str_radix(&s, radix as u32) {
-                    Ok(n) => Value::Fixnum(n),
-                    Err(_) => Value::Bool(false),
+                    Ok(n) => Value::fixnum_checked(n).unwrap_or_else(|| Value::flonum(n as f64)),
+                    Err(_) => Value::FALSE,
                 }
             };
             ret!(vm, v)
@@ -521,35 +526,34 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         // --- predicates ---
         "eq?" | "eqv?" => |vm, argc| {
             check(argc, 2, "eq?")?;
-            ret!(vm, Value::Bool(vm.arg(0) == vm.arg(1)))
+            ret!(vm, Value::boolean(vm.arg(0) == vm.arg(1)))
         },
         "equal?" => |vm, argc| {
             check(argc, 2, "equal?")?;
-            ret!(vm, Value::Bool(values_equal(&vm.heap, vm.arg(0), vm.arg(1))))
+            ret!(vm, Value::boolean(values_equal(&vm.heap, vm.arg(0), vm.arg(1))))
         },
         "not" => pred!("not", |_, v| !v.is_true()),
-        "boolean?" => pred!("boolean?", |_, v| matches!(v, Value::Bool(_))),
-        "procedure?" => pred!("procedure?", |_, v| match v {
-            Value::Builtin(_) => true,
-            Value::Obj(r) => matches!(r.kind(), ObjKind::Closure | ObjKind::Kont),
-            _ => false,
+        "boolean?" => pred!("boolean?", |_, v| v.is_boolean()),
+        "procedure?" => pred!("procedure?", |_, v| {
+            v.is_builtin()
+                || matches!(v.as_obj().map(ObjRef::kind), Some(ObjKind::Closure | ObjKind::Kont))
         }),
-        "symbol?" => pred!("symbol?", |_, v| matches!(v, Value::Sym(_))),
+        "symbol?" => pred!("symbol?", |_, v| v.is_sym()),
         "string?" => {
-            pred!("string?", |_, v| { matches!(v, Value::Obj(r) if r.kind() == ObjKind::Str) })
+            pred!("string?", |_, v| v.is_obj_kind(ObjKind::Str))
         }
-        "char?" => pred!("char?", |_, v| matches!(v, Value::Char(_))),
+        "char?" => pred!("char?", |_, v| v.is_char()),
         "vector?" => {
-            pred!("vector?", |_, v| { matches!(v, Value::Obj(r) if r.kind() == ObjKind::Vector) })
+            pred!("vector?", |_, v| v.is_obj_kind(ObjKind::Vector))
         }
         "pair?" => {
-            pred!("pair?", |_, v| { matches!(v, Value::Obj(r) if r.kind() == ObjKind::Pair) })
+            pred!("pair?", |_, v| v.is_pair())
         }
-        "null?" => pred!("null?", |_, v| v == Value::Nil),
+        "null?" => pred!("null?", |_, v| v == Value::NIL),
         // --- pairs and lists ---
         "cons" => |vm, argc| {
             check(argc, 2, "cons")?;
-            let v = Value::Obj(vm.heap.alloc_pair(vm.arg(0), vm.arg(1)));
+            let v = Value::obj(vm.heap.alloc_pair(vm.arg(0), vm.arg(1)));
             ret!(vm, v)
         },
         "car" => |vm, argc| {
@@ -563,22 +567,22 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         "set-car!" => |vm, argc| {
             check(argc, 2, "set-car!")?;
             let (p, v) = (vm.arg(0), vm.arg(1));
-            let Value::Obj(r) = p else { return Err(vm.type_error("set-car!", "pair", p)) };
+            let Some(r) = p.as_obj() else { return Err(vm.type_error("set-car!", "pair", p)) };
             let Some(pair) = vm.heap.pair_mut(r) else {
                 return Err(vm.type_error("set-car!", "pair", p));
             };
             pair.0 = v;
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         "set-cdr!" => |vm, argc| {
             check(argc, 2, "set-cdr!")?;
             let (p, v) = (vm.arg(0), vm.arg(1));
-            let Value::Obj(r) = p else { return Err(vm.type_error("set-cdr!", "pair", p)) };
+            let Some(r) = p.as_obj() else { return Err(vm.type_error("set-cdr!", "pair", p)) };
             let Some(pair) = vm.heap.pair_mut(r) else {
                 return Err(vm.type_error("set-cdr!", "pair", p));
             };
             pair.1 = v;
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         "list" => |vm, argc| {
             let items = vm.args(argc);
@@ -588,11 +592,11 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         "length" => |vm, argc| {
             check(argc, 1, "length")?;
             let n = vm.list_to_vec(vm.arg(0), "length")?.len();
-            ret!(vm, Value::Fixnum(n as i64))
+            ret!(vm, Value::fixnum(n as i64))
         },
         "append" => |vm, argc| {
             if argc == 0 {
-                return ret!(vm, Value::Nil);
+                return ret!(vm, Value::NIL);
             }
             let mut out = vm.arg(argc - 1);
             for i in (0..argc - 1).rev() {
@@ -606,7 +610,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         "reverse" => |vm, argc| {
             check(argc, 1, "reverse")?;
             let items = vm.list_to_vec(vm.arg(0), "reverse")?;
-            let mut out = Value::Nil;
+            let mut out = Value::NIL;
             for &item in &items {
                 out = vm.cons(item, out);
             }
@@ -633,18 +637,17 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let x = vm.arg(0);
             let mut v = vm.arg(1);
             loop {
-                match v {
-                    Value::Nil => return ret!(vm, Value::Bool(false)),
-                    Value::Obj(r) => match vm.heap.pair(r) {
-                        Some((a, d)) => {
-                            if a == x {
-                                return ret!(vm, v);
-                            }
-                            v = d;
+                if v == Value::NIL {
+                    return ret!(vm, Value::FALSE);
+                }
+                match v.as_obj().and_then(|r| vm.heap.pair(r)) {
+                    Some((a, d)) => {
+                        if a == x {
+                            return ret!(vm, v);
                         }
-                        None => return Err(err("memv: improper list")),
-                    },
-                    _ => return Err(err("memv: improper list")),
+                        v = d;
+                    }
+                    None => return Err(err("memv: improper list")),
                 }
             }
         },
@@ -653,19 +656,18 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let x = vm.arg(0);
             let mut v = vm.arg(1);
             loop {
-                match v {
-                    Value::Nil => return ret!(vm, Value::Bool(false)),
-                    Value::Obj(r) => match vm.heap.pair(r) {
-                        Some((entry, d)) => {
-                            let key = vm.car_of(entry)?;
-                            if key == x {
-                                return ret!(vm, entry);
-                            }
-                            v = d;
+                if v == Value::NIL {
+                    return ret!(vm, Value::FALSE);
+                }
+                match v.as_obj().and_then(|r| vm.heap.pair(r)) {
+                    Some((entry, d)) => {
+                        let key = vm.car_of(entry)?;
+                        if key == x {
+                            return ret!(vm, entry);
                         }
-                        None => return Err(err("assv: improper list")),
-                    },
-                    _ => return Err(err("assv: improper list")),
+                        v = d;
+                    }
+                    None => return Err(err("assv: improper list")),
                 }
             }
         },
@@ -675,30 +677,30 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let mut slow = vm.arg(0);
             let mut fast = vm.arg(0);
             loop {
-                match fast {
-                    Value::Nil => return ret!(vm, Value::Bool(true)),
-                    Value::Obj(r) if r.kind() == ObjKind::Pair => {
-                        fast = vm.cdr_of(fast)?;
-                        match fast {
-                            Value::Nil => return ret!(vm, Value::Bool(true)),
-                            Value::Obj(r2) if r2.kind() == ObjKind::Pair => {
-                                fast = vm.cdr_of(fast)?;
-                                slow = vm.cdr_of(slow)?;
-                                if fast == slow {
-                                    return ret!(vm, Value::Bool(false));
-                                }
-                            }
-                            _ => return ret!(vm, Value::Bool(false)),
-                        }
-                    }
-                    _ => return ret!(vm, Value::Bool(false)),
+                if fast == Value::NIL {
+                    return ret!(vm, Value::TRUE);
+                }
+                if !fast.is_pair() {
+                    return ret!(vm, Value::FALSE);
+                }
+                fast = vm.cdr_of(fast)?;
+                if fast == Value::NIL {
+                    return ret!(vm, Value::TRUE);
+                }
+                if !fast.is_pair() {
+                    return ret!(vm, Value::FALSE);
+                }
+                fast = vm.cdr_of(fast)?;
+                slow = vm.cdr_of(slow)?;
+                if fast == slow {
+                    return ret!(vm, Value::FALSE);
                 }
             }
         },
         // --- symbols ---
         "symbol->string" => |vm, argc| {
             check(argc, 1, "symbol->string")?;
-            let Value::Sym(s) = vm.arg(0) else {
+            let Some(s) = vm.arg(0).as_sym() else {
                 return Err(vm.type_error("symbol->string", "symbol", vm.arg(0)));
             };
             let chars: Vec<char> = vm.syms.name(s).chars().collect();
@@ -718,12 +720,12 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 String::from("g")
             };
             let id = vm.syms.gensym(&prefix);
-            ret!(vm, Value::Sym(id))
+            ret!(vm, Value::sym(id))
         },
         // --- characters ---
         "char->integer" => |vm, argc| {
             check(argc, 1, "char->integer")?;
-            ret!(vm, Value::Fixnum(i64::from(u32::from(chr(vm.arg(0), "char->integer")?))))
+            ret!(vm, Value::fixnum(i64::from(u32::from(chr(vm.arg(0), "char->integer")?))))
         },
         "integer->char" => |vm, argc| {
             check(argc, 1, "integer->char")?;
@@ -732,7 +734,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 .ok()
                 .and_then(char::from_u32)
                 .ok_or_else(|| err("integer->char: not a character code"))?;
-            ret!(vm, Value::Char(c))
+            ret!(vm, Value::character(c))
         },
         "char=?" => |vm, argc| char_cmp_chain(vm, argc, "char=?", |a, b| a == b),
         "char<?" => |vm, argc| char_cmp_chain(vm, argc, "char<?", |a, b| a < b),
@@ -741,31 +743,31 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         "char>=?" => |vm, argc| char_cmp_chain(vm, argc, "char>=?", |a, b| a >= b),
         "char-upcase" => |vm, argc| {
             check(argc, 1, "char-upcase")?;
-            ret!(vm, Value::Char(chr(vm.arg(0), "char-upcase")?.to_ascii_uppercase()))
+            ret!(vm, Value::character(chr(vm.arg(0), "char-upcase")?.to_ascii_uppercase()))
         },
         "char-downcase" => |vm, argc| {
             check(argc, 1, "char-downcase")?;
-            ret!(vm, Value::Char(chr(vm.arg(0), "char-downcase")?.to_ascii_lowercase()))
+            ret!(vm, Value::character(chr(vm.arg(0), "char-downcase")?.to_ascii_lowercase()))
         },
         "char-alphabetic?" => |vm, argc| {
             check(argc, 1, "char-alphabetic?")?;
-            ret!(vm, Value::Bool(chr(vm.arg(0), "char-alphabetic?")?.is_alphabetic()))
+            ret!(vm, Value::boolean(chr(vm.arg(0), "char-alphabetic?")?.is_alphabetic()))
         },
         "char-numeric?" => |vm, argc| {
             check(argc, 1, "char-numeric?")?;
-            ret!(vm, Value::Bool(chr(vm.arg(0), "char-numeric?")?.is_numeric()))
+            ret!(vm, Value::boolean(chr(vm.arg(0), "char-numeric?")?.is_numeric()))
         },
         "char-whitespace?" => |vm, argc| {
             check(argc, 1, "char-whitespace?")?;
-            ret!(vm, Value::Bool(chr(vm.arg(0), "char-whitespace?")?.is_whitespace()))
+            ret!(vm, Value::boolean(chr(vm.arg(0), "char-whitespace?")?.is_whitespace()))
         },
         "char-upper-case?" => |vm, argc| {
             check(argc, 1, "char-upper-case?")?;
-            ret!(vm, Value::Bool(chr(vm.arg(0), "char-upper-case?")?.is_uppercase()))
+            ret!(vm, Value::boolean(chr(vm.arg(0), "char-upper-case?")?.is_uppercase()))
         },
         "char-lower-case?" => |vm, argc| {
             check(argc, 1, "char-lower-case?")?;
-            ret!(vm, Value::Bool(chr(vm.arg(0), "char-lower-case?")?.is_lowercase()))
+            ret!(vm, Value::boolean(chr(vm.arg(0), "char-lower-case?")?.is_lowercase()))
         },
         // --- strings ---
         "make-string" => |vm, argc| {
@@ -786,20 +788,20 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         "string-length" => |vm, argc| {
             check(argc, 1, "string-length")?;
             let n = vm.string_of(vm.arg(0), "string-length")?.len();
-            ret!(vm, Value::Fixnum(n as i64))
+            ret!(vm, Value::fixnum(n as i64))
         },
         "string-ref" => |vm, argc| {
             check(argc, 2, "string-ref")?;
             let s = vm.string_of(vm.arg(0), "string-ref")?;
             let i = ufix(vm.arg(1), "string-ref")?;
             let c = s.get(i).ok_or_else(|| err("string-ref: index out of range"))?;
-            ret!(vm, Value::Char(*c))
+            ret!(vm, Value::character(*c))
         },
         "string-set!" => |vm, argc| {
             check(argc, 3, "string-set!")?;
             let i = ufix(vm.arg(1), "string-set!")?;
             let c = chr(vm.arg(2), "string-set!")?;
-            let Value::Obj(r) = vm.arg(0) else {
+            let Some(r) = vm.arg(0).as_obj() else {
                 return Err(vm.type_error("string-set!", "string", vm.arg(0)));
             };
             let Some(s) = vm.heap.string_mut(r) else {
@@ -807,7 +809,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             };
             let slot = s.get_mut(i).ok_or_else(|| err("string-set!: index out of range"))?;
             *slot = c;
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         "string=?" => |vm, argc| string_cmp_chain(vm, argc, "string=?", |a, b| a == b),
         "string<?" => |vm, argc| string_cmp_chain(vm, argc, "string<?", |a, b| a < b),
@@ -835,8 +837,11 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         },
         "string->list" => |vm, argc| {
             check(argc, 1, "string->list")?;
-            let items: Vec<Value> =
-                vm.string_of(vm.arg(0), "string->list")?.into_iter().map(Value::Char).collect();
+            let items: Vec<Value> = vm
+                .string_of(vm.arg(0), "string->list")?
+                .into_iter()
+                .map(Value::character)
+                .collect();
             let v = vm.list(&items);
             ret!(vm, v)
         },
@@ -859,37 +864,37 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         "string-fill!" => |vm, argc| {
             check(argc, 2, "string-fill!")?;
             let c = chr(vm.arg(1), "string-fill!")?;
-            let Value::Obj(r) = vm.arg(0) else {
+            let Some(r) = vm.arg(0).as_obj() else {
                 return Err(vm.type_error("string-fill!", "string", vm.arg(0)));
             };
             let Some(s) = vm.heap.string_mut(r) else {
                 return Err(err("string-fill!: expected string"));
             };
             s.fill(c);
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         // --- vectors ---
         "make-vector" => |vm, argc| {
             at_least(argc, 1, "make-vector")?;
             let n = ufix(vm.arg(0), "make-vector")?;
-            let fill = if argc >= 2 { vm.arg(1) } else { Value::Unspecified };
-            let v = Value::Obj(vm.heap.alloc(Obj::Vector(vec![fill; n])));
+            let fill = if argc >= 2 { vm.arg(1) } else { Value::UNSPECIFIED };
+            let v = Value::obj(vm.heap.alloc(Obj::Vector(vec![fill; n])));
             ret!(vm, v)
         },
         "vector" => |vm, argc| {
             let items = vm.args(argc);
-            let v = Value::Obj(vm.heap.alloc(Obj::Vector(items)));
+            let v = Value::obj(vm.heap.alloc(Obj::Vector(items)));
             ret!(vm, v)
         },
         "vector-length" => |vm, argc| {
             check(argc, 1, "vector-length")?;
-            let Value::Obj(r) = vm.arg(0) else {
+            let Some(r) = vm.arg(0).as_obj() else {
                 return Err(vm.type_error("vector-length", "vector", vm.arg(0)));
             };
             let Some(items) = vm.heap.vector(r) else {
                 return Err(vm.type_error("vector-length", "vector", vm.arg(0)));
             };
-            ret!(vm, Value::Fixnum(items.len() as i64))
+            ret!(vm, Value::fixnum(items.len() as i64))
         },
         "vector-ref" => |vm, argc| {
             check(argc, 2, "vector-ref")?;
@@ -899,11 +904,11 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             check(argc, 3, "vector-set!")?;
             let (v, i, x) = (vm.arg(0), vm.arg(1), vm.arg(2));
             vm.vector_set(v, i, x)?;
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         "vector->list" => |vm, argc| {
             check(argc, 1, "vector->list")?;
-            let Value::Obj(r) = vm.arg(0) else {
+            let Some(r) = vm.arg(0).as_obj() else {
                 return Err(vm.type_error("vector->list", "vector", vm.arg(0)));
             };
             let Some(items) = vm.heap.vector(r) else {
@@ -916,20 +921,20 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         "list->vector" => |vm, argc| {
             check(argc, 1, "list->vector")?;
             let items = vm.list_to_vec(vm.arg(0), "list->vector")?;
-            let v = Value::Obj(vm.heap.alloc(Obj::Vector(items)));
+            let v = Value::obj(vm.heap.alloc(Obj::Vector(items)));
             ret!(vm, v)
         },
         "vector-fill!" => |vm, argc| {
             check(argc, 2, "vector-fill!")?;
             let x = vm.arg(1);
-            let Value::Obj(r) = vm.arg(0) else {
+            let Some(r) = vm.arg(0).as_obj() else {
                 return Err(vm.type_error("vector-fill!", "vector", vm.arg(0)));
             };
             let Some(items) = vm.heap.vector_mut(r) else {
                 return Err(err("vector-fill!: expected vector"));
             };
             items.fill(x);
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         // --- control ---
         "apply" => |vm, argc| {
@@ -947,7 +952,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             check(argc, 1, "call/cc")?;
             let p = vm.arg(0);
             let kont = vm.stack.capture_multi();
-            let kv = Value::Obj(vm.heap.alloc(Obj::Kont { kont, winders: vm.winders }));
+            let kv = Value::obj(vm.heap.alloc(Obj::Kont { kont, winders: vm.winders }));
             vm.set_local(1, kv);
             Ok(Flow::Tail { f: p, argc: 1 })
         },
@@ -955,7 +960,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             check(argc, 1, "call/1cc")?;
             let p = vm.arg(0);
             let kont = vm.stack.capture_one(4);
-            let kv = Value::Obj(vm.heap.alloc(Obj::Kont { kont, winders: vm.winders }));
+            let kv = Value::obj(vm.heap.alloc(Obj::Kont { kont, winders: vm.winders }));
             vm.set_local(1, kv);
             Ok(Flow::Tail { f: p, argc: 1 })
         },
@@ -974,7 +979,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 vm.mv = None;
             } else {
                 vm.mv = Some(vm.args(argc));
-                vm.acc = Value::Unspecified;
+                vm.acc = Value::UNSPECIFIED;
             }
             Ok(Flow::Return)
         },
@@ -992,23 +997,23 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             at_least(argc, 1, "display")?;
             let s = vm.display_value(&vm.arg(0));
             vm.emit_output(&s);
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         "write" => |vm, argc| {
             at_least(argc, 1, "write")?;
             let s = vm.write_value(&vm.arg(0));
             vm.emit_output(&s);
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         "newline" => |vm, _argc| {
             vm.emit_output("\n");
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         "write-char" => |vm, argc| {
             at_least(argc, 1, "write-char")?;
             let c = chr(vm.arg(0), "write-char")?;
             vm.emit_output(&c.to_string());
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         // --- system ---
         "error" => |vm, argc| {
@@ -1018,11 +1023,10 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                     msg.push(' ');
                 }
                 let v = vm.arg(i);
-                match v {
-                    Value::Obj(r) if r.kind() == ObjKind::Str => {
-                        msg.push_str(&vm.display_value(&v));
-                    }
-                    _ => msg.push_str(&vm.write_value(&v)),
+                if v.is_obj_kind(ObjKind::Str) {
+                    msg.push_str(&vm.display_value(&v));
+                } else {
+                    msg.push_str(&vm.write_value(&v));
                 }
             }
             // `(error ...)` is a raised condition of kind `error`: the
@@ -1031,10 +1035,10 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             // Runtime variant did.
             Err(VmError::Condition { kind: "error", message: msg })
         },
-        "void" => |vm, _argc| ret!(vm, Value::Unspecified),
+        "void" => |vm, _argc| ret!(vm, Value::UNSPECIFIED),
         "gc" => |vm, argc| {
             vm.collect(1 + argc);
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         "set-timer!" => |vm, argc| {
             check(argc, 1, "set-timer!")?;
@@ -1047,7 +1051,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 vm.timer_on = false;
                 vm.fuel = 0;
             }
-            ret!(vm, Value::Fixnum(old))
+            ret!(vm, Value::fixnum(old))
         },
         "timer-interrupt-handler!" => |vm, argc| {
             check(argc, 1, "timer-interrupt-handler!")?;
@@ -1066,7 +1070,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             let prog = oneshot_compiler::compile_program(&[datum], vm.pipeline())
                 .map_err(|e| err(e.to_string()))?;
             let entry = vm.link(&prog);
-            let thunk = Value::Obj(vm.heap.alloc(Obj::Closure { code: entry, free: Box::new([]) }));
+            let thunk = Value::obj(vm.heap.alloc(Obj::Closure { code: entry, free: Box::new([]) }));
             Ok(Flow::Tail { f: thunk, argc: 0 })
         },
         "backtrace" => |vm, _argc| {
@@ -1075,7 +1079,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 .iter()
                 .map(|n| {
                     let id = vm.syms.intern(n);
-                    Value::Sym(id)
+                    Value::sym(id)
                 })
                 .collect();
             let v = vm.list(&items);
@@ -1111,10 +1115,10 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 ("conditions-raised", stats.conditions_raised as i64),
                 ("faults-injected", stats.faults_injected as i64),
             ];
-            let mut alist = Value::Nil;
+            let mut alist = Value::NIL;
             for (name, n) in entries.into_iter().rev() {
                 let key = vm.intern(name);
-                let pair = vm.cons(key, Value::Fixnum(n));
+                let pair = vm.cons(key, Value::fixnum(n));
                 alist = vm.cons(pair, alist);
             }
             ret!(vm, alist)
@@ -1130,7 +1134,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 return Err(err("sleep-ms: expected a non-negative duration"));
             }
             std::thread::sleep(std::time::Duration::from_millis(n as u64));
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         "debug-panic!" => |vm, argc| {
             // (debug-panic! msg): abort via a Rust panic instead of a Scheme
@@ -1149,7 +1153,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             static EPOCH: OnceLock<Instant> = OnceLock::new();
             let t0 = *EPOCH.get_or_init(Instant::now);
             let us = i64::try_from(t0.elapsed().as_micros()).unwrap_or(i64::MAX);
-            ret!(vm, Value::Fixnum(us))
+            ret!(vm, Value::fixnum(us))
         },
         // --- nonblocking loopback TCP ---
         // All `%tcp-*` builtins return immediately; #f means would-block.
@@ -1161,27 +1165,27 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             check(argc, 1, "%tcp-listen")?;
             let port = net_port(vm.arg(0), "%tcp-listen")?;
             let tok = vm.net.listen(port)?;
-            ret!(vm, Value::Fixnum(tok))
+            ret!(vm, Value::fixnum(tok))
         },
         "%tcp-local-port" => |vm, argc| {
             check(argc, 1, "%tcp-local-port")?;
             let tok = fix(vm.arg(0), "%tcp-local-port")?;
             let port = vm.net.local_port(tok)?;
-            ret!(vm, Value::Fixnum(port))
+            ret!(vm, Value::fixnum(port))
         },
         "%tcp-accept" => |vm, argc| {
             check(argc, 1, "%tcp-accept")?;
             let tok = fix(vm.arg(0), "%tcp-accept")?;
             match vm.net.accept(tok)? {
-                Some(t) => ret!(vm, Value::Fixnum(t)),
-                None => ret!(vm, Value::Bool(false)),
+                Some(t) => ret!(vm, Value::fixnum(t)),
+                None => ret!(vm, Value::FALSE),
             }
         },
         "%tcp-connect" => |vm, argc| {
             check(argc, 1, "%tcp-connect")?;
             let port = net_port(vm.arg(0), "%tcp-connect")?;
             let tok = vm.net.connect(port)?;
-            ret!(vm, Value::Fixnum(tok))
+            ret!(vm, Value::fixnum(tok))
         },
         "%tcp-read" => |vm, argc| {
             // (%tcp-read tok max) -> string | 'eof | #f
@@ -1201,7 +1205,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                     let eof = vm.intern("eof");
                     ret!(vm, eof)
                 }
-                crate::net::ReadOutcome::WouldBlock => ret!(vm, Value::Bool(false)),
+                crate::net::ReadOutcome::WouldBlock => ret!(vm, Value::FALSE),
             }
         },
         "%tcp-write" => |vm, argc| {
@@ -1223,45 +1227,45 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
                 bytes.push(b);
             }
             match vm.net.write(tok, &bytes)? {
-                Some(n) => ret!(vm, Value::Fixnum(n as i64)),
-                None => ret!(vm, Value::Bool(false)),
+                Some(n) => ret!(vm, Value::fixnum(n as i64)),
+                None => ret!(vm, Value::FALSE),
             }
         },
         "%tcp-close" => |vm, argc| {
             check(argc, 1, "%tcp-close")?;
             let tok = fix(vm.arg(0), "%tcp-close")?;
             let closed = vm.net.close(tok);
-            ret!(vm, Value::Bool(closed))
+            ret!(vm, Value::boolean(closed))
         },
         "%net-live" => |vm, _argc| {
             // Open sockets in this VM's table — the leak audit a server
             // runs after draining its connections.
-            ret!(vm, Value::Fixnum(vm.net.live() as i64))
+            ret!(vm, Value::fixnum(vm.net.live() as i64))
         },
         // --- condition system support (used only by the prelude) ---
         "%push-handler!" => |vm, argc| {
             check(argc, 1, "%push-handler!")?;
             let h = vm.arg(0);
             vm.handlers = vm.cons(h, vm.handlers);
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         "%pop-handler!" => |vm, _argc| {
             // Popping an empty stack is a no-op: the prelude only pops
             // inside dynamic-wind brackets it pushed itself.
-            vm.handlers = vm.cdr_of(vm.handlers).unwrap_or(Value::Nil);
-            ret!(vm, Value::Unspecified)
+            vm.handlers = vm.cdr_of(vm.handlers).unwrap_or(Value::NIL);
+            ret!(vm, Value::UNSPECIFIED)
         },
         "%top-handler" => |vm, _argc| {
             let h = vm.car_of(vm.handlers).map_err(|_| err("%top-handler: empty handler stack"))?;
             ret!(vm, h)
         },
         "%have-handler?" => |vm, _argc| {
-            let b = Value::Bool(vm.handlers != Value::Nil);
+            let b = Value::boolean(vm.handlers != Value::NIL);
             ret!(vm, b)
         },
         "%note-raise!" => |vm, _argc| {
             vm.conditions_raised += 1;
-            ret!(vm, Value::Unspecified)
+            ret!(vm, Value::UNSPECIFIED)
         },
         "%uncaught" => |vm, argc| {
             // Terminal: no handler was installed for a raised condition.
@@ -1270,14 +1274,14 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             // else is written as a datum.
             at_least(argc, 1, "%uncaught")?;
             let c = vm.arg(0);
-            let (condition, kind) = match c {
-                Value::Obj(r) => match vm.heap.pair(r) {
-                    Some((Value::Sym(k), d)) if matches!(d, Value::Obj(s) if s.kind() == ObjKind::Str) => {
-                        (vm.display_value(&d), Some(vm.syms.name(k).to_string()))
-                    }
-                    _ => (vm.write_value(&c), None),
-                },
-                _ => (vm.write_value(&c), None),
+            let parts = c
+                .as_obj()
+                .and_then(|r| vm.heap.pair(r))
+                .and_then(|(k, d)| k.as_sym().map(|k| (k, d)))
+                .filter(|&(_, d)| d.is_obj_kind(ObjKind::Str));
+            let (condition, kind) = match parts {
+                Some((k, d)) => (vm.display_value(&d), Some(vm.syms.name(k).to_string())),
+                None => (vm.write_value(&c), None),
             };
             Err(VmError::Uncaught { condition, kind, backtrace: vm.backtrace() })
         },
@@ -1296,7 +1300,7 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             }
             let mut spread: Vec<Value> = spec[..spec.len() - 1].to_vec();
             spread.extend(vm.list_to_vec(spec[spec.len() - 1], "apply")?);
-            if let Value::Builtin(b) = f {
+            if let Some(b) = f.as_builtin() {
                 vm.ensure_or_raise(spread.len() + 3, 1 + argc)?;
                 let n = spread.len();
                 for (i, v) in spread.iter().enumerate() {
@@ -1346,15 +1350,15 @@ fn round_even(x: f64) -> f64 {
 
 fn round_like(vm: &mut Vm, argc: usize, who: &str, f: fn(f64) -> f64) -> R<Flow> {
     check(argc, 1, who)?;
-    match vm.arg(0) {
-        Value::Fixnum(n) => {
-            vm.acc = Value::Fixnum(n);
+    match vm.arg(0).unpack() {
+        Unpacked::Fixnum(n) => {
+            vm.acc = Value::fixnum(n);
             Ok(Flow::Return)
         }
-        Value::Flonum(x) => {
-            vm.acc = Value::Flonum(f(x));
+        Unpacked::Flonum(x) => {
+            vm.acc = Value::flonum(f(x));
             Ok(Flow::Return)
         }
-        v => Err(vm.type_error(who, "number", v)),
+        _ => Err(vm.type_error(who, "number", vm.arg(0))),
     }
 }

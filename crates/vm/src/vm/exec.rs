@@ -4,7 +4,7 @@
 
 use oneshot_compiler::Op;
 use oneshot_core::{KontId, Underflow};
-use oneshot_runtime::{Obj, ObjKind, Value};
+use oneshot_runtime::{Obj, ObjKind, Unpacked, Value};
 
 use crate::error::VmError;
 use crate::slot::{slot_disp, Resume, Slot};
@@ -30,7 +30,7 @@ impl Vm {
     }
 
     fn free_value(&self, i: usize) -> Value {
-        let Value::Obj(r) = self.closure else { panic!("free reference without a closure") };
+        let Some(r) = self.closure.as_obj() else { panic!("free reference without a closure") };
         let Some((_, free)) = self.heap.closure(r) else {
             panic!("closure register holds a non-closure")
         };
@@ -38,12 +38,12 @@ impl Vm {
     }
 
     fn cell_get(&self, cell: Value) -> Value {
-        let Value::Obj(r) = cell else { panic!("cell reference to non-cell") };
+        let Some(r) = cell.as_obj() else { panic!("cell reference to non-cell") };
         self.heap.cell(r).expect("cell reference to non-cell")
     }
 
     fn cell_set(&mut self, cell: Value, v: Value) {
-        let Value::Obj(r) = cell else { panic!("cell assignment to non-cell") };
+        let Some(r) = cell.as_obj() else { panic!("cell assignment to non-cell") };
         *self.heap.cell_mut(r).expect("cell assignment to non-cell") = v;
     }
 
@@ -103,7 +103,7 @@ impl Vm {
         let Some(raise) = self.global("raise") else {
             return uncaught(self, message);
         };
-        if self.handlers == Value::Nil {
+        if self.handlers == Value::NIL {
             return uncaught(self, message);
         }
         self.mv = None;
@@ -114,8 +114,8 @@ impl Vm {
             return uncaught(self, message);
         }
         let kind_sym = self.intern(kind);
-        let msg_str = Value::Obj(self.heap.alloc(Obj::Str(message.chars().collect())));
-        let cond = Value::Obj(self.heap.alloc_pair(kind_sym, msg_str));
+        let msg_str = Value::obj(self.heap.alloc(Obj::Str(message.chars().collect())));
+        let cond = Value::obj(self.heap.alloc_pair(kind_sym, msg_str));
         let fp = self.stack.fp();
         self.stack.set(fp + 1, Slot::Val(cond));
         self.acc = raise;
@@ -150,8 +150,8 @@ impl Vm {
                 Op::Const(i) => {
                     self.acc = self.codes[self.code as usize].consts[i as usize];
                 }
-                Op::FixInt(n) => self.acc = Value::Fixnum(n.into()),
-                Op::Unspec => self.acc = Value::Unspecified,
+                Op::FixInt(n) => self.acc = Value::fixnum(n.into()),
+                Op::Unspec => self.acc = Value::UNSPECIFIED,
                 Op::LocalRef(i) => self.acc = self.local(i as usize),
                 Op::LocalSet(i) => {
                     let v = self.acc;
@@ -178,18 +178,18 @@ impl Vm {
                 }
                 Op::MakeCell(i) => {
                     let v = self.local(i as usize);
-                    let cell = Value::Obj(self.heap.alloc(Obj::Cell(v)));
+                    let cell = Value::obj(self.heap.alloc(Obj::Cell(v)));
                     self.set_local(i as usize, cell);
                 }
                 Op::GlobalRef(i) => {
                     let v = self.globals[i as usize];
-                    if v == Value::Undefined {
+                    if v == Value::UNDEFINED {
                         return Err(self.unbound("unbound variable", i));
                     }
                     self.acc = v;
                 }
                 Op::GlobalSet(i) => {
-                    if self.globals[i as usize] == Value::Undefined {
+                    if self.globals[i as usize] == Value::UNDEFINED {
                         return Err(self.unbound("assignment to unbound variable", i));
                     }
                     self.globals[i as usize] = self.acc;
@@ -203,14 +203,14 @@ impl Vm {
                     // (the common case) never touch the Rust allocator.
                     let n = self.codes[i as usize].free_spec.len();
                     if n <= 8 {
-                        let mut buf = [Value::Undefined; 8];
+                        let mut buf = [Value::UNDEFINED; 8];
                         for (j, slot) in buf[..n].iter_mut().enumerate() {
                             *slot = match self.codes[i as usize].free_spec[j] {
                                 oneshot_compiler::FreeSrc::Local(k) => self.local(k as usize),
                                 oneshot_compiler::FreeSrc::Free(k) => self.free_value(k as usize),
                             };
                         }
-                        self.acc = Value::Obj(self.heap.alloc_closure(i, &buf[..n]));
+                        self.acc = Value::obj(self.heap.alloc_closure(i, &buf[..n]));
                     } else {
                         let free: Vec<Value> = self.codes[i as usize]
                             .free_spec
@@ -220,7 +220,7 @@ impl Vm {
                                 oneshot_compiler::FreeSrc::Free(j) => self.free_value(j as usize),
                             })
                             .collect();
-                        self.acc = Value::Obj(self.heap.alloc_closure(i, &free));
+                        self.acc = Value::obj(self.heap.alloc_closure(i, &free));
                     }
                 }
                 Op::Jump(off) => {
@@ -258,7 +258,7 @@ impl Vm {
                     self.calls += 1;
                     let fp = self.stack.fp();
                     for i in 0..argc as usize {
-                        let v = self.stack.get(fp + disp as usize + 1 + i).clone();
+                        let v = *self.stack.get(fp + disp as usize + 1 + i);
                         self.stack.set(fp + 1 + i, v);
                     }
                     let f = self.acc;
@@ -283,38 +283,29 @@ impl Vm {
                 Op::Cons(i) => {
                     let car = self.local(i as usize);
                     let cdr = self.acc;
-                    self.acc = Value::Obj(self.heap.alloc_pair(car, cdr));
+                    self.acc = Value::obj(self.heap.alloc_pair(car, cdr));
                 }
-                Op::Eq(i) => self.acc = Value::Bool(self.local(i as usize) == self.acc),
-                Op::Car => match self.acc {
-                    Value::Obj(r) => match self.heap.pair(r) {
-                        Some((a, _)) => self.acc = a,
-                        None => return Err(self.type_error("car", "pair", self.acc)),
-                    },
-                    v => return Err(self.type_error("car", "pair", v)),
+                Op::Eq(i) => self.acc = Value::boolean(self.local(i as usize) == self.acc),
+                Op::Car => match self.acc.as_obj().and_then(|r| self.heap.pair(r)) {
+                    Some((a, _)) => self.acc = a,
+                    None => return Err(self.type_error("car", "pair", self.acc)),
                 },
-                Op::Cdr => match self.acc {
-                    Value::Obj(r) => match self.heap.pair(r) {
-                        Some((_, d)) => self.acc = d,
-                        None => return Err(self.type_error("cdr", "pair", self.acc)),
-                    },
-                    v => return Err(self.type_error("cdr", "pair", v)),
+                Op::Cdr => match self.acc.as_obj().and_then(|r| self.heap.pair(r)) {
+                    Some((_, d)) => self.acc = d,
+                    None => return Err(self.type_error("cdr", "pair", self.acc)),
                 },
-                Op::NullP => self.acc = Value::Bool(self.acc == Value::Nil),
+                Op::NullP => self.acc = Value::boolean(self.acc == Value::NIL),
                 Op::PairP => {
-                    self.acc = Value::Bool(matches!(
-                        self.acc,
-                        Value::Obj(r) if r.kind() == ObjKind::Pair
-                    ));
+                    self.acc = Value::boolean(self.acc.is_pair());
                 }
-                Op::Not => self.acc = Value::Bool(!self.acc.is_true()),
-                Op::ZeroP => match self.acc {
-                    Value::Fixnum(n) => self.acc = Value::Bool(n == 0),
-                    Value::Flonum(x) => self.acc = Value::Bool(x == 0.0),
-                    v => return Err(self.type_error("zero?", "number", v)),
+                Op::Not => self.acc = Value::boolean(!self.acc.is_true()),
+                Op::ZeroP => match self.acc.unpack() {
+                    Unpacked::Fixnum(n) => self.acc = Value::boolean(n == 0),
+                    Unpacked::Flonum(x) => self.acc = Value::boolean(x == 0.0),
+                    _ => return Err(self.type_error("zero?", "number", self.acc)),
                 },
-                Op::Add1 => self.acc = num_add(self.acc, Value::Fixnum(1))?,
-                Op::Sub1 => self.acc = num_sub(self.acc, Value::Fixnum(1))?,
+                Op::Add1 => self.acc = num_add(self.acc, Value::fixnum(1))?,
+                Op::Sub1 => self.acc = num_sub(self.acc, Value::fixnum(1))?,
                 Op::VecRef(i) => {
                     let v = self.local(i as usize);
                     self.acc = self.vector_ref(v, self.acc)?;
@@ -324,7 +315,7 @@ impl Vm {
                     let idx = self.local(i as usize);
                     let x = self.acc;
                     self.vector_set(vec, idx, x)?;
-                    self.acc = Value::Unspecified;
+                    self.acc = Value::UNSPECIFIED;
                 }
                 // --- superinstructions (peephole-fused pairs) ---
                 // Each arm computes exactly what the unfused pair computed,
@@ -361,23 +352,23 @@ impl Vm {
                     }
                 }
                 Op::BrEq { i, off } => {
-                    self.acc = Value::Bool(self.local(i as usize) == self.acc);
+                    self.acc = Value::boolean(self.local(i as usize) == self.acc);
                     if !self.acc.is_true() {
                         self.pc = (self.pc as i64 + i64::from(off)) as usize;
                     }
                 }
                 Op::BrZeroP(off) => {
-                    self.acc = match self.acc {
-                        Value::Fixnum(n) => Value::Bool(n == 0),
-                        Value::Flonum(x) => Value::Bool(x == 0.0),
-                        v => return Err(self.type_error("zero?", "number", v)),
+                    self.acc = match self.acc.unpack() {
+                        Unpacked::Fixnum(n) => Value::boolean(n == 0),
+                        Unpacked::Flonum(x) => Value::boolean(x == 0.0),
+                        _ => return Err(self.type_error("zero?", "number", self.acc)),
                     };
                     if !self.acc.is_true() {
                         self.pc = (self.pc as i64 + i64::from(off)) as usize;
                     }
                 }
                 Op::BrNullP(off) => {
-                    self.acc = Value::Bool(self.acc == Value::Nil);
+                    self.acc = Value::boolean(self.acc == Value::NIL);
                     if !self.acc.is_true() {
                         self.pc = (self.pc as i64 + i64::from(off)) as usize;
                     }
@@ -389,10 +380,10 @@ impl Vm {
                     }
                 }
                 Op::AddImm { i, n } => {
-                    self.acc = num_add(self.local(i as usize), Value::Fixnum(n.into()))?;
+                    self.acc = num_add(self.local(i as usize), Value::fixnum(n.into()))?;
                 }
                 Op::SubImm { i, n } => {
-                    self.acc = num_sub(self.local(i as usize), Value::Fixnum(n.into()))?;
+                    self.acc = num_sub(self.local(i as usize), Value::fixnum(n.into()))?;
                 }
                 Op::Move { src, dst } => {
                     self.acc = self.local(src as usize);
@@ -400,14 +391,14 @@ impl Vm {
                     self.set_local(dst as usize, v);
                 }
                 Op::BrLtImm { i, n, off } => {
-                    self.acc = num_cmp(self.local(i as usize), Value::Fixnum(n.into()), "<")?;
+                    self.acc = num_cmp(self.local(i as usize), Value::fixnum(n.into()), "<")?;
                     if !self.acc.is_true() {
                         self.pc = (self.pc as i64 + i64::from(off)) as usize;
                     }
                 }
                 Op::CallGlobal { g, disp, argc } => {
                     let f = self.globals[g as usize];
-                    if f == Value::Undefined {
+                    if f == Value::UNDEFINED {
                         return Err(self.unbound("unbound variable", g));
                     }
                     self.acc = f;
@@ -429,14 +420,14 @@ impl Vm {
                 }
                 Op::TailCallGlobal { g, disp, argc } => {
                     let f = self.globals[g as usize];
-                    if f == Value::Undefined {
+                    if f == Value::UNDEFINED {
                         return Err(self.unbound("unbound variable", g));
                     }
                     self.acc = f;
                     self.calls += 1;
                     let fp = self.stack.fp();
                     for i in 0..argc as usize {
-                        let v = self.stack.get(fp + disp as usize + 1 + i).clone();
+                        let v = *self.stack.get(fp + disp as usize + 1 + i);
                         self.stack.set(fp + 1 + i, v);
                     }
                     if let Some(v) = self.apply(f, argc as usize)? {
@@ -445,7 +436,7 @@ impl Vm {
                 }
                 Op::BrTrue(off) => {
                     let was_true = self.acc.is_true();
-                    self.acc = Value::Bool(!was_true);
+                    self.acc = Value::boolean(!was_true);
                     if was_true {
                         self.pc = (self.pc as i64 + i64::from(off)) as usize;
                     }
@@ -480,10 +471,10 @@ impl Vm {
         }
         ensured?;
         if rest {
-            let mut list = Value::Nil;
+            let mut list = Value::NIL;
             for i in (required..argc).rev() {
                 let v = self.local(1 + i);
-                list = Value::Obj(self.heap.alloc_pair(v, list));
+                list = Value::obj(self.heap.alloc_pair(v, list));
             }
             self.set_local(1 + required, list);
         }
@@ -582,7 +573,7 @@ impl Vm {
     /// interrupted function just past its (already completed) prologue.
     fn fire_timer_interrupt(&mut self) -> R<bool> {
         let handler = self.timer_handler;
-        if !matches!(handler, Value::Obj(_) | Value::Builtin(_)) {
+        if !(handler.is_obj() || handler.is_builtin()) {
             return Err(VmError::condition(
                 "fuel-exhausted",
                 "timer expired with no interrupt handler",
@@ -612,8 +603,8 @@ impl Vm {
     /// Applies `f` to `argc` arguments already placed at `fp+1..`.
     /// Returns `Some(final)` if the program completed (underflowed out).
     pub(crate) fn apply(&mut self, f: Value, argc: usize) -> R<Option<Value>> {
-        match f {
-            Value::Obj(r) => match r.kind() {
+        match f.unpack() {
+            Unpacked::Obj(r) => match r.kind() {
                 ObjKind::Closure => {
                     let Some((code, _)) = self.heap.closure(r) else {
                         return Err(VmError::runtime("application of a collected closure"));
@@ -632,7 +623,7 @@ impl Vm {
                 }
                 _ => Err(self.type_error("apply", "procedure", f)),
             },
-            Value::Builtin(i) => {
+            Unpacked::Builtin(i) => {
                 let func = self.builtins[i as usize];
                 let flow = func(self, argc)?;
                 self.flow(flow)
@@ -676,7 +667,7 @@ impl Vm {
     /// frame base. `Some(final)` when the program completed.
     pub(crate) fn do_return(&mut self) -> R<Option<Value>> {
         {
-            let slot = self.stack.get(self.stack.fp()).clone();
+            let slot = *self.stack.get(self.stack.fp());
             match slot {
                 Slot::Ret { code, pc, disp, closure } => {
                     self.deliver_ret(code, pc, disp, closure)?;
@@ -762,8 +753,8 @@ impl Vm {
         // and run winder thunks, one per step.
         let vals: Vec<Value> = (0..argc).map(|i| self.local(1 + i)).collect();
         self.ensure_or_raise((1 + argc).max(8), 1 + argc)?;
-        let target = Value::Obj(self.heap.alloc(Obj::Kont { kont, winders }));
-        let vals_vec = Value::Obj(self.heap.alloc(Obj::Vector(vals)));
+        let target = Value::obj(self.heap.alloc(Obj::Kont { kont, winders }));
+        let vals_vec = Value::obj(self.heap.alloc(Obj::Vector(vals)));
         self.set_local(1, target);
         self.set_local(2, vals_vec);
         self.wind_step()
@@ -775,7 +766,7 @@ impl Vm {
     /// consistently.
     pub(crate) fn wind_step(&mut self) -> R<Option<Value>> {
         let target_val = self.local(1);
-        let Value::Obj(tr) = target_val else {
+        let Some(tr) = target_val.as_obj() else {
             return Err(VmError::runtime("wind target missing"));
         };
         let Some((kont, target_winders)) = self.heap.kont(tr) else {
@@ -783,7 +774,7 @@ impl Vm {
         };
         if self.winders == target_winders {
             let vals_val = self.local(2);
-            let Value::Obj(vr) = vals_val else {
+            let Some(vr) = vals_val.as_obj() else {
                 return Err(VmError::runtime("wind values missing"));
             };
             let Some(vals) = self.heap.vector(vr) else {
@@ -796,7 +787,7 @@ impl Vm {
         let common = self.common_tail(self.winders, target_winders);
         if self.winders != common {
             // Leave the innermost current winder: pop, then run its after.
-            let Value::Obj(wr) = self.winders else {
+            let Some(wr) = self.winders.as_obj() else {
                 return Err(VmError::runtime("winder list corrupt"));
             };
             let Some((winder, rest)) = self.heap.pair(wr) else {
@@ -814,7 +805,7 @@ impl Vm {
             enter = node;
             node = self.cdr_of(node)?;
         }
-        let Value::Obj(er) = enter else {
+        let Some(er) = enter.as_obj() else {
             return Err(VmError::runtime("winder list corrupt"));
         };
         let Some((winder, _)) = self.heap.pair(er) else {
@@ -828,25 +819,22 @@ impl Vm {
     fn common_tail(&self, a: Value, b: Value) -> Value {
         let mut b_nodes = Vec::new();
         let mut cur = b;
-        while let Value::Obj(r) = cur {
+        while let Some(r) = cur.as_obj() {
             b_nodes.push(cur);
             match self.heap.pair(r) {
                 Some((_, d)) => cur = d,
                 None => break,
             }
         }
-        b_nodes.push(Value::Nil);
+        b_nodes.push(Value::NIL);
         let mut cur = a;
         loop {
             if b_nodes.contains(&cur) {
                 return cur;
             }
-            match cur {
-                Value::Obj(r) => match self.heap.pair(r) {
-                    Some((_, d)) => cur = d,
-                    None => return Value::Nil,
-                },
-                _ => return Value::Nil,
+            match cur.as_obj().and_then(|r| self.heap.pair(r)) {
+                Some((_, d)) => cur = d,
+                None => return Value::NIL,
             }
         }
     }
@@ -874,7 +862,7 @@ impl Vm {
             Resume::KontWindEnter => {
                 // A before thunk finished: enter the winder, then continue.
                 let target_val = self.local(1);
-                let Value::Obj(tr) = target_val else {
+                let Some(tr) = target_val.as_obj() else {
                     return Err(VmError::runtime("wind target missing"));
                 };
                 let Some((_, target_winders)) = self.heap.kont(tr) else {
@@ -909,7 +897,7 @@ impl Vm {
             }
             _ => {
                 self.mv = Some(vals.to_vec());
-                self.acc = Value::Unspecified;
+                self.acc = Value::UNSPECIFIED;
             }
         }
         let Some(k) = kont else {
@@ -946,33 +934,27 @@ impl Vm {
     // ------------------------------------------------------------------
 
     pub(crate) fn car_of(&self, v: Value) -> R<Value> {
-        match v {
-            Value::Obj(r) => match self.heap.pair(r) {
-                Some((a, _)) => Ok(a),
-                None => Err(self.type_error("car", "pair", v)),
-            },
-            _ => Err(self.type_error("car", "pair", v)),
+        match v.as_obj().and_then(|r| self.heap.pair(r)) {
+            Some((a, _)) => Ok(a),
+            None => Err(self.type_error("car", "pair", v)),
         }
     }
 
     pub(crate) fn cdr_of(&self, v: Value) -> R<Value> {
-        match v {
-            Value::Obj(r) => match self.heap.pair(r) {
-                Some((_, d)) => Ok(d),
-                None => Err(self.type_error("cdr", "pair", v)),
-            },
-            _ => Err(self.type_error("cdr", "pair", v)),
+        match v.as_obj().and_then(|r| self.heap.pair(r)) {
+            Some((_, d)) => Ok(d),
+            None => Err(self.type_error("cdr", "pair", v)),
         }
     }
 
     pub(crate) fn vector_ref(&self, v: Value, idx: Value) -> R<Value> {
-        let Value::Obj(r) = v else {
+        let Some(r) = v.as_obj() else {
             return Err(self.type_error("vector-ref", "vector", v));
         };
         let Some(items) = self.heap.vector(r) else {
             return Err(self.type_error("vector-ref", "vector", v));
         };
-        let Value::Fixnum(i) = idx else {
+        let Some(i) = idx.as_fixnum() else {
             return Err(self.type_error("vector-ref", "index", idx));
         };
         usize::try_from(i)
@@ -982,10 +964,10 @@ impl Vm {
     }
 
     pub(crate) fn vector_set(&mut self, v: Value, idx: Value, x: Value) -> R<()> {
-        let Value::Obj(r) = v else {
+        let Some(r) = v.as_obj() else {
             return Err(self.type_error("vector-set!", "vector", v));
         };
-        let Value::Fixnum(i) = idx else {
+        let Some(i) = idx.as_fixnum() else {
             return Err(self.type_error("vector-set!", "index", idx));
         };
         let Some(items) = self.heap.vector_mut(r) else {
@@ -1015,38 +997,38 @@ impl Vm {
 // ----------------------------------------------------------------------
 
 pub(crate) fn num_add(a: Value, b: Value) -> Result<Value, VmError> {
-    match (a, b) {
-        (Value::Fixnum(x), Value::Fixnum(y)) => x
-            .checked_add(y)
-            .map(Value::Fixnum)
+    match (a.as_fixnum(), b.as_fixnum()) {
+        // 50-bit payloads cannot overflow an i64 add; the range test on the
+        // result is the whole overflow check.
+        (Some(x), Some(y)) => Value::fixnum_checked(x + y)
             .ok_or_else(|| VmError::condition("error", "fixnum overflow in +")),
-        _ => Ok(Value::Flonum(as_f64(a, "+")? + as_f64(b, "+")?)),
+        _ => Ok(Value::flonum(as_f64(a, "+")? + as_f64(b, "+")?)),
     }
 }
 
 pub(crate) fn num_sub(a: Value, b: Value) -> Result<Value, VmError> {
-    match (a, b) {
-        (Value::Fixnum(x), Value::Fixnum(y)) => x
-            .checked_sub(y)
-            .map(Value::Fixnum)
+    match (a.as_fixnum(), b.as_fixnum()) {
+        (Some(x), Some(y)) => Value::fixnum_checked(x - y)
             .ok_or_else(|| VmError::condition("error", "fixnum overflow in -")),
-        _ => Ok(Value::Flonum(as_f64(a, "-")? - as_f64(b, "-")?)),
+        _ => Ok(Value::flonum(as_f64(a, "-")? - as_f64(b, "-")?)),
     }
 }
 
 pub(crate) fn num_mul(a: Value, b: Value) -> Result<Value, VmError> {
-    match (a, b) {
-        (Value::Fixnum(x), Value::Fixnum(y)) => x
+    match (a.as_fixnum(), b.as_fixnum()) {
+        // A 50x50-bit product can overflow the i64, so the multiply itself
+        // stays checked before the payload range test.
+        (Some(x), Some(y)) => x
             .checked_mul(y)
-            .map(Value::Fixnum)
+            .and_then(Value::fixnum_checked)
             .ok_or_else(|| VmError::condition("error", "fixnum overflow in *")),
-        _ => Ok(Value::Flonum(as_f64(a, "*")? * as_f64(b, "*")?)),
+        _ => Ok(Value::flonum(as_f64(a, "*")? * as_f64(b, "*")?)),
     }
 }
 
 pub(crate) fn num_cmp(a: Value, b: Value, op: &str) -> Result<Value, VmError> {
-    let r = match (a, b) {
-        (Value::Fixnum(x), Value::Fixnum(y)) => compare(x.cmp(&y), op),
+    let r = match (a.as_fixnum(), b.as_fixnum()) {
+        (Some(x), Some(y)) => compare(x.cmp(&y), op),
         _ => {
             let (x, y) = (as_f64(a, op)?, as_f64(b, op)?);
             // NaN compares false under every ordering, as in R4RS systems
@@ -1057,7 +1039,7 @@ pub(crate) fn num_cmp(a: Value, b: Value, op: &str) -> Result<Value, VmError> {
             }
         }
     };
-    Ok(Value::Bool(r))
+    Ok(Value::boolean(r))
 }
 
 fn compare(ord: std::cmp::Ordering, op: &str) -> bool {
@@ -1073,9 +1055,9 @@ fn compare(ord: std::cmp::Ordering, op: &str) -> bool {
 }
 
 pub(crate) fn as_f64(v: Value, who: &str) -> Result<f64, VmError> {
-    match v {
-        Value::Fixnum(n) => Ok(n as f64),
-        Value::Flonum(x) => Ok(x),
+    match v.unpack() {
+        Unpacked::Fixnum(n) => Ok(n as f64),
+        Unpacked::Flonum(x) => Ok(x),
         _ => Err(VmError::condition("type-error", format!("{who}: expected number"))),
     }
 }

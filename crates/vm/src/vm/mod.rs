@@ -334,6 +334,16 @@ pub struct VmStats {
     pub conditions_raised: u64,
     /// Injected faults consumed from a [`FaultPlan`] by this VM.
     pub faults_injected: u64,
+    /// Size of one [`Value`] word in bytes. A gauge (always
+    /// `size_of::<Value>()`, 8 with the NaN-boxed representation), recorded
+    /// so metrics documents are self-describing across representation
+    /// changes.
+    pub value_word_bytes: u64,
+    /// High-water mark of resident stack-segment memory, in bytes
+    /// (resident slots x `size_of::<Slot>()`). A running maximum like
+    /// `gc_max_pause_ns`: [`VmStats::delta_since`] carries the later value
+    /// through unchanged.
+    pub segment_bytes_highwater: u64,
     /// Heap statistics snapshot.
     pub heap: HeapStats,
     /// Segmented-stack statistics snapshot.
@@ -354,6 +364,8 @@ impl VmStats {
             gc_objects_freed: self.gc_objects_freed - earlier.gc_objects_freed,
             conditions_raised: self.conditions_raised - earlier.conditions_raised,
             faults_injected: self.faults_injected - earlier.faults_injected,
+            value_word_bytes: self.value_word_bytes,
+            segment_bytes_highwater: self.segment_bytes_highwater,
             heap: self.heap.delta_since(&earlier.heap),
             stack: self.stack.delta_since(&earlier.stack),
         }
@@ -374,7 +386,7 @@ pub struct Vm {
     /// concatenated. `pc` is an absolute index into this vector; control
     /// transfers are pointer arithmetic on it.
     pub(crate) flat: Vec<Op>,
-    /// Globals. Unbound cells hold [`Value::Undefined`], so the
+    /// Globals. Unbound cells hold [`Value::UNDEFINED`], so the
     /// `GlobalRef` bound-check is one load + one compare.
     pub(crate) globals: Vec<Value>,
     pub(crate) global_names: Vec<String>,
@@ -475,14 +487,14 @@ impl Vm {
             global_names: Vec::new(),
             global_ids: HashMap::new(),
             builtins: Vec::new(),
-            acc: Value::Unspecified,
+            acc: Value::UNSPECIFIED,
             code: 0,
             pc: 0,
-            closure: Value::Unspecified,
+            closure: Value::UNSPECIFIED,
             argc: 0,
             mv: None,
-            winders: Value::Nil,
-            handlers: Value::Nil,
+            winders: Value::NIL,
+            handlers: Value::NIL,
             oom_raised: false,
             heap_budget: None,
             timer_fault: FaultClock::disarmed(),
@@ -491,7 +503,7 @@ impl Vm {
             faults_injected: 0,
             timer_on: false,
             fuel: 0,
-            timer_handler: Value::Unspecified,
+            timer_handler: Value::UNSPECIFIED,
             instructions: 0,
             calls: 0,
             opcode_hist: cfg.opcode_histogram.then(|| Box::new([0u64; Op::KIND_COUNT])),
@@ -594,7 +606,7 @@ impl Vm {
     /// anything else on this VM.
     pub fn load_program(&mut self, prog: &CompiledProgram) -> Value {
         let entry = self.link(prog);
-        Value::Obj(self.heap.alloc(Obj::Closure { code: entry, free: Box::new([]) }))
+        Value::obj(self.heap.alloc(Obj::Closure { code: entry, free: Box::new([]) }))
     }
 
     /// Clears per-job control state so the VM can be reused for the next
@@ -671,7 +683,7 @@ impl Vm {
         debug_assert!(matches!(self.stack.get(self.stack.fp()), Slot::Marker));
         self.code = entry;
         self.pc = self.codes[entry as usize].base as usize;
-        self.closure = Value::Unspecified;
+        self.closure = Value::UNSPECIFIED;
         self.argc = 0;
         self.mv = None;
         let r = self.run();
@@ -761,15 +773,15 @@ impl Vm {
     /// Resets control state after an error so the VM can keep evaluating.
     fn recover(&mut self) {
         self.stack.clear_to_empty();
-        self.winders = Value::Nil;
-        self.handlers = Value::Nil;
+        self.winders = Value::NIL;
+        self.handlers = Value::NIL;
         self.oom_raised = false;
         self.mv = None;
         self.timer_on = false;
-        self.closure = Value::Unspecified;
+        self.closure = Value::UNSPECIFIED;
         // The accumulator is a GC root; a stale value from before the
         // error would pin an arbitrary object graph across the recovery.
-        self.acc = Value::Unspecified;
+        self.acc = Value::UNSPECIFIED;
     }
 
     // ------------------------------------------------------------------
@@ -781,7 +793,7 @@ impl Vm {
             return i;
         }
         let i = self.globals.len() as u32;
-        self.globals.push(Value::Undefined);
+        self.globals.push(Value::UNDEFINED);
         self.global_names.push(name.to_string());
         self.global_ids.insert(name.to_string(), i);
         i
@@ -791,7 +803,7 @@ impl Vm {
     pub fn global(&self, name: &str) -> Option<Value> {
         let &i = self.global_ids.get(name)?;
         let v = self.globals[i as usize];
-        (v != Value::Undefined).then_some(v)
+        (v != Value::UNDEFINED).then_some(v)
     }
 
     /// Defines (or redefines) a global variable.
@@ -802,7 +814,7 @@ impl Vm {
 
     /// Interns a symbol, returning it as a value.
     pub fn intern(&mut self, name: &str) -> Value {
-        Value::Sym(self.syms.intern(name))
+        Value::sym(self.syms.intern(name))
     }
 
     // ------------------------------------------------------------------
@@ -835,6 +847,9 @@ impl Vm {
             gc_objects_freed: self.gc_objects_freed,
             conditions_raised: self.conditions_raised,
             faults_injected: self.faults_injected,
+            value_word_bytes: std::mem::size_of::<Value>() as u64,
+            segment_bytes_highwater: (self.stack.resident_slots_highwater()
+                * std::mem::size_of::<Slot>()) as u64,
             heap: self.heap.stats(),
             stack: *self.stack.stats(),
         }
@@ -979,7 +994,7 @@ impl Vm {
             }
             let slice = self.stack.kont_slice(k);
             let mut pos = kont.occupied(); // one past the top frame region
-            let mut ret = kont.ret().clone();
+            let mut ret = *kont.ret();
             loop {
                 match &ret {
                     Slot::Ret { code, disp, .. } => {
@@ -1004,7 +1019,7 @@ impl Vm {
                     break;
                 }
                 match slice.get(pos) {
-                    Some(s) => ret = s.clone(),
+                    Some(s) => ret = *s,
                     None => break,
                 }
             }
@@ -1020,12 +1035,12 @@ impl Vm {
 
     /// Allocates a pair.
     pub fn cons(&mut self, car: Value, cdr: Value) -> Value {
-        Value::Obj(self.heap.alloc(Obj::Pair(car, cdr)))
+        Value::obj(self.heap.alloc(Obj::Pair(car, cdr)))
     }
 
     /// Builds a Scheme list from a slice.
     pub fn list(&mut self, items: &[Value]) -> Value {
-        let mut v = Value::Nil;
+        let mut v = Value::NIL;
         for &item in items.iter().rev() {
             v = self.cons(item, v);
         }
@@ -1034,10 +1049,7 @@ impl Vm {
 
     /// Reads a pair's car and cdr, if `v` is a pair.
     pub fn pair(&self, v: Value) -> Option<(Value, Value)> {
-        match v {
-            Value::Obj(r) => self.heap.pair(r),
-            _ => None,
-        }
+        v.as_obj().and_then(|r| self.heap.pair(r))
     }
 }
 

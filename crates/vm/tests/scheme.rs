@@ -435,11 +435,11 @@ fn call_from_rust() {
     let mut vm = Vm::new();
     vm.eval_str("(define (f a b) (* a (+ b 1)))").unwrap();
     let f = vm.global("f").expect("defined");
-    let v = vm.call(f, &[Value::Fixnum(3), Value::Fixnum(4)]).unwrap();
-    assert_eq!(v, Value::Fixnum(15));
+    let v = vm.call(f, &[Value::fixnum(3), Value::fixnum(4)]).unwrap();
+    assert_eq!(v, Value::fixnum(15));
     // And again — the VM rest state is restored.
-    let v = vm.call(f, &[Value::Fixnum(2), Value::Fixnum(0)]).unwrap();
-    assert_eq!(v, Value::Fixnum(2));
+    let v = vm.call(f, &[Value::fixnum(2), Value::fixnum(0)]).unwrap();
+    assert_eq!(v, Value::fixnum(2));
 }
 
 #[test]
@@ -447,7 +447,7 @@ fn globals_api() {
     use oneshot_vm::Value;
     let mut vm = Vm::new();
     assert_eq!(vm.global("nope"), None);
-    vm.set_global("x", Value::Fixnum(9));
+    vm.set_global("x", Value::fixnum(9));
     let v = vm.eval_str("(* x 2)").unwrap();
-    assert_eq!(v, Value::Fixnum(18));
+    assert_eq!(v, Value::fixnum(18));
 }

@@ -83,10 +83,7 @@ fn backtrace_crosses_segment_boundaries() {
              (deep 200)",
         )
         .unwrap();
-    let n = match v {
-        oneshot_vm::Value::Fixnum(n) => n,
-        other => panic!("expected count, got {other:?}"),
-    };
+    let n = v.as_fixnum().unwrap_or_else(|| panic!("expected count, got {v:?}"));
     assert!(n >= 200, "backtrace saw {n} frames");
     assert!(vm.stats().stack.overflows > 3, "frames really spanned segments");
 }
