@@ -19,6 +19,8 @@
 //!   e13            E13: reactor — loopback echo + timer storms, 10k+ green threads
 //!   e14            E14: value representation — word sizes, segment-copy cost,
 //!                  fused paper workloads (optionally vs `--baseline PATH`)
+//!   e15            E15: reactor scaling — poll vs epoll blocked-fd curves,
+//!                  timer-storm lateness, shared-listener echo throughput
 //!   all            everything above
 //! ```
 //!
@@ -29,6 +31,8 @@
 //! `--baseline PATH` points E14 at an earlier experiments JSON (a `dispatch`
 //! or `e14` run from a previous revision at the same scale) and reports
 //! per-workload speedups, an instruction-identity check, and the geomean.
+//! `--max-fds N` caps E15's fd appetite (default: the process `RLIMIT_NOFILE`
+//! soft limit); clamped sweep points record requested vs actual.
 //!
 //! Alongside the printed tables the binary writes a machine-readable
 //! report — per-experiment control-event counts (captures, reinstatements,
@@ -36,10 +40,11 @@
 //! `experiments.json`, or to the path given with `--json PATH`.
 
 use oneshot_bench::experiments::{
-    cache_experiment, chaos_experiment, chaos_overhead, dispatch_experiment, exec_experiment,
-    figure5, fragmentation_experiment, frame_overhead, gc_experiment, hysteresis_experiment,
-    overflow_experiment, promotion_experiment, reactor_experiment, tak_experiment,
-    value_rep_experiment, DispatchScale, ExecScale, GcScale, ReactorScale, GC_UNBOUNDED,
+    cache_experiment, chaos_experiment, chaos_overhead, dispatch_experiment, e15_experiment,
+    exec_experiment, figure5, fragmentation_experiment, frame_overhead, gc_experiment,
+    hysteresis_experiment, overflow_experiment, promotion_experiment, reactor_experiment,
+    tak_experiment, value_rep_experiment, DispatchScale, E15Scale, ExecScale, GcScale,
+    ReactorScale, GC_UNBOUNDED,
 };
 use oneshot_bench::measure::render_table;
 use oneshot_bench::metrics::{measurement_json, Json};
@@ -95,6 +100,12 @@ fn main() {
         .and_then(|v| v.parse().ok());
     let baseline: Option<String> =
         args.iter().position(|a| a == "--baseline").and_then(|i| args.get(i + 1)).cloned();
+    let max_fds: usize = args
+        .iter()
+        .position(|a| a == "--max-fds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(default_max_fds);
     let cmd = args
         .iter()
         .enumerate()
@@ -103,7 +114,7 @@ fn main() {
             !a.starts_with("--")
                 && !matches!(
                     args.get(i.wrapping_sub(1)).map(String::as_str),
-                    Some("--json" | "--max-workers" | "--baseline")
+                    Some("--json" | "--max-workers" | "--baseline" | "--max-fds")
                 )
         })
         .map(|(_, a)| a.as_str())
@@ -128,6 +139,7 @@ fn main() {
         "chaos" => run("chaos", run_chaos(paper)),
         "e13" => run("reactor", run_reactor(paper, max_workers)),
         "e14" => run("value_rep", run_value_rep(paper, baseline.as_deref())),
+        "e15" => run("reactor_scaling", run_e15(paper, max_workers, max_fds)),
         "all" => {
             run("tak", run_tak(&scale));
             run("overflow", run_overflow(&scale));
@@ -142,6 +154,7 @@ fn main() {
             run("chaos", run_chaos(paper));
             run("reactor", run_reactor(paper, max_workers));
             run("value_rep", run_value_rep(paper, baseline.as_deref()));
+            run("reactor_scaling", run_e15(paper, max_workers, max_fds));
             run("figure5", run_figure5(&scale));
         }
         other => {
@@ -151,7 +164,7 @@ fn main() {
     }
 
     let doc = Json::obj([
-        ("schema", Json::str("oneshot-experiments/v7")),
+        ("schema", Json::str("oneshot-experiments/v8")),
         ("scale", Json::str(if paper { "paper" } else { "quick" })),
         ("experiments", Json::Obj(report)),
     ]);
@@ -857,6 +870,7 @@ fn run_reactor(paper: bool, max_workers: Option<usize>) -> Json {
                     .map(|r| {
                         Json::obj([
                             ("mode", Json::str(r.mode)),
+                            ("reactor_backend", Json::str(r.backend)),
                             ("workers", Json::int(r.workers as u64)),
                             ("green_threads", Json::int(r.green_threads as u64)),
                             ("ops", Json::int(r.ops as u64)),
@@ -871,6 +885,213 @@ fn run_reactor(paper: bool, max_workers: Option<usize>) -> Json {
                             ("io_wakeups", Json::int(r.io_wakeups)),
                             ("timer_waits", Json::int(r.timer_waits)),
                             ("blocked_highwater", Json::int(r.blocked_highwater)),
+                            ("leaked_sockets", Json::int(r.leaked_sockets.max(0) as u64)),
+                            ("live_segments", Json::int(r.live_segments.max(0) as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The process `RLIMIT_NOFILE` soft limit from `/proc/self/limits`, or a
+/// conservative 1024 when it cannot be read — E15's default fd budget.
+fn default_max_fds() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(1024)
+}
+
+fn run_e15(paper: bool, max_workers: Option<usize>, max_fds: usize) -> Json {
+    let mut scale = if paper { E15Scale::paper() } else { E15Scale::quick() };
+    if let Some(max) = max_workers {
+        scale.clamp_workers(max);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (storm_jobs, storm_waits, storm_wait_ms) = scale.storm;
+    println!(
+        "\n== E15: reactor scaling — poll vs epoll, {max_fds}-fd budget, \
+         {storm_jobs}x{storm_waits} timer waits @ {storm_wait_ms} ms, {cores} core(s) =="
+    );
+    let rows = e15_experiment(&scale, max_fds);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                r.backend.to_string(),
+                r.workers.to_string(),
+                if r.actual == r.requested {
+                    r.actual.to_string()
+                } else {
+                    format!("{} (req {})", r.actual, r.requested)
+                },
+                r.ops.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.0}", r.throughput),
+                format!("{:.0}", r.p50_us),
+                format!("{:.0}", r.p99_us),
+                format!("{:.0}", r.max_us),
+                r.blocked_highwater.to_string(),
+                r.resume_depth_highwater.to_string(),
+                format!("{}/{}", r.leaked_sockets, r.live_segments),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "mode",
+                "backend",
+                "workers",
+                "n",
+                "ops",
+                "wall-ms",
+                "ops/s",
+                "p50-us",
+                "p99-us",
+                "max-us",
+                "blocked-hw",
+                "resume-hw",
+                "leaks(fd/seg)"
+            ],
+            &table
+        )
+    );
+    // The headline curve: probe round-trip p50 as the parked-fd count
+    // grows — poll's wake cost is O(blocked), epoll's O(ready).
+    for backend in ["poll", "epoll"] {
+        let curve: Vec<String> = rows
+            .iter()
+            .filter(|r| r.mode == "blocked-probe" && r.backend == backend)
+            .map(|r| format!("{} parked: {:.0} us", r.actual, r.p50_us))
+            .collect();
+        println!("Probe p50 vs parked fds [{backend}]: {}", curve.join(", "));
+    }
+    // The storm's reactor-side lateness histograms, and the plumbing
+    // invariant: identical guest instruction counts per cell.
+    let bounds: Vec<String> = oneshot_exec::WAKE_LATENESS_BUCKETS_MS
+        .iter()
+        .map(|b| format!("<{b}ms"))
+        .chain(std::iter::once("tail".to_string()))
+        .collect();
+    for r in rows.iter().filter(|r| r.mode == "timer-storm") {
+        let cells: Vec<String> =
+            bounds.iter().zip(&r.wake_lateness).map(|(b, n)| format!("{b}:{n}")).collect();
+        println!(
+            "Storm lateness [{} w={}]: {} (mean p50 {:.0} us/wait)",
+            r.backend,
+            r.workers,
+            cells.join(" "),
+            r.p50_us
+        );
+    }
+    for r in rows.iter().filter(|r| r.backend == "poll") {
+        if let Some(twin) = rows.iter().find(|t| {
+            t.backend == "epoll"
+                && t.mode == r.mode
+                && t.workers == r.workers
+                && t.requested == r.requested
+        }) {
+            if r.mode == "timer-storm" && r.instructions != twin.instructions {
+                // Exact identity is the single-worker invariant; with
+                // stealing in play slice re-entries are scheduling-
+                // dependent, so multi-worker runs drift by a hair.
+                let drift =
+                    (r.instructions.abs_diff(twin.instructions)) as f64 / r.instructions as f64;
+                if r.workers == 1 || drift > 0.001 {
+                    println!(
+                        "WARNING: {} w={} instruction counts diverge across backends: \
+                         poll {} vs epoll {} ({:.4}%)",
+                        r.mode,
+                        r.workers,
+                        r.instructions,
+                        twin.instructions,
+                        100.0 * drift
+                    );
+                } else {
+                    println!(
+                        "Storm instructions w={}: poll {} vs epoll {} \
+                         ({:.4}% scheduling drift; exact at 1 worker)",
+                        r.workers,
+                        r.instructions,
+                        twin.instructions,
+                        100.0 * drift
+                    );
+                }
+            }
+            if r.mode == "serve-echo" {
+                println!(
+                    "Serve throughput w={}: epoll {:.0} ops/s vs poll {:.0} ops/s ({:.2}x); \
+                     accepts/worker {:?}, accept-queue highwater {}",
+                    r.workers,
+                    twin.throughput,
+                    r.throughput,
+                    twin.throughput / r.throughput,
+                    twin.accepts_per_worker,
+                    twin.accept_queue_highwater
+                );
+            }
+        }
+    }
+    println!("Expected shape: the probe's per-round-trip cost climbs with parked fds");
+    println!("under poll (every wake rebuilds and scans the whole interest set) and");
+    println!("stays flat under epoll (the kernel hands over only the ready fd); storm");
+    println!("lateness concentrates in the lowest buckets; the shared listener spreads");
+    println!("accepts evenly; and every cell drains with zero leaks on both backends.");
+    Json::obj([
+        ("scale", Json::str(if paper { "paper" } else { "quick" })),
+        ("cores", Json::int(cores as u64)),
+        ("max_fds", Json::int(max_fds as u64)),
+        (
+            "wake_lateness_bounds_ms",
+            Json::Arr(
+                oneshot_exec::WAKE_LATENESS_BUCKETS_MS.iter().map(|&b| Json::int(b)).collect(),
+            ),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("mode", Json::str(r.mode)),
+                            ("reactor_backend", Json::str(r.backend)),
+                            ("workers", Json::int(r.workers as u64)),
+                            ("requested", Json::int(r.requested as u64)),
+                            ("actual", Json::int(r.actual as u64)),
+                            ("ops", Json::int(r.ops as u64)),
+                            ("wall_ms", Json::Num(r.wall_ms)),
+                            ("throughput_ops_per_s", Json::Num(r.throughput)),
+                            ("p50_us", Json::Num(r.p50_us)),
+                            ("p99_us", Json::Num(r.p99_us)),
+                            ("max_us", Json::Num(r.max_us)),
+                            ("completed", Json::int(r.completed)),
+                            ("failed", Json::int(r.failed)),
+                            ("io_blocked", Json::int(r.io_blocked)),
+                            ("io_wakeups", Json::int(r.io_wakeups)),
+                            ("timer_waits", Json::int(r.timer_waits)),
+                            ("blocked_highwater", Json::int(r.blocked_highwater)),
+                            ("resume_depth_highwater", Json::int(r.resume_depth_highwater)),
+                            (
+                                "accepts_per_worker",
+                                Json::Arr(
+                                    r.accepts_per_worker.iter().map(|&n| Json::int(n)).collect(),
+                                ),
+                            ),
+                            ("accept_queue_highwater", Json::int(r.accept_queue_highwater)),
+                            (
+                                "wake_lateness",
+                                Json::Arr(r.wake_lateness.iter().map(|&n| Json::int(n)).collect()),
+                            ),
+                            ("instructions", Json::int(r.instructions)),
                             ("leaked_sockets", Json::int(r.leaked_sockets.max(0) as u64)),
                             ("live_segments", Json::int(r.live_segments.max(0) as u64)),
                         ])

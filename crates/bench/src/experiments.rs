@@ -1218,6 +1218,9 @@ impl ReactorScale {
 pub struct ReactorRow {
     /// `"echo"` or `"timer-storm"`.
     pub mode: &'static str,
+    /// Readiness backend the pool's reactors ran (`"poll"` or `"epoll"` —
+    /// whatever `Backend::from_env` selected for this process).
+    pub backend: &'static str,
     /// Worker threads in the pool.
     pub workers: usize,
     /// Green threads the cell keeps in flight (2 per echo pair; one per
@@ -1348,6 +1351,7 @@ fn reactor_row(
     samples_us.sort_by(f64::total_cmp);
     ReactorRow {
         mode,
+        backend: c.reactor_backend,
         workers,
         green_threads,
         ops: samples_us.len(),
@@ -1532,6 +1536,530 @@ pub fn reactor_experiment(scale: &ReactorScale) -> Vec<ReactorRow> {
     for &(jobs, wait_ms) in &scale.timer_storms {
         for &workers in &scale.workers {
             out.push(reactor_timer_case(workers, jobs, wait_ms));
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// E15 — reactor scaling: backend x blocked-fd curves, storm lateness,
+//       shared-listener throughput
+// ----------------------------------------------------------------------
+
+/// Scale knobs for the E15 backend-scaling sweep. Every case runs once
+/// per readiness backend (`poll(2)` and edge-triggered `epoll(7)`,
+/// selected programmatically via `PoolBuilder::reactor_backend`, so both
+/// run in one process), making the sweep a head-to-head under identical
+/// load: the per-wakeup cost curve as blocked fds grow, timer-storm wake
+/// lateness, and shared-listener echo throughput.
+#[derive(Debug, Clone)]
+pub struct E15Scale {
+    /// Worker counts for the storm and shared-listener cases. The
+    /// blocked-fd probe always runs on one worker so every parked fd
+    /// sits in the probe's own reactor interest set.
+    pub workers: Vec<usize>,
+    /// Parked-connection counts for the blocked-fd probe. Each parked
+    /// connection is one guest socket suspended in `(tcp-read s 4)` plus
+    /// its Rust-held silent peer, so a point costs `2n` fds and `n`
+    /// sealed continuations.
+    pub parked: Vec<usize>,
+    /// Sequential echo round trips the probe measures at each point.
+    pub probe_rounds: usize,
+    /// The timer storm as `(jobs, waits_per_job, wait_ms)`: total timer
+    /// deliveries are `jobs * waits_per_job`.
+    pub storm: (usize, usize, u64),
+    /// Connections for the shared-listener echo case (requested; the fd
+    /// budget may clamp it — rows record requested vs actual).
+    pub serve_conns: usize,
+    /// Echo rounds per shared-listener connection.
+    pub serve_rounds: usize,
+}
+
+impl E15Scale {
+    /// A sweep that finishes in seconds (CI smoke).
+    #[must_use]
+    pub fn quick() -> Self {
+        E15Scale {
+            workers: vec![1, 2],
+            parked: vec![0, 64, 256],
+            probe_rounds: 64,
+            storm: (400, 5, 10),
+            serve_conns: 200,
+            serve_rounds: 2,
+        }
+    }
+
+    /// The full sweep: probe curves requested out to 100k parked fds (the
+    /// process fd budget clamps the top point, recorded per row), a
+    /// million timer deliveries (10k jobs x 100 waits), and a
+    /// 10k-connection echo.
+    #[must_use]
+    pub fn paper() -> Self {
+        E15Scale {
+            workers: vec![1, 2, 4],
+            parked: vec![0, 1_000, 4_000, 100_000],
+            probe_rounds: 200,
+            storm: (10_000, 100, 5),
+            serve_conns: 10_000,
+            serve_rounds: 4,
+        }
+    }
+
+    /// Drops worker counts above `max` (used by `--max-workers`).
+    pub fn clamp_workers(&mut self, max: usize) {
+        self.workers.retain(|&w| w <= max.max(1));
+        if self.workers.is_empty() {
+            self.workers.push(1);
+        }
+    }
+}
+
+/// One cell of the E15 sweep.
+#[derive(Debug, Clone)]
+pub struct E15Row {
+    /// `"blocked-probe"`, `"timer-storm"`, or `"serve-echo"`.
+    pub mode: &'static str,
+    /// Readiness backend the pool ran (`"poll"` or `"epoll"`).
+    pub backend: &'static str,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// The requested scale point: parked connections, total timer waits,
+    /// or shared-listener connections.
+    pub requested: usize,
+    /// The point actually run after clamping to the fd budget. Equal to
+    /// `requested` when the budget sufficed.
+    pub actual: usize,
+    /// Operations measured: probe round trips, timer deliveries, or
+    /// verified echo round trips.
+    pub ops: usize,
+    /// Wall-clock milliseconds over the measured phase.
+    pub wall_ms: f64,
+    /// Operations per second of wall clock.
+    pub throughput: f64,
+    /// Median per-op latency in microseconds (probe/echo round-trip
+    /// time; storm mean wake lateness per job).
+    pub p50_us: f64,
+    /// 99th-percentile per-op latency in microseconds.
+    pub p99_us: f64,
+    /// Worst per-op latency in microseconds.
+    pub max_us: f64,
+    /// Jobs that finished with a value.
+    pub completed: u64,
+    /// Jobs that failed for any reason (must be 0).
+    pub failed: u64,
+    /// I/O suspensions.
+    pub io_blocked: u64,
+    /// Reactor readiness deliveries.
+    pub io_wakeups: u64,
+    /// Timer suspensions.
+    pub timer_waits: u64,
+    /// Peak simultaneously-blocked continuations on any single worker.
+    pub blocked_highwater: u64,
+    /// Largest single-harvest resume batch on any worker: how many
+    /// sealed continuations one reactor pass requeued at once.
+    pub resume_depth_highwater: u64,
+    /// Shared-listener accepts routed to each worker (empty outside
+    /// `serve-echo`) — flat when distribution is doing its job.
+    pub accepts_per_worker: Vec<u64>,
+    /// Most accepted-but-unadopted connections pending at once.
+    pub accept_queue_highwater: u64,
+    /// Timer wake-lateness histogram, bucket bounds
+    /// [`WAKE_LATENESS_BUCKETS_MS`](oneshot_exec::WAKE_LATENESS_BUCKETS_MS)
+    /// plus an unbounded tail; measured inside the reactor at delivery.
+    pub wake_lateness: Vec<u64>,
+    /// Bytecode instructions executed, summed over workers. For the
+    /// timer storm this must match across backends cell-for-cell: the
+    /// backend is pure readiness plumbing, invisible to the guest.
+    pub instructions: u64,
+    /// Open sockets after the drain (must be 0).
+    pub leaked_sockets: i64,
+    /// In-use (uncached) stack segments after the drain (a leaked sealed
+    /// continuation would show up here).
+    pub live_segments: i64,
+}
+
+/// Clamps a connection count to the process fd budget: 2 fds per
+/// connection (both ends live in-process) plus slack for listeners,
+/// wake pipes, and the probe pair.
+fn e15_clamp_conns(requested: usize, max_fds: usize) -> usize {
+    requested.min(max_fds.saturating_sub(64) / 2)
+}
+
+/// Assembles an [`E15Row`] from a finished cell.
+#[allow(clippy::too_many_arguments)]
+fn e15_row(
+    mode: &'static str,
+    workers: usize,
+    requested: usize,
+    actual: usize,
+    ops: usize,
+    mut samples_us: Vec<f64>,
+    wall: std::time::Duration,
+    report: &oneshot_exec::PoolReport,
+    audit: (i64, i64),
+) -> E15Row {
+    let c = &report.counters;
+    samples_us.sort_by(f64::total_cmp);
+    E15Row {
+        mode,
+        backend: c.reactor_backend,
+        workers,
+        requested,
+        actual,
+        ops,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput: ops as f64 / wall.as_secs_f64(),
+        p50_us: percentile_ms(&samples_us, 0.50),
+        p99_us: percentile_ms(&samples_us, 0.99),
+        max_us: percentile_ms(&samples_us, 1.0),
+        completed: c.completed,
+        failed: c.failed,
+        io_blocked: c.io_blocked,
+        io_wakeups: c.io_wakeups,
+        timer_waits: c.timer_waits,
+        blocked_highwater: c.blocked_highwater,
+        resume_depth_highwater: c.resume_depth_highwater.iter().copied().max().unwrap_or(0),
+        accepts_per_worker: c.accepts_per_worker.clone(),
+        accept_queue_highwater: c.accept_queue_highwater,
+        wake_lateness: c.wake_lateness.clone(),
+        instructions: report.workers.iter().map(|w| w.vm.instructions).sum(),
+        leaked_sockets: audit.0,
+        live_segments: audit.1,
+    }
+}
+
+/// Runs one blocked-fd probe cell: `parked` guest connections suspended
+/// in `(tcp-read s 4)` against Rust-held peers that stay silent, then a
+/// single echo pair driven through the same single-worker reactor for
+/// `rounds` sequential round trips. Under `poll(2)` every probe wakeup
+/// rebuilds and scans an interest set proportional to the parked count;
+/// under edge-triggered `epoll(7)` the kernel hands over only the ready
+/// fd, so the latency curve stays flat as `parked` grows.
+///
+/// Teardown releases every parked connection (the Rust peer writes its
+/// 4-byte payload), so the cell also audits that mass wakeup and close
+/// of thousands of sealed continuations leaks nothing.
+///
+/// # Panics
+///
+/// Panics if any job fails, a parked job never suspends, or a socket or
+/// segment leaks — the load is defect-free, so a failure is a build
+/// defect.
+pub fn e15_probe_case(
+    backend: oneshot_exec::Backend,
+    parked_req: usize,
+    rounds: usize,
+    max_fds: usize,
+) -> E15Row {
+    use oneshot_exec::{JobSpec, Pool};
+    use std::io::Write as _;
+    let parked = e15_clamp_conns(parked_req, max_fds);
+    let pool = Pool::builder()
+        .workers(1)
+        .resident_cap(parked + 16)
+        .queue_capacity(parked + 64)
+        .fuel_slice(2048)
+        .reactor_backend(backend)
+        .build()
+        .expect("pool spawns");
+
+    // The Rust side of the parked connections: accept every guest
+    // connect and hold the peer silent until teardown.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("probe listener binds");
+    let port = listener.local_addr().expect("local addr").port();
+    let acceptor = std::thread::spawn(move || {
+        (0..parked)
+            .map(|_| listener.accept().expect("parked peer accepts").0)
+            .collect::<Vec<std::net::TcpStream>>()
+    });
+    let parked_jobs: Vec<_> = (0..parked)
+        .map(|i| {
+            pool.submit(JobSpec::new(
+                format!("parked-{i}"),
+                format!(
+                    "(let ((s (tcp-connect {port}))) \
+                       (let ((d (tcp-read s 4))) (tcp-close s) d))"
+                ),
+            ))
+            .expect("parked job submits")
+        })
+        .collect();
+    let peers = acceptor.join().expect("acceptor thread");
+    // Wait until every parked job is really suspended on the reactor —
+    // the probe must run against a full interest set, not a filling one.
+    let deadline = Instant::now() + std::time::Duration::from_secs(120);
+    while pool.stats().io_blocked < parked as u64 {
+        assert!(Instant::now() < deadline, "parked jobs never all suspended");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // The probe: one pinned echo pair through the same loaded reactor.
+    let shown = pool
+        .submit(JobSpec::new("probe-setup", reactor_setup_src(1)).pin(0))
+        .expect("setup submits")
+        .wait()
+        .result
+        .expect("probe listener binds");
+    let probe_port: u16 = shown.trim_matches(['(', ')']).trim().parse().expect("probe port");
+    let lib = pool
+        .submit(JobSpec::new("probe-lib", REACTOR_CLIENT_LIB).pin(0))
+        .expect("lib submits")
+        .wait()
+        .result
+        .expect("client lib loads");
+    assert_eq!(lib, "lib");
+    let job_deadline = std::time::Duration::from_secs(300);
+    let start = Instant::now();
+    let handler = pool
+        .submit(
+            JobSpec::new("probe-handler", "(serve-echo (vector-ref listeners 0))")
+                .pin(0)
+                .deadline(job_deadline),
+        )
+        .expect("handler submits");
+    let client = pool
+        .submit(
+            JobSpec::new(
+                "probe-client",
+                format!("(echo-client {probe_port} \"e15-probe-payload\" {rounds})"),
+            )
+            .pin(0)
+            .deadline(job_deadline),
+        )
+        .expect("client submits");
+    let outcome = client.wait();
+    let shown = match outcome.result.as_deref() {
+        Ok(shown) if shown != "corrupt" => shown.to_string(),
+        other => panic!("E15 probe client failed: {other:?}"),
+    };
+    let rtts_us: Vec<f64> = parse_fixnum_list(&shown).into_iter().map(|us| us as f64).collect();
+    assert_eq!(handler.wait().result.as_deref(), Ok("served"), "probe handler must drain");
+    let wall = start.elapsed();
+    assert_eq!(rtts_us.len(), rounds);
+
+    // Teardown: release every parked connection at once.
+    for mut p in peers {
+        p.write_all(b"bye!").expect("release write");
+    }
+    for h in &parked_jobs {
+        let outcome = h.wait();
+        let shown = outcome.result.expect("parked job wakes");
+        assert!(shown.contains("bye"), "parked job read its release payload: {shown:?}");
+    }
+
+    let audit = reactor_audit(&pool, 1);
+    let report = pool.shutdown().expect("pool drains");
+    e15_row("blocked-probe", 1, parked_req, parked, rounds, rtts_us, wall, &report, audit)
+}
+
+/// Runs one timer-storm cell: `jobs` green threads each performing
+/// `waits` sequential `(timer-wait wait_ms)` suspensions (total
+/// deliveries `jobs * waits`). Each job returns its accumulated wake
+/// lateness beyond the requested waits; the row's latency columns are
+/// the per-job mean lateness per wait, and `wake_lateness` carries the
+/// reactor's own delivery-time histogram.
+///
+/// # Panics
+///
+/// Panics if any job fails or a socket or segment leaks.
+pub fn e15_storm_case(
+    backend: oneshot_exec::Backend,
+    workers: usize,
+    jobs: usize,
+    waits: usize,
+    wait_ms: u64,
+) -> E15Row {
+    use oneshot_exec::{JobSpec, Pool};
+    let pool = Pool::builder()
+        .workers(workers)
+        .resident_cap(jobs.div_ceil(workers) + 8)
+        .queue_capacity(jobs + 64)
+        .fuel_slice(2048)
+        .reactor_backend(backend)
+        .build()
+        .expect("pool spawns");
+    let expected_us = waits as u64 * wait_ms * 1000;
+    let src = format!(
+        "(let ((t0 (now-us)))
+           (let loop ((i 0))
+             (if (< i {waits})
+                 (begin (timer-wait {wait_ms}) (loop (+ i 1)))
+                 (- (now-us) t0 {expected_us}))))"
+    );
+    let deadline = std::time::Duration::from_millis(waits as u64 * wait_ms)
+        + std::time::Duration::from_secs(300);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..jobs)
+        .map(|i| {
+            pool.submit(JobSpec::new(format!("storm-{i}"), src.clone()).deadline(deadline))
+                .expect("storm submits")
+        })
+        .collect();
+    let mean_lateness_us: Vec<f64> = handles
+        .iter()
+        .map(|h| {
+            let outcome = h.wait();
+            match outcome.result.as_deref() {
+                Ok(shown) => shown.parse::<f64>().expect("lateness fixnum") / waits as f64,
+                Err(e) => panic!("E15 storm job {} failed: {e}", outcome.name),
+            }
+        })
+        .collect();
+    let wall = start.elapsed();
+
+    let audit = reactor_audit(&pool, workers);
+    let report = pool.shutdown().expect("pool drains");
+    e15_row(
+        "timer-storm",
+        workers,
+        jobs * waits,
+        jobs * waits,
+        jobs * waits,
+        mean_lateness_us,
+        wall,
+        &report,
+        audit,
+    )
+}
+
+/// Runs one shared-listener echo cell: [`Pool::serve`] binds one
+/// `AF_INET` listener whose accepted connections are distributed
+/// least-loaded across the worker reactors; each accepted connection
+/// spawns the `(conn-take)` echo handler, and `conns` unpinned guest
+/// clients drive `rounds` verified round trips each against the shared
+/// port. The row records accepts-per-worker (distribution flatness),
+/// accept-queue highwater, and requested-vs-actual after the fd clamp.
+///
+/// # Panics
+///
+/// Panics if any echo fails to verify, any handler fails, the accept
+/// count disagrees, or a socket or segment leaks.
+pub fn e15_serve_case(
+    backend: oneshot_exec::Backend,
+    workers: usize,
+    conns_req: usize,
+    rounds: usize,
+    max_fds: usize,
+) -> E15Row {
+    use oneshot_exec::{JobSpec, Pool};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    // Both socket ends land in worker VMs (clients spread across workers,
+    // accepted connections are routed least-loaded), so besides the fd
+    // budget keep each VM's share under 3/4 of its socket-table cap.
+    let vm_cap = VmConfig::default().max_open_sockets;
+    let conns = e15_clamp_conns(conns_req, max_fds).min(workers * (3 * vm_cap) / 8);
+    let pool = Pool::builder()
+        .workers(workers)
+        .resident_cap(2 * conns.div_ceil(workers) + 16)
+        .queue_capacity(2 * conns + 64)
+        .fuel_slice(2048)
+        .reactor_backend(backend)
+        .build()
+        .expect("pool spawns");
+    let job_deadline = std::time::Duration::from_secs(300);
+    let served = Arc::new(AtomicU64::new(0));
+    let served_cb = Arc::clone(&served);
+    let handler = JobSpec::new(
+        "echo-handler",
+        "(let ((c (conn-take)))
+           (let loop ()
+             (let ((d (tcp-read c 4096)))
+               (if (eq? d 'eof)
+                   (begin (tcp-close c) 'served)
+                   (begin (tcp-write c d) (loop))))))",
+    )
+    .deadline(job_deadline)
+    .on_complete(move |o| {
+        if o.result.as_deref() == Ok("served") {
+            served_cb.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    let serve = pool.serve("127.0.0.1:0", handler).expect("shared listener binds");
+    let port = serve.port();
+    for w in 0..workers {
+        let ok = pool
+            .submit(JobSpec::new(format!("client-lib-{w}"), REACTOR_CLIENT_LIB).pin(w))
+            .expect("lib submits")
+            .wait()
+            .result
+            .expect("client lib loads");
+        assert_eq!(ok, "lib");
+    }
+
+    let start = Instant::now();
+    let clients: Vec<_> = (0..conns)
+        .map(|i| {
+            pool.submit(
+                JobSpec::new(
+                    format!("client-{i}"),
+                    format!("(echo-client {port} \"e15-serve-{i}\" {rounds})"),
+                )
+                .deadline(job_deadline),
+            )
+            .expect("client submits")
+        })
+        .collect();
+    let mut rtts_us: Vec<f64> = Vec::with_capacity(conns * rounds);
+    for h in &clients {
+        let outcome = h.wait();
+        let shown = match outcome.result.as_deref() {
+            Ok(shown) if shown != "corrupt" => shown.to_string(),
+            other => panic!("E15 serve client {} failed: {other:?}", outcome.name),
+        };
+        rtts_us.extend(parse_fixnum_list(&shown).into_iter().map(|us| us as f64));
+    }
+    // Handlers finish after their client closes; wait for the callbacks.
+    let drain_deadline = Instant::now() + std::time::Duration::from_secs(120);
+    while served.load(Ordering::SeqCst) < conns as u64 {
+        assert!(
+            Instant::now() < drain_deadline,
+            "handlers drained {}/{conns}",
+            served.load(Ordering::SeqCst)
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let wall = start.elapsed();
+    assert_eq!(rtts_us.len(), conns * rounds);
+    assert_eq!(serve.accepted(), conns as u64, "every connection was accepted");
+
+    let audit = reactor_audit(&pool, workers);
+    let report = pool.shutdown().expect("pool drains");
+    assert_eq!(
+        report.counters.accepts_per_worker.iter().sum::<u64>(),
+        conns as u64,
+        "every accept was routed to a worker"
+    );
+    assert_eq!(report.counters.accept_overflow, 0, "no connection was shed");
+    e15_row("serve-echo", workers, conns_req, conns, conns * rounds, rtts_us, wall, &report, audit)
+}
+
+/// The full E15 sweep: for each backend, the blocked-fd probe curve,
+/// then the timer storm and the shared-listener echo across every
+/// worker count.
+pub fn e15_experiment(scale: &E15Scale, max_fds: usize) -> Vec<E15Row> {
+    use oneshot_exec::Backend;
+    let mut out = Vec::new();
+    for backend in [Backend::Poll, Backend::Epoll] {
+        for &parked in &scale.parked {
+            out.push(e15_probe_case(backend, parked, scale.probe_rounds, max_fds));
+        }
+    }
+    let (jobs, waits, wait_ms) = scale.storm;
+    for backend in [Backend::Poll, Backend::Epoll] {
+        for &workers in &scale.workers {
+            out.push(e15_storm_case(backend, workers, jobs, waits, wait_ms));
+        }
+    }
+    for backend in [Backend::Poll, Backend::Epoll] {
+        for &workers in &scale.workers {
+            out.push(e15_serve_case(
+                backend,
+                workers,
+                scale.serve_conns,
+                scale.serve_rounds,
+                max_fds,
+            ));
         }
     }
     out
@@ -1848,6 +2376,68 @@ mod tests {
         assert!(storm.timer_waits >= 48);
         assert!(storm.blocked_highwater >= 48, "highwater {}", storm.blocked_highwater);
         assert_eq!(storm.leaked_sockets, 0);
+    }
+
+    #[test]
+    fn e15_probe_parks_and_releases_cleanly_on_both_backends() {
+        use oneshot_exec::Backend;
+        for backend in [Backend::Poll, Backend::Epoll] {
+            let row = e15_probe_case(backend, 8, 4, 256);
+            assert_eq!(row.backend, backend.name());
+            assert_eq!(row.actual, 8, "a 256-fd budget fits 8 parked connections");
+            assert_eq!(row.ops, 4);
+            assert_eq!(row.failed, 0);
+            // 8 parked reads suspended, plus the probe pair's own traffic.
+            assert!(row.io_blocked >= 8, "{}: io_blocked {}", row.backend, row.io_blocked);
+            assert_eq!(row.leaked_sockets, 0);
+            assert!(row.live_segments < 16, "segments leaked: {}", row.live_segments);
+        }
+    }
+
+    #[test]
+    fn e15_probe_clamps_to_the_fd_budget() {
+        let row = e15_probe_case(oneshot_exec::Backend::Poll, 5_000, 2, 80);
+        assert_eq!(row.requested, 5_000);
+        assert_eq!(row.actual, 8, "(80 - 64) / 2 parked connections fit");
+        assert_eq!(row.failed, 0);
+        assert_eq!(row.leaked_sockets, 0);
+    }
+
+    #[test]
+    fn e15_storm_retires_identical_instructions_on_both_backends() {
+        use oneshot_exec::Backend;
+        let poll = e15_storm_case(Backend::Poll, 1, 16, 3, 5);
+        let epoll = e15_storm_case(Backend::Epoll, 1, 16, 3, 5);
+        for row in [&poll, &epoll] {
+            assert_eq!(row.ops, 48);
+            assert_eq!(row.failed, 0, "{}", row.backend);
+            assert!(row.timer_waits >= 48, "{}: {}", row.backend, row.timer_waits);
+            assert!(
+                row.wake_lateness.iter().sum::<u64>() >= 48,
+                "{}: every delivery lands in a lateness bucket: {:?}",
+                row.backend,
+                row.wake_lateness
+            );
+            assert_eq!(row.leaked_sockets, 0);
+        }
+        // The backend is pure readiness plumbing: the guest retires the
+        // same bytecode regardless of how its wakeups were multiplexed.
+        assert_eq!(
+            poll.instructions, epoll.instructions,
+            "instruction counts must not depend on the backend"
+        );
+    }
+
+    #[test]
+    fn e15_serve_echoes_guest_clients_through_the_shared_listener() {
+        let row = e15_serve_case(oneshot_exec::Backend::Epoll, 2, 8, 2, 256);
+        assert_eq!(row.actual, 8);
+        assert_eq!(row.ops, 16);
+        assert_eq!(row.failed, 0);
+        assert_eq!(row.accepts_per_worker.len(), 2);
+        assert_eq!(row.accepts_per_worker.iter().sum::<u64>(), 8);
+        assert_eq!(row.leaked_sockets, 0);
+        assert!(row.p50_us <= row.p99_us && row.p99_us <= row.max_us);
     }
 
     #[test]

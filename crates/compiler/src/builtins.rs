@@ -156,6 +156,7 @@ pub const BUILTIN_NAMES: &[&str] = &[
     "%tcp-write",
     "%tcp-close",
     "%net-live",
+    "%conn-take",
     // internal helpers (used by the CPS prelude)
     "%apply-args",
     // internal helpers (used by the condition-system prelude)

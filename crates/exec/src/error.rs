@@ -40,6 +40,9 @@ pub enum ErrorKind {
     /// Another job's panic destroyed the shared worker VM while this job
     /// was resident there.
     WorkerReset,
+    /// A host-side I/O operation failed (binding the shared listener,
+    /// creating a reactor).
+    Io,
 }
 
 impl std::fmt::Display for ErrorKind {
@@ -54,6 +57,7 @@ impl std::fmt::Display for ErrorKind {
             ErrorKind::DeadlineExceeded => "deadline-exceeded",
             ErrorKind::Panicked => "panicked",
             ErrorKind::WorkerReset => "worker-reset",
+            ErrorKind::Io => "io",
         };
         f.write_str(s)
     }
@@ -127,6 +131,10 @@ impl Error {
 
     pub(crate) fn panicked(msg: String) -> Self {
         Error::new(ErrorKind::Panicked, format!("job panicked: {msg}"))
+    }
+
+    pub(crate) fn io(context: &str, e: std::io::Error) -> Self {
+        Error::new(ErrorKind::Io, format!("{context}: {e}"))
     }
 
     pub(crate) fn worker_reset(culprit: JobId) -> Self {

@@ -211,20 +211,26 @@ pub struct JobOutcome {
 /// Shared slot a worker fills and a waiter blocks on.
 #[derive(Debug, Default)]
 pub(crate) struct OutcomeSlot {
+    /// First-delivery-wins marker, claimed *before* the completion
+    /// callback runs so the callback finishes before any waiter is
+    /// released.
+    claimed: std::sync::atomic::AtomicBool,
     outcome: Mutex<Option<JobOutcome>>,
     ready: Condvar,
 }
 
 impl OutcomeSlot {
-    pub(crate) fn fill(&self, outcome: JobOutcome) -> bool {
+    /// Claims the right to deliver; a shutdown-time duplicate loses.
+    pub(crate) fn claim(&self) -> bool {
+        !self.claimed.swap(true, std::sync::atomic::Ordering::AcqRel)
+    }
+
+    pub(crate) fn fill(&self, outcome: JobOutcome) {
         let mut slot = self.outcome.lock().unwrap();
-        // First delivery wins; a shutdown-time duplicate is dropped.
         if slot.is_none() {
             *slot = Some(outcome);
             self.ready.notify_all();
-            return true;
         }
-        false
     }
 
     pub(crate) fn wait(&self) -> JobOutcome {
@@ -324,11 +330,13 @@ impl Job {
             latency: self.submitted.elapsed(),
             result,
         };
-        let first = self.slot.fill(outcome.clone());
-        if first {
+        if self.slot.claim() {
+            // Callback before fill: a thread woken by `JobHandle::wait`
+            // must be able to observe everything the callback did.
             if let Some(cb) = &self.on_complete {
                 cb(&outcome);
             }
+            self.slot.fill(outcome);
         }
     }
 }

@@ -5,8 +5,9 @@
 //! that inside one VM. This crate adds the outer level: a [`Pool`] of N OS
 //! worker threads, each owning its own [`Vm`](oneshot_vm::Vm), fed from a
 //! bounded shared injector queue with per-worker deques and work stealing
-//! of whole jobs — plus one *reactor* thread that multiplexes blocking
-//! guest I/O over `poll(2)`.
+//! of whole jobs — plus a *reactor* per worker that multiplexes that
+//! worker's blocking guest I/O over edge-triggered `epoll(7)` (or
+//! `poll(2)`: see [`Backend`]).
 //!
 //! The two levels divide the work the way Kobayashi–Kameyama's one-shot
 //! expressiveness results suggest: OS threads provide parallelism between
@@ -20,10 +21,14 @@
 //! `(tcp-read sock n)` on a socket with no data, the guest library captures
 //! the job's one-shot continuation, the engine returns
 //! [`EngineStep::Blocked`](oneshot_threads::EngineStep), and the worker
-//! parks the job and moves on. The reactor polls the fd; readiness turns
-//! into an ordinary engine resumption. Suspending ten thousand connections
-//! costs ten thousand sealed stack segments — no OS threads, no callbacks,
-//! no stack copies.
+//! parks the job and registers the fd with *its own* reactor — readiness
+//! turns into an ordinary engine resumption on the same thread, no
+//! cross-thread handoff. Suspending ten thousand connections costs ten
+//! thousand sealed stack segments — no OS threads, no callbacks, no stack
+//! copies — and with the `epoll` backend each wakeup costs O(ready), not
+//! O(blocked). [`Pool::serve`] adds the front door: one shared `AF_INET`
+//! listener whose accepted connections are distributed least-loaded /
+//! round-robin across the worker reactors.
 //!
 //! Jobs are described by a fluent [`JobSpec`] — fuel, retries, deadline,
 //! [`Admission`] policy, worker pinning, completion callback — compiled
@@ -44,9 +49,9 @@
 //!   as [`ErrorKind::Panicked`], rebuilds a fresh VM, and keeps draining;
 //! * the bounded injector gives backpressure ([`Admission::Blocking`]
 //!   waits, [`Admission::NonBlocking`] refuses with the spec returned);
-//! * [`Pool::shutdown`] drains all in-flight and blocked jobs and joins
-//!   every worker and the reactor (with a timeout, so a wedged worker is
-//!   reported, not waited on forever).
+//! * [`Pool::shutdown`] stops the acceptors, drains all in-flight and
+//!   blocked jobs, and joins every worker (with a timeout, so a wedged
+//!   worker is reported, not waited on forever).
 //!
 //! # Example
 //!
@@ -70,7 +75,7 @@
 //! assert_eq!(report.counters.completed, 8);
 //! ```
 
-#![deny(unsafe_code)] // one audited exception: reactor::sys wraps poll(2)
+#![deny(unsafe_code)] // one audited exception: reactor::sys wraps poll(2)/epoll(7)
 #![warn(missing_docs)]
 
 mod error;
@@ -82,4 +87,7 @@ mod worker;
 
 pub use error::{Error, ErrorKind};
 pub use job::{Admission, JobHandle, JobId, JobOutcome, JobSpec, OnComplete};
-pub use pool::{Pool, PoolBuilder, PoolCountersSnapshot, PoolReport, VmTotals, WorkerReport};
+pub use pool::{
+    Pool, PoolBuilder, PoolCountersSnapshot, PoolReport, ServeHandle, VmTotals, WorkerReport,
+};
+pub use reactor::{Backend, WAKE_LATENESS_BUCKETS_MS};

@@ -1,16 +1,18 @@
-//! The pool: submission, backpressure, shutdown, and observability.
+//! The pool: submission, the shared listener, backpressure, shutdown, and
+//! observability.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use oneshot_vm::{CompilerOptions, Pipeline, Vm, VmConfig, VmStats};
+use oneshot_vm::{CompiledProgram, CompilerOptions, Pipeline, Vm, VmConfig, VmStats};
 
 use crate::error::Error;
-use crate::job::{Admission, Job, JobHandle, JobId, JobSpec, OutcomeSlot};
+use crate::job::{Admission, Job, JobHandle, JobId, JobSpec, OnComplete, OutcomeSlot};
 use crate::queue::{Injector, PushRefused, StealQueue};
-use crate::reactor::{Reactor, ResumeQueues};
+use crate::reactor::{Backend, ReactorCore, WakeHandle};
 use crate::worker::{self, WorkerCtx};
 
 /// Per-worker knobs, fixed at build time.
@@ -39,6 +41,7 @@ pub struct PoolBuilder {
     grab_batch: usize,
     max_retries: u32,
     vm_config: VmConfig,
+    backend: Option<Backend>,
 }
 
 impl Default for PoolBuilder {
@@ -51,6 +54,7 @@ impl Default for PoolBuilder {
             grab_batch: 4,
             max_retries: 0,
             vm_config: VmConfig::default(),
+            backend: None,
         }
     }
 }
@@ -115,21 +119,40 @@ impl PoolBuilder {
         self
     }
 
-    /// Spawns the reactor and the workers.
+    /// Forces a specific reactor backend instead of
+    /// [`Backend::from_env`]'s choice (`epoll` where available, the
+    /// `ONESHOT_REACTOR=poll|epoll` variable overriding). Programmatic
+    /// selection is what lets a differential test run both backends in one
+    /// process without racing on the environment.
+    #[must_use]
+    pub fn reactor_backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Builds the per-worker reactors and spawns the workers.
     ///
     /// # Errors
     ///
-    /// Propagates the OS error if a thread (or the reactor's wakeup pipe)
+    /// Propagates the OS error if a thread (or a reactor's wakeup pipe)
     /// cannot be created.
     pub fn build(self) -> std::io::Result<Pool> {
         let injector = Arc::new(Injector::new(self.queue_capacity));
         let queues: Arc<Vec<StealQueue>> =
             Arc::new((0..self.workers).map(|_| StealQueue::default()).collect());
-        let counters = Arc::new(PoolCounters::default());
-        let resumes: ResumeQueues =
-            Arc::new((0..self.workers).map(|_| Mutex::new(Vec::new())).collect());
-        let reactor =
-            Reactor::spawn(Arc::clone(&resumes), Arc::clone(&injector), Arc::clone(&counters))?;
+        let conns: Arc<Vec<ConnQueue>> =
+            Arc::new((0..self.workers).map(|_| ConnQueue::default()).collect());
+        // Build every reactor before spawning anything: a failure here
+        // leaks no threads. The *actual* backend can differ from the
+        // wanted one (epoll_create1 refused -> poll fallback).
+        let want = self.backend.unwrap_or_else(Backend::from_env);
+        let mut reactors = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            reactors.push(ReactorCore::new(want)?);
+        }
+        let backend = reactors.first().map_or(want, ReactorCore::backend);
+        let wakes: Vec<WakeHandle> = reactors.iter().map(ReactorCore::wake_handle).collect();
+        let counters = Arc::new(PoolCounters::new(self.workers, backend));
         let (report_tx, report_rx) = mpsc::channel();
         let cfg = WorkerConfig {
             fuel_slice: self.fuel_slice,
@@ -138,8 +161,9 @@ impl PoolBuilder {
             max_retries: self.max_retries,
         };
         let vm_config = Arc::new(self.vm_config);
+        let next_conn = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::with_capacity(self.workers);
-        for index in 0..self.workers {
+        for (index, reactor) in reactors.into_iter().enumerate() {
             let ctx = WorkerCtx {
                 index,
                 cfg,
@@ -147,8 +171,9 @@ impl PoolBuilder {
                 injector: Arc::clone(&injector),
                 queues: Arc::clone(&queues),
                 counters: Arc::clone(&counters),
-                reactor: Arc::clone(&reactor.shared),
-                resumes: Arc::clone(&resumes),
+                reactor: Some(reactor),
+                conns: Arc::clone(&conns),
+                next_conn: Arc::clone(&next_conn),
                 report_tx: report_tx.clone(),
             };
             let handle = std::thread::Builder::new()
@@ -159,18 +184,21 @@ impl PoolBuilder {
         Ok(Pool {
             injector,
             queues,
+            conns,
             counters,
             handles,
-            reactor: Some(reactor),
+            wakes,
+            acceptors: Mutex::new(Vec::new()),
             report_rx,
             next_job: AtomicU64::new(0),
             workers: self.workers,
+            backend,
         })
     }
 }
 
 /// Pool-wide event counters (all `Relaxed`: totals, not synchronization).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct PoolCounters {
     pub(crate) submitted: AtomicU64,
     pub(crate) completed: AtomicU64,
@@ -187,9 +215,43 @@ pub(crate) struct PoolCounters {
     pub(crate) io_wakeups: AtomicU64,
     pub(crate) timer_waits: AtomicU64,
     pub(crate) blocked_highwater: AtomicU64,
+    pub(crate) accept_queue_highwater: AtomicU64,
+    pub(crate) accept_overflow: AtomicU64,
+    accepts: Vec<AtomicU64>,
+    resume_depth_highwater: Vec<AtomicU64>,
+    wake_lateness: Vec<AtomicU64>,
+    backend: Backend,
 }
 
 impl PoolCounters {
+    fn new(workers: usize, backend: Backend) -> Self {
+        PoolCounters {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            requeues: AtomicU64::new(0),
+            vm_rebuilds: AtomicU64::new(0),
+            slices: AtomicU64::new(0),
+            queue_depth_highwater: AtomicU64::new(0),
+            io_blocked: AtomicU64::new(0),
+            io_wakeups: AtomicU64::new(0),
+            timer_waits: AtomicU64::new(0),
+            blocked_highwater: AtomicU64::new(0),
+            accept_queue_highwater: AtomicU64::new(0),
+            accept_overflow: AtomicU64::new(0),
+            accepts: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            resume_depth_highwater: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            wake_lateness: (0..crate::reactor::WAKE_LATENESS_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            backend,
+        }
+    }
+
     fn snapshot(&self) -> PoolCountersSnapshot {
         PoolCountersSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -207,16 +269,42 @@ impl PoolCounters {
             io_wakeups: self.io_wakeups.load(Ordering::Relaxed),
             timer_waits: self.timer_waits.load(Ordering::Relaxed),
             blocked_highwater: self.blocked_highwater.load(Ordering::Relaxed),
+            accept_queue_highwater: self.accept_queue_highwater.load(Ordering::Relaxed),
+            accept_overflow: self.accept_overflow.load(Ordering::Relaxed),
+            accepts_per_worker: self.accepts.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            resume_depth_highwater: self
+                .resume_depth_highwater
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            wake_lateness: self.wake_lateness.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            reactor_backend: self.backend.name(),
         }
     }
 
     fn note_depth(&self, depth: usize) {
         self.queue_depth_highwater.fetch_max(depth as u64, Ordering::Relaxed);
     }
+
+    pub(crate) fn note_accept(&self, worker: usize) {
+        self.accepts[worker].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_resume_depth(&self, worker: usize, depth: usize) {
+        self.resume_depth_highwater[worker].fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_lateness(&self, hist: &[u64]) {
+        for (slot, &n) in self.wake_lateness.iter().zip(hist) {
+            if n > 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// A point-in-time copy of the pool's counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PoolCountersSnapshot {
     /// Jobs accepted by [`Pool::submit`].
     pub submitted: u64,
@@ -244,13 +332,78 @@ pub struct PoolCountersSnapshot {
     /// Suspensions on socket readiness (`tcp-accept`, `tcp-read`,
     /// `tcp-write` finding the fd not ready).
     pub io_blocked: u64,
-    /// Readiness/deadline deliveries the reactor made (I/O and timers).
+    /// Readiness/deadline deliveries the per-worker reactors made (I/O
+    /// and timers).
     pub io_wakeups: u64,
     /// Suspensions on `timer-wait`.
     pub timer_waits: u64,
     /// Most jobs simultaneously blocked on any single worker — the honest
     /// measure of peak per-worker green-thread concurrency.
     pub blocked_highwater: u64,
+    /// Most accepted-but-unadopted connections pending across every
+    /// worker's intake queue at once.
+    pub accept_queue_highwater: u64,
+    /// Accepted connections shed because the owning worker's socket table
+    /// was full.
+    pub accept_overflow: u64,
+    /// Connections the shared listener routed to each worker — flat when
+    /// the least-loaded/round-robin distribution is doing its job.
+    pub accepts_per_worker: Vec<u64>,
+    /// Largest single-harvest wakeup batch per worker: how many sealed
+    /// continuations one reactor pass requeued at once.
+    pub resume_depth_highwater: Vec<u64>,
+    /// Timer wake-lateness histogram, summed across workers: delivery
+    /// time minus deadline, bucketed by
+    /// [`WAKE_LATENESS_BUCKETS_MS`](crate::WAKE_LATENESS_BUCKETS_MS)
+    /// (the last bucket is the unbounded tail). Measured inside the
+    /// reactor, so it is pure scheduler lag.
+    pub wake_lateness: Vec<u64>,
+    /// Which readiness backend the pool's reactors run (`"poll"` or
+    /// `"epoll"`).
+    pub reactor_backend: &'static str,
+}
+
+impl PoolCountersSnapshot {
+    /// The counters accumulated between `earlier` and `self`: monotonic
+    /// counters subtract (saturating), highwater gauges and the backend
+    /// tag carry the later value — the same convention as
+    /// `VmStats::delta_since`.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &PoolCountersSnapshot) -> PoolCountersSnapshot {
+        PoolCountersSnapshot {
+            submitted: self.submitted.saturating_sub(earlier.submitted),
+            completed: self.completed.saturating_sub(earlier.completed),
+            failed: self.failed.saturating_sub(earlier.failed),
+            timed_out: self.timed_out.saturating_sub(earlier.timed_out),
+            panicked: self.panicked.saturating_sub(earlier.panicked),
+            retried: self.retried.saturating_sub(earlier.retried),
+            steals: self.steals.saturating_sub(earlier.steals),
+            requeues: self.requeues.saturating_sub(earlier.requeues),
+            vm_rebuilds: self.vm_rebuilds.saturating_sub(earlier.vm_rebuilds),
+            slices: self.slices.saturating_sub(earlier.slices),
+            queue_depth_highwater: self.queue_depth_highwater,
+            io_blocked: self.io_blocked.saturating_sub(earlier.io_blocked),
+            io_wakeups: self.io_wakeups.saturating_sub(earlier.io_wakeups),
+            timer_waits: self.timer_waits.saturating_sub(earlier.timer_waits),
+            blocked_highwater: self.blocked_highwater,
+            accept_queue_highwater: self.accept_queue_highwater,
+            accept_overflow: self.accept_overflow.saturating_sub(earlier.accept_overflow),
+            accepts_per_worker: self
+                .accepts_per_worker
+                .iter()
+                .zip(earlier.accepts_per_worker.iter().chain(std::iter::repeat(&0)))
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect(),
+            resume_depth_highwater: self.resume_depth_highwater.clone(),
+            wake_lateness: self
+                .wake_lateness
+                .iter()
+                .zip(earlier.wake_lateness.iter().chain(std::iter::repeat(&0)))
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect(),
+            reactor_backend: self.reactor_backend,
+        }
+    }
 }
 
 /// Key `VmStats` counters summed across a worker's VM incarnations
@@ -345,20 +498,127 @@ pub struct PoolReport {
     pub counters: PoolCountersSnapshot,
 }
 
+/// The handler blueprint [`Pool::serve`] compiles once and stamps into a
+/// fresh [`Job`] per accepted connection.
+pub(crate) struct HandlerTemplate {
+    name: String,
+    prog: Arc<CompiledProgram>,
+    fuel: u64,
+    deadline: Option<Duration>,
+    retries: Option<u32>,
+    on_complete: Option<OnComplete>,
+}
+
+impl std::fmt::Debug for ConnQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnQueue").field("depth", &self.depth()).finish()
+    }
+}
+
+impl HandlerTemplate {
+    pub(crate) fn make_job(&self, id: u64) -> Job {
+        Job {
+            id: JobId(id),
+            name: self.name.clone(),
+            prog: Arc::clone(&self.prog),
+            fuel_budget: self.fuel,
+            deadline: self.deadline.map(|d| Instant::now() + d),
+            retries: self.retries,
+            pinned: true,
+            submitted: Instant::now(),
+            slot: Arc::new(OutcomeSlot::default()),
+            on_complete: self.on_complete.clone(),
+            attempts: 0,
+        }
+    }
+}
+
+/// One worker's intake queue of accepted connections, filled by the
+/// shared-listener acceptor and drained by the owning worker.
+#[derive(Default)]
+pub(crate) struct ConnQueue {
+    q: Mutex<std::collections::VecDeque<(TcpStream, Arc<HandlerTemplate>)>>,
+}
+
+impl ConnQueue {
+    fn push(&self, stream: TcpStream, tmpl: Arc<HandlerTemplate>) -> usize {
+        let mut q = self.q.lock().expect("conn queue poisoned");
+        q.push_back((stream, tmpl));
+        q.len()
+    }
+
+    pub(crate) fn pop(&self) -> Option<(TcpStream, Arc<HandlerTemplate>)> {
+        self.q.lock().expect("conn queue poisoned").pop_front()
+    }
+
+    fn depth(&self) -> usize {
+        self.q.lock().expect("conn queue poisoned").len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.depth() == 0
+    }
+}
+
+/// Shared state between a running acceptor thread and its
+/// [`ServeHandle`].
+#[derive(Debug)]
+struct AcceptorShared {
+    stop: AtomicBool,
+    accepted: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Acceptor {
+    shared: Arc<AcceptorShared>,
+    handle: JoinHandle<()>,
+}
+
+/// A running shared listener started by [`Pool::serve`]: reports the
+/// bound port and accept count, and can stop accepting early (the
+/// listener also stops at pool shutdown).
+#[derive(Debug)]
+pub struct ServeHandle {
+    port: u16,
+    shared: Arc<AcceptorShared>,
+}
+
+impl ServeHandle {
+    /// The port the listener actually bound (useful with `:0`).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Connections accepted and routed to workers so far.
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Asks the acceptor thread to stop listening. Connections already
+    /// routed still get handled; the thread is joined at pool shutdown.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+    }
+}
+
 /// A pool of OS worker threads, each owning a VM that runs jobs as
-/// engine-preempted green threads, plus one reactor thread multiplexing
-/// every blocked job's I/O wait. See the crate docs for the full model
-/// and an example.
+/// engine-preempted green threads *and* its own reactor: a blocked job's
+/// readiness wait lives on the worker that holds its sealed continuation,
+/// so a wakeup is a local queue move, not a cross-thread handoff. See the
+/// crate docs for the full model and an example.
 #[derive(Debug)]
 pub struct Pool {
     injector: Arc<Injector>,
     queues: Arc<Vec<StealQueue>>,
+    conns: Arc<Vec<ConnQueue>>,
     counters: Arc<PoolCounters>,
     handles: Vec<JoinHandle<()>>,
-    reactor: Option<Reactor>,
+    wakes: Vec<WakeHandle>,
+    acceptors: Mutex<Vec<Acceptor>>,
     report_rx: mpsc::Receiver<WorkerReport>,
     next_job: AtomicU64,
     workers: usize,
+    backend: Backend,
 }
 
 impl Pool {
@@ -372,14 +632,33 @@ impl Pool {
         self.workers
     }
 
+    /// The readiness backend the pool's per-worker reactors run.
+    pub fn reactor_backend(&self) -> Backend {
+        self.backend
+    }
+
     /// Current injector depth (jobs accepted but not yet picked up).
     pub fn queue_depth(&self) -> usize {
         self.injector.depth()
     }
 
+    /// Accepted connections not yet adopted by their worker, summed over
+    /// all intake queues — the live accept-queue depth.
+    pub fn accept_queue_depth(&self) -> usize {
+        self.conns.iter().map(ConnQueue::depth).sum()
+    }
+
     /// A snapshot of the pool-wide counters.
     pub fn stats(&self) -> PoolCountersSnapshot {
         self.counters.snapshot()
+    }
+
+    /// Rings every worker's wake pipe so idle reactor waits re-check
+    /// their queues promptly.
+    fn ring_workers(&self) {
+        for w in &self.wakes {
+            w.ring();
+        }
     }
 
     /// Compiles `spec` and enqueues it. The spec's
@@ -423,8 +702,10 @@ impl Pool {
             if self.injector.is_closed() {
                 return Err(Error::pool_closed());
             }
-            self.queues[pin % self.workers].push(job);
+            let target = pin % self.workers;
+            self.queues[target].push(job);
             self.injector.notify_workers();
+            self.wakes[target].ring();
             self.counters.submitted.fetch_add(1, Ordering::Relaxed);
             return Ok(handle);
         }
@@ -436,6 +717,7 @@ impl Pool {
             Ok(depth) => {
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
                 self.counters.note_depth(depth);
+                self.ring_workers();
                 Ok(handle)
             }
             Err(PushRefused::Full) => Err(Error::queue_full(spec)),
@@ -443,11 +725,88 @@ impl Pool {
         }
     }
 
-    /// Graceful shutdown with a 60-second deadline: closes the injector,
-    /// lets the workers drain every queued, in-flight, *and blocked* job
-    /// (blocked jobs finish when their I/O completes or their deadline
-    /// fires), joins them, stops the reactor, and aggregates the reports.
-    /// Equivalent to `shutdown_timeout(Duration::from_secs(60))`.
+    /// Binds one shared `AF_INET` listener at `addr` (e.g.
+    /// `"127.0.0.1:0"`) and spawns an acceptor thread that distributes
+    /// accepted connections across the worker reactors — least-loaded by
+    /// pending intake depth, round-robin among ties. Each connection is
+    /// adopted into its worker's VM socket table and handled by a fresh
+    /// instance of `handler` (compiled once), which fetches its socket
+    /// token with `(conn-take)`.
+    ///
+    /// Handler outcomes are delivered to the spec's
+    /// [`on_complete`](JobSpec::on_complete) callback; there is no
+    /// per-connection [`JobHandle`].
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Compile`](crate::ErrorKind::Compile) for a bad
+    /// handler, [`ErrorKind::Io`](crate::ErrorKind::Io) if the bind
+    /// fails, [`ErrorKind::PoolClosed`](crate::ErrorKind::PoolClosed)
+    /// after shutdown began.
+    pub fn serve(&self, addr: &str, handler: JobSpec) -> Result<ServeHandle, Error> {
+        if self.injector.is_closed() {
+            return Err(Error::pool_closed());
+        }
+        let prog = Vm::compile_str(&handler.source, Pipeline::Direct, CompilerOptions::default())
+            .map_err(Error::compile)?;
+        let listener = TcpListener::bind(addr).map_err(|e| Error::io("bind", e))?;
+        listener.set_nonblocking(true).map_err(|e| Error::io("set_nonblocking", e))?;
+        let port = listener.local_addr().map_err(|e| Error::io("local_addr", e))?.port();
+        let tmpl = Arc::new(HandlerTemplate {
+            name: handler.name.clone(),
+            prog: Arc::new(prog),
+            fuel: handler.fuel,
+            deadline: handler.deadline,
+            retries: handler.retries,
+            on_complete: handler.on_complete.clone(),
+        });
+        let shared =
+            Arc::new(AcceptorShared { stop: AtomicBool::new(false), accepted: AtomicU64::new(0) });
+        let thread_shared = Arc::clone(&shared);
+        let conns = Arc::clone(&self.conns);
+        let counters = Arc::clone(&self.counters);
+        let injector = Arc::clone(&self.injector);
+        let wakes = self.wakes.clone();
+        let thread_tmpl = Arc::clone(&tmpl);
+        let handle = std::thread::Builder::new()
+            .name(format!("oneshot-accept-{port}"))
+            .spawn(move || {
+                accept_loop(
+                    &listener,
+                    &thread_shared,
+                    &thread_tmpl,
+                    &conns,
+                    &counters,
+                    &injector,
+                    &wakes,
+                );
+            })
+            .map_err(|e| Error::io("spawn acceptor", e))?;
+        self.acceptors
+            .lock()
+            .expect("acceptor list poisoned")
+            .push(Acceptor { shared: Arc::clone(&shared), handle });
+        Ok(ServeHandle { port, shared })
+    }
+
+    /// Stops every acceptor and joins its thread. Connections already in
+    /// the intake queues are still handled by the workers.
+    fn stop_acceptors(&self) {
+        let acceptors: Vec<Acceptor> =
+            self.acceptors.lock().expect("acceptor list poisoned").drain(..).collect();
+        for a in &acceptors {
+            a.shared.stop.store(true, Ordering::Relaxed);
+        }
+        for a in acceptors {
+            let _ = a.handle.join();
+        }
+    }
+
+    /// Graceful shutdown with a 60-second deadline: stops the acceptors,
+    /// closes the injector, lets the workers drain every queued,
+    /// in-flight, *and blocked* job (blocked jobs finish when their I/O
+    /// completes or their deadline fires), joins them, and aggregates the
+    /// reports. Equivalent to `shutdown_timeout(Duration::from_secs(60))`.
     ///
     /// # Errors
     ///
@@ -462,10 +821,15 @@ impl Pool {
     ///
     /// [`ErrorKind::ShutdownTimeout`](crate::ErrorKind::ShutdownTimeout)
     /// if some worker failed to drain and check in before the deadline;
-    /// its thread — and the reactor, which it may still need — is left
-    /// behind (leaked), which the CI leak test treats as a failure.
+    /// its thread is left behind (leaked), which the CI leak test treats
+    /// as a failure.
     pub fn shutdown_timeout(mut self, deadline: Duration) -> Result<PoolReport, Error> {
+        // Acceptors first: no new connections may enter the intake queues
+        // once the injector closes, or a worker could exit with
+        // connections stranded.
+        self.stop_acceptors();
         self.injector.close();
+        self.ring_workers();
         let end = Instant::now() + deadline;
         let mut reports = Vec::with_capacity(self.workers);
         while reports.len() < self.workers {
@@ -474,22 +838,15 @@ impl Pool {
                 Ok(report) => reports.push(report),
                 Err(_) => {
                     // Leave the handles unjoined: the caller learns exactly
-                    // how many threads are wedged. The reactor is detached,
-                    // not stopped — a slow worker still needs its wakeups.
+                    // how many threads are wedged.
                     self.handles.clear();
-                    self.reactor.take();
                     return Err(Error::shutdown_timeout(reports.len(), self.workers));
                 }
             }
         }
-        // Every worker has sent its report, so joins return immediately —
-        // and only now is it safe to stop the reactor: no wait can be
-        // outstanding once every worker has drained.
+        // Every worker has sent its report, so joins return immediately.
         for handle in self.handles.drain(..) {
             let _ = handle.join();
-        }
-        if let Some(reactor) = self.reactor.take() {
-            reactor.shutdown();
         }
         reports.sort_by_key(|r| r.worker);
         Ok(PoolReport { workers: reports, counters: self.counters.snapshot() })
@@ -498,15 +855,69 @@ impl Pool {
 
 impl Drop for Pool {
     /// Best-effort cleanup for pools dropped without [`Pool::shutdown`]:
-    /// closes the injector, joins the workers (they exit once drained),
-    /// then stops the reactor.
+    /// stops the acceptors, closes the injector, and joins the workers
+    /// (they exit once drained).
     fn drop(&mut self) {
+        self.stop_acceptors();
         self.injector.close();
+        self.ring_workers();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
-        if let Some(reactor) = self.reactor.take() {
-            reactor.shutdown();
+    }
+}
+
+/// The acceptor thread: polls the shared listener, accepts until
+/// would-block, and routes each connection to the least-loaded worker's
+/// intake queue (round-robin among equals), ringing that worker awake.
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &AcceptorShared,
+    tmpl: &Arc<HandlerTemplate>,
+    conns: &[ConnQueue],
+    counters: &PoolCounters,
+    injector: &Injector,
+    wakes: &[WakeHandle],
+) {
+    use crate::reactor::sys;
+    use std::os::fd::AsRawFd;
+
+    let fd = listener.as_raw_fd();
+    let mut rr: usize = 0;
+    while !shared.stop.load(Ordering::Relaxed) {
+        // A short poll tick bounds the stop-flag latency; readiness ends
+        // the wait immediately.
+        let mut fds = [sys::PollFd { fd, events: sys::POLLIN, revents: 0 }];
+        sys::poll_fds(&mut fds, 50);
+        let mut routed = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        counters.accept_overflow.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    // Least pending intake wins; the rotating offset
+                    // breaks ties round-robin so equal loads spread.
+                    let n = conns.len();
+                    let target = (0..n)
+                        .min_by_key(|&w| (conns[w].depth(), (w + n - rr % n) % n))
+                        .unwrap_or(0);
+                    rr = rr.wrapping_add(1);
+                    let depth = conns[target].push(stream, Arc::clone(tmpl));
+                    counters.accept_queue_highwater.fetch_max(depth as u64, Ordering::Relaxed);
+                    shared.accepted.fetch_add(1, Ordering::Relaxed);
+                    wakes[target].ring();
+                    routed = true;
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        if routed {
+            injector.notify_workers();
         }
     }
 }

@@ -11,11 +11,10 @@ use crate::job::Job;
 /// condvars — deliberately boring; the interesting scheduling happens in
 /// the workers.
 ///
-/// The `not_empty` condvar doubles as the pool-wide activity signal: the
-/// reactor calls [`Injector::notify_workers`] after delivering readiness
-/// wakeups, so a worker sleeping in [`Injector::pop_wait`] or
-/// [`Injector::wait_activity`] re-checks its resume queue promptly
-/// instead of riding out its idle timeout.
+/// The `not_empty` condvar doubles as the pool-wide activity signal:
+/// [`Injector::notify_workers`] wakes workers sleeping in
+/// [`Injector::pop_wait`] when work lands outside the injector, so they
+/// re-check their queues promptly instead of riding out the idle timeout.
 #[derive(Debug)]
 pub(crate) struct Injector {
     state: Mutex<InjectorState>,
@@ -129,25 +128,13 @@ impl Injector {
         Popped::TimedOut
     }
 
-    /// Blocks up to `timeout` for *any* pool activity — a push, a close,
-    /// or a [`Injector::notify_workers`] signal. Unlike
-    /// [`Injector::pop_wait`] this waits even when the queue is closed:
-    /// it is what a worker with blocked (I/O-suspended) jobs parks on
-    /// during shutdown drain, when no new job will ever arrive but
-    /// reactor wakeups still will.
-    pub(crate) fn wait_activity(&self, timeout: Duration) {
-        let st = self.state.lock().unwrap();
-        if !st.queue.is_empty() {
-            return;
-        }
-        let _ = self.not_empty.wait_timeout(st, timeout).unwrap();
-    }
-
-    /// Wakes every waiting worker so it re-checks its resume queue. Called
-    /// by the reactor after readiness deliveries.
+    /// Wakes every worker parked in [`Injector::pop_wait`] so it
+    /// re-checks its queues. Called alongside wake-pipe rings when jobs
+    /// or connections land outside the injector (pinned submits,
+    /// shared-listener accepts).
     pub(crate) fn notify_workers(&self) {
-        // Lock to order the wakeup after the delivering store; the resume
-        // queues themselves are behind their own mutexes.
+        // Lock to order the wakeup after the delivering store; the
+        // per-worker queues themselves are behind their own mutexes.
         let _st = self.state.lock().unwrap();
         self.not_empty.notify_all();
     }

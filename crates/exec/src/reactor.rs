@@ -1,41 +1,56 @@
-//! The reactor: one event-loop thread multiplexing every blocked green
-//! thread's wait over poll(2).
+//! Per-worker reactors: each worker owns a [`ReactorCore`] that
+//! multiplexes every wait *its own* blocked green threads registered.
 //!
 //! When a job suspends on I/O (`EngineStep::Blocked`), its worker seals
 //! the one-shot continuation inside the engine table, registers the wait
-//! here, and goes on running other jobs. The reactor polls all registered
-//! fds plus a timer heap; on readiness (or deadline) it pushes a `(job,
-//! seq)` wakeup onto the owning worker's resume queue and rings the
-//! injector's activity signal. The worker then moves the job from its
-//! blocked map back to its ready ring — a normal engine resumption, O(1),
-//! no stack copying, exactly the paper's suspension cost model.
+//! directly with its core — a plain method call, no message, no mutex —
+//! and goes on running other jobs. Between slices (and whenever it has
+//! nothing runnable) the worker asks the core for due wakeups; readiness,
+//! timer expiry, or deadline expiry each deliver a `(job, seq)` pair that
+//! the worker turns back into an ordinary engine resumption: O(1), no
+//! stack copying, no cross-thread resume-queue handoff, exactly the
+//! paper's suspension cost model.
 //!
-//! Interest is one-shot: an entry delivers once and is forgotten, like
-//! the continuation it wakes. Stale deliveries (the job has since blocked
-//! again, or died with its worker's VM) are filtered by the `seq` check
-//! on the worker side and are harmless here. An fd closed while
-//! registered reports `POLLNVAL`, which counts as readiness: the resumed
-//! retry loop then sees the guest-level `io-error`. Dependency-free by
-//! design: the only foreign call is `poll(2)` itself.
+//! Two backends live behind the same seam, both raw syscalls in the one
+//! audited `sys` module:
+//!
+//! * **poll** rebuilds the full pollfd set every wait — O(blocked fds)
+//!   per wake, the PR 6 behaviour, kept as the portable fallback;
+//! * **epoll** (Linux) keeps interest registered in the kernel
+//!   *edge-triggered*, so a wait costs O(ready): per-wake cost stays flat
+//!   as the blocked population grows (E15 measures both curves).
+//!
+//! The edge-triggered contract: interest here is one-shot — an fd is
+//! deregistered the moment it delivers (mirroring the one-shot discipline
+//! of the continuation it wakes), and re-registered only after the
+//! resumed guest operation has retried and observed would-block again.
+//! `epoll_ctl(ADD)` reports an already-ready fd even in edge-triggered
+//! mode, so there is no lost-wakeup window between the retry and the
+//! re-registration. A wait cancelled by its deadline deregisters the fd;
+//! readiness arriving later is simply never reported — and a delivery
+//! already harvested in the same batch is defused by the worker's `seq`
+//! guard, which drops any wakeup whose generation is stale.
+//!
+//! The only cross-thread piece left is the wake pipe: the pool rings it
+//! to interrupt an idle worker's wait (new submission, accepted
+//! connection, shutdown). The pipe is drained level-triggered in bounded
+//! full passes — read until `EAGAIN`, capped per pass — so any number of
+//! rings coalesce into one wakeup and a burst can neither stall the loop
+//! nor lose a wake (leftover bytes keep the pipe readable).
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::io::{ErrorKind, Read, Write};
 use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crate::pool::PoolCounters;
-use crate::queue::Injector;
-
-/// Raw poll(2) binding. The crate is `#![deny(unsafe_code)]`; this module
-/// is the single audited exception, and the only unsafe operation is the
-/// syscall itself over a plain `#[repr(C)]` slice.
+/// Raw poll(2)/epoll(7) bindings. The crate is `#![deny(unsafe_code)]`;
+/// this module is the single audited exception, and the only unsafe
+/// operations are the syscalls themselves over plain `#[repr(C)]` data.
 #[allow(unsafe_code)]
-mod sys {
+pub(crate) mod sys {
     #[repr(C)]
     #[derive(Debug, Clone, Copy)]
     pub struct PollFd {
@@ -47,8 +62,35 @@ mod sys {
     pub const POLLIN: i16 = 0x001;
     pub const POLLOUT: i16 = 0x004;
 
+    /// `struct epoll_event` is packed on x86-64 (a kernel ABI quirk);
+    /// other architectures use natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Debug, Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        /// Carries the registered fd back out of `epoll_wait`.
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    /// Edge-triggered delivery: one event per readiness *edge*.
+    pub const EPOLLET: u32 = 1 << 31;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
     extern "C" {
         fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
     }
 
     /// Polls `fds` for up to `timeout_ms` (-1 = forever). Returns the
@@ -57,198 +99,522 @@ mod sys {
     pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
         unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) }
     }
-}
 
-/// One readiness wakeup: which job (by raw id) and which wait generation.
-/// The generation lets a worker discard deliveries for waits it has
-/// already abandoned (deadline failure, worker reset).
-pub(crate) type Wakeup = (u64, u64);
+    /// An owned epoll instance; the fd is closed on drop.
+    #[derive(Debug)]
+    pub struct EpollFd(i32);
 
-/// Per-worker wakeup mailboxes, indexed by worker.
-pub(crate) type ResumeQueues = Arc<Vec<Mutex<Vec<Wakeup>>>>;
+    impl EpollFd {
+        /// Creates an epoll instance, or `None` if the kernel refuses
+        /// (the caller falls back to poll).
+        pub fn create() -> Option<EpollFd> {
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                None
+            } else {
+                Some(EpollFd(fd))
+            }
+        }
 
-/// A wait registration or control message for the reactor.
-#[derive(Debug)]
-pub(crate) enum Msg {
-    /// Wake `(worker, job, seq)` when `fd` is readable (or writable), or
-    /// when `deadline` passes, whichever comes first.
-    Io { worker: usize, job: u64, seq: u64, fd: i32, write: bool, deadline: Option<Instant> },
-    /// Wake `(worker, job, seq)` at `deadline`.
-    Timer { worker: usize, job: u64, seq: u64, deadline: Instant },
-    /// Exit the reactor loop. Sent after every worker has drained.
-    Shutdown,
-}
+        /// ADD/MOD/DEL interest in `fd`. Returns `false` on failure
+        /// (stale fd, kernel limit); callers treat a failed ADD as
+        /// instant readiness so a wait can never be silently lost.
+        pub fn ctl(&self, op: i32, fd: i32, events: u32) -> bool {
+            let mut ev = EpollEvent { events, data: fd as u32 as u64 };
+            unsafe { epoll_ctl(self.0, op, fd, &mut ev) == 0 }
+        }
 
-/// The handle workers use to register waits: a message box plus a
-/// self-pipe that interrupts an in-flight poll.
-#[derive(Debug)]
-pub(crate) struct ReactorShared {
-    msgs: Mutex<Vec<Msg>>,
-    wake_tx: UnixStream,
-}
-
-impl ReactorShared {
-    pub(crate) fn send(&self, msg: Msg) {
-        self.msgs.lock().unwrap().push(msg);
-        // A full pipe already guarantees a pending wakeup; WouldBlock is
-        // success here.
-        let _ = (&self.wake_tx).write(&[1]);
-    }
-}
-
-/// The running reactor thread plus its shared mailbox.
-#[derive(Debug)]
-pub(crate) struct Reactor {
-    pub(crate) shared: Arc<ReactorShared>,
-    handle: Option<JoinHandle<()>>,
-}
-
-impl Reactor {
-    /// Spawns the reactor thread.
-    pub(crate) fn spawn(
-        resumes: ResumeQueues,
-        injector: Arc<Injector>,
-        counters: Arc<PoolCounters>,
-    ) -> std::io::Result<Reactor> {
-        let (wake_tx, wake_rx) = UnixStream::pair()?;
-        wake_tx.set_nonblocking(true)?;
-        wake_rx.set_nonblocking(true)?;
-        let shared = Arc::new(ReactorShared { msgs: Mutex::new(Vec::new()), wake_tx });
-        let shared2 = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("oneshot-exec-reactor".to_string())
-            .spawn(move || run(shared2, wake_rx, resumes, injector, counters))?;
-        Ok(Reactor { shared, handle: Some(handle) })
+        /// Waits up to `timeout_ms` (-1 = forever); fills `events` and
+        /// returns the ready count, 0 on timeout, negative on EINTR.
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> i32 {
+            unsafe { epoll_wait(self.0, events.as_mut_ptr(), events.len() as i32, timeout_ms) }
+        }
     }
 
-    /// Asks the loop to exit and joins it. Call only after every worker
-    /// has drained: a blocked job whose wait is dropped here would never
-    /// wake.
-    pub(crate) fn shutdown(mut self) {
-        self.shared.send(Msg::Shutdown);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+    impl Drop for EpollFd {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.0);
+            }
         }
     }
 }
 
-/// An fd wait in flight.
+/// Which readiness syscall a pool's per-worker reactors use.
+///
+/// Selected at build time by [`crate::PoolBuilder::reactor_backend`],
+/// defaulting to the `ONESHOT_REACTOR` environment variable (`poll` |
+/// `epoll`), else to epoll on Linux with poll as the universal fallback.
+/// The two backends are observationally identical (the differential test
+/// suite asserts it); they differ only in per-wake cost: poll re-scans
+/// every blocked fd (O(blocked)), epoll reports only ready ones
+/// (O(ready)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Rebuild-and-scan `poll(2)`: portable, O(blocked fds) per wake.
+    Poll,
+    /// Edge-triggered `epoll(7)`: Linux, O(ready fds) per wake.
+    Epoll,
+}
+
+impl Backend {
+    /// The default backend: the `ONESHOT_REACTOR` env override if set to
+    /// `poll` or `epoll`, else epoll on Linux, else poll.
+    pub fn from_env() -> Backend {
+        match std::env::var("ONESHOT_REACTOR").as_deref() {
+            Ok("poll") => Backend::Poll,
+            Ok("epoll") => Backend::Epoll,
+            _ => {
+                if cfg!(target_os = "linux") {
+                    Backend::Epoll
+                } else {
+                    Backend::Poll
+                }
+            }
+        }
+    }
+
+    /// Stable lowercase name, used as the `reactor_backend` metrics tag.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Poll => "poll",
+            Backend::Epoll => "epoll",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One readiness wakeup: which job (by raw id) and which wait generation.
+/// The generation lets the worker discard deliveries for waits it has
+/// already abandoned (deadline failure, worker reset).
+pub(crate) type Wakeup = (u64, u64);
+
+/// Upper bounds (milliseconds) of the wake-lateness histogram buckets: a
+/// timer delivered within 1 ms of its deadline lands in bucket 0, within
+/// 5 ms in bucket 1, and so on; the final bucket is unbounded. Lateness is
+/// measured at delivery inside the reactor — it is scheduler lag, before
+/// the resumed continuation even runs.
+pub const WAKE_LATENESS_BUCKETS_MS: [u64; 5] = [1, 5, 20, 100, 500];
+
+/// Number of histogram buckets (the bounds plus the unbounded tail).
+pub(crate) const WAKE_LATENESS_BUCKETS: usize = WAKE_LATENESS_BUCKETS_MS.len() + 1;
+
+/// The bucket a given lateness falls into.
+fn lateness_bucket(late: Duration) -> usize {
+    let ms = late.as_millis() as u64;
+    WAKE_LATENESS_BUCKETS_MS
+        .iter()
+        .position(|&bound| ms < bound)
+        .unwrap_or(WAKE_LATENESS_BUCKETS_MS.len())
+}
+
+/// A cheaply-cloneable handle that interrupts a worker's in-flight wait.
+/// The pool rings it on submission, accepted connections, and shutdown.
+#[derive(Debug, Clone)]
+pub(crate) struct WakeHandle {
+    tx: Arc<UnixStream>,
+}
+
+impl WakeHandle {
+    /// Rings the wake pipe. A full pipe already guarantees a pending
+    /// wakeup, so WouldBlock is success here.
+    pub(crate) fn ring(&self) {
+        let _ = (&*self.tx).write(&[1]);
+    }
+}
+
+/// An fd wait in flight. A job's wall-clock deadline, when set, lives in
+/// the `io_deadlines` heap: expiry wakes the job so the worker can fail
+/// it with DeadlineExceeded.
 #[derive(Debug)]
 struct IoWait {
     fd: i32,
     write: bool,
-    worker: usize,
-    job: u64,
     seq: u64,
-    deadline: Option<Instant>,
 }
 
-fn run(
-    shared: Arc<ReactorShared>,
+/// Backend-specific readiness state.
+#[derive(Debug)]
+enum BackendState {
+    /// The pollfd set is rebuilt from scratch every wait — poll's
+    /// O(blocked) cost model, measured by E15.
+    Poll { pollfds: Vec<sys::PollFd>, jobs: Vec<u64> },
+    /// Interest lives in the kernel; `interest` mirrors the registered
+    /// event mask per fd so multiple waits on one fd can share an entry.
+    Epoll { ep: sys::EpollFd, events: Vec<sys::EpollEvent>, interest: HashMap<i32, u32> },
+}
+
+/// One worker's reactor: every wait its blocked jobs hold, the timer
+/// heap, and the backend readiness state. Not shared — the owning worker
+/// calls every method, which is what makes delivery handoff-free.
+#[derive(Debug)]
+pub(crate) struct ReactorCore {
+    state: BackendState,
     wake_rx: UnixStream,
-    resumes: ResumeQueues,
-    injector: Arc<Injector>,
-    counters: Arc<PoolCounters>,
-) {
-    let mut io_waits: Vec<IoWait> = Vec::new();
-    // Min-heap of (deadline, worker, job, seq).
-    let mut timers: BinaryHeap<Reverse<(Instant, usize, u64, u64)>> = BinaryHeap::new();
-    let mut pollfds: Vec<sys::PollFd> = Vec::new();
-    let wake_fd = wake_rx.as_raw_fd();
+    wake_tx: Arc<UnixStream>,
+    /// Outstanding fd waits, keyed by job id (one wait per job).
+    io_waits: HashMap<u64, IoWait>,
+    /// fd -> jobs waiting on it (usually one; a listener shared by
+    /// several accepting green threads is the many case).
+    by_fd: HashMap<i32, Vec<u64>>,
+    /// Min-heap of I/O deadlines `(when, job, seq)`; entries are lazy —
+    /// a wait delivered early leaves a stale entry that is skipped.
+    io_deadlines: BinaryHeap<Reverse<(Instant, u64, u64)>>,
+    /// Min-heap of timer waits `(when, job, seq)`.
+    timers: BinaryHeap<Reverse<(Instant, u64, u64)>>,
+    /// Wake-lateness histogram for delivered timers, drained by the
+    /// worker into the pool counters ([`WAKE_LATENESS_BUCKETS_MS`]).
+    lateness: [u64; WAKE_LATENESS_BUCKETS],
+    backend: Backend,
+}
 
-    loop {
-        // Ingest registrations queued since the last iteration.
-        let batch = std::mem::take(&mut *shared.msgs.lock().unwrap());
-        for msg in batch {
-            match msg {
-                Msg::Io { worker, job, seq, fd, write, deadline } => {
-                    io_waits.push(IoWait { fd, write, worker, job, seq, deadline });
+impl ReactorCore {
+    /// Builds a core for `want`, falling back to poll if the kernel
+    /// refuses an epoll instance. The only fallible resource is the wake
+    /// pipe.
+    pub(crate) fn new(want: Backend) -> std::io::Result<ReactorCore> {
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let (state, backend) = match want {
+            Backend::Epoll => match sys::EpollFd::create() {
+                Some(ep) => {
+                    // The wake pipe is registered level-triggered (no
+                    // EPOLLET): a bounded partial drain must leave it
+                    // readable, or rings could be lost.
+                    ep.ctl(sys::EPOLL_CTL_ADD, wake_rx.as_raw_fd(), sys::EPOLLIN);
+                    let events = vec![sys::EpollEvent { events: 0, data: 0 }; 256];
+                    (BackendState::Epoll { ep, events, interest: HashMap::new() }, Backend::Epoll)
                 }
-                Msg::Timer { worker, job, seq, deadline } => {
-                    timers.push(Reverse((deadline, worker, job, seq)));
+                None => {
+                    (BackendState::Poll { pollfds: Vec::new(), jobs: Vec::new() }, Backend::Poll)
                 }
-                Msg::Shutdown => return,
+            },
+            Backend::Poll => {
+                (BackendState::Poll { pollfds: Vec::new(), jobs: Vec::new() }, Backend::Poll)
+            }
+        };
+        Ok(ReactorCore {
+            state,
+            wake_rx,
+            wake_tx: Arc::new(wake_tx),
+            io_waits: HashMap::new(),
+            by_fd: HashMap::new(),
+            io_deadlines: BinaryHeap::new(),
+            timers: BinaryHeap::new(),
+            lateness: [0; WAKE_LATENESS_BUCKETS],
+            backend,
+        })
+    }
+
+    /// The backend actually in use (after any fallback).
+    pub(crate) fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// A handle other threads use to interrupt this core's wait.
+    pub(crate) fn wake_handle(&self) -> WakeHandle {
+        WakeHandle { tx: Arc::clone(&self.wake_tx) }
+    }
+
+    /// Whether any wait (fd or timer) is outstanding.
+    pub(crate) fn has_waits(&self) -> bool {
+        !self.io_waits.is_empty() || !self.timers.is_empty()
+    }
+
+    /// Registers an fd wait for `job`. Returns `false` if the kernel
+    /// refused the registration (stale fd, limit): the caller must treat
+    /// the job as instantly ready so the retried guest operation can
+    /// surface the real error.
+    pub(crate) fn register_io(
+        &mut self,
+        job: u64,
+        seq: u64,
+        fd: i32,
+        write: bool,
+        deadline: Option<Instant>,
+    ) -> bool {
+        debug_assert!(!self.io_waits.contains_key(&job), "one wait per job");
+        if let BackendState::Epoll { ep, interest, .. } = &mut self.state {
+            let bit = if write { sys::EPOLLOUT } else { sys::EPOLLIN };
+            let ok = match interest.get(&fd) {
+                None => {
+                    if ep.ctl(sys::EPOLL_CTL_ADD, fd, bit | sys::EPOLLET) {
+                        interest.insert(fd, bit);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Some(&mask) if mask & bit == 0 => {
+                    if ep.ctl(sys::EPOLL_CTL_MOD, fd, (mask | bit) | sys::EPOLLET) {
+                        interest.insert(fd, mask | bit);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Some(_) => true,
+            };
+            if !ok {
+                return false;
             }
         }
+        if let Some(d) = deadline {
+            self.io_deadlines.push(Reverse((d, job, seq)));
+        }
+        self.io_waits.insert(job, IoWait { fd, write, seq });
+        self.by_fd.entry(fd).or_default().push(job);
+        true
+    }
 
-        // Sleep until the nearest deadline (timer or I/O), or forever if
-        // none: the self-pipe interrupts for new registrations.
+    /// Registers a timer wait for `job`.
+    pub(crate) fn register_timer(&mut self, job: u64, seq: u64, deadline: Instant) {
+        self.timers.push(Reverse((deadline, job, seq)));
+    }
+
+    /// Removes `job`'s fd wait (delivered, expired, or cancelled) and
+    /// releases its share of the kernel interest.
+    fn remove_io(&mut self, job: u64) -> Option<IoWait> {
+        let w = self.io_waits.remove(&job)?;
+        let remaining = match self.by_fd.get_mut(&w.fd) {
+            Some(jobs) => {
+                jobs.retain(|&j| j != job);
+                if jobs.is_empty() {
+                    self.by_fd.remove(&w.fd);
+                    None
+                } else {
+                    Some(&self.by_fd[&w.fd])
+                }
+            }
+            None => None,
+        };
+        if let BackendState::Epoll { ep, interest, .. } = &mut self.state {
+            match remaining {
+                None => {
+                    // One-shot interest: the fd leaves the kernel set the
+                    // moment its last wait resolves. A closed fd makes
+                    // DEL fail with EBADF, which is fine — the kernel
+                    // already dropped it.
+                    ep.ctl(sys::EPOLL_CTL_DEL, w.fd, 0);
+                    interest.remove(&w.fd);
+                }
+                Some(jobs) => {
+                    let mask = jobs
+                        .iter()
+                        .filter_map(|j| self.io_waits.get(j))
+                        .fold(0u32, |m, w| m | if w.write { sys::EPOLLOUT } else { sys::EPOLLIN });
+                    if interest.get(&w.fd) != Some(&mask) {
+                        ep.ctl(sys::EPOLL_CTL_MOD, w.fd, mask | sys::EPOLLET);
+                        interest.insert(w.fd, mask);
+                    }
+                }
+            }
+        }
+        Some(w)
+    }
+
+    /// Wakes every wait registered on `fd` — the guest closed the socket
+    /// while peers were still blocked on it. The resumed retry observes
+    /// the stale token and raises the guest-level `io-error` instead of
+    /// wedging. (Under poll a closed fd also reports `POLLNVAL`; under
+    /// edge-triggered epoll the kernel silently drops interest in a
+    /// closed fd, so this explicit cancel is what keeps the two backends
+    /// observationally identical.)
+    pub(crate) fn cancel_fd(&mut self, fd: i32, out: &mut Vec<Wakeup>) {
+        let Some(jobs) = self.by_fd.get(&fd) else { return };
+        for job in jobs.clone() {
+            if let Some(w) = self.remove_io(job) {
+                out.push((job, w.seq));
+            }
+        }
+    }
+
+    /// Drops every outstanding wait without delivering. Called on worker
+    /// reset (VM rebuild): every blocked job was already failed, their
+    /// sockets died with the VM, and any late readiness would be filtered
+    /// by the seq guard anyway.
+    pub(crate) fn forget_all(&mut self) {
+        if let BackendState::Epoll { ep, interest, .. } = &mut self.state {
+            for (&fd, _) in interest.iter() {
+                ep.ctl(sys::EPOLL_CTL_DEL, fd, 0);
+            }
+            interest.clear();
+        }
+        self.io_waits.clear();
+        self.by_fd.clear();
+        self.io_deadlines.clear();
+        self.timers.clear();
+    }
+
+    /// The earliest deadline among timers and I/O waits, skipping lazy
+    /// (already-resolved) deadline entries.
+    fn next_deadline(&mut self) -> Option<Instant> {
+        while let Some(Reverse((t, job, seq))) = self.io_deadlines.peek().copied() {
+            match self.io_waits.get(&job) {
+                Some(w) if w.seq == seq => break,
+                _ => {
+                    let _ = (t, self.io_deadlines.pop());
+                }
+            }
+        }
+        let io = self.io_deadlines.peek().map(|Reverse((t, ..))| *t);
+        let timer = self.timers.peek().map(|Reverse((t, ..))| *t);
+        match (io, timer) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Blocks until readiness, a due deadline/timer, a wake-pipe ring, or
+    /// `max_wait` — whichever comes first — and appends due wakeups to
+    /// `out`. `Duration::ZERO` is a nonblocking harvest. Returns the
+    /// number of wakeups delivered.
+    pub(crate) fn wait(&mut self, max_wait: Duration, out: &mut Vec<Wakeup>) -> usize {
+        let before = out.len();
         let now = Instant::now();
-        let mut next: Option<Instant> = timers.peek().map(|Reverse((t, ..))| *t);
-        for w in &io_waits {
-            if let Some(d) = w.deadline {
-                next = Some(next.map_or(d, |n| n.min(d)));
-            }
+        // Cheap fast path for the between-slices harvest: no fds to ask
+        // the kernel about and no timer due yet means no syscall at all.
+        if max_wait.is_zero()
+            && self.io_waits.is_empty()
+            && self.next_deadline().is_none_or(|t| t > now)
+        {
+            return 0;
         }
-        let timeout_ms: i32 = match next {
-            None => -1,
-            Some(t) => {
-                let ms = t.saturating_duration_since(now).as_millis();
-                // +1: round up so we never wake a hair *before* the
-                // deadline and spin.
+        let timeout_ms: i32 = {
+            let cap = now + max_wait;
+            let until = self.next_deadline().map_or(cap, |t| t.min(cap));
+            let ms = until.saturating_duration_since(now).as_millis();
+            // +1: round up so we never wake a hair *before* a deadline
+            // and spin — except a zero wait stays zero (nonblocking).
+            if max_wait.is_zero() && ms == 0 {
+                0
+            } else {
                 i32::try_from(ms.saturating_add(1)).unwrap_or(i32::MAX)
             }
         };
 
-        pollfds.clear();
-        pollfds.push(sys::PollFd { fd: wake_fd, events: sys::POLLIN, revents: 0 });
-        for w in &io_waits {
-            let events = if w.write { sys::POLLOUT } else { sys::POLLIN };
-            pollfds.push(sys::PollFd { fd: w.fd, events, revents: 0 });
-        }
-        let rc = sys::poll_fds(&mut pollfds, timeout_ms);
-        if rc < 0 {
-            // EINTR or transient failure: re-ingest and poll again.
-            continue;
-        }
-
-        if pollfds[0].revents != 0 {
-            // Drain the self-pipe; the payload bytes carry no meaning.
-            let mut sink = [0u8; 256];
-            loop {
-                match (&wake_rx).read(&mut sink) {
-                    Ok(0) => break,
-                    Ok(_) => continue,
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                    Err(_) => break,
+        let wake_fd = self.wake_rx.as_raw_fd();
+        let mut ready_jobs: Vec<u64> = Vec::new();
+        let mut wake_rung = false;
+        match &mut self.state {
+            BackendState::Poll { pollfds, jobs } => {
+                // Rebuild the whole set: poll's O(blocked) per-wake cost.
+                pollfds.clear();
+                jobs.clear();
+                pollfds.push(sys::PollFd { fd: wake_fd, events: sys::POLLIN, revents: 0 });
+                for (&job, w) in &self.io_waits {
+                    let events = if w.write { sys::POLLOUT } else { sys::POLLIN };
+                    pollfds.push(sys::PollFd { fd: w.fd, events, revents: 0 });
+                    jobs.push(job);
+                }
+                let rc = sys::poll_fds(pollfds, timeout_ms);
+                if rc > 0 {
+                    wake_rung = pollfds[0].revents != 0;
+                    // Any nonzero revents — POLLIN/POLLOUT, but also
+                    // POLLERR/POLLHUP/POLLNVAL — wakes the job: the
+                    // retried guest operation is what turns the state
+                    // into data, EOF, or an io-error condition.
+                    for (i, pfd) in pollfds.iter().enumerate().skip(1) {
+                        if pfd.revents != 0 {
+                            ready_jobs.push(jobs[i - 1]);
+                        }
+                    }
+                }
+            }
+            BackendState::Epoll { ep, events, .. } => {
+                let rc = ep.wait(events, timeout_ms);
+                if rc > 0 {
+                    for ev in &events[..rc as usize] {
+                        let fd = ev.data as i32;
+                        if fd == wake_fd {
+                            wake_rung = true;
+                            continue;
+                        }
+                        let bits = { ev.events };
+                        if let Some(jobs) = self.by_fd.get(&fd) {
+                            for &job in jobs {
+                                let Some(w) = self.io_waits.get(&job) else { continue };
+                                let want = if w.write { sys::EPOLLOUT } else { sys::EPOLLIN };
+                                // Error/hangup count as readiness for
+                                // every waiter regardless of direction.
+                                if bits & (want | sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+                                    ready_jobs.push(job);
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
 
-        let now = Instant::now();
-        let mut delivered: Vec<(usize, Wakeup)> = Vec::new();
+        if wake_rung {
+            self.drain_wake_pipe();
+        }
 
-        // I/O readiness and I/O deadlines. Any nonzero revents — POLLIN /
-        // POLLOUT, but also POLLERR / POLLHUP / POLLNVAL — wakes the job:
-        // the retried guest operation is what turns the underlying state
-        // into data, EOF, or an io-error condition.
-        let mut kept = Vec::with_capacity(io_waits.len());
-        for (i, w) in io_waits.drain(..).enumerate() {
-            let ready = pollfds[i + 1].revents != 0;
-            let expired = w.deadline.is_some_and(|d| d <= now);
-            if ready || expired {
-                delivered.push((w.worker, (w.job, w.seq)));
-            } else {
-                kept.push(w);
+        for job in ready_jobs {
+            if let Some(w) = self.remove_io(job) {
+                out.push((job, w.seq));
             }
         }
-        io_waits = kept;
 
-        // Due timers.
-        while let Some(Reverse((t, ..))) = timers.peek() {
+        // Expired I/O deadlines: the worker fails these with
+        // DeadlineExceeded — this is what bounds a peer that never
+        // answers. The wait is removed here, so readiness arriving later
+        // is never delivered (and the seq guard catches same-batch races).
+        let now = Instant::now();
+        while let Some(Reverse((t, job, seq))) = self.io_deadlines.peek().copied() {
+            if t > now {
+                break;
+            }
+            self.io_deadlines.pop();
+            match self.io_waits.get(&job) {
+                Some(w) if w.seq == seq => {
+                    self.remove_io(job);
+                    out.push((job, seq));
+                }
+                _ => {} // lazy entry for an already-resolved wait
+            }
+        }
+
+        // Due timers. Delivery minus deadline is the wake lateness — how
+        // long past its due time the reactor got around to this timer.
+        while let Some(Reverse((t, ..))) = self.timers.peek() {
             if *t > now {
                 break;
             }
-            let Reverse((_, worker, job, seq)) = timers.pop().unwrap();
-            delivered.push((worker, (job, seq)));
+            let Reverse((due, job, seq)) = self.timers.pop().expect("peeked");
+            self.lateness[lateness_bucket(now.duration_since(due))] += 1;
+            out.push((job, seq));
         }
 
-        if !delivered.is_empty() {
-            counters.io_wakeups.fetch_add(delivered.len() as u64, Ordering::Relaxed);
-            for (worker, wakeup) in delivered {
-                resumes[worker].lock().unwrap().push(wakeup);
+        out.len() - before
+    }
+
+    /// Returns and resets the wake-lateness histogram accumulated since
+    /// the last call (buckets per [`WAKE_LATENESS_BUCKETS_MS`]).
+    pub(crate) fn take_lateness(&mut self) -> [u64; WAKE_LATENESS_BUCKETS] {
+        std::mem::replace(&mut self.lateness, [0; WAKE_LATENESS_BUCKETS])
+    }
+
+    /// Drains the wake pipe: reads until `EAGAIN`, bounded per pass so a
+    /// ring burst cannot stall the loop. Bytes left by the bound keep the
+    /// (level-triggered) pipe readable, so the next wait returns
+    /// immediately and drains the rest — rings coalesce, none are lost.
+    fn drain_wake_pipe(&mut self) {
+        let mut sink = [0u8; 1024];
+        for _ in 0..64 {
+            match (&self.wake_rx).read(&mut sink) {
+                Ok(n) if n == sink.len() => continue,
+                Ok(_) => break,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
             }
-            injector.notify_workers();
         }
     }
 }
@@ -256,106 +622,217 @@ fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
-    fn harness(workers: usize) -> (Reactor, ResumeQueues, Arc<Injector>) {
-        let resumes: ResumeQueues =
-            Arc::new((0..workers).map(|_| Mutex::new(Vec::new())).collect());
-        let injector = Arc::new(Injector::new(8));
-        let counters = Arc::new(PoolCounters::default());
-        let reactor =
-            Reactor::spawn(Arc::clone(&resumes), Arc::clone(&injector), counters).unwrap();
-        (reactor, resumes, injector)
+    fn core(backend: Backend) -> ReactorCore {
+        let c = ReactorCore::new(backend).unwrap();
+        assert_eq!(c.backend(), backend, "no silent fallback in tests");
+        c
     }
 
-    fn wait_for<F: FnMut() -> bool>(mut f: F, what: &str) {
-        let end = Instant::now() + Duration::from_secs(10);
-        while !f() {
-            assert!(Instant::now() < end, "timed out waiting for {what}");
-            std::thread::sleep(Duration::from_millis(2));
+    fn both() -> Vec<ReactorCore> {
+        vec![core(Backend::Poll), core(Backend::Epoll)]
+    }
+
+    #[test]
+    fn backend_env_names_round_trip() {
+        assert_eq!(Backend::Poll.name(), "poll");
+        assert_eq!(Backend::Epoll.name(), "epoll");
+    }
+
+    #[test]
+    fn readable_fd_wakes_the_registered_job_on_both_backends() {
+        for mut c in both() {
+            let (a, b) = UnixStream::pair().unwrap();
+            assert!(c.register_io(42, 1, a.as_raw_fd(), false, None));
+            let mut out = Vec::new();
+            // Nothing readable yet: a short wait delivers nothing.
+            c.wait(Duration::from_millis(20), &mut out);
+            assert!(out.is_empty(), "{}: no spurious delivery", c.backend());
+            (&b).write_all(b"x").unwrap();
+            c.wait(Duration::from_secs(10), &mut out);
+            assert_eq!(out, vec![(42, 1)], "{}", c.backend());
+            assert!(!c.has_waits(), "interest is one-shot");
         }
     }
 
     #[test]
-    fn readable_fd_wakes_the_registered_job() {
-        let (reactor, resumes, _inj) = harness(1);
-        let (a, b) = UnixStream::pair().unwrap();
-        reactor.shared.send(Msg::Io {
-            worker: 0,
-            job: 42,
-            seq: 1,
-            fd: a.as_raw_fd(),
-            write: false,
-            deadline: None,
-        });
-        // Nothing readable yet: no delivery.
-        std::thread::sleep(Duration::from_millis(30));
-        assert!(resumes[0].lock().unwrap().is_empty());
-        (&b).write_all(b"x").unwrap();
-        wait_for(|| !resumes[0].lock().unwrap().is_empty(), "readiness delivery");
-        assert_eq!(resumes[0].lock().unwrap().pop(), Some((42, 1)));
-        reactor.shutdown();
+    fn already_ready_fd_delivers_on_registration_wait() {
+        // The lost-wakeup window: data arrives *before* the wait is
+        // registered. ADD on a ready fd must still report (epoll does,
+        // even edge-triggered; poll rescans anyway).
+        for mut c in both() {
+            let (a, b) = UnixStream::pair().unwrap();
+            (&b).write_all(b"x").unwrap();
+            assert!(c.register_io(7, 1, a.as_raw_fd(), false, None));
+            let mut out = Vec::new();
+            c.wait(Duration::from_secs(10), &mut out);
+            assert_eq!(out, vec![(7, 1)], "{}", c.backend());
+        }
     }
 
     #[test]
     fn timers_fire_in_deadline_order() {
-        let (reactor, resumes, _inj) = harness(1);
-        let now = Instant::now();
-        reactor.shared.send(Msg::Timer {
-            worker: 0,
-            job: 2,
-            seq: 0,
-            deadline: now + Duration::from_millis(60),
-        });
-        reactor.shared.send(Msg::Timer {
-            worker: 0,
-            job: 1,
-            seq: 0,
-            deadline: now + Duration::from_millis(15),
-        });
-        wait_for(|| resumes[0].lock().unwrap().len() == 2, "both timers");
-        let fired: Vec<u64> = resumes[0].lock().unwrap().iter().map(|(j, _)| *j).collect();
-        assert_eq!(fired, vec![1, 2], "earlier deadline delivers first");
-        reactor.shutdown();
+        for mut c in both() {
+            let now = Instant::now();
+            c.register_timer(2, 0, now + Duration::from_millis(40));
+            c.register_timer(1, 0, now + Duration::from_millis(10));
+            let mut out = Vec::new();
+            while out.len() < 2 {
+                c.wait(Duration::from_secs(10), &mut out);
+            }
+            let fired: Vec<u64> = out.iter().map(|&(j, _)| j).collect();
+            assert_eq!(fired, vec![1, 2], "{}: earlier deadline first", c.backend());
+        }
     }
 
     #[test]
     fn io_deadline_delivers_even_without_readiness() {
-        let (reactor, resumes, _inj) = harness(1);
-        let (a, _b) = UnixStream::pair().unwrap();
-        reactor.shared.send(Msg::Io {
-            worker: 0,
-            job: 9,
-            seq: 3,
-            fd: a.as_raw_fd(),
-            write: false,
-            deadline: Some(Instant::now() + Duration::from_millis(25)),
-        });
-        wait_for(|| !resumes[0].lock().unwrap().is_empty(), "deadline delivery");
-        assert_eq!(resumes[0].lock().unwrap().pop(), Some((9, 3)));
-        reactor.shutdown();
+        for mut c in both() {
+            let (a, _b) = UnixStream::pair().unwrap();
+            let deadline = Instant::now() + Duration::from_millis(25);
+            assert!(c.register_io(9, 3, a.as_raw_fd(), false, Some(deadline)));
+            let mut out = Vec::new();
+            while out.is_empty() {
+                c.wait(Duration::from_secs(10), &mut out);
+            }
+            assert_eq!(out, vec![(9, 3)], "{}", c.backend());
+            assert!(!c.has_waits());
+        }
     }
 
     #[test]
-    fn closed_fd_counts_as_readiness_not_a_wedge() {
-        let (reactor, resumes, _inj) = harness(1);
+    fn readiness_after_deadline_cancel_is_never_delivered() {
+        // The edge-triggered stale-wakeup case: the wait is cancelled by
+        // its deadline, interest is dropped, and readiness arriving
+        // afterwards must not produce a second (stale) wakeup.
+        for mut c in both() {
+            let (a, b) = UnixStream::pair().unwrap();
+            let deadline = Instant::now() + Duration::from_millis(10);
+            assert!(c.register_io(5, 1, a.as_raw_fd(), false, Some(deadline)));
+            let mut out = Vec::new();
+            while out.is_empty() {
+                c.wait(Duration::from_secs(10), &mut out);
+            }
+            assert_eq!(out, vec![(5, 1)], "{}: deadline delivery", c.backend());
+            out.clear();
+            // Readiness arrives after the cancel.
+            (&b).write_all(b"late").unwrap();
+            c.wait(Duration::from_millis(30), &mut out);
+            assert!(out.is_empty(), "{}: no stale delivery", c.backend());
+        }
+    }
+
+    #[test]
+    fn cancel_fd_wakes_waiters_on_a_closed_socket() {
+        for mut c in both() {
+            let (a, _b) = UnixStream::pair().unwrap();
+            let fd = a.as_raw_fd();
+            assert!(c.register_io(5, 2, fd, false, None));
+            let mut out = Vec::new();
+            c.cancel_fd(fd, &mut out);
+            assert_eq!(out, vec![(5, 2)], "{}", c.backend());
+            assert!(!c.has_waits());
+        }
+    }
+
+    #[test]
+    fn poll_reports_a_closed_fd_as_readiness_not_a_wedge() {
+        let mut c = core(Backend::Poll);
         let (a, b) = UnixStream::pair().unwrap();
         let fd = a.as_raw_fd();
-        // Register, then close both ends: POLLNVAL/HUP must still deliver.
-        reactor.shared.send(Msg::Io {
-            worker: 0,
-            job: 5,
-            seq: 0,
-            fd,
-            write: false,
-            deadline: None,
-        });
-        std::thread::sleep(Duration::from_millis(10));
+        assert!(c.register_io(5, 0, fd, false, None));
         drop(a);
         drop(b);
-        // Ring the pipe so the loop rebuilds its pollfd set promptly.
-        reactor.shared.send(Msg::Timer { worker: 0, job: 999, seq: 0, deadline: Instant::now() });
-        wait_for(|| resumes[0].lock().unwrap().iter().any(|(j, _)| *j == 5), "POLLNVAL delivery");
-        reactor.shutdown();
+        let mut out = Vec::new();
+        c.wait(Duration::from_secs(10), &mut out);
+        assert_eq!(out, vec![(5, 0)], "POLLNVAL counts as readiness");
+    }
+
+    #[test]
+    fn shared_fd_waits_all_deliver() {
+        // Two green threads accepting on one listener-like fd: readiness
+        // wakes both (readiness is a hint; the losers re-block).
+        for mut c in both() {
+            let (a, b) = UnixStream::pair().unwrap();
+            let fd = a.as_raw_fd();
+            assert!(c.register_io(1, 1, fd, false, None));
+            assert!(c.register_io(2, 1, fd, false, None));
+            (&b).write_all(b"x").unwrap();
+            let mut out = Vec::new();
+            c.wait(Duration::from_secs(10), &mut out);
+            out.sort_unstable();
+            assert_eq!(out, vec![(1, 1), (2, 1)], "{}", c.backend());
+            assert!(!c.has_waits());
+        }
+    }
+
+    #[test]
+    fn wake_pipe_rings_coalesce_and_fully_drain() {
+        for mut c in both() {
+            let handle = c.wake_handle();
+            for _ in 0..100 {
+                handle.ring();
+            }
+            let mut out = Vec::new();
+            // One wait consumes the whole burst...
+            let t0 = Instant::now();
+            c.wait(Duration::from_secs(10), &mut out);
+            assert!(t0.elapsed() < Duration::from_secs(1), "{}: ring interrupts", c.backend());
+            assert!(out.is_empty(), "rings are not wakeups");
+            // ...so the next wait actually waits (pipe fully drained).
+            let t0 = Instant::now();
+            c.wait(Duration::from_millis(40), &mut out);
+            assert!(
+                t0.elapsed() >= Duration::from_millis(30),
+                "{}: pipe was not fully drained",
+                c.backend()
+            );
+        }
+    }
+
+    #[test]
+    fn failed_registration_reports_instead_of_wedging() {
+        // A stale (closed) fd: epoll's ADD fails, which the caller must
+        // treat as instant readiness. Poll accepts anything and reports
+        // POLLNVAL, so only epoll's register can refuse.
+        let mut c = core(Backend::Epoll);
+        let fd = {
+            let (a, _b) = UnixStream::pair().unwrap();
+            a.as_raw_fd()
+        }; // both ends dropped: fd is closed
+        assert!(!c.register_io(3, 1, fd, false, None));
+        assert!(!c.has_waits());
+    }
+
+    #[test]
+    fn timer_deliveries_accumulate_lateness_buckets() {
+        for mut c in both() {
+            let now = Instant::now();
+            // One timer due right now (bucket 0) and one 600 ms overdue
+            // (the unbounded tail bucket).
+            c.register_timer(1, 0, now);
+            c.register_timer(2, 0, now - Duration::from_millis(600));
+            let mut out = Vec::new();
+            c.wait(Duration::from_secs(10), &mut out);
+            assert_eq!(out.len(), 2, "{}", c.backend());
+            let hist = c.take_lateness();
+            assert_eq!(hist.iter().sum::<u64>(), 2, "{}", c.backend());
+            assert_eq!(hist[WAKE_LATENESS_BUCKETS - 1], 1, "{}: overdue tail", c.backend());
+            assert_eq!(c.take_lateness().iter().sum::<u64>(), 0, "take resets");
+        }
+    }
+
+    #[test]
+    fn forget_all_clears_waits_and_timers() {
+        for mut c in both() {
+            let (a, _b) = UnixStream::pair().unwrap();
+            assert!(c.register_io(1, 1, a.as_raw_fd(), false, None));
+            c.register_timer(2, 1, Instant::now());
+            c.forget_all();
+            assert!(!c.has_waits());
+            let mut out = Vec::new();
+            c.wait(Duration::ZERO, &mut out);
+            assert!(out.is_empty());
+        }
     }
 }

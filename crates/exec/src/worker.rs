@@ -1,4 +1,8 @@
-//! The worker loop: one OS thread, one VM, many engine-fueled jobs.
+//! The worker loop: one OS thread, one VM, many engine-fueled jobs — and,
+//! since PR 8, the worker's own reactor. A job that blocks registers its
+//! wait directly with this worker's [`ReactorCore`]; readiness is
+//! harvested between slices and turned back into an ordinary engine
+//! resumption without ever leaving the thread.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -11,14 +15,15 @@ use oneshot_vm::{VmBuilder, VmConfig};
 
 use crate::error::Error;
 use crate::job::Job;
-use crate::pool::{PoolCounters, WorkerConfig, WorkerReport};
+use crate::pool::{ConnQueue, PoolCounters, WorkerConfig, WorkerReport};
 use crate::queue::{Injector, Popped, StealQueue};
-use crate::reactor::{Msg, ReactorShared, ResumeQueues};
+use crate::reactor::{ReactorCore, Wakeup};
 
-/// How long an idle worker blocks on the injector before rechecking the
-/// steal queues and its resume queue. Pure liveness tuning; correctness
-/// never depends on it — the reactor's `notify_workers` cuts the wait
-/// short whenever a wakeup is actually pending.
+/// How long an idle worker blocks — on the injector when it has no waits,
+/// on its reactor when it does — before rechecking every queue. Pure
+/// liveness tuning; correctness never depends on it: readiness interrupts
+/// the reactor wait directly, and the pool rings the worker's wake pipe
+/// on submissions, accepted connections, and shutdown.
 const IDLE_WAIT: Duration = Duration::from_millis(25);
 
 /// A job that has started on this worker: its engine — and therefore the
@@ -32,9 +37,10 @@ struct Active {
 }
 
 /// An [`Active`] job suspended on I/O or a timer. Its sealed one-shot
-/// continuation sits in the engine table; the reactor owns the wait. The
-/// `seq` is the wait generation: a wakeup carrying a stale `seq` (the job
-/// blocked again, or was failed while blocked) is discarded.
+/// continuation sits in the engine table; this worker's reactor owns the
+/// wait. The `seq` is the wait generation: a wakeup carrying a stale
+/// `seq` (the job blocked again, or was failed while blocked) is
+/// discarded.
 struct BlockedJob {
     active: Active,
     seq: u64,
@@ -48,22 +54,35 @@ pub(crate) struct WorkerCtx {
     pub(crate) injector: Arc<Injector>,
     pub(crate) queues: Arc<Vec<StealQueue>>,
     pub(crate) counters: Arc<PoolCounters>,
-    pub(crate) reactor: Arc<ReactorShared>,
-    pub(crate) resumes: ResumeQueues,
+    /// This worker's reactor, installed at build (taken by `run`).
+    pub(crate) reactor: Option<ReactorCore>,
+    /// Accepted connections the shared-listener acceptor routed here.
+    pub(crate) conns: Arc<Vec<ConnQueue>>,
+    /// Pool-wide id counter for connection-handler jobs (high-bit range,
+    /// disjoint from submitted JobIds).
+    pub(crate) next_conn: Arc<std::sync::atomic::AtomicU64>,
     pub(crate) report_tx: mpsc::Sender<WorkerReport>,
 }
 
-pub(crate) fn run(ctx: WorkerCtx) {
+pub(crate) fn run(mut ctx: WorkerCtx) {
+    let mut reactor = ctx.reactor.take().expect("reactor installed at build");
+    let ctx = ctx;
     let mut report = WorkerReport::new(ctx.index);
     let mut host = build_host(&ctx);
     let mut ready: VecDeque<Active> = VecDeque::new();
     let mut blocked: HashMap<u64, BlockedJob> = HashMap::new();
     let mut next_seq: u64 = 0;
+    let mut wakeups: Vec<Wakeup> = Vec::new();
+    let mut closed_fds: Vec<i32> = Vec::new();
 
     loop {
-        // Reactor wakeups first: a resumed job re-enters the ready ring as
-        // an ordinary engine resumption.
-        drain_resumes(&ctx, &mut host, &mut ready, &mut blocked, &mut report);
+        // Wakeups harvested from our reactor first: a resumed job
+        // re-enters the ready ring as an ordinary engine resumption.
+        process_wakeups(&ctx, &mut host, &mut wakeups, &mut ready, &mut blocked, &mut report);
+
+        // Adopt accepted connections the shared listener routed here,
+        // capacity permitting: each becomes a resident handler job.
+        intake_conns(&ctx, &mut host, &mut ready, &mut blocked, &mut report);
 
         // Admit at most one new job per iteration: a started job is
         // pinned to this VM, so surplus work stays in the stealable stash
@@ -81,19 +100,33 @@ pub(crate) fn run(ctx: WorkerCtx) {
             step_active(
                 &ctx,
                 &mut host,
+                &mut reactor,
                 active,
                 &mut ready,
                 &mut blocked,
                 &mut next_seq,
                 &mut report,
             );
+            // The slice may have closed sockets other green threads are
+            // still blocked on: cancel those waits so the resumed retry
+            // raises io-error instead of wedging (edge-triggered epoll
+            // would otherwise drop the interest silently).
+            cancel_closed(&ctx, &mut host, &mut reactor, &mut wakeups, &mut closed_fds);
+            // Nonblocking harvest between slices: CPU-bound residents
+            // must not starve I/O wakeups.
+            harvest(&ctx, &mut reactor, Duration::ZERO, &mut wakeups);
             continue;
         }
 
-        // Nothing runnable. Block for new work — or, if the pool has
-        // drained but residents are still parked on I/O, for reactor
-        // activity: those jobs finish (or hit their deadlines) before the
-        // worker may exit.
+        // Nothing runnable. If residents are parked on I/O or timers,
+        // wait on our own reactor — readiness, a due deadline, or a
+        // wake-pipe ring (new submission, accepted connection, shutdown)
+        // all interrupt it. Blocked jobs finish (or hit their deadlines)
+        // before the worker may exit.
+        if reactor.has_waits() {
+            harvest(&ctx, &mut reactor, IDLE_WAIT, &mut wakeups);
+            continue;
+        }
         match ctx.injector.pop_wait(IDLE_WAIT) {
             Popped::Job(job) => {
                 admit(&ctx, &mut host, job, &mut ready, &mut blocked, &mut report);
@@ -104,10 +137,10 @@ pub(crate) fn run(ctx: WorkerCtx) {
                     admit(&ctx, &mut host, job, &mut ready, &mut blocked, &mut report);
                     continue;
                 }
-                if !blocked.is_empty() {
-                    ctx.injector.wait_activity(IDLE_WAIT);
-                    continue;
+                if !ctx.conns[ctx.index].is_empty() {
+                    continue; // drain remaining accepted connections
                 }
+                debug_assert!(blocked.is_empty(), "blocked residents imply reactor waits");
                 break;
             }
         }
@@ -125,24 +158,55 @@ fn build_host(ctx: &WorkerCtx) -> EngineHost {
     EngineHost::with_vm(VmBuilder::from_config((*ctx.vm_config).clone()).build())
 }
 
-/// Moves jobs the reactor has woken from the blocked map back to the
-/// ready ring. Stale wakeups (unknown job, mismatched generation) are
-/// dropped; a woken job already past its wall-clock deadline is failed
-/// here instead of resumed — this is what bounds a peer that never
-/// answers.
-fn drain_resumes(
+/// Asks the reactor for due wakeups, waiting up to `max_wait`, and notes
+/// the delivery metrics (`io_wakeups`, per-worker resume-batch highwater).
+fn harvest(ctx: &WorkerCtx, reactor: &mut ReactorCore, max_wait: Duration, out: &mut Vec<Wakeup>) {
+    let n = reactor.wait(max_wait, out);
+    if n > 0 {
+        ctx.counters.io_wakeups.fetch_add(n as u64, Ordering::Relaxed);
+        ctx.counters.note_resume_depth(ctx.index, out.len());
+        ctx.counters.add_lateness(&reactor.take_lateness());
+    }
+}
+
+/// Cancels reactor waits on any fd the guest closed during the last
+/// slice, delivering their wakeups into `out`.
+fn cancel_closed(
     ctx: &WorkerCtx,
     host: &mut EngineHost,
+    reactor: &mut ReactorCore,
+    out: &mut Vec<Wakeup>,
+    buf: &mut Vec<i32>,
+) {
+    buf.clear();
+    host.vm_mut().drain_closed_fds(buf);
+    let before = out.len();
+    for &fd in buf.iter() {
+        reactor.cancel_fd(fd, out);
+    }
+    let n = out.len() - before;
+    if n > 0 {
+        ctx.counters.io_wakeups.fetch_add(n as u64, Ordering::Relaxed);
+    }
+}
+
+/// Moves woken jobs from the blocked map back to the ready ring. Stale
+/// wakeups (unknown job, mismatched generation) are dropped; a woken job
+/// already past its wall-clock deadline is failed here instead of resumed
+/// — this is what bounds a peer that never answers.
+fn process_wakeups(
+    ctx: &WorkerCtx,
+    host: &mut EngineHost,
+    wakeups: &mut Vec<Wakeup>,
     ready: &mut VecDeque<Active>,
     blocked: &mut HashMap<u64, BlockedJob>,
     report: &mut WorkerReport,
 ) {
-    let wakeups = std::mem::take(&mut *ctx.resumes[ctx.index].lock().unwrap());
     if wakeups.is_empty() {
         return;
     }
     let now = Instant::now();
-    for (job_id, seq) in wakeups {
+    for (job_id, seq) in wakeups.drain(..) {
         let stale = match blocked.get(&job_id) {
             None => true,
             Some(b) => b.seq != seq,
@@ -163,6 +227,35 @@ fn drain_resumes(
             );
         } else {
             ready.push_back(b.active);
+        }
+    }
+}
+
+/// Adopts accepted connections routed to this worker by the shared
+/// listener, capacity permitting: each connection's stream enters the
+/// VM's socket table and a handler job (the template compiled once by
+/// [`Pool::serve`](crate::Pool::serve)) is spawned to `(conn-take)` it.
+fn intake_conns(
+    ctx: &WorkerCtx,
+    host: &mut EngineHost,
+    ready: &mut VecDeque<Active>,
+    blocked: &mut HashMap<u64, BlockedJob>,
+    report: &mut WorkerReport,
+) {
+    while ready.len() + blocked.len() < ctx.cfg.resident_cap {
+        let Some((stream, tmpl)) = ctx.conns[ctx.index].pop() else { return };
+        match host.vm_mut().adopt_stream(stream) {
+            Ok(_token) => {
+                ctx.counters.note_accept(ctx.index);
+                let id = (1 << 63) | ctx.next_conn.fetch_add(1, Ordering::Relaxed);
+                let job = tmpl.make_job(id);
+                admit(ctx, host, job, ready, blocked, report);
+            }
+            Err(_) => {
+                // Socket table full: shed the connection (the peer sees
+                // EOF/reset) rather than wedge the worker.
+                ctx.counters.accept_overflow.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -214,7 +307,18 @@ fn admit(
             fail_or_retry(ctx, report, &job, 0, 0, err);
         }
         Err(payload) => {
-            handle_panic(ctx, host, &job, 0, 0, ready, blocked, report, panic_message(payload));
+            handle_panic(
+                ctx,
+                host,
+                None,
+                &job,
+                0,
+                0,
+                ready,
+                blocked,
+                report,
+                panic_message(payload),
+            );
         }
     }
 }
@@ -224,6 +328,7 @@ fn admit(
 fn step_active(
     ctx: &WorkerCtx,
     host: &mut EngineHost,
+    reactor: &mut ReactorCore,
     mut active: Active,
     ready: &mut VecDeque<Active>,
     blocked: &mut HashMap<u64, BlockedJob>,
@@ -276,7 +381,7 @@ fn step_active(
             active.fuel_used += slice;
             report.slices += 1;
             ctx.counters.slices.fetch_add(1, Ordering::Relaxed);
-            block_job(ctx, host, active, wait, ready, blocked, next_seq);
+            block_job(ctx, host, reactor, active, wait, ready, blocked, next_seq);
         }
         Ok(Err(e)) => {
             active.slices += 1;
@@ -290,6 +395,7 @@ fn step_active(
             handle_panic(
                 ctx,
                 host,
+                Some(reactor),
                 &active.job,
                 active.slices + 1,
                 active.fuel_used + slice,
@@ -303,12 +409,15 @@ fn step_active(
 }
 
 /// Parks a job whose engine suspended on I/O or a timer: registers the
-/// wait with the reactor and moves the job to the blocked map. The sealed
+/// wait with this worker's reactor (a direct call — no message, no
+/// cross-thread handoff) and moves the job to the blocked map. The sealed
 /// continuation stays in the engine table untouched — suspension costs
-/// one table insert and one message, never a stack copy.
+/// one table insert and one registration, never a stack copy.
+#[allow(clippy::too_many_arguments)]
 fn block_job(
     ctx: &WorkerCtx,
     host: &mut EngineHost,
+    reactor: &mut ReactorCore,
     active: Active,
     wait: Wait,
     ready: &mut VecDeque<Active>,
@@ -318,8 +427,7 @@ fn block_job(
     *next_seq += 1;
     let seq = *next_seq;
     let job_id = active.job.id.0;
-    let worker = ctx.index;
-    let msg = match wait {
+    match wait {
         Wait::Readable(tok) | Wait::Writable(tok) => {
             let Some(fd) = host.vm().net_fd(tok) else {
                 // Stale socket token (closed by another green thread):
@@ -328,40 +436,40 @@ fn block_job(
                 ready.push_back(active);
                 return;
             };
-            ctx.counters.io_blocked.fetch_add(1, Ordering::Relaxed);
-            Msg::Io {
-                worker,
-                job: job_id,
-                seq,
-                fd: fd as i32,
-                write: matches!(wait, Wait::Writable(_)),
-                deadline: active.job.deadline,
+            let write = matches!(wait, Wait::Writable(_));
+            if !reactor.register_io(job_id, seq, fd as i32, write, active.job.deadline) {
+                // The kernel refused the registration (the fd went stale
+                // under us): same immediate-retry treatment.
+                ready.push_back(active);
+                return;
             }
+            ctx.counters.io_blocked.fetch_add(1, Ordering::Relaxed);
         }
         Wait::TimerMs(ms) => {
             ctx.counters.timer_waits.fetch_add(1, Ordering::Relaxed);
             let mut deadline = Instant::now() + Duration::from_millis(ms.max(0) as u64);
             if let Some(d) = active.job.deadline {
-                // Wake at the job deadline if it lands first; the drain
-                // path turns the early wakeup into DeadlineExceeded.
+                // Wake at the job deadline if it lands first; the wakeup
+                // path turns the early wake into DeadlineExceeded.
                 deadline = deadline.min(d);
             }
-            Msg::Timer { worker, job: job_id, seq, deadline }
+            reactor.register_timer(job_id, seq, deadline);
         }
-    };
+    }
     blocked.insert(job_id, BlockedJob { active, seq });
     ctx.counters.blocked_highwater.fetch_max(blocked.len() as u64, Ordering::Relaxed);
-    ctx.reactor.send(msg);
 }
 
 /// A job panicked: report it, fail every other job whose continuation
 /// lived in the now-poisoned VM — ready *and* blocked — rebuild, keep
-/// draining. Blocked jobs cannot be retried in place (their reactor wait
-/// may still deliver, but the stale `seq` makes that delivery a no-op).
+/// draining. Blocked jobs cannot be retried in place; their reactor waits
+/// are forgotten wholesale (their sockets died with the VM), and any
+/// late delivery would be dropped by the stale `seq` anyway.
 #[allow(clippy::too_many_arguments)]
 fn handle_panic(
     ctx: &WorkerCtx,
     host: &mut EngineHost,
+    reactor: Option<&mut ReactorCore>,
     culprit: &Job,
     slices: u64,
     fuel_used: u64,
@@ -395,6 +503,9 @@ fn handle_panic(
             lost.active.fuel_used,
             Error::worker_reset(culprit_id),
         );
+    }
+    if let Some(reactor) = reactor {
+        reactor.forget_all();
     }
     // Salvage the poisoned VM's counters, then replace it wholesale; the
     // interpreter state under an unwound panic is unknown, the stats

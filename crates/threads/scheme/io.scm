@@ -13,6 +13,10 @@
 ;; (tcp-listen port) -> listener  ; port 0 picks a free port
 (define (tcp-listen port) (%tcp-listen port))
 
+;; (tcp-listen-on host port) -> listener bound to a real AF_INET address
+;; ("0.0.0.0" listens on every interface).
+(define (tcp-listen-on host port) (%tcp-listen host port))
+
 ;; (tcp-local-port sock) -> port number actually bound
 (define (tcp-local-port sock) (%tcp-local-port sock))
 
@@ -26,6 +30,19 @@
 
 ;; (tcp-connect port) -> stream connected to 127.0.0.1:port.
 (define (tcp-connect port) (%tcp-connect port))
+
+;; (tcp-connect-to host port) -> stream connected to host:port.
+(define (tcp-connect-to host port) (%tcp-connect host port))
+
+;; (conn-take) -> the socket adopted for this handler job by the pool's
+;; shared listener. Adoptions and handler spawns are both FIFO on this
+;; worker's VM, so taking in order pairs each handler with its own
+;; connection; raises io-error if called with nothing pending.
+(define (conn-take)
+  (let ((s (%conn-take)))
+    (if s
+        s
+        (raise (cons 'io-error "conn-take: no pending connection")))))
 
 ;; (tcp-read sock max) -> string of 1..max bytes, or 'eof when the peer
 ;; closed; suspends until bytes arrive.

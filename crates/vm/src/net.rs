@@ -1,5 +1,5 @@
-//! Nonblocking loopback TCP for the guest: a slab of sockets keyed by
-//! fixnum tokens.
+//! Nonblocking TCP for the guest: a slab of sockets keyed by fixnum
+//! tokens.
 //!
 //! The VM itself never blocks on a socket. Every operation that would
 //! block returns a would-block sentinel (`#f` at the builtin layer); the
@@ -23,9 +23,9 @@ use crate::error::VmError;
 /// One open socket.
 #[derive(Debug)]
 pub(crate) enum Sock {
-    /// A listening socket bound to 127.0.0.1.
+    /// A listening socket.
     Listener(TcpListener),
-    /// A connected (or accepted) stream.
+    /// A connected (or accepted, or adopted) stream.
     Stream(TcpStream),
 }
 
@@ -49,6 +49,16 @@ pub(crate) struct NetTable {
     /// Open-socket ceiling; exceeding it raises a catchable `io-error`
     /// condition instead of hitting the process fd limit.
     cap: usize,
+    /// Tokens of connections the embedder adopted (shared-listener
+    /// accepts), waiting for a handler job to `%conn-take` them. FIFO:
+    /// handler jobs are spawned in adoption order on a single-threaded VM.
+    pending: std::collections::VecDeque<i64>,
+    /// Raw fds the guest closed since the last drain. The worker feeds
+    /// these to its reactor so waiters on a closed socket are woken with
+    /// an error retry instead of wedging — edge-triggered `epoll` drops
+    /// interest in a closed fd silently, so the close itself must tell
+    /// the reactor.
+    closed_log: Vec<i32>,
 }
 
 fn io_err(who: &str, e: std::io::Error) -> VmError {
@@ -61,7 +71,14 @@ fn bad_token(who: &str, token: i64) -> VmError {
 
 impl NetTable {
     pub(crate) fn new(cap: usize) -> Self {
-        NetTable { slots: Vec::new(), free: Vec::new(), live: 0, cap }
+        NetTable {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            cap,
+            pending: std::collections::VecDeque::new(),
+            closed_log: Vec::new(),
+        }
     }
 
     /// Number of open sockets.
@@ -110,7 +127,13 @@ impl NetTable {
     /// Binds a nonblocking listener on 127.0.0.1. `port` 0 asks the OS to
     /// pick one (read it back with [`NetTable::local_port`]).
     pub(crate) fn listen(&mut self, port: u16) -> Result<i64, VmError> {
-        let l = TcpListener::bind(("127.0.0.1", port)).map_err(|e| io_err("tcp-listen", e))?;
+        self.listen_on("127.0.0.1", port)
+    }
+
+    /// Binds a nonblocking listener on `host`:`port` — real `AF_INET`
+    /// (any local address), not just loopback.
+    pub(crate) fn listen_on(&mut self, host: &str, port: u16) -> Result<i64, VmError> {
+        let l = TcpListener::bind((host, port)).map_err(|e| io_err("tcp-listen", e))?;
         l.set_nonblocking(true).map_err(|e| io_err("tcp-listen", e))?;
         self.insert("tcp-listen", Sock::Listener(l))
     }
@@ -151,10 +174,47 @@ impl NetTable {
     /// backlog); the stream is then switched to nonblocking for all
     /// subsequent I/O.
     pub(crate) fn connect(&mut self, port: u16) -> Result<i64, VmError> {
-        let s = TcpStream::connect(("127.0.0.1", port)).map_err(|e| io_err("tcp-connect", e))?;
+        self.connect_to("127.0.0.1", port)
+    }
+
+    /// Connects to `host`:`port` — real `AF_INET`, same blocking-connect /
+    /// nonblocking-I/O contract as [`NetTable::connect`].
+    pub(crate) fn connect_to(&mut self, host: &str, port: u16) -> Result<i64, VmError> {
+        let s = TcpStream::connect((host, port)).map_err(|e| io_err("tcp-connect", e))?;
         s.set_nonblocking(true).map_err(|e| io_err("tcp-connect", e))?;
         s.set_nodelay(true).map_err(|e| io_err("tcp-connect", e))?;
         self.insert("tcp-connect", Sock::Stream(s))
+    }
+
+    /// Adopts a stream the embedder accepted (shared listener): it enters
+    /// the table like any connected socket and its token joins the
+    /// pending queue for the next `%conn-take`. The stream must already be
+    /// nonblocking.
+    pub(crate) fn adopt(&mut self, s: TcpStream) -> Result<i64, VmError> {
+        let tok = self.insert("conn-adopt", Sock::Stream(s))?;
+        self.pending.push_back(tok);
+        Ok(tok)
+    }
+
+    /// Hands out the oldest adopted-but-untaken connection token.
+    pub(crate) fn take_pending(&mut self) -> Option<i64> {
+        // A pending connection could have been closed by a stale token
+        // sweep; skip tokens whose slot is gone.
+        while let Some(tok) = self.pending.pop_front() {
+            let live = usize::try_from(tok)
+                .ok()
+                .and_then(|i| self.slots.get(i))
+                .is_some_and(Option::is_some);
+            if live {
+                return Some(tok);
+            }
+        }
+        None
+    }
+
+    /// Moves the fds closed since the last call into `out`.
+    pub(crate) fn drain_closed(&mut self, out: &mut Vec<i32>) {
+        out.append(&mut self.closed_log);
     }
 
     /// Reads at most `max` bytes.
@@ -195,7 +255,12 @@ impl NetTable {
         let Some(slot) = usize::try_from(token).ok().and_then(|i| self.slots.get_mut(i)) else {
             return false;
         };
-        if slot.take().is_some() {
+        if let Some(sock) = slot.take() {
+            let fd = match &sock {
+                Sock::Listener(l) => l.as_raw_fd(),
+                Sock::Stream(s) => s.as_raw_fd(),
+            };
+            self.closed_log.push(fd);
             self.live -= 1;
             self.free.push(token as usize);
             return true;
@@ -253,6 +318,62 @@ mod tests {
         let _l = t.listen(0).unwrap();
         let e = t.listen(0).unwrap_err();
         assert_eq!(e.condition_kind(), Some("io-error"));
+    }
+
+    #[test]
+    fn adopted_streams_queue_for_conn_take_and_closes_are_logged() {
+        let mut t = NetTable::new(16);
+        let l = t.listen_on("127.0.0.1", 0).unwrap();
+        let port = t.local_port(l).unwrap();
+        let c = t.connect_to("127.0.0.1", u16::try_from(port).unwrap()).unwrap();
+        let accepted = loop {
+            if let Some(tok) = t.accept(l).unwrap() {
+                break tok;
+            }
+            std::thread::yield_now();
+        };
+        // Re-adopt the accepted stream through the embedder path.
+        let Some(Sock::Stream(s)) =
+            t.slots.get_mut(usize::try_from(accepted).unwrap()).and_then(Option::take)
+        else {
+            panic!("accepted slot vanished")
+        };
+        t.live -= 1;
+        t.free.push(usize::try_from(accepted).unwrap());
+        let adopted = t.adopt(s).unwrap();
+        assert_eq!(t.take_pending(), Some(adopted));
+        assert_eq!(t.take_pending(), None, "pending queue hands each token out once");
+        let fd = i32::try_from(t.fd(adopted).unwrap()).unwrap();
+        assert!(t.close(adopted));
+        let mut closed = Vec::new();
+        t.drain_closed(&mut closed);
+        assert!(closed.contains(&fd), "close logged the adopted fd");
+        t.drain_closed(&mut closed);
+        t.close(c);
+        t.close(l);
+        let n = closed.len();
+        t.drain_closed(&mut closed);
+        assert_eq!(closed.len(), n + 2, "every close logs exactly one fd");
+    }
+
+    #[test]
+    fn take_pending_skips_tokens_closed_before_the_handler_ran() {
+        let mut t = NetTable::new(16);
+        let l = t.listen(0).unwrap();
+        let port = t.local_port(l).unwrap();
+        let _c = t.connect(u16::try_from(port).unwrap()).unwrap();
+        let s = loop {
+            match t.accept(l) {
+                Ok(Some(tok)) => break tok,
+                Ok(None) => std::thread::yield_now(),
+                Err(e) => panic!("{e}"),
+            }
+        };
+        // Pretend the accepted stream was adopted, then closed before any
+        // handler took it.
+        t.pending.push_back(s);
+        t.close(s);
+        assert_eq!(t.take_pending(), None);
     }
 
     #[test]

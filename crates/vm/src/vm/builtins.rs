@@ -1162,10 +1162,19 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
         // `io-error` condition. Strings cross the socket as latin-1: one
         // char per byte, lossless for the full 0..=255 range.
         "%tcp-listen" => |vm, argc| {
-            check(argc, 1, "%tcp-listen")?;
-            let port = net_port(vm.arg(0), "%tcp-listen")?;
-            let tok = vm.net.listen(port)?;
-            ret!(vm, Value::fixnum(tok))
+            // (%tcp-listen port) binds loopback; (%tcp-listen host port)
+            // binds a real AF_INET address ("0.0.0.0" for any).
+            if argc == 1 {
+                let port = net_port(vm.arg(0), "%tcp-listen")?;
+                let tok = vm.net.listen(port)?;
+                ret!(vm, Value::fixnum(tok))
+            } else {
+                check(argc, 2, "%tcp-listen")?;
+                let host: String = vm.string_of(vm.arg(0), "%tcp-listen")?.iter().collect();
+                let port = net_port(vm.arg(1), "%tcp-listen")?;
+                let tok = vm.net.listen_on(&host, port)?;
+                ret!(vm, Value::fixnum(tok))
+            }
         },
         "%tcp-local-port" => |vm, argc| {
             check(argc, 1, "%tcp-local-port")?;
@@ -1182,10 +1191,19 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             }
         },
         "%tcp-connect" => |vm, argc| {
-            check(argc, 1, "%tcp-connect")?;
-            let port = net_port(vm.arg(0), "%tcp-connect")?;
-            let tok = vm.net.connect(port)?;
-            ret!(vm, Value::fixnum(tok))
+            // (%tcp-connect port) targets loopback; (%tcp-connect host
+            // port) any AF_INET address.
+            if argc == 1 {
+                let port = net_port(vm.arg(0), "%tcp-connect")?;
+                let tok = vm.net.connect(port)?;
+                ret!(vm, Value::fixnum(tok))
+            } else {
+                check(argc, 2, "%tcp-connect")?;
+                let host: String = vm.string_of(vm.arg(0), "%tcp-connect")?.iter().collect();
+                let port = net_port(vm.arg(1), "%tcp-connect")?;
+                let tok = vm.net.connect_to(&host, port)?;
+                ret!(vm, Value::fixnum(tok))
+            }
         },
         "%tcp-read" => |vm, argc| {
             // (%tcp-read tok max) -> string | 'eof | #f
@@ -1241,6 +1259,17 @@ fn lookup(name: &str) -> Option<BuiltinFn> {
             // Open sockets in this VM's table — the leak audit a server
             // runs after draining its connections.
             ret!(vm, Value::fixnum(vm.net.live() as i64))
+        },
+        "%conn-take" => |vm, _argc| {
+            // The socket token of the oldest connection the embedder's
+            // shared listener adopted into this VM and no handler has
+            // taken yet; #f when none is pending. Handler jobs and
+            // adoptions are both FIFO on one single-threaded VM, so
+            // take-in-order pairs each handler with "its" connection.
+            match vm.net.take_pending() {
+                Some(tok) => ret!(vm, Value::fixnum(tok)),
+                None => ret!(vm, Value::FALSE),
+            }
         },
         // --- condition system support (used only by the prelude) ---
         "%push-handler!" => |vm, argc| {

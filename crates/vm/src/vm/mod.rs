@@ -636,6 +636,28 @@ impl Vm {
         self.net.live()
     }
 
+    /// Adopts an already-connected, already-nonblocking stream (a
+    /// shared-listener accept) into this VM's socket table. The token
+    /// joins the pending-connection queue; the next handler job running
+    /// here picks it up with `(conn-take)`.
+    ///
+    /// # Errors
+    ///
+    /// The socket-table cap (`max_open_sockets`) as a catchable
+    /// `io-error` — the embedder sheds the connection.
+    pub fn adopt_stream(&mut self, stream: std::net::TcpStream) -> Result<i64, VmError> {
+        self.net.adopt(stream)
+    }
+
+    /// Moves the raw fds of every guest socket closed since the last call
+    /// into `out`. The embedder forwards these to its reactor so waiters
+    /// on a closed socket are woken (edge-triggered `epoll` silently
+    /// drops interest in closed fds; without this, such a waiter would
+    /// wedge).
+    pub fn drain_closed_fds(&mut self, out: &mut Vec<i32>) {
+        self.net.drain_closed(out);
+    }
+
     /// Links a compiled program into the VM, returning the loaded entry
     /// code index. Global references are resolved by name, code indices
     /// are rebased, and the instructions are appended to the flat arena.

@@ -1,17 +1,14 @@
 //! A concurrent echo server where every connection is a green thread.
 //!
-//! The whole scenario — listeners, per-connection handlers, and the load
-//! generator's clients — runs as Scheme jobs on one [`Pool`]: a handler
-//! blocked in `(tcp-read c 4096)` is a sealed one-shot continuation, not
-//! an OS thread, so thousands of open connections cost thousands of stack
-//! segments and nothing else. The pool's reactor multiplexes all of their
-//! fds over a single `poll(2)` loop.
-//!
-//! Topology: connections are sharded across workers. Each shard worker
-//! gets a pinned setup job that binds one loopback listener *per
-//! connection* (so a wakeup never herds N accepters onto one fd) and a
-//! pinned handler green thread per listener; clients are unpinned jobs
-//! that connect, echo `rounds` messages, verify each one, and close.
+//! The server side is [`Pool::serve`]: ONE shared `AF_INET` listener
+//! whose accepted connections are distributed least-loaded/round-robin
+//! across the per-worker reactors. Each accepted socket is adopted into
+//! its worker's VM and handled by a green thread that fetches it with
+//! `(conn-take)` — a handler blocked in `(tcp-read c 4096)` is a sealed
+//! one-shot continuation, not an OS thread, so thousands of open
+//! connections cost thousands of stack segments and nothing else. The
+//! load generator's clients run as unpinned guest jobs on the same pool,
+//! connecting to the shared port.
 //!
 //! ```text
 //! cargo run --release --example server                  # demo load
@@ -20,33 +17,24 @@
 //! #   sockets, all heap segments reclaimed, clean shutdown
 //! cargo run --release --example server -- --conns 2000 --workers 2
 //! ```
+//!
+//! `ONESHOT_REACTOR=poll|epoll` selects the readiness backend (default:
+//! epoll where available).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use oneshot::prelude::*;
 
-/// Pinned per shard worker: bind `n` listeners into the worker's globals,
-/// define the handler library, return the port list.
-fn setup_src(n: usize) -> String {
-    format!(
-        "(define listeners
-           (let loop ((i 0) (acc '()))
-             (if (< i {n})
-                 (loop (+ i 1) (cons (tcp-listen 0) acc))
-                 (list->vector (reverse acc)))))
-         (define (serve-echo lst)
-           (let ((c (tcp-accept lst)))
-             (let loop ()
-               (let ((d (tcp-read c 4096)))
-                 (if (eq? d 'eof)
-                     (begin (tcp-close c) (tcp-close lst) 'served)
-                     (begin (tcp-write c d) (loop)))))))
-         (let loop ((i 0) (acc '()))
-           (if (< i {n})
-               (loop (+ i 1) (cons (tcp-local-port (vector-ref listeners i)) acc))
-               (reverse acc)))"
-    )
-}
+/// The per-connection echo handler: take the adopted socket, echo every
+/// chunk until EOF.
+const HANDLER: &str = "(let ((c (conn-take)))
+       (let loop ()
+         (let ((d (tcp-read c 4096)))
+           (if (eq? d 'eof)
+               (begin (tcp-close c) 'served)
+               (begin (tcp-write c d) (loop))))))";
 
 /// Pinned to every worker (clients are unpinned, so every VM needs it):
 /// the verifying echo client.
@@ -97,27 +85,12 @@ fn main() {
         .fuel_slice(2048)
         .build()
         .expect("pool spawns");
-    println!("echo server: {conns} connections x {rounds} rounds on {workers} workers");
+    println!(
+        "echo server: {conns} connections x {rounds} rounds on {workers} workers \
+         ({} backend)",
+        pool.reactor_backend()
+    );
 
-    // Shard setup: listeners + handler library, pinned one per worker.
-    let per_shard: Vec<usize> =
-        (0..workers).map(|w| conns / workers + usize::from(w < conns % workers)).collect();
-    let mut ports: Vec<(usize, u16)> = Vec::with_capacity(conns); // (worker, port)
-    for (w, &n) in per_shard.iter().enumerate() {
-        if n == 0 {
-            continue;
-        }
-        let shown = pool
-            .submit(JobSpec::new(format!("setup-{w}"), setup_src(n)).pin(w))
-            .expect("submit setup")
-            .wait()
-            .result
-            .expect("listeners bind");
-        for p in shown.trim_matches(['(', ')']).split_whitespace() {
-            ports.push((w, p.parse().expect("port list")));
-        }
-    }
-    assert_eq!(ports.len(), conns);
     for w in 0..workers {
         let ok = pool
             .submit(JobSpec::new(format!("client-lib-{w}"), CLIENT_LIB).pin(w))
@@ -128,29 +101,29 @@ fn main() {
         assert_eq!(ok, "lib");
     }
 
-    // One pinned handler green thread per listener, then the load: one
-    // unpinned client per connection, each with a distinct payload.
+    // One shared listener; each accept becomes a handler green thread on
+    // whichever worker the acceptor picked.
+    let served = Arc::new(AtomicU64::new(0));
+    let handler_bad = Arc::new(AtomicU64::new(0));
+    let (served_cb, bad_cb) = (Arc::clone(&served), Arc::clone(&handler_bad));
+    let handler = JobSpec::new("echo-handler", HANDLER)
+        .deadline(Duration::from_secs(120))
+        .on_complete(move |o| {
+            if o.result.as_deref() == Ok("served") {
+                served_cb.fetch_add(1, Ordering::Relaxed);
+            } else {
+                bad_cb.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    let serve = pool.serve("127.0.0.1:0", handler).expect("shared listener binds");
+    let port = serve.port();
+
+    // The load: one unpinned client job per connection, all against the
+    // one shared port. The main thread samples the accept-queue depth
+    // while the storm runs.
     let t0 = Instant::now();
-    let handlers: Vec<_> = ports
-        .iter()
-        .enumerate()
-        .map(|(i, &(w, _))| {
-            let slot = per_shard[..w].iter().sum::<usize>();
-            pool.submit(
-                JobSpec::new(
-                    format!("handler-{i}"),
-                    format!("(serve-echo (vector-ref listeners {}))", i - slot),
-                )
-                .pin(w)
-                .deadline(Duration::from_secs(120)),
-            )
-            .expect("submit handler")
-        })
-        .collect();
-    let clients: Vec<_> = ports
-        .iter()
-        .enumerate()
-        .map(|(i, &(_, port))| {
+    let clients: Vec<_> = (0..conns)
+        .map(|i| {
             pool.submit(
                 JobSpec::new(
                     format!("client-{i}"),
@@ -162,9 +135,13 @@ fn main() {
         })
         .collect();
 
+    let mut accept_depth_peak = 0usize;
     let mut latencies: Vec<Duration> = Vec::with_capacity(conns);
     let mut bad = 0usize;
     for h in &clients {
+        // Sample between waits: cheap, and the storm is long enough that
+        // the peak shows up.
+        accept_depth_peak = accept_depth_peak.max(pool.accept_queue_depth());
         let outcome = h.wait();
         match outcome.result.as_deref() {
             Ok("ok") => latencies.push(outcome.latency),
@@ -174,12 +151,15 @@ fn main() {
             }
         }
     }
-    for h in &handlers {
-        if h.wait().result.as_deref() != Ok("served") {
-            bad += 1;
-        }
+    // Every client closed; wait for the handlers to see EOF and finish.
+    let drain_deadline = Instant::now() + Duration::from_secs(60);
+    while served.load(Ordering::Relaxed) + handler_bad.load(Ordering::Relaxed) < conns as u64 {
+        assert!(Instant::now() < drain_deadline, "handlers drained");
+        std::thread::sleep(Duration::from_millis(5));
     }
     let wall = t0.elapsed();
+    serve.stop();
+    bad += handler_bad.load(Ordering::Relaxed) as usize;
 
     // Leak audit while the workers are still alive: every socket closed,
     // every blocked continuation's segments back in the cache.
@@ -218,12 +198,27 @@ fn main() {
          blocked_highwater={}",
         c.submitted, c.completed, c.failed, c.io_blocked, c.io_wakeups, c.blocked_highwater
     );
+    println!(
+        "accepts: {} total, per-worker {:?}; accept-queue depth peak {} (sampled) / {} \
+         (highwater), {} shed",
+        serve.accepted(),
+        c.accepts_per_worker,
+        accept_depth_peak,
+        c.accept_queue_highwater,
+        c.accept_overflow
+    );
     println!("leak audit: {leaked_sockets} open sockets, {live_segments} live stack segments");
 
     if smoke {
-        assert_eq!(bad, 0, "every echo must verify");
+        assert_eq!(bad, 0, "every echo must verify and every handler must serve");
         assert_eq!(c.failed, 0, "no job may fail");
-        assert_eq!(c.completed, c.submitted, "zero leaked jobs");
+        assert_eq!(serve.accepted(), conns as u64, "one accept per connection");
+        assert_eq!(
+            c.accepts_per_worker.iter().sum::<u64>(),
+            conns as u64,
+            "every accept routed to a worker"
+        );
+        assert_eq!(c.accept_overflow, 0, "no connection shed");
         assert_eq!(leaked_sockets, 0, "zero leaked sockets");
         // The audit job itself runs on a handful of live segments; the
         // bound catches any per-connection segment leak at conns scale.
